@@ -1,0 +1,253 @@
+//! Lloyd's k-means with k-means++ seeding and multi-restart.
+//!
+//! The attribute-only baseline of Figs. 7–8 (and the final step of the
+//! spectral baseline). Operates on dense feature vectors; the weather
+//! experiments feed it the interpolated 2-D sensor features from
+//! [`crate::interpolate`].
+
+use rand::Rng;
+
+/// k-means hyperparameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations per restart.
+    pub max_iters: usize,
+    /// Stop when no assignment changes.
+    pub n_restarts: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// Defaults: 100 iterations, 5 restarts.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            max_iters: 100,
+            n_restarts: 5,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted k-means clustering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    /// Hard cluster label per point.
+    pub labels: Vec<usize>,
+    /// Row-major `k × d` centroids.
+    pub centroids: Vec<f64>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// k-means++ seeding (Arthur & Vassilvitskii 2007).
+fn kmeanspp_init<R: Rng>(points: &[Vec<f64>], k: usize, rng: &mut R) -> Vec<f64> {
+    let n = points.len();
+    let d = points[0].len();
+    let mut centroids = Vec::with_capacity(k * d);
+    let first = rng.gen_range(0..n);
+    centroids.extend_from_slice(&points[first]);
+    let mut dist2: Vec<f64> = points.iter().map(|p| sq_dist(p, &points[first])).collect();
+    for _ in 1..k {
+        let total: f64 = dist2.iter().sum();
+        let next = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            genclus_stats::sample_categorical(rng, &dist2)
+        };
+        centroids.extend_from_slice(&points[next]);
+        for (d2, p) in dist2.iter_mut().zip(points) {
+            *d2 = d2.min(sq_dist(p, &points[next]));
+        }
+    }
+    centroids
+}
+
+fn lloyd(
+    points: &[Vec<f64>],
+    k: usize,
+    max_iters: usize,
+    mut centroids: Vec<f64>,
+) -> KMeansResult {
+    let n = points.len();
+    let d = points[0].len();
+    let mut labels = vec![0usize; n];
+    for _ in 0..max_iters {
+        // Assignment step.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for c in 0..k {
+                let dist = sq_dist(p, &centroids[c * d..(c + 1) * d]);
+                if dist < best_d {
+                    best_d = dist;
+                    best = c;
+                }
+            }
+            if labels[i] != best {
+                labels[i] = best;
+                changed = true;
+            }
+        }
+        // Update step (empty clusters keep their previous centroid).
+        let mut sums = vec![0.0f64; k * d];
+        let mut counts = vec![0usize; k];
+        for (p, &l) in points.iter().zip(&labels) {
+            counts[l] += 1;
+            for (s, &x) in sums[l * d..(l + 1) * d].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for (cen, s) in centroids[c * d..(c + 1) * d]
+                    .iter_mut()
+                    .zip(&sums[c * d..(c + 1) * d])
+                {
+                    *cen = s / counts[c] as f64;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let inertia = points
+        .iter()
+        .zip(&labels)
+        .map(|(p, &l)| sq_dist(p, &centroids[l * d..(l + 1) * d]))
+        .sum();
+    KMeansResult {
+        labels,
+        centroids,
+        inertia,
+    }
+}
+
+/// Clusters `points` into `config.k` groups; returns the best of
+/// `config.n_restarts` k-means++-seeded Lloyd runs by inertia.
+///
+/// # Panics
+/// Panics if `points` is empty, dimensions are ragged, or `k == 0`.
+pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> KMeansResult {
+    assert!(!points.is_empty(), "cannot cluster zero points");
+    assert!(config.k > 0, "k must be positive");
+    let d = points[0].len();
+    assert!(
+        points.iter().all(|p| p.len() == d),
+        "ragged feature vectors"
+    );
+    let mut rng = genclus_stats::seeded_rng(config.seed);
+    let mut best: Option<KMeansResult> = None;
+    for _ in 0..config.n_restarts.max(1) {
+        let init = kmeanspp_init(points, config.k, &mut rng);
+        let run = lloyd(points, config.k, config.max_iters, init);
+        if best.as_ref().map_or(true, |b| run.inertia < b.inertia) {
+            best = Some(run);
+        }
+    }
+    best.expect("at least one restart")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut rng = genclus_stats::seeded_rng(1);
+        let mut pts = Vec::new();
+        for &(cx, cy) in &[(-5.0, -5.0), (5.0, 5.0), (-5.0, 5.0)] {
+            for _ in 0..30 {
+                pts.push(vec![
+                    cx + genclus_stats::rng::standard_normal(&mut rng) * 0.4,
+                    cy + genclus_stats::rng::standard_normal(&mut rng) * 0.4,
+                ]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let pts = blobs();
+        let out = kmeans(&pts, &KMeansConfig::new(3));
+        // All members of a blob share a label; blobs get distinct labels.
+        for blob in 0..3 {
+            let l0 = out.labels[blob * 30];
+            for i in 0..30 {
+                assert_eq!(out.labels[blob * 30 + i], l0, "blob {blob} split");
+            }
+        }
+        assert_ne!(out.labels[0], out.labels[30]);
+        assert_ne!(out.labels[30], out.labels[60]);
+        assert!(out.inertia < 60.0, "inertia {} too high", out.inertia);
+    }
+
+    #[test]
+    fn centroids_land_on_blob_centers() {
+        let pts = blobs();
+        let out = kmeans(&pts, &KMeansConfig::new(3));
+        let mut found = [false; 3];
+        for c in out.centroids.chunks(2) {
+            for (i, &(cx, cy)) in [(-5.0, -5.0), (5.0, 5.0), (-5.0, 5.0)].iter().enumerate() {
+                if (c[0] - cx).abs() < 0.5 && (c[1] - cy).abs() < 0.5 {
+                    found[i] = true;
+                }
+            }
+        }
+        assert!(found.iter().all(|&f| f), "centroids {:?}", out.centroids);
+    }
+
+    #[test]
+    fn single_cluster_is_the_mean() {
+        let pts = vec![vec![0.0], vec![2.0], vec![4.0]];
+        let out = kmeans(&pts, &KMeansConfig::new(1));
+        assert!((out.centroids[0] - 2.0).abs() < 1e-9);
+        assert_eq!(out.labels, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let pts = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![5.0, 5.0]];
+        let mut cfg = KMeansConfig::new(3);
+        cfg.n_restarts = 10;
+        let out = kmeans(&pts, &cfg);
+        assert!(out.inertia < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let pts = blobs();
+        let a = kmeans(&pts, &KMeansConfig::new(3));
+        let b = kmeans(&pts, &KMeansConfig::new(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn restarts_never_hurt() {
+        let pts = blobs();
+        let single = kmeans(
+            &pts,
+            &KMeansConfig {
+                n_restarts: 1,
+                ..KMeansConfig::new(3)
+            },
+        );
+        let multi = kmeans(
+            &pts,
+            &KMeansConfig {
+                n_restarts: 8,
+                ..KMeansConfig::new(3)
+            },
+        );
+        assert!(multi.inertia <= single.inertia + 1e-9);
+    }
+}

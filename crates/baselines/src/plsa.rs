@@ -1,0 +1,305 @@
+//! Probabilistic Latent Semantic Analysis (Hofmann 1999).
+//!
+//! The text core shared by NetPLSA and iTopicModel: every object with term
+//! observations is a "document" with a topic mixture `θ_d`; each topic is a
+//! categorical distribution `β_k` over the vocabulary. Plain EM:
+//!
+//! ```text
+//! E:  p(z = k | d, l) ∝ θ_{d,k} β_{k,l}
+//! M:  θ_{d,k} ∝ Σ_l c_{d,l} p(z = k | d, l)
+//!     β_{k,l} ∝ Σ_d c_{d,l} p(z = k | d, l)
+//! ```
+//!
+//! Objects without any term observations keep whatever membership the
+//! network step (in the derived baselines) assigns them; plain PLSA leaves
+//! them at their initialization.
+
+use genclus_hin::{AttributeData, AttributeId, HinGraph};
+use genclus_stats::simplex::normalize_floored;
+use genclus_stats::MembershipMatrix;
+use rand::Rng;
+
+/// PLSA hyperparameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlsaConfig {
+    /// Number of topics (clusters).
+    pub k: usize,
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Stop when the max-abs membership change falls below this.
+    pub tol: f64,
+    /// Floor for topic-term probabilities.
+    pub beta_floor: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PlsaConfig {
+    /// A default configuration for `k` topics.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            max_iters: 50,
+            tol: 1e-4,
+            beta_floor: 1e-9,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted PLSA model.
+#[derive(Debug, Clone)]
+pub struct PlsaResult {
+    /// Per-object topic memberships (uniform-ish for textless objects).
+    pub theta: MembershipMatrix,
+    /// Row-major `K × m` topic-term probabilities.
+    pub beta: Vec<f64>,
+    /// Vocabulary size.
+    pub vocab_size: usize,
+    /// EM iterations used.
+    pub iterations: usize,
+}
+
+/// Initializes `β` near the corpus term distribution with multiplicative
+/// noise (shared by the network-regularized variants).
+pub(crate) fn init_beta<R: Rng>(
+    table: &AttributeData,
+    k: usize,
+    beta_floor: f64,
+    rng: &mut R,
+) -> (Vec<f64>, usize) {
+    let m = table.vocab_size();
+    let mut global = vec![0.0f64; m];
+    if let AttributeData::Categorical { counts, .. } = table {
+        for row in counts {
+            for &(t, c) in row {
+                global[t as usize] += c;
+            }
+        }
+    }
+    if global.iter().sum::<f64>() <= 0.0 {
+        global.iter_mut().for_each(|g| *g = 1.0);
+    }
+    let mut beta = vec![0.0; k * m];
+    for row in beta.chunks_mut(m) {
+        for (b, &g) in row.iter_mut().zip(&global) {
+            *b = g.max(beta_floor) * (0.5 + rng.gen::<f64>());
+        }
+        normalize_with_floor(row, beta_floor);
+    }
+    (beta, m)
+}
+
+pub(crate) fn normalize_with_floor(row: &mut [f64], floor: f64) {
+    let sum: f64 = row.iter().sum();
+    if sum <= 0.0 || !sum.is_finite() {
+        let u = 1.0 / row.len() as f64;
+        row.iter_mut().for_each(|x| *x = u);
+        return;
+    }
+    for x in row.iter_mut() {
+        *x = (*x / sum).max(floor);
+    }
+    let sum: f64 = row.iter().sum();
+    row.iter_mut().for_each(|x| *x /= sum);
+}
+
+/// One PLSA E+M sweep. Writes new memberships into `new_theta` (text part
+/// only — rows of textless objects are left zeroed for the caller to fill)
+/// and returns the new `β`.
+pub(crate) fn plsa_sweep(
+    table: &AttributeData,
+    theta: &MembershipMatrix,
+    beta: &[f64],
+    m: usize,
+    k: usize,
+    beta_floor: f64,
+    new_theta_text: &mut [f64],
+) -> Vec<f64> {
+    let n = theta.n_objects();
+    let mut new_beta = vec![0.0f64; k * m];
+    let mut resp = vec![0.0f64; k];
+    for v_idx in 0..n {
+        let v = genclus_hin::ObjectId::from_index(v_idx);
+        let tv = theta.row(v_idx);
+        let out = &mut new_theta_text[v_idx * k..(v_idx + 1) * k];
+        for &(term, count) in table.term_counts(v) {
+            let mut total = 0.0;
+            for (kk, r) in resp.iter_mut().enumerate() {
+                *r = tv[kk] * beta[kk * m + term as usize];
+                total += *r;
+            }
+            if total <= 0.0 {
+                resp.copy_from_slice(tv);
+            } else {
+                resp.iter_mut().for_each(|r| *r /= total);
+            }
+            for (kk, &r) in resp.iter().enumerate() {
+                out[kk] += count * r;
+                new_beta[kk * m + term as usize] += count * r;
+            }
+        }
+    }
+    for row in new_beta.chunks_mut(m) {
+        normalize_with_floor(row, beta_floor);
+    }
+    new_beta
+}
+
+/// Fits plain PLSA on one categorical attribute of the network.
+///
+/// # Panics
+/// Panics if the attribute is not categorical or `k < 2`.
+pub fn fit_plsa(graph: &HinGraph, attr: AttributeId, config: &PlsaConfig) -> PlsaResult {
+    assert!(config.k >= 2, "need at least two topics");
+    let table = graph.attribute(attr);
+    let n = graph.n_objects();
+    let k = config.k;
+    let mut rng = genclus_stats::seeded_rng(config.seed);
+    let mut theta = MembershipMatrix::random(n, k, &mut rng);
+    let (mut beta, m) = init_beta(table, k, config.beta_floor, &mut rng);
+
+    let mut iterations = 0;
+    for _ in 0..config.max_iters {
+        let mut text_mass = vec![0.0f64; n * k];
+        beta = plsa_sweep(
+            table,
+            &theta,
+            &beta,
+            m,
+            k,
+            config.beta_floor,
+            &mut text_mass,
+        );
+        let mut max_delta = 0.0f64;
+        let mut new_theta = theta.clone();
+        for v in 0..n {
+            let row = &mut text_mass[v * k..(v + 1) * k];
+            if row.iter().sum::<f64>() > 0.0 {
+                normalize_floored(row);
+                for (o, t) in row.iter().zip(theta.row(v)) {
+                    max_delta = max_delta.max((o - t).abs());
+                }
+                new_theta.set_row(v, row);
+            }
+            // Textless objects keep their previous membership: plain PLSA
+            // has no information about them.
+        }
+        theta = new_theta;
+        iterations += 1;
+        if max_delta < config.tol {
+            break;
+        }
+    }
+
+    PlsaResult {
+        theta,
+        beta,
+        vocab_size: m,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use genclus_hin::prelude::*;
+
+    /// A two-topic corpus: docs 0..4 use terms {0,1}, docs 5..9 use {2,3};
+    /// doc 10 has no text. A `cite` relation links documents within each
+    /// topic block into a ring, plus doc 10 to the first block.
+    pub fn two_topic_network() -> (HinGraph, AttributeId) {
+        let mut s = Schema::new();
+        let t = s.add_object_type("doc");
+        let cite = s.add_relation("cite", t, t);
+        let text = s.add_categorical_attribute("text", 4);
+        let mut b = HinBuilder::new(s);
+        let docs: Vec<_> = (0..11).map(|i| b.add_object(t, format!("d{i}"))).collect();
+        for i in 0..5usize {
+            let terms = [0u32, 1, 0, 1, 0];
+            b.add_terms(docs[i], text, &terms[..3 + (i % 3)]).unwrap();
+        }
+        for i in 5..10usize {
+            let terms = [2u32, 3, 2, 3, 2];
+            b.add_terms(docs[i], text, &terms[..3 + (i % 3)]).unwrap();
+        }
+        for block in [0usize..5, 5..10] {
+            let ids: Vec<usize> = block.collect();
+            for w in ids.windows(2) {
+                b.add_link(docs[w[0]], docs[w[1]], cite, 1.0).unwrap();
+                b.add_link(docs[w[1]], docs[w[0]], cite, 1.0).unwrap();
+            }
+        }
+        // The textless doc links into the first block.
+        b.add_link(docs[10], docs[0], cite, 1.0).unwrap();
+        b.add_link(docs[0], docs[10], cite, 1.0).unwrap();
+        (b.build().unwrap(), text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use test_support::two_topic_network;
+
+    #[test]
+    fn separates_disjoint_vocabularies() {
+        let (g, text) = two_topic_network();
+        let out = fit_plsa(&g, text, &PlsaConfig::new(2));
+        let labels = out.theta.hard_labels();
+        for i in 1..5 {
+            assert_eq!(labels[i], labels[0], "block 1 must agree");
+        }
+        for i in 6..10 {
+            assert_eq!(labels[i], labels[5], "block 2 must agree");
+        }
+        assert_ne!(labels[0], labels[5], "blocks must separate");
+    }
+
+    #[test]
+    fn beta_rows_are_distributions_over_vocab() {
+        let (g, text) = two_topic_network();
+        let out = fit_plsa(&g, text, &PlsaConfig::new(2));
+        assert_eq!(out.vocab_size, 4);
+        for row in out.beta.chunks(4) {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(row.iter().all(|&x| x > 0.0));
+        }
+        // Topic term distributions must concentrate on their block's terms.
+        let topic_of_term0 = if out.beta[0] + out.beta[1] > out.beta[4] + out.beta[5] {
+            0
+        } else {
+            1
+        };
+        let row = &out.beta[topic_of_term0 * 4..(topic_of_term0 + 1) * 4];
+        assert!(row[0] + row[1] > 0.9, "topic should own terms 0,1: {row:?}");
+    }
+
+    #[test]
+    fn textless_objects_are_untouched_by_plain_plsa() {
+        let (g, text) = two_topic_network();
+        let cfg = PlsaConfig::new(2);
+        let mut rng = genclus_stats::seeded_rng(cfg.seed);
+        let init = MembershipMatrix::random(g.n_objects(), 2, &mut rng);
+        let out = fit_plsa(&g, text, &cfg);
+        // Doc 10 has no text: PLSA left its membership at initialization.
+        assert_eq!(out.theta.row(10), init.row(10));
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let (g, text) = two_topic_network();
+        let a = fit_plsa(&g, text, &PlsaConfig::new(2));
+        let b = fit_plsa(&g, text, &PlsaConfig::new(2));
+        assert_eq!(a.beta, b.beta);
+        assert!(a.theta.max_abs_diff(&b.theta) == 0.0);
+    }
+
+    #[test]
+    fn converges_before_iteration_cap() {
+        let (g, text) = two_topic_network();
+        let mut cfg = PlsaConfig::new(2);
+        cfg.max_iters = 500;
+        let out = fit_plsa(&g, text, &cfg);
+        assert!(out.iterations < 500);
+    }
+}

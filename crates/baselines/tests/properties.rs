@@ -1,0 +1,146 @@
+//! Property-based tests for the baselines: invariants on arbitrary inputs.
+
+use genclus_baselines::prelude::*;
+use genclus_hin::prelude::*;
+use proptest::prelude::*;
+use rand::Rng;
+
+/// A random document network with text on a subset of objects.
+fn random_text_network(seed: u64, n: usize, vocab: usize) -> (HinGraph, AttributeId) {
+    let mut rng = genclus_stats::seeded_rng(seed);
+    let mut s = Schema::new();
+    let t = s.add_object_type("doc");
+    let r = s.add_relation("cite", t, t);
+    let text = s.add_categorical_attribute("text", vocab);
+    let mut b = HinBuilder::new(s);
+    let vs: Vec<_> = (0..n).map(|i| b.add_object(t, format!("d{i}"))).collect();
+    for i in 0..n {
+        // A ring plus random chords keeps things connected.
+        b.add_link(vs[i], vs[(i + 1) % n], r, 1.0).unwrap();
+        if rng.gen_bool(0.4) {
+            let j = rng.gen_range(0..n);
+            if j != i {
+                b.add_link(vs[i], vs[j], r, rng.gen_range(0.5..2.0)).unwrap();
+            }
+        }
+    }
+    for &v in &vs {
+        if rng.gen_bool(0.7) {
+            let len = rng.gen_range(1..6);
+            for _ in 0..len {
+                b.add_term_count(v, text, rng.gen_range(0..vocab as u32), 1.0)
+                    .unwrap();
+            }
+        }
+    }
+    (b.build().unwrap(), text)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// NetPLSA and iTopicModel always produce simplex memberships and
+    /// stochastic topic-term rows, whatever the network.
+    #[test]
+    fn topic_models_preserve_invariants(seed in any::<u64>(), n in 4usize..20, k in 2usize..5) {
+        let (g, text) = random_text_network(seed, n, 10);
+        for result in [
+            fit_netplsa(&g, text, &NetPlsaConfig { k, max_iters: 10, ..NetPlsaConfig::new(k) }),
+            fit_itopicmodel(&g, text, &ITopicConfig { k, max_iters: 10, ..ITopicConfig::new(k) }),
+        ] {
+            for i in 0..n {
+                let row = result.theta.row(i);
+                prop_assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+                prop_assert!(row.iter().all(|&x| x >= 0.0));
+            }
+            for row in result.beta.chunks(result.vocab_size) {
+                prop_assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+                prop_assert!(row.iter().all(|&x| x > 0.0));
+            }
+        }
+    }
+
+    /// k-means labels are within range, every non-empty input gets a label,
+    /// and inertia never increases when k grows (with shared seeding).
+    #[test]
+    fn kmeans_invariants(seed in any::<u64>(), n in 6usize..40) {
+        let mut rng = genclus_stats::seeded_rng(seed);
+        let pts: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)])
+            .collect();
+        let mut prev_inertia = f64::INFINITY;
+        for k in [1usize, 2, 3] {
+            let cfg = KMeansConfig { k, seed, n_restarts: 3, ..KMeansConfig::new(k) };
+            let out = kmeans(&pts, &cfg);
+            prop_assert_eq!(out.labels.len(), n);
+            prop_assert!(out.labels.iter().all(|&l| l < k));
+            prop_assert!(out.inertia >= 0.0);
+            prop_assert!(out.inertia <= prev_inertia + 1e-9, "inertia rose with k");
+            prev_inertia = out.inertia;
+        }
+    }
+
+    /// Interpolated features always lie within the attribute's observed
+    /// range (a weighted mean cannot extrapolate).
+    #[test]
+    fn interpolation_stays_in_range(seed in any::<u64>(), n in 3usize..25) {
+        let mut rng = genclus_stats::seeded_rng(seed);
+        let mut s = Schema::new();
+        let t = s.add_object_type("sensor");
+        let r = s.add_relation("nn", t, t);
+        let attr = s.add_numerical_attribute("x");
+        let mut b = HinBuilder::new(s);
+        let vs: Vec<_> = (0..n).map(|i| b.add_object(t, format!("s{i}"))).collect();
+        for i in 0..n {
+            b.add_link(vs[i], vs[(i + 1) % n], r, 1.0).unwrap();
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let mut any = false;
+        for &v in &vs {
+            if rng.gen_bool(0.5) {
+                let x = rng.gen_range(-10.0..10.0);
+                lo = lo.min(x);
+                hi = hi.max(x);
+                any = true;
+                b.add_numeric(v, attr, x).unwrap();
+            }
+        }
+        prop_assume!(any);
+        let g = b.build().unwrap();
+        let f = interpolate_features(&g, &[attr]);
+        for row in &f {
+            prop_assert!(row[0] >= lo - 1e-9 && row[0] <= hi + 1e-9);
+        }
+    }
+
+    /// The spectral baseline produces one label per object in range, for
+    /// arbitrary (connected) networks.
+    #[test]
+    fn spectral_labels_are_valid(seed in any::<u64>()) {
+        let mut rng = genclus_stats::seeded_rng(seed);
+        let mut s = Schema::new();
+        let t = s.add_object_type("sensor");
+        let r = s.add_relation("nn", t, t);
+        let attr = s.add_numerical_attribute("x");
+        let mut b = HinBuilder::new(s);
+        let n = 16;
+        let vs: Vec<_> = (0..n).map(|i| b.add_object(t, format!("s{i}"))).collect();
+        for i in 0..n {
+            b.add_link(vs[i], vs[(i + 1) % n], r, 1.0).unwrap();
+        }
+        for &v in &vs {
+            if rng.gen_bool(0.6) {
+                b.add_numeric(v, attr, rng.gen_range(-3.0..3.0)).unwrap();
+            }
+        }
+        let g = b.build().unwrap();
+        let mut cfg = SpectralConfig::new(3);
+        cfg.power_iters = 30;
+        cfg.seed = seed;
+        let out = spectral_combine(&g, &[attr], &cfg);
+        prop_assert_eq!(out.labels.len(), n);
+        prop_assert!(out.labels.iter().all(|&l| l < 3));
+        prop_assert_eq!(out.eigenvalues.len(), 3);
+    }
+}

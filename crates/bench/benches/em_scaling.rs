@@ -1,0 +1,85 @@
+//! Fig. 11 counterpart: wall-time of one EM inner iteration as the weather
+//! network grows (1250 / 1500 / 2000 objects) and as the per-sensor
+//! observation count grows (1 / 5 / 20), plus the 4-thread parallel E-step.
+//!
+//! The paper's claim is *linearity in the number of objects* for sparse
+//! networks and near-linear parallel speedup; compare the medians across
+//! groups to check both.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genclus_core::attr_model::ClusterComponents;
+use genclus_core::em::EmEngine;
+use genclus_datagen::weather::{generate, PatternSetting, WeatherConfig};
+use genclus_stats::MembershipMatrix;
+
+const K: usize = 4;
+
+fn setup(
+    n_precip: usize,
+    n_obs: usize,
+) -> (
+    genclus_datagen::weather::WeatherNetwork,
+    MembershipMatrix,
+    Vec<ClusterComponents>,
+    Vec<f64>,
+) {
+    let net = generate(&WeatherConfig {
+        n_temp: 1000,
+        n_precip,
+        k_neighbors: 5,
+        n_obs,
+        pattern: PatternSetting::Setting1,
+        seed: 7,
+    });
+    let mut rng = genclus_stats::seeded_rng(1);
+    let theta = MembershipMatrix::random(net.graph.n_objects(), K, &mut rng);
+    let comps: Vec<ClusterComponents> = [net.temp_attr, net.precip_attr]
+        .iter()
+        .map(|&a| ClusterComponents::init(K, net.graph.attribute(a), &mut rng, 1e-9, 1e-6))
+        .collect();
+    let gamma = vec![1.0; net.graph.schema().n_relations()];
+    (net, theta, comps, gamma)
+}
+
+fn bench_em_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("em_iteration_by_objects");
+    group.sample_size(20);
+    for n_precip in [250usize, 500, 1000] {
+        let (net, theta, comps, gamma) = setup(n_precip, 5);
+        let attrs = [net.temp_attr, net.precip_attr];
+        let engine = EmEngine::new(&net.graph, &attrs, K, 1, 1e-9, 1e-6);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(1000 + n_precip),
+            &n_precip,
+            |b, _| b.iter(|| engine.step(&theta, &comps, &gamma)),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("em_iteration_by_observations");
+    group.sample_size(20);
+    for n_obs in [1usize, 5, 20] {
+        let (net, theta, comps, gamma) = setup(1000, n_obs);
+        let attrs = [net.temp_attr, net.precip_attr];
+        let engine = EmEngine::new(&net.graph, &attrs, K, 1, 1e-9, 1e-6);
+        group.bench_with_input(BenchmarkId::from_parameter(n_obs), &n_obs, |b, _| {
+            b.iter(|| engine.step(&theta, &comps, &gamma))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("em_iteration_by_threads");
+    group.sample_size(20);
+    for threads in [1usize, 2, 4] {
+        let (net, theta, comps, gamma) = setup(1000, 20);
+        let attrs = [net.temp_attr, net.precip_attr];
+        let engine = EmEngine::new(&net.graph, &attrs, K, threads, 1e-9, 1e-6);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| engine.step(&theta, &comps, &gamma))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_em_scaling);
+criterion_main!(benches);

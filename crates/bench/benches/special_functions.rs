@@ -1,0 +1,52 @@
+//! Microbenchmarks for the numerics hot path: the strength-learning step
+//! evaluates digamma/trigamma once per (object, cluster) per Newton
+//! iteration, and the EM step normalizes log weights once per observation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use genclus_stats::{digamma, ln_gamma, log_sum_exp, trigamma};
+
+fn bench_special(c: &mut Criterion) {
+    let xs: Vec<f64> = (1..=256).map(|i| 0.37 * i as f64).collect();
+
+    c.bench_function("ln_gamma/256 values", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &x in &xs {
+                acc += ln_gamma(black_box(x));
+            }
+            acc
+        })
+    });
+    c.bench_function("digamma/256 values", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &x in &xs {
+                acc += digamma(black_box(x));
+            }
+            acc
+        })
+    });
+    c.bench_function("trigamma/256 values", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &x in &xs {
+                acc += trigamma(black_box(x));
+            }
+            acc
+        })
+    });
+
+    let logw = [-3.2, -1.1, -7.9, -0.4];
+    c.bench_function("log_sum_exp/k=4", |b| {
+        b.iter(|| log_sum_exp(black_box(&logw)))
+    });
+
+    let p = [0.7, 0.1, 0.1, 0.1];
+    let q = [0.25, 0.25, 0.25, 0.25];
+    c.bench_function("cross_entropy/k=4", |b| {
+        b.iter(|| genclus_stats::simplex::cross_entropy(black_box(&p), black_box(&q)))
+    });
+}
+
+criterion_group!(benches, bench_special);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Cost of the strength-learning step (Algorithm 1, step 2): objective
+//! evaluation and the full projected-Newton solve on weather networks of
+//! increasing size. The per-outer-iteration complexity claimed in §4.3 is
+//! `O(K|E| + t₂|R|^2.376)` — dominated by the `K|E|` statistics pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genclus_core::strength::StrengthLearner;
+use genclus_datagen::weather::{generate, PatternSetting, WeatherConfig};
+use genclus_stats::{MembershipMatrix, NewtonOptions};
+
+const K: usize = 4;
+
+fn bench_strength(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strength_learning");
+    group.sample_size(15);
+    for n_precip in [250usize, 1000] {
+        let net = generate(&WeatherConfig {
+            n_temp: 1000,
+            n_precip,
+            k_neighbors: 5,
+            n_obs: 5,
+            pattern: PatternSetting::Setting1,
+            seed: 7,
+        });
+        let mut rng = genclus_stats::seeded_rng(1);
+        let theta = MembershipMatrix::random(net.graph.n_objects(), K, &mut rng);
+        let learner = StrengthLearner::new(0.1, NewtonOptions::default());
+        let gamma0 = vec![1.0; 4];
+
+        group.bench_with_input(
+            BenchmarkId::new("objective", 1000 + n_precip),
+            &n_precip,
+            |b, _| b.iter(|| learner.objective(&net.graph, &theta, &gamma0)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_newton_solve", 1000 + n_precip),
+            &n_precip,
+            |b, _| b.iter(|| learner.learn(&net.graph, &theta, &gamma0)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strength);
+criterion_main!(benches);

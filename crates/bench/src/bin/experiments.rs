@@ -1,0 +1,72 @@
+//! Experiment runner: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments <id>... [--quick] [--out <dir>]
+//! experiments all [--quick]
+//! experiments --list
+//! ```
+
+use genclus_bench::{run_experiment, Scale, ALL_EXPERIMENTS};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <id>... [--quick] [--out <dir>]\n\
+         \u{20}      experiments all [--quick]\n\
+         \u{20}      experiments --list\n\
+         ids: {}",
+        ALL_EXPERIMENTS.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut ids: Vec<String> = Vec::new();
+    let mut scale = Scale::FULL;
+    let mut out_dir = PathBuf::from("results");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scale = Scale::QUICK,
+            "--list" => {
+                for id in ALL_EXPERIMENTS {
+                    println!("{id}");
+                }
+                return;
+            }
+            "--out" => {
+                i += 1;
+                let Some(dir) = args.get(i) else { usage() };
+                out_dir = PathBuf::from(dir);
+            }
+            "all" => ids.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
+            id if ALL_EXPERIMENTS.contains(&id) => ids.push(id.to_string()),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        usage();
+    }
+
+    for id in &ids {
+        let start = std::time::Instant::now();
+        let report = run_experiment(id, scale);
+        println!("{}", report.render());
+        match report.save(&out_dir) {
+            Ok(path) => println!(
+                "  [saved {} after {:.1}s]\n",
+                path.display(),
+                start.elapsed().as_secs_f64()
+            ),
+            Err(e) => eprintln!("  [failed to save {id}: {e}]"),
+        }
+    }
+}

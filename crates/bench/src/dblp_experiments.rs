@@ -1,0 +1,316 @@
+//! DBLP four-area experiments: Figs. 5, 6, 9, 10 and Tables 1–3.
+
+use crate::methods::{
+    cluster_to_class_map, labelset_from, nmi_of, row_in_class_order, run_text_method, TextMethod,
+};
+use crate::report::{f2, f4, Report, Table};
+use crate::Scale;
+use genclus_core::prelude::*;
+use genclus_datagen::dblp::{self, FOUR_AREAS};
+use genclus_eval::prelude::*;
+use genclus_hin::prelude::*;
+use genclus_stats::{mean, sample_std};
+
+const K: usize = 4;
+
+/// Fig. 5: clustering accuracy (NMI mean and std over random restarts) on
+/// the **AC network**, columns Overall / C / A.
+pub fn fig5(scale: Scale) -> Report {
+    let corpus = dblp::generate(&scale.dblp_config());
+    let ac = corpus.build_ac();
+    let truth = labelset_from(&ac.labels);
+    let mut report = Report::new("fig5");
+    report.note(format!(
+        "AC network: {} authors, {} conferences, {} links; {} restarts",
+        ac.authors.len(),
+        ac.conferences.len(),
+        ac.graph.n_links(),
+        scale.restarts()
+    ));
+
+    let subsets: [(&str, Option<&[ObjectId]>); 3] = [
+        ("Overall", None),
+        ("C", Some(&ac.conferences)),
+        ("A", Some(&ac.authors)),
+    ];
+    let mut mean_table = Table::new("Mean of NMI", &["Overall", "C", "A"]);
+    let mut std_table = Table::new("Std of NMI", &["Overall", "C", "A"]);
+    for method in TextMethod::ALL {
+        let mut per_column: Vec<Vec<f64>> = vec![Vec::new(); subsets.len()];
+        for restart in 0..scale.restarts() {
+            let (theta, _) = run_text_method(
+                method,
+                &ac.graph,
+                ac.text_attr,
+                K,
+                restart as u64,
+                scale.outer_iters_dblp(),
+                false,
+            );
+            for (c, (_, subset)) in subsets.iter().enumerate() {
+                per_column[c].push(nmi_of(&theta, &truth, *subset));
+            }
+        }
+        mean_table.push_row(
+            method.name(),
+            per_column.iter().map(|xs| f4(mean(xs))).collect(),
+        );
+        std_table.push_row(
+            method.name(),
+            per_column.iter().map(|xs| f4(sample_std(xs))).collect(),
+        );
+    }
+    report.tables.push(mean_table);
+    report.tables.push(std_table);
+    report
+}
+
+/// Fig. 6: the same comparison on the **ACP network** (text on papers
+/// only), columns Overall / C / A / P.
+pub fn fig6(scale: Scale) -> Report {
+    let corpus = dblp::generate(&scale.dblp_config());
+    let acp = corpus.build_acp();
+    let truth = labelset_from(&acp.labels);
+    let mut report = Report::new("fig6");
+    report.note(format!(
+        "ACP network: {} authors, {} conferences, {} papers, {} links; {} restarts",
+        acp.authors.len(),
+        acp.conferences.len(),
+        acp.papers.len(),
+        acp.graph.n_links(),
+        scale.restarts()
+    ));
+
+    let subsets: [(&str, Option<&[ObjectId]>); 4] = [
+        ("Overall", None),
+        ("C", Some(&acp.conferences)),
+        ("A", Some(&acp.authors)),
+        ("P", Some(&acp.papers)),
+    ];
+    let mut mean_table = Table::new("Mean of NMI", &["Overall", "C", "A", "P"]);
+    let mut std_table = Table::new("Std of NMI", &["Overall", "C", "A", "P"]);
+    for method in TextMethod::ALL {
+        let mut per_column: Vec<Vec<f64>> = vec![Vec::new(); subsets.len()];
+        for restart in 0..scale.restarts() {
+            let (theta, _) = run_text_method(
+                method,
+                &acp.graph,
+                acp.text_attr,
+                K,
+                restart as u64,
+                scale.outer_iters_dblp(),
+                false,
+            );
+            for (c, (_, subset)) in subsets.iter().enumerate() {
+                per_column[c].push(nmi_of(&theta, &truth, *subset));
+            }
+        }
+        mean_table.push_row(
+            method.name(),
+            per_column.iter().map(|xs| f4(mean(xs))).collect(),
+        );
+        std_table.push_row(
+            method.name(),
+            per_column.iter().map(|xs| f4(sample_std(xs))).collect(),
+        );
+    }
+    report.tables.push(mean_table);
+    report.tables.push(std_table);
+    report
+}
+
+/// Table 1: cluster-membership case study on the AC network. Clusters are
+/// matched to areas by majority vote over the labeled conferences, then the
+/// membership rows of the case-study objects are printed in area order.
+pub fn table1(scale: Scale) -> Report {
+    let corpus = dblp::generate(&scale.dblp_config());
+    let ac = corpus.build_ac();
+    let truth = labelset_from(&ac.labels);
+    let (theta, _) = run_text_method(
+        TextMethod::GenClus,
+        &ac.graph,
+        ac.text_attr,
+        K,
+        0,
+        scale.outer_iters_dblp(),
+        true,
+    );
+    let map = cluster_to_class_map(&theta, &truth, &ac.conferences, K, FOUR_AREAS.len());
+
+    let mut report = Report::new("table1");
+    report.note("GenClus cluster memberships for case-study objects (AC network)".to_string());
+    let mut table = Table::new("Case Studies of Cluster Membership", &FOUR_AREAS);
+    for name in [
+        "SIGMOD",
+        "KDD",
+        "CIKM",
+        "Jennifer Widom",
+        "Jim Gray",
+        "Christos Faloutsos",
+    ] {
+        let Some(v) = ac.graph.object_by_name(name) else {
+            continue;
+        };
+        let row = row_in_class_order(theta.row(v.index()), &map, FOUR_AREAS.len());
+        table.push_row(name, row.iter().map(|&x| f4(x)).collect());
+    }
+    report.tables.push(table);
+    report
+}
+
+/// Shared MAP-table builder for Tables 2 and 3.
+fn map_table(
+    graph: &HinGraph,
+    attr: AttributeId,
+    relation: RelationId,
+    scale: Scale,
+    title: &str,
+) -> Table {
+    let mut thetas = Vec::new();
+    for method in TextMethod::ALL {
+        let (theta, _) = run_text_method(
+            method,
+            graph,
+            attr,
+            K,
+            0,
+            scale.outer_iters_dblp(),
+            method == TextMethod::GenClus,
+        );
+        thetas.push((method, theta));
+    }
+    let mut table = Table::new(title, &["NetPLSA", "iTopicModel", "GenClus"]);
+    for sim in Similarity::ALL {
+        let cells = thetas
+            .iter()
+            .map(|(_, theta)| {
+                f4(link_prediction_map(graph, relation, |q, c| {
+                    sim.score(theta.row(q.index()), theta.row(c.index()))
+                }))
+            })
+            .collect();
+        table.push_row(sim.label(), cells);
+    }
+    table
+}
+
+/// Table 2: link prediction MAP for the ⟨A,C⟩ relation on the AC network.
+pub fn table2(scale: Scale) -> Report {
+    let corpus = dblp::generate(&scale.dblp_config());
+    let ac = corpus.build_ac();
+    let mut report = Report::new("table2");
+    report.note("Prediction accuracy (MAP) for the A-C relation in the AC network".to_string());
+    report.tables.push(map_table(
+        &ac.graph,
+        ac.text_attr,
+        ac.rel_ac,
+        scale,
+        "MAP for <A,C>",
+    ));
+    report
+}
+
+/// Table 3: link prediction MAP for the ⟨P,C⟩ relation on the ACP network.
+pub fn table3(scale: Scale) -> Report {
+    let corpus = dblp::generate(&scale.dblp_config());
+    let acp = corpus.build_acp();
+    let mut report = Report::new("table3");
+    report.note("Prediction accuracy (MAP) for the P-C relation in the ACP network".to_string());
+    report.tables.push(map_table(
+        &acp.graph,
+        acp.text_attr,
+        acp.rel_pc,
+        scale,
+        "MAP for <P,C>",
+    ));
+    report
+}
+
+/// Fig. 9: learned link-type strengths on the AC and ACP networks.
+pub fn fig9(scale: Scale) -> Report {
+    let corpus = dblp::generate(&scale.dblp_config());
+    let mut report = Report::new("fig9");
+
+    let ac = corpus.build_ac();
+    let (_, gamma) = run_text_method(
+        TextMethod::GenClus,
+        &ac.graph,
+        ac.text_attr,
+        K,
+        0,
+        scale.outer_iters_dblp(),
+        true,
+    );
+    let gamma = gamma.expect("GenClus returns strengths");
+    let mut t_ac = Table::new("Strengths: AC network", &["gamma"]);
+    for (r, def) in ac.graph.schema().relations() {
+        t_ac.push_row(def.name.clone(), vec![f2(gamma[r.index()])]);
+    }
+    report.tables.push(t_ac);
+
+    let acp = corpus.build_acp();
+    let (_, gamma) = run_text_method(
+        TextMethod::GenClus,
+        &acp.graph,
+        acp.text_attr,
+        K,
+        0,
+        scale.outer_iters_dblp(),
+        true,
+    );
+    let gamma = gamma.expect("GenClus returns strengths");
+    let mut t_acp = Table::new("Strengths: ACP network", &["gamma"]);
+    for (r, def) in acp.graph.schema().relations() {
+        t_acp.push_row(def.name.clone(), vec![f2(gamma[r.index()])]);
+    }
+    report.tables.push(t_acp);
+    report
+}
+
+/// Fig. 10: a typical running case on the AC network — per-outer-iteration
+/// clustering accuracy (C and A) and strength trajectories.
+pub fn fig10(scale: Scale) -> Report {
+    let corpus = dblp::generate(&scale.dblp_config());
+    let ac = corpus.build_ac();
+    let truth = labelset_from(&ac.labels);
+
+    let mut cfg = GenClusConfig::new(K, vec![ac.text_attr])
+        .with_seed(0)
+        .with_outer_iters(scale.outer_iters_dblp());
+    cfg.init = InitStrategy::BestOfSeeds {
+        candidates: 5,
+        warmup_iters: 3,
+    };
+    cfg.gamma_tol = 0.0; // run all iterations so the trajectory is complete
+
+    let mut rows: Vec<(usize, f64, f64, Vec<f64>)> = Vec::new();
+    let runner = GenClus::new(cfg).expect("valid config");
+    let _fit = runner
+        .fit_observed(&ac.graph, |view| {
+            let nmi_c = nmi_against(&view.theta.hard_labels(), &truth, Some(&ac.conferences));
+            let nmi_a = nmi_against(&view.theta.hard_labels(), &truth, Some(&ac.authors));
+            rows.push((view.iteration, nmi_c, nmi_a, view.gamma.to_vec()));
+        })
+        .expect("fit succeeds");
+
+    let mut report = Report::new("fig10");
+    report.note("GenClus on the AC network: accuracy and strengths per outer iteration".to_string());
+    let rel_names: Vec<String> = ac
+        .graph
+        .schema()
+        .relations()
+        .map(|(_, d)| d.name.clone())
+        .collect();
+    let mut columns: Vec<&str> = vec!["NMI(C)", "NMI(A)"];
+    for n in &rel_names {
+        columns.push(n);
+    }
+    let mut table = Table::new("Running case: per-iteration trajectory", &columns);
+    for (iter, nmi_c, nmi_a, gamma) in &rows {
+        let mut cells = vec![f4(*nmi_c), f4(*nmi_a)];
+        cells.extend(gamma.iter().map(|&g| f2(g)));
+        table.push_row(format!("iter {iter}"), cells);
+    }
+    report.tables.push(table);
+    report
+}

@@ -1,0 +1,124 @@
+//! Experiment harness for the GenClus reproduction.
+//!
+//! One runnable experiment per table and figure of the paper's §5 (plus two
+//! ablations), each printing the same rows/series the paper reports and
+//! writing a TSV copy under `results/`. Run them via
+//!
+//! ```text
+//! cargo run --release -p genclus-bench --bin experiments -- <id> [--quick]
+//! cargo run --release -p genclus-bench --bin experiments -- all
+//! ```
+//!
+//! where `<id>` is one of `fig5`, `fig6`, `table1`, `fig7`, `fig8`,
+//! `table2`, `table3`, `table4`, `table5`, `fig9`, `fig10`, `fig11`,
+//! `ablate-sym`, `ablate-fixed`. `--quick` shrinks corpus sizes and restart
+//! counts so the whole suite finishes in well under a minute (used by the
+//! crate's tests); the default scale matches the paper's configurations.
+
+pub mod ablations;
+pub mod dblp_experiments;
+pub mod methods;
+pub mod report;
+pub mod timing;
+pub mod weather_experiments;
+
+use report::Report;
+
+/// Controls experiment sizes: `full` reproduces the paper's configurations,
+/// quick mode shrinks them for smoke tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Quick (test) mode flag.
+    pub quick: bool,
+}
+
+impl Scale {
+    /// Paper-scale experiments.
+    pub const FULL: Scale = Scale { quick: false };
+    /// Smoke-test scale.
+    pub const QUICK: Scale = Scale { quick: true };
+
+    /// DBLP corpus configuration.
+    pub fn dblp_config(&self) -> genclus_datagen::DblpConfig {
+        if self.quick {
+            genclus_datagen::dblp::DblpConfig {
+                n_authors: 200,
+                n_papers: 300,
+                ..Default::default()
+            }
+        } else {
+            genclus_datagen::dblp::DblpConfig::default()
+        }
+    }
+
+    /// Number of random restarts for the Fig. 5/6 mean±std runs (paper: 20).
+    pub fn restarts(&self) -> usize {
+        if self.quick {
+            3
+        } else {
+            20
+        }
+    }
+
+    /// GenClus outer iterations (paper: 10 on DBLP, 5 on weather).
+    pub fn outer_iters_dblp(&self) -> usize {
+        if self.quick {
+            3
+        } else {
+            10
+        }
+    }
+
+    /// GenClus outer iterations for weather networks.
+    pub fn outer_iters_weather(&self) -> usize {
+        if self.quick {
+            3
+        } else {
+            5
+        }
+    }
+
+    /// Weather network sizes: `#T` and the three `#P` values.
+    pub fn weather_sizes(&self) -> (usize, [usize; 3]) {
+        if self.quick {
+            (200, [50, 100, 200])
+        } else {
+            (1000, [250, 500, 1000])
+        }
+    }
+
+    /// Observation counts per sensor.
+    pub fn weather_obs(&self) -> [usize; 3] {
+        [1, 5, 20]
+    }
+}
+
+/// Every experiment id, in presentation order.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "fig5", "fig6", "table1", "fig7", "fig8", "table2", "table3", "table4", "table5", "fig9",
+    "fig10", "fig11", "ablate-sym", "ablate-fixed",
+];
+
+/// Dispatches one experiment by id.
+///
+/// # Panics
+/// Panics on an unknown id (the binary validates first).
+pub fn run_experiment(id: &str, scale: Scale) -> Report {
+    match id {
+        "fig5" => dblp_experiments::fig5(scale),
+        "fig6" => dblp_experiments::fig6(scale),
+        "table1" => dblp_experiments::table1(scale),
+        "table2" => dblp_experiments::table2(scale),
+        "table3" => dblp_experiments::table3(scale),
+        "fig9" => dblp_experiments::fig9(scale),
+        "fig10" => dblp_experiments::fig10(scale),
+        "fig7" => weather_experiments::fig7(scale),
+        "fig8" => weather_experiments::fig8(scale),
+        "table4" => weather_experiments::table4(scale),
+        "table5" => weather_experiments::table5(scale),
+        "fig11" => timing::fig11(scale),
+        "ablate-sym" => ablations::ablate_sym(scale),
+        "ablate-fixed" => ablations::ablate_fixed(scale),
+        other => panic!("unknown experiment id `{other}`"),
+    }
+}

@@ -1,0 +1,184 @@
+//! Method adapters: run each clustering method on a network with a common
+//! interface, plus label/NMI helpers shared by the experiments.
+
+use genclus_core::prelude::*;
+use genclus_eval::prelude::*;
+use genclus_hin::prelude::*;
+use genclus_stats::MembershipMatrix;
+
+/// The three soft-clustering methods compared on the text networks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TextMethod {
+    /// NetPLSA (Mei et al. 2008).
+    NetPlsa,
+    /// iTopicModel (Sun et al. 2009).
+    ITopicModel,
+    /// GenClus (this paper).
+    GenClus,
+}
+
+impl TextMethod {
+    /// All methods in the paper's legend order.
+    pub const ALL: [TextMethod; 3] = [
+        TextMethod::NetPlsa,
+        TextMethod::ITopicModel,
+        TextMethod::GenClus,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::NetPlsa => "NetPLSA",
+            Self::ITopicModel => "iTopicModel",
+            Self::GenClus => "GenClus",
+        }
+    }
+}
+
+/// Runs a text-attribute method and returns its soft memberships (plus the
+/// learned strengths for GenClus).
+pub fn run_text_method(
+    method: TextMethod,
+    graph: &HinGraph,
+    attr: AttributeId,
+    k: usize,
+    seed: u64,
+    outer_iters: usize,
+    stable_init: bool,
+) -> (MembershipMatrix, Option<Vec<f64>>) {
+    match method {
+        TextMethod::NetPlsa => {
+            let mut cfg = genclus_baselines::NetPlsaConfig::new(k);
+            cfg.seed = seed;
+            let out = genclus_baselines::fit_netplsa(graph, attr, &cfg);
+            (out.theta, None)
+        }
+        TextMethod::ITopicModel => {
+            let mut cfg = genclus_baselines::ITopicConfig::new(k);
+            cfg.seed = seed;
+            let out = genclus_baselines::fit_itopicmodel(graph, attr, &cfg);
+            (out.theta, None)
+        }
+        TextMethod::GenClus => {
+            let mut cfg = GenClusConfig::new(k, vec![attr])
+                .with_seed(seed)
+                .with_outer_iters(outer_iters);
+            if stable_init {
+                cfg.init = InitStrategy::BestOfSeeds {
+                    candidates: 5,
+                    warmup_iters: 3,
+                };
+            }
+            let fit = GenClus::new(cfg)
+                .expect("valid config")
+                .fit(graph)
+                .expect("fit succeeds");
+            (fit.model.theta, Some(fit.model.gamma))
+        }
+    }
+}
+
+/// Converts a per-object optional label vector into a [`LabelSet`].
+pub fn labelset_from(labels: &[Option<usize>]) -> LabelSet {
+    let mut ls = LabelSet::new(labels.len());
+    for (i, l) in labels.iter().enumerate() {
+        if let Some(c) = l {
+            ls.set(ObjectId::from_index(i), *c);
+        }
+    }
+    ls
+}
+
+/// NMI of hard labels against a partial truth, optionally restricted to a
+/// subset of objects (an object type).
+pub fn nmi_of(
+    theta: &MembershipMatrix,
+    truth: &LabelSet,
+    subset: Option<&[ObjectId]>,
+) -> f64 {
+    nmi_against(&theta.hard_labels(), truth, subset)
+}
+
+/// Maps each cluster index to the majority ground-truth class among a set of
+/// reference objects (used to present Table 1 columns in area order).
+///
+/// Clusters with no labeled representative map to themselves.
+pub fn cluster_to_class_map(
+    theta: &MembershipMatrix,
+    truth: &LabelSet,
+    reference: &[ObjectId],
+    k: usize,
+    n_classes: usize,
+) -> Vec<usize> {
+    let hard = theta.hard_labels();
+    let mut votes = vec![vec![0usize; n_classes]; k];
+    for &v in reference {
+        if let Some(t) = truth.get(v) {
+            votes[hard[v.index()]][t] += 1;
+        }
+    }
+    votes
+        .iter()
+        .enumerate()
+        .map(|(cluster, v)| {
+            let (best, &n) = v
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, n)| *n)
+                .unwrap_or((cluster, &0));
+            if n == 0 {
+                cluster.min(n_classes - 1)
+            } else {
+                best
+            }
+        })
+        .collect()
+}
+
+/// Reorders a membership row from cluster order into class order using the
+/// map from [`cluster_to_class_map`]; classes claimed by several clusters
+/// accumulate.
+pub fn row_in_class_order(row: &[f64], cluster_to_class: &[usize], n_classes: usize) -> Vec<f64> {
+    let mut out = vec![0.0; n_classes];
+    for (cluster, &mass) in row.iter().enumerate() {
+        out[cluster_to_class[cluster]] += mass;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labelset_round_trip() {
+        let ls = labelset_from(&[Some(1), None, Some(0)]);
+        assert_eq!(ls.n_labeled(), 2);
+        assert_eq!(ls.get(ObjectId(0)), Some(1));
+        assert_eq!(ls.get(ObjectId(1)), None);
+    }
+
+    #[test]
+    fn cluster_map_majority_vote() {
+        let theta = MembershipMatrix::from_rows(
+            &[
+                vec![0.9, 0.1], // cluster 0
+                vec![0.8, 0.2], // cluster 0
+                vec![0.1, 0.9], // cluster 1
+            ],
+            2,
+        );
+        let truth = labelset_from(&[Some(1), Some(1), Some(0)]);
+        let refs: Vec<ObjectId> = (0..3).map(ObjectId::from_index).collect();
+        let map = cluster_to_class_map(&theta, &truth, &refs, 2, 2);
+        assert_eq!(map, vec![1, 0]);
+        let row = row_in_class_order(&[0.7, 0.3], &map, 2);
+        assert_eq!(row, vec![0.3, 0.7]);
+    }
+
+    #[test]
+    fn method_names() {
+        assert_eq!(TextMethod::GenClus.name(), "GenClus");
+        assert_eq!(TextMethod::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,219 @@
+//! Aligned-table rendering and TSV persistence for experiment output.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One table of an experiment report: a header column plus named columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers (not counting the row-label column).
+    pub columns: Vec<String>,
+    /// `(row label, cells)` pairs; each row must have `columns.len()` cells.
+    pub rows: Vec<(String, Vec<String>)>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of formatted cells.
+    ///
+    /// # Panics
+    /// Panics if the cell count does not match the column count.
+    pub fn push_row(&mut self, label: impl Into<String>, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row has {} cells for {} columns",
+            cells.len(),
+            self.columns.len()
+        );
+        self.rows.push((label.into(), cells));
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = Vec::with_capacity(self.columns.len() + 1);
+        let label_width = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(std::iter::once(0))
+            .max()
+            .unwrap_or(0);
+        widths.push(label_width);
+        for (c, col) in self.columns.iter().enumerate() {
+            let w = self
+                .rows
+                .iter()
+                .map(|(_, cells)| cells[c].len())
+                .chain(std::iter::once(col.len()))
+                .max()
+                .unwrap_or(col.len());
+            widths.push(w);
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        out.push_str(&format!("{:<w$}", "", w = widths[0] + 2));
+        for (c, col) in self.columns.iter().enumerate() {
+            out.push_str(&format!("{:>w$}  ", col, w = widths[c + 1]));
+        }
+        out.push('\n');
+        for (label, cells) in &self.rows {
+            out.push_str(&format!("{:<w$}  ", label, w = widths[0]));
+            for (c, cell) in cells.iter().enumerate() {
+                out.push_str(&format!("{:>w$}  ", cell, w = widths[c + 1]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Tab-separated representation (header row first).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.title));
+        out.push_str("row");
+        for c in &self.columns {
+            out.push('\t');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for (label, cells) in &self.rows {
+            out.push_str(label);
+            for cell in cells {
+                out.push('\t');
+                out.push_str(cell);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A complete experiment report: tables plus free-form notes.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Experiment id (`fig5`, `table2`, …).
+    pub id: String,
+    /// Rendered tables.
+    pub tables: Vec<Table>,
+    /// Context lines printed before the tables.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report for `id`.
+    pub fn new(id: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Adds a context note.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.notes.push(line.into());
+    }
+
+    /// Renders the whole report as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("==== experiment {} ====\n", self.id));
+        for n in &self.notes {
+            out.push_str(&format!("  {n}\n"));
+        }
+        for t in &self.tables {
+            out.push('\n');
+            out.push_str(&t.render());
+        }
+        out
+    }
+
+    /// Writes the TSV form to `<dir>/<id>.tsv` and returns the path.
+    pub fn save(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.tsv", self.id));
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        for n in &self.notes {
+            writeln!(f, "# {n}")?;
+        }
+        for t in &self.tables {
+            writeln!(f, "{}", t.to_tsv())?;
+        }
+        f.flush()?;
+        Ok(path)
+    }
+}
+
+/// Formats a float with 4 decimal places (the paper's table precision).
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a float with 2 decimal places (the paper's strength precision).
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["alpha", "b"]);
+        t.push_row("row-one", vec!["1.0".into(), "2".into()]);
+        t.push_row("r2", vec!["10.25".into(), "333".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // All data lines have the same length (alignment).
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row("x", vec!["1".into()]);
+    }
+
+    #[test]
+    fn tsv_round_trip_structure() {
+        let mut t = Table::new("demo", &["a"]);
+        t.push_row("x", vec!["1".into()]);
+        let tsv = t.to_tsv();
+        assert!(tsv.contains("row\ta"));
+        assert!(tsv.contains("x\t1"));
+    }
+
+    #[test]
+    fn report_saves_tsv() {
+        let mut r = Report::new("unit-test-report");
+        r.note("a note");
+        let mut t = Table::new("demo", &["a"]);
+        t.push_row("x", vec![f4(0.123456).to_string()]);
+        r.tables.push(t);
+        let dir = std::env::temp_dir().join("genclus-bench-test");
+        let path = r.save(&dir).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("# a note"));
+        assert!(content.contains("0.1235"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f4(0.5), "0.5000");
+        assert_eq!(f2(13.302), "13.30");
+    }
+}

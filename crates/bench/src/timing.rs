@@ -1,0 +1,86 @@
+//! Fig. 11: efficiency study — EM wall-time per inner iteration as the
+//! network grows, plus the parallel-EM speedup observation of §5.4.
+
+use crate::report::{f2, Report, Table};
+use crate::weather_experiments::run_genclus_weather;
+use crate::Scale;
+use genclus_core::prelude::*;
+use genclus_datagen::weather::{self, PatternSetting, WeatherConfig};
+
+const K: usize = 4;
+
+/// Fig. 11: execution time of one EM inner iteration for both pattern
+/// settings, network sizes 1250/1500/2000 (i.e. #T = 1000, #P ∈
+/// {250, 500, 1000}), and 1/5/20 observations per sensor; plus a 4-thread
+/// parallel speedup measurement on the largest configuration.
+pub fn fig11(scale: Scale) -> Report {
+    let (n_temp, p_sizes) = scale.weather_sizes();
+    let mut report = Report::new("fig11");
+    report.note("EM wall-time per inner iteration (milliseconds)".to_string());
+
+    for (setting, pattern) in [
+        ("Setting 1", PatternSetting::Setting1),
+        ("Setting 2", PatternSetting::Setting2),
+    ] {
+        let mut table = Table::new(
+            format!("{setting}: ms / EM iteration"),
+            &["nobs=1", "nobs=5", "nobs=20"],
+        );
+        for &n_precip in &p_sizes {
+            let mut cells = Vec::new();
+            for &n_obs in &scale.weather_obs() {
+                let net = weather::generate(&WeatherConfig {
+                    n_temp,
+                    n_precip,
+                    k_neighbors: 5,
+                    n_obs,
+                    pattern: pattern.clone(),
+                    seed: 7,
+                });
+                let fit = run_genclus_weather(&net, scale, 7);
+                cells.push(f2(
+                    fit.history.mean_em_seconds_per_inner_iteration() * 1e3
+                ));
+            }
+            table.push_row(format!("{} objects", n_temp + n_precip), cells);
+        }
+        report.tables.push(table);
+    }
+
+    // Parallel speedup on the largest configuration (paper: 3.19× with 4
+    // threads).
+    let net = weather::generate(&WeatherConfig {
+        n_temp,
+        n_precip: p_sizes[2],
+        k_neighbors: 5,
+        n_obs: 20,
+        pattern: PatternSetting::Setting1,
+        seed: 7,
+    });
+    let time_with = |threads: usize| -> f64 {
+        let mut cfg = GenClusConfig::new(K, vec![net.temp_attr, net.precip_attr])
+            .with_seed(7)
+            .with_threads(threads)
+            .with_outer_iters(if scale.quick { 1 } else { 2 });
+        cfg.em_iters = if scale.quick { 5 } else { 15 };
+        cfg.em_tol = 0.0; // fixed iteration count for a fair timing comparison
+        let fit = GenClus::new(cfg)
+            .expect("valid config")
+            .fit(&net.graph)
+            .expect("fit succeeds");
+        fit.history.mean_em_seconds_per_inner_iteration()
+    };
+    let serial = time_with(1);
+    let parallel = time_with(4);
+    let speedup = if parallel > 0.0 { serial / parallel } else { 0.0 };
+    let mut table = Table::new(
+        "Parallel EM (4 threads) on the largest network",
+        &["serial ms/iter", "parallel ms/iter", "speedup"],
+    );
+    table.push_row(
+        format!("{} objects, nobs=20", n_temp + p_sizes[2]),
+        vec![f2(serial * 1e3), f2(parallel * 1e3), f2(speedup)],
+    );
+    report.tables.push(table);
+    report
+}

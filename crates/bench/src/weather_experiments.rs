@@ -1,0 +1,191 @@
+//! Weather sensor network experiments: Figs. 7–8 and Tables 4–5.
+
+use crate::methods::{labelset_from, nmi_of};
+use crate::report::{f2, f4, Report, Table};
+use crate::Scale;
+use genclus_core::prelude::*;
+use genclus_datagen::weather::{self, PatternSetting, WeatherConfig, WeatherNetwork};
+use genclus_eval::prelude::*;
+use genclus_hin::ObjectId;
+
+const K: usize = 4;
+
+/// Builds a weather network for a grid point.
+fn make_network(
+    scale: Scale,
+    pattern: PatternSetting,
+    n_precip: usize,
+    n_obs: usize,
+    seed: u64,
+) -> WeatherNetwork {
+    let (n_temp, _) = scale.weather_sizes();
+    weather::generate(&WeatherConfig {
+        n_temp,
+        n_precip,
+        k_neighbors: 5,
+        n_obs,
+        pattern,
+        seed,
+    })
+}
+
+/// Runs GenClus on a weather network with the paper's §5.2.1 settings:
+/// multi-start initialization chosen by objective ("we choose the initial
+/// seed as one of the tentative running results with the highest objective
+/// function"), 5 outer iterations.
+///
+/// On the XOR-like Setting 2 the component *combination* across the two
+/// attributes can lock into a bad basin that early-iteration objectives do
+/// not yet distinguish, so on top of the warmup-based seed selection we run
+/// a few full restarts and keep the fit with the best `g₁` evaluated at the
+/// common reference strength `γ = 1` (comparable across runs, unlike `g₁`
+/// at each run's own learned `γ`).
+pub fn run_genclus_weather(net: &WeatherNetwork, scale: Scale, seed: u64) -> GenClusFit {
+    let attrs = vec![net.temp_attr, net.precip_attr];
+    let restarts = if scale.quick { 1 } else { 6 };
+    let ones = vec![1.0; net.graph.schema().n_relations()];
+    let mut best: Option<(f64, GenClusFit)> = None;
+    for r in 0..restarts {
+        let mut cfg = GenClusConfig::new(K, attrs.clone())
+            .with_seed(seed.wrapping_add(1000 * r as u64))
+            .with_outer_iters(scale.outer_iters_weather());
+        cfg.init = InitStrategy::BestOfSeeds {
+            candidates: 4,
+            warmup_iters: if scale.quick { 3 } else { 5 },
+        };
+        let fit = GenClus::new(cfg)
+            .expect("valid config")
+            .fit(&net.graph)
+            .expect("fit succeeds");
+        let score = genclus_core::objective::g1(
+            &net.graph,
+            &attrs,
+            &fit.model.theta,
+            &fit.model.components,
+            &ones,
+        );
+        if best.as_ref().map_or(true, |(s, _)| score > *s) {
+            best = Some((score, fit));
+        }
+    }
+    best.expect("restarts >= 1").1
+}
+
+/// Hard labels from k-means on interpolated 2-D features.
+fn run_kmeans_weather(net: &WeatherNetwork, seed: u64) -> Vec<usize> {
+    let features = genclus_baselines::interpolate_features(
+        &net.graph,
+        &[net.temp_attr, net.precip_attr],
+    );
+    let mut cfg = genclus_baselines::KMeansConfig::new(K);
+    cfg.seed = seed;
+    genclus_baselines::kmeans(&features, &cfg).labels
+}
+
+/// Hard labels from the spectral-combine baseline.
+fn run_spectral_weather(net: &WeatherNetwork, scale: Scale, seed: u64) -> Vec<usize> {
+    let mut cfg = genclus_baselines::SpectralConfig::new(K);
+    cfg.seed = seed;
+    if scale.quick {
+        cfg.power_iters = 40;
+    }
+    genclus_baselines::spectral_combine(&net.graph, &[net.temp_attr, net.precip_attr], &cfg).labels
+}
+
+/// The Figs. 7/8 grid: NMI of the three methods over #P × #obs.
+fn accuracy_grid(scale: Scale, pattern: PatternSetting, id: &str) -> Report {
+    let (n_temp, p_sizes) = scale.weather_sizes();
+    let mut report = Report::new(id);
+    report.note(format!(
+        "Weather network {:?}: #T = {n_temp}, 5-NN per type, K = {K}",
+        pattern
+    ));
+    for &n_precip in &p_sizes {
+        let mut table = Table::new(
+            format!("T:{n_temp}; P:{n_precip} (NMI by #obs)"),
+            &["nobs=1", "nobs=5", "nobs=20"],
+        );
+        let mut rows: Vec<(&str, Vec<String>)> = vec![
+            ("Kmeans", Vec::new()),
+            ("SpectralCombine", Vec::new()),
+            ("GenClus", Vec::new()),
+        ];
+        for &n_obs in &scale.weather_obs() {
+            let net = make_network(scale, pattern.clone(), n_precip, n_obs, 7);
+            let truth = labelset_from(
+                &net.labels.iter().map(|&l| Some(l)).collect::<Vec<_>>(),
+            );
+            let km = run_kmeans_weather(&net, 7);
+            rows[0].1.push(f4(nmi_against(&km, &truth, None)));
+            let sp = run_spectral_weather(&net, scale, 7);
+            rows[1].1.push(f4(nmi_against(&sp, &truth, None)));
+            let gc = run_genclus_weather(&net, scale, 7);
+            rows[2].1.push(f4(nmi_of(&gc.model.theta, &truth, None)));
+        }
+        for (name, cells) in rows {
+            table.push_row(name, cells);
+        }
+        report.tables.push(table);
+    }
+    report
+}
+
+/// Fig. 7: clustering accuracy on weather Setting 1.
+pub fn fig7(scale: Scale) -> Report {
+    accuracy_grid(scale, PatternSetting::Setting1, "fig7")
+}
+
+/// Fig. 8: clustering accuracy on weather Setting 2 (the XOR-like layout
+/// where both attributes are needed).
+pub fn fig8(scale: Scale) -> Report {
+    accuracy_grid(scale, PatternSetting::Setting2, "fig8")
+}
+
+/// Table 4: ⟨T,P⟩ link prediction MAP on Setting 1 (#T = 1000, #P = 250),
+/// GenClus with all three similarity functions.
+pub fn table4(scale: Scale) -> Report {
+    let (n_temp, p_sizes) = scale.weather_sizes();
+    let net = make_network(scale, PatternSetting::Setting1, p_sizes[0], 5, 7);
+    let fit = run_genclus_weather(&net, scale, 7);
+    let theta = &fit.model.theta;
+
+    let mut report = Report::new("table4");
+    report.note(format!(
+        "GenClus link prediction for <T,P> on Setting 1, #T={n_temp}, #P={}",
+        p_sizes[0]
+    ));
+    let mut table = Table::new("MAP for <T,P>", &["MAP"]);
+    for sim in Similarity::ALL {
+        let map = link_prediction_map(&net.graph, net.relations.tp, |q: ObjectId, c: ObjectId| {
+            sim.score(theta.row(q.index()), theta.row(c.index()))
+        });
+        table.push_row(sim.label(), vec![f4(map)]);
+    }
+    report.tables.push(table);
+    report
+}
+
+/// Table 5: learned strengths for the four kNN link types on Setting 1 with
+/// 5 observations per sensor, across the three network sizes.
+pub fn table5(scale: Scale) -> Report {
+    let (n_temp, p_sizes) = scale.weather_sizes();
+    let mut report = Report::new("table5");
+    report.note("Learned link type strengths, Setting 1, 5 observations per sensor".to_string());
+    let mut table = Table::new(
+        "Strengths by network size",
+        &["<T,T>", "<T,P>", "<P,T>", "<P,P>"],
+    );
+    for &n_precip in &p_sizes {
+        let net = make_network(scale, PatternSetting::Setting1, n_precip, 5, 7);
+        let fit = run_genclus_weather(&net, scale, 7);
+        let cells = net
+            .relations
+            .labeled()
+            .iter()
+            .map(|&(_, r)| f2(fit.model.strength(r)))
+            .collect();
+        table.push_row(format!("T:{n_temp}; P:{n_precip}"), cells);
+    }
+    report.tables.push(table);
+    report
+}

@@ -1,0 +1,103 @@
+//! Smoke tests: every experiment runs at quick scale and produces populated
+//! tables, so `cargo test --workspace` exercises the entire harness.
+
+use genclus_bench::{run_experiment, Scale};
+
+fn assert_populated(id: &str) {
+    let report = run_experiment(id, Scale::QUICK);
+    assert_eq!(report.id, id);
+    assert!(!report.tables.is_empty(), "{id}: no tables");
+    for t in &report.tables {
+        assert!(!t.rows.is_empty(), "{id}: empty table `{}`", t.title);
+        for (label, cells) in &t.rows {
+            assert_eq!(cells.len(), t.columns.len(), "{id}/{label}: ragged row");
+            for cell in cells {
+                assert!(!cell.is_empty(), "{id}/{label}: empty cell");
+                let v: f64 = cell.parse().unwrap_or(f64::NAN);
+                assert!(v.is_finite(), "{id}/{label}: non-numeric cell `{cell}`");
+            }
+        }
+    }
+    // Rendering and saving must not fail either.
+    let rendered = report.render();
+    assert!(rendered.contains(&format!("experiment {id}")));
+    let dir = std::env::temp_dir().join("genclus-smoke-results");
+    let path = report.save(&dir).expect("save succeeds");
+    assert!(path.exists());
+}
+
+#[test]
+fn fig5_quick() {
+    assert_populated("fig5");
+}
+
+#[test]
+fn fig6_quick() {
+    assert_populated("fig6");
+}
+
+#[test]
+fn table1_quick() {
+    assert_populated("table1");
+}
+
+#[test]
+fn fig7_quick() {
+    assert_populated("fig7");
+}
+
+#[test]
+fn fig8_quick() {
+    assert_populated("fig8");
+}
+
+#[test]
+fn table2_quick() {
+    assert_populated("table2");
+}
+
+#[test]
+fn table3_quick() {
+    assert_populated("table3");
+}
+
+#[test]
+fn table4_quick() {
+    assert_populated("table4");
+}
+
+#[test]
+fn table5_quick() {
+    assert_populated("table5");
+}
+
+#[test]
+fn fig9_quick() {
+    assert_populated("fig9");
+}
+
+#[test]
+fn fig10_quick() {
+    assert_populated("fig10");
+}
+
+#[test]
+fn fig11_quick() {
+    assert_populated("fig11");
+}
+
+#[test]
+fn ablate_sym_quick() {
+    assert_populated("ablate-sym");
+}
+
+#[test]
+fn ablate_fixed_quick() {
+    assert_populated("ablate-fixed");
+}
+
+#[test]
+#[should_panic(expected = "unknown experiment id")]
+fn unknown_id_panics() {
+    let _ = run_experiment("fig99", Scale::QUICK);
+}

@@ -1,0 +1,330 @@
+//! The GenClus driver (Algorithm 1).
+//!
+//! Alternates cluster optimization (EM over `Θ, β` with `γ` fixed) and
+//! strength learning (projected Newton over `γ` with `Θ, β` fixed) until the
+//! strength vector stabilizes or the outer iteration budget is spent. The
+//! two steps mutually enhance each other: better clusters make the strength
+//! estimates sharper, and sharper strengths weight the right neighbors in
+//! the next EM pass.
+
+use crate::attr_model::ClusterComponents;
+use crate::config::GenClusConfig;
+use crate::em::EmEngine;
+use crate::error::GenClusError;
+use crate::history::{OuterIterationRecord, RunHistory};
+use crate::init::{initialize, validate_attributes};
+use crate::model::GenClusModel;
+use crate::objective::g1;
+use crate::strength::StrengthLearner;
+use genclus_hin::HinGraph;
+use genclus_stats::MembershipMatrix;
+use std::time::Instant;
+
+/// Everything [`GenClus::fit`] returns.
+#[derive(Debug, Clone)]
+pub struct GenClusFit {
+    /// The fitted model.
+    pub model: GenClusModel,
+    /// Per-outer-iteration history.
+    pub history: RunHistory,
+}
+
+/// Observer callback payload: the state at the end of one outer iteration.
+#[derive(Debug)]
+pub struct IterationView<'a> {
+    /// 1-based outer iteration.
+    pub iteration: usize,
+    /// Memberships after this iteration's cluster optimization.
+    pub theta: &'a MembershipMatrix,
+    /// Strengths after this iteration's strength learning.
+    pub gamma: &'a [f64],
+    /// Components after this iteration's cluster optimization.
+    pub components: &'a [ClusterComponents],
+}
+
+/// The GenClus algorithm, configured and ready to fit networks.
+#[derive(Debug, Clone)]
+pub struct GenClus {
+    config: GenClusConfig,
+}
+
+impl GenClus {
+    /// Validates `config` and builds the runner.
+    pub fn new(config: GenClusConfig) -> Result<Self, GenClusError> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GenClusConfig {
+        &self.config
+    }
+
+    /// Fits the model to `graph`.
+    pub fn fit(&self, graph: &HinGraph) -> Result<GenClusFit, GenClusError> {
+        self.fit_observed(graph, |_| {})
+    }
+
+    /// Fits the model, invoking `observer` after every outer iteration —
+    /// used by the Fig. 10 experiment to track accuracy and strengths over
+    /// iterations.
+    pub fn fit_observed(
+        &self,
+        graph: &HinGraph,
+        mut observer: impl FnMut(IterationView<'_>),
+    ) -> Result<GenClusFit, GenClusError> {
+        let cfg = &self.config;
+        validate_attributes(graph, cfg)?;
+        if graph.n_objects() == 0 {
+            return Err(GenClusError::EmptyNetwork);
+        }
+
+        // "For the initialization of γ in the outer iteration, we initialize
+        // it as an all-1 vector" (§4.3) — configurable but defaulting to 1.
+        let n_relations = graph.schema().n_relations();
+        let mut gamma = vec![cfg.gamma_init; n_relations];
+
+        let (mut theta, mut components) = initialize(graph, cfg, &gamma)?;
+
+        let engine = EmEngine::new(
+            graph,
+            &cfg.attributes,
+            cfg.n_clusters,
+            cfg.threads,
+            cfg.beta_floor,
+            cfg.variance_floor,
+        )
+        .with_smoothing(cfg.theta_smoothing);
+        let learner = StrengthLearner::new(cfg.sigma, cfg.newton.clone());
+
+        let mut history = RunHistory::default();
+        for iteration in 1..=cfg.outer_iters {
+            // Step 1: cluster optimization at fixed γ.
+            let em_start = Instant::now();
+            let (new_theta, new_components, em_iterations) = engine.run(
+                theta,
+                components,
+                &gamma,
+                cfg.em_iters,
+                cfg.em_tol,
+            );
+            let em_seconds = em_start.elapsed().as_secs_f64();
+            theta = new_theta;
+            components = new_components;
+            let g1_value = g1(graph, &cfg.attributes, &theta, &components, &gamma);
+
+            // Step 2: strength learning at fixed (Θ, β).
+            let s_start = Instant::now();
+            let outcome = if n_relations > 0 {
+                learner.learn(graph, &theta, &gamma)
+            } else {
+                crate::strength::StrengthOutcome {
+                    gamma: Vec::new(),
+                    objective: 0.0,
+                    iterations: 0,
+                    converged: true,
+                }
+            };
+            let strength_seconds = s_start.elapsed().as_secs_f64();
+            let gamma_delta = outcome
+                .gamma
+                .iter()
+                .zip(&gamma)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            gamma = outcome.gamma;
+
+            history.records.push(OuterIterationRecord {
+                iteration,
+                gamma: gamma.clone(),
+                g1: g1_value,
+                g2: outcome.objective,
+                em_iterations,
+                em_seconds,
+                strength_seconds,
+            });
+            observer(IterationView {
+                iteration,
+                theta: &theta,
+                gamma: &gamma,
+                components: &components,
+            });
+
+            if gamma_delta < cfg.gamma_tol && iteration > 1 {
+                break;
+            }
+        }
+
+        Ok(GenClusFit {
+            model: GenClusModel {
+                theta,
+                gamma,
+                components,
+                attributes: cfg.attributes.clone(),
+            },
+            history,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genclus_hin::{AttributeId, HinBuilder, ObjectId, Schema};
+    use rand::Rng;
+
+    /// Builds a two-type network with two planted clusters where relation
+    /// `good` is cluster-consistent and relation `noise` is random. Anchors
+    /// of type A carry Gaussian observations; type B objects carry none.
+    fn planted(seed: u64, n_per_cluster: usize) -> genclus_hin::HinGraph {
+        let mut rng = genclus_stats::seeded_rng(seed);
+        let mut s = Schema::new();
+        let ta = s.add_object_type("A");
+        let tb = s.add_object_type("B");
+        let good = s.add_relation("good", ta, tb);
+        let good_inv = s.add_relation("good_inv", tb, ta);
+        let noise = s.add_relation("noise", ta, ta);
+        let _x = s.add_numerical_attribute("x");
+        let mut b = HinBuilder::new(s);
+        let n = 2 * n_per_cluster;
+        let a_ids: Vec<_> = (0..n).map(|i| b.add_object(ta, format!("a{i}"))).collect();
+        let b_ids: Vec<_> = (0..n).map(|i| b.add_object(tb, format!("b{i}"))).collect();
+        let cl = |i: usize| i % 2;
+        for i in 0..n {
+            // A deterministic anchor pair so no B object is ever isolated.
+            b.add_link(a_ids[i], b_ids[i], good, 1.0).unwrap();
+            b.add_link(b_ids[i], a_ids[i], good_inv, 1.0).unwrap();
+            // Consistent A→B and B→A links within the same cluster.
+            let mut placed = 0;
+            while placed < 3 {
+                let j = rng.gen_range(0..n);
+                if cl(j) == cl(i) {
+                    b.add_link(a_ids[i], b_ids[j], good, 1.0).unwrap();
+                    b.add_link(b_ids[j], a_ids[i], good_inv, 1.0).unwrap();
+                    placed += 1;
+                }
+            }
+            // Noise A→A links, cluster-agnostic.
+            for _ in 0..3 {
+                let j = rng.gen_range(0..n);
+                if j != i {
+                    b.add_link(a_ids[i], a_ids[j], noise, 1.0).unwrap();
+                }
+            }
+            // Observations on A only — B is fully attribute-less.
+            let mu = if cl(i) == 0 { -3.0 } else { 3.0 };
+            for _ in 0..3 {
+                b.add_numeric(a_ids[i], AttributeId(0), mu + 0.3 * rng.gen::<f64>())
+                    .unwrap();
+            }
+        }
+        b.build().unwrap()
+    }
+
+    fn fit(seed: u64) -> GenClusFit {
+        let g = planted(seed, 12);
+        let cfg = GenClusConfig::new(2, vec![AttributeId(0)])
+            .with_seed(seed)
+            .with_outer_iters(6);
+        GenClus::new(cfg).unwrap().fit(&g).unwrap()
+    }
+
+    #[test]
+    fn recovers_planted_clusters_on_both_types() {
+        let out = fit(1);
+        let labels = out.model.hard_labels();
+        let n = 24;
+        // Within type A, planted cluster 0 vs 1 must be separated.
+        let a0 = labels[0];
+        for i in (0..n).step_by(2) {
+            assert_eq!(labels[i], a0, "A objects of cluster 0 must agree");
+        }
+        assert_ne!(labels[0], labels[1], "the two clusters must differ");
+        // Attribute-less B objects follow their linked A objects.
+        for i in 0..n {
+            let b_label = labels[n + i];
+            assert_eq!(
+                b_label,
+                labels[i % 2],
+                "B object {i} should inherit its cluster's label"
+            );
+        }
+    }
+
+    #[test]
+    fn learns_higher_strength_for_consistent_relations() {
+        let out = fit(2);
+        let g = planted(2, 12);
+        let good = g.schema().relation_by_name("good").unwrap();
+        let noise = g.schema().relation_by_name("noise").unwrap();
+        assert!(
+            out.model.strength(good) > out.model.strength(noise),
+            "good {} must beat noise {}",
+            out.model.strength(good),
+            out.model.strength(noise)
+        );
+    }
+
+    #[test]
+    fn history_has_records_and_positive_times() {
+        let out = fit(3);
+        assert!(!out.history.records.is_empty());
+        for r in &out.history.records {
+            assert!(r.em_iterations >= 1);
+            assert!(r.em_seconds >= 0.0);
+            assert_eq!(r.gamma.len(), 3);
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_iteration() {
+        let g = planted(4, 8);
+        let cfg = GenClusConfig::new(2, vec![AttributeId(0)])
+            .with_seed(4)
+            .with_outer_iters(4);
+        let mut seen = Vec::new();
+        let out = GenClus::new(cfg)
+            .unwrap()
+            .fit_observed(&g, |view| {
+                assert_eq!(view.theta.n_objects(), g.n_objects());
+                assert_eq!(view.gamma.len(), 3);
+                seen.push(view.iteration);
+            })
+            .unwrap();
+        assert_eq!(seen.len(), out.history.n_iterations());
+        assert_eq!(seen.first(), Some(&1));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = fit(9);
+        let b = fit(9);
+        assert_eq!(a.model.gamma, b.model.gamma);
+        assert!(a.model.theta.max_abs_diff(&b.model.theta) < 1e-15);
+    }
+
+    #[test]
+    fn rejects_invalid_config_and_empty_network() {
+        assert!(GenClus::new(GenClusConfig::new(1, vec![AttributeId(0)])).is_err());
+        let mut s = Schema::new();
+        let _ = s.add_object_type("t");
+        let _ = s.add_numerical_attribute("x");
+        let empty = HinBuilder::new(s).build().unwrap();
+        let runner = GenClus::new(GenClusConfig::new(2, vec![AttributeId(0)])).unwrap();
+        assert!(matches!(
+            runner.fit(&empty),
+            Err(GenClusError::EmptyNetwork)
+        ));
+    }
+
+    #[test]
+    fn membership_rows_remain_simplex_after_full_fit() {
+        let out = fit(5);
+        for i in 0..out.model.theta.n_objects() {
+            let row = out.model.theta.row(i);
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(row.iter().all(|&x| x > 0.0));
+        }
+        let _ = ObjectId(0);
+    }
+}

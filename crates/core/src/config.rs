@@ -1,0 +1,242 @@
+//! Model configuration.
+
+use crate::error::GenClusError;
+use genclus_hin::AttributeId;
+use genclus_stats::NewtonOptions;
+
+/// How the membership matrix `Θ` is initialized before the first EM pass.
+///
+/// The paper (§4.3) describes both options: plain random assignment, and
+/// "start with several random seeds, run the EM algorithm for a few steps for
+/// each random seed, and choose the one with the highest value of the
+/// objective function g₁" — the latter "will produce more stable results" and
+/// is what the weather experiments use.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InitStrategy {
+    /// Rows drawn uniformly from the simplex.
+    Random,
+    /// Multi-start: run `candidates` random initializations for
+    /// `warmup_iters` EM iterations each (with the initial `γ`) and keep the
+    /// one with the highest `g₁`.
+    BestOfSeeds {
+        /// Number of random candidates.
+        candidates: usize,
+        /// EM iterations per candidate before scoring.
+        warmup_iters: usize,
+    },
+}
+
+/// Full configuration of a GenClus run.
+///
+/// Defaults mirror the paper's experimental settings: `σ = 0.1` for the
+/// strength prior, 10 outer iterations, all-ones initial `γ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenClusConfig {
+    /// Number of clusters `K`.
+    pub n_clusters: usize,
+    /// The user-specified attribute subset that defines the clustering
+    /// purpose (§2.2). Order is preserved in the fitted components.
+    pub attributes: Vec<AttributeId>,
+    /// Standard deviation of the zero-mean Gaussian prior on `γ` (§3.4).
+    pub sigma: f64,
+    /// Outer alternations between cluster optimization and strength learning.
+    pub outer_iters: usize,
+    /// Maximum EM iterations per cluster-optimization step.
+    pub em_iters: usize,
+    /// EM stops early when the max-abs change of `Θ` falls below this.
+    pub em_tol: f64,
+    /// Early outer-loop stop when the max-abs change of `γ` falls below this.
+    pub gamma_tol: f64,
+    /// Newton–Raphson options for the strength-learning step.
+    pub newton: NewtonOptions,
+    /// Θ initialization strategy.
+    pub init: InitStrategy,
+    /// Initial strength for every link type (the paper uses all-ones: every
+    /// link type starts equally important).
+    pub gamma_init: f64,
+    /// RNG seed — every stochastic choice derives from it.
+    pub seed: u64,
+    /// Worker threads for the E/M pass (1 = serial). The EM pass is the
+    /// bottleneck component and parallelizes near-linearly (§5.4).
+    pub threads: usize,
+    /// Laplace-style floor applied to categorical component probabilities.
+    pub beta_floor: f64,
+    /// Floor applied to Gaussian component variances.
+    pub variance_floor: f64,
+    /// Uniform-mixing weight `ε` applied after every Θ update:
+    /// `θ ← (1 − ε)·θ + ε/K`.
+    ///
+    /// The structural model's per-object conditional is `Dirichlet(α_i)`
+    /// with `α_ik = Σ_e γ w θ_jk + 1` (Eq. 15) — the `+1` smooths
+    /// memberships away from zero. Carrying that effect into the Eq. 10
+    /// fixed point as a *relative* mixture (rather than an absolute
+    /// pseudocount) keeps tails bounded regardless of how much evidence an
+    /// object has, so `ln θ` in the cross-entropy feature stays on the
+    /// scale of the paper's published membership rows (Table 1 tails are
+    /// ≈ 0.04–0.1, not 1e-12) without washing out objects with few
+    /// observations. Set to `0.0` for the raw un-smoothed update.
+    pub theta_smoothing: f64,
+}
+
+impl GenClusConfig {
+    /// A configuration with paper-default hyperparameters for `K` clusters
+    /// over the given attribute subset.
+    pub fn new(n_clusters: usize, attributes: Vec<AttributeId>) -> Self {
+        Self {
+            n_clusters,
+            attributes,
+            sigma: 0.1,
+            outer_iters: 10,
+            em_iters: 30,
+            em_tol: 1e-4,
+            gamma_tol: 1e-4,
+            newton: NewtonOptions::default(),
+            init: InitStrategy::Random,
+            gamma_init: 1.0,
+            seed: 0,
+            threads: 1,
+            beta_floor: 1e-9,
+            variance_floor: 1e-6,
+            theta_smoothing: 0.05,
+        }
+    }
+
+    /// Sets the RNG seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count (builder style).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the outer iteration count (builder style).
+    pub fn with_outer_iters(mut self, outer_iters: usize) -> Self {
+        self.outer_iters = outer_iters;
+        self
+    }
+
+    /// Sets the init strategy (builder style).
+    pub fn with_init(mut self, init: InitStrategy) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Validates field ranges (schema-dependent checks happen in
+    /// [`crate::algorithm::GenClus::fit`]).
+    pub fn validate(&self) -> Result<(), GenClusError> {
+        if self.n_clusters < 2 {
+            return Err(GenClusError::InvalidClusterCount(self.n_clusters));
+        }
+        if self.attributes.is_empty() {
+            return Err(GenClusError::NoAttributes);
+        }
+        if self.sigma <= 0.0 || self.sigma.is_nan() {
+            return Err(GenClusError::InvalidConfig {
+                field: "sigma",
+                reason: format!("must be positive, got {}", self.sigma),
+            });
+        }
+        if self.outer_iters == 0 {
+            return Err(GenClusError::InvalidConfig {
+                field: "outer_iters",
+                reason: "must be at least 1".into(),
+            });
+        }
+        if self.em_iters == 0 {
+            return Err(GenClusError::InvalidConfig {
+                field: "em_iters",
+                reason: "must be at least 1".into(),
+            });
+        }
+        if self.threads == 0 {
+            return Err(GenClusError::InvalidConfig {
+                field: "threads",
+                reason: "must be at least 1".into(),
+            });
+        }
+        if self.gamma_init < 0.0 {
+            return Err(GenClusError::InvalidConfig {
+                field: "gamma_init",
+                reason: "strengths are constrained non-negative".into(),
+            });
+        }
+        if let InitStrategy::BestOfSeeds { candidates, .. } = self.init {
+            if candidates == 0 {
+                return Err(GenClusError::InvalidConfig {
+                    field: "init.candidates",
+                    reason: "must be at least 1".into(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = GenClusConfig::new(4, vec![AttributeId(0)]);
+        assert_eq!(c.sigma, 0.1);
+        assert_eq!(c.outer_iters, 10);
+        assert_eq!(c.gamma_init, 1.0);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        let base = GenClusConfig::new(4, vec![AttributeId(0)]);
+
+        let mut c = base.clone();
+        c.n_clusters = 1;
+        assert!(matches!(
+            c.validate(),
+            Err(GenClusError::InvalidClusterCount(1))
+        ));
+
+        let mut c = base.clone();
+        c.attributes.clear();
+        assert_eq!(c.validate(), Err(GenClusError::NoAttributes));
+
+        let mut c = base.clone();
+        c.sigma = 0.0;
+        assert!(matches!(c.validate(), Err(GenClusError::InvalidConfig { .. })));
+
+        let mut c = base.clone();
+        c.threads = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = base.clone();
+        c.init = InitStrategy::BestOfSeeds {
+            candidates: 0,
+            warmup_iters: 3,
+        };
+        assert!(c.validate().is_err());
+
+        let mut c = base;
+        c.gamma_init = -1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builder_helpers_compose() {
+        let c = GenClusConfig::new(3, vec![AttributeId(1)])
+            .with_seed(99)
+            .with_threads(4)
+            .with_outer_iters(5)
+            .with_init(InitStrategy::BestOfSeeds {
+                candidates: 3,
+                warmup_iters: 2,
+            });
+        assert_eq!(c.seed, 99);
+        assert_eq!(c.threads, 4);
+        assert_eq!(c.outer_iters, 5);
+        assert!(c.validate().is_ok());
+    }
+}

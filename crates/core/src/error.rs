@@ -1,0 +1,68 @@
+//! Error type for model configuration and fitting.
+
+use genclus_hin::AttributeId;
+
+/// Everything that can go wrong configuring or fitting GenClus.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenClusError {
+    /// `K` must be at least 2 (a single cluster is degenerate).
+    InvalidClusterCount(usize),
+    /// The user-specified attribute set referenced an attribute missing from
+    /// the network's schema.
+    UnknownAttribute(AttributeId),
+    /// The user-specified attribute set was empty — the model needs at least
+    /// one attribute to anchor the hidden space (§2.2).
+    NoAttributes,
+    /// The network has no objects.
+    EmptyNetwork,
+    /// A configuration field was out of range.
+    InvalidConfig {
+        /// Which field.
+        field: &'static str,
+        /// Why it is invalid.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for GenClusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidClusterCount(k) => {
+                write!(f, "cluster count must be >= 2, got {k}")
+            }
+            Self::UnknownAttribute(a) => {
+                write!(f, "attribute {a} is not declared in the network schema")
+            }
+            Self::NoAttributes => write!(
+                f,
+                "the clustering purpose must specify at least one attribute"
+            ),
+            Self::EmptyNetwork => write!(f, "cannot cluster an empty network"),
+            Self::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration field `{field}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GenClusError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_problem() {
+        assert!(GenClusError::InvalidClusterCount(1)
+            .to_string()
+            .contains(">= 2"));
+        assert!(GenClusError::UnknownAttribute(AttributeId(3))
+            .to_string()
+            .contains("AttributeId(3)"));
+        let e = GenClusError::InvalidConfig {
+            field: "sigma",
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("sigma"));
+    }
+}

@@ -1,0 +1,183 @@
+//! The link feature function (Eq. 6) and structural consistency score.
+//!
+//! For a link `e = ⟨v_i, v_j⟩` of relation `r`, the paper's feature function
+//! is the negative weighted cross entropy
+//!
+//! ```text
+//! f(θ_i, θ_j, e, γ) = −γ(r) · w(e) · H(θ_j, θ_i)
+//!                   =  γ(r) · w(e) · Σ_k θ_{j,k} ln θ_{i,k}
+//! ```
+//!
+//! It is non-positive, increases with the similarity of the two membership
+//! rows, decreases with the learned strength `γ(r)` and the input weight
+//! `w(e)`, and is deliberately *asymmetric* in `(θ_i, θ_j)` (§3.3's three
+//! desiderata). Two alternatives are provided for the ablation benches: the
+//! KL divergence the paper explicitly rejects, and a symmetrized cross
+//! entropy that violates desideratum 3.
+
+use genclus_hin::HinGraph;
+use genclus_stats::simplex::{cross_entropy, kl_divergence};
+use genclus_stats::MembershipMatrix;
+
+/// Which divergence drives the structural consistency model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FeatureKind {
+    /// The paper's choice: `f = −γ·w·H(θ_j, θ_i)` — favors concentrated
+    /// source memberships.
+    #[default]
+    CrossEntropy,
+    /// `f = −γ·w·KL(θ_j ‖ θ_i)` — rejected by §3.3 because it does not
+    /// reward concentration; kept for the ablation bench.
+    KlDivergence,
+    /// `f = −γ·w·(H(θ_j, θ_i) + H(θ_i, θ_j))/2` — violates the asymmetry
+    /// desideratum; kept for the ablation bench.
+    SymmetricCrossEntropy,
+}
+
+impl FeatureKind {
+    /// The divergence `D(θ_i, θ_j)` such that `f = −γ·w·D`.
+    #[inline]
+    pub fn divergence(self, theta_i: &[f64], theta_j: &[f64]) -> f64 {
+        match self {
+            Self::CrossEntropy => cross_entropy(theta_j, theta_i),
+            Self::KlDivergence => kl_divergence(theta_j, theta_i),
+            Self::SymmetricCrossEntropy => {
+                0.5 * (cross_entropy(theta_j, theta_i) + cross_entropy(theta_i, theta_j))
+            }
+        }
+    }
+}
+
+/// `f(θ_i, θ_j, e, γ)` for a single link.
+#[inline]
+pub fn feature_value(
+    kind: FeatureKind,
+    theta_i: &[f64],
+    theta_j: &[f64],
+    gamma_r: f64,
+    weight: f64,
+) -> f64 {
+    -gamma_r * weight * kind.divergence(theta_i, theta_j)
+}
+
+/// `Σ_{e ∈ E} f(θ_i, θ_j, e, γ)` — the log of the unnormalized structural
+/// model (Eq. 7) and the first term of both `g₁` (Eq. 9) and `g₂'` (Eq. 14).
+pub fn structural_score(
+    graph: &HinGraph,
+    theta: &MembershipMatrix,
+    gamma: &[f64],
+    kind: FeatureKind,
+) -> f64 {
+    debug_assert_eq!(gamma.len(), graph.schema().n_relations());
+    let mut acc = 0.0;
+    for v in graph.objects() {
+        let ti = theta.row(v.index());
+        for link in graph.out_links(v) {
+            let tj = theta.row(link.endpoint.index());
+            acc += feature_value(kind, ti, tj, gamma[link.relation.index()], link.weight);
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genclus_hin::{HinBuilder, Schema};
+
+    #[test]
+    fn satisfies_desideratum_1_similarity() {
+        // More similar memberships ⇒ larger f (less negative).
+        let focused = [0.875, 0.0625, 0.0625];
+        let near = [5.0 / 6.0, 1.0 / 12.0, 1.0 / 12.0];
+        let neutral = [1.0 / 3.0; 3];
+        let opposite = [0.0625, 0.0625, 0.875];
+        let f_near = feature_value(FeatureKind::CrossEntropy, &near, &focused, 1.0, 1.0);
+        let f_neutral = feature_value(FeatureKind::CrossEntropy, &near, &neutral, 1.0, 1.0);
+        let f_opposite = feature_value(FeatureKind::CrossEntropy, &near, &opposite, 1.0, 1.0);
+        assert!(f_near > f_neutral && f_neutral > f_opposite);
+    }
+
+    #[test]
+    fn satisfies_desideratum_2_strength_and_weight() {
+        let a = [0.7, 0.2, 0.1];
+        let b = [0.6, 0.3, 0.1];
+        let f1 = feature_value(FeatureKind::CrossEntropy, &a, &b, 1.0, 1.0);
+        let f2 = feature_value(FeatureKind::CrossEntropy, &a, &b, 2.0, 1.0);
+        let f3 = feature_value(FeatureKind::CrossEntropy, &a, &b, 1.0, 3.0);
+        assert!(f2 < f1 && f3 < f1, "larger γ or w must decrease f");
+    }
+
+    #[test]
+    fn satisfies_desideratum_3_asymmetry() {
+        // Paper example: expert → neutral differs from neutral → expert.
+        let expert = [5.0 / 6.0, 1.0 / 12.0, 1.0 / 12.0];
+        let neutral = [1.0 / 3.0; 3];
+        let f_e_to_n = feature_value(FeatureKind::CrossEntropy, &expert, &neutral, 1.0, 1.0);
+        let f_n_to_e = feature_value(FeatureKind::CrossEntropy, &neutral, &expert, 1.0, 1.0);
+        assert!((f_e_to_n - -1.7174).abs() < 5e-4);
+        assert!((f_n_to_e - -1.0986).abs() < 5e-4);
+        assert!(f_e_to_n < f_n_to_e);
+        // The symmetric variant, by construction, cannot distinguish them.
+        let s1 = feature_value(FeatureKind::SymmetricCrossEntropy, &expert, &neutral, 1.0, 1.0);
+        let s2 = feature_value(FeatureKind::SymmetricCrossEntropy, &neutral, &expert, 1.0, 1.0);
+        assert!((s1 - s2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_variant_is_zero_at_equal_rows() {
+        let p = [0.5, 0.3, 0.2];
+        assert!(feature_value(FeatureKind::KlDivergence, &p, &p, 2.0, 3.0).abs() < 1e-12);
+        // Cross entropy is not: it pays the entropy of p.
+        assert!(feature_value(FeatureKind::CrossEntropy, &p, &p, 2.0, 3.0) < -1e-3);
+    }
+
+    #[test]
+    fn structural_score_sums_over_links() {
+        let mut s = Schema::new();
+        let t = s.add_object_type("t");
+        let r = s.add_relation("r", t, t);
+        let mut b = HinBuilder::new(s);
+        let v0 = b.add_object(t, "0");
+        let v1 = b.add_object(t, "1");
+        b.add_link(v0, v1, r, 2.0).unwrap();
+        b.add_link(v1, v0, r, 1.0).unwrap();
+        let g = b.build().unwrap();
+
+        let theta =
+            MembershipMatrix::from_rows(&[vec![0.9, 0.1], vec![0.2, 0.8]], 2);
+        let gamma = [1.5];
+        let score = structural_score(&g, &theta, &gamma, FeatureKind::CrossEntropy);
+        let manual = feature_value(
+            FeatureKind::CrossEntropy,
+            theta.row(0),
+            theta.row(1),
+            1.5,
+            2.0,
+        ) + feature_value(
+            FeatureKind::CrossEntropy,
+            theta.row(1),
+            theta.row(0),
+            1.5,
+            1.0,
+        );
+        assert!((score - manual).abs() < 1e-12);
+        assert!(score < 0.0, "cross-entropy features are non-positive");
+    }
+
+    #[test]
+    fn structural_score_scales_linearly_in_gamma() {
+        let mut s = Schema::new();
+        let t = s.add_object_type("t");
+        let r = s.add_relation("r", t, t);
+        let mut b = HinBuilder::new(s);
+        let v0 = b.add_object(t, "0");
+        let v1 = b.add_object(t, "1");
+        b.add_link(v0, v1, r, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let theta = MembershipMatrix::from_rows(&[vec![0.7, 0.3], vec![0.4, 0.6]], 2);
+        let s1 = structural_score(&g, &theta, &[1.0], FeatureKind::CrossEntropy);
+        let s2 = structural_score(&g, &theta, &[2.0], FeatureKind::CrossEntropy);
+        assert!((s2 - 2.0 * s1).abs() < 1e-12);
+    }
+}

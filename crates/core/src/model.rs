@@ -1,0 +1,88 @@
+//! The fitted model: memberships `Θ`, strengths `γ`, components `β`.
+
+use crate::attr_model::ClusterComponents;
+use genclus_hin::{AttributeId, ObjectId, RelationId};
+use genclus_stats::MembershipMatrix;
+
+/// A fitted GenClus model (§2.2's two outputs plus the attribute components
+/// the paper's `β`).
+#[derive(Debug, Clone)]
+pub struct GenClusModel {
+    /// Soft memberships `Θ (|V| × K)`; rows are strictly positive simplex
+    /// points.
+    pub theta: MembershipMatrix,
+    /// Learned link-type strengths `γ (|R|)`, indexed by [`RelationId`].
+    pub gamma: Vec<f64>,
+    /// Attribute components in the order of `attributes`.
+    pub components: Vec<ClusterComponents>,
+    /// The attribute subset this model was fitted for (the clustering
+    /// purpose).
+    pub attributes: Vec<AttributeId>,
+}
+
+impl GenClusModel {
+    /// Number of clusters `K`.
+    pub fn n_clusters(&self) -> usize {
+        self.theta.n_clusters()
+    }
+
+    /// Membership row of object `v`.
+    pub fn membership(&self, v: ObjectId) -> &[f64] {
+        self.theta.row(v.index())
+    }
+
+    /// Learned strength of relation `r`.
+    pub fn strength(&self, r: RelationId) -> f64 {
+        self.gamma[r.index()]
+    }
+
+    /// Hard labels (argmax per row).
+    pub fn hard_labels(&self) -> Vec<usize> {
+        self.theta.hard_labels()
+    }
+
+    /// The components fitted for `attribute`, if it was part of the
+    /// clustering purpose.
+    pub fn components_for(&self, attribute: AttributeId) -> Option<&ClusterComponents> {
+        self.attributes
+            .iter()
+            .position(|&a| a == attribute)
+            .map(|i| &self.components[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr_model::GaussianComponents;
+
+    fn tiny_model() -> GenClusModel {
+        GenClusModel {
+            theta: MembershipMatrix::from_rows(&[vec![0.8, 0.2], vec![0.3, 0.7]], 2),
+            gamma: vec![1.5, 0.0],
+            components: vec![ClusterComponents::Gaussian(GaussianComponents::from_params(
+                vec![0.0, 1.0],
+                vec![1.0, 1.0],
+                1e-6,
+            ))],
+            attributes: vec![AttributeId(2)],
+        }
+    }
+
+    #[test]
+    fn accessors_are_consistent() {
+        let m = tiny_model();
+        assert_eq!(m.n_clusters(), 2);
+        assert_eq!(m.membership(ObjectId(0))[0], 0.8);
+        assert_eq!(m.strength(RelationId(0)), 1.5);
+        assert_eq!(m.strength(RelationId(1)), 0.0);
+        assert_eq!(m.hard_labels(), vec![0, 1]);
+    }
+
+    #[test]
+    fn components_lookup_by_attribute() {
+        let m = tiny_model();
+        assert!(m.components_for(AttributeId(2)).is_some());
+        assert!(m.components_for(AttributeId(0)).is_none());
+    }
+}

@@ -1,0 +1,204 @@
+//! Choosing the number of clusters `K` by information criteria.
+//!
+//! The paper explicitly scopes this out: "we will not study the problem of
+//! how to determine the best number of clusters K, which belongs to the
+//! model selection problem and has been covered in a large number of
+//! studies by using various criteria, such as AIC and BIC for probabilistic
+//! models" (§2.2). This module supplies exactly that deferred piece for
+//! downstream users: fit candidate `K` values and score them.
+//!
+//! Conventions (standard for mixture-model selection):
+//!
+//! * the likelihood is the attribute mixture likelihood (Eqs. 3–5) — the
+//!   structural term is a prior over `Θ`, not a data likelihood, so it is
+//!   excluded from the criterion;
+//! * free parameters count the shared components (`K·(m−1)` per categorical
+//!   attribute, `2K` per Gaussian attribute), the `|R|` strengths, **and**
+//!   the `|V|·(K−1)` membership degrees of freedom. Unlike an ordinary
+//!   mixture, GenClus (like PLSA) fits a separate mixing vector per object,
+//!   so memberships are genuinely free parameters and must be penalized —
+//!   counting components alone lets the criterion reward splitting clusters
+//!   to absorb per-object sampling noise;
+//! * `n` is the total observation count across the specified attributes.
+
+use crate::algorithm::{GenClus, GenClusFit};
+use crate::config::GenClusConfig;
+use crate::error::GenClusError;
+use crate::objective::attribute_log_likelihood;
+use genclus_hin::{AttributeKind, HinGraph};
+
+/// Scores for one fitted cluster count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionScore {
+    /// Cluster count scored.
+    pub k: usize,
+    /// Attribute mixture log-likelihood of the fit.
+    pub log_likelihood: f64,
+    /// Free parameters counted (components + strengths).
+    pub n_params: usize,
+    /// Total attribute observations.
+    pub n_observations: f64,
+    /// `−2 ln L + p · ln n` (lower is better).
+    pub bic: f64,
+    /// `−2 ln L + 2 p` (lower is better).
+    pub aic: f64,
+}
+
+/// Counts the free parameters of a `K`-cluster model on `graph` over the
+/// attribute subset of `config`.
+pub fn n_free_parameters(graph: &HinGraph, config: &GenClusConfig, k: usize) -> usize {
+    let mut p = graph.schema().n_relations(); // strengths γ
+    p += graph.n_objects() * k.saturating_sub(1); // per-object memberships θ_v
+    for &a in &config.attributes {
+        p += match graph.schema().attribute(a).kind {
+            AttributeKind::Categorical { vocab_size } => k * vocab_size.saturating_sub(1),
+            AttributeKind::Numerical => 2 * k,
+        };
+    }
+    p
+}
+
+/// Scores an existing fit with BIC/AIC.
+pub fn score_fit(graph: &HinGraph, config: &GenClusConfig, fit: &GenClusFit) -> SelectionScore {
+    let k = config.n_clusters;
+    let ll = attribute_log_likelihood(
+        graph,
+        &config.attributes,
+        &fit.model.theta,
+        &fit.model.components,
+    );
+    let n: f64 = config
+        .attributes
+        .iter()
+        .map(|&a| graph.attribute(a).n_observations())
+        .sum();
+    let p = n_free_parameters(graph, config, k);
+    SelectionScore {
+        k,
+        log_likelihood: ll,
+        n_params: p,
+        n_observations: n,
+        bic: -2.0 * ll + p as f64 * n.max(1.0).ln(),
+        aic: -2.0 * ll + 2.0 * p as f64,
+    }
+}
+
+/// Fits every `K` in `k_range` (reusing `base` for all other settings) and
+/// returns the scores in ascending-`K` order.
+///
+/// # Errors
+/// Propagates configuration/fit errors from any candidate.
+pub fn select_k(
+    graph: &HinGraph,
+    base: &GenClusConfig,
+    k_range: std::ops::RangeInclusive<usize>,
+) -> Result<Vec<SelectionScore>, GenClusError> {
+    let mut out = Vec::new();
+    for k in k_range {
+        let mut cfg = base.clone();
+        cfg.n_clusters = k;
+        let fit = GenClus::new(cfg.clone())?.fit(graph)?;
+        out.push(score_fit(graph, &cfg, &fit));
+    }
+    Ok(out)
+}
+
+/// The `K` with the lowest BIC among `scores`.
+///
+/// # Panics
+/// Panics if `scores` is empty.
+pub fn best_k_by_bic(scores: &[SelectionScore]) -> usize {
+    scores
+        .iter()
+        .min_by(|a, b| a.bic.partial_cmp(&b.bic).unwrap_or(std::cmp::Ordering::Equal))
+        .expect("at least one candidate score")
+        .k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InitStrategy;
+    use genclus_hin::{AttributeId, HinBuilder, Schema};
+
+    /// 60 objects in 2 crisp Gaussian clusters (±4), ring links inside each.
+    fn two_cluster_network() -> HinGraph {
+        let mut rng = genclus_stats::seeded_rng(5);
+        let mut s = Schema::new();
+        let t = s.add_object_type("node");
+        let r = s.add_relation("nn", t, t);
+        let attr = s.add_numerical_attribute("x");
+        let mut b = HinBuilder::new(s);
+        let vs: Vec<_> = (0..60).map(|i| b.add_object(t, format!("v{i}"))).collect();
+        for half in [0usize, 1] {
+            let ids = &vs[half * 30..(half + 1) * 30];
+            for w in ids.windows(2) {
+                b.add_link(w[0], w[1], r, 1.0).unwrap();
+                b.add_link(w[1], w[0], r, 1.0).unwrap();
+            }
+        }
+        for (i, &v) in vs.iter().enumerate() {
+            let mu = if i < 30 { -4.0 } else { 4.0 };
+            for _ in 0..5 {
+                b.add_numeric(v, attr, mu + 0.3 * genclus_stats::rng::standard_normal(&mut rng))
+                    .unwrap();
+            }
+        }
+        b.build().unwrap()
+    }
+
+    fn base_config() -> GenClusConfig {
+        let mut cfg = GenClusConfig::new(2, vec![AttributeId(0)])
+            .with_seed(1)
+            .with_outer_iters(3);
+        cfg.init = InitStrategy::BestOfSeeds {
+            candidates: 3,
+            warmup_iters: 3,
+        };
+        cfg
+    }
+
+    #[test]
+    fn parameter_counting_matches_conventions() {
+        let g = two_cluster_network();
+        let cfg = base_config();
+        // 1 relation + 2K Gaussian parameters + 60(K−1) memberships.
+        assert_eq!(n_free_parameters(&g, &cfg, 2), 1 + 4 + 60);
+        assert_eq!(n_free_parameters(&g, &cfg, 5), 1 + 10 + 240);
+    }
+
+    #[test]
+    fn bic_prefers_the_true_cluster_count() {
+        let g = two_cluster_network();
+        let scores = select_k(&g, &base_config(), 2..=5).unwrap();
+        assert_eq!(scores.len(), 4);
+        let best = best_k_by_bic(&scores);
+        assert_eq!(best, 2, "scores: {scores:?}");
+        // Likelihood must be non-decreasing-ish in K; BIC penalty flips it.
+        assert!(scores[0].bic < scores.last().unwrap().bic);
+    }
+
+    #[test]
+    fn aic_and_bic_agree_on_crisp_data() {
+        let g = two_cluster_network();
+        let scores = select_k(&g, &base_config(), 2..=4).unwrap();
+        let best_aic = scores
+            .iter()
+            .min_by(|a, b| a.aic.partial_cmp(&b.aic).unwrap())
+            .unwrap()
+            .k;
+        assert_eq!(best_aic, 2);
+    }
+
+    #[test]
+    fn score_fields_are_consistent() {
+        let g = two_cluster_network();
+        let cfg = base_config();
+        let fit = GenClus::new(cfg.clone()).unwrap().fit(&g).unwrap();
+        let s = score_fit(&g, &cfg, &fit);
+        assert_eq!(s.k, 2);
+        assert_eq!(s.n_observations, 300.0);
+        assert!((s.bic - (-2.0 * s.log_likelihood + s.n_params as f64 * 300.0f64.ln())).abs() < 1e-9);
+        assert!((s.aic - (-2.0 * s.log_likelihood + 2.0 * s.n_params as f64)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,160 @@
+//! Objective functions: attribute likelihood, `g₁` (Eq. 9) and the
+//! pseudo-log-likelihood `g₂'` (Eq. 14).
+//!
+//! `g₁` is what cluster optimization maximizes for fixed `γ`; `g₂'` is what
+//! strength learning maximizes for fixed `(Θ, β)`. The full regularized
+//! objective `g` (Eq. 8) differs from `g₁` only by the intractable partition
+//! function and the `γ` prior, both constant during cluster optimization.
+
+use crate::attr_model::ClusterComponents;
+use crate::feature::{structural_score, FeatureKind};
+use genclus_hin::{AttributeData, AttributeId, HinGraph};
+use genclus_stats::logsumexp::log_sum_exp;
+use genclus_stats::MembershipMatrix;
+
+/// `Σ_X Σ_{v ∈ V_X} Σ_{x ∈ v[X]} ln Σ_k θ_{v,k} p(x | β_k)` — the mixture
+/// log-likelihood of all observations of the specified attributes
+/// (Eqs. 3–5, in log form).
+pub fn attribute_log_likelihood(
+    graph: &HinGraph,
+    attr_ids: &[AttributeId],
+    theta: &MembershipMatrix,
+    components: &[ClusterComponents],
+) -> f64 {
+    debug_assert_eq!(attr_ids.len(), components.len());
+    let k = theta.n_clusters();
+    let mut buf = vec![0.0f64; k];
+    let mut total = 0.0;
+    for (&a, comp) in attr_ids.iter().zip(components) {
+        let table = graph.attribute(a);
+        match (table, comp) {
+            (AttributeData::Categorical { .. }, ClusterComponents::Categorical(cat)) => {
+                for v in graph.objects() {
+                    let tv = theta.row(v.index());
+                    for &(term, count) in table.term_counts(v) {
+                        for (kk, b) in buf.iter_mut().enumerate() {
+                            *b = tv[kk].ln() + cat.log_prob(kk, term);
+                        }
+                        total += count * log_sum_exp(&buf);
+                    }
+                }
+            }
+            (AttributeData::Numerical { .. }, ClusterComponents::Gaussian(gauss)) => {
+                for v in graph.objects() {
+                    let tv = theta.row(v.index());
+                    for &x in table.values(v) {
+                        for (kk, b) in buf.iter_mut().enumerate() {
+                            *b = tv[kk].ln() + gauss.log_pdf(kk, x);
+                        }
+                        total += log_sum_exp(&buf);
+                    }
+                }
+            }
+            _ => unreachable!("attribute kind / component kind mismatch"),
+        }
+    }
+    total
+}
+
+/// `g₁(Θ, β)` (Eq. 9): structural score plus attribute log-likelihood.
+pub fn g1(
+    graph: &HinGraph,
+    attr_ids: &[AttributeId],
+    theta: &MembershipMatrix,
+    components: &[ClusterComponents],
+    gamma: &[f64],
+) -> f64 {
+    structural_score(graph, theta, gamma, FeatureKind::CrossEntropy)
+        + attribute_log_likelihood(graph, attr_ids, theta, components)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr_model::{CategoricalComponents, GaussianComponents};
+    use genclus_hin::{HinBuilder, Schema};
+
+    fn tiny_text_network() -> (HinGraph, AttributeId) {
+        let mut s = Schema::new();
+        let t = s.add_object_type("doc");
+        let r = s.add_relation("cite", t, t);
+        let text = s.add_categorical_attribute("text", 3);
+        let mut b = HinBuilder::new(s);
+        let d0 = b.add_object(t, "d0");
+        let d1 = b.add_object(t, "d1");
+        b.add_link(d0, d1, r, 1.0).unwrap();
+        b.add_term_count(d0, text, 0, 2.0).unwrap();
+        b.add_term_count(d1, text, 2, 1.0).unwrap();
+        (b.build().unwrap(), text)
+    }
+
+    #[test]
+    fn categorical_likelihood_matches_hand_computation() {
+        let (g, text) = tiny_text_network();
+        let theta = MembershipMatrix::from_rows(&[vec![0.9, 0.1], vec![0.3, 0.7]], 2);
+        let comps = vec![ClusterComponents::Categorical(
+            CategoricalComponents::from_rows(
+                &[vec![0.8, 0.1, 0.1], vec![0.1, 0.1, 0.8]],
+                1e-12,
+            ),
+        )];
+        let ll = attribute_log_likelihood(&g, &[text], &theta, &comps);
+        // d0: term 0 count 2 → 2·ln(0.9·0.8 + 0.1·0.1)
+        // d1: term 2 count 1 → ln(0.3·0.1 + 0.7·0.8)
+        let expected = 2.0 * (0.9f64 * 0.8 + 0.1 * 0.1).ln() + (0.3f64 * 0.1 + 0.7 * 0.8).ln();
+        assert!((ll - expected).abs() < 1e-9, "{ll} vs {expected}");
+    }
+
+    #[test]
+    fn gaussian_likelihood_matches_hand_computation() {
+        let mut s = Schema::new();
+        let t = s.add_object_type("sensor");
+        let attr = s.add_numerical_attribute("temp");
+        let mut b = HinBuilder::new(s);
+        let v = b.add_object(t, "s0");
+        b.add_numeric(v, attr, 1.0).unwrap();
+        let g = b.build().unwrap();
+
+        let theta = MembershipMatrix::from_rows(&[vec![0.6, 0.4]], 2);
+        let gauss = GaussianComponents::from_params(vec![0.0, 2.0], vec![1.0, 1.0], 1e-6);
+        let p0 = (gauss.log_pdf(0, 1.0)).exp();
+        let p1 = (gauss.log_pdf(1, 1.0)).exp();
+        let comps = vec![ClusterComponents::Gaussian(gauss)];
+        let ll = attribute_log_likelihood(&g, &[attr], &theta, &comps);
+        let expected = (0.6 * p0 + 0.4 * p1).ln();
+        assert!((ll - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn better_fitting_theta_scores_higher_g1() {
+        let (g, text) = tiny_text_network();
+        let comps = vec![ClusterComponents::Categorical(
+            CategoricalComponents::from_rows(
+                &[vec![0.8, 0.1, 0.1], vec![0.1, 0.1, 0.8]],
+                1e-12,
+            ),
+        )];
+        // d0 emits term 0 (cluster 0's term), d1 emits term 2 (cluster 1's).
+        let good = MembershipMatrix::from_rows(&[vec![0.95, 0.05], vec![0.05, 0.95]], 2);
+        let bad = MembershipMatrix::from_rows(&[vec![0.05, 0.95], vec![0.95, 0.05]], 2);
+        let g_good = g1(&g, &[text], &good, &comps, &[1.0]);
+        let g_bad = g1(&g, &[text], &bad, &comps, &[1.0]);
+        assert!(g_good > g_bad);
+    }
+
+    #[test]
+    fn likelihood_ignores_unobserved_objects() {
+        // An object with zero observations contributes nothing.
+        let mut s = Schema::new();
+        let t = s.add_object_type("doc");
+        let text = s.add_categorical_attribute("text", 2);
+        let mut b = HinBuilder::new(s);
+        let _lonely = b.add_object(t, "no-obs");
+        let g = b.build().unwrap();
+        let theta = MembershipMatrix::uniform(1, 2);
+        let comps = vec![ClusterComponents::Categorical(
+            CategoricalComponents::from_rows(&[vec![0.5, 0.5], vec![0.5, 0.5]], 1e-12),
+        )];
+        assert_eq!(attribute_log_likelihood(&g, &[text], &theta, &comps), 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Link prediction from membership similarity (§5.2.2).
+//!
+//! The paper tests clustering quality by ranking candidate objects for a
+//! query object with a similarity function on their membership vectors.
+//! Three similarity functions appear in Tables 2–4; the asymmetric
+//! `−H(θ_j, θ_i)` is the paper's own feature function and gives the best
+//! accuracy in its experiments.
+
+use genclus_hin::ObjectId;
+use genclus_stats::simplex::cross_entropy;
+use genclus_stats::MembershipMatrix;
+
+/// Similarity function between a query membership `θ_i` and a candidate
+/// membership `θ_j`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Similarity {
+    /// `cos(θ_i, θ_j)`.
+    Cosine,
+    /// `−‖θ_i − θ_j‖₂`.
+    NegEuclidean,
+    /// `−H(θ_j, θ_i)` — asymmetric, mirrors the model's feature function.
+    NegCrossEntropy,
+}
+
+impl Similarity {
+    /// All three functions, in the order the paper's tables list them.
+    pub const ALL: [Similarity; 3] = [
+        Similarity::Cosine,
+        Similarity::NegEuclidean,
+        Similarity::NegCrossEntropy,
+    ];
+
+    /// Human-readable label matching the paper's table rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Cosine => "cos(theta_i,theta_j)",
+            Self::NegEuclidean => "-||theta_i - theta_j||",
+            Self::NegCrossEntropy => "-H(theta_j,theta_i)",
+        }
+    }
+
+    /// Evaluates the similarity of `candidate` to `query`.
+    pub fn score(self, query: &[f64], candidate: &[f64]) -> f64 {
+        match self {
+            Self::Cosine => {
+                let dot: f64 = query.iter().zip(candidate).map(|(a, b)| a * b).sum();
+                let na: f64 = query.iter().map(|a| a * a).sum::<f64>().sqrt();
+                let nb: f64 = candidate.iter().map(|b| b * b).sum::<f64>().sqrt();
+                if na == 0.0 || nb == 0.0 {
+                    0.0
+                } else {
+                    dot / (na * nb)
+                }
+            }
+            Self::NegEuclidean => {
+                -query
+                    .iter()
+                    .zip(candidate)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt()
+            }
+            Self::NegCrossEntropy => -cross_entropy(candidate, query),
+        }
+    }
+}
+
+/// Scores and ranks `candidates` for `query`, descending by similarity.
+///
+/// Ties are broken by object id so the ranking is deterministic.
+pub fn rank_candidates(
+    theta: &MembershipMatrix,
+    query: ObjectId,
+    candidates: &[ObjectId],
+    sim: Similarity,
+) -> Vec<(ObjectId, f64)> {
+    let q = theta.row(query.index());
+    let mut scored: Vec<(ObjectId, f64)> = candidates
+        .iter()
+        .map(|&c| (c, sim.score(q, theta.row(c.index()))))
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_basics() {
+        let a = [1.0, 0.0];
+        assert!((Similarity::Cosine.score(&a, &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!(Similarity::Cosine.score(&a, &[0.0, 1.0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn euclidean_is_zero_at_identity_and_negative_elsewhere() {
+        let a = [0.5, 0.5];
+        assert_eq!(Similarity::NegEuclidean.score(&a, &a), 0.0);
+        assert!(Similarity::NegEuclidean.score(&a, &[0.9, 0.1]) < 0.0);
+    }
+
+    #[test]
+    fn neg_cross_entropy_is_asymmetric() {
+        let focused = [0.9, 0.05, 0.05];
+        let uniform = [1.0 / 3.0; 3];
+        let s1 = Similarity::NegCrossEntropy.score(&focused, &uniform);
+        let s2 = Similarity::NegCrossEntropy.score(&uniform, &focused);
+        assert!((s1 - s2).abs() > 1e-3, "must be asymmetric: {s1} vs {s2}");
+    }
+
+    #[test]
+    fn all_sims_prefer_the_matching_candidate() {
+        let query = [0.9, 0.05, 0.05];
+        let matching = [0.8, 0.1, 0.1];
+        let opposite = [0.05, 0.05, 0.9];
+        for sim in Similarity::ALL {
+            assert!(
+                sim.score(&query, &matching) > sim.score(&query, &opposite),
+                "{} failed",
+                sim.label()
+            );
+        }
+    }
+
+    #[test]
+    fn ranking_is_descending_and_deterministic() {
+        let theta = MembershipMatrix::from_rows(
+            &[
+                vec![0.9, 0.1], // query
+                vec![0.2, 0.8],
+                vec![0.85, 0.15],
+                vec![0.5, 0.5],
+            ],
+            2,
+        );
+        let candidates = [ObjectId(1), ObjectId(2), ObjectId(3)];
+        let ranked = rank_candidates(&theta, ObjectId(0), &candidates, Similarity::Cosine);
+        assert_eq!(ranked[0].0, ObjectId(2));
+        assert_eq!(ranked.last().unwrap().0, ObjectId(1));
+        for w in ranked.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_tables() {
+        assert_eq!(Similarity::Cosine.label(), "cos(theta_i,theta_j)");
+        assert_eq!(Similarity::NegCrossEntropy.label(), "-H(theta_j,theta_i)");
+    }
+}

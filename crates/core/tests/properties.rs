@@ -1,0 +1,121 @@
+//! Property-based tests for the GenClus core: invariants that must hold on
+//! arbitrary networks, memberships and seeds.
+
+use genclus_core::prelude::*;
+use genclus_hin::prelude::*;
+use proptest::prelude::*;
+use rand::Rng;
+
+/// A random heterogeneous network with two object types, three relations and
+/// one attribute of each kind.
+fn random_network(seed: u64, n: usize, extra_links: usize) -> HinGraph {
+    let mut rng = genclus_stats::seeded_rng(seed);
+    let mut s = Schema::new();
+    let ta = s.add_object_type("A");
+    let tb = s.add_object_type("B");
+    let ab = s.add_relation("ab", ta, tb);
+    let ba = s.add_relation("ba", tb, ta);
+    let aa = s.add_relation("aa", ta, ta);
+    let text = s.add_categorical_attribute("text", 12);
+    let num = s.add_numerical_attribute("num");
+    let mut b = HinBuilder::new(s);
+    let a_ids: Vec<_> = (0..n).map(|i| b.add_object(ta, format!("a{i}"))).collect();
+    let b_ids: Vec<_> = (0..n).map(|i| b.add_object(tb, format!("b{i}"))).collect();
+    // A ring so the network is connected.
+    for i in 0..n {
+        b.add_link(a_ids[i], b_ids[i], ab, 1.0).unwrap();
+        b.add_link(b_ids[i], a_ids[(i + 1) % n], ba, 1.0).unwrap();
+    }
+    for _ in 0..extra_links {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        if i != j {
+            b.add_link(a_ids[i], a_ids[j], aa, rng.gen_range(0.5..3.0))
+                .unwrap();
+        }
+    }
+    for &v in &a_ids {
+        if rng.gen_bool(0.6) {
+            b.add_terms(v, text, &[rng.gen_range(0..12), rng.gen_range(0..12)])
+                .unwrap();
+        }
+    }
+    for &v in &b_ids {
+        if rng.gen_bool(0.6) {
+            b.add_numeric(v, num, rng.gen_range(-4.0..4.0)).unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A full fit never violates the simplex invariant, never produces a
+    /// negative strength, and its objectives are finite.
+    #[test]
+    fn fit_invariants(seed in any::<u64>(), n in 4usize..12, extra in 0usize..20) {
+        let g = random_network(seed, n, extra);
+        let cfg = GenClusConfig::new(3, vec![AttributeId(0), AttributeId(1)])
+            .with_seed(seed)
+            .with_outer_iters(3);
+        let fit = GenClus::new(cfg).unwrap().fit(&g).unwrap();
+        for i in 0..fit.model.theta.n_objects() {
+            let row = fit.model.theta.row(i);
+            prop_assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(row.iter().all(|&x| x > 0.0));
+        }
+        prop_assert!(fit.model.gamma.iter().all(|&x| x >= 0.0 && x.is_finite()));
+        for r in &fit.history.records {
+            prop_assert!(r.g1.is_finite());
+            prop_assert!(r.g2.is_finite());
+        }
+    }
+
+    /// The same seed gives bit-identical strengths (full determinism).
+    #[test]
+    fn fit_is_deterministic(seed in any::<u64>()) {
+        let g = random_network(seed, 6, 8);
+        let cfg = || GenClusConfig::new(2, vec![AttributeId(1)])
+            .with_seed(seed ^ 0xabcd)
+            .with_outer_iters(2);
+        let f1 = GenClus::new(cfg()).unwrap().fit(&g).unwrap();
+        let f2 = GenClus::new(cfg()).unwrap().fit(&g).unwrap();
+        prop_assert_eq!(f1.model.gamma.clone(), f2.model.gamma.clone());
+        prop_assert!(f1.model.theta.max_abs_diff(&f2.model.theta) == 0.0);
+    }
+
+    /// Parallel fits agree with serial fits on Θ to float round-off.
+    #[test]
+    fn parallel_fit_matches_serial(seed in any::<u64>()) {
+        let g = random_network(seed, 8, 10);
+        let base = GenClusConfig::new(2, vec![AttributeId(0)])
+            .with_seed(3)
+            .with_outer_iters(2);
+        let serial = GenClus::new(base.clone().with_threads(1)).unwrap().fit(&g).unwrap();
+        let parallel = GenClus::new(base.with_threads(3)).unwrap().fit(&g).unwrap();
+        prop_assert!(serial.model.theta.max_abs_diff(&parallel.model.theta) < 1e-6);
+        for (a, b) in serial.model.gamma.iter().zip(&parallel.model.gamma) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    /// Similarity rankings contain every candidate exactly once, best first.
+    #[test]
+    fn ranking_is_a_permutation(seed in any::<u64>(), n in 3usize..10) {
+        let mut rng = genclus_stats::seeded_rng(seed);
+        let theta = genclus_stats::MembershipMatrix::random(n, 3, &mut rng);
+        let candidates: Vec<ObjectId> = (1..n).map(ObjectId::from_index).collect();
+        for sim in Similarity::ALL {
+            let ranked = rank_candidates(&theta, ObjectId(0), &candidates, sim);
+            prop_assert_eq!(ranked.len(), candidates.len());
+            let mut seen: Vec<u32> = ranked.iter().map(|(o, _)| o.0).collect();
+            seen.sort_unstable();
+            let expected: Vec<u32> = (1..n as u32).collect();
+            prop_assert_eq!(seen, expected);
+            for w in ranked.windows(2) {
+                prop_assert!(w[0].1 >= w[1].1);
+            }
+        }
+    }
+}

@@ -1,0 +1,661 @@
+//! Synthetic DBLP four-area bibliographic corpus and its two network views.
+//!
+//! The paper evaluates on the DBLP "four-area" data set (papers/authors/
+//! venues from database systems, data mining, information retrieval and
+//! machine learning, with ground-truth area labels for all 20 conferences
+//! and subsets of papers and authors). That extraction is not
+//! redistributable, so this module generates a corpus with the same
+//! *structural* properties (see DESIGN.md §4):
+//!
+//! * four areas with distinctive title vocabularies plus shared background
+//!   terms;
+//! * venues with a **broad** area spectrum (a conference publishes outside
+//!   its core area; CIKM is deliberately mixed) and authors with a **narrow**
+//!   one — the asymmetry behind the paper's Fig. 9 observation that
+//!   author links are more reliable than venue links;
+//! * papers written by 1–3 authors, published in one venue, with title text
+//!   sampled from their area's vocabulary;
+//! * ground-truth labels for all venues, for authors with a dominant area,
+//!   and for a configurable fraction of papers.
+//!
+//! Two network views mirror §5.1 exactly:
+//!
+//! * [`DblpCorpus::build_ac`] — the **AC network**: authors + conferences;
+//!   weighted `publish_in(A,C)`, `published_by(C,A)`, `coauthor(A,A)` links;
+//!   text attributes on *both* types (complete attributes);
+//! * [`DblpCorpus::build_acp`] — the **ACP network**: authors + conferences
+//!   plus papers; binary `write(A,P)`, `written_by(P,A)`, `publish(C,P)` and
+//!   `published_by(P,C)` links; text on papers *only* (incomplete
+//!   attributes).
+
+use crate::vocab;
+use genclus_hin::prelude::*;
+use genclus_stats::rng::sample_categorical;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// The four research areas, in label order.
+pub const FOUR_AREAS: [&str; 4] = ["DB", "DM", "IR", "ML"];
+
+/// Venue names per area (5 × 4 = 20 conferences, as in the four-area set).
+const VENUE_NAMES: [[&str; 5]; 4] = [
+    ["SIGMOD", "VLDB", "ICDE", "PODS", "EDBT"],
+    ["KDD", "ICDM", "SDM", "PKDD", "PAKDD"],
+    ["SIGIR", "CIKM", "ECIR", "WWW", "WSDM"],
+    ["ICML", "NIPS", "UAI", "AAAI", "IJCAI"],
+];
+
+/// Named case-study authors (paper Table 1) with hand-set area mixtures:
+/// two focused database researchers and one deliberately cross-area author.
+const CASE_STUDY_AUTHORS: [(&str, [f64; 4]); 3] = [
+    ("Jennifer Widom", [0.85, 0.05, 0.05, 0.05]),
+    ("Jim Gray", [0.88, 0.04, 0.04, 0.04]),
+    ("Christos Faloutsos", [0.45, 0.32, 0.13, 0.10]),
+];
+
+/// Generator parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DblpConfig {
+    /// Number of authors.
+    pub n_authors: usize,
+    /// Number of papers.
+    pub n_papers: usize,
+    /// Maximum extra coauthors per paper (lead author excluded).
+    pub max_coauthors: usize,
+    /// Fraction of authors with a diffuse (multi-area) mixture.
+    pub multi_area_fraction: f64,
+    /// Probability that a title token is a background term.
+    pub background_prob: f64,
+    /// Probability that a non-background title token leaks from *another*
+    /// area's vocabulary (real titles share terms across areas — "mining",
+    /// "query" and "learning" all cross fields — which is what makes pure
+    /// text clustering hard on DBLP).
+    pub cross_area_prob: f64,
+    /// Title length range (inclusive).
+    pub title_len: (usize, usize),
+    /// Fraction of papers that carry a ground-truth label.
+    pub paper_label_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DblpConfig {
+    /// Experiment-scale corpus: 1 500 authors, 3 000 papers (≈ 4 papers per
+    /// author with coauthorship, comparable to the labeled-author density of
+    /// the real four-area extraction).
+    fn default() -> Self {
+        Self {
+            n_authors: 1500,
+            n_papers: 3000,
+            max_coauthors: 2,
+            multi_area_fraction: 0.2,
+            background_prob: 0.35,
+            cross_area_prob: 0.25,
+            title_len: (5, 12),
+            paper_label_fraction: 0.3,
+            seed: 0,
+        }
+    }
+}
+
+impl DblpConfig {
+    /// A small corpus for unit tests and examples.
+    pub fn small() -> Self {
+        Self {
+            n_authors: 200,
+            n_papers: 400,
+            ..Self::default()
+        }
+    }
+}
+
+/// One venue with its area mixture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VenueInfo {
+    /// Conference name.
+    pub name: &'static str,
+    /// Core area.
+    pub area: usize,
+    /// Probability of publishing a paper from each area.
+    pub mixture: [f64; 4],
+}
+
+/// One generated paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Paper {
+    /// Latent area (always known to the generator).
+    pub area: usize,
+    /// Venue index.
+    pub venue: usize,
+    /// Author indices (lead first).
+    pub authors: Vec<usize>,
+    /// Title as global vocabulary term indices.
+    pub title: Vec<u32>,
+    /// Whether the paper is in the labeled evaluation subset.
+    pub labeled: bool,
+}
+
+/// The full generated corpus, from which network views are built.
+#[derive(Debug, Clone)]
+pub struct DblpCorpus {
+    /// Generation parameters.
+    pub config: DblpConfig,
+    /// The 20 venues.
+    pub venues: Vec<VenueInfo>,
+    /// Author display names.
+    pub author_names: Vec<String>,
+    /// Author area mixtures.
+    pub author_mixture: Vec<[f64; 4]>,
+    /// Ground-truth author labels (dominant area when concentrated enough).
+    pub author_label: Vec<Option<usize>>,
+    /// Generated papers.
+    pub papers: Vec<Paper>,
+}
+
+/// Builds venue infos: concentrated on their core area, with CIKM given a
+/// deliberately mixed DB/IR profile (as its Table 1 membership shows).
+fn make_venues() -> Vec<VenueInfo> {
+    let mut venues = Vec::with_capacity(20);
+    for (area, names) in VENUE_NAMES.iter().enumerate() {
+        for &name in names {
+            let mixture = if name == "CIKM" {
+                [0.30, 0.10, 0.55, 0.05]
+            } else {
+                // Real four-area venues are quite pure (SIGMOD's Table 1 row
+                // is ≈ 0.86 DB) but still publish outside their core area.
+                let mut m = [0.05; 4];
+                m[area] = 0.85;
+                m
+            };
+            venues.push(VenueInfo {
+                name,
+                area,
+                mixture,
+            });
+        }
+    }
+    venues
+}
+
+/// Generates a corpus.
+///
+/// # Panics
+/// Panics if `n_authors` or `n_papers` is zero.
+pub fn generate(config: &DblpConfig) -> DblpCorpus {
+    assert!(config.n_authors > 0 && config.n_papers > 0);
+    assert!(
+        config.n_authors >= CASE_STUDY_AUTHORS.len(),
+        "need room for the case-study authors"
+    );
+    let mut rng = genclus_stats::seeded_rng(config.seed);
+    let venues = make_venues();
+
+    // Authors: named case-study authors first, then synthetic ones with
+    // round-robin dominant areas.
+    let mut author_names = Vec::with_capacity(config.n_authors);
+    let mut author_mixture = Vec::with_capacity(config.n_authors);
+    for (name, mixture) in CASE_STUDY_AUTHORS {
+        author_names.push(name.to_string());
+        author_mixture.push(mixture);
+    }
+    for i in CASE_STUDY_AUTHORS.len()..config.n_authors {
+        author_names.push(format!("author-{i}"));
+        let area = i % 4;
+        let mixture = if rng.gen::<f64>() < config.multi_area_fraction {
+            // Diffuse researcher: random Dirichlet mixture.
+            let draw = genclus_stats::sample_dirichlet(&mut rng, &[0.7; 4]);
+            [draw[0], draw[1], draw[2], draw[3]]
+        } else {
+            let mut m = [0.05; 4];
+            m[area] = 0.85;
+            m
+        };
+        author_mixture.push(mixture);
+    }
+    let author_label: Vec<Option<usize>> = author_mixture
+        .iter()
+        .map(|m| {
+            let (argmax, max) = m
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap();
+            (*max >= 0.6).then_some(argmax)
+        })
+        .collect();
+
+    // Per-area author pools for coauthor sampling (dominant area).
+    let mut by_area: [Vec<usize>; 4] = Default::default();
+    for (i, m) in author_mixture.iter().enumerate() {
+        let dom = m
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        by_area[dom].push(i);
+    }
+
+    // Venue sampling weights per area: P(venue | area z) ∝ mixture[z].
+    let venue_weights: Vec<Vec<f64>> = (0..4)
+        .map(|z| venues.iter().map(|v| v.mixture[z]).collect())
+        .collect();
+
+    // Zipf-like weights over each area's term list.
+    let term_weights: Vec<Vec<f64>> = (0..4)
+        .map(|a| {
+            (0..vocab::AREA_TERMS[a].len())
+                .map(|rank| 1.0 / (1.0 + rank as f64))
+                .collect()
+        })
+        .collect();
+
+    let mut papers = Vec::with_capacity(config.n_papers);
+    for _ in 0..config.n_papers {
+        // Case-study authors are prolific (the real ones have long
+        // publication records), so they lead a disproportionate share of
+        // papers; everyone else is uniform.
+        let lead = if rng.gen::<f64>() < 0.02 {
+            rng.gen_range(0..CASE_STUDY_AUTHORS.len())
+        } else {
+            rng.gen_range(0..config.n_authors)
+        };
+        let z = sample_categorical(&mut rng, &author_mixture[lead]);
+
+        let mut authors = vec![lead];
+        let n_extra = rng.gen_range(0..=config.max_coauthors);
+        for _ in 0..n_extra {
+            // "The spectrum of co-authors may often be quite broad" (§5.2.3)
+            // — only half the coauthors come from the paper's own area.
+            let candidate = if rng.gen::<f64>() < 0.5 && !by_area[z].is_empty() {
+                by_area[z][rng.gen_range(0..by_area[z].len())]
+            } else {
+                rng.gen_range(0..config.n_authors)
+            };
+            if !authors.contains(&candidate) {
+                authors.push(candidate);
+            }
+        }
+
+        let venue = sample_categorical(&mut rng, &venue_weights[z]);
+
+        let len = rng.gen_range(config.title_len.0..=config.title_len.1);
+        let mut title = Vec::with_capacity(len);
+        for _ in 0..len {
+            let term = if rng.gen::<f64>() < config.background_prob {
+                rng.gen_range(0..vocab::BACKGROUND.len()) as u32
+            } else {
+                // Mostly the paper's own area, with cross-area leakage.
+                let src = if rng.gen::<f64>() < config.cross_area_prob {
+                    let mut other = rng.gen_range(0..4);
+                    if other == z {
+                        other = (other + 1) % 4;
+                    }
+                    other
+                } else {
+                    z
+                };
+                let local = sample_categorical(&mut rng, &term_weights[src]);
+                (vocab::area_offset(src) + local) as u32
+            };
+            title.push(term);
+        }
+
+        papers.push(Paper {
+            area: z,
+            venue,
+            authors,
+            title,
+            labeled: rng.gen::<f64>() < config.paper_label_fraction,
+        });
+    }
+
+    DblpCorpus {
+        config: config.clone(),
+        venues,
+        author_names,
+        author_mixture,
+        author_label,
+        papers,
+    }
+}
+
+/// The AC network view (§5.1 (a)).
+#[derive(Debug, Clone)]
+pub struct AcNetwork {
+    /// Authors + conferences with weighted links and text on both types.
+    pub graph: HinGraph,
+    /// The shared text attribute.
+    pub text_attr: AttributeId,
+    /// `publish_in(A, C)`, weight = papers the author published there.
+    pub rel_ac: RelationId,
+    /// `published_by(C, A)`, the inverse with the same weights.
+    pub rel_ca: RelationId,
+    /// `coauthor(A, A)`, weight = papers coauthored.
+    pub rel_aa: RelationId,
+    /// Author object ids (corpus order).
+    pub authors: Vec<ObjectId>,
+    /// Conference object ids (corpus order).
+    pub conferences: Vec<ObjectId>,
+    /// Ground-truth label per object (`None` = unlabeled).
+    pub labels: Vec<Option<usize>>,
+}
+
+/// The ACP network view (§5.1 (b)).
+#[derive(Debug, Clone)]
+pub struct AcpNetwork {
+    /// Authors + conferences + papers; binary links; text on papers only.
+    pub graph: HinGraph,
+    /// The text attribute (observed only on papers).
+    pub text_attr: AttributeId,
+    /// `write(A, P)`.
+    pub rel_ap: RelationId,
+    /// `written_by(P, A)`.
+    pub rel_pa: RelationId,
+    /// `publish(C, P)`.
+    pub rel_cp: RelationId,
+    /// `published_by(P, C)`.
+    pub rel_pc: RelationId,
+    /// Author object ids.
+    pub authors: Vec<ObjectId>,
+    /// Conference object ids.
+    pub conferences: Vec<ObjectId>,
+    /// Paper object ids.
+    pub papers: Vec<ObjectId>,
+    /// Ground-truth label per object (`None` = unlabeled).
+    pub labels: Vec<Option<usize>>,
+}
+
+impl DblpCorpus {
+    /// Builds the AC network: aggregated weighted links, text on authors and
+    /// conferences (every object observes the attribute — the "easiest
+    /// case" per §5.2.1).
+    pub fn build_ac(&self) -> AcNetwork {
+        let mut schema = Schema::new();
+        let t_author = schema.add_object_type("author");
+        let t_conf = schema.add_object_type("conference");
+        let rel_ac = schema.add_relation("publish_in", t_author, t_conf);
+        let rel_ca = schema.add_relation("published_by", t_conf, t_author);
+        let rel_aa = schema.add_relation("coauthor", t_author, t_author);
+        let text_attr = schema.add_categorical_attribute("title_terms", vocab::vocab_size());
+
+        let mut b = HinBuilder::new(schema);
+        let authors: Vec<ObjectId> = self
+            .author_names
+            .iter()
+            .map(|n| b.add_object(t_author, n.clone()))
+            .collect();
+        let conferences: Vec<ObjectId> = self
+            .venues
+            .iter()
+            .map(|v| b.add_object(t_conf, v.name))
+            .collect();
+
+        // Aggregate link weights and term bags. BTreeMaps keep insertion
+        // deterministic, which keeps CSR order — and hence float summation
+        // order downstream — reproducible.
+        let mut ac_w: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+        let mut aa_w: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+        let mut author_terms: BTreeMap<(usize, u32), f64> = BTreeMap::new();
+        let mut conf_terms: BTreeMap<(usize, u32), f64> = BTreeMap::new();
+        for p in &self.papers {
+            for &a in &p.authors {
+                *ac_w.entry((a, p.venue)).or_insert(0.0) += 1.0;
+                for &t in &p.title {
+                    *author_terms.entry((a, t)).or_insert(0.0) += 1.0;
+                }
+            }
+            for &t in &p.title {
+                *conf_terms.entry((p.venue, t)).or_insert(0.0) += 1.0;
+            }
+            for (i, &a1) in p.authors.iter().enumerate() {
+                for &a2 in &p.authors[i + 1..] {
+                    *aa_w.entry((a1, a2)).or_insert(0.0) += 1.0;
+                    *aa_w.entry((a2, a1)).or_insert(0.0) += 1.0;
+                }
+            }
+        }
+        for (&(a, c), &w) in &ac_w {
+            b.add_link(authors[a], conferences[c], rel_ac, w).unwrap();
+            b.add_link(conferences[c], authors[a], rel_ca, w).unwrap();
+        }
+        for (&(a1, a2), &w) in &aa_w {
+            b.add_link(authors[a1], authors[a2], rel_aa, w).unwrap();
+        }
+        for (&(a, t), &c) in &author_terms {
+            b.add_term_count(authors[a], text_attr, t, c).unwrap();
+        }
+        for (&(v, t), &c) in &conf_terms {
+            b.add_term_count(conferences[v], text_attr, t, c).unwrap();
+        }
+
+        let mut labels: Vec<Option<usize>> = self.author_label.clone();
+        labels.extend(self.venues.iter().map(|v| Some(v.area)));
+
+        AcNetwork {
+            graph: b.build().expect("generator networks are schema-valid"),
+            text_attr,
+            rel_ac,
+            rel_ca,
+            rel_aa,
+            authors,
+            conferences,
+            labels,
+        }
+    }
+
+    /// Builds the ACP network: binary links, text on papers only — authors
+    /// and conferences have *no* attribute observations at all.
+    pub fn build_acp(&self) -> AcpNetwork {
+        let mut schema = Schema::new();
+        let t_author = schema.add_object_type("author");
+        let t_conf = schema.add_object_type("conference");
+        let t_paper = schema.add_object_type("paper");
+        let rel_ap = schema.add_relation("write", t_author, t_paper);
+        let rel_pa = schema.add_relation("written_by", t_paper, t_author);
+        let rel_cp = schema.add_relation("publish", t_conf, t_paper);
+        let rel_pc = schema.add_relation("published_by", t_paper, t_conf);
+        let text_attr = schema.add_categorical_attribute("title_terms", vocab::vocab_size());
+
+        let mut b = HinBuilder::new(schema);
+        let authors: Vec<ObjectId> = self
+            .author_names
+            .iter()
+            .map(|n| b.add_object(t_author, n.clone()))
+            .collect();
+        let conferences: Vec<ObjectId> = self
+            .venues
+            .iter()
+            .map(|v| b.add_object(t_conf, v.name))
+            .collect();
+        let papers: Vec<ObjectId> = (0..self.papers.len())
+            .map(|i| b.add_object(t_paper, format!("paper-{i}")))
+            .collect();
+
+        for (i, p) in self.papers.iter().enumerate() {
+            for &a in &p.authors {
+                b.add_link(authors[a], papers[i], rel_ap, 1.0).unwrap();
+                b.add_link(papers[i], authors[a], rel_pa, 1.0).unwrap();
+            }
+            b.add_link(conferences[p.venue], papers[i], rel_cp, 1.0).unwrap();
+            b.add_link(papers[i], conferences[p.venue], rel_pc, 1.0).unwrap();
+            for &t in &p.title {
+                b.add_term_count(papers[i], text_attr, t, 1.0).unwrap();
+            }
+        }
+
+        let mut labels: Vec<Option<usize>> = self.author_label.clone();
+        labels.extend(self.venues.iter().map(|v| Some(v.area)));
+        labels.extend(
+            self.papers
+                .iter()
+                .map(|p| p.labeled.then_some(p.area)),
+        );
+
+        AcpNetwork {
+            graph: b.build().expect("generator networks are schema-valid"),
+            text_attr,
+            rel_ap,
+            rel_pa,
+            rel_cp,
+            rel_pc,
+            authors,
+            conferences,
+            papers,
+            labels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> DblpCorpus {
+        generate(&DblpConfig::small())
+    }
+
+    #[test]
+    fn corpus_shape_and_determinism() {
+        let c1 = corpus();
+        let c2 = corpus();
+        assert_eq!(c1.papers, c2.papers, "same seed ⇒ same corpus");
+        assert_eq!(c1.venues.len(), 20);
+        assert_eq!(c1.author_names.len(), 200);
+        assert_eq!(c1.papers.len(), 400);
+        let mut other_cfg = DblpConfig::small();
+        other_cfg.seed = 99;
+        let c3 = generate(&other_cfg);
+        assert_ne!(c1.papers, c3.papers, "different seed ⇒ different corpus");
+    }
+
+    #[test]
+    fn case_study_authors_present() {
+        let c = corpus();
+        assert_eq!(c.author_names[0], "Jennifer Widom");
+        assert_eq!(c.author_names[2], "Christos Faloutsos");
+        // Faloutsos is cross-area: no label (mixture max 0.45 < 0.6).
+        assert_eq!(c.author_label[2], None);
+        assert_eq!(c.author_label[0], Some(0));
+    }
+
+    #[test]
+    fn venues_cover_all_areas_and_cikm_is_mixed() {
+        let c = corpus();
+        for area in 0..4 {
+            assert_eq!(c.venues.iter().filter(|v| v.area == area).count(), 5);
+        }
+        let cikm = c.venues.iter().find(|v| v.name == "CIKM").unwrap();
+        assert!(cikm.mixture[2] < 0.6, "CIKM must not be IR-pure");
+        assert!(cikm.mixture[0] >= 0.25, "CIKM carries a DB component");
+    }
+
+    #[test]
+    fn papers_correlate_with_their_venue_area() {
+        let c = corpus();
+        // Most papers published in a non-CIKM venue share its core area.
+        let mut hits = 0;
+        let mut total = 0;
+        for p in &c.papers {
+            if c.venues[p.venue].name == "CIKM" {
+                continue;
+            }
+            total += 1;
+            if p.area == c.venues[p.venue].area {
+                hits += 1;
+            }
+        }
+        let frac = hits as f64 / total as f64;
+        assert!(frac > 0.55, "venue-area correlation too weak: {frac}");
+    }
+
+    #[test]
+    fn titles_use_area_vocabulary_with_leakage() {
+        let c = corpus();
+        let (mut own, mut other, mut background) = (0usize, 0usize, 0usize);
+        for p in &c.papers {
+            assert!(!p.title.is_empty());
+            let area_lo = vocab::area_offset(p.area) as u32;
+            let area_hi = area_lo + vocab::AREA_TERMS[p.area].len() as u32;
+            for &t in &p.title {
+                if (t as usize) < vocab::BACKGROUND.len() {
+                    background += 1;
+                } else if t >= area_lo && t < area_hi {
+                    own += 1;
+                } else {
+                    other += 1;
+                }
+            }
+        }
+        // Own-area terms dominate the non-background tokens, but cross-area
+        // leakage is present (the hard part of real DBLP text).
+        assert!(own > 2 * other, "own {own} vs other {other}");
+        assert!(other > 0, "leakage must occur");
+        assert!(background > 0);
+    }
+
+    #[test]
+    fn ac_network_weights_count_papers() {
+        let c = corpus();
+        let ac = c.build_ac();
+        assert_eq!(ac.graph.n_objects(), 220);
+        // Total publish_in weight equals Σ papers × authors-per-paper.
+        let expected: f64 = c.papers.iter().map(|p| p.authors.len() as f64).sum();
+        assert_eq!(ac.graph.relation_total_weight(ac.rel_ac), expected);
+        assert_eq!(ac.graph.relation_total_weight(ac.rel_ca), expected);
+        // Every object observes text (complete attributes).
+        let table = ac.graph.attribute(ac.text_attr);
+        let observed = table.n_observed_objects();
+        // Venues with no paper are possible in a tiny corpus, authors too,
+        // but the overwhelming majority must carry text.
+        assert!(observed > 200, "only {observed} objects carry text");
+        // Labels: all conferences labeled.
+        for i in 200..220 {
+            assert!(ac.labels[i].is_some());
+        }
+    }
+
+    #[test]
+    fn acp_network_is_binary_with_text_on_papers_only() {
+        let c = corpus();
+        let acp = c.build_acp();
+        assert_eq!(acp.graph.n_objects(), 220 + 400);
+        // write links are binary and count Σ authors-per-paper.
+        let n_ap = acp.graph.relation_link_count(acp.rel_ap);
+        let expected: usize = c.papers.iter().map(|p| p.authors.len()).sum();
+        assert_eq!(n_ap, expected);
+        assert_eq!(acp.graph.relation_total_weight(acp.rel_ap), expected as f64);
+        assert_eq!(acp.graph.relation_link_count(acp.rel_pc), 400);
+        // Text on papers only.
+        let table = acp.graph.attribute(acp.text_attr);
+        for &a in &acp.authors {
+            assert!(!table.has_observations(a));
+        }
+        for &p in &acp.papers {
+            assert!(table.has_observations(p));
+        }
+        // Paper labels cover roughly the configured fraction.
+        let labeled_papers = acp.labels[220..].iter().filter(|l| l.is_some()).count();
+        let frac = labeled_papers as f64 / 400.0;
+        assert!((frac - 0.3).abs() < 0.12, "paper label fraction {frac}");
+    }
+
+    #[test]
+    fn coauthor_links_are_symmetric_in_weight() {
+        let c = corpus();
+        let ac = c.build_ac();
+        // For every coauthor link (a1 → a2), the reverse exists with the
+        // same weight.
+        for (src, link) in ac.graph.iter_links() {
+            if link.relation == ac.rel_aa {
+                let reverse = ac
+                    .graph
+                    .out_links(link.endpoint)
+                    .iter()
+                    .find(|l| l.relation == ac.rel_aa && l.endpoint == src)
+                    .expect("reverse coauthor link missing");
+                assert_eq!(reverse.weight, link.weight);
+            }
+        }
+    }
+}

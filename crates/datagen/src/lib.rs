@@ -1,0 +1,36 @@
+//! Synthetic network generators for the GenClus evaluation.
+//!
+//! Two generators reproduce the paper's data sets:
+//!
+//! * [`weather`] — the synthetic weather sensor network of Appendix C:
+//!   temperature and precipitation sensors placed in a unit disk, `K`
+//!   ring-shaped weather patterns, reciprocal-distance soft memberships,
+//!   kNN links per sensor type, and Gaussian mixture observations. Used by
+//!   Figs. 7–8 and 11 and Tables 4–5.
+//!
+//! * [`dblp`] — a seeded substitute for the DBLP four-area data set (which
+//!   is not redistributable): four research areas, twenty named venues,
+//!   authors with Dirichlet area mixtures, papers with venue/coauthor links
+//!   and area-specific title text. Builders produce the paper's two network
+//!   variants — the **AC** network (authors + conferences, weighted links,
+//!   text on both types) and the **ACP** network (authors + conferences +
+//!   papers, binary links, text on papers only). Used by Figs. 5–6 and 9–10
+//!   and Tables 1–3.
+//!
+//! All generation is deterministic given the config seed.
+
+pub mod dblp;
+pub mod vocab;
+pub mod weather;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::dblp::{
+        AcNetwork, AcpNetwork, DblpConfig, DblpCorpus, FOUR_AREAS,
+    };
+    pub use crate::weather::{
+        PatternSetting, WeatherConfig, WeatherNetwork, WeatherRelations,
+    };
+}
+
+pub use prelude::*;

@@ -1,0 +1,120 @@
+//! Title vocabulary for the synthetic DBLP four-area corpus.
+//!
+//! Four area-specific term lists (database systems, data mining,
+//! information retrieval, machine learning) plus a background list shared by
+//! all areas. The global vocabulary is laid out as
+//! `[background | area 0 | area 1 | area 2 | area 3]`, so term indices map
+//! back to their source list deterministically.
+
+/// Shared background terms (stop-word-like title filler).
+pub const BACKGROUND: &[&str] = &[
+    "approach", "analysis", "framework", "system", "method", "model", "based",
+    "efficient", "novel", "study", "evaluation", "design", "application",
+    "problem", "algorithm", "data", "large", "scale", "adaptive", "dynamic",
+    "robust", "fast", "effective", "general", "unified", "survey", "toward",
+    "improving", "exploiting", "case",
+];
+
+/// Database systems terms (area 0).
+pub const DB_TERMS: &[&str] = &[
+    "query", "optimization", "transaction", "index", "storage", "relational",
+    "schema", "join", "sql", "concurrency", "recovery", "view", "xml",
+    "stream", "spatial", "temporal", "integration", "warehouse", "olap",
+    "buffer", "disk", "partitioning", "replication", "consistency",
+    "materialized", "tuning", "benchmark", "parallel", "distributed",
+    "locking", "logging", "btree", "selectivity", "cardinality", "plan",
+    "execution", "engine", "columnar", "compression", "keyvalue",
+];
+
+/// Data mining terms (area 1).
+pub const DM_TERMS: &[&str] = &[
+    "mining", "clustering", "pattern", "frequent", "itemset", "association",
+    "anomaly", "outlier", "classification", "prediction", "graph",
+    "community", "social", "network", "stream", "sequential", "episode",
+    "subgraph", "dense", "summarization", "trend", "evolution", "burst",
+    "motif", "correlation", "discovery", "knowledge", "rule", "support",
+    "confidence", "scalable", "sampling", "sketch", "heterogeneous",
+    "similarity", "nearest", "neighbor", "density", "partition", "hierarchy",
+];
+
+/// Information retrieval terms (area 2).
+pub const IR_TERMS: &[&str] = &[
+    "retrieval", "search", "ranking", "relevance", "document", "text", "web",
+    "page", "link", "crawl", "indexing", "term", "tfidf", "feedback",
+    "query", "expansion", "snippet", "click", "log", "user", "session",
+    "personalization", "recommendation", "collaborative", "filtering",
+    "language", "translation", "summarize", "question", "answering",
+    "entity", "extraction", "topic", "latent", "semantic", "precision",
+    "recall", "evaluation", "corpus", "crowdsourcing",
+];
+
+/// Machine learning terms (area 3).
+pub const ML_TERMS: &[&str] = &[
+    "learning", "supervised", "unsupervised", "reinforcement", "kernel",
+    "bayesian", "inference", "probabilistic", "gaussian", "process",
+    "neural", "deep", "gradient", "descent", "convex", "regularization",
+    "sparse", "feature", "selection", "dimensionality", "reduction",
+    "manifold", "embedding", "boosting", "ensemble", "margin", "svm",
+    "regression", "variational", "markov", "hidden", "sequence",
+    "structured", "transfer", "multitask", "active", "semisupervised",
+    "generative", "discriminative", "optimization",
+];
+
+/// Term lists per area, indexed by area id.
+pub const AREA_TERMS: [&[&str]; 4] = [DB_TERMS, DM_TERMS, IR_TERMS, ML_TERMS];
+
+/// Total vocabulary size.
+pub fn vocab_size() -> usize {
+    BACKGROUND.len() + AREA_TERMS.iter().map(|t| t.len()).sum::<usize>()
+}
+
+/// First global index of area `a`'s term block.
+pub fn area_offset(a: usize) -> usize {
+    BACKGROUND.len() + AREA_TERMS[..a].iter().map(|t| t.len()).sum::<usize>()
+}
+
+/// The global vocabulary, background first then each area block.
+pub fn full_vocab() -> Vec<&'static str> {
+    let mut v = Vec::with_capacity(vocab_size());
+    v.extend_from_slice(BACKGROUND);
+    for terms in AREA_TERMS {
+        v.extend_from_slice(terms);
+    }
+    v
+}
+
+/// The term string for a global term index.
+pub fn term_string(term: u32) -> &'static str {
+    full_vocab()[term as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_consistent() {
+        assert_eq!(area_offset(0), BACKGROUND.len());
+        assert_eq!(area_offset(1), BACKGROUND.len() + DB_TERMS.len());
+        assert_eq!(
+            area_offset(3) + ML_TERMS.len(),
+            vocab_size(),
+            "last block must end at vocab_size"
+        );
+        assert_eq!(full_vocab().len(), vocab_size());
+    }
+
+    #[test]
+    fn term_lookup_round_trips() {
+        assert_eq!(term_string(0), BACKGROUND[0]);
+        assert_eq!(term_string(area_offset(1) as u32), DM_TERMS[0]);
+        assert_eq!(term_string(area_offset(3) as u32), ML_TERMS[0]);
+    }
+
+    #[test]
+    fn area_lists_are_reasonably_sized() {
+        for terms in AREA_TERMS {
+            assert!(terms.len() >= 30, "each area needs a rich vocabulary");
+        }
+    }
+}

@@ -1,0 +1,423 @@
+//! Synthetic weather sensor network generator (paper Appendix C).
+//!
+//! The construction follows the appendix step by step:
+//!
+//! 1. **Network size** — `#T` temperature sensors, `#P` precipitation
+//!    sensors, `k` nearest neighbors per sensor type.
+//! 2. **Network structure** — every sensor gets a uniform random location in
+//!    the unit disk; an out-link exists from `i` to each of its `k` nearest
+//!    neighbors *of each type*.
+//! 3. **Weather pattern** — `K` patterns, each a Gaussian over
+//!    (temperature, precipitation); the disk is partitioned into `K` equal-
+//!    width rings by distance from the center, one pattern per ring.
+//! 4. **Cluster membership** — soft memberships from the reciprocal distance
+//!    of the sensor's radius to the nearby ring centers. Following §5.1,
+//!    temperature sensors blend their **two** nearest rings (less noisy)
+//!    while precipitation sensors blend their **three** nearest rings (more
+//!    noisy).
+//! 5. **Attribute observations** — each sensor draws `#obs` values from the
+//!    mixture of its ring patterns weighted by its membership; temperature
+//!    sensors observe only temperature, precipitation sensors only
+//!    precipitation — the incomplete-attribute situation of Example 2.
+
+use genclus_hin::prelude::*;
+use genclus_stats::rng::{sample_categorical, sample_gaussian};
+use rand::Rng;
+
+/// The two weather pattern layouts of §5.1.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatternSetting {
+    /// Means (1,1), (2,2), (3,3), (4,4); σ = 0.2 for both attributes. Either
+    /// attribute alone suffices to tell clusters apart.
+    Setting1,
+    /// Means (1,1), (−1,1), (−1,−1), (1,−1); σ = 0.2. XOR-like: both
+    /// attributes are required ("more difficult", §5.1).
+    Setting2,
+    /// Custom pattern means and per-attribute standard deviations.
+    Custom {
+        /// `(temperature mean, precipitation mean)` per cluster.
+        means: Vec<(f64, f64)>,
+        /// Temperature std-dev.
+        std_temp: f64,
+        /// Precipitation std-dev.
+        std_precip: f64,
+    },
+}
+
+impl PatternSetting {
+    /// The pattern means `(μ_T, μ_P)` per cluster.
+    pub fn means(&self) -> Vec<(f64, f64)> {
+        match self {
+            Self::Setting1 => vec![(1.0, 1.0), (2.0, 2.0), (3.0, 3.0), (4.0, 4.0)],
+            Self::Setting2 => vec![(1.0, 1.0), (-1.0, 1.0), (-1.0, -1.0), (1.0, -1.0)],
+            Self::Custom { means, .. } => means.clone(),
+        }
+    }
+
+    /// Per-attribute standard deviations `(σ_T, σ_P)`.
+    pub fn stds(&self) -> (f64, f64) {
+        match self {
+            Self::Setting1 | Self::Setting2 => (0.2, 0.2),
+            Self::Custom {
+                std_temp,
+                std_precip,
+                ..
+            } => (*std_temp, *std_precip),
+        }
+    }
+}
+
+/// Generator parameters (paper defaults: 5-NN per type, 4 clusters).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeatherConfig {
+    /// Number of temperature sensors `#T`.
+    pub n_temp: usize,
+    /// Number of precipitation sensors `#P`.
+    pub n_precip: usize,
+    /// Nearest neighbors per sensor type (`k`; the paper uses 5, so each
+    /// sensor has 10 out-links in total).
+    pub k_neighbors: usize,
+    /// Observations per sensor (`#obs`; 1, 5 or 20 in the paper).
+    pub n_obs: usize,
+    /// Weather pattern layout.
+    pub pattern: PatternSetting,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WeatherConfig {
+    /// The paper's base configuration for a given setting:
+    /// `#T = 1000`, `#P = 250`, 5-NN, 5 observations.
+    pub fn paper_default(pattern: PatternSetting) -> Self {
+        Self {
+            n_temp: 1000,
+            n_precip: 250,
+            k_neighbors: 5,
+            n_obs: 5,
+            pattern,
+            seed: 0,
+        }
+    }
+}
+
+/// Relation ids of the four kNN link types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeatherRelations {
+    /// ⟨T, T⟩.
+    pub tt: RelationId,
+    /// ⟨T, P⟩.
+    pub tp: RelationId,
+    /// ⟨P, T⟩.
+    pub pt: RelationId,
+    /// ⟨P, P⟩.
+    pub pp: RelationId,
+}
+
+impl WeatherRelations {
+    /// `(label, id)` pairs in the paper's Table 5 column order.
+    pub fn labeled(&self) -> [(&'static str, RelationId); 4] {
+        [
+            ("<T,T>", self.tt),
+            ("<T,P>", self.tp),
+            ("<P,T>", self.pt),
+            ("<P,P>", self.pp),
+        ]
+    }
+}
+
+/// A generated weather sensor network with its ground truth.
+#[derive(Debug, Clone)]
+pub struct WeatherNetwork {
+    /// The network: sensors, kNN links, observations.
+    pub graph: HinGraph,
+    /// Hard ground-truth cluster per sensor (argmax of the soft membership).
+    pub labels: Vec<usize>,
+    /// Soft ground-truth memberships used by the generator.
+    pub true_membership: Vec<Vec<f64>>,
+    /// Temperature attribute id.
+    pub temp_attr: AttributeId,
+    /// Precipitation attribute id.
+    pub precip_attr: AttributeId,
+    /// The four kNN relations.
+    pub relations: WeatherRelations,
+    /// Object ids of temperature sensors (index-aligned with the first
+    /// `n_temp` label entries).
+    pub temp_sensors: Vec<ObjectId>,
+    /// Object ids of precipitation sensors.
+    pub precip_sensors: Vec<ObjectId>,
+    /// Number of clusters.
+    pub n_clusters: usize,
+}
+
+/// Generates a weather sensor network per Appendix C.
+///
+/// # Panics
+/// Panics if either sensor count is zero or `k_neighbors` is zero.
+pub fn generate(config: &WeatherConfig) -> WeatherNetwork {
+    assert!(config.n_temp > 0 && config.n_precip > 0, "need sensors of both types");
+    assert!(config.k_neighbors > 0, "need at least one neighbor per type");
+    let means = config.pattern.means();
+    let k_clusters = means.len();
+    let (std_t, std_p) = config.pattern.stds();
+    let mut rng = genclus_stats::seeded_rng(config.seed);
+
+    let n = config.n_temp + config.n_precip;
+    // Step 2: uniform positions in the unit disk (area-uniform: r = √u).
+    let mut pos = Vec::with_capacity(n);
+    for _ in 0..n {
+        let r = rng.gen::<f64>().sqrt();
+        let phi = rng.gen::<f64>() * std::f64::consts::TAU;
+        pos.push((r * phi.cos(), r * phi.sin()));
+    }
+
+    // Steps 3–4: ring-based soft memberships. "Partitioned equally into K
+    // rings" = equal-*area* rings (so the K weather patterns cover the same
+    // number of sensors): ring k spans radii [√(k/K), √((k+1)/K)), and its
+    // center radius is the band midpoint.
+    let ring_center = |k: usize| {
+        let lo = (k as f64 / k_clusters as f64).sqrt();
+        let hi = ((k as f64 + 1.0) / k_clusters as f64).sqrt();
+        0.5 * (lo + hi)
+    };
+    let mut membership = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for (i, &(x, y)) in pos.iter().enumerate() {
+        let radius = (x * x + y * y).sqrt();
+        let is_temp = i < config.n_temp;
+        // Temperature sensors blend 2 rings, precipitation sensors 3.
+        let blend = if is_temp { 2 } else { 3 };
+        let mut by_dist: Vec<(usize, f64)> = (0..k_clusters)
+            .map(|k| (k, (radius - ring_center(k)).abs()))
+            .collect();
+        by_dist.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let mut theta = vec![0.0; k_clusters];
+        for &(k, d) in by_dist.iter().take(blend) {
+            theta[k] = 1.0 / (d + 1e-3);
+        }
+        let total: f64 = theta.iter().sum();
+        theta.iter_mut().for_each(|t| *t /= total);
+        labels.push(genclus_stats::simplex::argmax(&theta));
+        membership.push(theta);
+    }
+
+    // Schema and objects.
+    let mut schema = Schema::new();
+    let t_type = schema.add_object_type("temp_sensor");
+    let p_type = schema.add_object_type("precip_sensor");
+    let relations = WeatherRelations {
+        tt: schema.add_relation("tt", t_type, t_type),
+        tp: schema.add_relation("tp", t_type, p_type),
+        pt: schema.add_relation("pt", p_type, t_type),
+        pp: schema.add_relation("pp", p_type, p_type),
+    };
+    let temp_attr = schema.add_numerical_attribute("temperature");
+    let precip_attr = schema.add_numerical_attribute("precipitation");
+
+    let mut builder = HinBuilder::new(schema);
+    let temp_sensors: Vec<ObjectId> = (0..config.n_temp)
+        .map(|i| builder.add_object(t_type, format!("T{i}")))
+        .collect();
+    let precip_sensors: Vec<ObjectId> = (0..config.n_precip)
+        .map(|i| builder.add_object(p_type, format!("P{i}")))
+        .collect();
+    let object_of = |i: usize| {
+        if i < config.n_temp {
+            temp_sensors[i]
+        } else {
+            precip_sensors[i - config.n_temp]
+        }
+    };
+
+    // Step 2 (links): k nearest neighbors of each type, binary weight.
+    let temp_range = 0..config.n_temp;
+    let precip_range = config.n_temp..n;
+    for i in 0..n {
+        let is_temp = i < config.n_temp;
+        for (target_temp, rel) in [
+            (true, if is_temp { relations.tt } else { relations.pt }),
+            (false, if is_temp { relations.tp } else { relations.pp }),
+        ] {
+            let range = if target_temp {
+                temp_range.clone()
+            } else {
+                precip_range.clone()
+            };
+            let mut cands: Vec<(usize, f64)> = range
+                .filter(|&j| j != i)
+                .map(|j| {
+                    let dx = pos[i].0 - pos[j].0;
+                    let dy = pos[i].1 - pos[j].1;
+                    (j, dx * dx + dy * dy)
+                })
+                .collect();
+            let k = config.k_neighbors.min(cands.len());
+            cands.select_nth_unstable_by(k.saturating_sub(1), |a, b| {
+                a.1.partial_cmp(&b.1).unwrap()
+            });
+            for &(j, _) in cands.iter().take(k) {
+                builder
+                    .add_link(object_of(i), object_of(j), rel, 1.0)
+                    .expect("generator produces schema-valid links");
+            }
+        }
+    }
+
+    // Step 5: mixture-sampled observations; each sensor sees only its own
+    // attribute.
+    #[allow(clippy::needless_range_loop)] // index selects both membership row and object
+    for i in 0..n {
+        let is_temp = i < config.n_temp;
+        let (attr, std) = if is_temp {
+            (temp_attr, std_t)
+        } else {
+            (precip_attr, std_p)
+        };
+        for _ in 0..config.n_obs {
+            let z = sample_categorical(&mut rng, &membership[i]);
+            let mu = if is_temp { means[z].0 } else { means[z].1 };
+            builder
+                .add_numeric(object_of(i), attr, sample_gaussian(&mut rng, mu, std))
+                .expect("generator produces valid observations");
+        }
+    }
+
+    WeatherNetwork {
+        graph: builder.build().expect("generator networks are schema-valid"),
+        labels,
+        true_membership: membership,
+        temp_attr,
+        precip_attr,
+        relations,
+        temp_sensors,
+        precip_sensors,
+        n_clusters: k_clusters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> WeatherConfig {
+        WeatherConfig {
+            n_temp: 60,
+            n_precip: 30,
+            k_neighbors: 3,
+            n_obs: 5,
+            pattern: PatternSetting::Setting1,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn structure_matches_appendix_c() {
+        let cfg = small_config();
+        let net = generate(&cfg);
+        assert_eq!(net.graph.n_objects(), 90);
+        assert_eq!(net.temp_sensors.len(), 60);
+        assert_eq!(net.precip_sensors.len(), 30);
+        // Every sensor has k out-links per type → 2k out-links.
+        for v in net.graph.objects() {
+            assert_eq!(net.graph.out_links(v).len(), 6, "sensor {v}");
+        }
+        // Relation totals: #T·k for tt and tp; #P·k for pt and pp.
+        assert_eq!(net.graph.relation_link_count(net.relations.tt), 180);
+        assert_eq!(net.graph.relation_link_count(net.relations.tp), 180);
+        assert_eq!(net.graph.relation_link_count(net.relations.pt), 90);
+        assert_eq!(net.graph.relation_link_count(net.relations.pp), 90);
+    }
+
+    #[test]
+    fn observations_are_type_exclusive() {
+        let net = generate(&small_config());
+        let temp = net.graph.attribute(net.temp_attr);
+        let precip = net.graph.attribute(net.precip_attr);
+        for &v in &net.temp_sensors {
+            assert_eq!(temp.values(v).len(), 5);
+            assert!(precip.values(v).is_empty(), "T sensors must not report precip");
+        }
+        for &v in &net.precip_sensors {
+            assert_eq!(precip.values(v).len(), 5);
+            assert!(temp.values(v).is_empty());
+        }
+    }
+
+    #[test]
+    fn memberships_blend_two_or_three_rings() {
+        let net = generate(&small_config());
+        for (i, theta) in net.true_membership.iter().enumerate() {
+            let nonzero = theta.iter().filter(|&&t| t > 0.0).count();
+            let expected = if i < 60 { 2 } else { 3 };
+            assert_eq!(nonzero, expected, "sensor {i}: {theta:?}");
+            assert!((theta.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn labels_match_argmax_membership() {
+        let net = generate(&small_config());
+        for (i, theta) in net.true_membership.iter().enumerate() {
+            assert_eq!(net.labels[i], genclus_stats::simplex::argmax(theta));
+        }
+        // All four clusters should be inhabited at this size.
+        let mut seen = [false; 4];
+        for &l in &net.labels {
+            seen[l] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "labels {:?}", net.labels);
+    }
+
+    #[test]
+    fn observations_track_their_ring_means() {
+        // In Setting 1, a ring-k-labeled sensor's mean observation should be
+        // near k+1 (means are (1,1)…(4,4)), within mixture blur.
+        let mut cfg = small_config();
+        cfg.n_obs = 20;
+        let net = generate(&cfg);
+        let temp = net.graph.attribute(net.temp_attr);
+        for (idx, &v) in net.temp_sensors.iter().enumerate() {
+            let vals = temp.values(v);
+            let mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
+            let expected: f64 = net.true_membership[idx]
+                .iter()
+                .enumerate()
+                .map(|(k, &w)| w * (k as f64 + 1.0))
+                .sum();
+            assert!(
+                (mean - expected).abs() < 1.0,
+                "sensor {idx}: mean {mean} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a = generate(&small_config());
+        let b = generate(&small_config());
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.graph.n_links(), b.graph.n_links());
+        let mut cfg = small_config();
+        cfg.seed = 43;
+        let c = generate(&cfg);
+        assert_ne!(a.labels, c.labels, "different seed must reshuffle");
+    }
+
+    #[test]
+    fn setting2_means_are_xor_like() {
+        let means = PatternSetting::Setting2.means();
+        // Temperature alone cannot separate clusters 0/3 or 1/2.
+        assert_eq!(means[0].0, means[3].0);
+        assert_eq!(means[1].0, means[2].0);
+        // Precipitation alone cannot separate clusters 0/1 or 2/3.
+        assert_eq!(means[0].1, means[1].1);
+        assert_eq!(means[2].1, means[3].1);
+    }
+
+    #[test]
+    fn paper_default_sizes() {
+        let cfg = WeatherConfig::paper_default(PatternSetting::Setting1);
+        assert_eq!(cfg.n_temp, 1000);
+        assert_eq!(cfg.n_precip, 250);
+        assert_eq!(cfg.k_neighbors, 5);
+    }
+}

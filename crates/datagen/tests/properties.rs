@@ -1,0 +1,128 @@
+//! Property-based tests for the generators: structural invariants must hold
+//! for arbitrary configurations and seeds.
+
+use genclus_datagen::dblp::{self, DblpConfig};
+use genclus_datagen::vocab;
+use genclus_datagen::weather::{self, PatternSetting, WeatherConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Weather networks always have exactly `2k` out-links per sensor, soft
+    /// memberships on the simplex, labels matching argmax, and the right
+    /// observation counts on the right attribute.
+    #[test]
+    fn weather_generator_invariants(
+        seed in any::<u64>(),
+        n_temp in 10usize..60,
+        n_precip in 5usize..40,
+        k_nn in 1usize..4,
+        n_obs in 1usize..6,
+        setting in 0u8..2,
+    ) {
+        let pattern = if setting == 0 {
+            PatternSetting::Setting1
+        } else {
+            PatternSetting::Setting2
+        };
+        let net = weather::generate(&WeatherConfig {
+            n_temp,
+            n_precip,
+            k_neighbors: k_nn,
+            n_obs,
+            pattern,
+            seed,
+        });
+        prop_assert_eq!(net.graph.n_objects(), n_temp + n_precip);
+        for v in net.graph.objects() {
+            prop_assert_eq!(net.graph.out_links(v).len(), 2 * k_nn);
+        }
+        for (i, theta) in net.true_membership.iter().enumerate() {
+            prop_assert!((theta.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert_eq!(net.labels[i], genclus_stats::simplex::argmax(theta));
+        }
+        let temp = net.graph.attribute(net.temp_attr);
+        let precip = net.graph.attribute(net.precip_attr);
+        for &v in &net.temp_sensors {
+            prop_assert_eq!(temp.values(v).len(), n_obs);
+            prop_assert!(precip.values(v).is_empty());
+        }
+        for &v in &net.precip_sensors {
+            prop_assert_eq!(precip.values(v).len(), n_obs);
+            prop_assert!(temp.values(v).is_empty());
+        }
+    }
+
+    /// Every DBLP paper references valid authors/venues, uses in-vocabulary
+    /// terms, and both network views stay mutually consistent in size.
+    #[test]
+    fn dblp_generator_invariants(
+        seed in any::<u64>(),
+        n_authors in 10usize..80,
+        n_papers in 10usize..120,
+    ) {
+        let corpus = dblp::generate(&DblpConfig {
+            n_authors,
+            n_papers,
+            seed,
+            ..DblpConfig::default()
+        });
+        prop_assert_eq!(corpus.venues.len(), 20);
+        for p in &corpus.papers {
+            prop_assert!(!p.authors.is_empty());
+            prop_assert!(p.authors.iter().all(|&a| a < n_authors));
+            prop_assert!(p.venue < 20);
+            prop_assert!(p.area < 4);
+            prop_assert!(p.title.iter().all(|&t| (t as usize) < vocab::vocab_size()));
+            // Authors are unique per paper.
+            let mut sorted = p.authors.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), p.authors.len());
+        }
+
+        let ac = corpus.build_ac();
+        prop_assert_eq!(ac.graph.n_objects(), n_authors + 20);
+        prop_assert_eq!(ac.labels.len(), ac.graph.n_objects());
+        // publish_in and published_by mirror each other exactly.
+        prop_assert_eq!(
+            ac.graph.relation_link_count(ac.rel_ac),
+            ac.graph.relation_link_count(ac.rel_ca)
+        );
+
+        let acp = corpus.build_acp();
+        prop_assert_eq!(acp.graph.n_objects(), n_authors + 20 + n_papers);
+        prop_assert_eq!(
+            acp.graph.relation_link_count(acp.rel_cp),
+            n_papers
+        );
+        prop_assert_eq!(
+            acp.graph.relation_link_count(acp.rel_ap),
+            corpus.papers.iter().map(|p| p.authors.len()).sum::<usize>()
+        );
+    }
+
+    /// Generation is a pure function of its config (determinism), and the
+    /// seed actually matters.
+    #[test]
+    fn generators_are_deterministic(seed in any::<u64>()) {
+        let cfg = WeatherConfig {
+            n_temp: 20,
+            n_precip: 10,
+            k_neighbors: 2,
+            n_obs: 2,
+            pattern: PatternSetting::Setting1,
+            seed,
+        };
+        let a = weather::generate(&cfg);
+        let b = weather::generate(&cfg);
+        prop_assert_eq!(a.labels, b.labels);
+        prop_assert_eq!(a.graph.n_links(), b.graph.n_links());
+
+        let dcfg = DblpConfig { n_authors: 20, n_papers: 30, seed, ..DblpConfig::default() };
+        let c1 = dblp::generate(&dcfg);
+        let c2 = dblp::generate(&dcfg);
+        prop_assert_eq!(c1.papers, c2.papers);
+    }
+}

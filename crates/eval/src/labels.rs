@@ -1,0 +1,124 @@
+//! Partial ground-truth labels.
+//!
+//! Real evaluation networks label only a subset of objects (§5.1: "labels
+//! were associated with a subset of the nodes"). [`LabelSet`] stores an
+//! optional class per object and supports restriction to arbitrary object
+//! subsets (e.g. one object type) for the per-type NMI columns of
+//! Figs. 5–6.
+
+use genclus_hin::ObjectId;
+
+/// Ground-truth class labels for a (subset of a) network's objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelSet {
+    labels: Vec<Option<usize>>,
+    n_classes: usize,
+}
+
+impl LabelSet {
+    /// An unlabeled set over `n` objects.
+    pub fn new(n: usize) -> Self {
+        Self {
+            labels: vec![None; n],
+            n_classes: 0,
+        }
+    }
+
+    /// Labels object `v` with `class`.
+    pub fn set(&mut self, v: ObjectId, class: usize) {
+        self.labels[v.index()] = Some(class);
+        self.n_classes = self.n_classes.max(class + 1);
+    }
+
+    /// The label of `v`, if any.
+    pub fn get(&self, v: ObjectId) -> Option<usize> {
+        self.labels[v.index()]
+    }
+
+    /// Number of objects covered (labeled or not).
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether no object is labeled.
+    pub fn is_empty(&self) -> bool {
+        self.labels.iter().all(Option::is_none)
+    }
+
+    /// Number of distinct classes (1 + max label seen).
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Number of labeled objects.
+    pub fn n_labeled(&self) -> usize {
+        self.labels.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// All labeled object ids, ascending.
+    pub fn labeled_objects(&self) -> Vec<ObjectId> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.map(|_| ObjectId::from_index(i)))
+            .collect()
+    }
+
+    /// `(prediction, truth)` pairs over the labeled objects in `subset`
+    /// (or over all labeled objects when `subset` is `None`), given a dense
+    /// per-object prediction vector.
+    pub fn paired_with<'a>(
+        &'a self,
+        predictions: &'a [usize],
+        subset: Option<&'a [ObjectId]>,
+    ) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        match subset {
+            Some(objs) => {
+                for &v in objs {
+                    if let Some(t) = self.get(v) {
+                        out.push((predictions[v.index()], t));
+                    }
+                }
+            }
+            None => {
+                for (i, l) in self.labels.iter().enumerate() {
+                    if let Some(t) = l {
+                        out.push((predictions[i], *t));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partial_labeling_bookkeeping() {
+        let mut ls = LabelSet::new(5);
+        assert!(ls.is_empty());
+        ls.set(ObjectId(1), 0);
+        ls.set(ObjectId(3), 2);
+        assert_eq!(ls.n_labeled(), 2);
+        assert_eq!(ls.n_classes(), 3);
+        assert_eq!(ls.get(ObjectId(0)), None);
+        assert_eq!(ls.get(ObjectId(3)), Some(2));
+        assert_eq!(ls.labeled_objects(), vec![ObjectId(1), ObjectId(3)]);
+        assert!(!ls.is_empty());
+    }
+
+    #[test]
+    fn pairing_respects_subset_and_labels() {
+        let mut ls = LabelSet::new(4);
+        ls.set(ObjectId(0), 1);
+        ls.set(ObjectId(2), 0);
+        let pred = vec![1, 0, 0, 1];
+        assert_eq!(ls.paired_with(&pred, None), vec![(1, 1), (0, 0)]);
+        let subset = [ObjectId(2), ObjectId(3)];
+        assert_eq!(ls.paired_with(&pred, Some(&subset)), vec![(0, 0)]);
+    }
+}

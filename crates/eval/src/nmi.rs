@@ -1,0 +1,160 @@
+//! Normalized Mutual Information (Strehl & Ghosh 2003).
+//!
+//! `NMI(X, Y) = I(X; Y) / √(H(X) · H(Y))`, computed from the contingency
+//! table of two hard partitions. The paper uses NMI against the ground-truth
+//! labels as its clustering accuracy measure (§5.2); per-type columns
+//! restrict the comparison to labeled objects of one object type.
+
+use crate::labels::LabelSet;
+use genclus_hin::ObjectId;
+
+/// NMI between two aligned hard labelings.
+///
+/// Conventions for degenerate cases: two empty labelings → 0; if both
+/// partitions are single-cluster (zero entropy) they are identical → 1; if
+/// exactly one is single-cluster the mutual information is 0 → 0.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn nmi(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "labelings must be aligned");
+    let n = a.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let ka = a.iter().max().map_or(0, |&m| m + 1);
+    let kb = b.iter().max().map_or(0, |&m| m + 1);
+    let mut joint = vec![0.0f64; ka * kb];
+    let mut ca = vec![0.0f64; ka];
+    let mut cb = vec![0.0f64; kb];
+    for (&x, &y) in a.iter().zip(b) {
+        joint[x * kb + y] += 1.0;
+        ca[x] += 1.0;
+        cb[y] += 1.0;
+    }
+    let nf = n as f64;
+    let h = |counts: &[f64]| -> f64 {
+        counts
+            .iter()
+            .filter(|&&c| c > 0.0)
+            .map(|&c| {
+                let p = c / nf;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let ha = h(&ca);
+    let hb = h(&cb);
+    if ha == 0.0 && hb == 0.0 {
+        return 1.0;
+    }
+    if ha == 0.0 || hb == 0.0 {
+        return 0.0;
+    }
+    let mut mi = 0.0;
+    for x in 0..ka {
+        if ca[x] == 0.0 {
+            continue;
+        }
+        for y in 0..kb {
+            let cxy = joint[x * kb + y];
+            if cxy > 0.0 {
+                let pxy = cxy / nf;
+                mi += pxy * (pxy * nf * nf / (ca[x] * cb[y])).ln();
+            }
+        }
+    }
+    (mi / (ha * hb).sqrt()).clamp(0.0, 1.0)
+}
+
+/// NMI of a dense prediction vector against a partial ground truth,
+/// restricted to the labeled objects of `subset` (or all labeled objects
+/// when `subset` is `None`) — the per-type accuracy columns of Figs. 5–6.
+pub fn nmi_against(
+    predictions: &[usize],
+    truth: &LabelSet,
+    subset: Option<&[ObjectId]>,
+) -> f64 {
+    let pairs = truth.paired_with(predictions, subset);
+    let (pred, gt): (Vec<usize>, Vec<usize>) = pairs.into_iter().unzip();
+    nmi(&pred, &gt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = [0, 0, 1, 1, 2, 2];
+        assert!((nmi(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permuted_labels_still_score_one() {
+        // NMI is invariant to label renaming.
+        let a = [0, 0, 1, 1, 2, 2];
+        let b = [2, 2, 0, 0, 1, 1];
+        assert!((nmi(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_partitions_score_near_zero() {
+        // A perfectly balanced independent pairing has zero MI.
+        let a = [0, 0, 1, 1, 0, 0, 1, 1];
+        let b = [0, 1, 0, 1, 0, 1, 0, 1];
+        assert!(nmi(&a, &b) < 1e-12);
+    }
+
+    #[test]
+    fn partial_overlap_is_strictly_between() {
+        let a = [0, 0, 0, 1, 1, 1];
+        let b = [0, 0, 1, 1, 1, 1]; // one object moved
+        let v = nmi(&a, &b);
+        assert!(v > 0.1 && v < 0.99, "got {v}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = [0, 1, 0, 2, 1, 0];
+        let b = [1, 1, 0, 2, 2, 0];
+        assert!((nmi(&a, &b) - nmi(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(nmi(&[], &[]), 0.0);
+        // Both single-cluster: identical partitions.
+        assert_eq!(nmi(&[0, 0, 0], &[0, 0, 0]), 1.0);
+        // One single-cluster, the other not: no information shared.
+        assert_eq!(nmi(&[0, 0, 0], &[0, 1, 2]), 0.0);
+    }
+
+    #[test]
+    fn known_value_two_by_two() {
+        // Contingency [[2,1],[1,2]]: H = ln 2 each, MI computable by hand.
+        let a = [0, 0, 0, 1, 1, 1];
+        let b = [0, 0, 1, 0, 1, 1];
+        let n = 6.0f64;
+        let mi = 2.0 * (2.0 / n) * ((2.0 / n) / (0.5 * 0.5)).ln()
+            + 2.0 * (1.0 / n) * ((1.0 / n) / (0.5 * 0.5)).ln();
+        let expected = mi / (2.0f64.ln());
+        assert!((nmi(&a, &b) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restriction_to_subset() {
+        let mut truth = LabelSet::new(6);
+        // Only objects 0..4 labeled; predictions are perfect there but
+        // garbage on the unlabeled tail, which must not matter.
+        for i in 0..4 {
+            truth.set(ObjectId(i), (i % 2) as usize);
+        }
+        let predictions = vec![1, 0, 1, 0, 0, 0];
+        assert!((nmi_against(&predictions, &truth, None) - 1.0).abs() < 1e-12);
+        // Restricting to a subset with a single labeled object of one class.
+        let subset = [ObjectId(0), ObjectId(4)];
+        let v = nmi_against(&predictions, &truth, Some(&subset));
+        assert_eq!(v, 1.0); // one object, both "partitions" single-cluster
+    }
+}

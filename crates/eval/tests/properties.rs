@@ -1,0 +1,67 @@
+//! Property-based tests for the evaluation metrics.
+
+use genclus_eval::prelude::*;
+use genclus_hin::ObjectId;
+use proptest::prelude::*;
+
+proptest! {
+    /// NMI is bounded in [0, 1], symmetric, and 1 on self-comparison.
+    #[test]
+    fn nmi_bounds_and_symmetry(
+        pairs in proptest::collection::vec((0usize..5, 0usize..5), 1..60),
+    ) {
+        let (a, b): (Vec<usize>, Vec<usize>) = pairs.into_iter().unzip();
+        let v = nmi(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&v), "NMI out of range: {v}");
+        prop_assert!((v - nmi(&b, &a)).abs() < 1e-12);
+        prop_assert!((nmi(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    /// NMI is invariant under relabeling of either partition.
+    #[test]
+    fn nmi_relabel_invariance(
+        labels in proptest::collection::vec((0usize..4, 0usize..4), 2..40),
+    ) {
+        let (a, b): (Vec<usize>, Vec<usize>) = labels.into_iter().unzip();
+        // Apply the permutation k → 3 − k to a.
+        let a_perm: Vec<usize> = a.iter().map(|&x| 3 - x).collect();
+        prop_assert!((nmi(&a, &b) - nmi(&a_perm, &b)).abs() < 1e-9);
+    }
+
+    /// AP is within [0, 1]; 1 exactly when all relevant items are ranked
+    /// first.
+    #[test]
+    fn ap_bounds(
+        n in 1usize..30,
+        n_rel in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        use rand::seq::SliceRandom;
+        let n_rel = n_rel.min(n);
+        let mut rng = genclus_stats::seeded_rng(seed);
+        let mut ranked: Vec<ObjectId> = (0..n as u32).map(ObjectId).collect();
+        ranked.shuffle(&mut rng);
+        let relevant: Vec<ObjectId> = ranked[..n_rel].to_vec(); // relevant = top-ranked
+        let ap = average_precision(&ranked, &relevant);
+        prop_assert!((ap - 1.0).abs() < 1e-12, "front-loaded relevant must give AP 1");
+
+        // Arbitrary relevant subset stays within bounds.
+        let mut all: Vec<ObjectId> = (0..n as u32).map(ObjectId).collect();
+        all.shuffle(&mut rng);
+        let arb = &all[..n_rel];
+        let ap = average_precision(&ranked, arb);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ap));
+    }
+
+    /// Moving a relevant item earlier never decreases AP.
+    #[test]
+    fn ap_monotone_in_rank(n in 4usize..20, pos in 1usize..19) {
+        let pos = pos.min(n - 1);
+        let ranked: Vec<ObjectId> = (0..n as u32).map(ObjectId).collect();
+        let relevant = [ObjectId(pos as u32)];
+        let ap_here = average_precision(&ranked, &relevant);
+        let better = [ObjectId(pos as u32 - 1)];
+        let ap_better = average_precision(&ranked, &better);
+        prop_assert!(ap_better >= ap_here);
+    }
+}

@@ -1,0 +1,171 @@
+//! Per-attribute observation storage.
+//!
+//! Each attribute `X` stores, for every object, an observation list `v[X]`
+//! (possibly empty — the incompleteness the paper's title refers to):
+//!
+//! * categorical attributes store sparse term counts `c_{v,l}` — the paper's
+//!   term bags of Eq. 3;
+//! * numerical attributes store the raw value list of Eq. 4.
+//!
+//! `V_X` — the set of objects carrying at least one observation of `X` — is
+//! exactly the set of objects the attribute part of the EM update touches;
+//! [`AttributeData::objects_with_observations`] materializes it.
+
+use crate::ids::ObjectId;
+
+/// Observations of a single attribute across all objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttributeData {
+    /// Sparse term counts per object: `(term index, count)` pairs sorted by
+    /// term index. Counts are `f64` so generators may use fractional weights.
+    Categorical {
+        /// Vocabulary size (term indices are `0..vocab_size`).
+        vocab_size: usize,
+        /// `counts[v]` = term-count pairs of object `v`.
+        counts: Vec<Vec<(u32, f64)>>,
+    },
+    /// Raw numerical observation lists per object.
+    Numerical {
+        /// `values[v]` = observation list of object `v`.
+        values: Vec<Vec<f64>>,
+    },
+}
+
+impl AttributeData {
+    /// Number of objects with at least one observation (`|V_X|`).
+    pub fn n_observed_objects(&self) -> usize {
+        match self {
+            Self::Categorical { counts, .. } => counts.iter().filter(|c| !c.is_empty()).count(),
+            Self::Numerical { values } => values.iter().filter(|v| !v.is_empty()).count(),
+        }
+    }
+
+    /// Total number of observations across all objects
+    /// (categorical counts sum; numerical list lengths).
+    pub fn n_observations(&self) -> f64 {
+        match self {
+            Self::Categorical { counts, .. } => counts
+                .iter()
+                .flat_map(|c| c.iter().map(|&(_, n)| n))
+                .sum(),
+            Self::Numerical { values } => values.iter().map(|v| v.len() as f64).sum(),
+        }
+    }
+
+    /// Whether object `v` has any observation of this attribute.
+    pub fn has_observations(&self, v: ObjectId) -> bool {
+        match self {
+            Self::Categorical { counts, .. } => !counts[v.index()].is_empty(),
+            Self::Numerical { values } => !values[v.index()].is_empty(),
+        }
+    }
+
+    /// Ids of all objects with at least one observation, ascending.
+    pub fn objects_with_observations(&self) -> Vec<ObjectId> {
+        let has: Box<dyn Iterator<Item = bool> + '_> = match self {
+            Self::Categorical { counts, .. } => Box::new(counts.iter().map(|c| !c.is_empty())),
+            Self::Numerical { values } => Box::new(values.iter().map(|v| !v.is_empty())),
+        };
+        has.enumerate()
+            .filter(|&(_i, h)| h).map(|(i, _h)| ObjectId::from_index(i))
+            .collect()
+    }
+
+    /// Term counts of object `v`.
+    ///
+    /// # Panics
+    /// Panics if the attribute is numerical.
+    pub fn term_counts(&self, v: ObjectId) -> &[(u32, f64)] {
+        match self {
+            Self::Categorical { counts, .. } => &counts[v.index()],
+            Self::Numerical { .. } => panic!("term_counts on a numerical attribute"),
+        }
+    }
+
+    /// Numerical values of object `v`.
+    ///
+    /// # Panics
+    /// Panics if the attribute is categorical.
+    pub fn values(&self, v: ObjectId) -> &[f64] {
+        match self {
+            Self::Numerical { values } => &values[v.index()],
+            Self::Categorical { .. } => panic!("values on a categorical attribute"),
+        }
+    }
+
+    /// Vocabulary size of a categorical attribute.
+    ///
+    /// # Panics
+    /// Panics if the attribute is numerical.
+    pub fn vocab_size(&self) -> usize {
+        match self {
+            Self::Categorical { vocab_size, .. } => *vocab_size,
+            Self::Numerical { .. } => panic!("vocab_size on a numerical attribute"),
+        }
+    }
+}
+
+/// All attribute observation tables of a network, indexed by `AttributeId`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AttributeStore {
+    /// One table per declared attribute.
+    pub tables: Vec<AttributeData>,
+}
+
+impl AttributeStore {
+    /// Table of attribute `a`.
+    pub fn table(&self, a: crate::ids::AttributeId) -> &AttributeData {
+        &self.tables[a.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn categorical_fixture() -> AttributeData {
+        AttributeData::Categorical {
+            vocab_size: 5,
+            counts: vec![
+                vec![(0, 2.0), (3, 1.0)], // object 0
+                vec![],                   // object 1: incomplete!
+                vec![(4, 7.0)],           // object 2
+            ],
+        }
+    }
+
+    #[test]
+    fn observed_object_accounting() {
+        let a = categorical_fixture();
+        assert_eq!(a.n_observed_objects(), 2);
+        assert_eq!(a.n_observations(), 10.0);
+        assert!(a.has_observations(ObjectId(0)));
+        assert!(!a.has_observations(ObjectId(1)));
+        assert_eq!(
+            a.objects_with_observations(),
+            vec![ObjectId(0), ObjectId(2)]
+        );
+    }
+
+    #[test]
+    fn numerical_accounting() {
+        let a = AttributeData::Numerical {
+            values: vec![vec![1.0, 2.0], vec![], vec![3.5]],
+        };
+        assert_eq!(a.n_observed_objects(), 2);
+        assert_eq!(a.n_observations(), 3.0);
+        assert_eq!(a.values(ObjectId(2)), &[3.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "numerical attribute")]
+    fn kind_confusion_panics() {
+        let a = AttributeData::Numerical { values: vec![] };
+        let _ = a.term_counts(ObjectId(0));
+    }
+
+    #[test]
+    fn vocab_size_reported() {
+        assert_eq!(categorical_fixture().vocab_size(), 5);
+    }
+}

@@ -1,0 +1,124 @@
+//! Error type for network construction and attribute access.
+
+use crate::ids::{AttributeId, ObjectId, ObjectTypeId, RelationId};
+
+/// Everything that can go wrong while building or querying a HIN.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HinError {
+    /// An object id referenced an object that was never added.
+    UnknownObject(ObjectId),
+    /// A relation id outside the schema.
+    UnknownRelation(RelationId),
+    /// An attribute id outside the schema.
+    UnknownAttribute(AttributeId),
+    /// A link's endpoint types contradict the relation definition.
+    EndpointTypeMismatch {
+        /// Offending relation.
+        relation: RelationId,
+        /// Type the schema requires (source, target).
+        expected: (ObjectTypeId, ObjectTypeId),
+        /// Types actually supplied.
+        got: (ObjectTypeId, ObjectTypeId),
+    },
+    /// Link weights must be positive and finite (§2.1 defines `W` as
+    /// positive weights; zero-weight links should simply be omitted).
+    InvalidWeight {
+        /// The offending weight.
+        weight: f64,
+    },
+    /// A categorical observation used a term index outside the vocabulary.
+    TermOutOfRange {
+        /// Offending attribute.
+        attribute: AttributeId,
+        /// Offending term index.
+        term: usize,
+        /// Size of the declared vocabulary.
+        vocab_size: usize,
+    },
+    /// An observation was supplied for the wrong attribute kind (e.g. a term
+    /// count on a numerical attribute).
+    AttributeKindMismatch {
+        /// Offending attribute.
+        attribute: AttributeId,
+        /// What the caller tried to store.
+        expected: &'static str,
+    },
+    /// A numerical observation was not finite.
+    NonFiniteObservation {
+        /// Offending attribute.
+        attribute: AttributeId,
+    },
+}
+
+impl std::fmt::Display for HinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownObject(v) => write!(f, "unknown object {v}"),
+            Self::UnknownRelation(r) => write!(f, "unknown relation {r}"),
+            Self::UnknownAttribute(a) => write!(f, "unknown attribute {a}"),
+            Self::EndpointTypeMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "link endpoint types ({}, {}) do not match relation {relation} \
+                 which requires ({}, {})",
+                got.0, got.1, expected.0, expected.1
+            ),
+            Self::InvalidWeight { weight } => {
+                write!(f, "link weight must be positive and finite, got {weight}")
+            }
+            Self::TermOutOfRange {
+                attribute,
+                term,
+                vocab_size,
+            } => write!(
+                f,
+                "term {term} out of range for attribute {attribute} with vocabulary size {vocab_size}"
+            ),
+            Self::AttributeKindMismatch {
+                attribute,
+                expected,
+            } => write!(
+                f,
+                "attribute {attribute} cannot store a {expected} observation (wrong kind)"
+            ),
+            Self::NonFiniteObservation { attribute } => {
+                write!(f, "non-finite observation for attribute {attribute}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HinError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_specific() {
+        let e = HinError::EndpointTypeMismatch {
+            relation: RelationId(2),
+            expected: (ObjectTypeId(0), ObjectTypeId(1)),
+            got: (ObjectTypeId(1), ObjectTypeId(1)),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("RelationId(2)"));
+        assert!(msg.contains("requires"));
+
+        let e = HinError::TermOutOfRange {
+            attribute: AttributeId(0),
+            term: 99,
+            vocab_size: 10,
+        };
+        assert!(e.to_string().contains("term 99"));
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> = Box::new(HinError::UnknownObject(ObjectId(5)));
+        assert!(e.to_string().contains("ObjectId(5)"));
+    }
+}

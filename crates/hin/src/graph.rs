@@ -1,0 +1,249 @@
+//! The immutable heterogeneous network.
+//!
+//! [`HinGraph`] stores objects with their types and names, directed typed
+//! links in CSR form (both out-link and in-link adjacency are materialized at
+//! build time), and the attribute observation tables. All algorithm crates
+//! treat it as read-only shared state — it is `Sync` and can be borrowed by
+//! scoped worker threads during the parallel E-step.
+
+use crate::attributes::{AttributeData, AttributeStore};
+use crate::ids::{AttributeId, ObjectId, ObjectTypeId, RelationId};
+use crate::schema::Schema;
+
+/// One directed link as seen from one side of the adjacency.
+///
+/// In the out-link CSR, `endpoint` is the link *target*; in the in-link CSR
+/// it is the link *source*. `relation` and `weight` are the link's type
+/// `φ(e)` and weight `w(e)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    /// The other endpoint.
+    pub endpoint: ObjectId,
+    /// Link type.
+    pub relation: RelationId,
+    /// Positive weight `w(e)`.
+    pub weight: f64,
+}
+
+/// An immutable heterogeneous information network.
+///
+/// Constructed through [`crate::builder::HinBuilder`], which validates the
+/// schema constraints; the graph itself therefore never re-checks them.
+#[derive(Debug, Clone)]
+pub struct HinGraph {
+    pub(crate) schema: Schema,
+    pub(crate) obj_types: Vec<ObjectTypeId>,
+    pub(crate) obj_names: Vec<String>,
+    pub(crate) out_offsets: Vec<u32>,
+    pub(crate) out_links: Vec<Link>,
+    pub(crate) in_offsets: Vec<u32>,
+    pub(crate) in_links: Vec<Link>,
+    pub(crate) attrs: AttributeStore,
+}
+
+impl HinGraph {
+    /// The schema this network was built against.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of objects `|V|`.
+    #[inline]
+    pub fn n_objects(&self) -> usize {
+        self.obj_types.len()
+    }
+
+    /// Number of directed links `|E|`.
+    #[inline]
+    pub fn n_links(&self) -> usize {
+        self.out_links.len()
+    }
+
+    /// Type of object `v`.
+    #[inline]
+    pub fn object_type(&self, v: ObjectId) -> ObjectTypeId {
+        self.obj_types[v.index()]
+    }
+
+    /// Name of object `v` (may be empty).
+    #[inline]
+    pub fn object_name(&self, v: ObjectId) -> &str {
+        &self.obj_names[v.index()]
+    }
+
+    /// Finds an object by name (linear scan — diagnostics/examples only).
+    pub fn object_by_name(&self, name: &str) -> Option<ObjectId> {
+        self.obj_names
+            .iter()
+            .position(|n| n == name)
+            .map(ObjectId::from_index)
+    }
+
+    /// Out-links of `v`: all `e = ⟨v, u⟩`, the links driving `θ_v`'s
+    /// neighbor term in the EM update (Eq. 10).
+    #[inline]
+    pub fn out_links(&self, v: ObjectId) -> &[Link] {
+        let lo = self.out_offsets[v.index()] as usize;
+        let hi = self.out_offsets[v.index() + 1] as usize;
+        &self.out_links[lo..hi]
+    }
+
+    /// In-links of `v`: all `e = ⟨u, v⟩`, with `endpoint` = `u`.
+    #[inline]
+    pub fn in_links(&self, v: ObjectId) -> &[Link] {
+        let lo = self.in_offsets[v.index()] as usize;
+        let hi = self.in_offsets[v.index() + 1] as usize;
+        &self.in_links[lo..hi]
+    }
+
+    /// Iterates over every object id.
+    pub fn objects(&self) -> impl Iterator<Item = ObjectId> {
+        (0..self.n_objects()).map(ObjectId::from_index)
+    }
+
+    /// All objects of type `t`, ascending.
+    pub fn objects_of_type(&self, t: ObjectTypeId) -> Vec<ObjectId> {
+        self.obj_types
+            .iter()
+            .enumerate()
+            .filter(|&(_i, &ty)| ty == t).map(|(i, &_ty)| ObjectId::from_index(i))
+            .collect()
+    }
+
+    /// Iterates over every directed link as `(source, link)`.
+    pub fn iter_links(&self) -> impl Iterator<Item = (ObjectId, &Link)> {
+        (0..self.n_objects()).flat_map(move |i| {
+            let v = ObjectId::from_index(i);
+            self.out_links(v).iter().map(move |l| (v, l))
+        })
+    }
+
+    /// Number of links of relation `r`.
+    pub fn relation_link_count(&self, r: RelationId) -> usize {
+        self.out_links.iter().filter(|l| l.relation == r).count()
+    }
+
+    /// Sum of weights over links of relation `r`.
+    pub fn relation_total_weight(&self, r: RelationId) -> f64 {
+        self.out_links
+            .iter()
+            .filter(|l| l.relation == r)
+            .map(|l| l.weight)
+            .sum()
+    }
+
+    /// Observation table of attribute `a`.
+    #[inline]
+    pub fn attribute(&self, a: AttributeId) -> &AttributeData {
+        self.attrs.table(a)
+    }
+
+    /// The full attribute store.
+    #[inline]
+    pub fn attributes(&self) -> &AttributeStore {
+        &self.attrs
+    }
+
+    /// Weighted out-degree of `v` restricted to relation `r`.
+    pub fn out_weight(&self, v: ObjectId, r: RelationId) -> f64 {
+        self.out_links(v)
+            .iter()
+            .filter(|l| l.relation == r)
+            .map(|l| l.weight)
+            .sum()
+    }
+
+    /// Total weighted degree (in + out, all relations) of `v`; used by
+    /// modularity-based baselines.
+    pub fn total_degree(&self, v: ObjectId) -> f64 {
+        let out: f64 = self.out_links(v).iter().map(|l| l.weight).sum();
+        let inn: f64 = self.in_links(v).iter().map(|l| l.weight).sum();
+        out + inn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::HinBuilder;
+    use crate::ids::ObjectId;
+    use crate::schema::Schema;
+
+    /// Two authors, two papers; a0 writes p0 & p1, a1 writes p1.
+    fn toy() -> (crate::graph::HinGraph, [ObjectId; 4]) {
+        let mut s = Schema::new();
+        let author = s.add_object_type("author");
+        let paper = s.add_object_type("paper");
+        let write = s.add_relation("write", author, paper);
+        let written_by = s.add_relation("written_by", paper, author);
+        let mut b = HinBuilder::new(s);
+        let a0 = b.add_object(author, "a0");
+        let a1 = b.add_object(author, "a1");
+        let p0 = b.add_object(paper, "p0");
+        let p1 = b.add_object(paper, "p1");
+        b.add_link(a0, p0, write, 1.0).unwrap();
+        b.add_link(a0, p1, write, 2.0).unwrap();
+        b.add_link(a1, p1, write, 1.0).unwrap();
+        b.add_link(p0, a0, written_by, 1.0).unwrap();
+        b.add_link(p1, a0, written_by, 2.0).unwrap();
+        b.add_link(p1, a1, written_by, 1.0).unwrap();
+        (b.build().unwrap(), [a0, a1, p0, p1])
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let (g, [a0, a1, p0, p1]) = toy();
+        assert_eq!(g.n_objects(), 4);
+        assert_eq!(g.n_links(), 6);
+        assert_eq!(g.out_links(a0).len(), 2);
+        assert_eq!(g.out_links(a1).len(), 1);
+        assert_eq!(g.in_links(p1).len(), 2);
+        assert_eq!(g.in_links(a0).len(), 2);
+        // Out-link targets of a0 are the two papers.
+        let targets: Vec<_> = g.out_links(a0).iter().map(|l| l.endpoint).collect();
+        assert!(targets.contains(&p0) && targets.contains(&p1));
+        // In-links mirror out-links: p1's in-links come from a0 and a1.
+        let sources: Vec<_> = g.in_links(p1).iter().map(|l| l.endpoint).collect();
+        assert!(sources.contains(&a0) && sources.contains(&a1));
+    }
+
+    #[test]
+    fn per_relation_accounting() {
+        let (g, _) = toy();
+        let write = g.schema().relation_by_name("write").unwrap();
+        let written_by = g.schema().relation_by_name("written_by").unwrap();
+        assert_eq!(g.relation_link_count(write), 3);
+        assert_eq!(g.relation_total_weight(write), 4.0);
+        assert_eq!(g.relation_link_count(written_by), 3);
+    }
+
+    #[test]
+    fn type_partition_and_names() {
+        let (g, [a0, _, p0, _]) = toy();
+        let author = g.schema().object_type_by_name("author").unwrap();
+        let paper = g.schema().object_type_by_name("paper").unwrap();
+        assert_eq!(g.objects_of_type(author).len(), 2);
+        assert_eq!(g.objects_of_type(paper).len(), 2);
+        assert_eq!(g.object_type(a0), author);
+        assert_eq!(g.object_name(p0), "p0");
+        assert_eq!(g.object_by_name("a0"), Some(a0));
+        assert_eq!(g.object_by_name("ghost"), None);
+    }
+
+    #[test]
+    fn iter_links_covers_everything_once() {
+        let (g, _) = toy();
+        assert_eq!(g.iter_links().count(), 6);
+        let total: f64 = g.iter_links().map(|(_, l)| l.weight).sum();
+        assert_eq!(total, 8.0);
+    }
+
+    #[test]
+    fn degrees_and_weights() {
+        let (g, [a0, ..]) = toy();
+        let write = g.schema().relation_by_name("write").unwrap();
+        assert_eq!(g.out_weight(a0, write), 3.0);
+        // a0: out 1+2, in 1+2 → 6.
+        assert_eq!(g.total_degree(a0), 6.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Dense integer identifiers.
+//!
+//! Every entity in a network is addressed by a small newtype wrapping a dense
+//! index. Algorithms index flat vectors with these — no hashing on hot paths
+//! — and the newtypes prevent the classic "passed an author index where a
+//! relation index was expected" bug at compile time.
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $repr:ty) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// The wrapped index as a `usize`, for vector indexing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Constructs from a `usize` index.
+            ///
+            /// # Panics
+            /// Panics if `i` does not fit the underlying representation.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                assert!(
+                    i <= <$repr>::MAX as usize,
+                    concat!(stringify!($name), " index {} overflows"),
+                    i
+                );
+                Self(i as $repr)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// A node of the network (an object or event; §2.1).
+    ObjectId,
+    u32
+);
+id_newtype!(
+    /// An object type — the range of the paper's mapping `τ: V → A`.
+    ObjectTypeId,
+    u16
+);
+id_newtype!(
+    /// A link type / relation — the range of `φ: E → R`. The learned
+    /// strength vector `γ` is indexed by this id.
+    RelationId,
+    u16
+);
+id_newtype!(
+    /// An attribute declared in the schema (text or numerical).
+    AttributeId,
+    u16
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_usize() {
+        let id = ObjectId::from_index(12345);
+        assert_eq!(id.index(), 12345);
+        assert_eq!(usize::from(id), 12345);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(RelationId(3).to_string(), "RelationId(3)");
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn overflow_is_caught() {
+        let _ = RelationId::from_index(1 << 20);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ObjectId(1) < ObjectId(2));
+        assert_eq!(AttributeId::from_index(7), AttributeId(7));
+    }
+}

@@ -1,0 +1,270 @@
+//! Network schema: object types, relations, attribute declarations.
+//!
+//! The schema is the static type information of a HIN. Relations are
+//! *directed* and typed on both endpoints; the paper's observation that a
+//! relation `A R B` always has an inverse `B R⁻¹ A` is modelled by declaring
+//! both directions explicitly (e.g. `write(A, P)` and `written_by(P, A)`),
+//! exactly as the evaluation networks of §5.1 do — GenClus learns a separate
+//! strength for each direction.
+
+use crate::error::HinError;
+use crate::ids::{AttributeId, ObjectTypeId, RelationId};
+
+/// How an attribute's observations are distributed within one cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttributeKind {
+    /// Text-like attribute: each observation is a term from a vocabulary of
+    /// `vocab_size` entries; clusters are categorical distributions over the
+    /// vocabulary (Eq. 3).
+    Categorical {
+        /// Number of distinct terms.
+        vocab_size: usize,
+    },
+    /// Numerical attribute: each observation is a real value; clusters are
+    /// Gaussians (Eq. 4).
+    Numerical,
+}
+
+/// A declared attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributeDef {
+    /// Human-readable name (unique within a schema by convention, not
+    /// enforced).
+    pub name: String,
+    /// Distributional kind.
+    pub kind: AttributeKind,
+}
+
+/// A directed, typed relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationDef {
+    /// Human-readable name, e.g. `publish_in`.
+    pub name: String,
+    /// Required type of link sources.
+    pub source: ObjectTypeId,
+    /// Required type of link targets.
+    pub target: ObjectTypeId,
+}
+
+/// The static type system of a network.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Schema {
+    object_types: Vec<String>,
+    relations: Vec<RelationDef>,
+    attributes: Vec<AttributeDef>,
+}
+
+impl Schema {
+    /// An empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares an object type and returns its id.
+    pub fn add_object_type(&mut self, name: impl Into<String>) -> ObjectTypeId {
+        let id = ObjectTypeId::from_index(self.object_types.len());
+        self.object_types.push(name.into());
+        id
+    }
+
+    /// Declares a directed relation `source → target` and returns its id.
+    pub fn add_relation(
+        &mut self,
+        name: impl Into<String>,
+        source: ObjectTypeId,
+        target: ObjectTypeId,
+    ) -> RelationId {
+        assert!(
+            source.index() < self.object_types.len() && target.index() < self.object_types.len(),
+            "relation endpoints must be declared object types"
+        );
+        let id = RelationId::from_index(self.relations.len());
+        self.relations.push(RelationDef {
+            name: name.into(),
+            source,
+            target,
+        });
+        id
+    }
+
+    /// Declares a categorical (text) attribute with the given vocabulary
+    /// size.
+    pub fn add_categorical_attribute(
+        &mut self,
+        name: impl Into<String>,
+        vocab_size: usize,
+    ) -> AttributeId {
+        let id = AttributeId::from_index(self.attributes.len());
+        self.attributes.push(AttributeDef {
+            name: name.into(),
+            kind: AttributeKind::Categorical { vocab_size },
+        });
+        id
+    }
+
+    /// Declares a numerical attribute.
+    pub fn add_numerical_attribute(&mut self, name: impl Into<String>) -> AttributeId {
+        let id = AttributeId::from_index(self.attributes.len());
+        self.attributes.push(AttributeDef {
+            name: name.into(),
+            kind: AttributeKind::Numerical,
+        });
+        id
+    }
+
+    /// Number of object types.
+    pub fn n_object_types(&self) -> usize {
+        self.object_types.len()
+    }
+
+    /// Number of relations.
+    pub fn n_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Number of declared attributes.
+    pub fn n_attributes(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Name of an object type.
+    pub fn object_type_name(&self, t: ObjectTypeId) -> &str {
+        &self.object_types[t.index()]
+    }
+
+    /// Definition of a relation.
+    pub fn relation(&self, r: RelationId) -> &RelationDef {
+        &self.relations[r.index()]
+    }
+
+    /// Definition of an attribute.
+    pub fn attribute(&self, a: AttributeId) -> &AttributeDef {
+        &self.attributes[a.index()]
+    }
+
+    /// Iterates over `(id, def)` for all relations.
+    pub fn relations(&self) -> impl Iterator<Item = (RelationId, &RelationDef)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (RelationId::from_index(i), d))
+    }
+
+    /// Iterates over `(id, def)` for all attributes.
+    pub fn attributes(&self) -> impl Iterator<Item = (AttributeId, &AttributeDef)> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (AttributeId::from_index(i), d))
+    }
+
+    /// Looks up a relation id by name (linear scan; schemas are tiny).
+    pub fn relation_by_name(&self, name: &str) -> Option<RelationId> {
+        self.relations
+            .iter()
+            .position(|r| r.name == name)
+            .map(RelationId::from_index)
+    }
+
+    /// Looks up an object type id by name.
+    pub fn object_type_by_name(&self, name: &str) -> Option<ObjectTypeId> {
+        self.object_types
+            .iter()
+            .position(|t| t == name)
+            .map(ObjectTypeId::from_index)
+    }
+
+    /// Looks up an attribute id by name.
+    pub fn attribute_by_name(&self, name: &str) -> Option<AttributeId> {
+        self.attributes
+            .iter()
+            .position(|a| a.name == name)
+            .map(AttributeId::from_index)
+    }
+
+    /// Validates that `r` is a declared relation.
+    pub(crate) fn check_relation(&self, r: RelationId) -> Result<(), HinError> {
+        if r.index() < self.relations.len() {
+            Ok(())
+        } else {
+            Err(HinError::UnknownRelation(r))
+        }
+    }
+
+    /// Validates that `a` is a declared attribute.
+    pub(crate) fn check_attribute(&self, a: AttributeId) -> Result<(), HinError> {
+        if a.index() < self.attributes.len() {
+            Ok(())
+        } else {
+            Err(HinError::UnknownAttribute(a))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_schema() -> (Schema, ObjectTypeId, ObjectTypeId) {
+        let mut s = Schema::new();
+        let a = s.add_object_type("author");
+        let p = s.add_object_type("paper");
+        (s, a, p)
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let (mut s, a, p) = toy_schema();
+        assert_eq!(a, ObjectTypeId(0));
+        assert_eq!(p, ObjectTypeId(1));
+        let w = s.add_relation("write", a, p);
+        let wb = s.add_relation("written_by", p, a);
+        assert_eq!(w, RelationId(0));
+        assert_eq!(wb, RelationId(1));
+        assert_eq!(s.n_relations(), 2);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let (mut s, a, p) = toy_schema();
+        let w = s.add_relation("write", a, p);
+        let text = s.add_categorical_attribute("text", 100);
+        let temp = s.add_numerical_attribute("temperature");
+        assert_eq!(s.relation_by_name("write"), Some(w));
+        assert_eq!(s.relation_by_name("nope"), None);
+        assert_eq!(s.object_type_by_name("paper"), Some(p));
+        assert_eq!(s.attribute_by_name("text"), Some(text));
+        assert_eq!(s.attribute_by_name("temperature"), Some(temp));
+        assert_eq!(
+            s.attribute(text).kind,
+            AttributeKind::Categorical { vocab_size: 100 }
+        );
+        assert_eq!(s.attribute(temp).kind, AttributeKind::Numerical);
+    }
+
+    #[test]
+    fn relation_endpoints_are_recorded() {
+        let (mut s, a, p) = toy_schema();
+        let w = s.add_relation("write", a, p);
+        assert_eq!(s.relation(w).source, a);
+        assert_eq!(s.relation(w).target, p);
+        assert_eq!(s.relation(w).name, "write");
+    }
+
+    #[test]
+    #[should_panic(expected = "declared object types")]
+    fn relation_with_undeclared_type_panics() {
+        let (mut s, a, _) = toy_schema();
+        s.add_relation("bad", a, ObjectTypeId(99));
+    }
+
+    #[test]
+    fn iterators_cover_all_entries() {
+        let (mut s, a, p) = toy_schema();
+        s.add_relation("write", a, p);
+        s.add_relation("written_by", p, a);
+        s.add_categorical_attribute("text", 10);
+        assert_eq!(s.relations().count(), 2);
+        assert_eq!(s.attributes().count(), 1);
+    }
+}

@@ -1,0 +1,190 @@
+//! Descriptive network statistics.
+//!
+//! Examples and the experiment harness print these summaries so a reader can
+//! verify a generated network matches the paper's description (object counts
+//! per type, link counts per relation, attribute coverage).
+
+use crate::graph::HinGraph;
+use crate::ids::{AttributeId, ObjectTypeId, RelationId};
+
+/// Summary of one object type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeStats {
+    /// Type id.
+    pub id: ObjectTypeId,
+    /// Type name.
+    pub name: String,
+    /// Objects of this type.
+    pub n_objects: usize,
+}
+
+/// Summary of one relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationStats {
+    /// Relation id.
+    pub id: RelationId,
+    /// Relation name.
+    pub name: String,
+    /// Links of this relation.
+    pub n_links: usize,
+    /// Sum of link weights.
+    pub total_weight: f64,
+}
+
+/// Summary of one attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeStats {
+    /// Attribute id.
+    pub id: AttributeId,
+    /// Attribute name.
+    pub name: String,
+    /// Objects with ≥ 1 observation (`|V_X|`).
+    pub n_observed_objects: usize,
+    /// Total observation mass.
+    pub n_observations: f64,
+}
+
+/// Full descriptive summary of a network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkStats {
+    /// Total objects.
+    pub n_objects: usize,
+    /// Total directed links.
+    pub n_links: usize,
+    /// Per-type breakdown.
+    pub types: Vec<TypeStats>,
+    /// Per-relation breakdown.
+    pub relations: Vec<RelationStats>,
+    /// Per-attribute breakdown.
+    pub attributes: Vec<AttributeStats>,
+}
+
+impl NetworkStats {
+    /// Computes the summary for `g`.
+    pub fn of(g: &HinGraph) -> Self {
+        let mut type_counts = vec![0usize; g.schema().n_object_types()];
+        for v in g.objects() {
+            type_counts[g.object_type(v).index()] += 1;
+        }
+        let types = type_counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let id = ObjectTypeId::from_index(i);
+                TypeStats {
+                    id,
+                    name: g.schema().object_type_name(id).to_string(),
+                    n_objects: n,
+                }
+            })
+            .collect();
+
+        let mut rel_counts = vec![(0usize, 0.0f64); g.schema().n_relations()];
+        for (_, link) in g.iter_links() {
+            let slot = &mut rel_counts[link.relation.index()];
+            slot.0 += 1;
+            slot.1 += link.weight;
+        }
+        let relations = rel_counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, (n, w))| {
+                let id = RelationId::from_index(i);
+                RelationStats {
+                    id,
+                    name: g.schema().relation(id).name.clone(),
+                    n_links: n,
+                    total_weight: w,
+                }
+            })
+            .collect();
+
+        let attributes = g
+            .schema()
+            .attributes()
+            .map(|(id, def)| {
+                let table = g.attribute(id);
+                AttributeStats {
+                    id,
+                    name: def.name.clone(),
+                    n_observed_objects: table.n_observed_objects(),
+                    n_observations: table.n_observations(),
+                }
+            })
+            .collect();
+
+        Self {
+            n_objects: g.n_objects(),
+            n_links: g.n_links(),
+            types,
+            relations,
+            attributes,
+        }
+    }
+}
+
+impl std::fmt::Display for NetworkStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "objects: {}   links: {}", self.n_objects, self.n_links)?;
+        for t in &self.types {
+            writeln!(f, "  type {:<16} {:>8} objects", t.name, t.n_objects)?;
+        }
+        for r in &self.relations {
+            writeln!(
+                f,
+                "  rel  {:<16} {:>8} links (total weight {:.1})",
+                r.name, r.n_links, r.total_weight
+            )?;
+        }
+        for a in &self.attributes {
+            writeln!(
+                f,
+                "  attr {:<16} {:>8} objects observed ({:.0} observations)",
+                a.name, a.n_observed_objects, a.n_observations
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HinBuilder;
+    use crate::schema::Schema;
+
+    #[test]
+    fn stats_count_everything() {
+        let mut s = Schema::new();
+        let a = s.add_object_type("author");
+        let p = s.add_object_type("paper");
+        let write = s.add_relation("write", a, p);
+        let text = s.add_categorical_attribute("text", 10);
+        let score = s.add_numerical_attribute("score");
+        let mut b = HinBuilder::new(s);
+        let a0 = b.add_object(a, "a0");
+        let p0 = b.add_object(p, "p0");
+        let p1 = b.add_object(p, "p1");
+        b.add_link(a0, p0, write, 1.0).unwrap();
+        b.add_link(a0, p1, write, 2.0).unwrap();
+        b.add_terms(p0, text, &[1, 2, 2]).unwrap();
+        b.add_numeric(p0, score, 0.5).unwrap();
+        b.add_numeric(p1, score, 1.5).unwrap();
+        let g = b.build().unwrap();
+        let st = NetworkStats::of(&g);
+        assert_eq!(st.n_objects, 3);
+        assert_eq!(st.n_links, 2);
+        assert_eq!(st.types[0].n_objects, 1);
+        assert_eq!(st.types[1].n_objects, 2);
+        assert_eq!(st.relations[0].n_links, 2);
+        assert_eq!(st.relations[0].total_weight, 3.0);
+        assert_eq!(st.attributes[0].n_observed_objects, 1);
+        assert_eq!(st.attributes[0].n_observations, 3.0);
+        assert_eq!(st.attributes[1].n_observed_objects, 2);
+
+        let text = st.to_string();
+        assert!(text.contains("author"));
+        assert!(text.contains("write"));
+        assert!(text.contains("score"));
+    }
+}

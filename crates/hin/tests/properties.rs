@@ -1,0 +1,131 @@
+//! Property-based tests for the HIN substrate: random networks always
+//! produce consistent CSR adjacency and attribute tables.
+
+use genclus_hin::prelude::*;
+use proptest::prelude::*;
+use rand::Rng;
+
+/// Builds a random 2-type network from a seed and size parameters.
+fn random_network(seed: u64, n_a: usize, n_b: usize, n_links: usize) -> HinGraph {
+    let mut rng = genclus_stats::seeded_rng(seed);
+    let mut s = Schema::new();
+    let ta = s.add_object_type("A");
+    let tb = s.add_object_type("B");
+    let ab = s.add_relation("ab", ta, tb);
+    let ba = s.add_relation("ba", tb, ta);
+    let aa = s.add_relation("aa", ta, ta);
+    let text = s.add_categorical_attribute("text", 16);
+    let num = s.add_numerical_attribute("num");
+    let mut b = HinBuilder::new(s);
+    let a_ids: Vec<_> = (0..n_a).map(|i| b.add_object(ta, format!("a{i}"))).collect();
+    let b_ids: Vec<_> = (0..n_b).map(|i| b.add_object(tb, format!("b{i}"))).collect();
+    for _ in 0..n_links {
+        let src = a_ids[rng.gen_range(0..n_a)];
+        match rng.gen_range(0..3u8) {
+            0 => {
+                let dst = b_ids[rng.gen_range(0..n_b)];
+                b.add_link(src, dst, ab, rng.gen_range(0.1..5.0)).unwrap();
+            }
+            1 => {
+                let s2 = b_ids[rng.gen_range(0..n_b)];
+                b.add_link(s2, src, ba, rng.gen_range(0.1..5.0)).unwrap();
+            }
+            _ => {
+                let dst = a_ids[rng.gen_range(0..n_a)];
+                b.add_link(src, dst, aa, 1.0).unwrap();
+            }
+        }
+    }
+    for &v in &a_ids {
+        if rng.gen_bool(0.5) {
+            b.add_term_count(v, text, rng.gen_range(0..16), rng.gen_range(1.0..4.0))
+                .unwrap();
+        }
+    }
+    for &v in &b_ids {
+        if rng.gen_bool(0.5) {
+            b.add_numeric(v, num, rng.gen_range(-10.0..10.0)).unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Out-CSR and in-CSR contain exactly the same multiset of links.
+    #[test]
+    fn in_and_out_adjacency_agree(
+        seed in any::<u64>(),
+        n_a in 1usize..20,
+        n_b in 1usize..20,
+        n_links in 0usize..100,
+    ) {
+        let g = random_network(seed, n_a, n_b, n_links);
+        prop_assert_eq!(g.n_links(), n_links);
+
+        let mut out_view: Vec<(u32, u32, u16)> = g
+            .iter_links()
+            .map(|(src, l)| (src.0, l.endpoint.0, l.relation.0))
+            .collect();
+        let mut in_view: Vec<(u32, u32, u16)> = g
+            .objects()
+            .flat_map(|v| {
+                g.in_links(v)
+                    .iter()
+                    .map(move |l| (l.endpoint.0, v.0, l.relation.0))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out_view.sort_unstable();
+        in_view.sort_unstable();
+        prop_assert_eq!(out_view, in_view);
+    }
+
+    /// Relation endpoint types always satisfy the schema after building.
+    #[test]
+    fn links_respect_schema(seed in any::<u64>(), n_links in 0usize..60) {
+        let g = random_network(seed, 8, 8, n_links);
+        for (src, l) in g.iter_links() {
+            let def = g.schema().relation(l.relation);
+            prop_assert_eq!(g.object_type(src), def.source);
+            prop_assert_eq!(g.object_type(l.endpoint), def.target);
+            prop_assert!(l.weight > 0.0);
+        }
+    }
+
+    /// Per-relation counters agree with a full scan, and type partitions
+    /// cover every object exactly once.
+    #[test]
+    fn accounting_is_consistent(seed in any::<u64>(), n_links in 0usize..60) {
+        let g = random_network(seed, 6, 9, n_links);
+        let total: usize = g
+            .schema()
+            .relations()
+            .map(|(r, _)| g.relation_link_count(r))
+            .sum();
+        prop_assert_eq!(total, g.n_links());
+
+        let by_type: usize = (0..g.schema().n_object_types())
+            .map(|i| g.objects_of_type(ObjectTypeId::from_index(i)).len())
+            .sum();
+        prop_assert_eq!(by_type, g.n_objects());
+
+        let stats = NetworkStats::of(&g);
+        prop_assert_eq!(stats.n_objects, g.n_objects());
+        prop_assert_eq!(stats.n_links, g.n_links());
+    }
+
+    /// V_X from the attribute table matches a direct has_observations scan.
+    #[test]
+    fn observed_sets_are_consistent(seed in any::<u64>()) {
+        let g = random_network(seed, 10, 10, 30);
+        for (a, _) in g.schema().attributes() {
+            let table = g.attribute(a);
+            let vx = table.objects_with_observations();
+            for v in g.objects() {
+                prop_assert_eq!(table.has_observations(v), vx.contains(&v));
+            }
+        }
+    }
+}

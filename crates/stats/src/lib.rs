@@ -1,0 +1,43 @@
+//! Numerics substrate for the GenClus reproduction.
+//!
+//! GenClus (Sun, Aggarwal, Han; VLDB 2012) needs a small but specific set of
+//! numerical tools that we implement from scratch rather than pulling a
+//! general-purpose statistics crate:
+//!
+//! * [`special`] — `ln Γ`, digamma `ψ`, trigamma `ψ'` (the gradient and
+//!   Hessian of the pseudo-log-likelihood in Eqs. 16–17 are built from them);
+//! * [`logsumexp`] — numerically stable normalization of log-domain weights;
+//! * [`simplex`] — operations on probability vectors (entropy, cross entropy,
+//!   KL divergence, flooring + renormalization) and the [`simplex::MembershipMatrix`]
+//!   type holding one simplex row per network object (the paper's `Θ`);
+//! * [`dirichlet`] — `log B(α)` and Dirichlet log-density (the local partition
+//!   functions `Z_i(γ)` of Eq. 14 are Dirichlet normalizers);
+//! * [`matrix`] — a small dense row-major matrix with LU solve/inversion
+//!   (the Newton system over `γ` is `|R| × |R|` with `|R| ≤` a handful);
+//! * [`newton`] — a damped, projected Newton–Raphson maximizer for concave
+//!   objectives under non-negativity constraints (Algorithm 1, step 2);
+//! * [`rng`] — seeded sampling helpers (Gaussian via polar Box–Muller, Gamma
+//!   via Marsaglia–Tsang, Dirichlet, categorical);
+//! * [`summary`] — streaming mean/variance used by the experiment harness.
+//!
+//! Everything is deterministic given an RNG seed and allocation-conscious:
+//! hot-path functions take `&mut [f64]` buffers instead of returning fresh
+//! vectors where it matters.
+
+pub mod dirichlet;
+pub mod logsumexp;
+pub mod matrix;
+pub mod newton;
+pub mod rng;
+pub mod simplex;
+pub mod special;
+pub mod summary;
+
+pub use dirichlet::{dirichlet_log_pdf, ln_beta};
+pub use logsumexp::{log_sum_exp, normalize_log_weights};
+pub use matrix::Matrix;
+pub use newton::{NewtonOptions, NewtonOutcome, ProjectedNewton};
+pub use rng::{sample_categorical, sample_dirichlet, sample_gamma, sample_gaussian, seeded_rng};
+pub use simplex::MembershipMatrix;
+pub use special::{digamma, ln_gamma, trigamma};
+pub use summary::{mean, sample_std, Welford};

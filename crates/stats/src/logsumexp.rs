@@ -1,0 +1,90 @@
+//! Stable log-domain normalization.
+//!
+//! E-steps multiply small probabilities; working in log space with
+//! max-subtraction avoids underflow when cluster counts or observation counts
+//! grow.
+
+/// `log Σ_i exp(x_i)` computed with max-subtraction.
+///
+/// Returns `f64::NEG_INFINITY` for an empty slice (the sum of zero terms).
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    let sum: f64 = xs.iter().map(|&x| (x - m).exp()).sum();
+    m + sum.ln()
+}
+
+/// Normalizes log-domain weights into probabilities, in place.
+///
+/// After the call, `xs` holds `exp(x_i − logsumexp(x))`, i.e. a point on the
+/// probability simplex. If every input is `−∞` the result is uniform (the
+/// caller observed an impossible event; uniform is the least-informative
+/// fallback and keeps downstream EM iterations finite).
+pub fn normalize_log_weights(xs: &mut [f64]) {
+    if xs.is_empty() {
+        return;
+    }
+    let lse = log_sum_exp(xs);
+    if lse == f64::NEG_INFINITY {
+        let u = 1.0 / xs.len() as f64;
+        xs.iter_mut().for_each(|x| *x = u);
+        return;
+    }
+    xs.iter_mut().for_each(|x| *x = (*x - lse).exp());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_naive_on_moderate_values() {
+        let xs = [0.1, -1.3, 2.7];
+        let naive: f64 = xs.iter().map(|x: &f64| x.exp()).sum::<f64>().ln();
+        assert!((log_sum_exp(&xs) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn survives_large_magnitudes() {
+        let xs = [-1000.0, -1000.5];
+        let got = log_sum_exp(&xs);
+        // logsumexp(a, b) = a + ln(1 + e^{b-a})
+        let expected = -1000.0 + (1.0 + (-0.5f64).exp()).ln();
+        assert!((got - expected).abs() < 1e-12);
+
+        let xs = [1000.0, 999.0];
+        assert!(log_sum_exp(&xs).is_finite());
+    }
+
+    #[test]
+    fn empty_is_neg_infinity() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn normalize_produces_simplex_point() {
+        let mut xs = [-800.0, -801.0, -799.5];
+        normalize_log_weights(&mut xs);
+        let sum: f64 = xs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn normalize_all_neg_inf_is_uniform() {
+        let mut xs = [f64::NEG_INFINITY; 4];
+        normalize_log_weights(&mut xs);
+        for &x in &xs {
+            assert!((x - 0.25).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn shift_invariance() {
+        let xs = [0.3, 1.1, -2.0, 0.0];
+        let shifted: Vec<f64> = xs.iter().map(|x| x + 123.456).collect();
+        assert!((log_sum_exp(&shifted) - log_sum_exp(&xs) - 123.456).abs() < 1e-9);
+    }
+}

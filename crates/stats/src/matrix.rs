@@ -1,0 +1,250 @@
+//! Small dense matrices with LU-based solving.
+//!
+//! The only linear systems in GenClus are the `|R| × |R|` Newton systems over
+//! the link-type strengths (|R| ≤ a handful) and, in the baselines crate, the
+//! Jacobi eigensolver's dense workspace (n up to a few thousand). A plain
+//! row-major `Vec<f64>` with partial-pivot LU covers both without an external
+//! linear-algebra dependency.
+
+/// Dense row-major `f64` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from a row-major flat slice.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_slice(rows: usize, cols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Self {
+            rows,
+            cols,
+            data: data.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable row slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix–vector product `A x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        (0..self.rows)
+            .map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Solves `A x = b` by LU decomposition with partial pivoting.
+    ///
+    /// Returns `None` if the matrix is (numerically) singular. `self` must be
+    /// square and `b.len() == n`.
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(b.len(), self.rows);
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x: Vec<f64> = b.to_vec();
+
+        for col in 0..n {
+            // Partial pivot: largest absolute entry in this column at/below
+            // the diagonal.
+            let mut pivot_row = col;
+            let mut pivot_val = a[col * n + col].abs();
+            for r in (col + 1)..n {
+                let v = a[r * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return None; // singular
+            }
+            if pivot_row != col {
+                for c in 0..n {
+                    a.swap(col * n + c, pivot_row * n + c);
+                }
+                x.swap(col, pivot_row);
+            }
+            let pivot = a[col * n + col];
+            for r in (col + 1)..n {
+                let factor = a[r * n + col] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                a[r * n + col] = 0.0;
+                for c in (col + 1)..n {
+                    a[r * n + c] -= factor * a[col * n + c];
+                }
+                x[r] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut acc = x[col];
+            for c in (col + 1)..n {
+                acc -= a[col * n + c] * x[c];
+            }
+            x[col] = acc / a[col * n + col];
+        }
+        if x.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        Some(x)
+    }
+
+    /// Matrix inverse via `n` solves against identity columns.
+    ///
+    /// Returns `None` when singular. Intended for tiny matrices (the Newton
+    /// system); `solve` should be preferred when only one right-hand side is
+    /// needed.
+    pub fn inverse(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols);
+        let n = self.rows;
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for c in 0..n {
+            e.iter_mut().for_each(|v| *v = 0.0);
+            e[c] = 1.0;
+            let col = self.solve(&e)?;
+            for r in 0..n {
+                inv[(r, c)] = col[r];
+            }
+        }
+        Some(inv)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_known_system() {
+        // [2 1; 1 3] x = [3; 5] → x = [4/5, 7/5]
+        let a = Matrix::from_slice(2, 2, &[2.0, 1.0, 1.0, 3.0]);
+        let x = a.solve(&[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let a = Matrix::from_slice(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let a = Matrix::from_slice(2, 2, &[1.0, 2.0, 2.0, 4.0]);
+        assert!(a.solve(&[1.0, 1.0]).is_none());
+        assert!(a.inverse().is_none());
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let a = Matrix::from_slice(3, 3, &[4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 5.0]);
+        let inv = a.inverse().unwrap();
+        // A * A^{-1} == I
+        for i in 0..3 {
+            let e: Vec<f64> = (0..3).map(|j| inv[(j, i)]).collect();
+            let col = a.matvec(&e);
+            for (j, v) in col.iter().enumerate() {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((v - expected).abs() < 1e-10, "entry ({j},{i}) = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_identity() {
+        let i = Matrix::identity(4);
+        let x = [1.0, -2.0, 3.0, 0.5];
+        assert_eq!(i.matvec(&x), x.to_vec());
+    }
+
+    #[test]
+    fn solve_matches_matvec_round_trip() {
+        let a = Matrix::from_slice(
+            3,
+            3,
+            &[-5.0, 1.0, 0.3, 1.0, -4.0, 0.1, 0.3, 0.1, -6.0], // diag-dominant (Hessian-like)
+        );
+        let x_true = [0.5, -1.0, 2.0];
+        let b = a.matvec(&x_true);
+        let x = a.solve(&b).unwrap();
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+}

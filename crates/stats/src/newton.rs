@@ -1,0 +1,282 @@
+//! Damped projected Newton–Raphson maximization under `x ≥ 0`.
+//!
+//! Algorithm 1 of the paper optimizes the strength vector `γ` by iterating
+//! `γ ← γ − H⁻¹∇` followed by clamping negative coordinates to zero. The
+//! pseudo-log-likelihood `g₂'` is concave (Appendix B), so the plain step is
+//! usually safe; this implementation adds two inexpensive guards for the edge
+//! cases that arise with degenerate networks:
+//!
+//! * backtracking — the step is halved until the objective does not
+//!   decrease, so a badly scaled Hessian cannot diverge;
+//! * gradient fallback — if the Hessian solve fails (e.g. an empty relation
+//!   makes it singular), a projected gradient-ascent step is taken instead.
+
+use crate::matrix::Matrix;
+
+/// Behavioural knobs for [`ProjectedNewton`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NewtonOptions {
+    /// Maximum number of Newton iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on the max-norm of the iterate change.
+    pub tol: f64,
+    /// Maximum number of step halvings per iteration.
+    pub max_backtracks: usize,
+    /// Initial step size for the gradient-ascent fallback.
+    pub fallback_step: f64,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        Self {
+            max_iters: 50,
+            tol: 1e-6,
+            max_backtracks: 30,
+            fallback_step: 1e-3,
+        }
+    }
+}
+
+/// A concave maximization problem over the non-negative orthant.
+pub trait NewtonProblem {
+    /// Objective value at `x`.
+    fn value(&self, x: &[f64]) -> f64;
+    /// Gradient at `x`, written into `out` (same length as `x`).
+    fn gradient(&self, x: &[f64], out: &mut [f64]);
+    /// Hessian at `x`, written into the square matrix `out`.
+    fn hessian(&self, x: &[f64], out: &mut Matrix);
+}
+
+/// Result of a [`ProjectedNewton::maximize`] run.
+#[derive(Debug, Clone)]
+pub struct NewtonOutcome {
+    /// Final iterate (projected onto `x ≥ 0`).
+    pub x: Vec<f64>,
+    /// Objective at the final iterate.
+    pub value: f64,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Whether the tolerance was reached before `max_iters`.
+    pub converged: bool,
+    /// Whether any iteration fell back to projected gradient ascent.
+    pub used_gradient_fallback: bool,
+}
+
+/// The solver. Stateless apart from its options; reusable across calls.
+#[derive(Debug, Clone, Default)]
+pub struct ProjectedNewton {
+    /// Solver options.
+    pub options: NewtonOptions,
+}
+
+impl ProjectedNewton {
+    /// Creates a solver with the given options.
+    pub fn new(options: NewtonOptions) -> Self {
+        Self { options }
+    }
+
+    /// Maximizes `problem` starting from `x0` (clamped to `≥ 0` first).
+    pub fn maximize<P: NewtonProblem>(&self, x0: &[f64], problem: &P) -> NewtonOutcome {
+        let n = x0.len();
+        let mut x: Vec<f64> = x0.iter().map(|&v| v.max(0.0)).collect();
+        let mut value = problem.value(&x);
+        let mut grad = vec![0.0; n];
+        let mut hess = Matrix::zeros(n, n);
+        let mut used_fallback = false;
+        let mut converged = false;
+        let mut iterations = 0;
+
+        for _ in 0..self.options.max_iters {
+            iterations += 1;
+            problem.gradient(&x, &mut grad);
+            problem.hessian(&x, &mut hess);
+
+            // Newton direction d solves H d = ∇; the ascent step is x − d
+            // because H is negative definite for concave objectives.
+            let direction = hess.solve(&grad);
+            let (step_dir, sign) = match direction {
+                Some(d) => (d, -1.0),
+                None => {
+                    used_fallback = true;
+                    (grad.iter().map(|&g| g * self.options.fallback_step).collect(), 1.0)
+                }
+            };
+
+            // Backtracking line search on the (projected) step.
+            let mut t = 1.0;
+            let mut accepted = false;
+            for _ in 0..=self.options.max_backtracks {
+                let candidate: Vec<f64> = x
+                    .iter()
+                    .zip(&step_dir)
+                    .map(|(&xi, &di)| (xi + sign * t * di).max(0.0))
+                    .collect();
+                let cand_value = problem.value(&candidate);
+                if cand_value.is_finite() && cand_value >= value - 1e-12 {
+                    let delta = max_abs_delta(&x, &candidate);
+                    x = candidate;
+                    value = cand_value;
+                    accepted = true;
+                    if delta < self.options.tol {
+                        converged = true;
+                    }
+                    break;
+                }
+                t *= 0.5;
+            }
+            if !accepted {
+                // No step improved the objective: treat current iterate as
+                // converged (we are at a constrained stationary point up to
+                // line-search resolution).
+                converged = true;
+            }
+            if converged {
+                break;
+            }
+        }
+
+        NewtonOutcome {
+            x,
+            value,
+            iterations,
+            converged,
+            used_gradient_fallback: used_fallback,
+        }
+    }
+}
+
+fn max_abs_delta(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// f(x) = −Σ (x_k − c_k)², maximum at the projection of c onto x ≥ 0.
+    struct Quadratic {
+        c: Vec<f64>,
+    }
+
+    impl NewtonProblem for Quadratic {
+        fn value(&self, x: &[f64]) -> f64 {
+            -x.iter().zip(&self.c).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+        }
+        fn gradient(&self, x: &[f64], out: &mut [f64]) {
+            for ((o, &xi), &ci) in out.iter_mut().zip(x).zip(&self.c) {
+                *o = -2.0 * (xi - ci);
+            }
+        }
+        fn hessian(&self, _x: &[f64], out: &mut Matrix) {
+            let n = out.rows();
+            for i in 0..n {
+                for j in 0..n {
+                    out[(i, j)] = if i == j { -2.0 } else { 0.0 };
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quadratic_interior_maximum_in_one_step() {
+        let p = Quadratic { c: vec![1.5, 0.3, 4.0] };
+        let out = ProjectedNewton::default().maximize(&[0.0, 0.0, 0.0], &p);
+        assert!(out.converged);
+        for (got, want) in out.x.iter().zip(&p.c) {
+            assert!((got - want).abs() < 1e-8, "{got} vs {want}");
+        }
+        assert!(out.iterations <= 3);
+    }
+
+    #[test]
+    fn quadratic_boundary_maximum_is_projected() {
+        // Unconstrained max at (−2, 3): the constrained max is (0, 3).
+        let p = Quadratic { c: vec![-2.0, 3.0] };
+        let out = ProjectedNewton::default().maximize(&[1.0, 1.0], &p);
+        assert!((out.x[0] - 0.0).abs() < 1e-8);
+        assert!((out.x[1] - 3.0).abs() < 1e-8);
+    }
+
+    /// Concave but non-quadratic: f(x) = Σ [ln(1 + x_k) − x_k/2], max at x = 1.
+    struct LogProblem {
+        n: usize,
+    }
+
+    impl NewtonProblem for LogProblem {
+        fn value(&self, x: &[f64]) -> f64 {
+            x.iter().map(|&v| (1.0 + v).ln() - 0.5 * v).sum()
+        }
+        fn gradient(&self, x: &[f64], out: &mut [f64]) {
+            for (o, &v) in out.iter_mut().zip(x) {
+                *o = 1.0 / (1.0 + v) - 0.5;
+            }
+        }
+        fn hessian(&self, x: &[f64], out: &mut Matrix) {
+            for i in 0..self.n {
+                for j in 0..self.n {
+                    out[(i, j)] = if i == j {
+                        -1.0 / ((1.0 + x[i]) * (1.0 + x[i]))
+                    } else {
+                        0.0
+                    };
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_quadratic_concave_converges_to_analytic_max() {
+        let p = LogProblem { n: 4 };
+        let out = ProjectedNewton::default().maximize(&[0.1, 2.0, 0.5, 3.0], &p);
+        assert!(out.converged);
+        for &v in &out.x {
+            assert!((v - 1.0).abs() < 1e-6, "expected 1.0, got {v}");
+        }
+    }
+
+    /// Objective whose Hessian is singular: forces the gradient fallback.
+    struct SingularHessian;
+
+    impl NewtonProblem for SingularHessian {
+        fn value(&self, x: &[f64]) -> f64 {
+            -(x[0] + x[1] - 1.0).powi(2)
+        }
+        fn gradient(&self, x: &[f64], out: &mut [f64]) {
+            let g = -2.0 * (x[0] + x[1] - 1.0);
+            out[0] = g;
+            out[1] = g;
+        }
+        fn hessian(&self, _x: &[f64], out: &mut Matrix) {
+            for i in 0..2 {
+                for j in 0..2 {
+                    out[(i, j)] = -2.0; // rank 1 → singular
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn singular_hessian_falls_back_to_gradient_and_improves() {
+        let p = SingularHessian;
+        let start = [3.0, 3.0];
+        let out = ProjectedNewton::new(NewtonOptions {
+            max_iters: 500,
+            fallback_step: 0.1,
+            ..NewtonOptions::default()
+        })
+        .maximize(&start, &p);
+        assert!(out.used_gradient_fallback);
+        assert!(out.value > p.value(&start));
+        assert!((out.x[0] + out.x[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn never_leaves_the_nonnegative_orthant() {
+        let p = Quadratic { c: vec![-5.0, -1.0, 2.0] };
+        let out = ProjectedNewton::default().maximize(&[0.5, 0.5, 0.5], &p);
+        assert!(out.x.iter().all(|&v| v >= 0.0));
+    }
+}

@@ -1,0 +1,232 @@
+//! Seeded sampling helpers.
+//!
+//! The `rand` crate (the only randomness dependency) provides uniform
+//! sampling; the distributions GenClus needs — Gaussian observations for the
+//! weather generator, Gamma/Dirichlet draws for membership initialization,
+//! categorical draws for mixture sampling — are implemented here with the
+//! textbook algorithms (polar Box–Muller, Marsaglia–Tsang) so the workspace
+//! stays within the allowed offline dependency set.
+
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A deterministic RNG from a 64-bit seed. All stochastic entry points in the
+/// workspace accept a seed and build their RNG through this helper so that
+/// every experiment is reproducible.
+pub fn seeded_rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+/// One `N(mu, sigma²)` draw via the polar Box–Muller method.
+///
+/// # Panics
+/// Panics in debug builds if `sigma < 0`.
+pub fn sample_gaussian<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    debug_assert!(sigma >= 0.0, "sigma must be non-negative, got {sigma}");
+    mu + sigma * standard_normal(rng)
+}
+
+/// One standard-normal draw (polar Box–Muller; the spare variate is discarded
+/// to keep the function stateless — sampling is not a hot path here).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        let v: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// One `Gamma(shape, scale)` draw via Marsaglia–Tsang (2000).
+///
+/// For `shape < 1` the standard boost `Gamma(a) = Gamma(a+1) · U^{1/a}` is
+/// applied.
+///
+/// # Panics
+/// Panics if `shape <= 0` or `scale <= 0`.
+pub fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64, scale: f64) -> f64 {
+    assert!(shape > 0.0, "gamma shape must be positive, got {shape}");
+    assert!(scale > 0.0, "gamma scale must be positive, got {scale}");
+    if shape < 1.0 {
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return sample_gamma(rng, shape + 1.0, scale) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v = v * v * v;
+        let u: f64 = rng.gen();
+        let x2 = x * x;
+        if u < 1.0 - 0.0331 * x2 * x2
+            || u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln())
+        {
+            return d * v * scale;
+        }
+    }
+}
+
+/// One `Dirichlet(alpha)` draw, written into `out` (same length as `alpha`).
+///
+/// # Panics
+/// Panics if `alpha` is empty, contains non-positive entries, or the lengths
+/// differ.
+pub fn sample_dirichlet_into<R: Rng + ?Sized>(rng: &mut R, alpha: &[f64], out: &mut [f64]) {
+    assert!(!alpha.is_empty(), "dirichlet needs at least one component");
+    assert_eq!(alpha.len(), out.len());
+    let mut sum = 0.0;
+    for (o, &a) in out.iter_mut().zip(alpha) {
+        *o = sample_gamma(rng, a, 1.0);
+        sum += *o;
+    }
+    if sum <= 0.0 {
+        // All gammas underflowed (tiny alphas); fall back to uniform.
+        let u = 1.0 / out.len() as f64;
+        out.iter_mut().for_each(|o| *o = u);
+        return;
+    }
+    out.iter_mut().for_each(|o| *o /= sum);
+}
+
+/// One `Dirichlet(alpha)` draw as a fresh vector. See
+/// [`sample_dirichlet_into`].
+pub fn sample_dirichlet<R: Rng + ?Sized>(rng: &mut R, alpha: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; alpha.len()];
+    sample_dirichlet_into(rng, alpha, &mut out);
+    out
+}
+
+/// Samples an index from an (unnormalized, non-negative) weight vector.
+///
+/// # Panics
+/// Panics if `weights` is empty or sums to a non-positive value.
+pub fn sample_categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "categorical needs at least one weight");
+    let total: f64 = weights.iter().sum();
+    assert!(
+        total > 0.0 && total.is_finite(),
+        "categorical weights must sum to a positive finite value, got {total}"
+    );
+    let mut t = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        t -= w;
+        if t <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1 // floating-point slack: the last bucket
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = seeded_rng(42);
+        let mut b = seeded_rng(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = seeded_rng(1);
+        let n = 200_000;
+        let (mut sum, mut sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = sample_gaussian(&mut rng, 3.0, 2.0);
+            sum += x;
+            sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!((mean - 3.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn gamma_moments() {
+        let mut rng = seeded_rng(2);
+        let (shape, scale) = (2.5, 1.5);
+        let n = 200_000;
+        let (mut sum, mut sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = sample_gamma(&mut rng, shape, scale);
+            assert!(x > 0.0);
+            sum += x;
+            sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!((mean - shape * scale).abs() < 0.03, "mean {mean}");
+        assert!((var - shape * scale * scale).abs() < 0.12, "var {var}");
+    }
+
+    #[test]
+    fn gamma_small_shape_stays_positive() {
+        let mut rng = seeded_rng(3);
+        for _ in 0..10_000 {
+            let x = sample_gamma(&mut rng, 0.05, 1.0);
+            assert!(x >= 0.0 && x.is_finite());
+        }
+    }
+
+    #[test]
+    fn dirichlet_rows_sum_to_one() {
+        let mut rng = seeded_rng(4);
+        let alpha = [0.5, 2.0, 1.0];
+        for _ in 0..1000 {
+            let p = sample_dirichlet(&mut rng, &alpha);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!(p.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn dirichlet_mean_matches_alpha() {
+        let mut rng = seeded_rng(5);
+        let alpha = [1.0, 3.0, 6.0];
+        let total: f64 = alpha.iter().sum();
+        let n = 50_000;
+        let mut acc = [0.0; 3];
+        for _ in 0..n {
+            let p = sample_dirichlet(&mut rng, &alpha);
+            for (a, x) in acc.iter_mut().zip(&p) {
+                *a += x;
+            }
+        }
+        for (a, &al) in acc.iter().zip(&alpha) {
+            assert!((a / n as f64 - al / total).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn categorical_frequencies() {
+        let mut rng = seeded_rng(6);
+        let w = [1.0, 2.0, 7.0];
+        let mut counts = [0usize; 3];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[sample_categorical(&mut rng, &w)] += 1;
+        }
+        for (c, &wi) in counts.iter().zip(&w) {
+            let freq = *c as f64 / n as f64;
+            assert!((freq - wi / 10.0).abs() < 0.01, "freq {freq} for weight {wi}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn categorical_rejects_zero_weights() {
+        let mut rng = seeded_rng(7);
+        sample_categorical(&mut rng, &[0.0, 0.0]);
+    }
+}

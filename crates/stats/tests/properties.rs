@@ -1,0 +1,112 @@
+//! Property-based tests for the numerics substrate.
+
+use genclus_stats::{
+    digamma, ln_gamma, log_sum_exp, trigamma, Matrix, MembershipMatrix,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// lnΓ(x + 1) = lnΓ(x) + ln x.
+    #[test]
+    fn ln_gamma_recurrence(x in 0.05f64..80.0) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = ln_gamma(x) + x.ln();
+        prop_assert!((lhs - rhs).abs() < 1e-9, "x={x}: {lhs} vs {rhs}");
+    }
+
+    /// ψ(x + 1) = ψ(x) + 1/x.
+    #[test]
+    fn digamma_recurrence(x in 0.05f64..80.0) {
+        let lhs = digamma(x + 1.0);
+        let rhs = digamma(x) + 1.0 / x;
+        prop_assert!((lhs - rhs).abs() < 1e-9, "x={x}: {lhs} vs {rhs}");
+    }
+
+    /// ψ'(x + 1) = ψ'(x) − 1/x².
+    #[test]
+    fn trigamma_recurrence(x in 0.05f64..80.0) {
+        let lhs = trigamma(x + 1.0);
+        let rhs = trigamma(x) - 1.0 / (x * x);
+        prop_assert!((lhs - rhs).abs() < 1e-9, "x={x}: {lhs} vs {rhs}");
+    }
+
+    /// log-sum-exp dominates the max and is shift-invariant.
+    #[test]
+    fn log_sum_exp_properties(
+        xs in proptest::collection::vec(-50.0f64..50.0, 1..20),
+        shift in -100.0f64..100.0,
+    ) {
+        let lse = log_sum_exp(&xs);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(lse >= max - 1e-12);
+        prop_assert!(lse <= max + (xs.len() as f64).ln() + 1e-12);
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        prop_assert!((log_sum_exp(&shifted) - lse - shift).abs() < 1e-8);
+    }
+
+    /// Any non-negative row normalizes onto the simplex with positive entries.
+    #[test]
+    fn normalize_floored_yields_simplex(
+        raw in proptest::collection::vec(0.0f64..1e6, 1..12),
+    ) {
+        let mut row = raw;
+        genclus_stats::simplex::normalize_floored(&mut row);
+        let sum: f64 = row.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(row.iter().all(|&x| x > 0.0));
+    }
+
+    /// Cross entropy H(p, q) ≥ H(p, p) = entropy(p) (Gibbs' inequality), for
+    /// strictly positive simplex rows.
+    #[test]
+    fn gibbs_inequality(
+        pairs in proptest::collection::vec((0.01f64..1.0, 0.01f64..1.0), 2..8),
+    ) {
+        let (mut p, mut q): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        genclus_stats::simplex::normalize_floored(&mut p);
+        genclus_stats::simplex::normalize_floored(&mut q);
+        let h_pq = genclus_stats::simplex::cross_entropy(&p, &q);
+        let h_p = genclus_stats::simplex::entropy(&p);
+        prop_assert!(h_pq >= h_p - 1e-9, "H(p,q)={h_pq} < H(p)={h_p}");
+    }
+
+    /// LU solve round-trips A · x = b on diagonally dominant systems.
+    #[test]
+    fn lu_solve_round_trip(
+        n in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        use rand::Rng;
+        let mut rng = genclus_stats::seeded_rng(seed);
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            let mut row_abs = 0.0;
+            for j in 0..n {
+                if i != j {
+                    let v: f64 = rng.gen_range(-1.0..1.0);
+                    a[(i, j)] = v;
+                    row_abs += v.abs();
+                }
+            }
+            a[(i, i)] = row_abs + 1.0 + rng.gen::<f64>();
+        }
+        let x_true: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let b = a.matvec(&x_true);
+        let x = a.solve(&b).expect("diag-dominant must be solvable");
+        for (got, want) in x.iter().zip(&x_true) {
+            prop_assert!((got - want).abs() < 1e-8);
+        }
+    }
+
+    /// Random membership matrices satisfy the simplex invariant row-wise.
+    #[test]
+    fn membership_matrix_rows_on_simplex(seed in any::<u64>(), n in 1usize..40, k in 1usize..8) {
+        let mut rng = genclus_stats::seeded_rng(seed);
+        let m = MembershipMatrix::random(n, k, &mut rng);
+        for i in 0..n {
+            let s: f64 = m.row(i).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+        }
+        prop_assert_eq!(m.hard_labels().len(), n);
+    }
+}

@@ -1,0 +1,85 @@
+//! Link prediction from learned memberships (§5.2.2, Tables 2–4).
+//!
+//! Fits GenClus on the synthetic ACP network and uses the soft memberships
+//! to predict which conference published each paper, comparing the paper's
+//! three similarity functions — including the asymmetric cross entropy that
+//! mirrors the model's own feature function.
+//!
+//! ```text
+//! cargo run --release --example link_prediction [-- <seed>]
+//! ```
+
+use genclus::datagen::dblp::{self, DblpConfig};
+use genclus::prelude::*;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+
+    let corpus = dblp::generate(&DblpConfig {
+        n_authors: 800,
+        n_papers: 1600,
+        seed,
+        ..DblpConfig::default()
+    });
+    let acp = corpus.build_acp();
+    println!("ACP network:\n{}", NetworkStats::of(&acp.graph));
+
+    let mut config = GenClusConfig::new(4, vec![acp.text_attr])
+        .with_seed(seed)
+        .with_outer_iters(10);
+    config.init = InitStrategy::BestOfSeeds {
+        candidates: 5,
+        warmup_iters: 3,
+    };
+    let fit = GenClus::new(config)
+        .expect("valid config")
+        .fit(&acp.graph)
+        .expect("fit succeeds");
+    let theta = &fit.model.theta;
+
+    // MAP over the <P,C> relation: every paper queries a ranking of all 20
+    // conferences; its actual venue is the relevant item.
+    println!("\nMAP for predicting a paper's venue (relation <P,C>):");
+    for sim in Similarity::ALL {
+        let map = link_prediction_map(&acp.graph, acp.rel_pc, |q, c| {
+            sim.score(theta.row(q.index()), theta.row(c.index()))
+        });
+        println!("  {:<24} {map:.4}", sim.label());
+    }
+
+    // A concrete ranked list for one paper.
+    let paper = acp.papers[0];
+    let true_venue = acp
+        .graph
+        .out_links(paper)
+        .iter()
+        .find(|l| l.relation == acp.rel_pc)
+        .map(|l| l.endpoint)
+        .expect("every paper has a venue");
+    let ranked = rank_candidates(
+        theta,
+        paper,
+        &acp.conferences,
+        Similarity::NegCrossEntropy,
+    );
+    println!(
+        "\ntop-5 predicted venues for {} (true venue: {}):",
+        acp.graph.object_name(paper),
+        acp.graph.object_name(true_venue)
+    );
+    for (v, score) in ranked.iter().take(5) {
+        let marker = if *v == true_venue { "  <-- actual" } else { "" };
+        println!("  {:<8} score {score:+.4}{marker}", acp.graph.object_name(*v));
+    }
+
+    // Random ranking baseline for calibration: with one relevant venue among
+    // 20 candidates, a random permutation scores E[1/rank] ≈ 0.18.
+    let random_map = link_prediction_map(&acp.graph, acp.rel_pc, |q, c| {
+        // A fixed pseudo-random but membership-free score.
+        ((q.0 as u64).wrapping_mul(2654435761) ^ (c.0 as u64).wrapping_mul(40503)) as f64
+    });
+    println!("\nmembership-free (random) baseline MAP: {random_map:.4}");
+}

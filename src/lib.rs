@@ -1,0 +1,57 @@
+//! **genclus** — a from-scratch Rust implementation of
+//! *Relation Strength-Aware Clustering of Heterogeneous Information Networks
+//! with Incomplete Attributes* (Sun, Aggarwal, Han; VLDB 2012).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`hin`] | `genclus-hin` | heterogeneous network substrate: schema, builder, CSR graph, attribute store |
+//! | [`core`] | `genclus-core` | the GenClus algorithm: EM cluster optimization + Newton strength learning |
+//! | [`stats`] | `genclus-stats` | numerics: special functions, simplex ops, Dirichlet, small linear algebra |
+//! | [`baselines`] | `genclus-baselines` | NetPLSA, iTopicModel, k-means, spectral combine |
+//! | [`datagen`] | `genclus-datagen` | weather sensor generator (Appendix C), synthetic DBLP four-area corpus |
+//! | [`eval`] | `genclus-eval` | NMI, MAP link prediction, label utilities |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use genclus::prelude::*;
+//!
+//! // Generate a small weather sensor network (paper Appendix C) ...
+//! let net = genclus::datagen::weather::generate(&WeatherConfig {
+//!     n_temp: 80,
+//!     n_precip: 40,
+//!     k_neighbors: 3,
+//!     n_obs: 5,
+//!     pattern: PatternSetting::Setting1,
+//!     seed: 1,
+//! });
+//!
+//! // ... cluster it with GenClus over both (incomplete) attributes ...
+//! let config = GenClusConfig::new(4, vec![net.temp_attr, net.precip_attr])
+//!     .with_seed(1)
+//!     .with_outer_iters(3);
+//! let fit = GenClus::new(config).unwrap().fit(&net.graph).unwrap();
+//!
+//! // ... and evaluate against the generator's ground truth.
+//! let nmi = genclus::eval::nmi(&fit.model.hard_labels(), &net.labels);
+//! assert!(nmi > 0.3, "GenClus should recover most of the ring structure");
+//! ```
+
+pub use genclus_baselines as baselines;
+pub use genclus_core as core;
+pub use genclus_datagen as datagen;
+pub use genclus_eval as eval;
+pub use genclus_hin as hin;
+pub use genclus_stats as stats;
+
+/// One-stop prelude combining the sub-crate preludes.
+pub mod prelude {
+    pub use genclus_baselines::prelude::*;
+    pub use genclus_core::prelude::*;
+    pub use genclus_datagen::prelude::*;
+    pub use genclus_eval::prelude::*;
+    pub use genclus_hin::prelude::*;
+    pub use genclus_stats::{MembershipMatrix, NewtonOptions};
+}

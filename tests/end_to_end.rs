@@ -1,0 +1,214 @@
+//! Cross-crate integration tests: generator → algorithm → evaluation, the
+//! same pipelines the experiment harness runs, at test-friendly sizes.
+
+use genclus::datagen::dblp::{self, DblpConfig};
+use genclus::datagen::weather::{self, PatternSetting, WeatherConfig};
+use genclus::prelude::*;
+
+fn small_weather(seed: u64) -> weather::WeatherNetwork {
+    weather::generate(&WeatherConfig {
+        n_temp: 120,
+        n_precip: 60,
+        k_neighbors: 4,
+        n_obs: 5,
+        pattern: PatternSetting::Setting1,
+        seed,
+    })
+}
+
+fn weather_config(net: &weather::WeatherNetwork, seed: u64) -> GenClusConfig {
+    let mut cfg = GenClusConfig::new(4, vec![net.temp_attr, net.precip_attr])
+        .with_seed(seed)
+        .with_outer_iters(4);
+    cfg.init = InitStrategy::BestOfSeeds {
+        candidates: 4,
+        warmup_iters: 3,
+    };
+    cfg
+}
+
+#[test]
+fn genclus_recovers_weather_patterns() {
+    let net = small_weather(3);
+    let fit = GenClus::new(weather_config(&net, 3))
+        .unwrap()
+        .fit(&net.graph)
+        .unwrap();
+    let nmi = genclus::eval::nmi(&fit.model.hard_labels(), &net.labels);
+    assert!(nmi > 0.5, "weather NMI too low: {nmi}");
+    assert!(fit.model.gamma.iter().all(|&g| g >= 0.0));
+}
+
+#[test]
+fn genclus_beats_spectral_on_weather() {
+    let net = small_weather(5);
+    let fit = GenClus::new(weather_config(&net, 5))
+        .unwrap()
+        .fit(&net.graph)
+        .unwrap();
+    let nmi_genclus = genclus::eval::nmi(&fit.model.hard_labels(), &net.labels);
+
+    let sp = spectral_combine(
+        &net.graph,
+        &[net.temp_attr, net.precip_attr],
+        &SpectralConfig::new(4),
+    );
+    let nmi_spectral = genclus::eval::nmi(&sp.labels, &net.labels);
+    assert!(
+        nmi_genclus > nmi_spectral,
+        "GenClus {nmi_genclus} should beat spectral {nmi_spectral}"
+    );
+}
+
+#[test]
+fn author_links_outweigh_venue_links_on_acp() {
+    // The headline Fig. 9 finding: written_by(P,A) is learned to be much
+    // stronger than published_by(P,C) because a conference covers a broader
+    // spectrum than an author.
+    let corpus = dblp::generate(&DblpConfig {
+        n_authors: 200,
+        n_papers: 500,
+        seed: 1,
+        ..DblpConfig::default()
+    });
+    let acp = corpus.build_acp();
+    let mut cfg = GenClusConfig::new(4, vec![acp.text_attr])
+        .with_seed(1)
+        .with_outer_iters(6);
+    cfg.init = InitStrategy::BestOfSeeds {
+        candidates: 4,
+        warmup_iters: 3,
+    };
+    let fit = GenClus::new(cfg).unwrap().fit(&acp.graph).unwrap();
+    let g_written_by = fit.model.strength(acp.rel_pa);
+    let g_published_by = fit.model.strength(acp.rel_pc);
+    assert!(
+        g_written_by > g_published_by,
+        "written_by {g_written_by} should beat published_by {g_published_by}"
+    );
+}
+
+#[test]
+fn membership_similarity_predicts_links_better_than_chance() {
+    let corpus = dblp::generate(&DblpConfig {
+        n_authors: 150,
+        n_papers: 300,
+        seed: 2,
+        ..DblpConfig::default()
+    });
+    let acp = corpus.build_acp();
+    let mut cfg = GenClusConfig::new(4, vec![acp.text_attr])
+        .with_seed(2)
+        .with_outer_iters(5);
+    cfg.init = InitStrategy::BestOfSeeds {
+        candidates: 3,
+        warmup_iters: 3,
+    };
+    let fit = GenClus::new(cfg).unwrap().fit(&acp.graph).unwrap();
+    let theta = &fit.model.theta;
+
+    for sim in Similarity::ALL {
+        let map = link_prediction_map(&acp.graph, acp.rel_pc, |q, c| {
+            sim.score(theta.row(q.index()), theta.row(c.index()))
+        });
+        // One relevant venue among 20 candidates: random MAP ≈ Σ 1/r / 20 ≈ 0.18.
+        assert!(
+            map > 0.30,
+            "{}: MAP {map} not better than chance",
+            sim.label()
+        );
+    }
+}
+
+#[test]
+fn parallel_and_serial_fits_agree() {
+    let net = small_weather(7);
+    let serial = GenClus::new(weather_config(&net, 7).with_threads(1))
+        .unwrap()
+        .fit(&net.graph)
+        .unwrap();
+    let parallel = GenClus::new(weather_config(&net, 7).with_threads(3))
+        .unwrap()
+        .fit(&net.graph)
+        .unwrap();
+    assert!(
+        serial
+            .model
+            .theta
+            .max_abs_diff(&parallel.model.theta)
+            < 1e-6
+    );
+    for (a, b) in serial.model.gamma.iter().zip(&parallel.model.gamma) {
+        assert!((a - b).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn observer_trajectory_matches_history() {
+    let net = small_weather(11);
+    let mut seen_gammas: Vec<Vec<f64>> = Vec::new();
+    let fit = GenClus::new(weather_config(&net, 11))
+        .unwrap()
+        .fit_observed(&net.graph, |view| {
+            seen_gammas.push(view.gamma.to_vec());
+        })
+        .unwrap();
+    assert_eq!(seen_gammas.len(), fit.history.n_iterations());
+    for (seen, rec) in seen_gammas.iter().zip(&fit.history.records) {
+        assert_eq!(seen, &rec.gamma);
+    }
+    // Strengths should be converging: the final change is no larger than the
+    // first change (plus tolerance for plateau noise).
+    if fit.history.records.len() >= 3 {
+        let delta = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+        };
+        let first = delta(&seen_gammas[0], &seen_gammas[1]);
+        let last = delta(
+            &seen_gammas[seen_gammas.len() - 2],
+            &seen_gammas[seen_gammas.len() - 1],
+        );
+        assert!(last <= first + 1e-6, "gamma diverging: {first} -> {last}");
+    }
+}
+
+#[test]
+fn baselines_run_on_the_same_networks_as_genclus() {
+    // The full baseline suite accepts the exact same HinGraph, which is what
+    // makes the comparison experiments single-source.
+    let corpus = dblp::generate(&DblpConfig {
+        n_authors: 100,
+        n_papers: 200,
+        seed: 4,
+        ..DblpConfig::default()
+    });
+    let ac = corpus.build_ac();
+    let net_plsa = fit_netplsa(&ac.graph, ac.text_attr, &NetPlsaConfig::new(4));
+    let itm = fit_itopicmodel(&ac.graph, ac.text_attr, &ITopicConfig::new(4));
+    assert_eq!(net_plsa.theta.n_objects(), ac.graph.n_objects());
+    assert_eq!(itm.theta.n_objects(), ac.graph.n_objects());
+
+    let weather = small_weather(13);
+    let features = interpolate_features(&weather.graph, &[weather.temp_attr, weather.precip_attr]);
+    let km = kmeans(&features, &KMeansConfig::new(4));
+    assert_eq!(km.labels.len(), weather.graph.n_objects());
+}
+
+#[test]
+fn facade_prelude_exposes_the_whole_pipeline() {
+    // Build → fit → evaluate using only the facade prelude imports.
+    let net = small_weather(17);
+    let fit = GenClus::new(weather_config(&net, 17))
+        .unwrap()
+        .fit(&net.graph)
+        .unwrap();
+    let truth: Vec<Option<usize>> = net.labels.iter().map(|&l| Some(l)).collect();
+    let mut ls = LabelSet::new(truth.len());
+    for (i, l) in truth.iter().enumerate() {
+        if let Some(c) = l {
+            ls.set(ObjectId::from_index(i), *c);
+        }
+    }
+    let v = nmi_against(&fit.model.hard_labels(), &ls, None);
+    assert!((0.0..=1.0).contains(&v));
+}
