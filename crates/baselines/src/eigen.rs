@@ -44,7 +44,10 @@ fn orthonormalize<R: Rng>(q: &mut [f64], n: usize, k: usize, rng: &mut R) {
             for i in 0..n {
                 q[i * k + j] = rng.gen::<f64>() - 0.5;
             }
-            norm = (0..n).map(|i| q[i * k + j] * q[i * k + j]).sum::<f64>().sqrt();
+            norm = (0..n)
+                .map(|i| q[i * k + j] * q[i * k + j])
+                .sum::<f64>()
+                .sqrt();
         }
         for i in 0..n {
             q[i * k + j] /= norm;
@@ -158,18 +161,29 @@ mod tests {
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        // A random symmetric matrix.
+        // A symmetric matrix with a known, well-separated spectrum:
+        // A = Σ_j λ_j q_j q_jᵀ over a random orthonormal basis, so subspace
+        // iteration converges regardless of the RNG draw (an arbitrary
+        // random symmetric matrix can have a near-degenerate top gap).
         let mut rng = genclus_stats::seeded_rng(4);
         let n = 10;
+        let k = 3;
+        let lambdas = [5.0, 3.0, 1.5];
+        let mut basis = vec![0.0f64; n * k];
+        basis.iter_mut().for_each(|x| *x = rng.gen::<f64>() - 0.5);
+        orthonormalize(&mut basis, n, k, &mut rng);
         let mut a = Matrix::zeros(n, n);
-        for i in 0..n {
-            for j in 0..=i {
-                let v: f64 = rng.gen::<f64>() - 0.5;
-                a[(i, j)] = v;
-                a[(j, i)] = v;
+        for j in 0..k {
+            for r in 0..n {
+                for c in 0..n {
+                    a[(r, c)] += lambdas[j] * basis[r * k + j] * basis[c * k + j];
+                }
             }
         }
         let out = top_eigenpairs(&a, 3, 300, 5);
+        for (got, want) in out.values.iter().zip(lambdas) {
+            assert!((got - want).abs() < 1e-8, "{:?}", out.values);
+        }
         for j1 in 0..3 {
             for j2 in 0..3 {
                 let dot: f64 = (0..n)

@@ -48,7 +48,11 @@ pub fn interpolate_features(graph: &HinGraph, attrs: &[AttributeId]) -> Vec<Vec<
                 sum += nb.iter().sum::<f64>();
                 cnt += nb.len();
             }
-            features[v.index()][dim] = if cnt > 0 { sum / cnt as f64 } else { global_mean };
+            features[v.index()][dim] = if cnt > 0 {
+                sum / cnt as f64
+            } else {
+                global_mean
+            };
         }
     }
     features

@@ -132,7 +132,10 @@ mod tests {
         // Because neighbor mass fully determines a textless object, the
         // membership should be concentrated, not just barely tilted.
         let row = out.theta.row(10);
-        assert!(row[labels[10]] > 0.8, "expected confident membership: {row:?}");
+        assert!(
+            row[labels[10]] > 0.8,
+            "expected confident membership: {row:?}"
+        );
     }
 
     #[test]

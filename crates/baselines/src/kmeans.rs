@@ -70,12 +70,7 @@ fn kmeanspp_init<R: Rng>(points: &[Vec<f64>], k: usize, rng: &mut R) -> Vec<f64>
     centroids
 }
 
-fn lloyd(
-    points: &[Vec<f64>],
-    k: usize,
-    max_iters: usize,
-    mut centroids: Vec<f64>,
-) -> KMeansResult {
+fn lloyd(points: &[Vec<f64>], k: usize, max_iters: usize, mut centroids: Vec<f64>) -> KMeansResult {
     let n = points.len();
     let d = points[0].len();
     let mut labels = vec![0usize; n];
@@ -150,7 +145,7 @@ pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> KMeansResult {
     for _ in 0..config.n_restarts.max(1) {
         let init = kmeanspp_init(points, config.k, &mut rng);
         let run = lloyd(points, config.k, config.max_iters, init);
-        if best.as_ref().map_or(true, |b| run.inertia < b.inertia) {
+        if best.as_ref().is_none_or(|b| run.inertia < b.inertia) {
             best = Some(run);
         }
     }

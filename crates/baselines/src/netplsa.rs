@@ -62,7 +62,10 @@ impl NetPlsaConfig {
 /// (homogenized, undirected) link structure.
 pub fn fit_netplsa(graph: &HinGraph, attr: AttributeId, config: &NetPlsaConfig) -> PlsaResult {
     assert!(config.k >= 2, "need at least two topics");
-    assert!((0.0..=1.0).contains(&config.lambda), "lambda must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&config.lambda),
+        "lambda must be in [0,1]"
+    );
     let table = graph.attribute(attr);
     let n = graph.n_objects();
     let k = config.k;

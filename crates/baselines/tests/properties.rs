@@ -20,7 +20,8 @@ fn random_text_network(seed: u64, n: usize, vocab: usize) -> (HinGraph, Attribut
         if rng.gen_bool(0.4) {
             let j = rng.gen_range(0..n);
             if j != i {
-                b.add_link(vs[i], vs[j], r, rng.gen_range(0.5..2.0)).unwrap();
+                b.add_link(vs[i], vs[j], r, rng.gen_range(0.5..2.0))
+                    .unwrap();
             }
         }
     }

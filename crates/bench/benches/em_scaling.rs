@@ -47,7 +47,7 @@ fn bench_em_scaling(c: &mut Criterion) {
     for n_precip in [250usize, 500, 1000] {
         let (net, theta, comps, gamma) = setup(n_precip, 5);
         let attrs = [net.temp_attr, net.precip_attr];
-        let engine = EmEngine::new(&net.graph, &attrs, K, 1, 1e-9, 1e-6);
+        let mut engine = EmEngine::new(&net.graph, &attrs, K, 1, 1e-9, 1e-6);
         group.bench_with_input(
             BenchmarkId::from_parameter(1000 + n_precip),
             &n_precip,
@@ -61,7 +61,7 @@ fn bench_em_scaling(c: &mut Criterion) {
     for n_obs in [1usize, 5, 20] {
         let (net, theta, comps, gamma) = setup(1000, n_obs);
         let attrs = [net.temp_attr, net.precip_attr];
-        let engine = EmEngine::new(&net.graph, &attrs, K, 1, 1e-9, 1e-6);
+        let mut engine = EmEngine::new(&net.graph, &attrs, K, 1, 1e-9, 1e-6);
         group.bench_with_input(BenchmarkId::from_parameter(n_obs), &n_obs, |b, _| {
             b.iter(|| engine.step(&theta, &comps, &gamma))
         });
@@ -73,9 +73,25 @@ fn bench_em_scaling(c: &mut Criterion) {
     for threads in [1usize, 2, 4] {
         let (net, theta, comps, gamma) = setup(1000, 20);
         let attrs = [net.temp_attr, net.precip_attr];
-        let engine = EmEngine::new(&net.graph, &attrs, K, threads, 1e-9, 1e-6);
+        let mut engine = EmEngine::new(&net.graph, &attrs, K, threads, 1e-9, 1e-6);
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
             b.iter(|| engine.step(&theta, &comps, &gamma))
+        });
+    }
+    group.finish();
+
+    // The naive reference kernel on the same largest configuration, for an
+    // in-bench sanity check of the BENCH_em.json trajectory.
+    let mut group = c.benchmark_group("em_iteration_naive_reference");
+    group.sample_size(20);
+    for threads in [1usize, 4] {
+        let (net, theta, comps, gamma) = setup(1000, 20);
+        let attrs = [net.temp_attr, net.precip_attr];
+        let kernel = genclus_core::em_reference::ReferenceEmKernel::new(
+            &net.graph, &attrs, K, threads, 1e-9, 1e-6,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| kernel.step(&theta, &comps, &gamma))
         });
     }
     group.finish();

@@ -164,10 +164,7 @@ pub fn ablate_fixed(scale: Scale) -> Report {
         "learned gamma",
         vec![f4(nmi_learned), f4(learned.model.strength(noise_rel))],
     );
-    table.push_row(
-        "fixed gamma = 1",
-        vec![f4(nmi_fixed), f4(1.0)],
-    );
+    table.push_row("fixed gamma = 1", vec![f4(nmi_fixed), f4(1.0)]);
     report.tables.push(table);
 
     // The clean network for reference: how much of the gap the noise causes.

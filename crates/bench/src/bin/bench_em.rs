@@ -1,0 +1,57 @@
+//! Reproducible EM perf harness: writes `BENCH_em.json`.
+//!
+//! ```text
+//! bench_em [--quick] [--out <path>]
+//! ```
+//!
+//! Measures the median wall-time of one EM iteration on the weather scaling
+//! configurations (1250 / 1500 / 2000 objects, 20 observations per sensor)
+//! and the DBLP ACP network, for 1/2/4 threads, with both the optimized
+//! kernel and the naive reference kernel in the same run. The headline
+//! `speedup` field is the naive/optimized ratio on the 2000-object weather
+//! configuration. Exits non-zero if that ratio regresses below 1.5× so the
+//! harness doubles as a perf gate.
+
+use genclus_bench::perf::{run_em_perf, EmPerfConfig};
+use std::path::PathBuf;
+
+fn main() {
+    let mut cfg = EmPerfConfig::full();
+    let mut out = PathBuf::from("BENCH_em.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => cfg = EmPerfConfig::quick(),
+            "--out" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\nusage: bench_em [--quick] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = run_em_perf(&cfg);
+    print!("{}", report.render());
+    match report.save(&out) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+
+    // Perf gate: only meaningful at full scale on an unloaded machine, but
+    // always reported.
+    if report.mode == "full" && report.headline.speedup < 1.5 {
+        eprintln!(
+            "PERF REGRESSION: optimized kernel only {:.2}x over naive (gate: 1.5x)",
+            report.headline.speedup
+        );
+        std::process::exit(1);
+    }
+}

@@ -294,7 +294,8 @@ pub fn fig10(scale: Scale) -> Report {
         .expect("fit succeeds");
 
     let mut report = Report::new("fig10");
-    report.note("GenClus on the AC network: accuracy and strengths per outer iteration".to_string());
+    report
+        .note("GenClus on the AC network: accuracy and strengths per outer iteration".to_string());
     let rel_names: Vec<String> = ac
         .graph
         .schema()

@@ -18,6 +18,7 @@
 pub mod ablations;
 pub mod dblp_experiments;
 pub mod methods;
+pub mod perf;
 pub mod report;
 pub mod timing;
 pub mod weather_experiments;
@@ -95,8 +96,20 @@ impl Scale {
 
 /// Every experiment id, in presentation order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "fig5", "fig6", "table1", "fig7", "fig8", "table2", "table3", "table4", "table5", "fig9",
-    "fig10", "fig11", "ablate-sym", "ablate-fixed",
+    "fig5",
+    "fig6",
+    "table1",
+    "fig7",
+    "fig8",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig9",
+    "fig10",
+    "fig11",
+    "ablate-sym",
+    "ablate-fixed",
 ];
 
 /// Dispatches one experiment by id.

@@ -91,11 +91,7 @@ pub fn labelset_from(labels: &[Option<usize>]) -> LabelSet {
 
 /// NMI of hard labels against a partial truth, optionally restricted to a
 /// subset of objects (an object type).
-pub fn nmi_of(
-    theta: &MembershipMatrix,
-    truth: &LabelSet,
-    subset: Option<&[ObjectId]>,
-) -> f64 {
+pub fn nmi_of(theta: &MembershipMatrix, truth: &LabelSet, subset: Option<&[ObjectId]>) -> f64 {
     nmi_against(&theta.hard_labels(), truth, subset)
 }
 

@@ -1,0 +1,417 @@
+//! The EM perf trajectory: `BENCH_em.json`.
+//!
+//! Measures the median wall-time of one EM iteration — per dataset size, per
+//! thread count, for **both** kernels in the same run:
+//!
+//! * `optimized` — [`genclus_core::em::EmEngine`]: cached log tables,
+//!   reusable scratch, persistent worker pool;
+//! * `naive` — [`genclus_core::em_reference::ReferenceEmKernel`]: `ln` per
+//!   observation, fresh allocations and a scoped thread spawn per step (the
+//!   seed implementation, kept as the yardstick).
+//!
+//! The headline number is the naive/optimized median ratio on the largest
+//! weather configuration (2000 objects, 20 observations per sensor, the
+//! paper's Fig. 11 scaling network) at the highest measured thread count.
+//! `cargo run --release -p genclus-bench --bin bench_em` writes
+//! `BENCH_em.json`; the schema is documented in ROADMAP.md's Performance
+//! section and mirrored by [`EmPerfReport::to_json`].
+
+use genclus_core::attr_model::ClusterComponents;
+use genclus_core::em::EmEngine;
+use genclus_core::em_reference::ReferenceEmKernel;
+use genclus_datagen::dblp::{self, DblpConfig};
+use genclus_datagen::weather::{generate, PatternSetting, WeatherConfig};
+use genclus_hin::{AttributeId, HinGraph};
+use genclus_stats::MembershipMatrix;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Clusters used by every measured configuration.
+pub const K: usize = 4;
+
+/// Controls the measurement run.
+#[derive(Debug, Clone)]
+pub struct EmPerfConfig {
+    /// Quick mode: tiny networks, few samples (used by the smoke test).
+    pub quick: bool,
+    /// Thread counts to measure (each with both kernels).
+    pub threads: Vec<usize>,
+    /// Timed iterations per (config, threads, kernel) cell.
+    pub samples: usize,
+}
+
+impl EmPerfConfig {
+    /// Full-scale measurement (the committed `BENCH_em.json`).
+    pub fn full() -> Self {
+        Self {
+            quick: false,
+            threads: vec![1, 2, 4],
+            samples: 15,
+        }
+    }
+
+    /// Smoke-test scale.
+    pub fn quick() -> Self {
+        Self {
+            quick: true,
+            threads: vec![1, 2],
+            samples: 3,
+        }
+    }
+}
+
+/// One measured cell: a (dataset config, thread count, kernel) triple.
+#[derive(Debug, Clone)]
+pub struct EmMeasurement {
+    /// Dataset family: `weather` or `dblp-acp`.
+    pub dataset: &'static str,
+    /// Human-readable configuration label.
+    pub config: String,
+    /// Objects in the network.
+    pub n_objects: usize,
+    /// Directed links in the network.
+    pub n_links: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// `optimized` or `naive`.
+    pub kernel: &'static str,
+    /// Seconds per EM iteration, one entry per timed iteration.
+    pub samples: Vec<f64>,
+}
+
+impl EmMeasurement {
+    /// Median seconds per iteration.
+    pub fn median_seconds(&self) -> f64 {
+        let mut s = self.samples.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s[s.len() / 2]
+    }
+
+    /// Mean seconds per iteration.
+    pub fn mean_seconds(&self) -> f64 {
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+/// The headline comparison the acceptance gate reads.
+#[derive(Debug, Clone)]
+pub struct Headline {
+    /// Configuration label the comparison was taken on.
+    pub config: String,
+    /// Thread count of the compared cells.
+    pub threads: usize,
+    /// Optimized kernel median, milliseconds per iteration.
+    pub optimized_median_ms: f64,
+    /// Naive kernel median, milliseconds per iteration.
+    pub naive_median_ms: f64,
+    /// `naive / optimized` median ratio.
+    pub speedup: f64,
+}
+
+/// Everything one `bench_em` run produced.
+#[derive(Debug, Clone)]
+pub struct EmPerfReport {
+    /// `full` or `quick`.
+    pub mode: &'static str,
+    /// All measured cells.
+    pub measurements: Vec<EmMeasurement>,
+    /// Headline naive-vs-optimized comparison (largest weather config,
+    /// highest thread count).
+    pub headline: Headline,
+}
+
+/// A prepared EM problem: network + fixed starting state.
+struct Problem {
+    dataset: &'static str,
+    config: String,
+    graph: HinGraph,
+    attrs: Vec<AttributeId>,
+    theta: MembershipMatrix,
+    comps: Vec<ClusterComponents>,
+    gamma: Vec<f64>,
+    /// Marks the headline configuration.
+    headline: bool,
+}
+
+fn weather_problem(n_temp: usize, n_precip: usize, n_obs: usize, headline: bool) -> Problem {
+    let net = generate(&WeatherConfig {
+        n_temp,
+        n_precip,
+        k_neighbors: 5,
+        n_obs,
+        pattern: PatternSetting::Setting1,
+        seed: 7,
+    });
+    let attrs = vec![net.temp_attr, net.precip_attr];
+    let mut rng = genclus_stats::seeded_rng(1);
+    let theta = MembershipMatrix::random(net.graph.n_objects(), K, &mut rng);
+    let comps = attrs
+        .iter()
+        .map(|&a| ClusterComponents::init(K, net.graph.attribute(a), &mut rng, 1e-9, 1e-6))
+        .collect();
+    let gamma = vec![1.0; net.graph.schema().n_relations()];
+    Problem {
+        dataset: "weather",
+        config: format!("{} objects, nobs={n_obs}", n_temp + n_precip),
+        graph: net.graph,
+        attrs,
+        theta,
+        comps,
+        gamma,
+        headline,
+    }
+}
+
+fn dblp_problem(n_authors: usize, n_papers: usize) -> Problem {
+    let corpus = dblp::generate(&DblpConfig {
+        n_authors,
+        n_papers,
+        ..DblpConfig::default()
+    });
+    let acp = corpus.build_acp();
+    let attrs = vec![acp.text_attr];
+    let mut rng = genclus_stats::seeded_rng(2);
+    let theta = MembershipMatrix::random(acp.graph.n_objects(), K, &mut rng);
+    let comps = attrs
+        .iter()
+        .map(|&a| ClusterComponents::init(K, acp.graph.attribute(a), &mut rng, 1e-9, 1e-6))
+        .collect();
+    let gamma = vec![1.0; acp.graph.schema().n_relations()];
+    Problem {
+        dataset: "dblp-acp",
+        config: format!("{} authors, {} papers", n_authors, n_papers),
+        graph: acp.graph,
+        attrs,
+        theta,
+        comps,
+        gamma,
+        headline: false,
+    }
+}
+
+/// Times `step()` — `warmup` untimed calls, then `samples` timed ones.
+fn time_steps(mut step: impl FnMut(), warmup: usize, samples: usize) -> Vec<f64> {
+    for _ in 0..warmup {
+        step();
+    }
+    (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            step();
+            start.elapsed().as_secs_f64()
+        })
+        .collect()
+}
+
+/// Runs the full measurement matrix.
+pub fn run_em_perf(cfg: &EmPerfConfig) -> EmPerfReport {
+    let problems: Vec<Problem> = if cfg.quick {
+        vec![
+            weather_problem(120, 40, 5, false),
+            weather_problem(120, 80, 5, true),
+            dblp_problem(80, 120),
+        ]
+    } else {
+        vec![
+            weather_problem(1000, 250, 20, false),
+            weather_problem(1000, 500, 20, false),
+            weather_problem(1000, 1000, 20, true),
+            dblp_problem(1500, 3000),
+        ]
+    };
+    let warmup = if cfg.quick { 1 } else { 2 };
+
+    let mut measurements = Vec::new();
+    let mut headline: Option<Headline> = None;
+    for p in &problems {
+        for &threads in &cfg.threads {
+            let mut optimized = EmEngine::new(&p.graph, &p.attrs, K, threads, 1e-9, 1e-6);
+            let opt_samples = time_steps(
+                || {
+                    std::hint::black_box(optimized.step(&p.theta, &p.comps, &p.gamma));
+                },
+                warmup,
+                cfg.samples,
+            );
+            let naive = ReferenceEmKernel::new(&p.graph, &p.attrs, K, threads, 1e-9, 1e-6);
+            let naive_samples = time_steps(
+                || {
+                    std::hint::black_box(naive.step(&p.theta, &p.comps, &p.gamma));
+                },
+                warmup,
+                cfg.samples,
+            );
+            for (kernel, samples) in [("optimized", opt_samples), ("naive", naive_samples)] {
+                measurements.push(EmMeasurement {
+                    dataset: p.dataset,
+                    config: p.config.clone(),
+                    n_objects: p.graph.n_objects(),
+                    n_links: p.graph.n_links(),
+                    threads,
+                    kernel,
+                    samples,
+                });
+            }
+            if p.headline && threads == *cfg.threads.iter().max().expect("non-empty threads") {
+                let n = measurements.len();
+                let (opt, nai) = (&measurements[n - 2], &measurements[n - 1]);
+                headline = Some(Headline {
+                    config: p.config.clone(),
+                    threads,
+                    optimized_median_ms: opt.median_seconds() * 1e3,
+                    naive_median_ms: nai.median_seconds() * 1e3,
+                    speedup: nai.median_seconds() / opt.median_seconds(),
+                });
+            }
+        }
+    }
+
+    EmPerfReport {
+        mode: if cfg.quick { "quick" } else { "full" },
+        measurements,
+        headline: headline.expect("one problem carries the headline flag"),
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn fmt_f64(x: f64) -> String {
+    // Finite, compact, round-trippable enough for a perf log.
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl EmPerfReport {
+    /// Serializes to the documented `BENCH_em.json` schema (hand-rolled —
+    /// the workspace has no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"schema_version\": 1,\n  \"bench\": \"em_step\",\n");
+        out.push_str(&format!("  \"mode\": \"{}\",\n  \"k\": {K},\n", self.mode));
+        out.push_str("  \"unit\": \"milliseconds per EM iteration\",\n");
+        out.push_str("  \"results\": [\n");
+        for (i, m) in self.measurements.iter().enumerate() {
+            out.push_str("    {\"dataset\": ");
+            push_json_str(&mut out, m.dataset);
+            out.push_str(", \"config\": ");
+            push_json_str(&mut out, &m.config);
+            out.push_str(&format!(
+                ", \"n_objects\": {}, \"n_links\": {}, \"threads\": {}, \"kernel\": \"{}\", \
+                 \"iters_timed\": {}, \"median_ms\": {}, \"mean_ms\": {}}}",
+                m.n_objects,
+                m.n_links,
+                m.threads,
+                m.kernel,
+                m.samples.len(),
+                fmt_f64(m.median_seconds() * 1e3),
+                fmt_f64(m.mean_seconds() * 1e3),
+            ));
+            out.push_str(if i + 1 < self.measurements.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"headline\": {\"config\": ");
+        push_json_str(&mut out, &self.headline.config);
+        out.push_str(&format!(
+            ", \"threads\": {}, \"optimized_median_ms\": {}, \"naive_median_ms\": {}, \
+             \"speedup\": {}}}\n}}\n",
+            self.headline.threads,
+            fmt_f64(self.headline.optimized_median_ms),
+            fmt_f64(self.headline.naive_median_ms),
+            fmt_f64(self.headline.speedup),
+        ));
+        out
+    }
+
+    /// Writes the JSON to `path`.
+    pub fn save(&self, path: &Path) -> std::io::Result<PathBuf> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())?;
+        Ok(path.to_path_buf())
+    }
+
+    /// A terse human-readable rendering for the console.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("EM step wall-time ({} mode)\n", self.mode));
+        for m in &self.measurements {
+            out.push_str(&format!(
+                "  {:9} {:28} threads={} {:9}: median {:8.3} ms  mean {:8.3} ms\n",
+                m.dataset,
+                m.config,
+                m.threads,
+                m.kernel,
+                m.median_seconds() * 1e3,
+                m.mean_seconds() * 1e3,
+            ));
+        }
+        out.push_str(&format!(
+            "headline [{} @ {} threads]: optimized {:.3} ms vs naive {:.3} ms → {:.2}x\n",
+            self.headline.config,
+            self.headline.threads,
+            self.headline.optimized_median_ms,
+            self.headline.naive_median_ms,
+            self.headline.speedup,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_consistent_report_and_json() {
+        let report = run_em_perf(&EmPerfConfig::quick());
+        // 3 problems × 2 thread counts × 2 kernels.
+        assert_eq!(report.measurements.len(), 12);
+        for m in &report.measurements {
+            assert_eq!(m.samples.len(), 3);
+            assert!(m.samples.iter().all(|&s| s >= 0.0 && s.is_finite()));
+            assert!(m.n_objects > 0 && m.n_links > 0);
+        }
+        assert!(report.headline.speedup.is_finite());
+        assert!(report.headline.optimized_median_ms > 0.0);
+
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"em_step\""));
+        assert!(json.contains("\"kernel\": \"optimized\""));
+        assert!(json.contains("\"kernel\": \"naive\""));
+        assert!(json.contains("\"headline\""));
+        // Balanced braces/brackets — a cheap structural sanity check given
+        // the hand-rolled writer.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced JSON objects"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+
+        let dir = std::env::temp_dir().join("genclus-bench-em");
+        let path = report.save(&dir.join("BENCH_em.json")).expect("save");
+        assert!(path.exists());
+    }
+}

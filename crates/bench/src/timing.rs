@@ -38,9 +38,7 @@ pub fn fig11(scale: Scale) -> Report {
                     seed: 7,
                 });
                 let fit = run_genclus_weather(&net, scale, 7);
-                cells.push(f2(
-                    fit.history.mean_em_seconds_per_inner_iteration() * 1e3
-                ));
+                cells.push(f2(fit.history.mean_em_seconds_per_inner_iteration() * 1e3));
             }
             table.push_row(format!("{} objects", n_temp + n_precip), cells);
         }
@@ -72,7 +70,11 @@ pub fn fig11(scale: Scale) -> Report {
     };
     let serial = time_with(1);
     let parallel = time_with(4);
-    let speedup = if parallel > 0.0 { serial / parallel } else { 0.0 };
+    let speedup = if parallel > 0.0 {
+        serial / parallel
+    } else {
+        0.0
+    };
     let mut table = Table::new(
         "Parallel EM (4 threads) on the largest network",
         &["serial ms/iter", "parallel ms/iter", "speedup"],

@@ -64,7 +64,7 @@ pub fn run_genclus_weather(net: &WeatherNetwork, scale: Scale, seed: u64) -> Gen
             &fit.model.components,
             &ones,
         );
-        if best.as_ref().map_or(true, |(s, _)| score > *s) {
+        if best.as_ref().is_none_or(|(s, _)| score > *s) {
             best = Some((score, fit));
         }
     }
@@ -73,10 +73,8 @@ pub fn run_genclus_weather(net: &WeatherNetwork, scale: Scale, seed: u64) -> Gen
 
 /// Hard labels from k-means on interpolated 2-D features.
 fn run_kmeans_weather(net: &WeatherNetwork, seed: u64) -> Vec<usize> {
-    let features = genclus_baselines::interpolate_features(
-        &net.graph,
-        &[net.temp_attr, net.precip_attr],
-    );
+    let features =
+        genclus_baselines::interpolate_features(&net.graph, &[net.temp_attr, net.precip_attr]);
     let mut cfg = genclus_baselines::KMeansConfig::new(K);
     cfg.seed = seed;
     genclus_baselines::kmeans(&features, &cfg).labels
@@ -112,9 +110,7 @@ fn accuracy_grid(scale: Scale, pattern: PatternSetting, id: &str) -> Report {
         ];
         for &n_obs in &scale.weather_obs() {
             let net = make_network(scale, pattern.clone(), n_precip, n_obs, 7);
-            let truth = labelset_from(
-                &net.labels.iter().map(|&l| Some(l)).collect::<Vec<_>>(),
-            );
+            let truth = labelset_from(&net.labels.iter().map(|&l| Some(l)).collect::<Vec<_>>());
             let km = run_kmeans_weather(&net, 7);
             rows[0].1.push(f4(nmi_against(&km, &truth, None)));
             let sp = run_spectral_weather(&net, scale, 7);

@@ -86,7 +86,7 @@ impl GenClus {
 
         let (mut theta, mut components) = initialize(graph, cfg, &gamma)?;
 
-        let engine = EmEngine::new(
+        let mut engine = EmEngine::new(
             graph,
             &cfg.attributes,
             cfg.n_clusters,
@@ -101,13 +101,8 @@ impl GenClus {
         for iteration in 1..=cfg.outer_iters {
             // Step 1: cluster optimization at fixed γ.
             let em_start = Instant::now();
-            let (new_theta, new_components, em_iterations) = engine.run(
-                theta,
-                components,
-                &gamma,
-                cfg.em_iters,
-                cfg.em_tol,
-            );
+            let (new_theta, new_components, em_iterations) =
+                engine.run(theta, components, &gamma, cfg.em_iters, cfg.em_tol);
             let em_seconds = em_start.elapsed().as_secs_f64();
             theta = new_theta;
             components = new_components;

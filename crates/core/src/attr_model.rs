@@ -18,6 +18,12 @@ use rand::Rng;
 
 /// Categorical components: a `K × m` row-stochastic matrix of term
 /// probabilities, `β_{k,l}` in Eq. 3.
+///
+/// Construction precomputes two derived tables so the EM hot path never
+/// calls `ln` per observation and never strides across component rows:
+/// a `K × m` log-probability table backing [`Self::log_prob`], and a
+/// term-major `m × K` transpose backing [`Self::probs_for_term`] (all `K`
+/// probabilities of one term in one cache line).
 #[derive(Debug, Clone, PartialEq)]
 pub struct CategoricalComponents {
     k: usize,
@@ -25,6 +31,10 @@ pub struct CategoricalComponents {
     /// Row-major `K × m` probabilities; each row sums to 1 and is floored so
     /// `log` stays finite.
     beta: Vec<f64>,
+    /// Cached `ln β`, row-major `K × m`.
+    log_beta: Vec<f64>,
+    /// Cached transpose of `beta`, term-major `m × K`.
+    beta_by_term: Vec<f64>,
 }
 
 impl CategoricalComponents {
@@ -57,7 +67,27 @@ impl CategoricalComponents {
             }
             normalize_with_floor(row, beta_floor);
         }
-        Self { k, m, beta }
+        Self::from_normalized(k, m, beta)
+    }
+
+    /// Builds from already row-normalized probabilities, deriving the cached
+    /// log and transposed tables.
+    fn from_normalized(k: usize, m: usize, beta: Vec<f64>) -> Self {
+        debug_assert_eq!(beta.len(), k * m);
+        let log_beta: Vec<f64> = beta.iter().map(|&b| b.ln()).collect();
+        let mut beta_by_term = vec![0.0; k * m];
+        for kk in 0..k {
+            for l in 0..m {
+                beta_by_term[l * k + kk] = beta[kk * m + l];
+            }
+        }
+        Self {
+            k,
+            m,
+            beta,
+            log_beta,
+            beta_by_term,
+        }
     }
 
     /// Builds from explicit rows (tests / resuming).
@@ -76,7 +106,7 @@ impl CategoricalComponents {
         for row in beta.chunks_mut(m) {
             normalize_with_floor(row, beta_floor);
         }
-        Self { k, m, beta }
+        Self::from_normalized(k, m, beta)
     }
 
     /// Number of clusters.
@@ -97,10 +127,18 @@ impl CategoricalComponents {
         self.beta[k * self.m + term as usize]
     }
 
-    /// `ln β_{k,l}`.
+    /// `ln β_{k,l}` (cached table lookup, no `ln` at call time).
     #[inline]
     pub fn log_prob(&self, k: usize, term: u32) -> f64 {
-        self.prob(k, term).ln()
+        self.log_beta[k * self.m + term as usize]
+    }
+
+    /// All `K` probabilities of `term`, contiguous (`β_{1,l} … β_{K,l}`) —
+    /// the cache-friendly access pattern of the EM responsibility loop.
+    #[inline]
+    pub fn probs_for_term(&self, term: u32) -> &[f64] {
+        let base = term as usize * self.k;
+        &self.beta_by_term[base..base + self.k]
     }
 
     /// The `n` highest-probability terms of component `k`, descending —
@@ -119,10 +157,18 @@ impl CategoricalComponents {
 }
 
 /// Gaussian components: one `(μ_k, σ_k²)` per cluster, Eq. 4.
+///
+/// Construction precomputes the per-component log-pdf constants so
+/// [`Self::log_pdf`] is two flops and two table reads — no `ln` per
+/// observation on the EM hot path.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GaussianComponents {
     mu: Vec<f64>,
     var: Vec<f64>,
+    /// Cached `−½·ln(2π σ_k²)`.
+    log_norm: Vec<f64>,
+    /// Cached `1 / (2 σ_k²)`.
+    inv_two_var: Vec<f64>,
 }
 
 impl GaussianComponents {
@@ -154,8 +200,8 @@ impl GaussianComponents {
             (0.0, 1.0)
         } else {
             let mean = all.iter().sum::<f64>() / all.len() as f64;
-            let var = all.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-                / all.len().max(1) as f64;
+            let var =
+                all.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / all.len().max(1) as f64;
             (mean, var.max(variance_floor).sqrt())
         };
         all.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
@@ -186,17 +232,32 @@ impl GaussianComponents {
             use rand::seq::SliceRandom;
             mu.shuffle(rng);
         }
-        Self {
-            mu,
-            var: vec![g_std * g_std; k],
-        }
+        Self::from_moments(mu, vec![g_std * g_std; k])
     }
 
     /// Builds from explicit parameters (tests / resuming).
     pub fn from_params(mu: Vec<f64>, var: Vec<f64>, variance_floor: f64) -> Self {
         assert_eq!(mu.len(), var.len());
         let var = var.into_iter().map(|v| v.max(variance_floor)).collect();
-        Self { mu, var }
+        Self::from_moments(mu, var)
+    }
+
+    /// Builds from positive variances, deriving the cached log-pdf
+    /// constants.
+    fn from_moments(mu: Vec<f64>, var: Vec<f64>) -> Self {
+        debug_assert_eq!(mu.len(), var.len());
+        debug_assert!(var.iter().all(|&v| v > 0.0));
+        let log_norm = var
+            .iter()
+            .map(|&v| -0.5 * (2.0 * std::f64::consts::PI * v).ln())
+            .collect();
+        let inv_two_var = var.iter().map(|&v| 0.5 / v).collect();
+        Self {
+            mu,
+            var,
+            log_norm,
+            inv_two_var,
+        }
     }
 
     /// Number of clusters.
@@ -217,11 +278,12 @@ impl GaussianComponents {
         self.var[k]
     }
 
-    /// `ln N(x; μ_k, σ_k²)`.
+    /// `ln N(x; μ_k, σ_k²)` from the cached constants — allocation- and
+    /// `ln`-free.
     #[inline]
     pub fn log_pdf(&self, k: usize, x: f64) -> f64 {
         let d = x - self.mu[k];
-        -0.5 * ((2.0 * std::f64::consts::PI * self.var[k]).ln() + d * d / self.var[k])
+        self.log_norm[k] - d * d * self.inv_two_var[k]
     }
 }
 
@@ -302,6 +364,37 @@ impl ComponentAccumulator {
         }
     }
 
+    /// Whether this accumulator's kind and dimensions fit `components`, i.e.
+    /// whether a reset — rather than a rebuild — suffices to reuse it.
+    pub fn shape_matches(&self, components: &ClusterComponents) -> bool {
+        match (self, components) {
+            (Self::Categorical { k, m, .. }, ClusterComponents::Categorical(c)) => {
+                *k == c.n_clusters() && *m == c.vocab_size()
+            }
+            (Self::Gaussian { sum_w, .. }, ClusterComponents::Gaussian(g)) => {
+                sum_w.len() == g.n_clusters()
+            }
+            _ => false,
+        }
+    }
+
+    /// Zeroes the statistics so the buffer can be reused by the next EM step
+    /// without reallocating.
+    pub fn reset(&mut self) {
+        match self {
+            Self::Categorical { counts, .. } => counts.iter_mut().for_each(|c| *c = 0.0),
+            Self::Gaussian {
+                sum_w,
+                sum_wx,
+                sum_wx2,
+            } => {
+                sum_w.iter_mut().for_each(|x| *x = 0.0);
+                sum_wx.iter_mut().for_each(|x| *x = 0.0);
+                sum_wx2.iter_mut().for_each(|x| *x = 0.0);
+            }
+        }
+    }
+
     /// Adds `weight` responsibility mass for `term` in cluster `k`.
     #[inline]
     pub fn add_term(&mut self, k: usize, term: u32, weight: f64) {
@@ -331,10 +424,7 @@ impl ComponentAccumulator {
     /// Merges another accumulator (from a worker thread) into this one.
     pub fn merge(&mut self, other: &Self) {
         match (self, other) {
-            (
-                Self::Categorical { counts, .. },
-                Self::Categorical { counts: oc, .. },
-            ) => {
+            (Self::Categorical { counts, .. }, Self::Categorical { counts: oc, .. }) => {
                 for (a, b) in counts.iter_mut().zip(oc) {
                     *a += b;
                 }
@@ -389,11 +479,7 @@ impl ComponentAccumulator {
                         normalize_with_floor(row, beta_floor);
                     }
                 }
-                ClusterComponents::Categorical(CategoricalComponents {
-                    k: *k,
-                    m: *m,
-                    beta,
-                })
+                ClusterComponents::Categorical(CategoricalComponents::from_normalized(*k, *m, beta))
             }
             (
                 Self::Gaussian {
@@ -417,7 +503,7 @@ impl ComponentAccumulator {
                         var.push(v);
                     }
                 }
-                ClusterComponents::Gaussian(GaussianComponents { mu, var })
+                ClusterComponents::Gaussian(GaussianComponents::from_moments(mu, var))
             }
             _ => unreachable!("mismatched accumulator/component kinds"),
         }

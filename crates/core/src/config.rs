@@ -206,7 +206,10 @@ mod tests {
 
         let mut c = base.clone();
         c.sigma = 0.0;
-        assert!(matches!(c.validate(), Err(GenClusError::InvalidConfig { .. })));
+        assert!(matches!(
+            c.validate(),
+            Err(GenClusError::InvalidConfig { .. })
+        ));
 
         let mut c = base.clone();
         c.threads = 0;

@@ -5,8 +5,7 @@
 //! `v`:
 //!
 //! * **E-step** — for every observation `x` of every specified attribute,
-//!   the responsibility `p(z_{v,x} = k) ∝ θ_{v,k} · p(x | β_k)` (computed in
-//!   log domain for numerical safety);
+//!   the responsibility `p(z_{v,x} = k) ∝ θ_{v,k} · p(x | β_k)`;
 //! * **M-step (Θ)** — Eq. 10/11/12's update
 //!   `θ'_{v,k} ∝ Σ_{e=⟨v,u⟩} γ(φ(e)) w(e) θ_{u,k} + Σ_X Σ_x p(z_{v,x} = k)`,
 //!   i.e. a (γ·w)-weighted average of out-neighbor memberships plus the
@@ -16,15 +15,54 @@
 //! * **M-step (β)** — component re-estimation from responsibility-weighted
 //!   sufficient statistics.
 //!
-//! All objects update from the *previous* `Θ` (a Jacobi sweep), which makes
-//! the pass embarrassingly parallel: objects are partitioned into contiguous
-//! chunks processed by scoped threads, each accumulating its own partial `β`
-//! statistics that are merged afterwards (the parallelization the paper
-//! reports a 3.19× speedup for on 4 threads).
+//! # Hot-path invariants
+//!
+//! The step kernel is deliberately allocation-free and log-table-cached;
+//! [`crate::em_reference`] keeps the naive per-observation-`ln`,
+//! thread-spawn-per-step kernel around as the provably-equivalent baseline
+//! (`cargo run -p genclus-bench --bin bench_em` measures both). The rules
+//! the optimized kernel must uphold:
+//!
+//! * **Jacobi sweep.** Every object's update reads only the *previous* `Θ`
+//!   (`theta_old`); the new rows land in a separate output buffer. This is
+//!   what makes the pass embarrassingly parallel and makes the result
+//!   independent of both object order and thread count.
+//! * **Chunk determinism.** Workers process contiguous row ranges and each
+//!   row's arithmetic is identical in serial and parallel mode, so `Θ` is
+//!   bit-for-bit the same for every thread count (the
+//!   `parallel_step_matches_serial_exactly` tests assert ≤ 1e-12, and in
+//!   practice the difference is exactly zero). Only the per-thread `β`
+//!   accumulator *merge* reorders float additions; components therefore
+//!   agree across thread counts to summation round-off, not bit-exactly.
+//! * **Log-table caching.** The inner loop evaluates **zero `ln` calls**:
+//!   `ln β` lives in a table inside
+//!   [`CategoricalComponents`](crate::attr_model::CategoricalComponents)
+//!   (for the `g₁` objective; the E-step itself uses the term-major linear
+//!   table), and the Gaussian log-pdf constants (`−½ln(2πσ²)`, `1/(2σ²)`)
+//!   are cached in
+//!   [`GaussianComponents`](crate::attr_model::GaussianComponents).
+//!   Categorical responsibilities are formed in the *linear* domain
+//!   (`θ_{v,k} · β_{k,l}` is bounded below by the two floors, ≈ 1e-21, so it
+//!   cannot underflow). Gaussian responsibilities keep the pdf in the log
+//!   domain (`−d²/2σ²` is unbounded below) but fold `θ` in linearly after
+//!   the max subtraction — `θ_k·exp(s_k − max s)` has the same normalization
+//!   as `exp(ln θ_k + s_k − max)` — and skip the argmax entry's
+//!   `exp(0) = 1`, leaving `K − 1` `exp`s and no `ln` per observation.
+//! * **Buffer reuse.** Per-thread scratch ([`ThreadScratch`]: `β`
+//!   accumulators and the responsibility row) is owned by the engine and
+//!   zeroed — never reallocated — on each step;
+//!   [`EmEngine::run`] double-buffers `Θ` across iterations (one swap per
+//!   iteration, no per-step matrix allocation); the worker threads
+//!   themselves are spawned once per engine in a persistent
+//!   [`WorkerPool`](crate::pool::WorkerPool), not once per step.
+//! * **Scratch is step-local.** Nothing read by a step may survive from the
+//!   previous step except through the documented reset (`prepare`): the
+//!   output rows are fully overwritten before accumulation, and every
+//!   scratch field is zeroed or rebuilt at step entry.
 
 use crate::attr_model::{ClusterComponents, ComponentAccumulator};
+use crate::pool::{DisjointRows, WorkerPool};
 use genclus_hin::{AttributeData, AttributeId, HinGraph};
-use genclus_stats::logsumexp::normalize_log_weights;
 use genclus_stats::simplex::normalize_floored;
 use genclus_stats::MembershipMatrix;
 
@@ -39,7 +77,46 @@ pub struct EmStepResult {
     pub max_delta: f64,
 }
 
+/// Per-worker reusable scratch: `β` sufficient statistics and the
+/// responsibility row of the observation being processed.
+#[derive(Debug, Default)]
+struct ThreadScratch {
+    accs: Vec<ComponentAccumulator>,
+    resp: Vec<f64>,
+    max_delta: f64,
+}
+
+impl ThreadScratch {
+    /// Readies the scratch for one step: zeroes (or, on shape change,
+    /// rebuilds) the accumulators and sizes the row buffers.
+    fn prepare(&mut self, components: &[ClusterComponents], k: usize) {
+        let shapes_match = self.accs.len() == components.len()
+            && self
+                .accs
+                .iter()
+                .zip(components)
+                .all(|(a, c)| a.shape_matches(c));
+        if shapes_match {
+            for a in &mut self.accs {
+                a.reset();
+            }
+        } else {
+            self.accs = components
+                .iter()
+                .map(ComponentAccumulator::zeros_like)
+                .collect();
+        }
+        self.resp.clear();
+        self.resp.resize(k, 0.0);
+        self.max_delta = 0.0;
+    }
+}
+
 /// Reusable EM engine bound to a network and an attribute subset.
+///
+/// The engine owns its worker pool and all per-thread scratch, so `step` /
+/// `run` are `&mut self`: one engine is a single-threaded façade over a
+/// persistent team of workers.
 pub struct EmEngine<'g> {
     graph: &'g HinGraph,
     attr_ids: Vec<AttributeId>,
@@ -48,12 +125,21 @@ pub struct EmEngine<'g> {
     beta_floor: f64,
     variance_floor: f64,
     theta_smoothing: f64,
+    /// Persistent workers (`None` when `threads == 1`).
+    pool: Option<WorkerPool>,
+    /// One scratch per worker slot (slot 0 doubles as the serial scratch).
+    scratch: Vec<ThreadScratch>,
+    /// Retired `Θ` buffer, recycled by the next `step` / `run`.
+    spare: Option<MembershipMatrix>,
 }
 
 impl<'g> EmEngine<'g> {
     /// Creates an engine for `graph` clustering into `k` clusters according
     /// to `attr_ids`, using `threads` workers and the raw (un-smoothed)
     /// Eq. 10 update. See [`Self::with_smoothing`].
+    ///
+    /// For `threads > 1` the worker threads are spawned here, once, and live
+    /// as long as the engine.
     pub fn new(
         graph: &'g HinGraph,
         attr_ids: &[AttributeId],
@@ -62,14 +148,20 @@ impl<'g> EmEngine<'g> {
         beta_floor: f64,
         variance_floor: f64,
     ) -> Self {
+        let threads = threads.max(1);
+        let pool = (threads > 1).then(|| WorkerPool::new(threads));
+        let scratch = (0..threads).map(|_| ThreadScratch::default()).collect();
         Self {
             graph,
             attr_ids: attr_ids.to_vec(),
             k,
-            threads: threads.max(1),
+            threads,
             beta_floor,
             variance_floor,
             theta_smoothing: 0.0,
+            pool,
+            scratch,
+            spare: None,
         }
     }
 
@@ -89,33 +181,97 @@ impl<'g> EmEngine<'g> {
 
     /// One full E+M iteration from `(theta, components)` under fixed `gamma`.
     pub fn step(
-        &self,
+        &mut self,
         theta: &MembershipMatrix,
         components: &[ClusterComponents],
         gamma: &[f64],
     ) -> EmStepResult {
+        let mut out = self.take_buffer();
+        let (components, max_delta) = self.step_into(theta, components, gamma, &mut out);
+        EmStepResult {
+            theta: out,
+            components,
+            max_delta,
+        }
+    }
+
+    /// Runs EM until `max_delta < tol` or `max_iters` iterations; returns the
+    /// final state and the iteration count used.
+    ///
+    /// `Θ` is double-buffered: the loop swaps two matrices instead of
+    /// allocating one per iteration, and parks the retired buffer on the
+    /// engine for the next call.
+    pub fn run(
+        &mut self,
+        theta: MembershipMatrix,
+        components: Vec<ClusterComponents>,
+        gamma: &[f64],
+        max_iters: usize,
+        tol: f64,
+    ) -> (MembershipMatrix, Vec<ClusterComponents>, usize) {
+        let mut cur = theta;
+        let mut components = components;
+        let mut next = self.take_buffer();
+        let mut iters = 0;
+        for _ in 0..max_iters {
+            let (new_components, max_delta) = self.step_into(&cur, &components, gamma, &mut next);
+            std::mem::swap(&mut cur, &mut next);
+            components = new_components;
+            iters += 1;
+            if max_delta < tol {
+                break;
+            }
+        }
+        self.spare = Some(next);
+        (cur, components, iters)
+    }
+
+    /// A `Θ` buffer of the right shape: the parked spare if compatible,
+    /// otherwise a fresh allocation.
+    fn take_buffer(&mut self) -> MembershipMatrix {
+        let n = self.graph.n_objects();
+        match self.spare.take() {
+            Some(m) if m.n_objects() == n && m.n_clusters() == self.k => m,
+            _ => MembershipMatrix::uniform(n, self.k),
+        }
+    }
+
+    /// The step kernel: writes the new `Θ` into `out` and returns the new
+    /// components and the max-abs membership delta.
+    fn step_into(
+        &mut self,
+        theta: &MembershipMatrix,
+        components: &[ClusterComponents],
+        gamma: &[f64],
+        out: &mut MembershipMatrix,
+    ) -> (Vec<ClusterComponents>, f64) {
         debug_assert_eq!(theta.n_objects(), self.graph.n_objects());
         debug_assert_eq!(theta.n_clusters(), self.k);
+        debug_assert_eq!(out.n_objects(), self.graph.n_objects());
+        debug_assert_eq!(out.n_clusters(), self.k);
         debug_assert_eq!(components.len(), self.attr_ids.len());
         debug_assert_eq!(gamma.len(), self.graph.schema().n_relations());
 
         let n = self.graph.n_objects();
+        let k = self.k;
+        let smoothing = self.theta_smoothing;
         let tables: Vec<&AttributeData> = self
             .attr_ids
             .iter()
             .map(|&a| self.graph.attribute(a))
             .collect();
 
-        let mut new_theta = MembershipMatrix::uniform(n, self.k);
-        let rows_per_chunk = n.div_ceil(self.threads);
+        let n_jobs = if self.threads == 1 {
+            1
+        } else {
+            let rows_per_chunk = n.div_ceil(self.threads);
+            n.div_ceil(rows_per_chunk.max(1)).max(1)
+        };
 
-        let smoothing = self.theta_smoothing;
-        let (accumulators, max_delta) = if self.threads == 1 {
-            let mut accs: Vec<ComponentAccumulator> = components
-                .iter()
-                .map(ComponentAccumulator::zeros_like)
-                .collect();
-            let delta = process_range(
+        if n_jobs == 1 {
+            let scratch = &mut self.scratch[0];
+            scratch.prepare(components, k);
+            process_range(
                 self.graph,
                 &tables,
                 components,
@@ -123,95 +279,73 @@ impl<'g> EmEngine<'g> {
                 gamma,
                 0,
                 n,
-                new_theta.as_mut_slice(),
-                &mut accs,
-                self.k,
+                out.as_mut_slice(),
+                scratch,
+                k,
                 smoothing,
             );
-            (accs, delta)
         } else {
-            let k = self.k;
+            let rows_per_chunk = n.div_ceil(self.threads);
             let graph = self.graph;
-            let chunks: Vec<&mut [f64]> = new_theta.par_chunks_mut(rows_per_chunk).collect();
-            let results = crossbeam::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for (chunk_idx, chunk) in chunks.into_iter().enumerate() {
-                    let tables = &tables;
-                    let start = chunk_idx * rows_per_chunk;
-                    let end = (start + chunk.len() / k).min(n);
-                    handles.push(scope.spawn(move |_| {
-                        let mut accs: Vec<ComponentAccumulator> = components
-                            .iter()
-                            .map(ComponentAccumulator::zeros_like)
-                            .collect();
-                        let delta = process_range(
-                            graph, tables, components, theta, gamma, start, end, chunk,
-                            &mut accs, k, smoothing,
-                        );
-                        (accs, delta)
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("EM worker panicked"))
-                    .collect::<Vec<_>>()
-            })
-            .expect("EM thread scope failed");
+            let pool = self.pool.as_ref().expect("threads > 1 implies a pool");
+            // Scratch is lent to the workers mutably-but-disjointly: worker
+            // `i` takes exactly `scratch[i]`, like the row chunks.
+            let scratch_cells: Vec<std::sync::Mutex<&mut ThreadScratch>> =
+                self.scratch.iter_mut().map(std::sync::Mutex::new).collect();
+            let rows = DisjointRows::new(out.as_mut_slice());
+            let tables = &tables;
+            pool.broadcast(n_jobs, &|i| {
+                let start = i * rows_per_chunk;
+                let end = ((i + 1) * rows_per_chunk).min(n);
+                let mut scratch = scratch_cells[i]
+                    .lock()
+                    .expect("scratch lock cannot be poisoned");
+                scratch.prepare(components, k);
+                // SAFETY: chunk `i` covers rows [start, end), disjoint from
+                // every other chunk.
+                let out_rows = unsafe { rows.slice_mut(start * k, end * k) };
+                process_range(
+                    graph,
+                    tables,
+                    components,
+                    theta,
+                    gamma,
+                    start,
+                    end,
+                    out_rows,
+                    &mut scratch,
+                    k,
+                    smoothing,
+                );
+            });
+        }
 
-            let mut merged: Vec<ComponentAccumulator> = components
-                .iter()
-                .map(ComponentAccumulator::zeros_like)
-                .collect();
-            let mut max_delta = 0.0f64;
-            for (accs, delta) in results {
-                for (m, a) in merged.iter_mut().zip(&accs) {
-                    m.merge(a);
-                }
-                max_delta = max_delta.max(delta);
+        // Merge worker partials in chunk order (same order a serial pass
+        // would have accumulated them in).
+        let (first, rest) = self.scratch.split_at_mut(1);
+        let mut max_delta = first[0].max_delta;
+        for other in rest.iter().take(n_jobs.saturating_sub(1)) {
+            for (m, a) in first[0].accs.iter_mut().zip(&other.accs) {
+                m.merge(a);
             }
-            (merged, max_delta)
-        };
+            max_delta = max_delta.max(other.max_delta);
+        }
 
-        let new_components: Vec<ClusterComponents> = accumulators
+        let new_components: Vec<ClusterComponents> = first[0]
+            .accs
             .iter()
             .zip(components)
             .map(|(acc, prev)| acc.finalize(prev, self.beta_floor, self.variance_floor))
             .collect();
 
-        EmStepResult {
-            theta: new_theta,
-            components: new_components,
-            max_delta,
-        }
-    }
-
-    /// Runs EM until `max_delta < tol` or `max_iters` iterations; returns the
-    /// final state and the iteration count used.
-    pub fn run(
-        &self,
-        mut theta: MembershipMatrix,
-        mut components: Vec<ClusterComponents>,
-        gamma: &[f64],
-        max_iters: usize,
-        tol: f64,
-    ) -> (MembershipMatrix, Vec<ClusterComponents>, usize) {
-        let mut iters = 0;
-        for _ in 0..max_iters {
-            let out = self.step(&theta, &components, gamma);
-            theta = out.theta;
-            components = out.components;
-            iters += 1;
-            if out.max_delta < tol {
-                break;
-            }
-        }
-        (theta, components, iters)
+        (new_components, max_delta)
     }
 }
 
 /// Processes objects `[start, end)`, writing new membership rows into
 /// `out_rows` (a flat slice starting at object `start`) and accumulating
-/// sufficient statistics into `accs`. Returns the local max-abs delta.
+/// sufficient statistics into `scratch`. Leaves the local max-abs delta in
+/// `scratch.max_delta`.
 #[allow(clippy::too_many_arguments)]
 fn process_range(
     graph: &HinGraph,
@@ -222,27 +356,35 @@ fn process_range(
     start: usize,
     end: usize,
     out_rows: &mut [f64],
-    accs: &mut [ComponentAccumulator],
+    scratch: &mut ThreadScratch,
     k: usize,
     smoothing: f64,
-) -> f64 {
-    let mut resp = vec![0.0f64; k];
-    let mut max_delta = 0.0f64;
+) {
+    let ThreadScratch {
+        accs,
+        resp,
+        max_delta,
+    } = scratch;
+    let mut local_delta = 0.0f64;
 
     for v_idx in start..end {
         let v = genclus_hin::ObjectId::from_index(v_idx);
         let out_row = &mut out_rows[(v_idx - start) * k..(v_idx - start + 1) * k];
         out_row.iter_mut().for_each(|x| *x = 0.0);
 
-        // Link term of Eq. 10: Σ_{e=⟨v,u⟩} γ(φ(e)) w(e) θ_{u,k}.
-        for link in graph.out_links(v) {
-            let gw = gamma[link.relation.index()] * link.weight;
-            if gw == 0.0 {
+        // Link term of Eq. 10: Σ_{e=⟨v,u⟩} γ(φ(e)) w(e) θ_{u,k}, iterated
+        // per relation segment so γ(φ(e)) is fetched once per relation.
+        for (rel, links) in graph.out_relation_segments(v) {
+            let g = gamma[rel.index()];
+            if g == 0.0 {
                 continue;
             }
-            let tu = theta_old.row(link.endpoint.index());
-            for (o, &t) in out_row.iter_mut().zip(tu) {
-                *o += gw * t;
+            for link in links {
+                let gw = g * link.weight;
+                let tu = theta_old.row(link.endpoint.index());
+                for (o, &t) in out_row.iter_mut().zip(tu) {
+                    *o += gw * t;
+                }
             }
         }
 
@@ -252,25 +394,54 @@ fn process_range(
         for ((table, comp), acc) in tables.iter().zip(components).zip(accs.iter_mut()) {
             match (table, comp) {
                 (AttributeData::Categorical { .. }, ClusterComponents::Categorical(cat)) => {
+                    // Linear domain: θ_{v,k} · β_{k,l} is floored away from
+                    // zero on both factors, so neither underflow nor a zero
+                    // normalizer is possible.
                     for &(term, count) in table.term_counts(v) {
-                        for (kk, r) in resp.iter_mut().enumerate() {
-                            *r = tv[kk].ln() + cat.log_prob(kk, term);
+                        let probs = cat.probs_for_term(term);
+                        let mut sum = 0.0;
+                        for ((r, &t), &p) in resp.iter_mut().zip(tv).zip(probs) {
+                            let w = t * p;
+                            *r = w;
+                            sum += w;
                         }
-                        normalize_log_weights(&mut resp);
+                        let scale = count / sum;
                         for (kk, &r) in resp.iter().enumerate() {
-                            let mass = count * r;
+                            let mass = r * scale;
                             out_row[kk] += mass;
                             acc.add_term(kk, term, mass);
                         }
                     }
                 }
                 (AttributeData::Numerical { .. }, ClusterComponents::Gaussian(gauss)) => {
+                    // Log domain for the pdf (−d²/2σ² is unbounded below),
+                    // but θ enters *linearly* after the max subtraction:
+                    // `θ_k·exp(s_k − max s)` normalizes to exactly the same
+                    // responsibilities as `exp(ln θ_k + s_k − max)`, costs no
+                    // `ln θ` at all, and the argmax entry's exp(0) = 1 is
+                    // skipped outright. Underflow-safe because the max-s
+                    // entry contributes θ_k·1 ≥ the Θ floor to the sum.
                     for &x in table.values(v) {
+                        let mut max_s = f64::NEG_INFINITY;
+                        let mut arg = 0usize;
                         for (kk, r) in resp.iter_mut().enumerate() {
-                            *r = tv[kk].ln() + gauss.log_pdf(kk, x);
+                            let s = gauss.log_pdf(kk, x);
+                            *r = s;
+                            if s > max_s {
+                                max_s = s;
+                                arg = kk;
+                            }
                         }
-                        normalize_log_weights(&mut resp);
+                        let mut sum = 0.0;
+                        for (kk, (r, &t)) in resp.iter_mut().zip(tv).enumerate() {
+                            let e = if kk == arg { 1.0 } else { (*r - max_s).exp() };
+                            let w = t * e;
+                            *r = w;
+                            sum += w;
+                        }
+                        let inv = 1.0 / sum;
                         for (kk, &r) in resp.iter().enumerate() {
+                            let r = r * inv;
                             out_row[kk] += r;
                             acc.add_value(kk, x, r);
                         }
@@ -288,18 +459,20 @@ fn process_range(
                 .for_each(|o| *o = (1.0 - smoothing) * *o + uniform);
         }
         for (o, t) in out_row.iter().zip(tv) {
-            max_delta = max_delta.max((o - t).abs());
+            local_delta = local_delta.max((o - t).abs());
         }
     }
-    max_delta
+    *max_delta = local_delta;
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::attr_model::GaussianComponents;
+    use crate::em_reference::ReferenceEmKernel;
     use genclus_hin::{HinBuilder, Schema};
     use genclus_stats::seeded_rng;
+    use rand::Rng;
 
     /// Six objects in two planted clusters {0,1,2} and {3,4,5}; objects 0 and
     /// 3 carry clear numerical observations, the rest carry none and must be
@@ -331,6 +504,71 @@ mod tests {
         (b.build().unwrap(), attr)
     }
 
+    /// A larger randomized two-type network with three relations, both
+    /// attribute kinds, and ~40% missing observations — the stress shape for
+    /// the serial/parallel and cached/naive equivalence tests.
+    fn randomized_network(seed: u64, n_per_type: usize) -> (HinGraph, Vec<AttributeId>) {
+        let mut rng = seeded_rng(seed);
+        let mut s = Schema::new();
+        let ta = s.add_object_type("A");
+        let tb = s.add_object_type("B");
+        let ab = s.add_relation("ab", ta, tb);
+        let ba = s.add_relation("ba", tb, ta);
+        let aa = s.add_relation("aa", ta, ta);
+        let text = s.add_categorical_attribute("text", 9);
+        let num = s.add_numerical_attribute("num");
+        let mut b = HinBuilder::new(s);
+        let a_ids: Vec<_> = (0..n_per_type)
+            .map(|i| b.add_object(ta, format!("a{i}")))
+            .collect();
+        let b_ids: Vec<_> = (0..n_per_type)
+            .map(|i| b.add_object(tb, format!("b{i}")))
+            .collect();
+        for i in 0..n_per_type {
+            b.add_link(a_ids[i], b_ids[i], ab, 1.0).unwrap();
+            b.add_link(b_ids[i], a_ids[(i + 1) % n_per_type], ba, 1.0)
+                .unwrap();
+            for _ in 0..3 {
+                let j = rng.gen_range(0..n_per_type);
+                b.add_link(a_ids[i], b_ids[j], ab, rng.gen_range(0.5..2.0))
+                    .unwrap();
+                let j = rng.gen_range(0..n_per_type);
+                if j != i {
+                    b.add_link(a_ids[i], a_ids[j], aa, rng.gen_range(0.5..3.0))
+                        .unwrap();
+                }
+            }
+            if rng.gen_bool(0.6) {
+                for _ in 0..rng.gen_range(1..5) {
+                    b.add_term_count(a_ids[i], text, rng.gen_range(0..9), rng.gen_range(1.0..3.0))
+                        .unwrap();
+                }
+            }
+            if rng.gen_bool(0.6) {
+                for _ in 0..rng.gen_range(1..4) {
+                    b.add_numeric(b_ids[i], num, rng.gen_range(-4.0..4.0))
+                        .unwrap();
+                }
+            }
+        }
+        (b.build().unwrap(), vec![text, num])
+    }
+
+    fn randomized_state(
+        g: &HinGraph,
+        attrs: &[AttributeId],
+        k: usize,
+        seed: u64,
+    ) -> (MembershipMatrix, Vec<ClusterComponents>) {
+        let mut rng = seeded_rng(seed);
+        let theta = MembershipMatrix::random(g.n_objects(), k, &mut rng);
+        let comps = attrs
+            .iter()
+            .map(|&a| ClusterComponents::init(k, g.attribute(a), &mut rng, 1e-9, 1e-6))
+            .collect();
+        (theta, comps)
+    }
+
     fn engine(g: &HinGraph, attr: AttributeId, threads: usize) -> EmEngine<'_> {
         EmEngine::new(g, &[attr], 2, threads, 1e-9, 1e-6)
     }
@@ -356,7 +594,7 @@ mod tests {
     fn step_preserves_simplex_invariant() {
         let (g, attr) = planted_network();
         let (theta, comps) = initial_state(&g, attr, 7);
-        let eng = engine(&g, attr, 1);
+        let mut eng = engine(&g, attr, 1);
         let out = eng.step(&theta, &comps, &[1.0]);
         for i in 0..g.n_objects() {
             let row = out.theta.row(i);
@@ -370,7 +608,7 @@ mod tests {
     fn em_recovers_planted_clusters() {
         let (g, attr) = planted_network();
         let (theta, comps) = initial_state(&g, attr, 3);
-        let eng = engine(&g, attr, 1);
+        let mut eng = engine(&g, attr, 1);
         let (theta, comps, iters) = eng.run(theta, comps, &[1.0], 60, 1e-8);
         assert!(iters >= 2);
         let labels = theta.hard_labels();
@@ -394,7 +632,7 @@ mod tests {
     fn attributeless_objects_follow_their_neighbors() {
         let (g, attr) = planted_network();
         let (theta, comps) = initial_state(&g, attr, 11);
-        let eng = engine(&g, attr, 1);
+        let mut eng = engine(&g, attr, 1);
         let (theta, _, _) = eng.run(theta, comps, &[1.0], 60, 1e-8);
         // Object 1 has no observations; its membership must match anchor 0's.
         let anchor = theta.row(0);
@@ -431,16 +669,103 @@ mod tests {
     }
 
     #[test]
+    fn parallel_step_matches_serial_on_randomized_multi_relation_graph() {
+        for seed in [5u64, 17, 4242] {
+            let (g, attrs) = randomized_network(seed, 60);
+            let k = 3;
+            let (theta, comps) = randomized_state(&g, &attrs, k, seed ^ 0x5eed);
+            let gamma = [1.3, 0.4, 2.0];
+            let mut serial_eng = EmEngine::new(&g, &attrs, k, 1, 1e-9, 1e-6);
+            let serial = serial_eng.step(&theta, &comps, &gamma);
+            for threads in [2, 3, 4, 7] {
+                let mut eng = EmEngine::new(&g, &attrs, k, threads, 1e-9, 1e-6);
+                let par = eng.step(&theta, &comps, &gamma);
+                assert!(
+                    serial.theta.max_abs_diff(&par.theta) < 1e-12,
+                    "seed {seed}, {threads} threads changed Θ by {}",
+                    serial.theta.max_abs_diff(&par.theta)
+                );
+                assert!((serial.max_delta - par.max_delta).abs() < 1e-12);
+            }
+            // And the equivalence must survive several chained iterations.
+            let mut eng4 = EmEngine::new(&g, &attrs, k, 4, 1e-9, 1e-6);
+            let (t1, _, i1) = serial_eng.run(theta.clone(), comps.clone(), &gamma, 5, 0.0);
+            let (t4, _, i4) = eng4.run(theta, comps, &gamma, 5, 0.0);
+            assert_eq!(i1, i4);
+            assert!(
+                t1.max_abs_diff(&t4) < 1e-9,
+                "seed {seed}: 5-iteration drift {}",
+                t1.max_abs_diff(&t4)
+            );
+        }
+    }
+
+    /// The optimization acceptance gate: the cached-log kernel must be
+    /// behavior-preserving against the naive per-observation-`ln` reference
+    /// to ≤ 1e-12 per Θ entry.
+    #[test]
+    fn cached_kernel_matches_naive_reference_step() {
+        for seed in [2u64, 23, 1234] {
+            let (g, attrs) = randomized_network(seed, 50);
+            let k = 4;
+            let (theta, comps) = randomized_state(&g, &attrs, k, seed.wrapping_mul(31));
+            let gamma = [0.7, 1.9, 0.1];
+            for smoothing in [0.0, 0.05] {
+                let mut opt = EmEngine::new(&g, &attrs, k, 1, 1e-9, 1e-6).with_smoothing(smoothing);
+                let naive =
+                    ReferenceEmKernel::new(&g, &attrs, k, 1, 1e-9, 1e-6).with_smoothing(smoothing);
+                let a = opt.step(&theta, &comps, &gamma);
+                let b = naive.step(&theta, &comps, &gamma);
+                let diff = a.theta.max_abs_diff(&b.theta);
+                assert!(
+                    diff <= 1e-12,
+                    "seed {seed} smoothing {smoothing}: cached vs naive Θ diff {diff}"
+                );
+                assert!((a.max_delta - b.max_delta).abs() <= 1e-12);
+                for (ca, cb) in a.components.iter().zip(&b.components) {
+                    match (ca, cb) {
+                        (ClusterComponents::Gaussian(x), ClusterComponents::Gaussian(y)) => {
+                            for kk in 0..k {
+                                assert!((x.mean(kk) - y.mean(kk)).abs() < 1e-10);
+                                assert!((x.variance(kk) - y.variance(kk)).abs() < 1e-10);
+                            }
+                        }
+                        (ClusterComponents::Categorical(x), ClusterComponents::Categorical(y)) => {
+                            for kk in 0..k {
+                                for l in 0..x.vocab_size() as u32 {
+                                    assert!((x.prob(kk, l) - y.prob(kk, l)).abs() < 1e-10);
+                                }
+                            }
+                        }
+                        _ => panic!("component kinds diverged"),
+                    }
+                }
+            }
+        }
+    }
+
+    /// The reference kernel's parallel path is equivalent too, so the
+    /// bench harness can compare like against like at any thread count.
+    #[test]
+    fn naive_reference_parallel_matches_its_serial() {
+        let (g, attrs) = randomized_network(77, 40);
+        let (theta, comps) = randomized_state(&g, &attrs, 3, 99);
+        let gamma = [1.0, 1.0, 1.0];
+        let serial =
+            ReferenceEmKernel::new(&g, &attrs, 3, 1, 1e-9, 1e-6).step(&theta, &comps, &gamma);
+        let par = ReferenceEmKernel::new(&g, &attrs, 3, 4, 1e-9, 1e-6).step(&theta, &comps, &gamma);
+        assert!(serial.theta.max_abs_diff(&par.theta) < 1e-12);
+    }
+
+    #[test]
     fn zero_gamma_makes_links_irrelevant() {
         let (g, attr) = planted_network();
         // With γ = 0 and no observations, object 1's row comes out uniform.
         let theta = MembershipMatrix::uniform(g.n_objects(), 2);
-        let comps = vec![ClusterComponents::Gaussian(GaussianComponents::from_params(
-            vec![-5.0, 5.0],
-            vec![0.1, 0.1],
-            1e-6,
-        ))];
-        let eng = engine(&g, attr, 1);
+        let comps = vec![ClusterComponents::Gaussian(
+            GaussianComponents::from_params(vec![-5.0, 5.0], vec![0.1, 0.1], 1e-6),
+        )];
+        let mut eng = engine(&g, attr, 1);
         let out = eng.step(&theta, &comps, &[0.0]);
         let row = out.theta.row(1);
         assert!((row[0] - 0.5).abs() < 1e-9, "uniform expected, got {row:?}");
@@ -453,10 +778,10 @@ mod tests {
         let (g, attr) = planted_network();
         let (theta, comps) = initial_state(&g, attr, 21);
         // Raw update: anchor memberships collapse towards the floor.
-        let raw = engine(&g, attr, 1);
+        let mut raw = engine(&g, attr, 1);
         let (theta_raw, _, _) = raw.run(theta.clone(), comps.clone(), &[1.0], 60, 1e-8);
         // Smoothed update: every entry keeps a visible tail.
-        let smoothed = EmEngine::new(&g, &[attr], 2, 1, 1e-9, 1e-6).with_smoothing(0.05);
+        let mut smoothed = EmEngine::new(&g, &[attr], 2, 1, 1e-9, 1e-6).with_smoothing(0.05);
         let (theta_s, _, _) = smoothed.run(theta, comps, &[1.0], 60, 1e-8);
         let raw_min = theta_raw
             .as_slice()
@@ -480,8 +805,20 @@ mod tests {
     fn run_converges_and_stops_early() {
         let (g, attr) = planted_network();
         let (theta, comps) = initial_state(&g, attr, 5);
-        let eng = engine(&g, attr, 1);
+        let mut eng = engine(&g, attr, 1);
         let (_, _, iters) = eng.run(theta, comps, &[1.0], 500, 1e-10);
         assert!(iters < 500, "EM should converge well before 500 iterations");
+    }
+
+    #[test]
+    fn engine_reuse_across_runs_is_stable() {
+        // The double-buffer spare and scratch reuse must not leak state
+        // between runs: re-running from the same start gives the same answer.
+        let (g, attr) = planted_network();
+        let mut eng = engine(&g, attr, 2);
+        let (theta, comps) = initial_state(&g, attr, 3);
+        let (t1, _, _) = eng.run(theta.clone(), comps.clone(), &[1.0], 20, 1e-9);
+        let (t2, _, _) = eng.run(theta, comps, &[1.0], 20, 1e-9);
+        assert_eq!(t1.max_abs_diff(&t2), 0.0);
     }
 }

@@ -119,8 +119,20 @@ mod tests {
         assert!((f_n_to_e - -1.0986).abs() < 5e-4);
         assert!(f_e_to_n < f_n_to_e);
         // The symmetric variant, by construction, cannot distinguish them.
-        let s1 = feature_value(FeatureKind::SymmetricCrossEntropy, &expert, &neutral, 1.0, 1.0);
-        let s2 = feature_value(FeatureKind::SymmetricCrossEntropy, &neutral, &expert, 1.0, 1.0);
+        let s1 = feature_value(
+            FeatureKind::SymmetricCrossEntropy,
+            &expert,
+            &neutral,
+            1.0,
+            1.0,
+        );
+        let s2 = feature_value(
+            FeatureKind::SymmetricCrossEntropy,
+            &neutral,
+            &expert,
+            1.0,
+            1.0,
+        );
         assert!((s1 - s2).abs() < 1e-12);
     }
 
@@ -144,8 +156,7 @@ mod tests {
         b.add_link(v1, v0, r, 1.0).unwrap();
         let g = b.build().unwrap();
 
-        let theta =
-            MembershipMatrix::from_rows(&[vec![0.9, 0.1], vec![0.2, 0.8]], 2);
+        let theta = MembershipMatrix::from_rows(&[vec![0.9, 0.1], vec![0.2, 0.8]], 2);
         let gamma = [1.5];
         let score = structural_score(&g, &theta, &gamma, FeatureKind::CrossEntropy);
         let manual = feature_value(

@@ -87,6 +87,9 @@ mod tests {
             records: vec![record(1, 1.0, 5, 0.5), record(2, 1.0, 5, 0.5)],
         };
         assert!((h.mean_em_seconds_per_inner_iteration() - 0.1).abs() < 1e-12);
-        assert_eq!(RunHistory::default().mean_em_seconds_per_inner_iteration(), 0.0);
+        assert_eq!(
+            RunHistory::default().mean_em_seconds_per_inner_iteration(),
+            0.0
+        );
     }
 }

@@ -64,7 +64,7 @@ pub fn initialize(
             candidates,
             warmup_iters,
         } => {
-            let engine = EmEngine::new(
+            let mut engine = EmEngine::new(
                 graph,
                 &config.attributes,
                 config.n_clusters,
@@ -79,7 +79,7 @@ pub fn initialize(
                 let (theta, comps, _) =
                     engine.run(theta0, comps0, gamma, warmup_iters.max(1), config.em_tol);
                 let score = g1(graph, &config.attributes, &theta, &comps, gamma);
-                let better = best.as_ref().map_or(true, |(s, _, _)| score > *s);
+                let better = best.as_ref().is_none_or(|(s, _, _)| score > *s);
                 if better {
                     best = Some((score, theta, comps));
                 }
@@ -107,7 +107,8 @@ mod tests {
         }
         for (i, &v) in vs.iter().enumerate() {
             let x = if i < 4 { -2.0 } else { 2.0 };
-            b.add_numeric(v, AttributeId(0), x + 0.1 * i as f64).unwrap();
+            b.add_numeric(v, AttributeId(0), x + 0.1 * i as f64)
+                .unwrap();
         }
         let _ = attr;
         b.build().unwrap()
@@ -154,19 +155,19 @@ mod tests {
         let g = network();
         let attrs = vec![AttributeId(0)];
         let random_cfg = GenClusConfig::new(2, attrs.clone()).with_seed(1);
-        let multi_cfg = GenClusConfig::new(2, attrs.clone())
-            .with_seed(1)
-            .with_init(InitStrategy::BestOfSeeds {
+        let multi_cfg = GenClusConfig::new(2, attrs.clone()).with_seed(1).with_init(
+            InitStrategy::BestOfSeeds {
                 candidates: 4,
                 warmup_iters: 3,
-            });
+            },
+        );
         let gamma = [1.0];
         let (tr, cr) = initialize(&g, &random_cfg, &gamma).unwrap();
         let (tm, cm) = initialize(&g, &multi_cfg, &gamma).unwrap();
         // The warm-started candidate has had 3 EM iterations; it must score
         // at least as well as a raw random draw scored after the same warmup.
-        let engine = EmEngine::new(&g, &attrs, 2, 1, 1e-9, 1e-6)
-            .with_smoothing(random_cfg.theta_smoothing);
+        let mut engine =
+            EmEngine::new(&g, &attrs, 2, 1, 1e-9, 1e-6).with_smoothing(random_cfg.theta_smoothing);
         let (tr, cr, _) = engine.run(tr, cr, &gamma, 3, 0.0);
         let s_random = g1(&g, &attrs, &tr, &cr, &gamma);
         let s_multi = g1(&g, &attrs, &tm, &cm, &gamma);

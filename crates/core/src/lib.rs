@@ -59,6 +59,7 @@ pub mod algorithm;
 pub mod attr_model;
 pub mod config;
 pub mod em;
+pub mod em_reference;
 pub mod error;
 pub mod feature;
 pub mod history;
@@ -66,6 +67,7 @@ pub mod init;
 pub mod model;
 pub mod model_selection;
 pub mod objective;
+pub mod pool;
 pub mod prediction;
 pub mod strength;
 

@@ -60,11 +60,9 @@ mod tests {
         GenClusModel {
             theta: MembershipMatrix::from_rows(&[vec![0.8, 0.2], vec![0.3, 0.7]], 2),
             gamma: vec![1.5, 0.0],
-            components: vec![ClusterComponents::Gaussian(GaussianComponents::from_params(
-                vec![0.0, 1.0],
-                vec![1.0, 1.0],
-                1e-6,
-            ))],
+            components: vec![ClusterComponents::Gaussian(
+                GaussianComponents::from_params(vec![0.0, 1.0], vec![1.0, 1.0], 1e-6),
+            )],
             attributes: vec![AttributeId(2)],
         }
     }

@@ -110,7 +110,11 @@ pub fn select_k(
 pub fn best_k_by_bic(scores: &[SelectionScore]) -> usize {
     scores
         .iter()
-        .min_by(|a, b| a.bic.partial_cmp(&b.bic).unwrap_or(std::cmp::Ordering::Equal))
+        .min_by(|a, b| {
+            a.bic
+                .partial_cmp(&b.bic)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
         .expect("at least one candidate score")
         .k
 }
@@ -140,8 +144,12 @@ mod tests {
         for (i, &v) in vs.iter().enumerate() {
             let mu = if i < 30 { -4.0 } else { 4.0 };
             for _ in 0..5 {
-                b.add_numeric(v, attr, mu + 0.3 * genclus_stats::rng::standard_normal(&mut rng))
-                    .unwrap();
+                b.add_numeric(
+                    v,
+                    attr,
+                    mu + 0.3 * genclus_stats::rng::standard_normal(&mut rng),
+                )
+                .unwrap();
             }
         }
         b.build().unwrap()
@@ -198,7 +206,9 @@ mod tests {
         let s = score_fit(&g, &cfg, &fit);
         assert_eq!(s.k, 2);
         assert_eq!(s.n_observations, 300.0);
-        assert!((s.bic - (-2.0 * s.log_likelihood + s.n_params as f64 * 300.0f64.ln())).abs() < 1e-9);
+        assert!(
+            (s.bic - (-2.0 * s.log_likelihood + s.n_params as f64 * 300.0f64.ln())).abs() < 1e-9
+        );
         assert!((s.aic - (-2.0 * s.log_likelihood + 2.0 * s.n_params as f64)).abs() < 1e-9);
     }
 }

@@ -93,10 +93,7 @@ mod tests {
         let (g, text) = tiny_text_network();
         let theta = MembershipMatrix::from_rows(&[vec![0.9, 0.1], vec![0.3, 0.7]], 2);
         let comps = vec![ClusterComponents::Categorical(
-            CategoricalComponents::from_rows(
-                &[vec![0.8, 0.1, 0.1], vec![0.1, 0.1, 0.8]],
-                1e-12,
-            ),
+            CategoricalComponents::from_rows(&[vec![0.8, 0.1, 0.1], vec![0.1, 0.1, 0.8]], 1e-12),
         )];
         let ll = attribute_log_likelihood(&g, &[text], &theta, &comps);
         // d0: term 0 count 2 → 2·ln(0.9·0.8 + 0.1·0.1)
@@ -129,10 +126,7 @@ mod tests {
     fn better_fitting_theta_scores_higher_g1() {
         let (g, text) = tiny_text_network();
         let comps = vec![ClusterComponents::Categorical(
-            CategoricalComponents::from_rows(
-                &[vec![0.8, 0.1, 0.1], vec![0.1, 0.1, 0.8]],
-                1e-12,
-            ),
+            CategoricalComponents::from_rows(&[vec![0.8, 0.1, 0.1], vec![0.1, 0.1, 0.8]], 1e-12),
         )];
         // d0 emits term 0 (cluster 0's term), d1 emits term 2 (cluster 1's).
         let good = MembershipMatrix::from_rows(&[vec![0.95, 0.05], vec![0.05, 0.95]], 2);

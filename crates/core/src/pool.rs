@@ -1,0 +1,240 @@
+//! A persistent scoped worker pool for the parallel E-step.
+//!
+//! The seed implementation spawned fresh OS threads inside every
+//! [`crate::em::EmEngine::step`] call, so a 100-iteration EM run paid thread
+//! start-up 100 times. [`WorkerPool`] spawns its workers once (when the
+//! engine is built) and hands them borrowed-closure jobs per step through
+//! channels; [`WorkerPool::broadcast`] blocks until every job has finished,
+//! which is what makes lending non-`'static` closures to the long-lived
+//! workers sound.
+//!
+//! [`DisjointRows`] is the companion write-side primitive: it lets the
+//! workers write concurrently into *disjoint* ranges of one flat `Θ` buffer
+//! without locking, with the disjointness obligation carried by the single
+//! `unsafe` call site in the engine.
+
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of named worker threads executing broadcast jobs.
+pub struct WorkerPool {
+    job_txs: Vec<Sender<Job>>,
+    done_rx: Receiver<std::thread::Result<()>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `n` (≥ 1) workers, alive until the pool is dropped.
+    pub fn new(n: usize) -> Self {
+        let n = n.max(1);
+        let (done_tx, done_rx) = channel::<std::thread::Result<()>>();
+        let mut job_txs = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for i in 0..n {
+            let (tx, rx) = channel::<Job>();
+            let done = done_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("genclus-em-{i}"))
+                .spawn(move || {
+                    for job in rx {
+                        let result = catch_unwind(AssertUnwindSafe(job));
+                        if done.send(result).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("failed to spawn EM worker thread");
+            job_txs.push(tx);
+            handles.push(handle);
+        }
+        Self {
+            job_txs,
+            done_rx,
+            handles,
+        }
+    }
+
+    /// Number of workers.
+    pub fn n_workers(&self) -> usize {
+        self.job_txs.len()
+    }
+
+    /// Runs `f(0), …, f(n_jobs − 1)`, one call per worker, and blocks until
+    /// all of them have completed. `n_jobs` is clamped to the worker count.
+    /// If any job panicked, the panic is resumed on the caller's thread —
+    /// but only after every job has finished, so borrows held by `f` are
+    /// never outlived.
+    pub fn broadcast<F>(&self, n_jobs: usize, f: &F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let n = n_jobs.min(self.job_txs.len());
+        // Dispatch. A failed send means that worker's thread is gone; its
+        // job box is returned inside the error and dropped without ever
+        // running, so it owes no completion message — but jobs already
+        // handed to *other* workers are running and must be joined before
+        // this function may unwind (see the SAFETY argument below).
+        let mut dispatched = 0usize;
+        for (i, tx) in self.job_txs.iter().take(n).enumerate() {
+            let f_ref: &(dyn Fn(usize) + Sync) = f;
+            // SAFETY: every job that was actually sent is joined via the
+            // completion loop below before this function returns or
+            // unwinds, so the transmuted borrow never outlives the real
+            // one.
+            let f_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f_ref) };
+            if tx.send(Box::new(move || f_static(i))).is_err() {
+                break;
+            }
+            dispatched += 1;
+        }
+        let mut panic = None;
+        for _ in 0..dispatched {
+            match self.done_rx.recv() {
+                Ok(Ok(())) => {}
+                Ok(Err(payload)) => panic = Some(payload),
+                // A worker vanished mid-job: its thread died without
+                // unwinding, so the job's borrow of `f` can never be proven
+                // finished. Unwinding here would free state the lost job
+                // may still touch — nothing can be salvaged.
+                Err(_) => std::process::abort(),
+            }
+        }
+        if let Some(payload) = panic {
+            resume_unwind(payload);
+        }
+        assert_eq!(
+            dispatched, n,
+            "EM worker thread disappeared before job dispatch"
+        );
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the job channels ends each worker's receive loop.
+        self.job_txs.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A shareable writer over one flat `f64` buffer that hands out mutable
+/// sub-slices to concurrent workers.
+///
+/// Safety contract: the ranges requested through [`Self::slice_mut`] while
+/// other slices are live must be pairwise disjoint. The EM engine satisfies
+/// it by giving worker `i` exclusively the rows of chunk `i`.
+pub struct DisjointRows<'a> {
+    ptr: *mut f64,
+    len: usize,
+    _marker: PhantomData<&'a mut [f64]>,
+}
+
+// SAFETY: access is restricted to disjoint ranges by the `slice_mut`
+// contract, so concurrent use from multiple threads cannot alias.
+unsafe impl Sync for DisjointRows<'_> {}
+unsafe impl Send for DisjointRows<'_> {}
+
+impl<'a> DisjointRows<'a> {
+    /// Wraps `buffer` for disjoint concurrent writes.
+    pub fn new(buffer: &'a mut [f64]) -> Self {
+        Self {
+            ptr: buffer.as_mut_ptr(),
+            len: buffer.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Total buffer length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The sub-slice `[start, end)`.
+    ///
+    /// # Safety
+    /// No other live slice obtained from this writer may overlap
+    /// `[start, end)`.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, start: usize, end: usize) -> &mut [f64] {
+        debug_assert!(start <= end && end <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(start), end - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn broadcast_runs_every_index_and_can_repeat() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.n_workers(), 4);
+        let hits = AtomicUsize::new(0);
+        for _ in 0..50 {
+            pool.broadcast(4, &|i| {
+                assert!(i < 4);
+                hits.fetch_add(i + 1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 50 * (1 + 2 + 3 + 4));
+    }
+
+    #[test]
+    fn broadcast_clamps_to_worker_count() {
+        let pool = WorkerPool::new(2);
+        let hits = AtomicUsize::new(0);
+        pool.broadcast(10, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn borrowed_state_is_visible_after_broadcast() {
+        let pool = WorkerPool::new(3);
+        let mut data = vec![0.0f64; 3 * 5];
+        {
+            let rows = DisjointRows::new(&mut data);
+            pool.broadcast(3, &|i| {
+                // SAFETY: each worker writes its own 5-element chunk.
+                let chunk = unsafe { rows.slice_mut(i * 5, (i + 1) * 5) };
+                for (j, x) in chunk.iter_mut().enumerate() {
+                    *x = (i * 5 + j) as f64;
+                }
+            });
+        }
+        let expected: Vec<f64> = (0..15).map(|x| x as f64).collect();
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_the_caller() {
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(2, &|i| {
+                if i == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool survives a panicked job.
+        let hits = AtomicUsize::new(0);
+        pool.broadcast(2, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+}

@@ -52,14 +52,12 @@ impl Similarity {
                     dot / (na * nb)
                 }
             }
-            Self::NegEuclidean => {
-                -query
-                    .iter()
-                    .zip(candidate)
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum::<f64>()
-                    .sqrt()
-            }
+            Self::NegEuclidean => -query
+                .iter()
+                .zip(candidate)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt(),
             Self::NegCrossEntropy => -cross_entropy(candidate, query),
         }
     }

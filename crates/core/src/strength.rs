@@ -52,6 +52,12 @@ struct PseudoLikelihood {
 
 impl PseudoLikelihood {
     /// Builds the statistics from the network and current memberships.
+    ///
+    /// The graph's per-relation out-link segments
+    /// ([`HinGraph::out_relation_segments`]) already group every object's
+    /// links by relation, so the per-object statistics stream straight into
+    /// `entries` — no per-relation scratch accumulators, no re-bucketing of
+    /// links on every outer iteration.
     fn build(graph: &HinGraph, theta: &MembershipMatrix, sigma: f64) -> Self {
         let n_relations = graph.schema().n_relations();
         let k = theta.n_clusters();
@@ -59,46 +65,40 @@ impl PseudoLikelihood {
         let mut entries = Vec::new();
         let mut s_values = Vec::new();
 
-        // Scratch accumulators indexed by relation, reset via touched-list.
-        let mut acc_w = vec![0.0f64; n_relations];
-        let mut acc_feat = vec![0.0f64; n_relations];
-        let mut acc_s = vec![0.0f64; n_relations * k];
-        let mut touched: Vec<usize> = Vec::with_capacity(n_relations);
+        // ln θ_i scratch, reused across objects.
+        let mut ln_ti = vec![0.0f64; k];
 
         obj_ranges.push(0);
         for v in graph.objects() {
-            let ti = theta.row(v.index());
-            // ln θ_i reused across this object's links.
-            let ln_ti: Vec<f64> = ti.iter().map(|&x| x.ln()).collect();
-            for link in graph.out_links(v) {
-                let r = link.relation.index();
-                if acc_w[r] == 0.0 {
-                    touched.push(r);
+            if !graph.out_links(v).is_empty() {
+                for (l, &x) in ln_ti.iter_mut().zip(theta.row(v.index())) {
+                    *l = x.ln();
                 }
-                let w = link.weight;
-                acc_w[r] += w;
-                let tj = theta.row(link.endpoint.index());
-                let mut dot = 0.0;
-                for (kk, &tjk) in tj.iter().enumerate() {
-                    dot += tjk * ln_ti[kk];
-                    acc_s[r * k + kk] += w * tjk;
-                }
-                acc_feat[r] += w * dot;
             }
-            for &r in &touched {
+            for (rel, links) in graph.out_relation_segments(v) {
                 let s_start = s_values.len();
-                s_values.extend_from_slice(&acc_s[r * k..(r + 1) * k]);
+                s_values.resize(s_start + k, 0.0);
+                let s = &mut s_values[s_start..s_start + k];
+                let mut w_sum = 0.0;
+                let mut feat = 0.0;
+                for link in links {
+                    let w = link.weight;
+                    w_sum += w;
+                    let tj = theta.row(link.endpoint.index());
+                    let mut dot = 0.0;
+                    for (kk, &tjk) in tj.iter().enumerate() {
+                        dot += tjk * ln_ti[kk];
+                        s[kk] += w * tjk;
+                    }
+                    feat += w * dot;
+                }
                 entries.push(Entry {
-                    r,
-                    w: acc_w[r],
-                    feat: acc_feat[r],
+                    r: rel.index(),
+                    w: w_sum,
+                    feat,
                     s_start,
                 });
-                acc_w[r] = 0.0;
-                acc_feat[r] = 0.0;
-                acc_s[r * k..(r + 1) * k].iter_mut().for_each(|x| *x = 0.0);
             }
-            touched.clear();
             obj_ranges.push(entries.len());
         }
 
@@ -317,7 +317,10 @@ mod tests {
                 b.add_link(vs[i], vs[j], bad, 1.0).unwrap();
             }
         }
-        (b.build().unwrap(), MembershipMatrix::from_rows(&theta_rows, 2))
+        (
+            b.build().unwrap(),
+            MembershipMatrix::from_rows(&theta_rows, 2),
+        )
     }
 
     #[test]
@@ -411,16 +414,20 @@ mod tests {
         let theta = MembershipMatrix::from_rows(&[vec![0.9, 0.1], vec![0.85, 0.15]], 2);
         let learner = StrengthLearner::new(0.1, NewtonOptions::default());
         let out = learner.learn(&g, &theta, &[1.0, 1.0]);
-        assert!(out.gamma[1] < 1e-6, "unused relation must decay: {:?}", out.gamma);
+        assert!(
+            out.gamma[1] < 1e-6,
+            "unused relation must decay: {:?}",
+            out.gamma
+        );
     }
 
     #[test]
     fn stronger_prior_shrinks_strengths() {
         let (g, theta) = two_relation_network(11);
-        let loose = StrengthLearner::new(1.0, NewtonOptions::default())
-            .learn(&g, &theta, &[1.0, 1.0]);
-        let tight = StrengthLearner::new(0.02, NewtonOptions::default())
-            .learn(&g, &theta, &[1.0, 1.0]);
+        let loose =
+            StrengthLearner::new(1.0, NewtonOptions::default()).learn(&g, &theta, &[1.0, 1.0]);
+        let tight =
+            StrengthLearner::new(0.02, NewtonOptions::default()).learn(&g, &theta, &[1.0, 1.0]);
         assert!(
             tight.gamma[0] < loose.gamma[0],
             "tighter prior must shrink γ: {:?} vs {:?}",

@@ -477,8 +477,10 @@ impl DblpCorpus {
                 b.add_link(authors[a], papers[i], rel_ap, 1.0).unwrap();
                 b.add_link(papers[i], authors[a], rel_pa, 1.0).unwrap();
             }
-            b.add_link(conferences[p.venue], papers[i], rel_cp, 1.0).unwrap();
-            b.add_link(papers[i], conferences[p.venue], rel_pc, 1.0).unwrap();
+            b.add_link(conferences[p.venue], papers[i], rel_cp, 1.0)
+                .unwrap();
+            b.add_link(papers[i], conferences[p.venue], rel_pc, 1.0)
+                .unwrap();
             for &t in &p.title {
                 b.add_term_count(papers[i], text_attr, t, 1.0).unwrap();
             }
@@ -486,11 +488,7 @@ impl DblpCorpus {
 
         let mut labels: Vec<Option<usize>> = self.author_label.clone();
         labels.extend(self.venues.iter().map(|v| Some(v.area)));
-        labels.extend(
-            self.papers
-                .iter()
-                .map(|p| p.labeled.then_some(p.area)),
-        );
+        labels.extend(self.papers.iter().map(|p| p.labeled.then_some(p.area)));
 
         AcpNetwork {
             graph: b.build().expect("generator networks are schema-valid"),

@@ -25,12 +25,8 @@ pub mod weather;
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::dblp::{
-        AcNetwork, AcpNetwork, DblpConfig, DblpCorpus, FOUR_AREAS,
-    };
-    pub use crate::weather::{
-        PatternSetting, WeatherConfig, WeatherNetwork, WeatherRelations,
-    };
+    pub use crate::dblp::{AcNetwork, AcpNetwork, DblpConfig, DblpCorpus, FOUR_AREAS};
+    pub use crate::weather::{PatternSetting, WeatherConfig, WeatherNetwork, WeatherRelations};
 }
 
 pub use prelude::*;

@@ -8,56 +8,212 @@
 
 /// Shared background terms (stop-word-like title filler).
 pub const BACKGROUND: &[&str] = &[
-    "approach", "analysis", "framework", "system", "method", "model", "based",
-    "efficient", "novel", "study", "evaluation", "design", "application",
-    "problem", "algorithm", "data", "large", "scale", "adaptive", "dynamic",
-    "robust", "fast", "effective", "general", "unified", "survey", "toward",
-    "improving", "exploiting", "case",
+    "approach",
+    "analysis",
+    "framework",
+    "system",
+    "method",
+    "model",
+    "based",
+    "efficient",
+    "novel",
+    "study",
+    "evaluation",
+    "design",
+    "application",
+    "problem",
+    "algorithm",
+    "data",
+    "large",
+    "scale",
+    "adaptive",
+    "dynamic",
+    "robust",
+    "fast",
+    "effective",
+    "general",
+    "unified",
+    "survey",
+    "toward",
+    "improving",
+    "exploiting",
+    "case",
 ];
 
 /// Database systems terms (area 0).
 pub const DB_TERMS: &[&str] = &[
-    "query", "optimization", "transaction", "index", "storage", "relational",
-    "schema", "join", "sql", "concurrency", "recovery", "view", "xml",
-    "stream", "spatial", "temporal", "integration", "warehouse", "olap",
-    "buffer", "disk", "partitioning", "replication", "consistency",
-    "materialized", "tuning", "benchmark", "parallel", "distributed",
-    "locking", "logging", "btree", "selectivity", "cardinality", "plan",
-    "execution", "engine", "columnar", "compression", "keyvalue",
+    "query",
+    "optimization",
+    "transaction",
+    "index",
+    "storage",
+    "relational",
+    "schema",
+    "join",
+    "sql",
+    "concurrency",
+    "recovery",
+    "view",
+    "xml",
+    "stream",
+    "spatial",
+    "temporal",
+    "integration",
+    "warehouse",
+    "olap",
+    "buffer",
+    "disk",
+    "partitioning",
+    "replication",
+    "consistency",
+    "materialized",
+    "tuning",
+    "benchmark",
+    "parallel",
+    "distributed",
+    "locking",
+    "logging",
+    "btree",
+    "selectivity",
+    "cardinality",
+    "plan",
+    "execution",
+    "engine",
+    "columnar",
+    "compression",
+    "keyvalue",
 ];
 
 /// Data mining terms (area 1).
 pub const DM_TERMS: &[&str] = &[
-    "mining", "clustering", "pattern", "frequent", "itemset", "association",
-    "anomaly", "outlier", "classification", "prediction", "graph",
-    "community", "social", "network", "stream", "sequential", "episode",
-    "subgraph", "dense", "summarization", "trend", "evolution", "burst",
-    "motif", "correlation", "discovery", "knowledge", "rule", "support",
-    "confidence", "scalable", "sampling", "sketch", "heterogeneous",
-    "similarity", "nearest", "neighbor", "density", "partition", "hierarchy",
+    "mining",
+    "clustering",
+    "pattern",
+    "frequent",
+    "itemset",
+    "association",
+    "anomaly",
+    "outlier",
+    "classification",
+    "prediction",
+    "graph",
+    "community",
+    "social",
+    "network",
+    "stream",
+    "sequential",
+    "episode",
+    "subgraph",
+    "dense",
+    "summarization",
+    "trend",
+    "evolution",
+    "burst",
+    "motif",
+    "correlation",
+    "discovery",
+    "knowledge",
+    "rule",
+    "support",
+    "confidence",
+    "scalable",
+    "sampling",
+    "sketch",
+    "heterogeneous",
+    "similarity",
+    "nearest",
+    "neighbor",
+    "density",
+    "partition",
+    "hierarchy",
 ];
 
 /// Information retrieval terms (area 2).
 pub const IR_TERMS: &[&str] = &[
-    "retrieval", "search", "ranking", "relevance", "document", "text", "web",
-    "page", "link", "crawl", "indexing", "term", "tfidf", "feedback",
-    "query", "expansion", "snippet", "click", "log", "user", "session",
-    "personalization", "recommendation", "collaborative", "filtering",
-    "language", "translation", "summarize", "question", "answering",
-    "entity", "extraction", "topic", "latent", "semantic", "precision",
-    "recall", "evaluation", "corpus", "crowdsourcing",
+    "retrieval",
+    "search",
+    "ranking",
+    "relevance",
+    "document",
+    "text",
+    "web",
+    "page",
+    "link",
+    "crawl",
+    "indexing",
+    "term",
+    "tfidf",
+    "feedback",
+    "query",
+    "expansion",
+    "snippet",
+    "click",
+    "log",
+    "user",
+    "session",
+    "personalization",
+    "recommendation",
+    "collaborative",
+    "filtering",
+    "language",
+    "translation",
+    "summarize",
+    "question",
+    "answering",
+    "entity",
+    "extraction",
+    "topic",
+    "latent",
+    "semantic",
+    "precision",
+    "recall",
+    "evaluation",
+    "corpus",
+    "crowdsourcing",
 ];
 
 /// Machine learning terms (area 3).
 pub const ML_TERMS: &[&str] = &[
-    "learning", "supervised", "unsupervised", "reinforcement", "kernel",
-    "bayesian", "inference", "probabilistic", "gaussian", "process",
-    "neural", "deep", "gradient", "descent", "convex", "regularization",
-    "sparse", "feature", "selection", "dimensionality", "reduction",
-    "manifold", "embedding", "boosting", "ensemble", "margin", "svm",
-    "regression", "variational", "markov", "hidden", "sequence",
-    "structured", "transfer", "multitask", "active", "semisupervised",
-    "generative", "discriminative", "optimization",
+    "learning",
+    "supervised",
+    "unsupervised",
+    "reinforcement",
+    "kernel",
+    "bayesian",
+    "inference",
+    "probabilistic",
+    "gaussian",
+    "process",
+    "neural",
+    "deep",
+    "gradient",
+    "descent",
+    "convex",
+    "regularization",
+    "sparse",
+    "feature",
+    "selection",
+    "dimensionality",
+    "reduction",
+    "manifold",
+    "embedding",
+    "boosting",
+    "ensemble",
+    "margin",
+    "svm",
+    "regression",
+    "variational",
+    "markov",
+    "hidden",
+    "sequence",
+    "structured",
+    "transfer",
+    "multitask",
+    "active",
+    "semisupervised",
+    "generative",
+    "discriminative",
+    "optimization",
 ];
 
 /// Term lists per area, indexed by area id.

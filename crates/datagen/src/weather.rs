@@ -154,8 +154,14 @@ pub struct WeatherNetwork {
 /// # Panics
 /// Panics if either sensor count is zero or `k_neighbors` is zero.
 pub fn generate(config: &WeatherConfig) -> WeatherNetwork {
-    assert!(config.n_temp > 0 && config.n_precip > 0, "need sensors of both types");
-    assert!(config.k_neighbors > 0, "need at least one neighbor per type");
+    assert!(
+        config.n_temp > 0 && config.n_precip > 0,
+        "need sensors of both types"
+    );
+    assert!(
+        config.k_neighbors > 0,
+        "need at least one neighbor per type"
+    );
     let means = config.pattern.means();
     let k_clusters = means.len();
     let (std_t, std_p) = config.pattern.stds();
@@ -251,9 +257,8 @@ pub fn generate(config: &WeatherConfig) -> WeatherNetwork {
                 })
                 .collect();
             let k = config.k_neighbors.min(cands.len());
-            cands.select_nth_unstable_by(k.saturating_sub(1), |a, b| {
-                a.1.partial_cmp(&b.1).unwrap()
-            });
+            cands
+                .select_nth_unstable_by(k.saturating_sub(1), |a, b| a.1.partial_cmp(&b.1).unwrap());
             for &(j, _) in cands.iter().take(k) {
                 builder
                     .add_link(object_of(i), object_of(j), rel, 1.0)
@@ -282,7 +287,9 @@ pub fn generate(config: &WeatherConfig) -> WeatherNetwork {
     }
 
     WeatherNetwork {
-        graph: builder.build().expect("generator networks are schema-valid"),
+        graph: builder
+            .build()
+            .expect("generator networks are schema-valid"),
         labels,
         true_membership: membership,
         temp_attr,
@@ -334,7 +341,10 @@ mod tests {
         let precip = net.graph.attribute(net.precip_attr);
         for &v in &net.temp_sensors {
             assert_eq!(temp.values(v).len(), 5);
-            assert!(precip.values(v).is_empty(), "T sensors must not report precip");
+            assert!(
+                precip.values(v).is_empty(),
+                "T sensors must not report precip"
+            );
         }
         for &v in &net.precip_sensors {
             assert_eq!(precip.values(v).len(), 5);

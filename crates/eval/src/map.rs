@@ -118,7 +118,12 @@ mod tests {
     }
 
     /// Two authors, three conferences; a0 links c0, a1 links c2.
-    fn toy_graph() -> (genclus_hin::HinGraph, Vec<ObjectId>, Vec<ObjectId>, RelationId) {
+    fn toy_graph() -> (
+        genclus_hin::HinGraph,
+        Vec<ObjectId>,
+        Vec<ObjectId>,
+        RelationId,
+    ) {
         let mut s = Schema::new();
         let ta = s.add_object_type("A");
         let tc = s.add_object_type("C");

@@ -70,11 +70,7 @@ pub fn nmi(a: &[usize], b: &[usize]) -> f64 {
 /// NMI of a dense prediction vector against a partial ground truth,
 /// restricted to the labeled objects of `subset` (or all labeled objects
 /// when `subset` is `None`) — the per-type accuracy columns of Figs. 5–6.
-pub fn nmi_against(
-    predictions: &[usize],
-    truth: &LabelSet,
-    subset: Option<&[ObjectId]>,
-) -> f64 {
+pub fn nmi_against(predictions: &[usize], truth: &LabelSet, subset: Option<&[ObjectId]>) -> f64 {
     let pairs = truth.paired_with(predictions, subset);
     let (pred, gt): (Vec<usize>, Vec<usize>) = pairs.into_iter().unzip();
     nmi(&pred, &gt)

@@ -44,10 +44,9 @@ impl AttributeData {
     /// (categorical counts sum; numerical list lengths).
     pub fn n_observations(&self) -> f64 {
         match self {
-            Self::Categorical { counts, .. } => counts
-                .iter()
-                .flat_map(|c| c.iter().map(|&(_, n)| n))
-                .sum(),
+            Self::Categorical { counts, .. } => {
+                counts.iter().flat_map(|c| c.iter().map(|&(_, n)| n)).sum()
+            }
             Self::Numerical { values } => values.iter().map(|v| v.len() as f64).sum(),
         }
     }
@@ -67,7 +66,8 @@ impl AttributeData {
             Self::Numerical { values } => Box::new(values.iter().map(|v| !v.is_empty())),
         };
         has.enumerate()
-            .filter(|&(_i, h)| h).map(|(i, _h)| ObjectId::from_index(i))
+            .filter(|&(_i, h)| h)
+            .map(|(i, _h)| ObjectId::from_index(i))
             .collect()
     }
 

@@ -10,6 +10,7 @@ use crate::error::HinError;
 use crate::graph::{HinGraph, Link};
 use crate::ids::{AttributeId, ObjectId, ObjectTypeId, RelationId};
 use crate::schema::{AttributeKind, Schema};
+use std::collections::HashMap;
 
 /// Pending observation storage while building.
 enum AttrBuilder {
@@ -180,7 +181,12 @@ impl HinBuilder {
     }
 
     /// Records one occurrence each for a slice of terms (a tokenized text).
-    pub fn add_terms(&mut self, v: ObjectId, a: AttributeId, terms: &[u32]) -> Result<(), HinError> {
+    pub fn add_terms(
+        &mut self,
+        v: ObjectId,
+        a: AttributeId,
+        terms: &[u32],
+    ) -> Result<(), HinError> {
         for &t in terms {
             self.add_term_count(v, a, t, 1.0)?;
         }
@@ -207,11 +213,15 @@ impl HinBuilder {
     }
 
     /// Finalizes the network: builds CSR out-/in-adjacency (counting sort by
-    /// endpoint — O(|V| + |E|)) and dense attribute tables.
+    /// endpoint — O(|V| + |E|)), groups each out-link segment by relation and
+    /// derives the per-relation indexes (sub-segment offsets, weighted
+    /// degrees, global counts/weights — all O(|V|·|R| + |E|)), builds the
+    /// name → id map, and densifies the attribute tables.
     pub fn build(self) -> Result<HinGraph, HinError> {
         let n = self.obj_types.len();
+        let n_rel = self.schema.n_relations();
 
-        let (out_offsets, out_links) =
+        let (out_offsets, mut out_links) =
             build_csr(n, self.links.iter().map(|&(src, link)| (src, link)));
         let (in_offsets, in_links) = build_csr(
             n,
@@ -226,6 +236,56 @@ impl HinBuilder {
                 )
             }),
         );
+
+        // Group every out segment by relation with a per-segment stable
+        // counting sort (relation ids are small dense integers, so a
+        // comparison sort would overshoot the documented O(|V|·|R| + |E|)
+        // bound on high-degree hubs) and record the sub-segment boundaries
+        // plus cached per-(object, relation) / per-relation weight totals.
+        let stride = n_rel + 1;
+        let mut out_rel_offsets = vec![0u32; n * stride];
+        let mut out_rel_weight = vec![0.0f64; n * n_rel];
+        let mut rel_counts = vec![0u32; n_rel];
+        let mut rel_weights = vec![0.0f64; n_rel];
+        let mut seg_weight = vec![0.0f64; n_rel];
+        let mut cursor = vec![0u32; n_rel];
+        let mut scratch: Vec<Link> = Vec::new();
+        for v in 0..n {
+            let lo = out_offsets[v] as usize;
+            let hi = out_offsets[v + 1] as usize;
+            let offsets = &mut out_rel_offsets[v * stride..(v + 1) * stride];
+            // Pass 1: per-relation counts and weight sums of this segment.
+            seg_weight.iter_mut().for_each(|w| *w = 0.0);
+            cursor.iter_mut().for_each(|c| *c = 0);
+            for link in &out_links[lo..hi] {
+                let r = link.relation.index();
+                cursor[r] += 1;
+                seg_weight[r] += link.weight;
+            }
+            offsets[0] = lo as u32;
+            for r in 0..n_rel {
+                let count = cursor[r];
+                offsets[r + 1] = offsets[r] + count;
+                // Turn the count slot into this bucket's write cursor.
+                cursor[r] = offsets[r];
+                out_rel_weight[v * n_rel + r] = seg_weight[r];
+                rel_counts[r] += count;
+                rel_weights[r] += seg_weight[r];
+            }
+            // Pass 2: stable scatter into the relation buckets.
+            scratch.clear();
+            scratch.extend_from_slice(&out_links[lo..hi]);
+            for link in &scratch {
+                let slot = &mut cursor[link.relation.index()];
+                out_links[*slot as usize] = *link;
+                *slot += 1;
+            }
+        }
+
+        let mut name_index = HashMap::with_capacity(n);
+        for (i, name) in self.obj_names.iter().enumerate() {
+            name_index.entry(name.clone()).or_insert(i as u32);
+        }
 
         let mut tables = Vec::with_capacity(self.attrs.len());
         for ab in self.attrs {
@@ -272,6 +332,11 @@ impl HinBuilder {
             in_offsets,
             in_links,
             attrs: AttributeStore { tables },
+            name_index,
+            out_rel_offsets,
+            out_rel_weight,
+            rel_counts,
+            rel_weights,
         })
     }
 }
@@ -310,7 +375,14 @@ fn build_csr(
 mod tests {
     use super::*;
 
-    fn schema() -> (Schema, ObjectTypeId, ObjectTypeId, RelationId, AttributeId, AttributeId) {
+    fn schema() -> (
+        Schema,
+        ObjectTypeId,
+        ObjectTypeId,
+        RelationId,
+        AttributeId,
+        AttributeId,
+    ) {
         let mut s = Schema::new();
         let sensor_t = s.add_object_type("temp_sensor");
         let sensor_p = s.add_object_type("precip_sensor");
@@ -427,5 +499,42 @@ mod tests {
         let g = HinBuilder::new(s).build().unwrap();
         assert_eq!(g.n_objects(), 0);
         assert_eq!(g.n_links(), 0);
+    }
+
+    #[test]
+    fn out_segments_are_grouped_by_relation() {
+        let mut s = Schema::new();
+        let t = s.add_object_type("node");
+        let r0 = s.add_relation("r0", t, t);
+        let r1 = s.add_relation("r1", t, t);
+        let mut b = HinBuilder::new(s);
+        let vs: Vec<_> = (0..4).map(|i| b.add_object(t, format!("v{i}"))).collect();
+        // Interleave relations on purpose; build() must group them.
+        b.add_link(vs[0], vs[1], r1, 1.0).unwrap();
+        b.add_link(vs[0], vs[2], r0, 2.0).unwrap();
+        b.add_link(vs[0], vs[3], r1, 3.0).unwrap();
+        b.add_link(vs[0], vs[1], r0, 4.0).unwrap();
+        let g = b.build().unwrap();
+        let rels: Vec<_> = g.out_links(vs[0]).iter().map(|l| l.relation).collect();
+        assert_eq!(rels, vec![r0, r0, r1, r1]);
+        // Stable grouping: insertion order preserved within each relation.
+        let w: Vec<_> = g
+            .out_links_for_relation(vs[0], r1)
+            .iter()
+            .map(|l| l.weight)
+            .collect();
+        assert_eq!(w, vec![1.0, 3.0]);
+        assert_eq!(g.out_weight(vs[0], r0), 6.0);
+        assert_eq!(g.relation_total_weight(r1), 4.0);
+    }
+
+    #[test]
+    fn duplicate_names_resolve_to_the_first_object() {
+        let (s, t, ..) = schema();
+        let mut b = HinBuilder::new(s);
+        let first = b.add_object(t, "twin");
+        let _second = b.add_object(t, "twin");
+        let g = b.build().unwrap();
+        assert_eq!(g.object_by_name("twin"), Some(first));
     }
 }

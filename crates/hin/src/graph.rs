@@ -5,10 +5,25 @@
 //! build time), and the attribute observation tables. All algorithm crates
 //! treat it as read-only shared state — it is `Sync` and can be borrowed by
 //! scoped worker threads during the parallel E-step.
+//!
+//! Beyond the plain adjacency, the builder materializes **per-relation
+//! indexes** so the algorithm crates never scan `|E|` links for per-relation
+//! aggregates:
+//!
+//! * each object's out-link segment is grouped by relation, with a
+//!   `(|V| × (|R|+1))` offset table addressing the sub-segments — see
+//!   [`HinGraph::out_links_for_relation`] / [`HinGraph::out_relation_segments`];
+//! * weighted out-degrees per `(object, relation)` are cached
+//!   ([`HinGraph::out_weight`] is O(1));
+//! * global per-relation link counts and weight totals are cached
+//!   ([`HinGraph::relation_link_count`] / [`HinGraph::relation_total_weight`]
+//!   are O(1));
+//! * a name → id map makes [`HinGraph::object_by_name`] O(1).
 
 use crate::attributes::{AttributeData, AttributeStore};
 use crate::ids::{AttributeId, ObjectId, ObjectTypeId, RelationId};
 use crate::schema::Schema;
+use std::collections::HashMap;
 
 /// One directed link as seen from one side of the adjacency.
 ///
@@ -39,6 +54,22 @@ pub struct HinGraph {
     pub(crate) in_offsets: Vec<u32>,
     pub(crate) in_links: Vec<Link>,
     pub(crate) attrs: AttributeStore,
+    /// First-registration name → object index (ties resolved towards the
+    /// earliest object, matching a forward linear scan).
+    pub(crate) name_index: HashMap<String, u32>,
+    /// Per-relation sub-segment boundaries of each object's out-link
+    /// segment: row `v` (stride `|R|+1`) holds absolute indexes into
+    /// `out_links`, so relation `r`'s links of `v` are
+    /// `out_links[out_rel_offsets[v·(|R|+1)+r] .. out_rel_offsets[v·(|R|+1)+r+1]]`.
+    /// Requires `out_links` segments to be grouped by relation (the builder
+    /// guarantees this).
+    pub(crate) out_rel_offsets: Vec<u32>,
+    /// Cached `Σ w(e)` over out-links of `(v, r)`, stride `|R|`.
+    pub(crate) out_rel_weight: Vec<f64>,
+    /// Cached number of links per relation.
+    pub(crate) rel_counts: Vec<u32>,
+    /// Cached `Σ w(e)` per relation.
+    pub(crate) rel_weights: Vec<f64>,
 }
 
 impl HinGraph {
@@ -72,12 +103,10 @@ impl HinGraph {
         &self.obj_names[v.index()]
     }
 
-    /// Finds an object by name (linear scan — diagnostics/examples only).
+    /// Finds an object by name (O(1) hash lookup; with duplicate names the
+    /// earliest-added object wins, as a forward scan would).
     pub fn object_by_name(&self, name: &str) -> Option<ObjectId> {
-        self.obj_names
-            .iter()
-            .position(|n| n == name)
-            .map(ObjectId::from_index)
+        self.name_index.get(name).map(|&i| ObjectId(i))
     }
 
     /// Out-links of `v`: all `e = ⟨v, u⟩`, the links driving `θ_v`'s
@@ -107,7 +136,8 @@ impl HinGraph {
         self.obj_types
             .iter()
             .enumerate()
-            .filter(|&(_i, &ty)| ty == t).map(|(i, &_ty)| ObjectId::from_index(i))
+            .filter(|&(_i, &ty)| ty == t)
+            .map(|(i, &_ty)| ObjectId::from_index(i))
             .collect()
     }
 
@@ -119,18 +149,51 @@ impl HinGraph {
         })
     }
 
-    /// Number of links of relation `r`.
+    /// Number of links of relation `r` (O(1), cached at build time).
+    #[inline]
     pub fn relation_link_count(&self, r: RelationId) -> usize {
-        self.out_links.iter().filter(|l| l.relation == r).count()
+        self.rel_counts[r.index()] as usize
     }
 
-    /// Sum of weights over links of relation `r`.
+    /// Sum of weights over links of relation `r` (O(1), cached at build
+    /// time).
+    #[inline]
     pub fn relation_total_weight(&self, r: RelationId) -> f64 {
-        self.out_links
-            .iter()
-            .filter(|l| l.relation == r)
-            .map(|l| l.weight)
-            .sum()
+        self.rel_weights[r.index()]
+    }
+
+    /// Out-links of `v` restricted to relation `r` (O(1) segment lookup).
+    #[inline]
+    pub fn out_links_for_relation(&self, v: ObjectId, r: RelationId) -> &[Link] {
+        let stride = self.schema.n_relations() + 1;
+        let base = v.index() * stride + r.index();
+        let lo = self.out_rel_offsets[base] as usize;
+        let hi = self.out_rel_offsets[base + 1] as usize;
+        &self.out_links[lo..hi]
+    }
+
+    /// The non-empty per-relation sub-segments of `v`'s out-links, ascending
+    /// by relation id. This is the grouped view the EM link term and the
+    /// strength-learning statistics iterate: one `(relation, links)` pair per
+    /// relation actually present at `v`, with no per-link branching.
+    #[inline]
+    pub fn out_relation_segments(
+        &self,
+        v: ObjectId,
+    ) -> impl Iterator<Item = (RelationId, &[Link])> {
+        let n_rel = self.schema.n_relations();
+        let stride = n_rel + 1;
+        let base = v.index() * stride;
+        let offsets = &self.out_rel_offsets[base..base + stride];
+        (0..n_rel).filter_map(move |r| {
+            let lo = offsets[r] as usize;
+            let hi = offsets[r + 1] as usize;
+            if lo == hi {
+                None
+            } else {
+                Some((RelationId::from_index(r), &self.out_links[lo..hi]))
+            }
+        })
     }
 
     /// Observation table of attribute `a`.
@@ -145,13 +208,11 @@ impl HinGraph {
         &self.attrs
     }
 
-    /// Weighted out-degree of `v` restricted to relation `r`.
+    /// Weighted out-degree of `v` restricted to relation `r` (O(1), cached
+    /// at build time).
+    #[inline]
     pub fn out_weight(&self, v: ObjectId, r: RelationId) -> f64 {
-        self.out_links(v)
-            .iter()
-            .filter(|l| l.relation == r)
-            .map(|l| l.weight)
-            .sum()
+        self.out_rel_weight[v.index() * self.schema.n_relations() + r.index()]
     }
 
     /// Total weighted degree (in + out, all relations) of `v`; used by
@@ -245,5 +306,51 @@ mod tests {
         assert_eq!(g.out_weight(a0, write), 3.0);
         // a0: out 1+2, in 1+2 → 6.
         assert_eq!(g.total_degree(a0), 6.0);
+    }
+
+    #[test]
+    fn relation_segments_partition_the_out_links() {
+        let (g, [a0, _, _, p1]) = toy();
+        let write = g.schema().relation_by_name("write").unwrap();
+        let written_by = g.schema().relation_by_name("written_by").unwrap();
+        // a0 writes two papers; it has no written_by out-links.
+        assert_eq!(g.out_links_for_relation(a0, write).len(), 2);
+        assert!(g.out_links_for_relation(a0, written_by).is_empty());
+        let segs: Vec<_> = g.out_relation_segments(a0).collect();
+        assert_eq!(segs.len(), 1, "only non-empty segments are yielded");
+        assert_eq!(segs[0].0, write);
+        assert_eq!(segs[0].1.len(), 2);
+        // p1 has two written_by out-links and nothing else.
+        let segs: Vec<_> = g.out_relation_segments(p1).collect();
+        assert_eq!(segs, vec![(written_by, g.out_links(p1))]);
+        // Segments always concatenate back to the full out segment.
+        for v in g.objects() {
+            let total: usize = g.out_relation_segments(v).map(|(_, s)| s.len()).sum();
+            assert_eq!(total, g.out_links(v).len());
+        }
+    }
+
+    #[test]
+    fn cached_weights_match_scans() {
+        let (g, _) = toy();
+        for (r, _) in g.schema().relations() {
+            let count = g.iter_links().filter(|(_, l)| l.relation == r).count();
+            let weight: f64 = g
+                .iter_links()
+                .filter(|(_, l)| l.relation == r)
+                .map(|(_, l)| l.weight)
+                .sum();
+            assert_eq!(g.relation_link_count(r), count);
+            assert!((g.relation_total_weight(r) - weight).abs() < 1e-12);
+            for v in g.objects() {
+                let w: f64 = g
+                    .out_links(v)
+                    .iter()
+                    .filter(|l| l.relation == r)
+                    .map(|l| l.weight)
+                    .sum();
+                assert!((g.out_weight(v, r) - w).abs() < 1e-12);
+            }
+        }
     }
 }

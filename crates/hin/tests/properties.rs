@@ -17,8 +17,12 @@ fn random_network(seed: u64, n_a: usize, n_b: usize, n_links: usize) -> HinGraph
     let text = s.add_categorical_attribute("text", 16);
     let num = s.add_numerical_attribute("num");
     let mut b = HinBuilder::new(s);
-    let a_ids: Vec<_> = (0..n_a).map(|i| b.add_object(ta, format!("a{i}"))).collect();
-    let b_ids: Vec<_> = (0..n_b).map(|i| b.add_object(tb, format!("b{i}"))).collect();
+    let a_ids: Vec<_> = (0..n_a)
+        .map(|i| b.add_object(ta, format!("a{i}")))
+        .collect();
+    let b_ids: Vec<_> = (0..n_b)
+        .map(|i| b.add_object(tb, format!("b{i}")))
+        .collect();
     for _ in 0..n_links {
         let src = a_ids[rng.gen_range(0..n_a)];
         match rng.gen_range(0..3u8) {

@@ -13,7 +13,10 @@ use crate::special::ln_gamma;
 /// # Panics
 /// Panics in debug builds if any `α_k ≤ 0`.
 pub fn ln_beta(alpha: &[f64]) -> f64 {
-    debug_assert!(alpha.iter().all(|&a| a > 0.0), "ln_beta needs positive alphas");
+    debug_assert!(
+        alpha.iter().all(|&a| a > 0.0),
+        "ln_beta needs positive alphas"
+    );
     let mut sum_ln_gamma = 0.0;
     let mut sum_alpha = 0.0;
     for &a in alpha {

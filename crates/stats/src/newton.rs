@@ -98,7 +98,12 @@ impl ProjectedNewton {
                 Some(d) => (d, -1.0),
                 None => {
                     used_fallback = true;
-                    (grad.iter().map(|&g| g * self.options.fallback_step).collect(), 1.0)
+                    (
+                        grad.iter()
+                            .map(|&g| g * self.options.fallback_step)
+                            .collect(),
+                        1.0,
+                    )
                 }
             };
 
@@ -163,7 +168,10 @@ mod tests {
 
     impl NewtonProblem for Quadratic {
         fn value(&self, x: &[f64]) -> f64 {
-            -x.iter().zip(&self.c).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+            -x.iter()
+                .zip(&self.c)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
         }
         fn gradient(&self, x: &[f64], out: &mut [f64]) {
             for ((o, &xi), &ci) in out.iter_mut().zip(x).zip(&self.c) {
@@ -182,7 +190,9 @@ mod tests {
 
     #[test]
     fn quadratic_interior_maximum_in_one_step() {
-        let p = Quadratic { c: vec![1.5, 0.3, 4.0] };
+        let p = Quadratic {
+            c: vec![1.5, 0.3, 4.0],
+        };
         let out = ProjectedNewton::default().maximize(&[0.0, 0.0, 0.0], &p);
         assert!(out.converged);
         for (got, want) in out.x.iter().zip(&p.c) {
@@ -275,7 +285,9 @@ mod tests {
 
     #[test]
     fn never_leaves_the_nonnegative_orthant() {
-        let p = Quadratic { c: vec![-5.0, -1.0, 2.0] };
+        let p = Quadratic {
+            c: vec![-5.0, -1.0, 2.0],
+        };
         let out = ProjectedNewton::default().maximize(&[0.5, 0.5, 0.5], &p);
         assert!(out.x.iter().all(|&v| v >= 0.0));
     }

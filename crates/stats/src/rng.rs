@@ -64,9 +64,7 @@ pub fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64, scale: f64) -> f64
         let v = v * v * v;
         let u: f64 = rng.gen();
         let x2 = x * x;
-        if u < 1.0 - 0.0331 * x2 * x2
-            || u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln())
-        {
+        if u < 1.0 - 0.0331 * x2 * x2 || u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln()) {
             return d * v * scale;
         }
     }
@@ -219,7 +217,10 @@ mod tests {
         }
         for (c, &wi) in counts.iter().zip(&w) {
             let freq = *c as f64 / n as f64;
-            assert!((freq - wi / 10.0).abs() < 0.01, "freq {freq} for weight {wi}");
+            assert!(
+                (freq - wi / 10.0).abs() < 0.01,
+                "freq {freq} for weight {wi}"
+            );
         }
     }
 

@@ -16,10 +16,7 @@ pub const THETA_FLOOR: f64 = 1e-12;
 ///
 /// Zero entries contribute zero (the `p ln p → 0` limit).
 pub fn entropy(p: &[f64]) -> f64 {
-    p.iter()
-        .filter(|&&x| x > 0.0)
-        .map(|&x| -x * x.ln())
-        .sum()
+    p.iter().filter(|&&x| x > 0.0).map(|&x| -x * x.ln()).sum()
 }
 
 /// Cross entropy `H(p, q) = −Σ p_k ln q_k` (nats).
@@ -299,7 +296,11 @@ mod tests {
     #[test]
     fn hard_labels_pick_argmax() {
         let m = MembershipMatrix::from_rows(
-            &[vec![0.7, 0.2, 0.1], vec![0.1, 0.1, 0.8], vec![0.3, 0.4, 0.3]],
+            &[
+                vec![0.7, 0.2, 0.1],
+                vec![0.1, 0.1, 0.8],
+                vec![0.3, 0.4, 0.3],
+            ],
             3,
         );
         assert_eq!(m.hard_labels(), vec![0, 2, 1]);

@@ -57,7 +57,8 @@ pub fn digamma(x: f64) -> f64 {
     let inv = 1.0 / x;
     let inv2 = inv * inv;
     // ψ(x) ~ ln x − 1/(2x) − Σ B_{2n} / (2n x^{2n})
-    result + x.ln() - 0.5 * inv
+    result + x.ln()
+        - 0.5 * inv
         - inv2
             * (1.0 / 12.0
                 - inv2
@@ -84,13 +85,15 @@ pub fn trigamma(x: f64) -> f64 {
     result
         + inv
             * (1.0
-                + inv * (0.5
-                    + inv * (1.0 / 6.0
-                        - inv2
-                            * (1.0 / 30.0
+                + inv
+                    * (0.5
+                        + inv
+                            * (1.0 / 6.0
                                 - inv2
-                                    * (1.0 / 42.0
-                                        - inv2 * (1.0 / 30.0 - inv2 * (5.0 / 66.0)))))))
+                                    * (1.0 / 30.0
+                                        - inv2
+                                            * (1.0 / 42.0
+                                                - inv2 * (1.0 / 30.0 - inv2 * (5.0 / 66.0)))))))
 }
 
 #[cfg(test)]

@@ -1,8 +1,6 @@
 //! Property-based tests for the numerics substrate.
 
-use genclus_stats::{
-    digamma, ln_gamma, log_sum_exp, trigamma, Matrix, MembershipMatrix,
-};
+use genclus_stats::{digamma, ln_gamma, log_sum_exp, trigamma, Matrix, MembershipMatrix};
 use proptest::prelude::*;
 
 proptest! {

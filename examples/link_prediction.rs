@@ -59,12 +59,7 @@ fn main() {
         .find(|l| l.relation == acp.rel_pc)
         .map(|l| l.endpoint)
         .expect("every paper has a venue");
-    let ranked = rank_candidates(
-        theta,
-        paper,
-        &acp.conferences,
-        Similarity::NegCrossEntropy,
-    );
+    let ranked = rank_candidates(theta, paper, &acp.conferences, Similarity::NegCrossEntropy);
     println!(
         "\ntop-5 predicted venues for {} (true venue: {}):",
         acp.graph.object_name(paper),
@@ -72,7 +67,10 @@ fn main() {
     );
     for (v, score) in ranked.iter().take(5) {
         let marker = if *v == true_venue { "  <-- actual" } else { "" };
-        println!("  {:<8} score {score:+.4}{marker}", acp.graph.object_name(*v));
+        println!(
+            "  {:<8} score {score:+.4}{marker}",
+            acp.graph.object_name(*v)
+        );
     }
 
     // Random ranking baseline for calibration: with one relevant venue among

@@ -28,8 +28,12 @@ fn main() {
     // one user per group wrote anything in their profile (incomplete
     // attributes!), and two books per group anchor the `likes` structure.
     let mut b = HinBuilder::new(schema);
-    let users: Vec<ObjectId> = (0..8).map(|i| b.add_object(user, format!("user-{i}"))).collect();
-    let books: Vec<ObjectId> = (0..4).map(|i| b.add_object(book, format!("book-{i}"))).collect();
+    let users: Vec<ObjectId> = (0..8)
+        .map(|i| b.add_object(user, format!("user-{i}")))
+        .collect();
+    let books: Vec<ObjectId> = (0..4)
+        .map(|i| b.add_object(book, format!("book-{i}")))
+        .collect();
 
     // Group 0 (users 0-3) likes books 0-1; group 1 (users 4-7) likes 2-3.
     for &u in &users[..4] {

@@ -131,13 +131,7 @@ fn parallel_and_serial_fits_agree() {
         .unwrap()
         .fit(&net.graph)
         .unwrap();
-    assert!(
-        serial
-            .model
-            .theta
-            .max_abs_diff(&parallel.model.theta)
-            < 1e-6
-    );
+    assert!(serial.model.theta.max_abs_diff(&parallel.model.theta) < 1e-6);
     for (a, b) in serial.model.gamma.iter().zip(&parallel.model.gamma) {
         assert!((a - b).abs() < 1e-6);
     }
@@ -161,7 +155,10 @@ fn observer_trajectory_matches_history() {
     // first change (plus tolerance for plateau noise).
     if fit.history.records.len() >= 3 {
         let delta = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max)
         };
         let first = delta(&seen_gammas[0], &seen_gammas[1]);
         let last = delta(

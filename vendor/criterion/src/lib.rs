@@ -1,0 +1,273 @@
+//! Offline stand-in for the subset of the `criterion` crate API this
+//! workspace uses.
+//!
+//! The build environment has no network access, so this vendored crate keeps
+//! the workspace's `[[bench]]` targets compiling and runnable: `Criterion`,
+//! `benchmark_group` / `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros. The
+//! measurement loop is deliberately simple — warm up, run timed batches,
+//! report min/median/mean per iteration — with none of upstream's
+//! statistical analysis or HTML reports. When the binary is invoked by the
+//! test harness plumbing (`--test`), everything runs in a single-iteration
+//! smoke mode so `cargo test --benches` stays fast.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How long each benchmark's measurement phase runs (smoke mode: one pass).
+#[derive(Debug, Clone, Copy)]
+struct Mode {
+    smoke: bool,
+}
+
+impl Mode {
+    fn from_args() -> Self {
+        let smoke = std::env::args().any(|a| a == "--test")
+            || std::env::var_os("CRITERION_SMOKE").is_some();
+        Self { smoke }
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            mode: Mode::from_args(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.mode, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: &str, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for upstream compatibility; the stub sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for upstream compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().0;
+        run_one(&format!("{}/{id}", self.name), self.criterion.mode, &mut f);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.id);
+        let mode = self.criterion.mode;
+        run_one(&name, mode, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream finalizes reports here; the stub prints as it
+    /// goes).
+    pub fn finish(self) {}
+}
+
+/// Conversion helper so `bench_function` accepts both `&str` and
+/// [`BenchmarkId`].
+pub struct BenchId(String);
+
+impl From<&str> for BenchId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<BenchmarkId> for BenchId {
+    fn from(id: BenchmarkId) -> Self {
+        Self(id.id)
+    }
+}
+
+/// Runs the closure under timing.
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`, recording seconds-per-iteration samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.mode.smoke {
+            black_box(f());
+            self.samples.push(0.0);
+            return;
+        }
+        // Warm-up: at least one run, up to ~50 ms.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_iters == 0 || warm_start.elapsed() < Duration::from_millis(50) {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Measurement: ~12 samples sized to ≥ 1 ms each, capped at ~600 ms
+        // total so full bench suites stay usable.
+        let batch = ((1e-3 / per_iter.max(1e-9)).ceil() as u64).max(1);
+        let deadline = Instant::now() + Duration::from_millis(600);
+        for _ in 0..12 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples
+                .push(start.elapsed().as_secs_f64() / batch as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, mode: Mode, f: &mut F) {
+    let mut b = Bencher {
+        mode,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if mode.smoke {
+        println!("bench {name}: ok (smoke)");
+        return;
+    }
+    let mut s = b.samples;
+    if s.is_empty() {
+        println!("bench {name}: no samples");
+        return;
+    }
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = s[s.len() / 2];
+    let mean = s.iter().sum::<f64>() / s.len() as f64;
+    println!(
+        "bench {name}: median {:.3} ms  mean {:.3} ms  min {:.3} ms  ({} samples)",
+        median * 1e3,
+        mean * 1e3,
+        s[0] * 1e3,
+        s.len()
+    );
+}
+
+/// Bundles benchmark functions into one group runner, like upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_format_like_upstream() {
+        assert_eq!(BenchmarkId::new("f", 42).id, "f/42");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+
+    #[test]
+    fn smoke_mode_runs_each_closure_once() {
+        let mut c = Criterion {
+            mode: Mode { smoke: true },
+        };
+        let mut calls = 0;
+        c.bench_function("x", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert_eq!(calls, 1);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut with_input = 0;
+        group.bench_with_input(BenchmarkId::from_parameter(1), &3usize, |b, &n| {
+            b.iter(|| {
+                with_input += n;
+            })
+        });
+        group.finish();
+        assert_eq!(with_input, 3);
+    }
+}

@@ -1,0 +1,265 @@
+//! Offline stand-in for the subset of the `proptest` crate API this
+//! workspace uses.
+//!
+//! The build environment has no network access, so this vendored crate
+//! provides the `proptest!` macro, range / tuple / `collection::vec` /
+//! `any::<T>()` strategies, `ProptestConfig::with_cases`, and the
+//! `prop_assert*` / `prop_assume!` macros. Semantics differ from upstream in
+//! one way that matters: there is **no shrinking** — a failing case panics
+//! with the generated inputs baked into the assertion message instead. Case
+//! generation is fully deterministic per (test name, case index), so failures
+//! reproduce exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-test configuration (only the case count is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A deterministic RNG for one generated case, keyed by test name and case
+/// index (FNV-1a over the name, mixed with the index).
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+}
+
+/// A value generator. Upstream strategies also carry shrinking machinery;
+/// here a strategy is just a deterministic sampler.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Types with a whole-domain strategy, used through [`any`].
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_via_gen {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+arbitrary_via_gen!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64, f32);
+
+/// Strategy generating any value of `T`. See [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// A vector strategy: `len` in `size`, elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len: size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the upstream surface this workspace uses: an optional leading
+/// `#![proptest_config(expr)]`, doc comments / attributes per test, and
+/// `name in strategy` argument bindings (with trailing commas).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..cfg.cases {
+                    let mut __rng = $crate::case_rng(stringify!($name), __case);
+                    $( let $arg = $crate::Strategy::generate(&($strat), &mut __rng); )+
+                    // The closure gives `prop_assume!` an early-exit target.
+                    let __run = move || $body;
+                    __run();
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Skips the current generated case when its precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, ProptestConfig,
+        Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, y in -1.0f64..1.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_vecs_compose(
+            pairs in crate::collection::vec((0usize..4, 0.0f64..1.0), 1..10),
+            seed in any::<u64>(),
+        ) {
+            prop_assert!(!pairs.is_empty() && pairs.len() < 10);
+            for (i, x) in &pairs {
+                prop_assert!(*i < 4 && (0.0..1.0).contains(x));
+            }
+            let _ = seed;
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn case_rng_is_deterministic_and_name_keyed() {
+        use rand::Rng;
+        let a: u64 = crate::case_rng("t", 0).gen();
+        let b: u64 = crate::case_rng("t", 0).gen();
+        let c: u64 = crate::case_rng("t", 1).gen();
+        let d: u64 = crate::case_rng("u", 0).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+}
