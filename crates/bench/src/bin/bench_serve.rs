@@ -1,0 +1,72 @@
+//! Reproducible serving perf harness: writes `BENCH_serve.json`.
+//!
+//! ```text
+//! bench_serve [--quick] [--threads N] [--out <path>]
+//! ```
+//!
+//! Fits a weather network, snapshots it, loads the snapshot (exactly the
+//! serving path), and measures fold-in / top-k / mixed query batches at
+//! batch sizes 1, 16, and 256 in the same run — p50/p99 per-query latency
+//! and sustained queries/sec per cell. In full mode the run exits non-zero
+//! if batch-256 throughput falls below batch-1 on the mixed workload:
+//! batching must never cost throughput.
+
+use genclus_bench::serve_perf::{run_serve_perf, ServePerfConfig};
+use std::path::PathBuf;
+
+fn main() {
+    let mut cfg = ServePerfConfig::full();
+    let mut out = PathBuf::from("BENCH_serve.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => {
+                let threads = cfg.threads;
+                cfg = ServePerfConfig::quick();
+                cfg.threads = threads;
+            }
+            "--threads" => {
+                cfg.threads = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&t| t >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--out" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!(
+                    "unknown argument `{other}`\nusage: bench_serve [--quick] [--threads N] [--out <path>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = run_serve_perf(&cfg);
+    print!("{}", report.render());
+    match report.save(&out) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+
+    // Throughput gate: only meaningful at full scale on an unloaded
+    // machine, but always reported.
+    if report.mode == "full" && report.headline.speedup < 1.0 {
+        eprintln!(
+            "PERF REGRESSION: batch-256 serves only {:.2}x the batch-1 throughput (gate: 1.0x)",
+            report.headline.speedup
+        );
+        std::process::exit(1);
+    }
+}

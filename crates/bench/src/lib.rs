@@ -20,6 +20,7 @@ pub mod dblp_experiments;
 pub mod methods;
 pub mod perf;
 pub mod report;
+pub mod serve_perf;
 pub mod timing;
 pub mod weather_experiments;
 

@@ -287,8 +287,10 @@ fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
 }
 
-fn fmt_f64(x: f64) -> String {
-    // Finite, compact, round-trippable enough for a perf log.
+/// Formats an `f64` for the perf-log JSON writers (finite, compact,
+/// round-trippable enough for a perf log); shared by `BENCH_em.json` and
+/// `BENCH_serve.json` emission.
+pub(crate) fn fmt_f64(x: f64) -> String {
     if x.is_finite() {
         format!("{x:.6}")
     } else {

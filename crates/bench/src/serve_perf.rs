@@ -1,0 +1,402 @@
+//! The serving perf trajectory: `BENCH_serve.json`.
+//!
+//! Measures the query engine of `genclus-serve` end-to-end — JSON parse,
+//! dispatch, fold-in fixed point / top-k selection, JSON render — from a
+//! loaded snapshot of a fitted weather network, at batch sizes 1 / 16 /
+//! 256 for three workloads:
+//!
+//! * `fold_in` — assign a new sensor linked to 3 existing sensors, with a
+//!   ~50% chance of carrying readings (the incomplete-attribute serving
+//!   case);
+//! * `top_k` — §5.2.2 link-prediction ranking, k = 10 over one object
+//!   type;
+//! * `mixed` — alternating fold-in and top-k, the realistic stream.
+//!
+//! Per `(workload, batch size)` cell it reports the p50/p99 **per-query**
+//! latency (batch wall-time divided by batch size) and the sustained
+//! queries/sec over the whole cell. The headline compares batch-1 against
+//! batch-256 throughput on the mixed workload, measured in the same run;
+//! `bench_serve` exits non-zero in full mode if batching does not help at
+//! all (ratio < 1.0) — amortizing dispatch over a batch must never *lose*
+//! throughput.
+//!
+//! Schema of `BENCH_serve.json` is documented in ROADMAP.md's Performance
+//! section and mirrored by [`ServePerfReport::to_json`].
+
+use crate::perf::fmt_f64;
+use genclus_core::{GenClus, GenClusConfig};
+use genclus_datagen::weather::{generate, PatternSetting, WeatherConfig};
+use genclus_serve::{QueryEngine, Snapshot};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Clusters of the benchmark fit.
+pub const K: usize = 4;
+/// Batch sizes every workload is measured at.
+pub const BATCH_SIZES: [usize; 3] = [1, 16, 256];
+
+/// Controls the measurement run.
+#[derive(Debug, Clone)]
+pub struct ServePerfConfig {
+    /// Quick mode: small network, few queries (smoke test).
+    pub quick: bool,
+    /// Worker threads for the query engine.
+    pub threads: usize,
+    /// Total queries per `(workload, batch size)` cell.
+    pub queries_per_cell: usize,
+}
+
+impl ServePerfConfig {
+    /// Full-scale measurement (the committed `BENCH_serve.json`).
+    pub fn full() -> Self {
+        Self {
+            quick: false,
+            threads: 1,
+            queries_per_cell: 4096,
+        }
+    }
+
+    /// Smoke-test scale.
+    pub fn quick() -> Self {
+        Self {
+            quick: true,
+            threads: 1,
+            queries_per_cell: 256,
+        }
+    }
+}
+
+/// One measured `(workload, batch size)` cell.
+#[derive(Debug, Clone)]
+pub struct ServeMeasurement {
+    /// `fold_in`, `top_k`, or `mixed`.
+    pub workload: &'static str,
+    /// Queries per [`QueryEngine::handle_batch`] call.
+    pub batch_size: usize,
+    /// Batches timed.
+    pub batches: usize,
+    /// Per-query latencies in seconds (batch wall-time / batch size, one
+    /// entry per batch).
+    pub per_query_seconds: Vec<f64>,
+    /// Sustained queries per second over the cell.
+    pub qps: f64,
+}
+
+impl ServeMeasurement {
+    fn percentile(&self, q: f64) -> f64 {
+        let mut s = self.per_query_seconds.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((q * s.len() as f64) as usize).min(s.len() - 1);
+        s[idx]
+    }
+
+    /// Median per-query latency (seconds).
+    pub fn p50_seconds(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    /// 99th-percentile per-query latency (seconds).
+    pub fn p99_seconds(&self) -> f64 {
+        self.percentile(0.99)
+    }
+}
+
+/// The batching headline the acceptance gate reads.
+#[derive(Debug, Clone)]
+pub struct ServeHeadline {
+    /// Workload compared (`mixed`).
+    pub workload: &'static str,
+    /// Queries/sec at batch size 1.
+    pub batch1_qps: f64,
+    /// Queries/sec at batch size 256.
+    pub batch256_qps: f64,
+    /// `batch256 / batch1` throughput ratio.
+    pub speedup: f64,
+}
+
+/// Everything one `bench_serve` run produced.
+#[derive(Debug, Clone)]
+pub struct ServePerfReport {
+    /// `full` or `quick`.
+    pub mode: &'static str,
+    /// Network geometry the snapshot was built from.
+    pub n_objects: usize,
+    /// Links of the snapshot network.
+    pub n_links: usize,
+    /// Snapshot size in bytes.
+    pub snapshot_bytes: usize,
+    /// All measured cells.
+    pub measurements: Vec<ServeMeasurement>,
+    /// Batch-1 vs batch-256 comparison on the mixed workload.
+    pub headline: ServeHeadline,
+}
+
+/// Builds the serving fixture: fit a weather network, snapshot it, load
+/// the snapshot (exactly the serving path), return the engine plus
+/// pre-rendered request lines.
+fn build_engine(cfg: &ServePerfConfig) -> (QueryEngine, Vec<String>, Vec<String>, usize) {
+    let (n_temp, n_precip, n_obs) = if cfg.quick {
+        (120, 40, 5)
+    } else {
+        (1000, 250, 20)
+    };
+    let net = generate(&WeatherConfig {
+        n_temp,
+        n_precip,
+        k_neighbors: 5,
+        n_obs,
+        pattern: PatternSetting::Setting1,
+        seed: 7,
+    });
+    let fit_cfg = GenClusConfig::new(K, vec![net.temp_attr, net.precip_attr])
+        .with_seed(11)
+        .with_outer_iters(if cfg.quick { 2 } else { 4 });
+    let fit = GenClus::new(fit_cfg)
+        .expect("valid config")
+        .fit(&net.graph)
+        .expect("fit succeeds");
+    let bytes = genclus_serve::snapshot::to_bytes(&net.graph, &fit.model);
+    let snapshot = Snapshot::from_bytes(&bytes).expect("snapshot round trip");
+    let engine = QueryEngine::new(snapshot, cfg.threads);
+
+    // Deterministic request streams (xorshift; no RNG dependency needed).
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let total = n_temp + n_precip;
+    let fold_in: Vec<String> = (0..cfg.queries_per_cell)
+        .map(|i| {
+            let a = next() as usize % n_temp;
+            let b = next() as usize % n_temp;
+            let c = next() as usize % n_temp;
+            let readings = if i % 2 == 0 {
+                // Half the new sensors arrive with readings …
+                format!(
+                    ",\"values\":{{\"temperature\":[{}]}}",
+                    (next() % 400) as f64 / 100.0
+                )
+            } else {
+                // … and half with every attribute missing.
+                String::new()
+            };
+            format!(
+                "{{\"id\":{i},\"op\":\"fold_in\",\"links\":[[\"tt\",\"T{a}\",1.0],[\"tt\",\"T{b}\",1.0],[\"tt\",\"T{c}\",1.0]]{readings}}}"
+            )
+        })
+        .collect();
+    let top_k: Vec<String> = (0..cfg.queries_per_cell)
+        .map(|i| {
+            let q = next() as usize % n_temp;
+            format!(
+                "{{\"id\":{i},\"op\":\"top_k\",\"object\":\"T{q}\",\"k\":10,\"sim\":\"cosine\",\"type\":\"temp_sensor\"}}"
+            )
+        })
+        .collect();
+    (engine, fold_in, top_k, total)
+}
+
+fn measure_cell(
+    engine: &QueryEngine,
+    lines: &[String],
+    workload: &'static str,
+    batch_size: usize,
+) -> ServeMeasurement {
+    // One warmup batch, untimed.
+    let warm = batch_size.min(lines.len());
+    let _ = engine.handle_batch(&lines[..warm]);
+
+    let mut per_query = Vec::new();
+    let mut total_queries = 0usize;
+    let start_all = Instant::now();
+    for batch in lines.chunks(batch_size) {
+        let start = Instant::now();
+        let responses = engine.handle_batch(batch);
+        let dt = start.elapsed().as_secs_f64();
+        assert_eq!(responses.len(), batch.len());
+        per_query.push(dt / batch.len() as f64);
+        total_queries += batch.len();
+    }
+    let total = start_all.elapsed().as_secs_f64();
+    ServeMeasurement {
+        workload,
+        batch_size,
+        batches: per_query.len(),
+        per_query_seconds: per_query,
+        qps: total_queries as f64 / total,
+    }
+}
+
+/// Runs the full measurement matrix.
+pub fn run_serve_perf(cfg: &ServePerfConfig) -> ServePerfReport {
+    let (engine, fold_in, top_k, _) = build_engine(cfg);
+    let mixed: Vec<String> = fold_in
+        .iter()
+        .zip(&top_k)
+        .flat_map(|(f, t)| [f.clone(), t.clone()])
+        .take(cfg.queries_per_cell)
+        .collect();
+
+    let mut measurements = Vec::new();
+    for &batch_size in &BATCH_SIZES {
+        measurements.push(measure_cell(&engine, &fold_in, "fold_in", batch_size));
+        measurements.push(measure_cell(&engine, &top_k, "top_k", batch_size));
+        measurements.push(measure_cell(&engine, &mixed, "mixed", batch_size));
+    }
+    let qps_of = |batch: usize| {
+        measurements
+            .iter()
+            .find(|m| m.workload == "mixed" && m.batch_size == batch)
+            .expect("mixed cell measured")
+            .qps
+    };
+    let (b1, b256) = (qps_of(1), qps_of(256));
+    ServePerfReport {
+        mode: if cfg.quick { "quick" } else { "full" },
+        n_objects: engine.graph().n_objects(),
+        n_links: engine.graph().n_links(),
+        snapshot_bytes: engine.snapshot().raw_bytes().len(),
+        measurements,
+        headline: ServeHeadline {
+            workload: "mixed",
+            batch1_qps: b1,
+            batch256_qps: b256,
+            speedup: b256 / b1,
+        },
+    }
+}
+
+impl ServePerfReport {
+    /// Serializes to the documented `BENCH_serve.json` schema (hand-rolled
+    /// — the workspace has no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"schema_version\": 1,\n  \"bench\": \"serve_queries\",\n");
+        out.push_str(&format!("  \"mode\": \"{}\",\n  \"k\": {K},\n", self.mode));
+        out.push_str(&format!(
+            "  \"dataset\": {{\"family\": \"weather\", \"n_objects\": {}, \"n_links\": {}, \
+             \"snapshot_bytes\": {}}},\n",
+            self.n_objects, self.n_links, self.snapshot_bytes
+        ));
+        out.push_str("  \"unit\": \"milliseconds per query\",\n");
+        out.push_str("  \"results\": [\n");
+        for (i, m) in self.measurements.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"batch_size\": {}, \"batches_timed\": {}, \
+                 \"p50_ms\": {}, \"p99_ms\": {}, \"qps\": {}}}",
+                m.workload,
+                m.batch_size,
+                m.batches,
+                fmt_f64(m.p50_seconds() * 1e3),
+                fmt_f64(m.p99_seconds() * 1e3),
+                fmt_f64(m.qps),
+            ));
+            out.push_str(if i + 1 < self.measurements.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str(&format!(
+            "  ],\n  \"headline\": {{\"workload\": \"{}\", \"batch1_qps\": {}, \
+             \"batch256_qps\": {}, \"speedup\": {}}}\n}}\n",
+            self.headline.workload,
+            fmt_f64(self.headline.batch1_qps),
+            fmt_f64(self.headline.batch256_qps),
+            fmt_f64(self.headline.speedup),
+        ));
+        out
+    }
+
+    /// Writes the JSON to `path`.
+    pub fn save(&self, path: &Path) -> std::io::Result<PathBuf> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())?;
+        Ok(path.to_path_buf())
+    }
+
+    /// A terse human-readable rendering for the console.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "serve query latency ({} mode, {} objects, {} links, snapshot {} KiB)\n",
+            self.mode,
+            self.n_objects,
+            self.n_links,
+            self.snapshot_bytes / 1024,
+        ));
+        for m in &self.measurements {
+            out.push_str(&format!(
+                "  {:8} batch={:>3}: p50 {:7.4} ms  p99 {:7.4} ms  {:9.0} q/s\n",
+                m.workload,
+                m.batch_size,
+                m.p50_seconds() * 1e3,
+                m.p99_seconds() * 1e3,
+                m.qps,
+            ));
+        }
+        out.push_str(&format!(
+            "headline [mixed]: batch-1 {:.0} q/s vs batch-256 {:.0} q/s → {:.2}x\n",
+            self.headline.batch1_qps, self.headline.batch256_qps, self.headline.speedup,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_consistent_report_and_json() {
+        let report = run_serve_perf(&ServePerfConfig::quick());
+        // 3 workloads × 3 batch sizes.
+        assert_eq!(report.measurements.len(), 9);
+        for m in &report.measurements {
+            assert!(m.batches >= 1);
+            assert!(m.qps > 0.0 && m.qps.is_finite());
+            assert!(m.p50_seconds() >= 0.0 && m.p99_seconds() >= m.p50_seconds());
+        }
+        assert!(report.headline.speedup.is_finite());
+
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"serve_queries\""));
+        assert!(json.contains("\"workload\": \"fold_in\""));
+        assert!(json.contains("\"workload\": \"top_k\""));
+        assert!(json.contains("\"workload\": \"mixed\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+
+        let dir = std::env::temp_dir().join("genclus-bench-serve");
+        let path = report.save(&dir.join("BENCH_serve.json")).expect("save");
+        assert!(path.exists());
+    }
+
+    #[test]
+    fn every_benchmarked_response_is_ok() {
+        // The harness must measure *successful* queries — a stream of
+        // errors would "benchmark" the error path.
+        let cfg = ServePerfConfig {
+            quick: true,
+            threads: 1,
+            queries_per_cell: 8,
+        };
+        let (engine, fold_in, top_k, _) = build_engine(&cfg);
+        for line in fold_in.iter().chain(&top_k) {
+            let resp = engine.handle_line(line);
+            assert!(
+                resp.contains("\"ok\":true"),
+                "benchmark query failed: {line} → {resp}"
+            );
+        }
+    }
+}

@@ -156,6 +156,7 @@ impl GenClus {
                 gamma,
                 components,
                 attributes: cfg.attributes.clone(),
+                theta_smoothing: cfg.theta_smoothing,
             },
             history,
         })

@@ -322,6 +322,64 @@ impl ClusterComponents {
             Self::Gaussian(g) => g.n_clusters(),
         }
     }
+
+    /// Serializes the component parameters (`β` rows or `μ/σ²` pairs) in
+    /// the [`genclus_stats::bytesio`] convention. Only the primary
+    /// parameters are written; the cached log/transpose tables are
+    /// re-derived on load, bit-exactly (they are pure functions of the
+    /// parameters), so write → read → write is byte-identical.
+    pub fn to_bytes(&self, out: &mut Vec<u8>) {
+        use genclus_stats::bytesio::{put_f64_slice, put_u64};
+        match self {
+            Self::Categorical(c) => {
+                put_u64(out, 0);
+                put_u64(out, c.k as u64);
+                put_u64(out, c.m as u64);
+                put_f64_slice(out, &c.beta);
+            }
+            Self::Gaussian(g) => {
+                put_u64(out, 1);
+                put_f64_slice(out, &g.mu);
+                put_f64_slice(out, &g.var);
+            }
+        }
+    }
+
+    /// Inverse of [`Self::to_bytes`]; `None` on truncation, an unknown
+    /// kind tag, shape mismatches, or parameters outside their domain
+    /// (non-finite `β`/`μ`, non-positive `σ²`).
+    pub fn from_bytes(r: &mut genclus_stats::bytesio::ByteReader<'_>) -> Option<Self> {
+        match r.u64()? {
+            0 => {
+                let k: usize = r.u64()?.try_into().ok()?;
+                let m: usize = r.u64()?.try_into().ok()?;
+                let beta = r.f64_slice()?;
+                if k == 0 || m == 0 || beta.len() != k.checked_mul(m)? {
+                    return None;
+                }
+                if beta.iter().any(|&b| !(b > 0.0 && b.is_finite())) {
+                    return None;
+                }
+                Some(Self::Categorical(CategoricalComponents::from_normalized(
+                    k, m, beta,
+                )))
+            }
+            1 => {
+                let mu = r.f64_slice()?;
+                let var = r.f64_slice()?;
+                if mu.is_empty() || mu.len() != var.len() {
+                    return None;
+                }
+                if mu.iter().any(|x| !x.is_finite())
+                    || var.iter().any(|&v| !(v > 0.0 && v.is_finite()))
+                {
+                    return None;
+                }
+                Some(Self::Gaussian(GaussianComponents::from_moments(mu, var)))
+            }
+            _ => None,
+        }
+    }
 }
 
 /// Responsibility-weighted sufficient statistics for one attribute's M-step.

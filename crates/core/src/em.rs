@@ -60,11 +60,100 @@
 //!   output rows are fully overwritten before accumulation, and every
 //!   scratch field is zeroed or rebuilt at step entry.
 
-use crate::attr_model::{ClusterComponents, ComponentAccumulator};
+use crate::attr_model::{
+    CategoricalComponents, ClusterComponents, ComponentAccumulator, GaussianComponents,
+};
 use crate::pool::{DisjointRows, WorkerPool};
 use genclus_hin::{AttributeData, AttributeId, HinGraph};
 use genclus_stats::simplex::normalize_floored;
 use genclus_stats::MembershipMatrix;
+
+/// Adds the responsibility mass of one categorical observation bag to
+/// `out_row`, reporting each per-cluster mass to `sink` (the M-step's
+/// sufficient-statistics accumulator; pass a no-op when the components are
+/// frozen, as online fold-in does).
+///
+/// This *is* the optimized kernel's categorical inner loop — `step` and the
+/// serve crate's fold-in share it, so both produce bit-identical
+/// responsibilities. Works in the linear domain: `θ_{v,k} · β_{k,l}` is
+/// floored away from zero on both factors, so neither underflow nor a zero
+/// normalizer is possible.
+///
+/// `tv` is the object's current membership row, `terms` its `(term, count)`
+/// bag, and `resp` a `K`-length scratch row.
+#[inline]
+pub fn categorical_responsibility_mass(
+    tv: &[f64],
+    cat: &CategoricalComponents,
+    terms: &[(u32, f64)],
+    out_row: &mut [f64],
+    resp: &mut [f64],
+    mut sink: impl FnMut(usize, u32, f64),
+) {
+    for &(term, count) in terms {
+        let probs = cat.probs_for_term(term);
+        let mut sum = 0.0;
+        for ((r, &t), &p) in resp.iter_mut().zip(tv).zip(probs) {
+            let w = t * p;
+            *r = w;
+            sum += w;
+        }
+        let scale = count / sum;
+        for (kk, &r) in resp.iter().enumerate() {
+            let mass = r * scale;
+            out_row[kk] += mass;
+            sink(kk, term, mass);
+        }
+    }
+}
+
+/// Adds the responsibility mass of one numerical observation list to
+/// `out_row`, reporting each `(cluster, value, mass)` to `sink` — the
+/// Gaussian counterpart of [`categorical_responsibility_mass`], shared by
+/// `step` and online fold-in.
+///
+/// Keeps the pdf in the log domain (`−d²/2σ²` is unbounded below) but folds
+/// `θ` in *linearly* after the max subtraction: `θ_k·exp(s_k − max s)`
+/// normalizes to exactly the same responsibilities as
+/// `exp(ln θ_k + s_k − max)`, costs no `ln θ` at all, and the argmax entry's
+/// `exp(0) = 1` is skipped outright — `K − 1` `exp`s and no `ln` per
+/// observation. Underflow-safe because the max-`s` entry contributes
+/// `θ_k·1 ≥ the Θ floor` to the sum.
+#[inline]
+pub fn gaussian_responsibility_mass(
+    tv: &[f64],
+    gauss: &GaussianComponents,
+    values: &[f64],
+    out_row: &mut [f64],
+    resp: &mut [f64],
+    mut sink: impl FnMut(usize, f64, f64),
+) {
+    for &x in values {
+        let mut max_s = f64::NEG_INFINITY;
+        let mut arg = 0usize;
+        for (kk, r) in resp.iter_mut().enumerate() {
+            let s = gauss.log_pdf(kk, x);
+            *r = s;
+            if s > max_s {
+                max_s = s;
+                arg = kk;
+            }
+        }
+        let mut sum = 0.0;
+        for (kk, (r, &t)) in resp.iter_mut().zip(tv).enumerate() {
+            let e = if kk == arg { 1.0 } else { (*r - max_s).exp() };
+            let w = t * e;
+            *r = w;
+            sum += w;
+        }
+        let inv = 1.0 / sum;
+        for (kk, &r) in resp.iter().enumerate() {
+            let r = r * inv;
+            out_row[kk] += r;
+            sink(kk, x, r);
+        }
+    }
+}
 
 /// Result of one EM iteration.
 #[derive(Debug, Clone)]
@@ -389,63 +478,31 @@ fn process_range(
         }
 
         // Attribute term: responsibility mass per cluster, also feeding the
-        // component accumulators for the β M-step.
+        // component accumulators for the β M-step through the shared
+        // kernel helpers (the serve crate's fold-in calls the same helpers
+        // with a no-op sink).
         let tv = theta_old.row(v_idx);
         for ((table, comp), acc) in tables.iter().zip(components).zip(accs.iter_mut()) {
             match (table, comp) {
                 (AttributeData::Categorical { .. }, ClusterComponents::Categorical(cat)) => {
-                    // Linear domain: θ_{v,k} · β_{k,l} is floored away from
-                    // zero on both factors, so neither underflow nor a zero
-                    // normalizer is possible.
-                    for &(term, count) in table.term_counts(v) {
-                        let probs = cat.probs_for_term(term);
-                        let mut sum = 0.0;
-                        for ((r, &t), &p) in resp.iter_mut().zip(tv).zip(probs) {
-                            let w = t * p;
-                            *r = w;
-                            sum += w;
-                        }
-                        let scale = count / sum;
-                        for (kk, &r) in resp.iter().enumerate() {
-                            let mass = r * scale;
-                            out_row[kk] += mass;
-                            acc.add_term(kk, term, mass);
-                        }
-                    }
+                    categorical_responsibility_mass(
+                        tv,
+                        cat,
+                        table.term_counts(v),
+                        out_row,
+                        resp,
+                        |kk, term, mass| acc.add_term(kk, term, mass),
+                    );
                 }
                 (AttributeData::Numerical { .. }, ClusterComponents::Gaussian(gauss)) => {
-                    // Log domain for the pdf (−d²/2σ² is unbounded below),
-                    // but θ enters *linearly* after the max subtraction:
-                    // `θ_k·exp(s_k − max s)` normalizes to exactly the same
-                    // responsibilities as `exp(ln θ_k + s_k − max)`, costs no
-                    // `ln θ` at all, and the argmax entry's exp(0) = 1 is
-                    // skipped outright. Underflow-safe because the max-s
-                    // entry contributes θ_k·1 ≥ the Θ floor to the sum.
-                    for &x in table.values(v) {
-                        let mut max_s = f64::NEG_INFINITY;
-                        let mut arg = 0usize;
-                        for (kk, r) in resp.iter_mut().enumerate() {
-                            let s = gauss.log_pdf(kk, x);
-                            *r = s;
-                            if s > max_s {
-                                max_s = s;
-                                arg = kk;
-                            }
-                        }
-                        let mut sum = 0.0;
-                        for (kk, (r, &t)) in resp.iter_mut().zip(tv).enumerate() {
-                            let e = if kk == arg { 1.0 } else { (*r - max_s).exp() };
-                            let w = t * e;
-                            *r = w;
-                            sum += w;
-                        }
-                        let inv = 1.0 / sum;
-                        for (kk, &r) in resp.iter().enumerate() {
-                            let r = r * inv;
-                            out_row[kk] += r;
-                            acc.add_value(kk, x, r);
-                        }
-                    }
+                    gaussian_responsibility_mass(
+                        tv,
+                        gauss,
+                        table.values(v),
+                        out_row,
+                        resp,
+                        |kk, x, r| acc.add_value(kk, x, r),
+                    );
                 }
                 _ => unreachable!("attribute kind / component kind mismatch"),
             }

@@ -81,7 +81,7 @@ pub mod prelude {
     pub use crate::history::RunHistory;
     pub use crate::model::GenClusModel;
     pub use crate::model_selection::{best_k_by_bic, select_k, SelectionScore};
-    pub use crate::prediction::{rank_candidates, Similarity};
+    pub use crate::prediction::{rank_candidates, rank_row, top_k, Similarity};
     pub use crate::strength::{StrengthLearner, StrengthOutcome};
 }
 

@@ -18,6 +18,11 @@ pub struct GenClusModel {
     /// The attribute subset this model was fitted for (the clustering
     /// purpose).
     pub attributes: Vec<AttributeId>,
+    /// Uniform-mixing weight `ε` the fit applied after every `Θ` update
+    /// (`GenClusConfig::theta_smoothing`). Part of the model because the
+    /// fitted `Θ` rows are fixed points of the *smoothed* Eq. 10 operator —
+    /// online fold-in must apply the same `ε` to land on the same rows.
+    pub theta_smoothing: f64,
 }
 
 impl GenClusModel {
@@ -49,6 +54,76 @@ impl GenClusModel {
             .position(|&a| a == attribute)
             .map(|i| &self.components[i])
     }
+
+    /// Serializes the fitted model in the [`genclus_stats::bytesio`]
+    /// convention: `γ`, components, the attribute subset, `ε`, and `Θ`
+    /// **last**. Returns the byte offset of the first `Θ` entry within the
+    /// emitted bytes; every item before it is 8 bytes wide, so a caller
+    /// that starts writing at an 8-aligned position gets an 8-aligned `Θ`
+    /// payload — the serve crate's zero-copy view depends on this.
+    pub fn to_bytes(&self, out: &mut Vec<u8>) -> usize {
+        use genclus_stats::bytesio::{put_f64, put_f64_slice, put_u64};
+        let start = out.len();
+        put_f64_slice(out, &self.gamma);
+        put_u64(out, self.components.len() as u64);
+        for c in &self.components {
+            c.to_bytes(out);
+        }
+        put_u64(out, self.attributes.len() as u64);
+        for a in &self.attributes {
+            put_u64(out, a.index() as u64);
+        }
+        put_f64(out, self.theta_smoothing);
+        let theta_start = out.len() - start;
+        theta_start + self.theta.to_bytes(out)
+    }
+
+    /// Inverse of [`Self::to_bytes`]; `None` on malformed input or
+    /// cross-field inconsistencies (component/attribute count mismatch,
+    /// `Θ` column count differing across components, `ε` outside `[0, 1)`).
+    pub fn from_bytes(r: &mut genclus_stats::bytesio::ByteReader<'_>) -> Option<Self> {
+        let gamma = r.f64_slice()?;
+        if gamma.iter().any(|&g| !(g >= 0.0 && g.is_finite())) {
+            return None;
+        }
+        let n_comp = r.count(8)?;
+        let mut components = Vec::with_capacity(n_comp);
+        for _ in 0..n_comp {
+            components.push(ClusterComponents::from_bytes(r)?);
+        }
+        let n_attr = r.count(8)?;
+        if n_attr != n_comp {
+            return None;
+        }
+        let mut attributes = Vec::with_capacity(n_attr);
+        for _ in 0..n_attr {
+            let a: usize = r.u64()?.try_into().ok()?;
+            if a > u16::MAX as usize {
+                // Out of the id space — return None rather than tripping
+                // `AttributeId::from_index`'s assertion on crafted input.
+                return None;
+            }
+            attributes.push(AttributeId::from_index(a));
+        }
+        let theta_smoothing = r.f64()?;
+        if !(0.0..1.0).contains(&theta_smoothing) {
+            return None;
+        }
+        let theta = MembershipMatrix::from_bytes(r)?;
+        if components
+            .iter()
+            .any(|c| c.n_clusters() != theta.n_clusters())
+        {
+            return None;
+        }
+        Some(Self {
+            theta,
+            gamma,
+            components,
+            attributes,
+            theta_smoothing,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -64,6 +139,7 @@ mod tests {
                 GaussianComponents::from_params(vec![0.0, 1.0], vec![1.0, 1.0], 1e-6),
             )],
             attributes: vec![AttributeId(2)],
+            theta_smoothing: 0.05,
         }
     }
 
@@ -82,5 +158,45 @@ mod tests {
         let m = tiny_model();
         assert!(m.components_for(AttributeId(2)).is_some());
         assert!(m.components_for(AttributeId(0)).is_none());
+    }
+
+    #[test]
+    fn bytes_round_trip_is_byte_identical_with_aligned_theta() {
+        let m = tiny_model();
+        let mut bytes = Vec::new();
+        let theta_off = m.to_bytes(&mut bytes);
+        assert_eq!(theta_off % 8, 0, "Θ data must stay 8-aligned");
+        // The Θ payload really does live at the reported offset.
+        let first = f64::from_bits(u64::from_le_bytes(
+            bytes[theta_off..theta_off + 8].try_into().unwrap(),
+        ));
+        assert_eq!(first, m.theta.row(0)[0]);
+        let mut r = genclus_stats::bytesio::ByteReader::new(&bytes);
+        let back = GenClusModel::from_bytes(&mut r).unwrap();
+        assert_eq!(back.gamma, m.gamma);
+        assert_eq!(back.attributes, m.attributes);
+        assert_eq!(back.theta_smoothing, m.theta_smoothing);
+        assert_eq!(back.theta, m.theta);
+        assert_eq!(back.components, m.components);
+        let mut again = Vec::new();
+        back.to_bytes(&mut again);
+        assert_eq!(again, bytes, "save → load → save must be byte-identical");
+    }
+
+    #[test]
+    fn malformed_model_bytes_are_rejected() {
+        let m = tiny_model();
+        let mut bytes = Vec::new();
+        m.to_bytes(&mut bytes);
+        for cut in [0, 7, bytes.len() / 2, bytes.len() - 1] {
+            let mut r = genclus_stats::bytesio::ByteReader::new(&bytes[..cut]);
+            assert!(GenClusModel::from_bytes(&mut r).is_none());
+        }
+        // A negative strength must be rejected.
+        let mut bad = bytes.clone();
+        let neg = (-1.0f64).to_bits().to_le_bytes();
+        bad[8..16].copy_from_slice(&neg); // first gamma entry
+        let mut r = genclus_stats::bytesio::ByteReader::new(&bad);
+        assert!(GenClusModel::from_bytes(&mut r).is_none());
     }
 }

@@ -72,17 +72,58 @@ pub fn rank_candidates(
     candidates: &[ObjectId],
     sim: Similarity,
 ) -> Vec<(ObjectId, f64)> {
-    let q = theta.row(query.index());
+    rank_row(theta, theta.row(query.index()), candidates, sim)
+}
+
+/// [`rank_candidates`] for a query membership row that need not belong to
+/// an object of `theta` — e.g. a row produced by online fold-in of a new
+/// object that was never committed to the network.
+pub fn rank_row(
+    theta: &MembershipMatrix,
+    query_row: &[f64],
+    candidates: &[ObjectId],
+    sim: Similarity,
+) -> Vec<(ObjectId, f64)> {
     let mut scored: Vec<(ObjectId, f64)> = candidates
         .iter()
-        .map(|&c| (c, sim.score(q, theta.row(c.index()))))
+        .map(|&c| (c, sim.score(query_row, theta.row(c.index()))))
         .collect();
-    scored.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.0.cmp(&b.0))
-    });
+    scored.sort_by(cmp_scored);
     scored
+}
+
+/// The `k` best candidates for `query_row`, descending, with the same
+/// deterministic tie-breaking as [`rank_candidates`]. Uses an `O(n)`
+/// selection + `O(k log k)` sort instead of sorting all `n` candidates —
+/// the serving top-k path scores every object of a type per query, so the
+/// full sort is measurable at batch sizes.
+///
+/// If `k ≥ candidates.len()` the full ranking is returned.
+pub fn top_k(
+    theta: &MembershipMatrix,
+    query_row: &[f64],
+    candidates: &[ObjectId],
+    sim: Similarity,
+    k: usize,
+) -> Vec<(ObjectId, f64)> {
+    let mut scored: Vec<(ObjectId, f64)> = candidates
+        .iter()
+        .map(|&c| (c, sim.score(query_row, theta.row(c.index()))))
+        .collect();
+    if k < scored.len() {
+        scored.select_nth_unstable_by(k, cmp_scored);
+        scored.truncate(k);
+    }
+    scored.sort_by(cmp_scored);
+    scored
+}
+
+/// Descending by score, ascending by id on ties (and on NaN, which compares
+/// equal) — the one ordering every ranking entry point shares.
+fn cmp_scored(a: &(ObjectId, f64), b: &(ObjectId, f64)) -> std::cmp::Ordering {
+    b.1.partial_cmp(&a.1)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then(a.0.cmp(&b.0))
 }
 
 #[cfg(test)]
@@ -144,6 +185,103 @@ mod tests {
         for w in ranked.windows(2) {
             assert!(w[0].1 >= w[1].1);
         }
+    }
+
+    #[test]
+    fn top_k_truncates_and_matches_full_ranking() {
+        let theta = MembershipMatrix::from_rows(
+            &[
+                vec![0.9, 0.1], // query
+                vec![0.2, 0.8],
+                vec![0.85, 0.15],
+                vec![0.5, 0.5],
+                vec![0.88, 0.12],
+                vec![0.1, 0.9],
+            ],
+            2,
+        );
+        let candidates: Vec<ObjectId> = (1..6).map(ObjectId).collect();
+        for sim in Similarity::ALL {
+            let full = rank_candidates(&theta, ObjectId(0), &candidates, sim);
+            for k in 0..=candidates.len() + 2 {
+                let top = top_k(&theta, theta.row(0), &candidates, sim, k);
+                assert_eq!(
+                    top.len(),
+                    k.min(candidates.len()),
+                    "k > candidates returns everything, never panics"
+                );
+                assert_eq!(
+                    top,
+                    full[..top.len()],
+                    "{}: top-{k} must equal the full ranking's prefix",
+                    sim.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ties_break_by_object_id_in_every_entry_point() {
+        // Three candidates share the query's exact row — all tie at the
+        // maximum similarity; ids must decide the order deterministically.
+        let row = vec![0.6, 0.4];
+        let theta = MembershipMatrix::from_rows(
+            &[row.clone(), row.clone(), vec![0.1, 0.9], row.clone(), row],
+            2,
+        );
+        let candidates = [ObjectId(3), ObjectId(1), ObjectId(4), ObjectId(2)];
+        for sim in Similarity::ALL {
+            let full = rank_candidates(&theta, ObjectId(0), &candidates, sim);
+            let tied: Vec<ObjectId> = full.iter().take(3).map(|&(c, _)| c).collect();
+            assert_eq!(
+                tied,
+                vec![ObjectId(1), ObjectId(3), ObjectId(4)],
+                "{}: tied candidates sort by id",
+                sim.label()
+            );
+            assert_eq!(full.last().unwrap().0, ObjectId(2));
+            let top2 = top_k(&theta, theta.row(0), &candidates, sim, 2);
+            assert_eq!(top2, full[..2], "{}: selection respects ties", sim.label());
+        }
+    }
+
+    #[test]
+    fn all_sims_rank_a_planted_match_first() {
+        // One candidate is nearly identical to the query, the rest are far;
+        // every similarity variant must put the plant on top.
+        let theta = MembershipMatrix::from_rows(
+            &[
+                vec![0.7, 0.2, 0.1],                   // query
+                vec![0.1, 0.8, 0.1],                   // far
+                vec![0.69, 0.21, 0.1],                 // planted match
+                vec![0.1, 0.1, 0.8],                   // far
+                vec![1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0], // uniform
+            ],
+            3,
+        );
+        let candidates: Vec<ObjectId> = (1..5).map(ObjectId).collect();
+        for sim in Similarity::ALL {
+            let ranked = rank_candidates(&theta, ObjectId(0), &candidates, sim);
+            assert_eq!(
+                ranked[0].0,
+                ObjectId(2),
+                "{} must find the planted match",
+                sim.label()
+            );
+            let top1 = top_k(&theta, theta.row(0), &candidates, sim, 1);
+            assert_eq!(top1[0].0, ObjectId(2));
+        }
+    }
+
+    #[test]
+    fn rank_row_accepts_external_query_rows() {
+        let theta =
+            MembershipMatrix::from_rows(&[vec![0.9, 0.1], vec![0.2, 0.8], vec![0.5, 0.5]], 2);
+        let folded = [0.15, 0.85]; // a fold-in result, not a row of theta
+        let candidates = [ObjectId(0), ObjectId(1), ObjectId(2)];
+        let ranked = rank_row(&theta, &folded, &candidates, Similarity::NegEuclidean);
+        assert_eq!(ranked[0].0, ObjectId(1));
+        assert_eq!(ranked.last().unwrap().0, ObjectId(0));
     }
 
     #[test]

@@ -1,0 +1,463 @@
+//! Byte serialization of the network: the `to_bytes` / `from_bytes` hooks
+//! the snapshot layer (`genclus-serve`) composes into its versioned file
+//! format.
+//!
+//! The encoding follows the [`genclus_stats::bytesio`] convention
+//! (little-endian, length-prefixed, 8-padded). Design points:
+//!
+//! * the CSR arrays and the per-relation indexes are serialized **as built**
+//!   — loading is a straight decode with structural validation, no re-sort
+//!   and no re-derivation of the caches;
+//! * the `name → id` map is *not* serialized: `HashMap` iteration order is
+//!   nondeterministic, which would break the save → load → save
+//!   byte-identity guarantee, and the map is cheaply re-derived from
+//!   `obj_names`;
+//! * decoding never panics on malformed input — every structural invariant
+//!   the builder established (offset monotonicity, id ranges, positive
+//!   weights, term-vocabulary bounds) is re-checked and a violation returns
+//!   `None`. Snapshot files are operator-supplied input; the algorithm
+//!   crates index without bounds checks on the strength of these invariants.
+
+use crate::attributes::{AttributeData, AttributeStore};
+use crate::graph::{HinGraph, Link};
+use crate::ids::{ObjectId, ObjectTypeId, RelationId};
+use crate::schema::{AttributeKind, Schema};
+use genclus_stats::bytesio::{
+    put_f64_slice, put_str, put_u16_slice, put_u32_slice, put_u64, put_u64_slice, ByteReader,
+};
+use std::collections::HashMap;
+
+const KIND_CATEGORICAL: u64 = 0;
+const KIND_NUMERICAL: u64 = 1;
+
+impl Schema {
+    /// Serializes the schema (object types, relations, attribute
+    /// declarations) in declaration order.
+    pub fn to_bytes(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.n_object_types() as u64);
+        for t in 0..self.n_object_types() {
+            put_str(out, self.object_type_name(ObjectTypeId::from_index(t)));
+        }
+        put_u64(out, self.n_relations() as u64);
+        for (_, def) in self.relations() {
+            put_str(out, &def.name);
+            put_u64(out, def.source.index() as u64);
+            put_u64(out, def.target.index() as u64);
+        }
+        put_u64(out, self.n_attributes() as u64);
+        for (_, def) in self.attributes() {
+            put_str(out, &def.name);
+            match def.kind {
+                AttributeKind::Categorical { vocab_size } => {
+                    put_u64(out, KIND_CATEGORICAL);
+                    put_u64(out, vocab_size as u64);
+                }
+                AttributeKind::Numerical => put_u64(out, KIND_NUMERICAL),
+            }
+        }
+    }
+
+    /// Inverse of [`Self::to_bytes`]; `None` on malformed input (truncation,
+    /// out-of-range relation endpoints, unknown attribute kind tags, or
+    /// entity counts that overflow the `u16` id space — the decode must
+    /// never reach the `from_index` assertions).
+    pub fn from_bytes(r: &mut ByteReader<'_>) -> Option<Self> {
+        const MAX_U16_IDS: usize = u16::MAX as usize + 1;
+        let mut s = Schema::new();
+        let n_types = r.count(8)?;
+        if n_types > MAX_U16_IDS {
+            return None;
+        }
+        for _ in 0..n_types {
+            let name = r.str()?;
+            s.add_object_type(name);
+        }
+        let n_rel = r.count(8)?;
+        if n_rel > MAX_U16_IDS {
+            return None;
+        }
+        for _ in 0..n_rel {
+            let name = r.str()?;
+            let source: usize = r.u64()?.try_into().ok()?;
+            let target: usize = r.u64()?.try_into().ok()?;
+            if source >= n_types || target >= n_types {
+                return None;
+            }
+            s.add_relation(
+                name,
+                ObjectTypeId::from_index(source),
+                ObjectTypeId::from_index(target),
+            );
+        }
+        let n_attr = r.count(8)?;
+        if n_attr > MAX_U16_IDS {
+            return None;
+        }
+        for _ in 0..n_attr {
+            let name = r.str()?;
+            match r.u64()? {
+                KIND_CATEGORICAL => {
+                    let vocab: usize = r.u64()?.try_into().ok()?;
+                    s.add_categorical_attribute(name, vocab);
+                }
+                KIND_NUMERICAL => {
+                    s.add_numerical_attribute(name);
+                }
+                _ => return None,
+            }
+        }
+        Some(s)
+    }
+}
+
+/// Writes a link array as three packed parallel slices (endpoints,
+/// relations, weights) — struct-of-arrays keeps the encoding free of
+/// per-link padding.
+fn put_links(out: &mut Vec<u8>, links: &[Link]) {
+    let endpoints: Vec<u32> = links.iter().map(|l| l.endpoint.0).collect();
+    let relations: Vec<u16> = links.iter().map(|l| l.relation.0).collect();
+    let weights: Vec<f64> = links.iter().map(|l| l.weight).collect();
+    put_u32_slice(out, &endpoints);
+    put_u16_slice(out, &relations);
+    put_f64_slice(out, &weights);
+}
+
+/// Reads a link array; validates endpoint/relation ranges and weight
+/// positivity.
+fn read_links(r: &mut ByteReader<'_>, n_objects: usize, n_rel: usize) -> Option<Vec<Link>> {
+    let endpoints = r.u32_slice()?;
+    let relations = r.u16_slice()?;
+    let weights = r.f64_slice()?;
+    if endpoints.len() != relations.len() || endpoints.len() != weights.len() {
+        return None;
+    }
+    endpoints
+        .into_iter()
+        .zip(relations)
+        .zip(weights)
+        .map(|((e, rel), w)| {
+            ((e as usize) < n_objects && (rel as usize) < n_rel && w > 0.0 && w.is_finite())
+                .then_some(Link {
+                    endpoint: ObjectId(e),
+                    relation: RelationId(rel),
+                    weight: w,
+                })
+        })
+        .collect()
+}
+
+/// `offsets` must be a monotone CSR offset array of `n + 1` entries ending
+/// at `total`.
+fn offsets_valid(offsets: &[u32], n: usize, total: usize) -> bool {
+    offsets.len() == n + 1
+        && offsets[0] == 0
+        && offsets.windows(2).all(|w| w[0] <= w[1])
+        && offsets[n] as usize == total
+}
+
+fn put_attr_table(out: &mut Vec<u8>, table: &AttributeData) {
+    match table {
+        AttributeData::Categorical { vocab_size, counts } => {
+            put_u64(out, KIND_CATEGORICAL);
+            put_u64(out, *vocab_size as u64);
+            let mut offsets = Vec::with_capacity(counts.len() + 1);
+            let mut terms = Vec::new();
+            let mut values = Vec::new();
+            offsets.push(0u64);
+            for row in counts {
+                for &(t, c) in row {
+                    terms.push(t);
+                    values.push(c);
+                }
+                offsets.push(terms.len() as u64);
+            }
+            put_u64_slice(out, &offsets);
+            put_u32_slice(out, &terms);
+            put_f64_slice(out, &values);
+        }
+        AttributeData::Numerical { values } => {
+            put_u64(out, KIND_NUMERICAL);
+            let mut offsets = Vec::with_capacity(values.len() + 1);
+            let mut flat = Vec::new();
+            offsets.push(0u64);
+            for row in values {
+                flat.extend_from_slice(row);
+                offsets.push(flat.len() as u64);
+            }
+            put_u64_slice(out, &offsets);
+            put_f64_slice(out, &flat);
+        }
+    }
+}
+
+fn read_attr_table(
+    r: &mut ByteReader<'_>,
+    n_objects: usize,
+    kind: &AttributeKind,
+) -> Option<AttributeData> {
+    match (r.u64()?, kind) {
+        (KIND_CATEGORICAL, AttributeKind::Categorical { vocab_size }) => {
+            let vocab: usize = r.u64()?.try_into().ok()?;
+            if vocab != *vocab_size {
+                return None;
+            }
+            let offsets = r.u64_slice()?;
+            let terms = r.u32_slice()?;
+            let values = r.f64_slice()?;
+            if terms.len() != values.len() {
+                return None;
+            }
+            read_offsets_validated(&offsets, n_objects, terms.len())?;
+            let mut counts = Vec::with_capacity(n_objects);
+            for w in offsets.windows(2) {
+                let (lo, hi) = (w[0] as usize, w[1] as usize);
+                let row: Vec<(u32, f64)> = terms[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(values[lo..hi].iter().copied())
+                    .collect();
+                // Builder invariant: terms strictly ascending per object,
+                // counts positive and finite.
+                let sorted = row.windows(2).all(|p| p[0].0 < p[1].0);
+                let in_range = row
+                    .iter()
+                    .all(|&(t, c)| (t as usize) < vocab && c > 0.0 && c.is_finite());
+                if !sorted || !in_range {
+                    return None;
+                }
+                counts.push(row);
+            }
+            Some(AttributeData::Categorical {
+                vocab_size: vocab,
+                counts,
+            })
+        }
+        (KIND_NUMERICAL, AttributeKind::Numerical) => {
+            let offsets = r.u64_slice()?;
+            let flat = r.f64_slice()?;
+            read_offsets_validated(&offsets, n_objects, flat.len())?;
+            if flat.iter().any(|x| !x.is_finite()) {
+                return None;
+            }
+            let values = offsets
+                .windows(2)
+                .map(|w| flat[w[0] as usize..w[1] as usize].to_vec())
+                .collect();
+            Some(AttributeData::Numerical { values })
+        }
+        _ => None,
+    }
+}
+
+fn read_offsets_validated(offsets: &[u64], n: usize, total: usize) -> Option<()> {
+    (offsets.len() == n + 1
+        && offsets[0] == 0
+        && offsets.windows(2).all(|w| w[0] <= w[1])
+        && offsets[n] as usize == total)
+        .then_some(())
+}
+
+impl HinGraph {
+    /// Serializes the complete network: schema, object table, both CSR
+    /// adjacencies, attribute tables, and the per-relation indexes.
+    pub fn to_bytes(&self, out: &mut Vec<u8>) {
+        self.schema.to_bytes(out);
+        put_u64(out, self.n_objects() as u64);
+        let types: Vec<u16> = self.obj_types.iter().map(|t| t.0).collect();
+        put_u16_slice(out, &types);
+        for name in &self.obj_names {
+            put_str(out, name);
+        }
+        put_u32_slice(out, &self.out_offsets);
+        put_links(out, &self.out_links);
+        put_u32_slice(out, &self.in_offsets);
+        put_links(out, &self.in_links);
+        put_u64(out, self.attrs.tables.len() as u64);
+        for table in &self.attrs.tables {
+            put_attr_table(out, table);
+        }
+        put_u32_slice(out, &self.out_rel_offsets);
+        put_f64_slice(out, &self.out_rel_weight);
+        put_u32_slice(out, &self.rel_counts);
+        put_f64_slice(out, &self.rel_weights);
+    }
+
+    /// Inverse of [`Self::to_bytes`]. Re-validates every structural
+    /// invariant and re-derives the name → id map; returns `None` on any
+    /// inconsistency.
+    pub fn from_bytes(r: &mut ByteReader<'_>) -> Option<Self> {
+        let schema = Schema::from_bytes(r)?;
+        let n_rel = schema.n_relations();
+        let n: usize = r.u64()?.try_into().ok()?;
+        let types = r.u16_slice()?;
+        if types.len() != n
+            || types
+                .iter()
+                .any(|&t| (t as usize) >= schema.n_object_types())
+        {
+            return None;
+        }
+        let obj_types: Vec<ObjectTypeId> = types.into_iter().map(ObjectTypeId).collect();
+        let mut obj_names = Vec::with_capacity(n);
+        for _ in 0..n {
+            obj_names.push(r.str()?);
+        }
+        let out_offsets = r.u32_slice()?;
+        let out_links = read_links(r, n, n_rel)?;
+        if !offsets_valid(&out_offsets, n, out_links.len()) {
+            return None;
+        }
+        let in_offsets = r.u32_slice()?;
+        let in_links = read_links(r, n, n_rel)?;
+        if !offsets_valid(&in_offsets, n, in_links.len()) || in_links.len() != out_links.len() {
+            return None;
+        }
+        let n_attr = r.count(8)?;
+        if n_attr != schema.n_attributes() {
+            return None;
+        }
+        let mut tables = Vec::with_capacity(n_attr);
+        for a in 0..n_attr {
+            let kind = &schema
+                .attribute(crate::ids::AttributeId::from_index(a))
+                .kind;
+            tables.push(read_attr_table(r, n, kind)?);
+        }
+        let out_rel_offsets = r.u32_slice()?;
+        if out_rel_offsets.len() != n * (n_rel + 1) {
+            return None;
+        }
+        let out_rel_weight = r.f64_slice()?;
+        if out_rel_weight.len() != n * n_rel {
+            return None;
+        }
+        let rel_counts = r.u32_slice()?;
+        let rel_weights = r.f64_slice()?;
+        if rel_counts.len() != n_rel || rel_weights.len() != n_rel {
+            return None;
+        }
+        // Per-relation sub-segments must tile each object's out segment.
+        let stride = n_rel + 1;
+        for v in 0..n {
+            let row = &out_rel_offsets[v * stride..(v + 1) * stride];
+            if row[0] != out_offsets[v]
+                || row[n_rel] != out_offsets[v + 1]
+                || row.windows(2).any(|w| w[0] > w[1])
+            {
+                return None;
+            }
+        }
+        let mut name_index = HashMap::with_capacity(n);
+        for (i, name) in obj_names.iter().enumerate() {
+            name_index.entry(name.clone()).or_insert(i as u32);
+        }
+        Some(HinGraph {
+            schema,
+            obj_types,
+            obj_names,
+            out_offsets,
+            out_links,
+            in_offsets,
+            in_links,
+            attrs: AttributeStore { tables },
+            name_index,
+            out_rel_offsets,
+            out_rel_weight,
+            rel_counts,
+            rel_weights,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HinBuilder;
+
+    fn toy() -> HinGraph {
+        let mut s = Schema::new();
+        let a = s.add_object_type("author");
+        let p = s.add_object_type("paper");
+        let w = s.add_relation("write", a, p);
+        let wb = s.add_relation("written_by", p, a);
+        let text = s.add_categorical_attribute("text", 5);
+        let year = s.add_numerical_attribute("year");
+        let mut b = HinBuilder::new(s);
+        let a0 = b.add_object(a, "alice");
+        let a1 = b.add_object(a, "bob");
+        let p0 = b.add_object(p, "p0");
+        let p1 = b.add_object(p, "p1");
+        b.add_link_pair(a0, p0, w, wb, 1.0).unwrap();
+        b.add_link_pair(a0, p1, w, wb, 2.5).unwrap();
+        b.add_link_pair(a1, p1, w, wb, 0.5).unwrap();
+        b.add_terms(p0, text, &[0, 2, 2]).unwrap();
+        b.add_numeric(p0, year, 2012.0).unwrap();
+        b.add_numeric(p1, year, 2013.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn schema_round_trips() {
+        let g = toy();
+        let mut bytes = Vec::new();
+        g.schema().to_bytes(&mut bytes);
+        let back = Schema::from_bytes(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(&back, g.schema());
+        let mut again = Vec::new();
+        back.to_bytes(&mut again);
+        assert_eq!(again, bytes);
+    }
+
+    #[test]
+    fn graph_round_trips_byte_identically() {
+        let g = toy();
+        let mut bytes = Vec::new();
+        g.to_bytes(&mut bytes);
+        let back = HinGraph::from_bytes(&mut ByteReader::new(&bytes)).unwrap();
+        let mut again = Vec::new();
+        back.to_bytes(&mut again);
+        assert_eq!(again, bytes, "save → load → save must be byte-identical");
+        // Structure survives, including the derived indexes and name map.
+        assert_eq!(back.n_objects(), g.n_objects());
+        assert_eq!(back.n_links(), g.n_links());
+        assert_eq!(back.object_by_name("alice"), g.object_by_name("alice"));
+        let w = g.schema().relation_by_name("write").unwrap();
+        for v in g.objects() {
+            assert_eq!(back.out_links(v), g.out_links(v));
+            assert_eq!(back.in_links(v), g.in_links(v));
+            assert_eq!(back.out_weight(v, w), g.out_weight(v, w));
+        }
+        let text = g.schema().attribute_by_name("text").unwrap();
+        assert_eq!(
+            back.attribute(text).term_counts(ObjectId(2)),
+            g.attribute(text).term_counts(ObjectId(2))
+        );
+    }
+
+    #[test]
+    fn malformed_graphs_are_rejected() {
+        let g = toy();
+        let mut bytes = Vec::new();
+        g.to_bytes(&mut bytes);
+        // Truncations at every prefix must fail cleanly, never panic.
+        for cut in [0, 1, 8, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                HinGraph::from_bytes(&mut ByteReader::new(&bytes[..cut])).is_none(),
+                "truncation at {cut} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let mut s = Schema::new();
+        s.add_object_type("t");
+        s.add_numerical_attribute("x");
+        let g = HinBuilder::new(s).build().unwrap();
+        let mut bytes = Vec::new();
+        g.to_bytes(&mut bytes);
+        let back = HinGraph::from_bytes(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(back.n_objects(), 0);
+        assert_eq!(back.schema().n_attributes(), 1);
+    }
+}

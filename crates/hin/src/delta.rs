@@ -1,0 +1,670 @@
+//! Incremental growth: appending new objects to a built network.
+//!
+//! Real attributed networks grow continuously; rebuilding the CSR from
+//! scratch for every arriving object would make online fold-in (the
+//! `genclus-serve` crate) quadratic over a stream. [`GraphDelta`] batches
+//! new objects, their links, and their (possibly incomplete) attribute
+//! observations, and [`HinGraph::append`] attaches them to the existing
+//! arrays:
+//!
+//! * the out-link CSR, the per-relation sub-segment index, and the cached
+//!   per-`(object, relation)` weights grow by **appending rows** — existing
+//!   objects' segments are untouched (`O(new objects · |R| + new links)`);
+//! * the in-link CSR is extended with one linear merge pass (a new link may
+//!   target *any* object, so old in-segments can grow) — a straight copy
+//!   with no re-sort and no re-validation of existing links;
+//! * attribute tables and the name → id map grow by appending rows.
+//!
+//! The one structural restriction is that **delta links originate at new
+//! objects**: inserting into an existing object's out-segment would shift
+//! every later segment, i.e. a full rebuild. This matches the fold-in
+//! model (Eq. 10 drives a new object's membership through its *out*-links),
+//! and schemas that declare both link directions — as all the paper's
+//! evaluation networks do — lose no expressiveness: the inverse direction
+//! is a new-source link too.
+//!
+//! Validation is all-or-nothing: [`HinGraph::append`] checks every pending
+//! operation against the schema *before* mutating, so a failed append
+//! leaves the graph exactly as it was.
+
+use crate::attributes::AttributeData;
+use crate::error::HinError;
+use crate::graph::{HinGraph, Link};
+use crate::ids::{AttributeId, ObjectId, ObjectTypeId, RelationId};
+use crate::schema::{AttributeKind, Schema};
+
+/// A batch of new objects, links, and observations destined for an
+/// existing [`HinGraph`].
+///
+/// Created against a specific graph ([`GraphDelta::new`]); object ids it
+/// hands out continue that graph's id space, and [`HinGraph::append`]
+/// rejects the delta if the graph has changed size in between.
+#[derive(Debug, Clone)]
+pub struct GraphDelta {
+    schema: Schema,
+    base_objects: usize,
+    new_types: Vec<ObjectTypeId>,
+    new_names: Vec<String>,
+    /// `(source, link)` pairs in insertion order; sources are new objects.
+    links: Vec<(ObjectId, Link)>,
+    /// `(object, attribute, term, count)`; objects are new.
+    cat_obs: Vec<(ObjectId, AttributeId, u32, f64)>,
+    /// `(object, attribute, value)`; objects are new.
+    num_obs: Vec<(ObjectId, AttributeId, f64)>,
+}
+
+impl GraphDelta {
+    /// Starts an empty delta against `graph`.
+    pub fn new(graph: &HinGraph) -> Self {
+        Self {
+            schema: graph.schema().clone(),
+            base_objects: graph.n_objects(),
+            new_types: Vec::new(),
+            new_names: Vec::new(),
+            links: Vec::new(),
+            cat_obs: Vec::new(),
+            num_obs: Vec::new(),
+        }
+    }
+
+    /// Number of new objects staged so far.
+    pub fn n_new_objects(&self) -> usize {
+        self.new_types.len()
+    }
+
+    /// Number of new links staged so far.
+    pub fn n_new_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether `v` is one of this delta's new objects.
+    fn is_new(&self, v: ObjectId) -> bool {
+        (self.base_objects..self.base_objects + self.new_types.len()).contains(&v.index())
+    }
+
+    fn check_new(&self, v: ObjectId) -> Result<(), HinError> {
+        if self.is_new(v) {
+            Ok(())
+        } else {
+            Err(HinError::NotADeltaObject(v))
+        }
+    }
+
+    /// Whether `v` will exist once the delta is applied (old or new).
+    fn exists(&self, v: ObjectId) -> bool {
+        v.index() < self.base_objects + self.new_types.len()
+    }
+
+    /// Adds a new object of type `t` and returns its id (continuing the
+    /// base graph's id space).
+    ///
+    /// # Panics
+    /// Panics if `t` is not a declared object type (same contract as
+    /// [`crate::builder::HinBuilder::add_object`]).
+    pub fn add_object(&mut self, t: ObjectTypeId, name: impl Into<String>) -> ObjectId {
+        assert!(
+            t.index() < self.schema.n_object_types(),
+            "undeclared object type {t}"
+        );
+        let id = ObjectId::from_index(self.base_objects + self.new_types.len());
+        self.new_types.push(t);
+        self.new_names.push(name.into());
+        id
+    }
+
+    /// Stages a link `source → target`. `source` must be a new object of
+    /// this delta; `target` may be an existing object or another new one.
+    /// Endpoint types are validated against the relation definition (the
+    /// target's type is read from the base range or the staged range).
+    pub fn add_link(
+        &mut self,
+        source: ObjectId,
+        target: ObjectId,
+        r: RelationId,
+        weight: f64,
+    ) -> Result<(), HinError> {
+        self.check_new(source)?;
+        if !self.exists(target) {
+            return Err(HinError::UnknownObject(target));
+        }
+        if r.index() >= self.schema.n_relations() {
+            return Err(HinError::UnknownRelation(r));
+        }
+        if !(weight > 0.0 && weight.is_finite()) {
+            return Err(HinError::InvalidWeight { weight });
+        }
+        // The source type is always known here (new object); the target
+        // type is known too when the target is new. An *existing* target's
+        // type lives in the graph, so that half of the endpoint check is
+        // re-done in `append` against the real graph.
+        let def = self.schema.relation(r).clone();
+        let source_type = self.new_types[source.index() - self.base_objects];
+        if source_type != def.source {
+            return Err(HinError::EndpointTypeMismatch {
+                relation: r,
+                expected: (def.source, def.target),
+                got: (source_type, def.target),
+            });
+        }
+        if self.is_new(target) {
+            let target_type = self.new_types[target.index() - self.base_objects];
+            if target_type != def.target {
+                return Err(HinError::EndpointTypeMismatch {
+                    relation: r,
+                    expected: (def.source, def.target),
+                    got: (source_type, target_type),
+                });
+            }
+        }
+        self.links.push((
+            source,
+            Link {
+                endpoint: target,
+                relation: r,
+                weight,
+            },
+        ));
+        Ok(())
+    }
+
+    /// Stages `count` occurrences of `term` for new object `v` under
+    /// categorical attribute `a`.
+    pub fn add_term_count(
+        &mut self,
+        v: ObjectId,
+        a: AttributeId,
+        term: u32,
+        count: f64,
+    ) -> Result<(), HinError> {
+        self.check_new(v)?;
+        if a.index() >= self.schema.n_attributes() {
+            return Err(HinError::UnknownAttribute(a));
+        }
+        match self.schema.attribute(a).kind {
+            AttributeKind::Categorical { vocab_size } => {
+                if (term as usize) >= vocab_size {
+                    return Err(HinError::TermOutOfRange {
+                        attribute: a,
+                        term: term as usize,
+                        vocab_size,
+                    });
+                }
+            }
+            AttributeKind::Numerical => {
+                return Err(HinError::AttributeKindMismatch {
+                    attribute: a,
+                    expected: "term-count",
+                });
+            }
+        }
+        if !(count > 0.0 && count.is_finite()) {
+            return Err(HinError::NonFiniteObservation { attribute: a });
+        }
+        self.cat_obs.push((v, a, term, count));
+        Ok(())
+    }
+
+    /// Stages one numerical observation for new object `v`.
+    pub fn add_numeric(&mut self, v: ObjectId, a: AttributeId, value: f64) -> Result<(), HinError> {
+        self.check_new(v)?;
+        if a.index() >= self.schema.n_attributes() {
+            return Err(HinError::UnknownAttribute(a));
+        }
+        if !matches!(self.schema.attribute(a).kind, AttributeKind::Numerical) {
+            return Err(HinError::AttributeKindMismatch {
+                attribute: a,
+                expected: "numerical",
+            });
+        }
+        if !value.is_finite() {
+            return Err(HinError::NonFiniteObservation { attribute: a });
+        }
+        self.num_obs.push((v, a, value));
+        Ok(())
+    }
+}
+
+impl HinGraph {
+    /// Applies `delta`, growing the network in place.
+    ///
+    /// Validates everything first (base size, schema identity, remaining
+    /// endpoint types), so on `Err` the graph is untouched. Work is
+    /// `O(new objects · |R| + new links + |V| + |E|)` — the `|V| + |E|`
+    /// term is the single linear copy extending the in-link CSR; nothing
+    /// is re-sorted or re-validated for existing objects.
+    pub fn append(&mut self, delta: GraphDelta) -> Result<(), HinError> {
+        if delta.base_objects != self.n_objects() {
+            return Err(HinError::DeltaBaseMismatch {
+                expected: delta.base_objects,
+                got: self.n_objects(),
+            });
+        }
+        // `GraphDelta::new` clones the schema, so a mismatch means the
+        // delta was created against a different graph entirely; treat it
+        // like a base mismatch.
+        if delta.schema != self.schema {
+            return Err(HinError::DeltaBaseMismatch {
+                expected: delta.base_objects,
+                got: self.n_objects(),
+            });
+        }
+        let base = delta.base_objects;
+        let n_new = delta.new_types.len();
+        let total = base + n_new;
+        let n_rel = self.schema.n_relations();
+
+        // Deferred endpoint check: links whose target pre-exists.
+        for &(_, link) in &delta.links {
+            if link.endpoint.index() < base {
+                let def = self.schema.relation(link.relation);
+                let got = self.obj_types[link.endpoint.index()];
+                if got != def.target {
+                    return Err(HinError::EndpointTypeMismatch {
+                        relation: link.relation,
+                        expected: (def.source, def.target),
+                        got: (def.source, got),
+                    });
+                }
+            }
+        }
+
+        // ---- mutation starts; everything below is infallible ----
+
+        // Object table and name map.
+        self.obj_types.extend_from_slice(&delta.new_types);
+        for (i, name) in delta.new_names.iter().enumerate() {
+            self.name_index
+                .entry(name.clone())
+                .or_insert((base + i) as u32);
+        }
+        self.obj_names.extend(delta.new_names);
+
+        // Out CSR + per-relation indexes: append one grouped segment per
+        // new object (sources are all ≥ base, so existing segments keep
+        // their positions).
+        // Kept in insertion order for the in-CSR scatter below: the
+        // builder's in-CSR is filled in link *insertion* order, and the
+        // append-equals-rebuild byte identity requires matching it (the
+        // grouped out-CSR walk would instead visit links source-ascending,
+        // relation-grouped).
+        let links_in_order = delta.links;
+        let mut per_source: Vec<Vec<Link>> = vec![Vec::new(); n_new];
+        for &(src, link) in &links_in_order {
+            per_source[src.index() - base].push(link);
+        }
+        let stride = n_rel + 1;
+        self.out_rel_offsets.reserve(n_new * stride);
+        self.out_rel_weight.reserve(n_new * n_rel);
+        let mut bucket: Vec<Vec<Link>> = vec![Vec::new(); n_rel];
+        for links in per_source {
+            // Stable grouping by relation, mirroring the builder.
+            for link in links {
+                bucket[link.relation.index()].push(link);
+            }
+            let seg_start = self.out_links.len() as u32;
+            self.out_rel_offsets.push(seg_start);
+            for (r, b) in bucket.iter_mut().enumerate() {
+                // Explicit +0.0 seed: `Iterator::sum::<f64>` folds from
+                // -0.0, which would make empty segments differ bitwise
+                // from the builder's zeroed accumulator and break the
+                // append-equals-rebuild byte identity.
+                let weight: f64 = b.iter().fold(0.0, |acc, l| acc + l.weight);
+                self.out_rel_weight.push(weight);
+                self.rel_counts[r] += b.len() as u32;
+                self.rel_weights[r] += weight;
+                self.out_links.append(b); // drains the bucket
+                self.out_rel_offsets.push(self.out_links.len() as u32);
+            }
+            self.out_offsets.push(self.out_links.len() as u32);
+        }
+
+        // In CSR: one merge pass. Count the new in-links per target, then
+        // rebuild the flat array by copying each old segment and appending
+        // that target's new arrivals (insertion order — exactly what a
+        // stable counting sort over old-then-new links would produce).
+        let mut extra = vec![0u32; total];
+        for &(_, link) in &links_in_order {
+            extra[link.endpoint.index()] += 1;
+        }
+        let mut in_links = Vec::with_capacity(self.out_links.len());
+        let mut in_offsets = Vec::with_capacity(total + 1);
+        in_offsets.push(0u32);
+        // Per-target write positions for the appended entries.
+        let mut cursor = vec![0u32; total];
+        for v in 0..total {
+            let old = if v < base {
+                let lo = self.in_offsets[v] as usize;
+                let hi = self.in_offsets[v + 1] as usize;
+                &self.in_links[lo..hi]
+            } else {
+                &[]
+            };
+            in_links.extend_from_slice(old);
+            cursor[v] = in_links.len() as u32;
+            // Reserve the slots; filled in the scatter pass below.
+            in_links.extend(std::iter::repeat_n(
+                Link {
+                    endpoint: ObjectId(0),
+                    relation: RelationId(0),
+                    weight: 0.0,
+                },
+                extra[v] as usize,
+            ));
+            in_offsets.push(in_links.len() as u32);
+        }
+        // Scatter in link *insertion* order — matching build_csr's stable
+        // counting sort, so a later full rebuild would produce these exact
+        // bytes.
+        for &(src, link) in &links_in_order {
+            let slot = &mut cursor[link.endpoint.index()];
+            in_links[*slot as usize] = Link {
+                endpoint: src,
+                relation: link.relation,
+                weight: link.weight,
+            };
+            *slot += 1;
+        }
+        self.in_links = in_links;
+        self.in_offsets = in_offsets;
+
+        // Attribute tables: empty rows for the new objects, then the staged
+        // observations (categorical rows re-sorted/merged like the builder).
+        for table in &mut self.attrs.tables {
+            match table {
+                AttributeData::Categorical { counts, .. } => {
+                    counts.resize(total, Vec::new());
+                }
+                AttributeData::Numerical { values } => values.resize(total, Vec::new()),
+            }
+        }
+        let mut touched: Vec<(usize, usize)> = Vec::new();
+        for (v, a, term, count) in delta.cat_obs {
+            if let AttributeData::Categorical { counts, .. } = &mut self.attrs.tables[a.index()] {
+                counts[v.index()].push((term, count));
+                touched.push((a.index(), v.index()));
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for (a, v) in touched {
+            if let AttributeData::Categorical { counts, .. } = &mut self.attrs.tables[a] {
+                let row = &mut counts[v];
+                row.sort_by_key(|&(t, _)| t);
+                row.dedup_by(|later, earlier| {
+                    if later.0 == earlier.0 {
+                        earlier.1 += later.1;
+                        true
+                    } else {
+                        false
+                    }
+                });
+            }
+        }
+        for (v, a, value) in delta.num_obs {
+            if let AttributeData::Numerical { values } = &mut self.attrs.tables[a.index()] {
+                values[v.index()].push(value);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HinBuilder;
+
+    /// Base network: 2 authors, 2 papers, write/written_by, a text and a
+    /// year attribute.
+    fn base() -> HinGraph {
+        let mut s = Schema::new();
+        let a = s.add_object_type("author");
+        let p = s.add_object_type("paper");
+        let w = s.add_relation("write", a, p);
+        let wb = s.add_relation("written_by", p, a);
+        let text = s.add_categorical_attribute("text", 6);
+        let _year = s.add_numerical_attribute("year");
+        let mut b = HinBuilder::new(s);
+        let a0 = b.add_object(a, "a0");
+        let a1 = b.add_object(a, "a1");
+        let p0 = b.add_object(p, "p0");
+        let p1 = b.add_object(p, "p1");
+        b.add_link_pair(a0, p0, w, wb, 1.0).unwrap();
+        b.add_link_pair(a1, p1, w, wb, 2.0).unwrap();
+        b.add_terms(p0, text, &[1, 4]).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Rebuilding from scratch with the same insertion order must produce
+    /// exactly the appended graph — the gold standard for `append`.
+    fn rebuilt_equivalent(g: &HinGraph) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        g.to_bytes(&mut bytes);
+        bytes
+    }
+
+    #[test]
+    fn append_matches_full_rebuild() {
+        let mut g = base();
+        let schema = g.schema().clone();
+        let author = schema.object_type_by_name("author").unwrap();
+        let paper = schema.object_type_by_name("paper").unwrap();
+        let w = schema.relation_by_name("write").unwrap();
+        let wb = schema.relation_by_name("written_by").unwrap();
+        let text = schema.attribute_by_name("text").unwrap();
+        let year = schema.attribute_by_name("year").unwrap();
+
+        let mut d = GraphDelta::new(&g);
+        let a2 = d.add_object(author, "a2");
+        let p2 = d.add_object(paper, "p2");
+        d.add_link(a2, ObjectId(2), w, 0.5).unwrap(); // a2 → old p0
+        d.add_link(a2, p2, w, 1.5).unwrap(); // a2 → new p2
+        d.add_link(p2, ObjectId(0), wb, 1.5).unwrap(); // new p2 → old a0
+        d.add_term_count(p2, text, 4, 2.0).unwrap();
+        d.add_term_count(p2, text, 1, 1.0).unwrap();
+        d.add_term_count(p2, text, 4, 1.0).unwrap(); // merges with first
+        d.add_numeric(p2, year, 2014.0).unwrap();
+        g.append(d).unwrap();
+
+        // Same network built from scratch in one go.
+        let mut b = HinBuilder::new(schema);
+        let a0 = b.add_object(author, "a0");
+        let _a1 = b.add_object(author, "a1");
+        let p0 = b.add_object(paper, "p0");
+        let p1 = b.add_object(paper, "p1");
+        b.add_link_pair(a0, p0, w, wb, 1.0).unwrap();
+        b.add_link_pair(ObjectId(1), p1, w, wb, 2.0).unwrap();
+        b.add_terms(p0, text, &[1, 4]).unwrap();
+        let a2 = b.add_object(author, "a2");
+        let p2 = b.add_object(paper, "p2");
+        b.add_link(a2, p0, w, 0.5).unwrap();
+        b.add_link(a2, p2, w, 1.5).unwrap();
+        b.add_link(p2, a0, wb, 1.5).unwrap();
+        b.add_term_count(p2, text, 4, 2.0).unwrap();
+        b.add_term_count(p2, text, 1, 1.0).unwrap();
+        b.add_term_count(p2, text, 4, 1.0).unwrap();
+        b.add_numeric(p2, year, 2014.0).unwrap();
+        let fresh = b.build().unwrap();
+
+        assert_eq!(
+            rebuilt_equivalent(&g),
+            rebuilt_equivalent(&fresh),
+            "append must be byte-identical to a full rebuild"
+        );
+        // Spot-check the derived state on the appended graph.
+        assert_eq!(g.n_objects(), 6);
+        assert_eq!(g.n_links(), 7);
+        assert_eq!(g.object_by_name("p2"), Some(p2));
+        assert_eq!(g.out_links(a2).len(), 2);
+        assert_eq!(g.out_weight(a2, w), 2.0);
+        assert_eq!(g.in_links(p0).len(), 2, "old p0 gained an in-link");
+        assert_eq!(g.attribute(text).term_counts(p2), &[(1, 1.0), (4, 3.0)]);
+        assert_eq!(g.attribute(year).values(p2), &[2014.0]);
+    }
+
+    #[test]
+    fn append_matches_rebuild_with_interleaved_link_order() {
+        // Regression: the in-CSR scatter must follow link *insertion*
+        // order, not source-ascending order — here the later-added object
+        // p2's link to a0 is staged before a2's links, and two new objects
+        // target the same old object so the in-segment order is visible.
+        let mut g = base();
+        let schema = g.schema().clone();
+        let author = schema.object_type_by_name("author").unwrap();
+        let paper = schema.object_type_by_name("paper").unwrap();
+        let w = schema.relation_by_name("write").unwrap();
+        let wb = schema.relation_by_name("written_by").unwrap();
+
+        let mut d = GraphDelta::new(&g);
+        let a2 = d.add_object(author, "a2");
+        let p2 = d.add_object(paper, "p2");
+        d.add_link(p2, ObjectId(0), wb, 3.0).unwrap(); // higher-id source first
+        d.add_link(a2, ObjectId(2), w, 0.5).unwrap();
+        d.add_link(a2, ObjectId(3), w, 1.5).unwrap();
+        g.append(d).unwrap();
+
+        let mut b = HinBuilder::new(schema);
+        let a0 = b.add_object(author, "a0");
+        let _a1 = b.add_object(author, "a1");
+        let p0 = b.add_object(paper, "p0");
+        let p1 = b.add_object(paper, "p1");
+        b.add_link_pair(a0, p0, w, wb, 1.0).unwrap();
+        b.add_link_pair(ObjectId(1), p1, w, wb, 2.0).unwrap();
+        let text = g.schema().attribute_by_name("text").unwrap();
+        b.add_terms(p0, text, &[1, 4]).unwrap();
+        let a2 = b.add_object(author, "a2");
+        let p2 = b.add_object(paper, "p2");
+        b.add_link(p2, a0, wb, 3.0).unwrap();
+        b.add_link(a2, p0, w, 0.5).unwrap();
+        b.add_link(a2, p1, w, 1.5).unwrap();
+        let fresh = b.build().unwrap();
+
+        assert_eq!(
+            rebuilt_equivalent(&g),
+            rebuilt_equivalent(&fresh),
+            "insertion-order-interleaved append must still match a rebuild"
+        );
+    }
+
+    #[test]
+    fn delta_rejects_bad_operations() {
+        let g = base();
+        let author = g.schema().object_type_by_name("author").unwrap();
+        let w = g.schema().relation_by_name("write").unwrap();
+        let wb = g.schema().relation_by_name("written_by").unwrap();
+        let text = g.schema().attribute_by_name("text").unwrap();
+        let year = g.schema().attribute_by_name("year").unwrap();
+        let mut d = GraphDelta::new(&g);
+        let a2 = d.add_object(author, "a2");
+        // Links must originate at new objects.
+        assert!(matches!(
+            d.add_link(ObjectId(0), ObjectId(2), w, 1.0),
+            Err(HinError::NotADeltaObject(_))
+        ));
+        // Unknown target.
+        assert!(matches!(
+            d.add_link(a2, ObjectId(99), w, 1.0),
+            Err(HinError::UnknownObject(_))
+        ));
+        // Wrong source type for the relation.
+        assert!(matches!(
+            d.add_link(a2, ObjectId(0), wb, 1.0),
+            Err(HinError::EndpointTypeMismatch { .. })
+        ));
+        // Bad weight.
+        assert!(matches!(
+            d.add_link(a2, ObjectId(2), w, 0.0),
+            Err(HinError::InvalidWeight { .. })
+        ));
+        // Observations only on new objects, with kind/vocab checks.
+        assert!(matches!(
+            d.add_numeric(ObjectId(0), year, 1.0),
+            Err(HinError::NotADeltaObject(_))
+        ));
+        assert!(matches!(
+            d.add_term_count(a2, text, 99, 1.0),
+            Err(HinError::TermOutOfRange { .. })
+        ));
+        assert!(matches!(
+            d.add_term_count(a2, year, 0, 1.0),
+            Err(HinError::AttributeKindMismatch { .. })
+        ));
+        assert!(matches!(
+            d.add_numeric(a2, text, 1.0),
+            Err(HinError::AttributeKindMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn stale_delta_is_rejected_and_graph_untouched() {
+        let mut g = base();
+        let author = g.schema().object_type_by_name("author").unwrap();
+        let d_stale = GraphDelta::new(&g);
+        // Grow the graph out from under the stale delta.
+        let mut d = GraphDelta::new(&g);
+        d.add_object(author, "a2");
+        g.append(d).unwrap();
+        let before = rebuilt_equivalent(&g);
+        assert!(matches!(
+            g.append(d_stale),
+            Err(HinError::DeltaBaseMismatch { .. })
+        ));
+        assert_eq!(rebuilt_equivalent(&g), before);
+    }
+
+    #[test]
+    fn deferred_endpoint_check_leaves_graph_untouched_on_error() {
+        let mut g = base();
+        let author = g.schema().object_type_by_name("author").unwrap();
+        let w = g.schema().relation_by_name("write").unwrap();
+        let before = rebuilt_equivalent(&g);
+        let mut d = GraphDelta::new(&g);
+        let a2 = d.add_object(author, "a2");
+        // Target exists but is an author; `write` requires a paper target.
+        // The delta cannot see the existing object's type, so this is only
+        // caught at append time.
+        d.add_link(a2, ObjectId(0), w, 1.0).unwrap();
+        assert!(matches!(
+            g.append(d),
+            Err(HinError::EndpointTypeMismatch { .. })
+        ));
+        assert_eq!(
+            rebuilt_equivalent(&g),
+            before,
+            "failed append must not mutate"
+        );
+    }
+
+    #[test]
+    fn empty_delta_is_a_no_op() {
+        let mut g = base();
+        let before = rebuilt_equivalent(&g);
+        let d = GraphDelta::new(&g);
+        g.append(d).unwrap();
+        assert_eq!(rebuilt_equivalent(&g), before);
+    }
+
+    #[test]
+    fn repeated_appends_compose() {
+        let mut g = base();
+        let author = g.schema().object_type_by_name("author").unwrap();
+        let paper = g.schema().object_type_by_name("paper").unwrap();
+        let w = g.schema().relation_by_name("write").unwrap();
+        for i in 0..5 {
+            let mut d = GraphDelta::new(&g);
+            let a = d.add_object(author, format!("extra-a{i}"));
+            let p = d.add_object(paper, format!("extra-p{i}"));
+            d.add_link(a, p, w, 1.0 + i as f64).unwrap();
+            g.append(d).unwrap();
+        }
+        assert_eq!(g.n_objects(), 4 + 10);
+        assert_eq!(g.n_links(), 4 + 5);
+        // The cached per-relation totals kept up.
+        assert_eq!(g.relation_link_count(w), 2 + 5);
+        let expect: f64 = 1.0 + 2.0 + (1.0 + 2.0 + 3.0 + 4.0 + 5.0);
+        assert!((g.relation_total_weight(w) - expect).abs() < 1e-12);
+        // In-link CSR stayed consistent.
+        let total_in: usize = g.objects().map(|v| g.in_links(v).len()).sum();
+        assert_eq!(total_in, g.n_links());
+    }
+}

@@ -48,6 +48,22 @@ pub enum HinError {
         /// Offending attribute.
         attribute: AttributeId,
     },
+    /// A name lookup failed — the untrusted-input counterpart of
+    /// [`crate::graph::HinGraph::object_by_name`] returning `None`.
+    UnknownName(String),
+    /// A [`crate::delta::GraphDelta`] was applied to a graph whose object
+    /// count differs from the one it was created against.
+    DeltaBaseMismatch {
+        /// Object count the delta was created against.
+        expected: usize,
+        /// Object count of the graph it was applied to.
+        got: usize,
+    },
+    /// A delta operation referenced an object that is not one of the
+    /// delta's *new* objects. Delta links must originate at new objects
+    /// (extending an existing object's CSR segment would require a full
+    /// rebuild) and delta observations must belong to new objects.
+    NotADeltaObject(ObjectId),
 }
 
 impl std::fmt::Display for HinError {
@@ -87,6 +103,18 @@ impl std::fmt::Display for HinError {
             Self::NonFiniteObservation { attribute } => {
                 write!(f, "non-finite observation for attribute {attribute}")
             }
+            Self::UnknownName(name) => write!(f, "no object is named {name:?}"),
+            Self::DeltaBaseMismatch { expected, got } => write!(
+                f,
+                "delta was created against a graph with {expected} objects, \
+                 but applied to one with {got}"
+            ),
+            Self::NotADeltaObject(v) => write!(
+                f,
+                "{v} is not a new object of this delta (delta links must \
+                 originate at new objects; delta observations must belong \
+                 to new objects)"
+            ),
         }
     }
 }

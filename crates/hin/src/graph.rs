@@ -109,6 +109,15 @@ impl HinGraph {
         self.name_index.get(name).map(|&i| ObjectId(i))
     }
 
+    /// [`Self::object_by_name`] for untrusted input: a missing name becomes
+    /// a [`crate::error::HinError::UnknownName`] carrying the offending
+    /// string, so serving layers can reject bad requests with a useful
+    /// message instead of panicking or hand-rolling the error.
+    pub fn require_object_by_name(&self, name: &str) -> Result<ObjectId, crate::error::HinError> {
+        self.object_by_name(name)
+            .ok_or_else(|| crate::error::HinError::UnknownName(name.to_string()))
+    }
+
     /// Out-links of `v`: all `e = ⟨v, u⟩`, the links driving `θ_v`'s
     /// neighbor term in the EM update (Eq. 10).
     #[inline]

@@ -17,6 +17,11 @@
 //! * [`graph`] — the immutable [`graph::HinGraph`] with CSR out-link and
 //!   in-link adjacency;
 //! * [`builder`] — [`builder::HinBuilder`], the validated construction path;
+//! * [`delta`] — [`delta::GraphDelta`], incremental growth: append new
+//!   objects/links/observations to a built graph without a full rebuild;
+//! * [`codec`] — `to_bytes` / `from_bytes` for [`schema::Schema`] and
+//!   [`graph::HinGraph`], the hooks under the `genclus-serve` snapshot
+//!   format;
 //! * [`attributes`] — per-attribute observation storage;
 //! * [`stats`] — descriptive statistics used by examples and the experiment
 //!   harness;
@@ -46,6 +51,8 @@
 
 pub mod attributes;
 pub mod builder;
+pub mod codec;
+pub mod delta;
 pub mod error;
 pub mod graph;
 pub mod ids;
@@ -56,6 +63,7 @@ pub mod stats;
 pub mod prelude {
     pub use crate::attributes::{AttributeData, AttributeStore};
     pub use crate::builder::HinBuilder;
+    pub use crate::delta::GraphDelta;
     pub use crate::error::HinError;
     pub use crate::graph::{HinGraph, Link};
     pub use crate::ids::{AttributeId, ObjectId, ObjectTypeId, RelationId};

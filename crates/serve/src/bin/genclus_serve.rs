@@ -1,0 +1,103 @@
+//! JSON-lines serving binary.
+//!
+//! ```text
+//! genclus_serve --snapshot <path> [--threads N] [--batch N]
+//! ```
+//!
+//! Reads one JSON request per stdin line and writes one JSON response per
+//! stdout line, in request order. Lines are gathered into batches of up to
+//! `--batch` requests (default 64) and executed concurrently across the
+//! worker pool; a **blank line** flushes the current batch immediately
+//! (and emits nothing itself), so interactive clients get an answer
+//! without filling a batch. EOF flushes and exits. See
+//! [`genclus_serve::engine`] for the request vocabulary.
+
+use genclus_serve::{QueryEngine, Snapshot};
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!("usage: genclus_serve --snapshot <path> [--threads N] [--batch N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut snapshot_path: Option<PathBuf> = None;
+    let mut threads = 1usize;
+    let mut batch = 64usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--snapshot" => {
+                snapshot_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&t| t >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--batch" => {
+                batch = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&b| b >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+    let Some(path) = snapshot_path else { usage() };
+
+    let snapshot = match Snapshot::load(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to load snapshot {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "genclus_serve: {} objects, {} links, k={}, snapshot v{} ({} threads, batch {})",
+        snapshot.graph().n_objects(),
+        snapshot.graph().n_links(),
+        snapshot.model().n_clusters(),
+        snapshot.header().version,
+        threads,
+        batch,
+    );
+    let engine = QueryEngine::new(snapshot, threads);
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let mut pending: Vec<String> = Vec::with_capacity(batch);
+    let flush = |pending: &mut Vec<String>, out: &mut std::io::BufWriter<_>| {
+        if pending.is_empty() {
+            return;
+        }
+        for response in engine.handle_batch(pending) {
+            writeln!(out, "{response}").expect("stdout write failed");
+        }
+        out.flush().expect("stdout flush failed");
+        pending.clear();
+    };
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("stdin read failed: {e}");
+                break;
+            }
+        };
+        if line.trim().is_empty() {
+            flush(&mut pending, &mut out);
+            continue;
+        }
+        pending.push(line);
+        if pending.len() >= batch {
+            flush(&mut pending, &mut out);
+        }
+    }
+    flush(&mut pending, &mut out);
+}

@@ -1,0 +1,574 @@
+//! The batched query engine behind the `genclus_serve` binary.
+//!
+//! Requests are JSON-lines objects; each gets exactly one JSON-lines
+//! response carrying the echoed `id` (when present) and `"ok"`. Supported
+//! operations:
+//!
+//! * `{"op":"membership","object":<name>}` — the stored `Θ` row and hard
+//!   label of an existing object;
+//! * `{"op":"top_k","object":<name>,"k":<n>,"sim":<sim>,"type":<name>}` —
+//!   §5.2.2 link-prediction ranking: the `k` most similar candidates
+//!   (optionally restricted to one object type, the query object
+//!   excluded), with `sim` one of `"cosine"`, `"euclidean"`,
+//!   `"cross_entropy"` (default);
+//! * `{"op":"fold_in","links":[[rel,target,w],…],"terms":{attr:[[t,c],…]},`
+//!   `"values":{attr:[x,…]},"k":<n>,"sim":…}` — online assignment of a new
+//!   object with arbitrary subsets of attributes missing; with `"k"` the
+//!   folded row is additionally ranked against the network (top-k from the
+//!   inferred membership);
+//! * `{"op":"stats"}` — snapshot geometry and the learned `γ`.
+//!
+//! Batches are executed across the persistent
+//! [`WorkerPool`](genclus_core::pool::WorkerPool) (one chunk per worker,
+//! responses in request order). Requests are independent and the engine is
+//! read-only, so this parallelism is safe by construction; names are
+//! resolved through [`HinGraph::require_object_by_name`], so unknown names
+//! come back as structured errors — serving input is untrusted.
+
+use crate::error::ServeError;
+use crate::foldin::{FoldInEngine, FoldInRequest};
+use crate::json::Json;
+use crate::snapshot::Snapshot;
+use genclus_core::pool::WorkerPool;
+use genclus_core::{top_k, Similarity};
+use genclus_hin::{HinGraph, ObjectId};
+use genclus_stats::simplex::argmax;
+use std::sync::Mutex;
+
+/// A loaded snapshot plus everything needed to answer queries.
+///
+/// Split in two: [`QueryCore`] (the read-only, `Sync` request handler the
+/// worker closures borrow) and the `QueryEngine` wrapper that owns the
+/// worker pool — the pool's channels are deliberately not `Sync`, so it
+/// cannot live inside the part the workers capture.
+pub struct QueryEngine {
+    core: QueryCore,
+    pool: Option<WorkerPool>,
+    threads: usize,
+}
+
+/// The shareable request handler: snapshot + candidate indexes, no pool.
+pub struct QueryCore {
+    snapshot: Snapshot,
+    /// Candidate lists: one per object type, plus all objects.
+    by_type: Vec<Vec<ObjectId>>,
+    all: Vec<ObjectId>,
+}
+
+impl QueryEngine {
+    /// Builds an engine over `snapshot` with `threads` workers (1 =
+    /// serial).
+    pub fn new(snapshot: Snapshot, threads: usize) -> Self {
+        let threads = threads.max(1);
+        let graph = snapshot.graph();
+        let by_type = (0..graph.schema().n_object_types())
+            .map(|t| graph.objects_of_type(genclus_hin::ObjectTypeId::from_index(t)))
+            .collect();
+        let all = graph.objects().collect();
+        Self {
+            core: QueryCore {
+                snapshot,
+                by_type,
+                all,
+            },
+            pool: (threads > 1).then(|| WorkerPool::new(threads)),
+            threads,
+        }
+    }
+
+    /// The underlying snapshot.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.core.snapshot
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &HinGraph {
+        self.core.graph()
+    }
+
+    /// Handles one request line, producing one response line (never
+    /// panics on malformed input; the error goes into the response).
+    pub fn handle_line(&self, line: &str) -> String {
+        self.core.handle_line(line)
+    }
+
+    /// Handles a batch of request lines concurrently across the worker
+    /// pool; responses come back in request order.
+    pub fn handle_batch(&self, lines: &[String]) -> Vec<String> {
+        let n = lines.len();
+        let workers = self.threads.min(n.max(1));
+        if workers <= 1 || n <= 1 {
+            return lines.iter().map(|l| self.core.handle_line(l)).collect();
+        }
+        let pool = self.pool.as_ref().expect("threads > 1 implies a pool");
+        let chunk = n.div_ceil(workers);
+        let core = &self.core;
+        let slots: Vec<Mutex<Vec<String>>> = (0..workers).map(|_| Mutex::new(Vec::new())).collect();
+        pool.broadcast(workers, &|i| {
+            // Both bounds clamp to n: with chunk = ceil(n / workers), the
+            // last workers' ranges can start past the end (e.g. 5 lines on
+            // 4 workers → chunk 2 → worker 3 starts at 6) and must come
+            // out empty, not out of bounds.
+            let lo = (i * chunk).min(n);
+            let hi = ((i + 1) * chunk).min(n);
+            let out: Vec<String> = lines[lo..hi].iter().map(|l| core.handle_line(l)).collect();
+            *slots[i].lock().expect("slot lock cannot be poisoned") = out;
+        });
+        slots
+            .into_iter()
+            .flat_map(|s| s.into_inner().expect("slot lock cannot be poisoned"))
+            .collect()
+    }
+}
+
+impl QueryCore {
+    /// The underlying graph.
+    fn graph(&self) -> &HinGraph {
+        self.snapshot.graph()
+    }
+
+    /// One request line → one response line.
+    pub fn handle_line(&self, line: &str) -> String {
+        let (id, result) = match Json::parse(line) {
+            Ok(req) => {
+                let id = req.get("id").cloned();
+                (id, self.dispatch(&req))
+            }
+            Err(e) => (
+                None,
+                Err(ServeError::BadRequest(format!("invalid JSON: {e}"))),
+            ),
+        };
+        let mut fields: Vec<(&str, Json)> = Vec::with_capacity(4);
+        if let Some(id) = id {
+            fields.push(("id", id));
+        }
+        match result {
+            Ok(mut body) => {
+                fields.push(("ok", Json::Bool(true)));
+                fields.append(&mut body);
+            }
+            Err(e) => {
+                fields.push(("ok", Json::Bool(false)));
+                fields.push(("error", Json::str(e.to_string())));
+            }
+        }
+        Json::obj(fields).render()
+    }
+
+    fn dispatch(&self, req: &Json) -> Result<Vec<(&'static str, Json)>, ServeError> {
+        match req.get("op").and_then(Json::as_str) {
+            Some("membership") => self.op_membership(req),
+            Some("top_k") => self.op_top_k(req),
+            Some("fold_in") => self.op_fold_in(req),
+            Some("stats") => self.op_stats(),
+            Some(other) => Err(ServeError::BadRequest(format!("unknown op {other:?}"))),
+            None => Err(ServeError::BadRequest(
+                "request must carry a string \"op\" field".into(),
+            )),
+        }
+    }
+
+    fn require_object(&self, req: &Json) -> Result<ObjectId, ServeError> {
+        let name = req
+            .get("object")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ServeError::BadRequest("missing string \"object\" field".into()))?;
+        Ok(self.graph().require_object_by_name(name)?)
+    }
+
+    fn similarity(req: &Json) -> Result<Similarity, ServeError> {
+        match req.get("sim").and_then(Json::as_str) {
+            None | Some("cross_entropy") => Ok(Similarity::NegCrossEntropy),
+            Some("cosine") => Ok(Similarity::Cosine),
+            Some("euclidean") => Ok(Similarity::NegEuclidean),
+            Some(other) => Err(ServeError::BadRequest(format!(
+                "unknown similarity {other:?} (expected cosine | euclidean | cross_entropy)"
+            ))),
+        }
+    }
+
+    /// Candidate set: all objects, or one type when `"type"` is given.
+    fn candidates(&self, req: &Json) -> Result<&[ObjectId], ServeError> {
+        match req.get("type").and_then(Json::as_str) {
+            None => Ok(&self.all),
+            Some(name) => {
+                let t = self
+                    .graph()
+                    .schema()
+                    .object_type_by_name(name)
+                    .ok_or_else(|| {
+                        ServeError::BadRequest(format!("unknown object type {name:?}"))
+                    })?;
+                Ok(&self.by_type[t.index()])
+            }
+        }
+    }
+
+    fn ranked_json(&self, ranked: &[(ObjectId, f64)]) -> Json {
+        Json::Arr(
+            ranked
+                .iter()
+                .map(|&(c, score)| {
+                    Json::Arr(vec![
+                        Json::str(self.graph().object_name(c)),
+                        Json::Num(score),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    fn op_membership(&self, req: &Json) -> Result<Vec<(&'static str, Json)>, ServeError> {
+        let v = self.require_object(req)?;
+        let row = self.snapshot.model().membership(v);
+        Ok(vec![
+            ("object", Json::str(self.graph().object_name(v))),
+            ("theta", Json::nums(row)),
+            ("cluster", Json::Num(argmax(row) as f64)),
+        ])
+    }
+
+    fn op_top_k(&self, req: &Json) -> Result<Vec<(&'static str, Json)>, ServeError> {
+        let v = self.require_object(req)?;
+        let sim = Self::similarity(req)?;
+        let k = req
+            .get("k")
+            .map(|j| {
+                j.as_usize().ok_or_else(|| {
+                    ServeError::BadRequest("\"k\" must be a non-negative integer".into())
+                })
+            })
+            .transpose()?
+            .unwrap_or(10);
+        let theta = &self.snapshot.model().theta;
+        let candidates: Vec<ObjectId> = self
+            .candidates(req)?
+            .iter()
+            .copied()
+            .filter(|&c| c != v)
+            .collect();
+        let ranked = top_k(theta, theta.row(v.index()), &candidates, sim, k);
+        Ok(vec![
+            ("object", Json::str(self.graph().object_name(v))),
+            ("results", self.ranked_json(&ranked)),
+        ])
+    }
+
+    fn op_stats(&self) -> Result<Vec<(&'static str, Json)>, ServeError> {
+        let g = self.graph();
+        let model = self.snapshot.model();
+        let gamma = Json::Obj(
+            g.schema()
+                .relations()
+                .map(|(r, def)| (def.name.clone(), Json::Num(model.strength(r))))
+                .collect(),
+        );
+        Ok(vec![
+            ("n_objects", Json::Num(g.n_objects() as f64)),
+            ("n_links", Json::Num(g.n_links() as f64)),
+            ("k", Json::Num(model.n_clusters() as f64)),
+            ("gamma", gamma),
+            (
+                "snapshot_version",
+                Json::Num(self.snapshot.header().version as f64),
+            ),
+        ])
+    }
+
+    /// Decodes the wire fold-in request: link relations/targets by name,
+    /// attributes by name.
+    fn decode_fold_in(&self, req: &Json) -> Result<FoldInRequest, ServeError> {
+        let g = self.graph();
+        let schema = g.schema();
+        let mut out = FoldInRequest::default();
+        if let Some(links) = req.get("links") {
+            let links = links
+                .as_arr()
+                .ok_or_else(|| ServeError::BadRequest("\"links\" must be an array".into()))?;
+            for entry in links {
+                let triple = entry.as_arr().filter(|a| a.len() == 3).ok_or_else(|| {
+                    ServeError::BadRequest("each link must be [relation, target, weight]".into())
+                })?;
+                let rel_name = triple[0].as_str().ok_or_else(|| {
+                    ServeError::BadRequest("link relation must be a string".into())
+                })?;
+                let rel = schema.relation_by_name(rel_name).ok_or_else(|| {
+                    ServeError::BadRequest(format!("unknown relation {rel_name:?}"))
+                })?;
+                let target_name = triple[1]
+                    .as_str()
+                    .ok_or_else(|| ServeError::BadRequest("link target must be a string".into()))?;
+                let target = g.require_object_by_name(target_name)?;
+                let weight = triple[2]
+                    .as_f64()
+                    .ok_or_else(|| ServeError::BadRequest("link weight must be a number".into()))?;
+                out.links.push((rel, target, weight));
+            }
+        }
+        let attr_by_name = |name: &str| {
+            schema
+                .attribute_by_name(name)
+                .ok_or_else(|| ServeError::BadRequest(format!("unknown attribute {name:?}")))
+        };
+        if let Some(terms) = req.get("terms") {
+            let fields = terms
+                .as_obj()
+                .ok_or_else(|| ServeError::BadRequest("\"terms\" must be an object".into()))?;
+            for (name, bag) in fields {
+                let a = attr_by_name(name)?;
+                let bag = bag.as_arr().ok_or_else(|| {
+                    ServeError::BadRequest(format!("terms of {name:?} must be an array"))
+                })?;
+                let mut decoded = Vec::with_capacity(bag.len());
+                for pair in bag {
+                    let pair = pair.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                        ServeError::BadRequest("each term must be [index, count]".into())
+                    })?;
+                    let term = pair[0].as_usize().ok_or_else(|| {
+                        ServeError::BadRequest("term index must be a non-negative integer".into())
+                    })?;
+                    let count = pair[1].as_f64().ok_or_else(|| {
+                        ServeError::BadRequest("term count must be a number".into())
+                    })?;
+                    decoded.push((term as u32, count));
+                }
+                out.terms.push((a, decoded));
+            }
+        }
+        if let Some(values) = req.get("values") {
+            let fields = values
+                .as_obj()
+                .ok_or_else(|| ServeError::BadRequest("\"values\" must be an object".into()))?;
+            for (name, list) in fields {
+                let a = attr_by_name(name)?;
+                let list = list.as_arr().ok_or_else(|| {
+                    ServeError::BadRequest(format!("values of {name:?} must be an array"))
+                })?;
+                let mut decoded = Vec::with_capacity(list.len());
+                for x in list {
+                    decoded.push(x.as_f64().ok_or_else(|| {
+                        ServeError::BadRequest("observation values must be numbers".into())
+                    })?);
+                }
+                out.values.push((a, decoded));
+            }
+        }
+        Ok(out)
+    }
+
+    fn op_fold_in(&self, req: &Json) -> Result<Vec<(&'static str, Json)>, ServeError> {
+        let fold_req = self.decode_fold_in(req)?;
+        let engine = FoldInEngine::new(self.snapshot.model(), self.graph());
+        let result = engine.assign(&fold_req)?;
+        let mut fields = vec![
+            ("theta", Json::nums(&result.theta)),
+            ("cluster", Json::Num(argmax(&result.theta) as f64)),
+            ("iterations", Json::Num(result.iterations as f64)),
+            ("converged", Json::Bool(result.converged)),
+        ];
+        // Optional: rank the freshly folded row against the network.
+        if let Some(kj) = req.get("k") {
+            let k = kj.as_usize().ok_or_else(|| {
+                ServeError::BadRequest("\"k\" must be a non-negative integer".into())
+            })?;
+            let sim = Self::similarity(req)?;
+            let theta = &self.snapshot.model().theta;
+            let candidates = self.candidates(req)?;
+            let ranked = top_k(theta, &result.theta, candidates, sim, k);
+            fields.push(("results", self.ranked_json(&ranked)));
+        }
+        Ok(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genclus_core::{GenClus, GenClusConfig};
+    use genclus_hin::{HinBuilder, Schema};
+
+    /// Two planted sensor clusters; sensors s0/s3 carry readings, the rest
+    /// rely on links.
+    fn snapshot() -> Snapshot {
+        let mut s = Schema::new();
+        let sensor = s.add_object_type("sensor");
+        let nn = s.add_relation("nn", sensor, sensor);
+        let reading = s.add_numerical_attribute("reading");
+        let mut b = HinBuilder::new(s);
+        let vs: Vec<_> = (0..6)
+            .map(|i| b.add_object(sensor, format!("s{i}")))
+            .collect();
+        for group in [[0usize, 1, 2], [3, 4, 5]] {
+            for &i in &group {
+                for &j in &group {
+                    if i != j {
+                        b.add_link(vs[i], vs[j], nn, 1.0).unwrap();
+                    }
+                }
+            }
+        }
+        for x in [-5.0, -5.1, -4.9] {
+            b.add_numeric(vs[0], reading, x).unwrap();
+        }
+        for x in [5.0, 5.1, 4.9] {
+            b.add_numeric(vs[3], reading, x).unwrap();
+        }
+        let graph = b.build().unwrap();
+        let cfg = GenClusConfig::new(2, vec![reading]).with_seed(7);
+        let fit = GenClus::new(cfg).unwrap().fit(&graph).unwrap();
+        let bytes = crate::snapshot::to_bytes(&graph, &fit.model);
+        Snapshot::from_bytes(&bytes).unwrap()
+    }
+
+    fn ok(response: &str) -> Json {
+        let v = Json::parse(response).unwrap();
+        assert_eq!(
+            v.get("ok"),
+            Some(&Json::Bool(true)),
+            "expected success, got {response}"
+        );
+        v
+    }
+
+    #[test]
+    fn membership_and_stats_round_trip() {
+        let engine = QueryEngine::new(snapshot(), 1);
+        let v = ok(&engine.handle_line(r#"{"id": 1, "op": "membership", "object": "s1"}"#));
+        assert_eq!(v.get("id").unwrap().as_f64(), Some(1.0));
+        assert_eq!(v.get("theta").unwrap().as_arr().unwrap().len(), 2);
+        let v = ok(&engine.handle_line(r#"{"op": "stats"}"#));
+        assert_eq!(v.get("n_objects").unwrap().as_f64(), Some(6.0));
+        assert!(v.get("gamma").unwrap().get("nn").is_some());
+    }
+
+    #[test]
+    fn top_k_ranks_same_cluster_first() {
+        let engine = QueryEngine::new(snapshot(), 1);
+        let v = ok(&engine.handle_line(
+            r#"{"op": "top_k", "object": "s1", "k": 2, "sim": "cosine", "type": "sensor"}"#,
+        ));
+        let results = v.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 2);
+        for entry in results {
+            let name = entry.as_arr().unwrap()[0].as_str().unwrap();
+            assert!(
+                ["s0", "s2"].contains(&name),
+                "same-cluster sensors must rank first, got {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn fold_in_with_missing_readings_lands_in_the_linked_cluster() {
+        let engine = QueryEngine::new(snapshot(), 1);
+        // A brand-new sensor with no readings, linked into the s3 cluster.
+        let v = ok(&engine.handle_line(
+            r#"{"op": "fold_in", "links": [["nn","s3",1.0],["nn","s4",1.0]], "k": 2}"#,
+        ));
+        assert_eq!(v.get("converged"), Some(&Json::Bool(true)));
+        let member = ok(&engine.handle_line(r#"{"op": "membership", "object": "s3"}"#));
+        assert_eq!(v.get("cluster"), member.get("cluster"));
+        let results = v.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 2);
+        // And one with a reading: cluster follows the evidence.
+        let v = ok(&engine.handle_line(r#"{"op": "fold_in", "values": {"reading": [-5.05]}}"#));
+        let member0 = ok(&engine.handle_line(r#"{"op": "membership", "object": "s0"}"#));
+        assert_eq!(v.get("cluster"), member0.get("cluster"));
+    }
+
+    #[test]
+    fn errors_are_structured_not_panics() {
+        let engine = QueryEngine::new(snapshot(), 1);
+        for (line, needle) in [
+            ("not json", "invalid JSON"),
+            (r#"{"op": "nope"}"#, "unknown op"),
+            (r#"{"op": "membership"}"#, "missing string"),
+            (r#"{"op": "membership", "object": "ghost"}"#, "ghost"),
+            (
+                r#"{"op": "top_k", "object": "s0", "sim": "hamming"}"#,
+                "unknown similarity",
+            ),
+            (
+                r#"{"op": "top_k", "object": "s0", "type": "router"}"#,
+                "unknown object type",
+            ),
+            (
+                r#"{"op": "fold_in", "links": [["nn","ghost",1.0]]}"#,
+                "ghost",
+            ),
+            (
+                r#"{"op": "fold_in", "links": [["xx","s0",1.0]]}"#,
+                "unknown relation",
+            ),
+            (
+                r#"{"op": "fold_in", "values": {"reading": [1e9999]}}"#,
+                "non-finite",
+            ),
+            (
+                r#"{"op": "fold_in", "terms": {"reading": [[0, 1]]}}"#,
+                "cannot store",
+            ),
+        ] {
+            let resp = engine.handle_line(line);
+            let v = Json::parse(&resp).unwrap();
+            assert_eq!(v.get("ok"), Some(&Json::Bool(false)), "{line} → {resp}");
+            let err = v.get("error").unwrap().as_str().unwrap();
+            assert!(err.contains(needle), "{line} → {err:?} (wanted {needle:?})");
+        }
+    }
+
+    #[test]
+    fn batches_preserve_order_and_match_serial_at_any_thread_count() {
+        let snap_bytes = crate::snapshot::to_bytes(snapshot().graph(), snapshot().model());
+        let lines: Vec<String> = (0..40)
+            .map(|i| match i % 4 {
+                0 => format!(r#"{{"id":{i},"op":"membership","object":"s{}"}}"#, i % 6),
+                1 => format!(
+                    r#"{{"id":{i},"op":"top_k","object":"s{}","k":3,"sim":"cosine"}}"#,
+                    i % 6
+                ),
+                2 => format!(
+                    r#"{{"id":{i},"op":"fold_in","links":[["nn","s{}",1.0]],"values":{{"reading":[{}]}}}}"#,
+                    i % 6,
+                    if i % 8 == 2 { -5.0 } else { 5.0 }
+                ),
+                _ => format!(r#"{{"id":{i},"op":"stats"}}"#),
+            })
+            .collect();
+        let serial =
+            QueryEngine::new(Snapshot::from_bytes(&snap_bytes).unwrap(), 1).handle_batch(&lines);
+        assert_eq!(serial.len(), lines.len());
+        for threads in [2, 4] {
+            let engine = QueryEngine::new(Snapshot::from_bytes(&snap_bytes).unwrap(), threads);
+            let par = engine.handle_batch(&lines);
+            assert_eq!(par, serial, "{threads} threads changed responses");
+        }
+        // Every response echoes its request id, in order.
+        for (i, resp) in serial.iter().enumerate() {
+            let v = Json::parse(resp).unwrap();
+            assert_eq!(v.get("id").unwrap().as_usize(), Some(i));
+        }
+    }
+
+    #[test]
+    fn batches_smaller_than_or_awkwardly_split_across_workers_are_fine() {
+        // Regression: chunk = ceil(n / workers) can leave trailing workers
+        // with a start index past the end (5 lines on 4 workers → worker 3
+        // starts at 6); that must yield empty chunks, not a slice panic.
+        let engine = QueryEngine::new(snapshot(), 4);
+        for n in 1..=9usize {
+            let lines: Vec<String> = (0..n)
+                .map(|i| format!(r#"{{"id":{i},"op":"stats"}}"#))
+                .collect();
+            let responses = engine.handle_batch(&lines);
+            assert_eq!(responses.len(), n, "batch of {n} on 4 workers");
+            for (i, resp) in responses.iter().enumerate() {
+                assert_eq!(
+                    Json::parse(resp).unwrap().get("id").unwrap().as_usize(),
+                    Some(i)
+                );
+            }
+        }
+    }
+}

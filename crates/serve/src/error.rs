@@ -1,0 +1,106 @@
+//! Error type of the serving layer.
+
+use genclus_hin::HinError;
+
+/// Everything that can go wrong while persisting, loading, or querying a
+/// fitted model.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Filesystem-level failure while reading or writing a snapshot.
+    Io(std::io::Error),
+    /// The file does not start with the snapshot magic — not a snapshot.
+    BadMagic,
+    /// The snapshot's schema version is not one this build can read.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Highest version this build understands.
+        supported: u32,
+    },
+    /// The payload checksum does not match the header — truncation or
+    /// corruption.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum of the payload as read.
+        got: u64,
+    },
+    /// The file is shorter than its header claims.
+    Truncated,
+    /// Structural decoding failed after the checksum passed (an internal
+    /// inconsistency a well-formed writer cannot produce). The string names
+    /// the section.
+    Malformed(&'static str),
+    /// A network-level validation failure (unknown names, bad weights,
+    /// endpoint type mismatches) — untrusted request input.
+    Hin(HinError),
+    /// A request was syntactically or semantically invalid.
+    BadRequest(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            Self::BadMagic => write!(f, "not a GenClus snapshot (bad magic)"),
+            Self::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot schema version {found} is not supported (this build reads ≤ {supported})"
+            ),
+            Self::ChecksumMismatch { expected, got } => write!(
+                f,
+                "snapshot payload checksum {got:#018x} does not match header {expected:#018x} \
+                 (corrupt or truncated file)"
+            ),
+            Self::Truncated => write!(f, "snapshot file is shorter than its header claims"),
+            Self::Malformed(section) => {
+                write!(f, "snapshot payload is malformed in the {section} section")
+            }
+            Self::Hin(e) => write!(f, "{e}"),
+            Self::BadRequest(msg) => write!(f, "bad request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Hin(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<HinError> for ServeError {
+    fn from(e: HinError) -> Self {
+        Self::Hin(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_specific() {
+        let e = ServeError::UnsupportedVersion {
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains("version 9"));
+        let e = ServeError::Hin(HinError::UnknownName("ghost".into()));
+        assert!(e.to_string().contains("ghost"));
+        let e = ServeError::ChecksumMismatch {
+            expected: 1,
+            got: 2,
+        };
+        assert!(e.to_string().contains("checksum"));
+    }
+}

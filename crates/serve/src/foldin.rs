@@ -1,0 +1,555 @@
+//! Online fold-in: assigning new objects under a frozen model.
+//!
+//! Given a fitted model, a new object arriving with links into the network
+//! and an *arbitrary subset* of its attributes observed (including none —
+//! the paper's incomplete-attribute regime continues at serving time, cf.
+//! Hou et al. 2018 and Zhao et al. 2017 on incomplete attributed networks),
+//! its membership row is the fixed point of the same Eq. 10 operator the
+//! EM engine iterates — with `β`, `γ`, and every *existing* object's `Θ`
+//! row frozen:
+//!
+//! `θ_v ∝ Σ_{e=⟨v,u⟩} γ(φ(e)) w(e) θ_u + Σ_X Σ_x p(z_{v,x} | θ_v, β)`,
+//! floored, normalized, and `ε`-smoothed exactly as during the fit.
+//!
+//! The link term is constant across fold-in iterations (neighbors are
+//! frozen), so it is accumulated once; only the attribute responsibilities
+//! are re-evaluated, through the *same* cached-log kernel helpers the EM
+//! hot path uses ([`genclus_core::em::categorical_responsibility_mass`] /
+//! [`genclus_core::em::gaussian_responsibility_mass`] with a no-op
+//! sufficient-statistics sink). Consequence: folding a training-set object
+//! in with its own links and observations reproduces its fitted row to
+//! convergence tolerance — a property test pins this at ≤ 1e-9.
+//!
+//! Objects with no observations converge in a single step (the update is
+//! then constant); objects with observations iterate the one-row fixed
+//! point, typically a handful of steps.
+
+use crate::error::ServeError;
+use genclus_core::em::{categorical_responsibility_mass, gaussian_responsibility_mass};
+use genclus_core::{ClusterComponents, GenClusModel};
+use genclus_hin::{AttributeId, AttributeKind, HinGraph, ObjectId, RelationId};
+use genclus_stats::simplex::normalize_floored;
+
+/// A new object's connectivity and (possibly empty) observations, as
+/// submitted to [`FoldInEngine::assign`].
+#[derive(Debug, Clone, Default)]
+pub struct FoldInRequest {
+    /// Out-links `(relation, target, weight)`; targets are existing
+    /// objects.
+    pub links: Vec<(RelationId, ObjectId, f64)>,
+    /// Categorical observations per attribute: `(attribute, term-count
+    /// bag)`.
+    pub terms: Vec<(AttributeId, Vec<(u32, f64)>)>,
+    /// Numerical observations per attribute: `(attribute, values)`.
+    pub values: Vec<(AttributeId, Vec<f64>)>,
+}
+
+/// Result of folding one object in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoldInResult {
+    /// The inferred membership row (simplex).
+    pub theta: Vec<f64>,
+    /// Fixed-point iterations used.
+    pub iterations: usize,
+    /// Whether the iteration hit the tolerance before the cap.
+    pub converged: bool,
+}
+
+/// Iteration controls for the one-row fixed point.
+#[derive(Debug, Clone, Copy)]
+pub struct FoldInOptions {
+    /// Iteration cap (objects without observations always use 1).
+    pub max_iters: usize,
+    /// Stop when the max-abs row change falls below this.
+    pub tol: f64,
+}
+
+impl Default for FoldInOptions {
+    fn default() -> Self {
+        Self {
+            max_iters: 500,
+            tol: 1e-12,
+        }
+    }
+}
+
+/// Folds new objects into a frozen `(model, graph)` pair.
+pub struct FoldInEngine<'a> {
+    model: &'a GenClusModel,
+    graph: &'a HinGraph,
+    opts: FoldInOptions,
+}
+
+impl<'a> FoldInEngine<'a> {
+    /// Binds a fold-in engine to a fitted model and its network.
+    pub fn new(model: &'a GenClusModel, graph: &'a HinGraph) -> Self {
+        Self {
+            model,
+            graph,
+            opts: FoldInOptions::default(),
+        }
+    }
+
+    /// Overrides the iteration controls.
+    pub fn with_options(mut self, opts: FoldInOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Number of clusters of the underlying model.
+    pub fn n_clusters(&self) -> usize {
+        self.model.n_clusters()
+    }
+
+    /// Validates a request against the schema and the model's attribute
+    /// subset. Serving input is untrusted: unknown ids, kind confusion,
+    /// out-of-vocabulary terms, non-positive weights, and attributes
+    /// outside the clustering purpose are all rejected with specific
+    /// errors rather than panicking in the kernel.
+    pub fn validate(&self, req: &FoldInRequest) -> Result<(), ServeError> {
+        let schema = self.graph.schema();
+        for &(r, target, w) in &req.links {
+            if r.index() >= schema.n_relations() {
+                return Err(genclus_hin::HinError::UnknownRelation(r).into());
+            }
+            if target.index() >= self.graph.n_objects() {
+                return Err(genclus_hin::HinError::UnknownObject(target).into());
+            }
+            if !(w > 0.0 && w.is_finite()) {
+                return Err(genclus_hin::HinError::InvalidWeight { weight: w }.into());
+            }
+            let def = schema.relation(r);
+            if self.graph.object_type(target) != def.target {
+                return Err(ServeError::BadRequest(format!(
+                    "link target {target} has the wrong type for relation {:?}",
+                    def.name
+                )));
+            }
+        }
+        // One entry per attribute: the fixed-point loop looks each
+        // attribute's observations up by id, so a duplicate entry would be
+        // silently ignored — reject it instead.
+        for (i, (a, _)) in req.terms.iter().enumerate() {
+            if req.terms[..i].iter().any(|(b, _)| b == a) {
+                return Err(ServeError::BadRequest(format!(
+                    "attribute {:?} appears more than once in \"terms\"",
+                    schema.attribute(*a).name
+                )));
+            }
+        }
+        for (i, (a, _)) in req.values.iter().enumerate() {
+            if req.values[..i].iter().any(|(b, _)| b == a) {
+                return Err(ServeError::BadRequest(format!(
+                    "attribute {:?} appears more than once in \"values\"",
+                    schema.attribute(*a).name
+                )));
+            }
+        }
+        let check_attr = |a: AttributeId| -> Result<(), ServeError> {
+            if a.index() >= schema.n_attributes() {
+                return Err(genclus_hin::HinError::UnknownAttribute(a).into());
+            }
+            if !self.model.attributes.contains(&a) {
+                return Err(ServeError::BadRequest(format!(
+                    "attribute {:?} is not part of this model's clustering purpose",
+                    schema.attribute(a).name
+                )));
+            }
+            Ok(())
+        };
+        for (a, bag) in &req.terms {
+            check_attr(*a)?;
+            match schema.attribute(*a).kind {
+                AttributeKind::Categorical { vocab_size } => {
+                    for &(term, count) in bag {
+                        if (term as usize) >= vocab_size {
+                            return Err(genclus_hin::HinError::TermOutOfRange {
+                                attribute: *a,
+                                term: term as usize,
+                                vocab_size,
+                            }
+                            .into());
+                        }
+                        if !(count > 0.0 && count.is_finite()) {
+                            return Err(genclus_hin::HinError::NonFiniteObservation {
+                                attribute: *a,
+                            }
+                            .into());
+                        }
+                    }
+                }
+                AttributeKind::Numerical => {
+                    return Err(genclus_hin::HinError::AttributeKindMismatch {
+                        attribute: *a,
+                        expected: "term-count",
+                    }
+                    .into());
+                }
+            }
+        }
+        for (a, values) in &req.values {
+            check_attr(*a)?;
+            if !matches!(schema.attribute(*a).kind, AttributeKind::Numerical) {
+                return Err(genclus_hin::HinError::AttributeKindMismatch {
+                    attribute: *a,
+                    expected: "numerical",
+                }
+                .into());
+            }
+            if values.iter().any(|x| !x.is_finite()) {
+                return Err(genclus_hin::HinError::NonFiniteObservation { attribute: *a }.into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Infers the membership row of one new object.
+    pub fn assign(&self, req: &FoldInRequest) -> Result<FoldInResult, ServeError> {
+        self.validate(req)?;
+        Ok(self.assign_unchecked(req))
+    }
+
+    /// The fixed-point iteration, assuming `req` already validated.
+    fn assign_unchecked(&self, req: &FoldInRequest) -> FoldInResult {
+        let k = self.model.n_clusters();
+        let theta = &self.model.theta;
+        let smoothing = self.model.theta_smoothing;
+
+        // Link term of Eq. 10 — constant under frozen neighbor rows, so
+        // accumulated once, grouped by relation like the EM kernel (one γ
+        // fetch per relation, and the same left-to-right addition order for
+        // links of one relation).
+        let mut base = vec![0.0f64; k];
+        for &(r, target, w) in &req.links {
+            let g = self.model.gamma[r.index()];
+            if g == 0.0 {
+                continue;
+            }
+            let gw = g * w;
+            let tu = theta.row(target.index());
+            for (b, &t) in base.iter_mut().zip(tu) {
+                *b += gw * t;
+            }
+        }
+
+        // Observation lists in the model's attribute order (the same order
+        // the EM step sweeps attributes in).
+        type AttrObs<'o> = (&'o ClusterComponents, &'o [(u32, f64)], &'o [f64]);
+        let per_attr: Vec<AttrObs<'_>> = self
+            .model
+            .attributes
+            .iter()
+            .zip(&self.model.components)
+            .map(|(&a, comp)| {
+                let terms = req
+                    .terms
+                    .iter()
+                    .find(|(ra, _)| *ra == a)
+                    .map(|(_, bag)| bag.as_slice())
+                    .unwrap_or(&[]);
+                let values = req
+                    .values
+                    .iter()
+                    .find(|(ra, _)| *ra == a)
+                    .map(|(_, vs)| vs.as_slice())
+                    .unwrap_or(&[]);
+                (comp, terms, values)
+            })
+            .collect();
+        let has_observations = per_attr
+            .iter()
+            .any(|(_, terms, values)| !terms.is_empty() || !values.is_empty());
+
+        let mut tv = vec![1.0 / k as f64; k];
+        let mut out = vec![0.0f64; k];
+        let mut resp = vec![0.0f64; k];
+        let max_iters = if has_observations {
+            self.opts.max_iters
+        } else {
+            1 // the update is constant; one application is the fixed point
+        };
+        let mut iterations = 0;
+        let mut converged = false;
+        for _ in 0..max_iters {
+            out.copy_from_slice(&base);
+            for &(comp, terms, values) in &per_attr {
+                match comp {
+                    ClusterComponents::Categorical(cat) => {
+                        categorical_responsibility_mass(
+                            &tv,
+                            cat,
+                            terms,
+                            &mut out,
+                            &mut resp,
+                            |_, _, _| {},
+                        );
+                    }
+                    ClusterComponents::Gaussian(gauss) => {
+                        gaussian_responsibility_mass(
+                            &tv,
+                            gauss,
+                            values,
+                            &mut out,
+                            &mut resp,
+                            |_, _, _| {},
+                        );
+                    }
+                }
+            }
+            normalize_floored(&mut out);
+            if smoothing > 0.0 {
+                let uniform = smoothing / k as f64;
+                out.iter_mut()
+                    .for_each(|o| *o = (1.0 - smoothing) * *o + uniform);
+            }
+            let delta = out
+                .iter()
+                .zip(&tv)
+                .map(|(o, t)| (o - t).abs())
+                .fold(0.0f64, f64::max);
+            tv.copy_from_slice(&out);
+            iterations += 1;
+            if delta < self.opts.tol {
+                converged = true;
+                break;
+            }
+        }
+        FoldInResult {
+            theta: tv,
+            iterations,
+            converged: converged || !has_observations,
+        }
+    }
+
+    /// Folds an *existing* object in as if it had just arrived, using its
+    /// own out-links and observations — the consistency check behind the
+    /// "fold-in reproduces the fitted row" property, also useful for
+    /// auditing drift after many incremental appends.
+    pub fn fold_existing(&self, v: ObjectId) -> Result<FoldInResult, ServeError> {
+        if v.index() >= self.graph.n_objects() {
+            return Err(genclus_hin::HinError::UnknownObject(v).into());
+        }
+        let mut req = FoldInRequest::default();
+        for (rel, links) in self.graph.out_relation_segments(v) {
+            for link in links {
+                req.links.push((rel, link.endpoint, link.weight));
+            }
+        }
+        for &a in &self.model.attributes {
+            match self.graph.attribute(a) {
+                genclus_hin::AttributeData::Categorical { .. } => {
+                    let bag = self.graph.attribute(a).term_counts(v);
+                    if !bag.is_empty() {
+                        req.terms.push((a, bag.to_vec()));
+                    }
+                }
+                genclus_hin::AttributeData::Numerical { .. } => {
+                    let vals = self.graph.attribute(a).values(v);
+                    if !vals.is_empty() {
+                        req.values.push((a, vals.to_vec()));
+                    }
+                }
+            }
+        }
+        // fold_existing feeds graph-validated data; skip re-validation but
+        // note the query object's own row is *not* used — only neighbors'.
+        Ok(self.assign_unchecked(&req))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genclus_core::attr_model::GaussianComponents;
+    use genclus_core::em::EmEngine;
+    use genclus_hin::{HinBuilder, Schema};
+    use genclus_stats::MembershipMatrix;
+
+    /// Six objects in two planted clusters, observations only on the two
+    /// anchors — the em.rs fixture, fitted to a deep fixed point.
+    fn fitted() -> (HinGraph, GenClusModel) {
+        let mut s = Schema::new();
+        let t = s.add_object_type("node");
+        let r = s.add_relation("nn", t, t);
+        let attr = s.add_numerical_attribute("value");
+        let mut b = HinBuilder::new(s);
+        let vs: Vec<_> = (0..6).map(|i| b.add_object(t, format!("v{i}"))).collect();
+        for group in [[0usize, 1, 2], [3, 4, 5]] {
+            for &i in &group {
+                for &j in &group {
+                    if i != j {
+                        b.add_link(vs[i], vs[j], r, 1.0).unwrap();
+                    }
+                }
+            }
+        }
+        for x in [-5.0, -5.2, -4.8] {
+            b.add_numeric(vs[0], attr, x).unwrap();
+        }
+        for x in [5.0, 5.2, 4.8] {
+            b.add_numeric(vs[3], attr, x).unwrap();
+        }
+        let graph = b.build().unwrap();
+
+        let mut rng = genclus_stats::seeded_rng(3);
+        let theta = MembershipMatrix::random(graph.n_objects(), 2, &mut rng);
+        let comps = vec![genclus_core::ClusterComponents::Gaussian(
+            GaussianComponents::from_params(vec![-5.0, 5.0], vec![0.2, 0.2], 1e-6),
+        )];
+        let smoothing = 0.05;
+        let mut eng = EmEngine::new(&graph, &[attr], 2, 1, 1e-9, 1e-6).with_smoothing(smoothing);
+        let (theta, comps, _) = eng.run(theta, comps, &[1.0], 5000, 1e-14);
+        let model = GenClusModel {
+            theta,
+            gamma: vec![1.0],
+            components: comps,
+            attributes: vec![attr],
+            theta_smoothing: smoothing,
+        };
+        (graph, model)
+    }
+
+    #[test]
+    fn fold_existing_reproduces_fitted_rows() {
+        let (graph, model) = fitted();
+        let engine = FoldInEngine::new(&model, &graph);
+        for v in graph.objects() {
+            let out = engine.fold_existing(v).unwrap();
+            assert!(out.converged, "object {v} did not converge");
+            let fitted_row = model.theta.row(v.index());
+            for (a, b) in out.theta.iter().zip(fitted_row) {
+                assert!(
+                    (a - b).abs() <= 1e-9,
+                    "object {v}: fold-in {a} vs fitted {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn linkless_observationless_object_is_uniform() {
+        let (graph, model) = fitted();
+        let engine = FoldInEngine::new(&model, &graph);
+        let out = engine.assign(&FoldInRequest::default()).unwrap();
+        assert!(out.converged);
+        assert_eq!(out.iterations, 1);
+        for &x in &out.theta {
+            assert!((x - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn links_alone_pull_towards_the_linked_cluster() {
+        let (graph, model) = fitted();
+        let engine = FoldInEngine::new(&model, &graph);
+        let nn = graph.schema().relation_by_name("nn").unwrap();
+        // A new sensor with *no readings at all*, linked into cluster 0.
+        let req = FoldInRequest {
+            links: vec![
+                (nn, ObjectId(0), 1.0),
+                (nn, ObjectId(1), 1.0),
+                (nn, ObjectId(2), 1.0),
+            ],
+            ..Default::default()
+        };
+        let out = engine.assign(&req).unwrap();
+        let c0 = model.theta.hard_labels()[0];
+        assert_eq!(genclus_stats::simplex::argmax(&out.theta), c0);
+        assert!(out.theta[c0] > 0.85, "row {:?}", out.theta);
+    }
+
+    #[test]
+    fn observations_alone_work_and_conflicting_evidence_blends() {
+        let (graph, model) = fitted();
+        let attr = model.attributes[0];
+        let engine = FoldInEngine::new(&model, &graph);
+        // Pure observations near +5: lands in the cluster of anchor 3.
+        let req = FoldInRequest {
+            values: vec![(attr, vec![5.1, 4.9])],
+            ..Default::default()
+        };
+        let out = engine.assign(&req).unwrap();
+        assert!(out.converged);
+        let c1 = model.theta.hard_labels()[3];
+        assert_eq!(genclus_stats::simplex::argmax(&out.theta), c1);
+        // Links into cluster 0 but readings from cluster 1: both terms
+        // contribute, so the row is less extreme than either alone.
+        let nn = graph.schema().relation_by_name("nn").unwrap();
+        let mixed = FoldInRequest {
+            links: vec![(nn, ObjectId(0), 3.0)],
+            values: vec![(attr, vec![5.0])],
+            ..Default::default()
+        };
+        let blended = engine.assign(&mixed).unwrap();
+        assert!(blended.converged);
+        assert!(blended.theta[c1] < out.theta[c1]);
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_with_specific_errors() {
+        let (graph, model) = fitted();
+        let engine = FoldInEngine::new(&model, &graph);
+        let nn = graph.schema().relation_by_name("nn").unwrap();
+        let attr = model.attributes[0];
+
+        let bad_target = FoldInRequest {
+            links: vec![(nn, ObjectId(99), 1.0)],
+            ..Default::default()
+        };
+        assert!(matches!(
+            engine.assign(&bad_target),
+            Err(ServeError::Hin(genclus_hin::HinError::UnknownObject(_)))
+        ));
+
+        let bad_weight = FoldInRequest {
+            links: vec![(nn, ObjectId(0), -1.0)],
+            ..Default::default()
+        };
+        assert!(matches!(
+            engine.assign(&bad_weight),
+            Err(ServeError::Hin(genclus_hin::HinError::InvalidWeight { .. }))
+        ));
+
+        let bad_relation = FoldInRequest {
+            links: vec![(RelationId(7), ObjectId(0), 1.0)],
+            ..Default::default()
+        };
+        assert!(matches!(
+            engine.assign(&bad_relation),
+            Err(ServeError::Hin(genclus_hin::HinError::UnknownRelation(_)))
+        ));
+
+        let kind_confusion = FoldInRequest {
+            terms: vec![(attr, vec![(0, 1.0)])],
+            ..Default::default()
+        };
+        assert!(matches!(
+            engine.assign(&kind_confusion),
+            Err(ServeError::Hin(
+                genclus_hin::HinError::AttributeKindMismatch { .. }
+            ))
+        ));
+
+        let nan_value = FoldInRequest {
+            values: vec![(attr, vec![f64::NAN])],
+            ..Default::default()
+        };
+        assert!(matches!(
+            engine.assign(&nan_value),
+            Err(ServeError::Hin(
+                genclus_hin::HinError::NonFiniteObservation { .. }
+            ))
+        ));
+
+        // Duplicate attribute entries would silently drop all but the
+        // first list; they must be rejected up front instead.
+        let duplicate = FoldInRequest {
+            values: vec![(attr, vec![5.0]), (attr, vec![-5.0])],
+            ..Default::default()
+        };
+        assert!(matches!(
+            engine.assign(&duplicate),
+            Err(ServeError::BadRequest(msg)) if msg.contains("more than once")
+        ));
+    }
+}

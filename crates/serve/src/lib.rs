@@ -1,0 +1,86 @@
+//! **genclus-serve** — the serving layer over fitted GenClus models.
+//!
+//! The fit produces exactly what downstream queries need — memberships
+//! `Θ`, link-type strengths `γ`, attribute components `β` (§2.2 of the
+//! paper) — but a model that only exists inside one `fit` call cannot
+//! serve traffic. This crate adds the three layers between a fit and a
+//! query stream:
+//!
+//! * [`snapshot`] — a versioned, dependency-free binary format
+//!   (magic + schema version + checksum) that round-trips a
+//!   [`GenClusModel`](genclus_core::GenClusModel) together with its
+//!   [`HinGraph`](genclus_hin::HinGraph) byte-identically, with an
+//!   mmap-style zero-copy view of the `Θ` matrix straight out of the file
+//!   buffer;
+//! * [`foldin`] — online assignment of **new** objects, with arbitrary
+//!   subsets of attributes missing, by iterating the frozen-(`β`, `γ`)
+//!   EM row update against their neighbors' fixed memberships — the same
+//!   cached-log kernel the fit uses, so folding a training object back in
+//!   reproduces its fitted row; pair it with
+//!   [`GraphDelta`](genclus_hin::delta::GraphDelta) to commit folded
+//!   objects into the network incrementally;
+//! * [`engine`] — a JSON-lines query engine ([`engine::QueryEngine`])
+//!   that batches concurrent fold-in, membership, and §5.2.2 top-k
+//!   link-prediction queries across the persistent worker pool; the
+//!   `genclus_serve` binary is its stdin/stdout loop.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use genclus_core::prelude::*;
+//! use genclus_hin::prelude::*;
+//! use genclus_serve::prelude::*;
+//!
+//! // Fit a tiny two-cluster sensor network (see genclus-core's docs).
+//! let mut schema = Schema::new();
+//! let sensor = schema.add_object_type("sensor");
+//! let nn = schema.add_relation("nn", sensor, sensor);
+//! let reading = schema.add_numerical_attribute("reading");
+//! let mut b = HinBuilder::new(schema);
+//! let vs: Vec<_> = (0..6).map(|i| b.add_object(sensor, format!("s{i}"))).collect();
+//! for group in [[0usize, 1, 2], [3, 4, 5]] {
+//!     for &i in &group {
+//!         for &j in &group {
+//!             if i != j { b.add_link(vs[i], vs[j], nn, 1.0).unwrap(); }
+//!         }
+//!     }
+//! }
+//! b.add_numeric(vs[0], reading, -5.0).unwrap();
+//! b.add_numeric(vs[3], reading, 5.0).unwrap();
+//! let network = b.build().unwrap();
+//! let fit = GenClus::new(GenClusConfig::new(2, vec![reading]).with_seed(7))
+//!     .unwrap()
+//!     .fit(&network)
+//!     .unwrap();
+//!
+//! // Persist, reload, and fold in a never-seen sensor with no readings.
+//! let bytes = genclus_serve::snapshot::to_bytes(&network, &fit.model);
+//! let snap = Snapshot::from_bytes(&bytes).unwrap();
+//! let foldin = FoldInEngine::new(snap.model(), snap.graph());
+//! let req = FoldInRequest {
+//!     links: vec![(nn, vs[3], 1.0), (nn, vs[4], 1.0)],
+//!     ..Default::default()
+//! };
+//! let assigned = foldin.assign(&req).unwrap();
+//! assert_eq!(
+//!     genclus_stats::simplex::argmax(&assigned.theta),
+//!     snap.model().hard_labels()[3],
+//! );
+//! ```
+
+pub mod engine;
+pub mod error;
+pub mod foldin;
+pub mod json;
+pub mod snapshot;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::engine::{QueryCore, QueryEngine};
+    pub use crate::error::ServeError;
+    pub use crate::foldin::{FoldInEngine, FoldInOptions, FoldInRequest, FoldInResult};
+    pub use crate::json::Json;
+    pub use crate::snapshot::{Snapshot, SCHEMA_VERSION};
+}
+
+pub use prelude::*;

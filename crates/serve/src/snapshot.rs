@@ -1,0 +1,499 @@
+//! The versioned snapshot file format.
+//!
+//! A snapshot persists everything `fit` produced — the network topology
+//! with its indexes and the fitted model (`Θ`, `γ`, `β`, `ε`) — in one
+//! dependency-free binary file:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"GENCLUS\0"
+//! 8       4     schema version (u32 LE), currently 1
+//! 12      4     reserved (0)
+//! 16      8     payload length in bytes (u64 LE)
+//! 24      8     FNV-1a 64 checksum of the payload (u64 LE)
+//! 32      8     absolute file offset of the Θ data (u64 LE, 8-aligned)
+//! 40      8     Θ rows (u64 LE)
+//! 48      8     Θ columns (u64 LE)
+//! 56      8     reserved (0)
+//! 64      …     payload: [HinGraph::to_bytes][pad to 8][GenClusModel::to_bytes]
+//! ```
+//!
+//! All multi-byte values are little-endian (see [`genclus_stats::bytesio`]).
+//! The writer is deterministic, so save → load → save is **byte-identical**
+//! (a property test asserts this), and the header carries the `Θ` geometry
+//! so a reader can serve membership rows straight out of the file bytes —
+//! [`Snapshot::theta_view`] is an mmap-style zero-copy `&[f64]` into the
+//! load buffer, no per-entry decoding — while [`Snapshot::into_parts`] /
+//! the decoded [`Snapshot::model`] cover mutation-friendly use.
+//!
+//! Compatibility policy: the version is bumped whenever the payload layout
+//! changes; readers reject newer versions loudly
+//! ([`ServeError::UnsupportedVersion`]) instead of misreading them, and CI
+//! keeps a committed fixture snapshot to prove older files keep loading.
+
+use crate::error::ServeError;
+use genclus_core::GenClusModel;
+use genclus_hin::HinGraph;
+use genclus_stats::bytesio::{fnv1a64, pad8, ByteReader};
+use std::io::Read as _;
+use std::path::Path;
+
+/// First 8 bytes of every snapshot.
+pub const MAGIC: [u8; 8] = *b"GENCLUS\0";
+/// Current (highest readable) snapshot schema version.
+pub const SCHEMA_VERSION: u32 = 1;
+/// Bytes before the payload.
+pub const HEADER_LEN: usize = 64;
+
+/// A byte buffer whose storage is 8-aligned, so `f64` payload sections can
+/// be viewed in place.
+pub struct AlignedBytes {
+    /// Backing storage; `u64` elements guarantee 8-byte alignment.
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl AlignedBytes {
+    /// Copies `bytes` into aligned storage.
+    pub fn copy_from(bytes: &[u8]) -> Self {
+        let mut a = Self::zeroed(bytes.len());
+        a.as_mut_slice().copy_from_slice(bytes);
+        a
+    }
+
+    /// Zero-filled aligned buffer of `len` bytes.
+    pub fn zeroed(len: usize) -> Self {
+        Self {
+            words: vec![0u64; len.div_ceil(8)],
+            len,
+        }
+    }
+
+    /// The bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: `words` owns at least `len` initialized bytes and u8 has
+        // no alignment requirement.
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr().cast::<u8>(), self.len) }
+    }
+
+    /// Mutable access (used only while filling the buffer).
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [u8] {
+        // SAFETY: as above; exclusive borrow of self guarantees no aliasing.
+        unsafe { std::slice::from_raw_parts_mut(self.words.as_mut_ptr().cast::<u8>(), self.len) }
+    }
+
+    /// Buffer length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Serializes a fitted model plus its network into snapshot bytes.
+pub fn to_bytes(graph: &HinGraph, model: &GenClusModel) -> Vec<u8> {
+    let mut payload = Vec::new();
+    graph.to_bytes(&mut payload);
+    pad8(&mut payload);
+    let model_start = payload.len();
+    let theta_rel = model.to_bytes(&mut payload);
+    let theta_offset = HEADER_LEN + model_start + theta_rel;
+    debug_assert_eq!(theta_offset % 8, 0, "Θ payload must be 8-aligned");
+
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&SCHEMA_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    out.extend_from_slice(&(theta_offset as u64).to_le_bytes());
+    out.extend_from_slice(&(model.theta.n_objects() as u64).to_le_bytes());
+    out.extend_from_slice(&(model.theta.n_clusters() as u64).to_le_bytes());
+    out.extend_from_slice(&0u64.to_le_bytes());
+    debug_assert_eq!(out.len(), HEADER_LEN);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Writes a snapshot file (atomically: a temp file in the same directory is
+/// renamed over the target, so readers never observe a half-written
+/// snapshot).
+pub fn save(path: &Path, graph: &HinGraph, model: &GenClusModel) -> Result<(), ServeError> {
+    let bytes = to_bytes(graph, model);
+    // Appended (not `with_extension`) so `model.gcsnap` and `model.bak` in
+    // one directory do not collide on the same temp file.
+    let mut tmp_name = path
+        .file_name()
+        .ok_or_else(|| {
+            ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "snapshot path has no file name",
+            ))
+        })?
+        .to_os_string();
+    tmp_name.push(format!(".tmp-{}~", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, &bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// The parsed header of a snapshot buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Snapshot schema version.
+    pub version: u32,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+    /// FNV-1a 64 checksum of the payload.
+    pub checksum: u64,
+    /// Absolute offset of the Θ data.
+    pub theta_offset: usize,
+    /// Θ rows.
+    pub theta_rows: usize,
+    /// Θ columns.
+    pub theta_cols: usize,
+}
+
+impl Header {
+    /// Parses and validates the fixed-size header (magic, version, length
+    /// coherence, Θ geometry). Does **not** hash the payload; see
+    /// [`Header::verify_checksum`].
+    pub fn parse(bytes: &[u8]) -> Result<Self, ServeError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(ServeError::Truncated);
+        }
+        if bytes[..8] != MAGIC {
+            return Err(ServeError::BadMagic);
+        }
+        let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("4 bytes"));
+        let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().expect("8 bytes"));
+        let version = u32_at(8);
+        if version == 0 || version > SCHEMA_VERSION {
+            return Err(ServeError::UnsupportedVersion {
+                found: version,
+                supported: SCHEMA_VERSION,
+            });
+        }
+        // The reserved fields must be zero: they are outside the payload
+        // checksum, so without this check corruption there would load
+        // silently (and re-serialize differently, breaking byte identity).
+        if u32_at(12) != 0 || u64_at(56) != 0 {
+            return Err(ServeError::Malformed("reserved header fields"));
+        }
+        let header = Self {
+            version,
+            payload_len: u64_at(16) as usize,
+            checksum: u64_at(24),
+            theta_offset: u64_at(32) as usize,
+            theta_rows: u64_at(40) as usize,
+            theta_cols: u64_at(48) as usize,
+        };
+        // Every arithmetic step below is checked: the header fields are
+        // attacker-controlled (not covered by the payload checksum), and a
+        // wrapping add would let an absurd offset slip past the bound.
+        if HEADER_LEN
+            .checked_add(header.payload_len)
+            .is_none_or(|expected| bytes.len() != expected)
+        {
+            return Err(ServeError::Truncated);
+        }
+        let theta_bytes = header
+            .theta_rows
+            .checked_mul(header.theta_cols)
+            .and_then(|n| n.checked_mul(8))
+            .ok_or(ServeError::Malformed("header Θ geometry"))?;
+        let theta_end = header
+            .theta_offset
+            .checked_add(theta_bytes)
+            .ok_or(ServeError::Malformed("header Θ geometry"))?;
+        if !header.theta_offset.is_multiple_of(8)
+            || header.theta_offset < HEADER_LEN
+            || theta_end > bytes.len()
+        {
+            return Err(ServeError::Malformed("header Θ geometry"));
+        }
+        Ok(header)
+    }
+
+    /// Verifies the payload checksum of `bytes` (the full file buffer).
+    pub fn verify_checksum(&self, bytes: &[u8]) -> Result<(), ServeError> {
+        let got = fnv1a64(&bytes[HEADER_LEN..]);
+        if got != self.checksum {
+            return Err(ServeError::ChecksumMismatch {
+                expected: self.checksum,
+                got,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A fully loaded snapshot: the raw aligned buffer plus the decoded
+/// network and model.
+pub struct Snapshot {
+    bytes: AlignedBytes,
+    header: Header,
+    graph: HinGraph,
+    model: GenClusModel,
+}
+
+impl Snapshot {
+    /// Parses, checksums, and decodes a snapshot from raw bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ServeError> {
+        let header = Header::parse(bytes)?;
+        header.verify_checksum(bytes)?;
+        let mut r = ByteReader::new(&bytes[HEADER_LEN..]);
+        let graph = HinGraph::from_bytes(&mut r).ok_or(ServeError::Malformed("network"))?;
+        r.align8().ok_or(ServeError::Malformed("padding"))?;
+        let model = GenClusModel::from_bytes(&mut r).ok_or(ServeError::Malformed("model"))?;
+        // Cross-checks between header, graph, and model. The kind/shape
+        // check per (attribute, component) pair matters because the EM and
+        // fold-in kernels match on the pair and treat a mismatch as
+        // unreachable.
+        let kinds_match = model.attributes.len() == model.components.len()
+            && model
+                .attributes
+                .iter()
+                .zip(&model.components)
+                .all(|(&a, comp)| {
+                    a.index() < graph.schema().n_attributes()
+                        && match (&graph.schema().attribute(a).kind, comp) {
+                            (
+                                genclus_hin::AttributeKind::Categorical { vocab_size },
+                                genclus_core::ClusterComponents::Categorical(c),
+                            ) => c.vocab_size() == *vocab_size,
+                            (
+                                genclus_hin::AttributeKind::Numerical,
+                                genclus_core::ClusterComponents::Gaussian(_),
+                            ) => true,
+                            _ => false,
+                        }
+                });
+        if model.theta.n_objects() != graph.n_objects()
+            || model.theta.n_objects() != header.theta_rows
+            || model.theta.n_clusters() != header.theta_cols
+            || model.gamma.len() != graph.schema().n_relations()
+            || !kinds_match
+        {
+            return Err(ServeError::Malformed("model/network cross-check"));
+        }
+        Ok(Self {
+            bytes: AlignedBytes::copy_from(bytes),
+            header,
+            graph,
+            model,
+        })
+    }
+
+    /// Reads and decodes a snapshot file.
+    pub fn load(path: &Path) -> Result<Self, ServeError> {
+        let mut f = std::fs::File::open(path)?;
+        let mut bytes = Vec::new();
+        f.read_to_end(&mut bytes)?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// The parsed header.
+    pub fn header(&self) -> Header {
+        self.header
+    }
+
+    /// The decoded network.
+    pub fn graph(&self) -> &HinGraph {
+        &self.graph
+    }
+
+    /// The decoded model.
+    pub fn model(&self) -> &GenClusModel {
+        &self.model
+    }
+
+    /// Consumes the snapshot, yielding the owned network and model.
+    pub fn into_parts(self) -> (HinGraph, GenClusModel) {
+        (self.graph, self.model)
+    }
+
+    /// The raw file bytes (aligned).
+    pub fn raw_bytes(&self) -> &[u8] {
+        self.bytes.as_slice()
+    }
+
+    /// Zero-copy view of the `Θ` matrix straight out of the file buffer:
+    /// row-major, `theta_rows × theta_cols`, no per-entry decode and no
+    /// extra allocation. The buffer is 8-aligned by construction and the
+    /// writer 8-aligns the Θ payload, so the reinterpretation is exact.
+    ///
+    /// The format is little-endian; on a big-endian target this view is not
+    /// available (use [`Snapshot::model`], whose decoded matrix is
+    /// endian-correct everywhere).
+    #[cfg(target_endian = "little")]
+    pub fn theta_view(&self) -> &[f64] {
+        let n = self.header.theta_rows * self.header.theta_cols;
+        let raw =
+            &self.bytes.as_slice()[self.header.theta_offset..self.header.theta_offset + n * 8];
+        // SAFETY: the slice starts 8-aligned (aligned buffer + offset
+        // validated to be a multiple of 8) and covers exactly n f64s; any
+        // bit pattern is a valid f64.
+        let (prefix, mid, suffix) = unsafe { raw.align_to::<f64>() };
+        debug_assert!(prefix.is_empty() && suffix.is_empty());
+        mid
+    }
+
+    /// One membership row out of the zero-copy view.
+    #[cfg(target_endian = "little")]
+    pub fn theta_row(&self, v: usize) -> &[f64] {
+        let k = self.header.theta_cols;
+        &self.theta_view()[v * k..(v + 1) * k]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genclus_core::attr_model::{ClusterComponents, GaussianComponents};
+    use genclus_hin::{HinBuilder, Schema};
+    use genclus_stats::MembershipMatrix;
+
+    fn tiny() -> (HinGraph, GenClusModel) {
+        let mut s = Schema::new();
+        let t = s.add_object_type("sensor");
+        let nn = s.add_relation("nn", t, t);
+        let reading = s.add_numerical_attribute("reading");
+        let mut b = HinBuilder::new(s);
+        let v0 = b.add_object(t, "s0");
+        let v1 = b.add_object(t, "s1");
+        let v2 = b.add_object(t, "s2");
+        b.add_link(v0, v1, nn, 1.0).unwrap();
+        b.add_link(v1, v2, nn, 2.0).unwrap();
+        b.add_numeric(v0, reading, -1.0).unwrap();
+        b.add_numeric(v2, reading, 1.0).unwrap();
+        let graph = b.build().unwrap();
+        let model = GenClusModel {
+            theta: MembershipMatrix::from_rows(
+                &[vec![0.9, 0.1], vec![0.5, 0.5], vec![0.2, 0.8]],
+                2,
+            ),
+            gamma: vec![1.25],
+            components: vec![ClusterComponents::Gaussian(
+                GaussianComponents::from_params(vec![-1.0, 1.0], vec![0.5, 0.5], 1e-6),
+            )],
+            attributes: vec![reading],
+            theta_smoothing: 0.05,
+        };
+        (graph, model)
+    }
+
+    #[test]
+    fn round_trip_and_zero_copy_view() {
+        let (graph, model) = tiny();
+        let bytes = to_bytes(&graph, &model);
+        let snap = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(snap.graph().n_objects(), 3);
+        assert_eq!(snap.model().gamma, model.gamma);
+        assert_eq!(snap.model().theta, model.theta);
+        assert_eq!(snap.model().theta_smoothing, 0.05);
+        // Zero-copy view equals the decoded matrix exactly.
+        let view = snap.theta_view();
+        assert_eq!(view, model.theta.as_slice());
+        assert_eq!(snap.theta_row(2), model.theta.row(2));
+        // Re-serialization is byte-identical.
+        let again = to_bytes(snap.graph(), snap.model());
+        assert_eq!(again, bytes);
+    }
+
+    #[test]
+    fn save_and_load_files() {
+        let (graph, model) = tiny();
+        let dir = std::env::temp_dir().join("genclus-serve-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.gcsnap");
+        save(&path, &graph, &model).unwrap();
+        let snap = Snapshot::load(&path).unwrap();
+        assert_eq!(snap.model().theta, model.theta);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_errors_are_distinguished() {
+        let (graph, model) = tiny();
+        let bytes = to_bytes(&graph, &model);
+
+        // Not a snapshot.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            Snapshot::from_bytes(&bad),
+            Err(ServeError::BadMagic)
+        ));
+
+        // Future schema version.
+        let mut bad = bytes.clone();
+        bad[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            Snapshot::from_bytes(&bad),
+            Err(ServeError::UnsupportedVersion { found: 99, .. })
+        ));
+
+        // Truncation.
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(ServeError::Truncated)
+        ));
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes[..10]),
+            Err(ServeError::Truncated)
+        ));
+
+        // Payload corruption is caught by the checksum.
+        let mut bad = bytes.clone();
+        let mid = HEADER_LEN + (bad.len() - HEADER_LEN) / 2;
+        bad[mid] ^= 0xff;
+        assert!(matches!(
+            Snapshot::from_bytes(&bad),
+            Err(ServeError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn tampered_theta_offset_cannot_overflow_past_validation() {
+        // The Θ geometry fields live in the header, *outside* the payload
+        // checksum — a wrapping add here would let an absurd offset pass
+        // the bound and panic later in theta_view().
+        let (graph, model) = tiny();
+        let bytes = to_bytes(&graph, &model);
+        let mut bad = bytes.clone();
+        // theta_offset := usize::MAX - 7 (8-aligned, ≥ HEADER_LEN).
+        bad[32..40].copy_from_slice(&(u64::MAX - 7).to_le_bytes());
+        assert!(matches!(
+            Snapshot::from_bytes(&bad),
+            Err(ServeError::Malformed(_))
+        ));
+        // Huge payload_len must not wrap the expected-length check either.
+        let mut bad = bytes.clone();
+        bad[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            Snapshot::from_bytes(&bad),
+            Err(ServeError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn aligned_bytes_is_eight_aligned() {
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 1000] {
+            let a = AlignedBytes::zeroed(len);
+            assert_eq!(a.len(), len);
+            assert_eq!(a.as_slice().as_ptr() as usize % 8, 0);
+        }
+        let a = AlignedBytes::copy_from(&[1, 2, 3]);
+        assert_eq!(a.as_slice(), &[1, 2, 3]);
+        assert!(!a.is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! Snapshot format-compatibility guard.
+//!
+//! `tests/fixtures/snapshot_v1.gcsnap` is a committed snapshot written by
+//! the version-1 writer. Two invariants, both enforced in CI:
+//!
+//! * **old snapshots keep loading** — if this test starts failing, a
+//!   format change broke compatibility without a version bump and a
+//!   migration path;
+//! * **the v1 layout is frozen** — while `SCHEMA_VERSION == 1`, the
+//!   current writer must reproduce the fixture byte for byte; any layout
+//!   change must bump the version (and add a new fixture) instead of
+//!   silently redefining v1.
+//!
+//! Regenerate (only together with a version bump) via:
+//! `cargo test -p genclus-serve --test fixture regenerate_fixture -- --ignored`
+
+use genclus_core::attr_model::{CategoricalComponents, ClusterComponents, GaussianComponents};
+use genclus_core::GenClusModel;
+use genclus_hin::prelude::*;
+use genclus_serve::prelude::*;
+use genclus_serve::snapshot::SCHEMA_VERSION;
+use genclus_stats::MembershipMatrix;
+use std::path::PathBuf;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join("snapshot_v1.gcsnap")
+}
+
+/// A fully deterministic (no RNG, hand-set parameters) network + model.
+fn fixture_parts() -> (HinGraph, GenClusModel) {
+    let mut s = Schema::new();
+    let station = s.add_object_type("station");
+    let report = s.add_object_type("report");
+    let emits = s.add_relation("emits", station, report);
+    let emitted_by = s.add_relation("emitted_by", report, station);
+    let tags = s.add_categorical_attribute("tags", 4);
+    let temp = s.add_numerical_attribute("temp");
+    let mut b = HinBuilder::new(s);
+    let s0 = b.add_object(station, "st-0");
+    let s1 = b.add_object(station, "st-1");
+    let r0 = b.add_object(report, "rp-0");
+    let r1 = b.add_object(report, "rp-1");
+    let r2 = b.add_object(report, "rp-2");
+    b.add_link_pair(s0, r0, emits, emitted_by, 1.0).unwrap();
+    b.add_link_pair(s0, r1, emits, emitted_by, 2.0).unwrap();
+    b.add_link_pair(s1, r2, emits, emitted_by, 1.5).unwrap();
+    b.add_terms(r0, tags, &[0, 1, 1]).unwrap();
+    b.add_terms(r2, tags, &[3]).unwrap();
+    b.add_numeric(s0, temp, -2.5).unwrap();
+    b.add_numeric(s1, temp, 3.25).unwrap();
+    // rp-1 carries no attributes at all — the incomplete case.
+    let graph = b.build().unwrap();
+    let model = GenClusModel {
+        theta: MembershipMatrix::from_rows(
+            &[
+                vec![0.9, 0.1],
+                vec![0.2, 0.8],
+                vec![0.85, 0.15],
+                vec![0.75, 0.25],
+                vec![0.1, 0.9],
+            ],
+            2,
+        ),
+        gamma: vec![1.5, 0.75],
+        components: vec![
+            ClusterComponents::Categorical(CategoricalComponents::from_rows(
+                &[vec![0.4, 0.4, 0.1, 0.1], vec![0.1, 0.1, 0.2, 0.6]],
+                1e-9,
+            )),
+            ClusterComponents::Gaussian(GaussianComponents::from_params(
+                vec![-2.5, 3.25],
+                vec![0.5, 0.25],
+                1e-6,
+            )),
+        ],
+        attributes: vec![tags, temp],
+        theta_smoothing: 0.05,
+    };
+    (graph, model)
+}
+
+#[test]
+fn committed_v1_fixture_still_loads() {
+    let bytes = std::fs::read(fixture_path())
+        .expect("fixture snapshot missing — run the regenerate_fixture test");
+    let snap = Snapshot::from_bytes(&bytes).expect("v1 fixture must keep loading");
+    assert_eq!(snap.header().version, 1);
+    assert_eq!(snap.graph().n_objects(), 5);
+    assert_eq!(snap.graph().n_links(), 6);
+    assert_eq!(snap.model().n_clusters(), 2);
+    assert_eq!(snap.model().gamma, vec![1.5, 0.75]);
+    assert_eq!(snap.model().theta_smoothing, 0.05);
+    assert_eq!(snap.theta_row(0), &[0.9, 0.1]);
+    let st0 = snap.graph().require_object_by_name("st-0").unwrap();
+    assert_eq!(snap.model().membership(st0), &[0.9, 0.1]);
+    // The loaded snapshot is immediately servable.
+    let engine = QueryEngine::new(snap, 1);
+    let resp = engine.handle_line(r#"{"op":"top_k","object":"rp-0","k":2,"type":"report"}"#);
+    let v = Json::parse(&resp).unwrap();
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{resp}");
+    assert_eq!(v.get("results").unwrap().as_arr().unwrap().len(), 2);
+}
+
+#[test]
+fn v1_layout_is_frozen_while_version_is_1() {
+    if SCHEMA_VERSION != 1 {
+        // A newer layout exists; the loading test above still guards v1.
+        return;
+    }
+    let (graph, model) = fixture_parts();
+    let current = genclus_serve::snapshot::to_bytes(&graph, &model);
+    let committed = std::fs::read(fixture_path())
+        .expect("fixture snapshot missing — run the regenerate_fixture test");
+    assert_eq!(
+        current, committed,
+        "the v1 snapshot layout changed — bump SCHEMA_VERSION and add a new \
+         fixture instead of redefining v1"
+    );
+}
+
+/// Writes the fixture. Run only when introducing a new schema version.
+#[test]
+#[ignore]
+fn regenerate_fixture() {
+    let (graph, model) = fixture_parts();
+    std::fs::create_dir_all(fixture_path().parent().unwrap()).unwrap();
+    std::fs::write(
+        fixture_path(),
+        genclus_serve::snapshot::to_bytes(&graph, &model),
+    )
+    .unwrap();
+}

@@ -1,0 +1,233 @@
+//! Property tests for the serving layer:
+//!
+//! * snapshot save → load → save is **byte-identical** on randomized
+//!   networks and models;
+//! * corrupting any single payload byte is detected at load;
+//! * folding an object that was *in* the training set back in (its own
+//!   links + observations, frozen `β`/`γ`) reproduces its fitted `Θ` row
+//!   to ≤ 1e-9;
+//! * `append` + fold-in compose: a delta-committed object folds to the
+//!   same row as the transient request that described it.
+
+use genclus_core::attr_model::ClusterComponents;
+use genclus_core::em::EmEngine;
+use genclus_core::GenClusModel;
+use genclus_hin::prelude::*;
+use genclus_serve::prelude::*;
+use genclus_stats::MembershipMatrix;
+use proptest::prelude::*;
+use rand::Rng;
+
+/// A randomized two-type network with three relations, both attribute
+/// kinds, and ~40% missing observations.
+fn random_network(seed: u64, n_per_type: usize) -> (HinGraph, Vec<AttributeId>) {
+    let mut rng = genclus_stats::seeded_rng(seed);
+    let mut s = Schema::new();
+    let ta = s.add_object_type("A");
+    let tb = s.add_object_type("B");
+    let ab = s.add_relation("ab", ta, tb);
+    let ba = s.add_relation("ba", tb, ta);
+    let aa = s.add_relation("aa", ta, ta);
+    let text = s.add_categorical_attribute("text", 7);
+    let num = s.add_numerical_attribute("num");
+    let mut b = HinBuilder::new(s);
+    let a_ids: Vec<_> = (0..n_per_type)
+        .map(|i| b.add_object(ta, format!("a{i}")))
+        .collect();
+    let b_ids: Vec<_> = (0..n_per_type)
+        .map(|i| b.add_object(tb, format!("b{i}")))
+        .collect();
+    for i in 0..n_per_type {
+        b.add_link(a_ids[i], b_ids[i], ab, 1.0).unwrap();
+        b.add_link(b_ids[i], a_ids[(i + 1) % n_per_type], ba, 1.0)
+            .unwrap();
+        for _ in 0..2 {
+            let j = rng.gen_range(0..n_per_type);
+            b.add_link(a_ids[i], b_ids[j], ab, rng.gen_range(0.5..2.0))
+                .unwrap();
+            let j = rng.gen_range(0..n_per_type);
+            if j != i {
+                b.add_link(a_ids[i], a_ids[j], aa, rng.gen_range(0.5..3.0))
+                    .unwrap();
+            }
+        }
+        if rng.gen_bool(0.6) {
+            for _ in 0..rng.gen_range(1..4) {
+                b.add_term_count(a_ids[i], text, rng.gen_range(0..7), rng.gen_range(1.0..3.0))
+                    .unwrap();
+            }
+        }
+        if rng.gen_bool(0.6) {
+            for _ in 0..rng.gen_range(1..4) {
+                b.add_numeric(b_ids[i], num, rng.gen_range(-4.0..4.0))
+                    .unwrap();
+            }
+        }
+    }
+    (b.build().unwrap(), vec![text, num])
+}
+
+/// Runs the frozen-γ EM to a deep fixed point and wraps it as a model;
+/// the second return is whether EM actually converged (a few randomized
+/// instances settle into limit cycles — fixed-point sweeps carry no
+/// global convergence guarantee — and fitted-row reproduction is only
+/// meaningful for converged fits).
+fn fitted_model(
+    graph: &HinGraph,
+    attrs: &[AttributeId],
+    k: usize,
+    seed: u64,
+) -> (GenClusModel, bool) {
+    let mut rng = genclus_stats::seeded_rng(seed ^ 0x5eed);
+    let theta = MembershipMatrix::random(graph.n_objects(), k, &mut rng);
+    let comps: Vec<ClusterComponents> = attrs
+        .iter()
+        .map(|&a| ClusterComponents::init(k, graph.attribute(a), &mut rng, 1e-9, 1e-6))
+        .collect();
+    let gamma: Vec<f64> = (0..graph.schema().n_relations())
+        .map(|i| 0.5 + 0.5 * i as f64)
+        .collect();
+    let smoothing = 0.05;
+    // Deep fixed point: the fold-in comparison tolerance (1e-9) needs the
+    // fitted rows essentially *at* the fixed point, because a stopping
+    // residual δ amplifies to ≈ δ/(1−ρ) distance for contraction factor ρ,
+    // and link-dominated objects can have ρ near 1.
+    let max_iters = 8000;
+    let mut eng = EmEngine::new(graph, attrs, k, 1, 1e-9, 1e-6).with_smoothing(smoothing);
+    let (theta, comps, iters) = eng.run(theta, comps, &gamma, max_iters, 1e-15);
+    let model = GenClusModel {
+        theta,
+        gamma,
+        components: comps,
+        attributes: attrs.to_vec(),
+        theta_smoothing: smoothing,
+    };
+    (model, iters < max_iters)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Snapshot round trips are byte-identical and structure-preserving.
+    #[test]
+    fn snapshot_save_load_save_is_byte_identical(
+        seed in any::<u64>(),
+        n in 4usize..24,
+        k in 2usize..5,
+    ) {
+        let (graph, attrs) = random_network(seed, n);
+        let (model, _) = fitted_model(&graph, &attrs, k, seed);
+        let bytes = genclus_serve::snapshot::to_bytes(&graph, &model);
+        let snap = Snapshot::from_bytes(&bytes).unwrap();
+        let again = genclus_serve::snapshot::to_bytes(snap.graph(), snap.model());
+        prop_assert_eq!(&again, &bytes, "save → load → save must be byte-identical");
+        // The zero-copy Θ view equals the decoded matrix bit for bit.
+        prop_assert_eq!(snap.theta_view(), snap.model().theta.as_slice());
+        // And a second load of the re-serialization agrees.
+        let snap2 = Snapshot::from_bytes(&again).unwrap();
+        prop_assert_eq!(snap2.model().theta.as_slice(), snap.model().theta.as_slice());
+        prop_assert_eq!(snap2.graph().n_links(), graph.n_links());
+    }
+
+    /// Any single corrupted payload byte is caught by the checksum (or, if
+    /// it strikes the header, by header validation).
+    #[test]
+    fn corruption_is_detected(seed in any::<u64>(), strike in any::<u64>()) {
+        let (graph, attrs) = random_network(seed, 6);
+        let (model, _) = fitted_model(&graph, &attrs, 2, seed);
+        let bytes = genclus_serve::snapshot::to_bytes(&graph, &model);
+        let pos = (strike as usize) % bytes.len();
+        let mut bad = bytes.clone();
+        bad[pos] ^= 0x01;
+        prop_assert!(
+            Snapshot::from_bytes(&bad).is_err(),
+            "flipping byte {pos} of {} went unnoticed",
+            bytes.len()
+        );
+    }
+
+    /// Folding a training object back in reproduces its fitted row ≤ 1e-9.
+    #[test]
+    fn fold_in_reproduces_fitted_rows(seed in any::<u64>(), n in 4usize..16) {
+        let (graph, attrs) = random_network(seed, n);
+        let (model, converged) = fitted_model(&graph, &attrs, 3, seed);
+        prop_assume!(converged, "EM limit cycle — fitted rows are not a fixed point");
+        let engine = FoldInEngine::new(&model, &graph).with_options(FoldInOptions {
+            max_iters: 4000,
+            tol: 1e-15,
+        });
+        for v in graph.objects() {
+            let out = engine.fold_existing(v).unwrap();
+            let fitted = model.theta.row(v.index());
+            for (kk, (a, b)) in out.theta.iter().zip(fitted).enumerate() {
+                prop_assert!(
+                    (a - b).abs() <= 1e-9,
+                    "seed {seed}, object {v}, cluster {kk}: fold-in {a} vs fitted {b}"
+                );
+            }
+        }
+    }
+
+    /// A committed (append) object and the transient fold-in request that
+    /// described it agree, and the snapshot of the grown network still
+    /// round-trips.
+    #[test]
+    fn append_and_fold_in_compose(seed in any::<u64>(), n in 4usize..12) {
+        let (graph, attrs) = random_network(seed, n);
+        let (model, _) = fitted_model(&graph, &attrs, 2, seed);
+        let mut rng = genclus_stats::seeded_rng(seed ^ 0xfeed);
+        let schema = graph.schema();
+        let ta = schema.object_type_by_name("A").unwrap();
+        let ab = schema.relation_by_name("ab").unwrap();
+        let aa = schema.relation_by_name("aa").unwrap();
+        let num = schema.attribute_by_name("num").unwrap();
+        let tb = schema.object_type_by_name("B").unwrap();
+
+        // Describe a new object twice: as a transient request and as a
+        // committed delta.
+        let b_targets: Vec<_> = graph.objects_of_type(tb);
+        let a_targets: Vec<_> = graph.objects_of_type(ta);
+        let t1 = b_targets[rng.gen_range(0..b_targets.len())];
+        let t2 = a_targets[rng.gen_range(0..a_targets.len())];
+        let x = rng.gen_range(-3.0..3.0);
+        let req = FoldInRequest {
+            links: vec![(ab, t1, 1.5), (aa, t2, 0.7)],
+            values: vec![(num, vec![x])],
+            ..Default::default()
+        };
+        let transient = FoldInEngine::new(&model, &graph).assign(&req).unwrap();
+
+        let mut grown = graph.clone();
+        let mut delta = GraphDelta::new(&grown);
+        let fresh = delta.add_object(ta, "fresh");
+        delta.add_link(fresh, t1, ab, 1.5).unwrap();
+        delta.add_link(fresh, t2, aa, 0.7).unwrap();
+        delta.add_numeric(fresh, num, x).unwrap();
+        grown.append(delta).unwrap();
+
+        // The model does not cover the new object yet; extend Θ with the
+        // folded row and verify `fold_existing` lands on the same row.
+        let mut rows: Vec<Vec<f64>> = (0..model.theta.n_objects())
+            .map(|i| model.theta.row(i).to_vec())
+            .collect();
+        rows.push(transient.theta.clone());
+        let grown_model = GenClusModel {
+            theta: MembershipMatrix::from_rows(&rows, model.n_clusters()),
+            gamma: model.gamma.clone(),
+            components: model.components.clone(),
+            attributes: model.attributes.clone(),
+            theta_smoothing: model.theta_smoothing,
+        };
+        let committed = FoldInEngine::new(&grown_model, &grown)
+            .fold_existing(fresh)
+            .unwrap();
+        for (a, b) in committed.theta.iter().zip(&transient.theta) {
+            prop_assert!((a - b).abs() <= 1e-9, "committed {a} vs transient {b}");
+        }
+        // The grown network snapshots and round-trips byte-identically.
+        let bytes = genclus_serve::snapshot::to_bytes(&grown, &grown_model);
+        let snap = Snapshot::from_bytes(&bytes).unwrap();
+        let again = genclus_serve::snapshot::to_bytes(snap.graph(), snap.model());
+        prop_assert_eq!(again, bytes);
+    }
+}

@@ -24,6 +24,7 @@
 //! hot-path functions take `&mut [f64]` buffers instead of returning fresh
 //! vectors where it matters.
 
+pub mod bytesio;
 pub mod dirichlet;
 pub mod logsumexp;
 pub mod matrix;
@@ -33,6 +34,7 @@ pub mod simplex;
 pub mod special;
 pub mod summary;
 
+pub use bytesio::{fnv1a64, ByteReader};
 pub use dirichlet::{dirichlet_log_pdf, ln_beta};
 pub use logsumexp::{log_sum_exp, normalize_log_weights};
 pub use matrix::Matrix;

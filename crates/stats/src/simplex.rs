@@ -209,6 +209,44 @@ impl MembershipMatrix {
     pub fn par_chunks_mut(&mut self, rows_per_chunk: usize) -> std::slice::ChunksMut<'_, f64> {
         self.data.chunks_mut(rows_per_chunk.max(1) * self.k)
     }
+
+    /// Serializes as `[n u64][k u64][n·k raw f64 bit patterns]` (LE; see
+    /// [`crate::bytesio`]) and returns the byte offset of the first matrix
+    /// entry within the emitted bytes. Because every item is 8 bytes, a
+    /// caller that starts writing at an 8-aligned position gets an 8-aligned
+    /// data payload — the contract the serve crate's zero-copy `Θ` view
+    /// relies on.
+    pub fn to_bytes(&self, out: &mut Vec<u8>) -> usize {
+        let start = out.len();
+        crate::bytesio::put_u64(out, self.n as u64);
+        crate::bytesio::put_u64(out, self.k as u64);
+        let data_offset = out.len() - start;
+        out.reserve(self.data.len() * 8);
+        for &x in &self.data {
+            crate::bytesio::put_f64(out, x);
+        }
+        data_offset
+    }
+
+    /// Inverse of [`Self::to_bytes`]. Returns `None` on truncation, a
+    /// corrupt length prefix, zero `k`, or non-finite entries; entries are
+    /// restored bit-exactly so write → read → write is byte-identical.
+    pub fn from_bytes(r: &mut crate::bytesio::ByteReader<'_>) -> Option<Self> {
+        let n: usize = r.u64()?.try_into().ok()?;
+        let k: usize = r.u64()?.try_into().ok()?;
+        if k == 0 || n.checked_mul(k)?.checked_mul(8)? > r.remaining() {
+            return None;
+        }
+        let mut data = Vec::with_capacity(n * k);
+        for _ in 0..n * k {
+            let x = r.f64()?;
+            if !x.is_finite() {
+                return None;
+            }
+            data.push(x);
+        }
+        Some(Self { data, n, k })
+    }
 }
 
 #[cfg(test)]
@@ -304,6 +342,29 @@ mod tests {
             3,
         );
         assert_eq!(m.hard_labels(), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn bytes_round_trip_is_exact_and_aligned() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let m = MembershipMatrix::random(17, 3, &mut rng);
+        let mut bytes = Vec::new();
+        let data_offset = m.to_bytes(&mut bytes);
+        assert_eq!(data_offset, 16, "n and k headers precede the data");
+        assert_eq!(bytes.len(), 16 + 17 * 3 * 8);
+        let mut r = crate::bytesio::ByteReader::new(&bytes);
+        let back = MembershipMatrix::from_bytes(&mut r).unwrap();
+        assert_eq!(back, m, "bit-exact round trip");
+        let mut again = Vec::new();
+        back.to_bytes(&mut again);
+        assert_eq!(again, bytes, "byte-identical re-serialization");
+        // Truncation and corrupt prefixes are rejected, not panicked on.
+        let mut r = crate::bytesio::ByteReader::new(&bytes[..bytes.len() - 1]);
+        assert!(MembershipMatrix::from_bytes(&mut r).is_none());
+        let mut corrupt = bytes.clone();
+        corrupt[0] = 0xff; // absurd row count
+        let mut r = crate::bytesio::ByteReader::new(&corrupt);
+        assert!(MembershipMatrix::from_bytes(&mut r).is_none());
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! | [`baselines`] | `genclus-baselines` | NetPLSA, iTopicModel, k-means, spectral combine |
 //! | [`datagen`] | `genclus-datagen` | weather sensor generator (Appendix C), synthetic DBLP four-area corpus |
 //! | [`eval`] | `genclus-eval` | NMI, MAP link prediction, label utilities |
+//! | [`serve`] | `genclus-serve` | model snapshots, online fold-in of new objects, batched JSON-lines query engine |
 //!
 //! # Quickstart
 //!
@@ -44,6 +45,7 @@ pub use genclus_core as core;
 pub use genclus_datagen as datagen;
 pub use genclus_eval as eval;
 pub use genclus_hin as hin;
+pub use genclus_serve as serve;
 pub use genclus_stats as stats;
 
 /// One-stop prelude combining the sub-crate preludes.
@@ -53,5 +55,6 @@ pub mod prelude {
     pub use genclus_datagen::prelude::*;
     pub use genclus_eval::prelude::*;
     pub use genclus_hin::prelude::*;
+    pub use genclus_serve::prelude::*;
     pub use genclus_stats::{MembershipMatrix, NewtonOptions};
 }
