@@ -1,0 +1,77 @@
+//! Reproducible refresh perf harness: writes `BENCH_refresh.json`.
+//!
+//! ```text
+//! bench_refresh [--quick] [--threads N] [--out <path>]
+//! ```
+//!
+//! Fits the paper's 1250-object weather network, grows it by 10% new
+//! sensors (staged like the serving layer's refresh queue: fold-in rows +
+//! `GraphDelta`), and re-fits the appended graph twice in the same run —
+//! warm-started from the served `(Θ, β, γ)` versus cold from random
+//! initialization — reporting total EM iterations to converge and wall
+//! time for each. In full mode the run exits non-zero unless the warm
+//! re-fit converges in **strictly fewer** EM iterations than the cold
+//! one: that gap is the entire value of the refresh subsystem. Both modes
+//! also require the refreshed snapshot to answer `membership` / `top_k`
+//! for original and appended sensors.
+
+use genclus_bench::refresh_perf::{run_refresh_perf, RefreshPerfConfig};
+use std::path::PathBuf;
+
+fn main() {
+    let mut cfg = RefreshPerfConfig::full();
+    let mut out = PathBuf::from("BENCH_refresh.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => {
+                let threads = cfg.threads;
+                cfg = RefreshPerfConfig::quick();
+                cfg.threads = threads;
+            }
+            "--threads" => {
+                cfg.threads = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&t| t >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--out" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!(
+                    "unknown argument `{other}`\nusage: bench_refresh [--quick] [--threads N] [--out <path>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = run_refresh_perf(&cfg);
+    print!("{}", report.render());
+    match report.save(&out) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+
+    // Convergence gate: the acceptance criterion of the refresh subsystem.
+    if report.mode == "full"
+        && report.headline.warm_em_iterations >= report.headline.cold_em_iterations
+    {
+        eprintln!(
+            "PERF REGRESSION: warm re-fit took {} EM iterations, cold took {} (gate: strictly fewer)",
+            report.headline.warm_em_iterations, report.headline.cold_em_iterations
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,478 @@
+//! The refresh perf trajectory: `BENCH_refresh.json`.
+//!
+//! Measures what warm-starting buys on the fit → serve → grow → re-fit
+//! loop: a weather network is fitted and snapshotted, grown by ~10% new
+//! sensors (staged exactly like the serving layer does — fold-in rows
+//! under the frozen model, links/observations in a [`GraphDelta`]), and
+//! then re-fitted twice on the appended graph in the same run:
+//!
+//! * **warm** — [`GenClus::fit_warm`] seeded from the served `(Θ, β, γ)`
+//!   with the fold-in rows covering the new objects (the refresh path of
+//!   `genclus-serve`);
+//! * **cold** — an ordinary [`GenClus::fit`] from random initialization
+//!   with the same hyperparameters and seed.
+//!
+//! Per strategy it reports the outer alternations used, the **total EM
+//! iterations** across them (the dominant cost, and the convergence
+//! currency the paper's Fig. 10 uses), and the wall time. The headline
+//! compares total EM iterations; `bench_refresh` exits non-zero in full
+//! mode unless warm converges in **strictly fewer** EM iterations than
+//! cold. The run also proves the refreshed snapshot serves: it loads the
+//! warm fit into a [`QueryEngine`] and requires `membership` / `top_k`
+//! answers for both an original and an appended sensor.
+//!
+//! Schema of `BENCH_refresh.json` is documented in ROADMAP.md's
+//! Performance section and mirrored by [`RefreshPerfReport::to_json`].
+
+use crate::perf::fmt_f64;
+use genclus_core::{GenClus, GenClusConfig, GenClusModel};
+use genclus_datagen::weather::{generate, PatternSetting, WeatherConfig, WeatherNetwork};
+use genclus_hin::{GraphDelta, HinGraph};
+use genclus_serve::{FoldInEngine, FoldInRequest, QueryEngine, Snapshot};
+use genclus_stats::MembershipMatrix;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Clusters of the benchmark fit.
+pub const K: usize = 4;
+
+/// Controls the measurement run.
+#[derive(Debug, Clone)]
+pub struct RefreshPerfConfig {
+    /// Quick mode: small network (smoke test).
+    pub quick: bool,
+    /// Worker threads for the fits.
+    pub threads: usize,
+}
+
+impl RefreshPerfConfig {
+    /// Full-scale measurement (the committed `BENCH_refresh.json`): the
+    /// paper's 1250-object weather network, grown by 10%.
+    pub fn full() -> Self {
+        Self {
+            quick: false,
+            threads: 1,
+        }
+    }
+
+    /// Smoke-test scale.
+    pub fn quick() -> Self {
+        Self {
+            quick: true,
+            threads: 1,
+        }
+    }
+}
+
+/// One re-fit measurement.
+#[derive(Debug, Clone)]
+pub struct RefitMeasurement {
+    /// `warm` or `cold`.
+    pub strategy: &'static str,
+    /// Outer alternations used.
+    pub outer_iterations: usize,
+    /// Total EM iterations across the outer alternations.
+    pub em_iterations: usize,
+    /// Wall time of the re-fit.
+    pub seconds: f64,
+}
+
+/// The warm-vs-cold headline the acceptance gate reads.
+#[derive(Debug, Clone)]
+pub struct RefreshHeadline {
+    /// Total EM iterations of the warm re-fit.
+    pub warm_em_iterations: usize,
+    /// Total EM iterations of the cold re-fit.
+    pub cold_em_iterations: usize,
+    /// `cold / warm` EM-iteration ratio.
+    pub iteration_ratio: f64,
+    /// Wall seconds of the warm re-fit.
+    pub warm_seconds: f64,
+    /// Wall seconds of the cold re-fit.
+    pub cold_seconds: f64,
+    /// `cold / warm` wall-time ratio.
+    pub speedup: f64,
+}
+
+/// Everything one `bench_refresh` run produced.
+#[derive(Debug, Clone)]
+pub struct RefreshPerfReport {
+    /// `full` or `quick`.
+    pub mode: &'static str,
+    /// Objects before the append.
+    pub n_objects_base: usize,
+    /// Links before the append.
+    pub n_links_base: usize,
+    /// Objects appended (~10%).
+    pub n_objects_appended: usize,
+    /// Links appended.
+    pub n_links_appended: usize,
+    /// Observations per sensor.
+    pub n_obs: usize,
+    /// Both measurements, warm first.
+    pub measurements: Vec<RefitMeasurement>,
+    /// Warm-vs-cold comparison.
+    pub headline: RefreshHeadline,
+}
+
+/// The grown network plus the warm seed covering it.
+struct GrownFixture {
+    graph: HinGraph,
+    warm: GenClusModel,
+    base_cfg: GenClusConfig,
+    n_links_appended: usize,
+    /// Name of one appended temperature sensor (serving check).
+    new_sensor: String,
+}
+
+/// Fits the base network and stages ~10% growth the way the serving
+/// layer's refresh queue does: fold-in rows under the frozen model, the
+/// topology in a `GraphDelta`.
+fn build_fixture(cfg: &RefreshPerfConfig, net: &WeatherNetwork) -> GrownFixture {
+    let base_cfg = GenClusConfig::new(K, vec![net.temp_attr, net.precip_attr])
+        .with_seed(11)
+        .with_threads(cfg.threads)
+        .with_outer_iters(if cfg.quick { 3 } else { 5 });
+    let fit = GenClus::new(base_cfg.clone())
+        .expect("valid config")
+        .fit(&net.graph)
+        .expect("base fit succeeds");
+
+    // Deterministic growth (xorshift, no RNG dependency): each new sensor
+    // belongs to a planted ring, links to existing sensors of that ring,
+    // and carries observations near that ring's pattern mean.
+    let mut state = 0x243f6a8885a308d3u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let n_temp = net.temp_sensors.len();
+    let n_new_temp = n_temp / 10;
+    let n_new_precip = net.precip_sensors.len() / 10;
+    let means = PatternSetting::Setting1.means();
+    // Existing temperature sensors grouped by ground-truth ring. All new
+    // links target temperature sensors: `tt` for new temp sensors, `pt`
+    // for new precip sensors (both relations have a temp target type).
+    let temp_by_ring: Vec<Vec<usize>> = (0..K)
+        .map(|c| (0..n_temp).filter(|&i| net.labels[i] == c).collect())
+        .collect();
+
+    let mut delta = GraphDelta::new(&net.graph);
+    let mut requests: Vec<FoldInRequest> = Vec::new();
+    let temp_type = net
+        .graph
+        .schema()
+        .object_type_by_name("temp_sensor")
+        .unwrap();
+    let precip_type = net
+        .graph
+        .schema()
+        .object_type_by_name("precip_sensor")
+        .unwrap();
+    let mut new_sensor = String::new();
+    for i in 0..n_new_temp + n_new_precip {
+        let is_temp = i < n_new_temp;
+        let ring = next() as usize % K;
+        let (rel, obj_type, attr, mean) = if is_temp {
+            (net.relations.tt, temp_type, net.temp_attr, means[ring].0)
+        } else {
+            (
+                net.relations.pt,
+                precip_type,
+                net.precip_attr,
+                means[ring].1,
+            )
+        };
+        let name = if is_temp {
+            format!("NT{i}")
+        } else {
+            format!("NP{}", i - n_new_temp)
+        };
+        if new_sensor.is_empty() {
+            new_sensor = name.clone();
+        }
+        let mut req = FoldInRequest::default();
+        let pool = &temp_by_ring[ring];
+        for _ in 0..3 {
+            let target = net.temp_sensors[pool[next() as usize % pool.len()]];
+            req.links.push((rel, target, 1.0));
+        }
+        // Match the population's observation count, read from an anchor of
+        // the *same* type (each sensor type carries only its own attribute).
+        let anchor = if is_temp {
+            net.temp_sensors[0]
+        } else {
+            net.precip_sensors[0]
+        };
+        let n_values = net.graph.attribute(attr).values(anchor).len().max(1);
+        let values: Vec<f64> = (0..n_values)
+            .map(|_| mean + ((next() % 400) as f64 / 1000.0 - 0.2))
+            .collect();
+        req.values.push((attr, values));
+
+        let v = delta.add_object(obj_type, name);
+        for &(r, target, w) in &req.links {
+            delta
+                .add_link(v, target, r, w)
+                .expect("staged links are valid");
+        }
+        for (a, vals) in &req.values {
+            for &x in vals {
+                delta
+                    .add_numeric(v, *a, x)
+                    .expect("staged values are valid");
+            }
+        }
+        requests.push(req);
+    }
+
+    // Fold-in rows under the frozen model — the warm Θ extension.
+    let foldin = FoldInEngine::new(&fit.model, &net.graph);
+    let mut rows: Vec<Vec<f64>> = (0..fit.model.theta.n_objects())
+        .map(|i| fit.model.theta.row(i).to_vec())
+        .collect();
+    for req in &requests {
+        rows.push(foldin.assign(req).expect("fold-in succeeds").theta);
+    }
+
+    let mut graph = net.graph.clone();
+    let n_links_appended = delta.n_new_links();
+    graph.append(delta).expect("append succeeds");
+    let warm = GenClusModel {
+        theta: MembershipMatrix::from_rows(&rows, K),
+        gamma: fit.model.gamma.clone(),
+        components: fit.model.components.clone(),
+        attributes: fit.model.attributes.clone(),
+        theta_smoothing: fit.model.theta_smoothing,
+    };
+    GrownFixture {
+        graph,
+        warm,
+        base_cfg,
+        n_links_appended,
+        new_sensor,
+    }
+}
+
+fn total_em_iterations(fit: &genclus_core::GenClusFit) -> usize {
+    fit.history.total_em_iterations()
+}
+
+/// Runs the warm-vs-cold matrix and the serving check.
+pub fn run_refresh_perf(cfg: &RefreshPerfConfig) -> RefreshPerfReport {
+    let (n_temp, n_precip, n_obs) = if cfg.quick {
+        (120, 40, 5)
+    } else {
+        (1000, 250, 5)
+    };
+    let net = generate(&WeatherConfig {
+        n_temp,
+        n_precip,
+        k_neighbors: 5,
+        n_obs,
+        pattern: PatternSetting::Setting1,
+        seed: 7,
+    });
+    let fixture = build_fixture(cfg, &net);
+
+    // Warm re-fit: the serving layer's refresh path.
+    let warm_cfg = fixture.base_cfg.clone().with_warm_start(&fixture.warm);
+    let start = Instant::now();
+    let warm_fit = GenClus::new(warm_cfg)
+        .expect("valid warm config")
+        .fit_warm(&fixture.graph, &fixture.warm)
+        .expect("warm re-fit succeeds");
+    let warm_seconds = start.elapsed().as_secs_f64();
+
+    // Cold re-fit: same hyperparameters, fresh initialization.
+    let start = Instant::now();
+    let cold_fit = GenClus::new(fixture.base_cfg.clone())
+        .expect("valid cold config")
+        .fit(&fixture.graph)
+        .expect("cold re-fit succeeds");
+    let cold_seconds = start.elapsed().as_secs_f64();
+
+    // Serving check: the refreshed snapshot must answer membership/top_k
+    // for original and appended sensors alike.
+    let bytes = genclus_serve::snapshot::to_bytes(&fixture.graph, &warm_fit.model);
+    let engine = QueryEngine::new(
+        Snapshot::from_bytes(&bytes).expect("refreshed snapshot loads"),
+        1,
+    );
+    for object in ["T0", fixture.new_sensor.as_str()] {
+        for line in [
+            format!(r#"{{"op":"membership","object":"{object}"}}"#),
+            format!(r#"{{"op":"top_k","object":"{object}","k":5,"type":"temp_sensor"}}"#),
+        ] {
+            let resp = engine.handle_line(&line);
+            assert!(
+                resp.contains("\"ok\":true"),
+                "refreshed engine failed {line} → {resp}"
+            );
+        }
+    }
+
+    let measurements = vec![
+        RefitMeasurement {
+            strategy: "warm",
+            outer_iterations: warm_fit.history.n_iterations(),
+            em_iterations: total_em_iterations(&warm_fit),
+            seconds: warm_seconds,
+        },
+        RefitMeasurement {
+            strategy: "cold",
+            outer_iterations: cold_fit.history.n_iterations(),
+            em_iterations: total_em_iterations(&cold_fit),
+            seconds: cold_seconds,
+        },
+    ];
+    let (warm_iters, cold_iters) = (measurements[0].em_iterations, measurements[1].em_iterations);
+    RefreshPerfReport {
+        mode: if cfg.quick { "quick" } else { "full" },
+        n_objects_base: net.graph.n_objects(),
+        n_links_base: net.graph.n_links(),
+        n_objects_appended: fixture.graph.n_objects() - net.graph.n_objects(),
+        n_links_appended: fixture.n_links_appended,
+        n_obs,
+        measurements,
+        headline: RefreshHeadline {
+            warm_em_iterations: warm_iters,
+            cold_em_iterations: cold_iters,
+            iteration_ratio: cold_iters as f64 / warm_iters.max(1) as f64,
+            warm_seconds,
+            cold_seconds,
+            speedup: cold_seconds / warm_seconds.max(1e-12),
+        },
+    }
+}
+
+impl RefreshPerfReport {
+    /// Serializes to the documented `BENCH_refresh.json` schema
+    /// (hand-rolled — the workspace has no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\n  \"schema_version\": 1,\n  \"bench\": \"refresh\",\n");
+        out.push_str(&format!("  \"mode\": \"{}\",\n  \"k\": {K},\n", self.mode));
+        out.push_str(&format!(
+            "  \"dataset\": {{\"family\": \"weather\", \"n_objects_base\": {}, \
+             \"n_links_base\": {}, \"n_objects_appended\": {}, \"n_links_appended\": {}, \
+             \"n_obs\": {}}},\n",
+            self.n_objects_base,
+            self.n_links_base,
+            self.n_objects_appended,
+            self.n_links_appended,
+            self.n_obs
+        ));
+        out.push_str("  \"unit\": \"total EM iterations to converge / wall seconds\",\n");
+        out.push_str("  \"results\": [\n");
+        for (i, m) in self.measurements.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"strategy\": \"{}\", \"outer_iterations\": {}, \
+                 \"em_iterations\": {}, \"seconds\": {}}}",
+                m.strategy,
+                m.outer_iterations,
+                m.em_iterations,
+                fmt_f64(m.seconds),
+            ));
+            out.push_str(if i + 1 < self.measurements.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str(&format!(
+            "  ],\n  \"headline\": {{\"warm_em_iterations\": {}, \"cold_em_iterations\": {}, \
+             \"iteration_ratio\": {}, \"warm_seconds\": {}, \"cold_seconds\": {}, \
+             \"speedup\": {}}}\n}}\n",
+            self.headline.warm_em_iterations,
+            self.headline.cold_em_iterations,
+            fmt_f64(self.headline.iteration_ratio),
+            fmt_f64(self.headline.warm_seconds),
+            fmt_f64(self.headline.cold_seconds),
+            fmt_f64(self.headline.speedup),
+        ));
+        out
+    }
+
+    /// Writes the JSON to `path`.
+    pub fn save(&self, path: &Path) -> std::io::Result<PathBuf> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())?;
+        Ok(path.to_path_buf())
+    }
+
+    /// A terse human-readable rendering for the console.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "warm-start refresh ({} mode, {} + {} objects, {} + {} links)\n",
+            self.mode,
+            self.n_objects_base,
+            self.n_objects_appended,
+            self.n_links_base,
+            self.n_links_appended,
+        ));
+        for m in &self.measurements {
+            out.push_str(&format!(
+                "  {:4} re-fit: {:3} EM iterations over {} outer, {:8.3} s\n",
+                m.strategy, m.em_iterations, m.outer_iterations, m.seconds,
+            ));
+        }
+        out.push_str(&format!(
+            "headline: warm {} vs cold {} EM iterations → {:.2}x fewer ({:.2}x wall time)\n",
+            self.headline.warm_em_iterations,
+            self.headline.cold_em_iterations,
+            self.headline.iteration_ratio,
+            self.headline.speedup,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_consistent_report_and_json() {
+        let report = run_refresh_perf(&RefreshPerfConfig::quick());
+        assert_eq!(report.measurements.len(), 2);
+        assert_eq!(report.measurements[0].strategy, "warm");
+        assert_eq!(report.measurements[1].strategy, "cold");
+        for m in &report.measurements {
+            assert!(m.em_iterations >= 1);
+            assert!(m.outer_iterations >= 1);
+            assert!(m.seconds >= 0.0);
+        }
+        // ~10% growth really happened.
+        assert!(report.n_objects_appended >= report.n_objects_base / 20);
+        assert!(report.n_links_appended > 0);
+        // Warm must not be *worse* even at smoke scale (the strict gate is
+        // full-mode-only, where the fit is deep enough to be stable).
+        assert!(
+            report.headline.warm_em_iterations <= report.headline.cold_em_iterations,
+            "warm {} vs cold {}",
+            report.headline.warm_em_iterations,
+            report.headline.cold_em_iterations
+        );
+
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"refresh\""));
+        assert!(json.contains("\"strategy\": \"warm\""));
+        assert!(json.contains("\"strategy\": \"cold\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+
+        let dir = std::env::temp_dir().join("genclus-bench-refresh");
+        let path = report.save(&dir.join("BENCH_refresh.json")).expect("save");
+        assert!(path.exists());
+    }
+}

@@ -71,7 +71,7 @@ impl GenClus {
     pub fn fit_observed(
         &self,
         graph: &HinGraph,
-        mut observer: impl FnMut(IterationView<'_>),
+        observer: impl FnMut(IterationView<'_>),
     ) -> Result<GenClusFit, GenClusError> {
         let cfg = &self.config;
         validate_attributes(graph, cfg)?;
@@ -82,10 +82,143 @@ impl GenClus {
         // "For the initialization of γ in the outer iteration, we initialize
         // it as an all-1 vector" (§4.3) — configurable but defaulting to 1.
         let n_relations = graph.schema().n_relations();
-        let mut gamma = vec![cfg.gamma_init; n_relations];
+        let gamma = vec![cfg.gamma_init; n_relations];
 
-        let (mut theta, mut components) = initialize(graph, cfg, &gamma)?;
+        let (theta, components) = initialize(graph, cfg, &gamma)?;
+        self.fit_loop(graph, theta, components, gamma, observer)
+    }
 
+    /// Warm-start fit: seeds the alternation from an existing fitted state
+    /// `(Θ, β, γ)` instead of [`crate::config::InitStrategy`], skipping the
+    /// best-of-seeds warmup entirely.
+    ///
+    /// This is the refresh path of a long-running serving process: after
+    /// incremental [`genclus_hin::GraphDelta`] appends, re-fitting from the
+    /// loaded model amortizes the work already done — a converged snapshot
+    /// with no appended objects is (numerically) a fixed point of this call,
+    /// and a lightly grown network converges in far fewer EM iterations
+    /// than a cold fit (`bench_refresh` measures the gap).
+    ///
+    /// `warm.theta` must cover every object of `graph` — callers growing
+    /// the network first extend `Θ` with fold-in rows for the new objects
+    /// (see `genclus-serve`). Shape or attribute mismatches yield
+    /// [`GenClusError::InvalidConfig`] with field `"warm_start"`.
+    pub fn fit_warm(
+        &self,
+        graph: &HinGraph,
+        warm: &GenClusModel,
+    ) -> Result<GenClusFit, GenClusError> {
+        self.fit_warm_observed(graph, warm, |_| {})
+    }
+
+    /// [`Self::fit_warm`] with a per-outer-iteration observer.
+    pub fn fit_warm_observed(
+        &self,
+        graph: &HinGraph,
+        warm: &GenClusModel,
+        observer: impl FnMut(IterationView<'_>),
+    ) -> Result<GenClusFit, GenClusError> {
+        let cfg = &self.config;
+        validate_attributes(graph, cfg)?;
+        if graph.n_objects() == 0 {
+            return Err(GenClusError::EmptyNetwork);
+        }
+        let mismatch = |reason: String| GenClusError::InvalidConfig {
+            field: "warm_start",
+            reason,
+        };
+        if warm.theta.n_objects() != graph.n_objects() {
+            return Err(mismatch(format!(
+                "Θ covers {} objects but the network has {} — extend Θ (e.g. with fold-in rows) \
+                 before warm-starting",
+                warm.theta.n_objects(),
+                graph.n_objects()
+            )));
+        }
+        if warm.theta.n_clusters() != cfg.n_clusters {
+            return Err(mismatch(format!(
+                "Θ has {} clusters but the config asks for {}",
+                warm.theta.n_clusters(),
+                cfg.n_clusters
+            )));
+        }
+        if warm.gamma.len() != graph.schema().n_relations() {
+            return Err(mismatch(format!(
+                "γ covers {} relations but the schema declares {}",
+                warm.gamma.len(),
+                graph.schema().n_relations()
+            )));
+        }
+        if warm.gamma.iter().any(|&g| !(g >= 0.0 && g.is_finite())) {
+            return Err(mismatch("γ entries must be finite and non-negative".into()));
+        }
+        // Θ content check, not just shape: snapshot loading only verifies a
+        // checksum, and a NaN seed would propagate through the kernel and
+        // come back as an Ok(NaN-filled) model.
+        if warm
+            .theta
+            .as_slice()
+            .iter()
+            .any(|&t| !(t >= 0.0 && t.is_finite()))
+        {
+            return Err(mismatch("Θ entries must be finite and non-negative".into()));
+        }
+        if warm.attributes != cfg.attributes {
+            return Err(mismatch(
+                "the warm model's attribute subset differs from the config's".into(),
+            ));
+        }
+        if warm.components.len() != cfg.attributes.len() {
+            return Err(mismatch(format!(
+                "{} components for {} attributes",
+                warm.components.len(),
+                cfg.attributes.len()
+            )));
+        }
+        for (&a, comp) in warm.attributes.iter().zip(&warm.components) {
+            let kind_ok = match (&graph.schema().attribute(a).kind, comp) {
+                (
+                    genclus_hin::AttributeKind::Categorical { vocab_size },
+                    ClusterComponents::Categorical(c),
+                ) => c.vocab_size() == *vocab_size,
+                (genclus_hin::AttributeKind::Numerical, ClusterComponents::Gaussian(_)) => true,
+                _ => false,
+            };
+            if !kind_ok {
+                return Err(mismatch(format!(
+                    "component kind/shape of attribute {a} does not match the schema"
+                )));
+            }
+            if comp.n_clusters() != cfg.n_clusters {
+                return Err(mismatch(format!(
+                    "components of attribute {a} carry {} clusters but the config asks for {}",
+                    comp.n_clusters(),
+                    cfg.n_clusters
+                )));
+            }
+        }
+        self.fit_loop(
+            graph,
+            warm.theta.clone(),
+            warm.components.clone(),
+            warm.gamma.clone(),
+            observer,
+        )
+    }
+
+    /// The shared outer alternation (Algorithm 1) from an explicit starting
+    /// state — `fit_observed` arrives here via `InitStrategy`,
+    /// `fit_warm_observed` via a previously fitted model.
+    fn fit_loop(
+        &self,
+        graph: &HinGraph,
+        mut theta: MembershipMatrix,
+        mut components: Vec<ClusterComponents>,
+        mut gamma: Vec<f64>,
+        mut observer: impl FnMut(IterationView<'_>),
+    ) -> Result<GenClusFit, GenClusError> {
+        let cfg = &self.config;
+        let n_relations = graph.schema().n_relations();
         let mut engine = EmEngine::new(
             graph,
             &cfg.attributes,
@@ -310,6 +443,116 @@ mod tests {
         assert!(matches!(
             runner.fit(&empty),
             Err(GenClusError::EmptyNetwork)
+        ));
+    }
+
+    #[test]
+    fn warm_start_from_a_fit_stays_near_the_fixed_point() {
+        let g = planted(6, 10);
+        let cfg = GenClusConfig::new(2, vec![AttributeId(0)])
+            .with_seed(6)
+            .with_outer_iters(8);
+        let runner = GenClus::new(cfg.clone()).unwrap();
+        let cold = runner.fit(&g).unwrap();
+        let warm_cfg = cfg.with_warm_start(&cold.model);
+        let warm = GenClus::new(warm_cfg)
+            .unwrap()
+            .fit_warm(&g, &cold.model)
+            .unwrap();
+        // Warm-starting from a converged state must not wander off: hard
+        // labels are preserved and γ stays close.
+        assert_eq!(warm.model.hard_labels(), cold.model.hard_labels());
+        for (a, b) in warm.model.gamma.iter().zip(&cold.model.gamma) {
+            assert!((a - b).abs() < 1e-3, "γ drifted: {a} vs {b}");
+        }
+        // And it converges in no more total EM iterations than the cold fit.
+        let iters = |fit: &GenClusFit| -> usize { fit.history.total_em_iterations() };
+        assert!(
+            iters(&warm) <= iters(&cold),
+            "warm {} EM iterations vs cold {}",
+            iters(&warm),
+            iters(&cold)
+        );
+    }
+
+    #[test]
+    fn warm_start_rejects_mismatched_seeds() {
+        let g = planted(7, 8);
+        let cfg = GenClusConfig::new(2, vec![AttributeId(0)])
+            .with_seed(7)
+            .with_outer_iters(3);
+        let runner = GenClus::new(cfg).unwrap();
+        let fit = runner.fit(&g).unwrap();
+
+        // Θ row count differing from the network.
+        let mut short = fit.model.clone();
+        short.theta = genclus_stats::MembershipMatrix::uniform(3, 2);
+        assert!(matches!(
+            runner.fit_warm(&g, &short),
+            Err(GenClusError::InvalidConfig {
+                field: "warm_start",
+                ..
+            })
+        ));
+
+        // A NaN Θ entry. The simplex constructors sanitize, but raw access
+        // (and hand-built models) can carry one — fit_warm must reject it
+        // rather than seed the kernel with it.
+        let mut nan_theta = fit.model.clone();
+        nan_theta.theta.as_mut_slice()[0] = f64::NAN;
+        assert!(matches!(
+            runner.fit_warm(&g, &nan_theta),
+            Err(GenClusError::InvalidConfig {
+                field: "warm_start",
+                ..
+            })
+        ));
+
+        // Components whose cluster count disagrees with K (would index
+        // past the component arrays inside the EM kernel).
+        let mut short_comps = fit.model.clone();
+        short_comps.components = vec![crate::attr_model::ClusterComponents::Gaussian(
+            crate::attr_model::GaussianComponents::from_params(vec![0.0], vec![1.0], 1e-6),
+        )];
+        assert!(matches!(
+            runner.fit_warm(&g, &short_comps),
+            Err(GenClusError::InvalidConfig {
+                field: "warm_start",
+                ..
+            })
+        ));
+
+        // γ arity differing from the schema.
+        let mut bad_gamma = fit.model.clone();
+        bad_gamma.gamma.pop();
+        assert!(matches!(
+            runner.fit_warm(&g, &bad_gamma),
+            Err(GenClusError::InvalidConfig {
+                field: "warm_start",
+                ..
+            })
+        ));
+
+        // Attribute subset differing from the config's.
+        let mut bad_attrs = fit.model.clone();
+        bad_attrs.attributes = vec![];
+        bad_attrs.components = vec![];
+        assert!(matches!(
+            runner.fit_warm(&g, &bad_attrs),
+            Err(GenClusError::InvalidConfig {
+                field: "warm_start",
+                ..
+            })
+        ));
+
+        // K differing from the config's.
+        let k3 = GenClus::new(GenClusConfig::new(3, vec![AttributeId(0)]).with_seed(7)).unwrap();
+        assert!(matches!(
+            k3.fit_warm(&g, &fit.model),
+            Err(GenClusError::InvalidConfig {
+                field: "warm_start",
+                ..
+            })
         ));
     }
 

@@ -125,6 +125,20 @@ impl GenClusConfig {
         self
     }
 
+    /// Aligns this configuration with a fitted model for a warm-start
+    /// re-fit (builder style): copies `K`, the attribute subset, and the
+    /// `ε` smoothing from `model` so that
+    /// [`crate::algorithm::GenClus::fit_warm`] accepts the model as its
+    /// seed and iterates the *same* smoothed Eq. 10 operator the model's
+    /// `Θ` rows are fixed points of. All other knobs (tolerances, iteration
+    /// budgets, `σ`) keep their current values.
+    pub fn with_warm_start(mut self, model: &crate::model::GenClusModel) -> Self {
+        self.n_clusters = model.n_clusters();
+        self.attributes = model.attributes.clone();
+        self.theta_smoothing = model.theta_smoothing;
+        self
+    }
+
     /// Validates field ranges (schema-dependent checks happen in
     /// [`crate::algorithm::GenClus::fit`]).
     pub fn validate(&self) -> Result<(), GenClusError> {

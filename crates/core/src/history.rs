@@ -42,11 +42,18 @@ impl RunHistory {
         self.records.iter().map(|r| r.gamma[relation]).collect()
     }
 
+    /// Total EM iterations summed over every outer iteration — the
+    /// convergence currency the warm-start refresh bench and the serving
+    /// layer's refresh op both report.
+    pub fn total_em_iterations(&self) -> usize {
+        self.records.iter().map(|r| r.em_iterations).sum()
+    }
+
     /// Mean EM wall-clock seconds per *inner* iteration, the quantity
     /// Fig. 11 plots.
     pub fn mean_em_seconds_per_inner_iteration(&self) -> f64 {
         let total_secs: f64 = self.records.iter().map(|r| r.em_seconds).sum();
-        let total_iters: usize = self.records.iter().map(|r| r.em_iterations).sum();
+        let total_iters = self.total_em_iterations();
         if total_iters == 0 {
             0.0
         } else {
@@ -79,6 +86,7 @@ mod tests {
         assert_eq!(h.n_iterations(), 2);
         assert_eq!(h.gamma_trajectory(0), vec![1.0, 1.5]);
         assert_eq!(h.gamma_trajectory(1), vec![2.0, 3.0]);
+        assert_eq!(h.total_em_iterations(), 9);
     }
 
     #[test]

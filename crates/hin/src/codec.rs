@@ -435,6 +435,33 @@ mod tests {
     }
 
     #[test]
+    fn appended_graphs_round_trip_byte_identically() {
+        // The delta path must not produce anything the codec treats
+        // specially: grow a *loaded* graph, save it, and require the bytes
+        // to load back and re-save identically — the serve crate's refresh
+        // loop (load → append → re-snapshot) leans on exactly this.
+        let g = toy();
+        let mut bytes = Vec::new();
+        g.to_bytes(&mut bytes);
+        let mut loaded = HinGraph::from_bytes(&mut ByteReader::new(&bytes)).unwrap();
+        let author = loaded.schema().object_type_by_name("author").unwrap();
+        let w = loaded.schema().relation_by_name("write").unwrap();
+        let mut d = crate::delta::GraphDelta::new(&loaded);
+        let carol = d.add_object(author, "carol");
+        d.add_link(carol, ObjectId(2), w, 1.5).unwrap();
+        loaded.append(d).unwrap();
+
+        let mut grown = Vec::new();
+        loaded.to_bytes(&mut grown);
+        let back = HinGraph::from_bytes(&mut ByteReader::new(&grown)).unwrap();
+        let mut again = Vec::new();
+        back.to_bytes(&mut again);
+        assert_eq!(again, grown, "appended graph must stay byte-stable");
+        assert_eq!(back.object_by_name("carol"), Some(carol));
+        assert_eq!(back.out_links(carol).len(), 1);
+    }
+
+    #[test]
     fn malformed_graphs_are_rejected() {
         let g = toy();
         let mut bytes = Vec::new();

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! genclus_serve --snapshot <path> [--threads N] [--batch N]
+//!               [--refresh-after-objects N] [--refresh-after-links N]
+//!               [--refresh-save <path>] [--refresh-sigma F]
 //! ```
 //!
 //! Reads one JSON request per stdin line and writes one JSON response per
@@ -10,14 +12,27 @@
 //! worker pool; a **blank line** flushes the current batch immediately
 //! (and emits nothing itself), so interactive clients get an answer
 //! without filling a batch. EOF flushes and exits. See
-//! [`genclus_serve::engine`] for the request vocabulary.
+//! [`genclus_serve::engine`] for the read-side request vocabulary and
+//! [`genclus_serve::refresh`] for the grow/refresh side: fold-in requests
+//! with a `"commit"` field stage new objects, `--refresh-after-objects` /
+//! `--refresh-after-links` auto-trigger a warm-start re-fit (0 = manual
+//! `{"op":"refresh"}` only), and `--refresh-save` persists each refreshed
+//! snapshot atomically. Snapshots do not record the original fit's
+//! hyperparameters, so re-fits run under paper defaults; `--refresh-sigma`
+//! overrides the `γ`-prior std (§3.4) for models fitted with a non-default
+//! one, and deployments with other non-default knobs should embed
+//! [`genclus_serve::refresh::RefreshPolicy::base_config`] via the library
+//! API instead of this binary.
 
-use genclus_serve::{QueryEngine, Snapshot};
+use genclus_serve::{RefreshPolicy, RefreshableEngine, Snapshot};
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
 
 fn usage() -> ! {
-    eprintln!("usage: genclus_serve --snapshot <path> [--threads N] [--batch N]");
+    eprintln!(
+        "usage: genclus_serve --snapshot <path> [--threads N] [--batch N] \
+         [--refresh-after-objects N] [--refresh-after-links N] [--refresh-save <path>] [--refresh-sigma F]"
+    );
     std::process::exit(2);
 }
 
@@ -25,6 +40,7 @@ fn main() {
     let mut snapshot_path: Option<PathBuf> = None;
     let mut threads = 1usize;
     let mut batch = 64usize;
+    let mut policy = RefreshPolicy::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -45,6 +61,34 @@ fn main() {
                     .filter(|&b| b >= 1)
                     .unwrap_or_else(|| usage())
             }
+            "--refresh-after-objects" => {
+                policy.max_pending_objects = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--refresh-after-links" => {
+                policy.max_pending_links = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--refresh-save" => {
+                policy.persist_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
+            }
+            "--refresh-sigma" => {
+                let sigma: f64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&s: &f64| s > 0.0 && s.is_finite())
+                    .unwrap_or_else(|| usage());
+                // K and the attribute subset are placeholders — the refresh
+                // path realigns them with the served model before fitting.
+                let mut cfg =
+                    genclus_core::GenClusConfig::new(2, vec![genclus_hin::AttributeId(0)]);
+                cfg.sigma = sigma;
+                policy.base_config = Some(cfg);
+            }
             _ => usage(),
         }
     }
@@ -58,21 +102,39 @@ fn main() {
         }
     };
     eprintln!(
-        "genclus_serve: {} objects, {} links, k={}, snapshot v{} ({} threads, batch {})",
+        "genclus_serve: {} objects, {} links, k={}, snapshot v{} ({} threads, batch {}, \
+         refresh after {}/{} objects/links{})",
         snapshot.graph().n_objects(),
         snapshot.graph().n_links(),
         snapshot.model().n_clusters(),
         snapshot.header().version,
         threads,
         batch,
+        policy.max_pending_objects,
+        policy.max_pending_links,
+        policy
+            .persist_path
+            .as_ref()
+            .map(|p| format!(", persisting to {}", p.display()))
+            .unwrap_or_default(),
     );
-    let engine = QueryEngine::new(snapshot, threads);
+    if policy.base_config.is_none() {
+        eprintln!(
+            "genclus_serve: note: refreshes re-fit under paper-default hyperparameters \
+             (snapshots do not record the original fit's σ/floors/Newton options); \
+             pass --refresh-sigma or embed RefreshPolicy.base_config if the model \
+             was fitted with non-default values"
+        );
+    }
+    let mut engine = RefreshableEngine::new(snapshot, threads, policy);
 
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
     let mut pending: Vec<String> = Vec::with_capacity(batch);
-    let flush = |pending: &mut Vec<String>, out: &mut std::io::BufWriter<_>| {
+    let flush = |pending: &mut Vec<String>,
+                 out: &mut std::io::BufWriter<_>,
+                 engine: &mut RefreshableEngine| {
         if pending.is_empty() {
             return;
         }
@@ -91,13 +153,13 @@ fn main() {
             }
         };
         if line.trim().is_empty() {
-            flush(&mut pending, &mut out);
+            flush(&mut pending, &mut out, &mut engine);
             continue;
         }
         pending.push(line);
         if pending.len() >= batch {
-            flush(&mut pending, &mut out);
+            flush(&mut pending, &mut out, &mut engine);
         }
     }
-    flush(&mut pending, &mut out);
+    flush(&mut pending, &mut out, &mut engine);
 }

@@ -81,6 +81,17 @@ impl QueryEngine {
         &self.core.snapshot
     }
 
+    /// The shareable request handler (no pool) — the refresh layer uses it
+    /// to decode wire requests without re-implementing the protocol.
+    pub(crate) fn core(&self) -> &QueryCore {
+        &self.core
+    }
+
+    /// Worker threads this engine was built with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// The underlying graph.
     pub fn graph(&self) -> &HinGraph {
         self.core.graph()
@@ -177,7 +188,7 @@ impl QueryCore {
         Ok(self.graph().require_object_by_name(name)?)
     }
 
-    fn similarity(req: &Json) -> Result<Similarity, ServeError> {
+    pub(crate) fn similarity(req: &Json) -> Result<Similarity, ServeError> {
         match req.get("sim").and_then(Json::as_str) {
             None | Some("cross_entropy") => Ok(Similarity::NegCrossEntropy),
             Some("cosine") => Ok(Similarity::Cosine),
@@ -189,7 +200,7 @@ impl QueryCore {
     }
 
     /// Candidate set: all objects, or one type when `"type"` is given.
-    fn candidates(&self, req: &Json) -> Result<&[ObjectId], ServeError> {
+    pub(crate) fn candidates(&self, req: &Json) -> Result<&[ObjectId], ServeError> {
         match req.get("type").and_then(Json::as_str) {
             None => Ok(&self.all),
             Some(name) => {
@@ -205,7 +216,7 @@ impl QueryCore {
         }
     }
 
-    fn ranked_json(&self, ranked: &[(ObjectId, f64)]) -> Json {
+    pub(crate) fn ranked_json(&self, ranked: &[(ObjectId, f64)]) -> Json {
         Json::Arr(
             ranked
                 .iter()
@@ -278,7 +289,7 @@ impl QueryCore {
 
     /// Decodes the wire fold-in request: link relations/targets by name,
     /// attributes by name.
-    fn decode_fold_in(&self, req: &Json) -> Result<FoldInRequest, ServeError> {
+    pub(crate) fn decode_fold_in(&self, req: &Json) -> Result<FoldInRequest, ServeError> {
         let g = self.graph();
         let schema = g.schema();
         let mut out = FoldInRequest::default();

@@ -36,6 +36,10 @@ pub enum ServeError {
     Hin(HinError),
     /// A request was syntactically or semantically invalid.
     BadRequest(String),
+    /// A warm-start re-fit (snapshot refresh) failed. The string carries
+    /// the underlying algorithm error; the serving engine keeps answering
+    /// from the previous snapshot when this happens.
+    Refresh(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -58,6 +62,7 @@ impl std::fmt::Display for ServeError {
             }
             Self::Hin(e) => write!(f, "{e}"),
             Self::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            Self::Refresh(msg) => write!(f, "snapshot refresh failed: {msg}"),
         }
     }
 }

@@ -478,4 +478,151 @@ mod tests {
         let v = Json::parse(r#"{"a": 1, "a": 2}"#).unwrap();
         assert_eq!(v.get("a").unwrap().as_f64(), Some(1.0));
     }
+
+    #[test]
+    fn depth_cap_is_an_error_not_an_overflow() {
+        // Comfortably inside the cap parses; past it errors cleanly.
+        let deep_ok = "[".repeat(60) + "0" + &"]".repeat(60);
+        assert!(Json::parse(&deep_ok).is_ok());
+        for n in [70usize, 200, 5000] {
+            let bomb = "[".repeat(n) + "0" + &"]".repeat(n);
+            let err = Json::parse(&bomb).unwrap_err();
+            assert!(err.contains("nesting too deep"), "depth {n}: {err}");
+            // Objects nest through the same budget.
+            let obj_bomb = "{\"k\":".repeat(n) + "0" + &"}".repeat(n);
+            assert!(Json::parse(&obj_bomb).is_err(), "object depth {n}");
+        }
+    }
+
+    mod fuzz {
+        //! Randomized robustness and round-trip properties, via the
+        //! vendored proptest: the parser is fed untrusted serving input,
+        //! so arbitrary garbage must come back as `Err`, never a panic,
+        //! and valid documents must survive parse → render → parse
+        //! exactly (with render ∘ parse idempotent — the normalizer).
+
+        use super::*;
+        use proptest::prelude::*;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// A random scalar-or-container value, depth-bounded, with only
+        /// finite numbers (JSON cannot carry non-finite ones).
+        fn arbitrary_json(rng: &mut StdRng, depth: usize) -> Json {
+            let top = if depth == 0 { 4 } else { 6 };
+            match rng.gen_range(0..top) {
+                0 => Json::Null,
+                1 => Json::Bool(rng.gen()),
+                2 => {
+                    if rng.gen_bool(0.5) {
+                        Json::Num(rng.gen_range(-1.0e12f64..1.0e12).trunc())
+                    } else {
+                        Json::Num(rng.gen_range(-1.0e3f64..1.0e3))
+                    }
+                }
+                3 => Json::Str(arbitrary_string(rng)),
+                4 => Json::Arr(
+                    (0..rng.gen_range(0..4))
+                        .map(|_| arbitrary_json(rng, depth - 1))
+                        .collect(),
+                ),
+                _ => {
+                    let n = rng.gen_range(0..4);
+                    let mut fields: Vec<(String, Json)> = Vec::with_capacity(n);
+                    for i in 0..n {
+                        // Unique keys: parsing drops duplicates, which is
+                        // exercised separately.
+                        let key = format!("{}{}", arbitrary_string(rng), i);
+                        let value = arbitrary_json(rng, depth - 1);
+                        fields.push((key, value));
+                    }
+                    Json::Obj(fields)
+                }
+            }
+        }
+
+        /// Strings mixing plain ASCII, escapes, control characters, and
+        /// multi-byte scalars (including astral-plane, which the writer
+        /// emits raw and the parser reads as surrogate-free UTF-8).
+        fn arbitrary_string(rng: &mut StdRng) -> String {
+            (0..rng.gen_range(0..8))
+                .map(|_| match rng.gen_range(0..6) {
+                    0 => rng.gen_range(b'a'..=b'z') as char,
+                    1 => ['"', '\\', '/', '\n', '\r', '\t'][rng.gen_range(0usize..6)],
+                    2 => char::from_u32(rng.gen_range(1..0x20)).unwrap(),
+                    3 => ['é', 'Ж', '中', '😀', '𝕏'][rng.gen_range(0usize..5)],
+                    _ => rng.gen_range(b' '..=b'~') as char,
+                })
+                .collect()
+        }
+
+        /// Bytes biased toward JSON's structural vocabulary, so random
+        /// streams reach deep into the parser instead of failing on the
+        /// first byte.
+        const ALPHABET: &[u8] = br#"{}[]",:0123456789.eE+-\utrfanl "#;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// Arbitrary byte soup: parse may fail, must not panic.
+            #[test]
+            fn arbitrary_bytes_never_panic(
+                bytes in proptest::collection::vec(any::<u8>(), 0..256),
+            ) {
+                let text = String::from_utf8_lossy(&bytes);
+                let _ = Json::parse(&text);
+            }
+
+            /// Structural soup: same property, far deeper coverage of the
+            /// object/array/string/number state machine.
+            #[test]
+            fn structural_soup_never_panics(
+                picks in proptest::collection::vec(0usize..31, 0..256),
+            ) {
+                let text: String = picks
+                    .iter()
+                    .map(|&i| ALPHABET[i] as char)
+                    .collect();
+                let _ = Json::parse(&text);
+            }
+
+            /// Valid documents round-trip exactly, and the renderer is a
+            /// normalizer: render ∘ parse is idempotent even on messy
+            /// (whitespace-padded, duplicate-keyed) input.
+            #[test]
+            fn valid_docs_round_trip(seed in any::<u64>()) {
+                let mut rng = genclus_stats::seeded_rng(seed);
+                let doc = arbitrary_json(&mut rng, 4);
+                let rendered = doc.render();
+                let parsed = Json::parse(&rendered).unwrap();
+                prop_assert_eq!(&parsed, &doc, "parse(render(x)) != x for {}", rendered);
+                prop_assert_eq!(parsed.render(), rendered.clone(), "render unstable");
+
+                // A messy equivalent document: padding plus a duplicated
+                // first key (parse keeps the first occurrence).
+                let messy = match &doc {
+                    Json::Obj(fields) if !fields.is_empty() => {
+                        let mut m = String::from(" {\n");
+                        for (k, v) in fields {
+                            let mut kv = String::new();
+                            write_str(&mut kv, k);
+                            kv.push_str(" :\t");
+                            v.render_into(&mut kv);
+                            m.push_str(&kv);
+                            m.push_str(" ,\n");
+                        }
+                        // Duplicate of the first key with a different value.
+                        write_str(&mut m, &fields[0].0);
+                        m.push_str(": null }\r\n");
+                        m
+                    }
+                    _ => format!("  {rendered}\t\n"),
+                };
+                let normalized = Json::parse(&messy).unwrap().render();
+                prop_assert_eq!(&normalized, &rendered, "normalizer disagreed on {}", messy);
+                let again = Json::parse(&normalized).unwrap().render();
+                prop_assert_eq!(again, normalized, "normalizer not idempotent");
+            }
+        }
+    }
 }

@@ -22,7 +22,18 @@
 //! * [`engine`] — a JSON-lines query engine ([`engine::QueryEngine`])
 //!   that batches concurrent fold-in, membership, and §5.2.2 top-k
 //!   link-prediction queries across the persistent worker pool; the
-//!   `genclus_serve` binary is its stdin/stdout loop.
+//!   `genclus_serve` binary is its stdin/stdout loop;
+//! * [`refresh`] — the warm-start refresh loop
+//!   ([`refresh::RefreshableEngine`]): fold-in requests carrying a
+//!   `"commit"` field are staged into a
+//!   [`GraphDelta`](genclus_hin::delta::GraphDelta); after
+//!   `max_pending_objects` objects / `max_pending_links` links (or on an
+//!   explicit `{"op":"refresh"}`) the engine appends the delta, re-fits
+//!   with EM **warm-started** from the served `(Θ, β, γ)`
+//!   ([`genclus_core::algorithm::GenClus::fit_warm`] — no `InitStrategy`,
+//!   no best-of-seeds warmup), atomically swaps the refreshed snapshot in,
+//!   and optionally persists it (same schema v1, new checksum). Policy
+//!   knobs live on [`refresh::RefreshPolicy`].
 //!
 //! # Quickstart
 //!
@@ -72,6 +83,7 @@ pub mod engine;
 pub mod error;
 pub mod foldin;
 pub mod json;
+pub mod refresh;
 pub mod snapshot;
 
 /// Convenient glob-import surface.
@@ -80,6 +92,7 @@ pub mod prelude {
     pub use crate::error::ServeError;
     pub use crate::foldin::{FoldInEngine, FoldInOptions, FoldInRequest, FoldInResult};
     pub use crate::json::Json;
+    pub use crate::refresh::{RefreshOutcome, RefreshPolicy, RefreshableEngine};
     pub use crate::snapshot::{Snapshot, SCHEMA_VERSION};
 }
 

@@ -1,0 +1,826 @@
+//! Warm-start refresh: re-fitting a served model from its own snapshot.
+//!
+//! Fold-in (PR 2) freezes `(β, γ)` at serving time, so a long-running
+//! process drifts as appended objects accumulate: the components were
+//! estimated on the *original* population and the strengths on the
+//! original topology. This module closes the fit → serve → grow → re-fit
+//! loop:
+//!
+//! * every fold-in request carrying a `"commit"` field is **staged** —
+//!   its inferred `Θ` row is kept and its links/observations accumulate in
+//!   a [`GraphDelta`] against the current snapshot graph;
+//! * a [`RefreshPolicy`] triggers a refresh automatically after
+//!   `max_pending_objects` staged objects or `max_pending_links` staged
+//!   links (either `0` disables that trigger), and the `refresh` op
+//!   triggers one on demand at any time — including with an **empty**
+//!   delta, which makes the refresh a pure warm re-fit (and, from a
+//!   converged snapshot, a numerical fixed point — property-tested);
+//! * a refresh appends the delta to a copy of the snapshot graph, extends
+//!   `Θ` with the staged fold-in rows, and runs
+//!   [`GenClus::fit_warm`] — EM seeded from the served `(Θ, β, γ)`,
+//!   skipping `InitStrategy` entirely, reusing the cached-log kernel and
+//!   the persistent worker pool — then **atomically swaps** the new
+//!   snapshot into the engine (requests see either the old model or the
+//!   new one, never a half-built state) and optionally persists it
+//!   ([`RefreshPolicy::persist_path`]; same schema v1, new checksum);
+//! * a failed refresh leaves the engine serving the previous snapshot and
+//!   the staged delta intact.
+//!
+//! Wire protocol additions over [`crate::engine`]:
+//!
+//! * `{"op":"fold_in", …, "commit":"<name>"}` or
+//!   `…, "commit":{"name":"<name>","type":"<object type>"}` — fold the
+//!   object in *and* stage it for the next refresh. The object type is
+//!   taken from `commit.type` or inferred from the link relations' source
+//!   type (an error if the request has no links and no explicit type, or
+//!   if the links disagree). The response carries the usual fold-in
+//!   fields plus `"committed"`, `"pending_objects"`, `"pending_links"`,
+//!   and — when the policy fired — the refresh outcome;
+//! * `{"op":"refresh"}` — refresh now, regardless of thresholds. Responds
+//!   with `"objects_added"`, `"links_added"`, `"outer_iterations"`,
+//!   `"em_iterations"`, `"n_objects"`, `"n_links"`, `"persisted"`,
+//!   `"refreshes"`.
+//!
+//! Commit targets are resolved against the **snapshot** graph: a staged
+//! object cannot link to another staged object (commit order within one
+//! refresh window is not a topology); refresh first if a new arrival needs
+//! to reference an earlier one.
+
+use crate::engine::{QueryCore, QueryEngine};
+use crate::error::ServeError;
+use crate::foldin::{FoldInEngine, FoldInRequest, FoldInResult};
+use crate::json::Json;
+use crate::snapshot::{save_bytes, to_bytes, Snapshot};
+use genclus_core::{GenClus, GenClusConfig, GenClusModel};
+use genclus_hin::{GraphDelta, ObjectTypeId};
+use genclus_stats::simplex::argmax;
+use genclus_stats::MembershipMatrix;
+use std::path::PathBuf;
+
+/// When and how the engine re-fits from its snapshot.
+#[derive(Debug, Clone)]
+pub struct RefreshPolicy {
+    /// Auto-refresh after this many staged (committed) objects; `0`
+    /// disables the object trigger.
+    pub max_pending_objects: usize,
+    /// Auto-refresh after this many staged links; `0` disables the link
+    /// trigger.
+    pub max_pending_links: usize,
+    /// Outer alternations of the warm re-fit (cluster optimization +
+    /// strength learning). At least 2 — the outer loop needs one
+    /// iteration to measure a `γ` change.
+    pub outer_iters: usize,
+    /// EM iteration cap per outer alternation.
+    pub em_iters: usize,
+    /// EM stopping tolerance (max-abs `Θ` change).
+    pub em_tol: f64,
+    /// Outer stopping tolerance (max-abs `γ` change).
+    pub gamma_tol: f64,
+    /// Base configuration of the re-fit. The snapshot format does not
+    /// record the original fit's hyperparameters (`σ`, floors, Newton
+    /// options), so a deployment fitted with non-default values must pass
+    /// its fitting config here — otherwise the warm re-fit silently runs
+    /// under paper defaults and the model drifts toward a different fixed
+    /// point. `K`, the attribute subset, and the `ε` smoothing are always
+    /// realigned with the served model (via
+    /// [`GenClusConfig::with_warm_start`]), and the iteration knobs above
+    /// override the config's, so a stale value in those fields cannot
+    /// break a refresh.
+    pub base_config: Option<GenClusConfig>,
+    /// Where to persist each refreshed snapshot (atomic temp-file +
+    /// rename, like [`crate::snapshot::save`]); `None` keeps refreshes
+    /// in-memory only.
+    pub persist_path: Option<PathBuf>,
+}
+
+impl Default for RefreshPolicy {
+    /// Manual-only refresh (no auto triggers), paper-default fit knobs,
+    /// no persistence.
+    fn default() -> Self {
+        Self {
+            max_pending_objects: 0,
+            max_pending_links: 0,
+            outer_iters: 4,
+            em_iters: 30,
+            em_tol: 1e-4,
+            gamma_tol: 1e-4,
+            base_config: None,
+            persist_path: None,
+        }
+    }
+}
+
+/// What one refresh did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefreshOutcome {
+    /// Staged objects appended to the network.
+    pub objects_added: usize,
+    /// Staged links appended to the network.
+    pub links_added: usize,
+    /// Outer alternations the warm re-fit used.
+    pub outer_iterations: usize,
+    /// Total EM iterations across all outer alternations.
+    pub em_iterations: usize,
+    /// Objects of the refreshed snapshot.
+    pub n_objects: usize,
+    /// Links of the refreshed snapshot.
+    pub n_links: usize,
+    /// Whether the refreshed snapshot was written to
+    /// [`RefreshPolicy::persist_path`].
+    pub persisted: bool,
+}
+
+/// The staged growth since the last refresh: the delta plus the fold-in
+/// `Θ` row of each staged object (in the delta's id order).
+struct Pending {
+    delta: GraphDelta,
+    rows: Vec<Vec<f64>>,
+    /// Staged names, for O(1) duplicate-commit rejection (a linear scan of
+    /// the delta's names would make filling a large refresh window
+    /// quadratic).
+    names: std::collections::HashSet<String>,
+}
+
+impl Pending {
+    fn new(graph: &genclus_hin::HinGraph) -> Self {
+        Self {
+            delta: GraphDelta::new(graph),
+            rows: Vec::new(),
+            names: std::collections::HashSet::new(),
+        }
+    }
+}
+
+/// A [`QueryEngine`] that can grow: stages committed fold-ins and re-fits
+/// itself from its snapshot, warm-started, under a [`RefreshPolicy`].
+///
+/// Read-only requests delegate to the inner engine (batched across the
+/// worker pool, unchanged); mutating requests (`commit`ed fold-ins and
+/// `refresh`) are applied in stream order, so a batch's responses reflect
+/// a single consistent interleaving.
+pub struct RefreshableEngine {
+    engine: QueryEngine,
+    policy: RefreshPolicy,
+    pending: Pending,
+    refreshes: usize,
+}
+
+impl RefreshableEngine {
+    /// Wraps `snapshot` in a refreshable engine with `threads` workers.
+    pub fn new(snapshot: Snapshot, threads: usize, policy: RefreshPolicy) -> Self {
+        let engine = QueryEngine::new(snapshot, threads);
+        let pending = Pending::new(engine.graph());
+        Self {
+            engine,
+            policy,
+            pending,
+            refreshes: 0,
+        }
+    }
+
+    /// The current (most recently swapped-in) read engine.
+    pub fn engine(&self) -> &QueryEngine {
+        &self.engine
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &RefreshPolicy {
+        &self.policy
+    }
+
+    /// Staged objects awaiting the next refresh.
+    pub fn pending_objects(&self) -> usize {
+        self.pending.delta.n_new_objects()
+    }
+
+    /// Staged links awaiting the next refresh.
+    pub fn pending_links(&self) -> usize {
+        self.pending.delta.n_new_links()
+    }
+
+    /// Refreshes completed so far.
+    pub fn refreshes(&self) -> usize {
+        self.refreshes
+    }
+
+    /// Stages one new object (programmatic equivalent of a `commit`ed
+    /// fold-in): folds it in against the current snapshot, records its
+    /// links/observations in the pending delta, and returns the inferred
+    /// row. Does **not** auto-trigger a refresh — wire commits do that via
+    /// the policy; library callers decide themselves.
+    pub fn commit(
+        &mut self,
+        name: &str,
+        object_type: ObjectTypeId,
+        req: &FoldInRequest,
+    ) -> Result<FoldInResult, ServeError> {
+        let graph = self.engine.graph();
+        if graph.object_by_name(name).is_some() {
+            return Err(ServeError::BadRequest(format!(
+                "object {name:?} already exists in the snapshot"
+            )));
+        }
+        if self.pending.names.contains(name) {
+            return Err(ServeError::BadRequest(format!(
+                "object {name:?} is already staged for the next refresh"
+            )));
+        }
+        if object_type.index() >= graph.schema().n_object_types() {
+            return Err(ServeError::BadRequest(format!(
+                "unknown object type {object_type}"
+            )));
+        }
+        // Source-type check up front so staging below is all-or-nothing
+        // (`GraphDelta::add_link` would reject mid-way otherwise).
+        for &(r, _, _) in &req.links {
+            if r.index() >= graph.schema().n_relations() {
+                return Err(genclus_hin::HinError::UnknownRelation(r).into());
+            }
+            let def = graph.schema().relation(r);
+            if def.source != object_type {
+                return Err(ServeError::BadRequest(format!(
+                    "relation {:?} does not originate at type {:?}",
+                    def.name,
+                    graph.schema().object_type_name(object_type)
+                )));
+            }
+        }
+        // `assign` validates everything else (targets, weights, attribute
+        // kinds/vocab, finiteness, purpose membership) before we mutate.
+        let folded = FoldInEngine::new(self.engine.snapshot().model(), graph).assign(req)?;
+
+        let v = self.pending.delta.add_object(object_type, name);
+        for &(r, target, w) in &req.links {
+            self.pending
+                .delta
+                .add_link(v, target, r, w)
+                .expect("links were validated before staging");
+        }
+        for (a, bag) in &req.terms {
+            for &(term, count) in bag {
+                self.pending
+                    .delta
+                    .add_term_count(v, *a, term, count)
+                    .expect("terms were validated before staging");
+            }
+        }
+        for (a, values) in &req.values {
+            for &x in values {
+                self.pending
+                    .delta
+                    .add_numeric(v, *a, x)
+                    .expect("values were validated before staging");
+            }
+        }
+        self.pending.rows.push(folded.theta.clone());
+        self.pending.names.insert(name.to_string());
+        Ok(folded)
+    }
+
+    /// Whether the policy's auto-trigger thresholds are met.
+    pub fn due_for_refresh(&self) -> bool {
+        let p = &self.policy;
+        (p.max_pending_objects > 0 && self.pending_objects() >= p.max_pending_objects)
+            || (p.max_pending_links > 0 && self.pending_links() >= p.max_pending_links)
+    }
+
+    /// Applies the pending delta (possibly empty) and warm-refits.
+    ///
+    /// On success the refreshed snapshot replaces the engine's atomically
+    /// (and is persisted first if the policy asks for it); on error the
+    /// engine keeps serving the previous snapshot and the pending delta is
+    /// untouched.
+    pub fn refresh(&mut self) -> Result<RefreshOutcome, ServeError> {
+        let snapshot = self.engine.snapshot();
+        let model = snapshot.model();
+        let objects_added = self.pending.delta.n_new_objects();
+        let links_added = self.pending.delta.n_new_links();
+
+        // Staleness pre-check: the pending delta must have been staged
+        // against exactly this snapshot. `append` would catch the mismatch
+        // too, but only after the graph clone — and this invariant breaking
+        // means a bug in the swap logic, worth its own message.
+        if self.pending.delta.base_objects() != snapshot.graph().n_objects() {
+            return Err(ServeError::Refresh(format!(
+                "pending delta was staged against a {}-object snapshot but the engine serves {}",
+                self.pending.delta.base_objects(),
+                snapshot.graph().n_objects()
+            )));
+        }
+
+        let mut graph = snapshot.graph().clone();
+        graph.append(self.pending.delta.clone())?;
+
+        // Θ over the grown network: served rows for old objects, the
+        // staged fold-in rows for new ones — the warm seed.
+        let mut rows: Vec<Vec<f64>> = (0..model.theta.n_objects())
+            .map(|i| model.theta.row(i).to_vec())
+            .collect();
+        rows.extend(self.pending.rows.iter().cloned());
+        let warm = GenClusModel {
+            theta: MembershipMatrix::from_rows(&rows, model.n_clusters()),
+            gamma: model.gamma.clone(),
+            components: model.components.clone(),
+            attributes: model.attributes.clone(),
+            theta_smoothing: model.theta_smoothing,
+        };
+
+        let mut cfg = self
+            .policy
+            .base_config
+            .clone()
+            .unwrap_or_else(|| GenClusConfig::new(model.n_clusters(), model.attributes.clone()))
+            .with_warm_start(&warm);
+        cfg.outer_iters = self.policy.outer_iters.max(2);
+        cfg.em_iters = self.policy.em_iters;
+        cfg.em_tol = self.policy.em_tol;
+        cfg.gamma_tol = self.policy.gamma_tol;
+        cfg.threads = self.engine.threads();
+        let refit = |e: genclus_core::GenClusError| ServeError::Refresh(e.to_string());
+        let fit = GenClus::new(cfg)
+            .map_err(refit)?
+            .fit_warm(&graph, &warm)
+            .map_err(refit)?;
+
+        let bytes = to_bytes(&graph, &fit.model);
+        let persisted = if let Some(path) = &self.policy.persist_path {
+            save_bytes(path, &bytes)?;
+            true
+        } else {
+            false
+        };
+        let snap = Snapshot::from_bytes(&bytes)?;
+        let outcome = RefreshOutcome {
+            objects_added,
+            links_added,
+            outer_iterations: fit.history.n_iterations(),
+            em_iterations: fit.history.total_em_iterations(),
+            n_objects: snap.graph().n_objects(),
+            n_links: snap.graph().n_links(),
+            persisted,
+        };
+        // The swap: everything after this point sees the new model.
+        self.engine = QueryEngine::new(snap, self.engine.threads());
+        self.pending = Pending::new(self.engine.graph());
+        self.refreshes += 1;
+        Ok(outcome)
+    }
+
+    /// One request line → one response line, commit/refresh aware.
+    pub fn handle_line(&mut self, line: &str) -> String {
+        match Self::parse_mutation(line) {
+            Some(req) => self.respond_mutation(&req),
+            None => self.engine.handle_line(line),
+        }
+    }
+
+    /// Handles a batch, preserving order: read-only runs go through the
+    /// inner engine's parallel batch path; mutations are applied at their
+    /// position in the stream.
+    pub fn handle_batch(&mut self, lines: &[String]) -> Vec<String> {
+        let mut out = Vec::with_capacity(lines.len());
+        let mut run_start = 0usize;
+        for (i, line) in lines.iter().enumerate() {
+            if let Some(req) = Self::parse_mutation(line) {
+                if run_start < i {
+                    out.extend(self.engine.handle_batch(&lines[run_start..i]));
+                }
+                out.push(self.respond_mutation(&req));
+                run_start = i + 1;
+            }
+        }
+        if run_start < lines.len() {
+            out.extend(self.engine.handle_batch(&lines[run_start..]));
+        }
+        out
+    }
+
+    /// `Some(parsed)` when `line` is a mutating request this layer must
+    /// serialize (`refresh`, or `fold_in` with a `commit` field). Parse
+    /// failures return `None` — the inner engine produces the error
+    /// response.
+    fn parse_mutation(line: &str) -> Option<Json> {
+        // Fast reject before paying for a parse: a mutation line must
+        // contain the literal key/op text somewhere (the inner engine
+        // re-parses whatever this layer delegates, so a full parse here
+        // would double the parse cost of the read-dominated hot path).
+        // False positives — e.g. an object *named* "commit" — just fall
+        // through to the precise check below. A backslash disables the
+        // fast path entirely: `\uXXXX` escapes can spell "commit" or
+        // "refresh" without the literal bytes appearing in the line.
+        if !(line.contains('\\') || line.contains("refresh") || line.contains("commit")) {
+            return None;
+        }
+        let req = Json::parse(line).ok()?;
+        match req.get("op").and_then(Json::as_str) {
+            Some("refresh") => Some(req),
+            Some("fold_in") if req.get("commit").is_some() => Some(req),
+            _ => None,
+        }
+    }
+
+    /// Wraps a mutation result in the engine's response envelope.
+    fn respond_mutation(&mut self, req: &Json) -> String {
+        let result = match req.get("op").and_then(Json::as_str) {
+            Some("refresh") => self.op_refresh(),
+            _ => self.op_commit(req),
+        };
+        let mut fields: Vec<(&str, Json)> = Vec::with_capacity(4);
+        if let Some(id) = req.get("id") {
+            fields.push(("id", id.clone()));
+        }
+        match result {
+            Ok(mut body) => {
+                fields.push(("ok", Json::Bool(true)));
+                fields.append(&mut body);
+            }
+            Err(e) => {
+                fields.push(("ok", Json::Bool(false)));
+                fields.push(("error", Json::str(e.to_string())));
+            }
+        }
+        Json::obj(fields).render()
+    }
+
+    fn outcome_fields(&self, outcome: &RefreshOutcome, fields: &mut Vec<(&'static str, Json)>) {
+        fields.push(("objects_added", Json::Num(outcome.objects_added as f64)));
+        fields.push(("links_added", Json::Num(outcome.links_added as f64)));
+        fields.push((
+            "outer_iterations",
+            Json::Num(outcome.outer_iterations as f64),
+        ));
+        fields.push(("em_iterations", Json::Num(outcome.em_iterations as f64)));
+        fields.push(("n_objects", Json::Num(outcome.n_objects as f64)));
+        fields.push(("n_links", Json::Num(outcome.n_links as f64)));
+        fields.push(("persisted", Json::Bool(outcome.persisted)));
+        fields.push(("refreshes", Json::Num(self.refreshes as f64)));
+    }
+
+    fn op_refresh(&mut self) -> Result<Vec<(&'static str, Json)>, ServeError> {
+        let outcome = self.refresh()?;
+        let mut fields = vec![("refreshed", Json::Bool(true))];
+        self.outcome_fields(&outcome, &mut fields);
+        Ok(fields)
+    }
+
+    /// Decodes the `commit` field: a bare name, or `{name, type}`.
+    fn decode_commit(
+        &self,
+        req: &Json,
+        fold_req: &FoldInRequest,
+    ) -> Result<(String, ObjectTypeId), ServeError> {
+        let commit = req.get("commit").expect("caller checked presence");
+        let (name, type_name) = match commit {
+            Json::Str(name) => (name.clone(), None),
+            Json::Obj(_) => {
+                let name = commit
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| {
+                        ServeError::BadRequest("\"commit\" object needs a string \"name\"".into())
+                    })?
+                    .to_string();
+                let type_name = commit
+                    .get("type")
+                    .map(|t| {
+                        t.as_str().map(str::to_string).ok_or_else(|| {
+                            ServeError::BadRequest("\"commit\".\"type\" must be a string".into())
+                        })
+                    })
+                    .transpose()?;
+                (name, type_name)
+            }
+            _ => {
+                return Err(ServeError::BadRequest(
+                    "\"commit\" must be a name or {\"name\", \"type\"}".into(),
+                ))
+            }
+        };
+        let schema = self.engine.graph().schema();
+        let object_type = match type_name {
+            Some(t) => schema
+                .object_type_by_name(&t)
+                .ok_or_else(|| ServeError::BadRequest(format!("unknown object type {t:?}")))?,
+            None => {
+                // Infer from the link relations' source type; they must
+                // all agree and at least one link must exist.
+                let mut inferred: Option<ObjectTypeId> = None;
+                for &(r, _, _) in &fold_req.links {
+                    let src = schema.relation(r).source;
+                    match inferred {
+                        None => inferred = Some(src),
+                        Some(prev) if prev != src => {
+                            return Err(ServeError::BadRequest(
+                                "link relations disagree on the new object's type; \
+                                 pass \"commit\":{\"name\",\"type\"} explicitly"
+                                    .into(),
+                            ))
+                        }
+                        Some(_) => {}
+                    }
+                }
+                inferred.ok_or_else(|| {
+                    ServeError::BadRequest(
+                        "cannot infer the new object's type without links; \
+                         pass \"commit\":{\"name\",\"type\"} explicitly"
+                            .into(),
+                    )
+                })?
+            }
+        };
+        Ok((name, object_type))
+    }
+
+    fn op_commit(&mut self, req: &Json) -> Result<Vec<(&'static str, Json)>, ServeError> {
+        let fold_req = self.engine.core().decode_fold_in(req)?;
+        let (name, object_type) = self.decode_commit(req, &fold_req)?;
+        // Validate the optional ranking parameters *before* staging — a
+        // commit is not repeatable, so nothing may fail after it.
+        let k = req
+            .get("k")
+            .map(|kj| {
+                kj.as_usize().ok_or_else(|| {
+                    ServeError::BadRequest("\"k\" must be a non-negative integer".into())
+                })
+            })
+            .transpose()?;
+        let sim = QueryCore::similarity(req)?;
+        if k.is_some() {
+            let _ = self.engine.core().candidates(req)?;
+        }
+        let folded = self.commit(&name, object_type, &fold_req)?;
+        let mut fields = vec![
+            ("theta", Json::nums(&folded.theta)),
+            ("cluster", Json::Num(argmax(&folded.theta) as f64)),
+            ("iterations", Json::Num(folded.iterations as f64)),
+            ("converged", Json::Bool(folded.converged)),
+            ("committed", Json::str(name)),
+        ];
+        // Rank against the *current* (pre-refresh) model — the same one
+        // the folded row was inferred under, matching plain fold_in.
+        if let Some(k) = k {
+            let core = self.engine.core();
+            let theta = &self.engine.snapshot().model().theta;
+            let ranked = genclus_core::top_k(theta, &folded.theta, core.candidates(req)?, sim, k);
+            fields.push(("results", core.ranked_json(&ranked)));
+        }
+        if self.due_for_refresh() {
+            // The commit itself already succeeded and is staged — a refresh
+            // failure (e.g. an unwritable persist path) must not turn this
+            // response into an error, or the client would retry a commit
+            // that cannot be repeated ("already staged"). Report it
+            // alongside the commit result; the engine keeps serving the
+            // previous snapshot and the staged delta stays intact for the
+            // next trigger or an explicit refresh.
+            match self.refresh() {
+                Ok(outcome) => {
+                    fields.push(("refreshed", Json::Bool(true)));
+                    self.outcome_fields(&outcome, &mut fields);
+                }
+                Err(e) => {
+                    fields.push(("refreshed", Json::Bool(false)));
+                    fields.push(("refresh_error", Json::str(e.to_string())));
+                }
+            }
+        }
+        // Emitted after any refresh so clients throttling on the backlog
+        // see the post-refresh (drained) counts, not the trigger-time ones.
+        fields.push(("pending_objects", Json::Num(self.pending_objects() as f64)));
+        fields.push(("pending_links", Json::Num(self.pending_links() as f64)));
+        Ok(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genclus_core::GenClusConfig;
+    use genclus_hin::{HinBuilder, Schema};
+
+    /// The engine.rs fixture: two planted sensor clusters, readings on the
+    /// anchors only.
+    fn snapshot() -> Snapshot {
+        let mut s = Schema::new();
+        let sensor = s.add_object_type("sensor");
+        let nn = s.add_relation("nn", sensor, sensor);
+        let reading = s.add_numerical_attribute("reading");
+        let mut b = HinBuilder::new(s);
+        let vs: Vec<_> = (0..6)
+            .map(|i| b.add_object(sensor, format!("s{i}")))
+            .collect();
+        for group in [[0usize, 1, 2], [3, 4, 5]] {
+            for &i in &group {
+                for &j in &group {
+                    if i != j {
+                        b.add_link(vs[i], vs[j], nn, 1.0).unwrap();
+                    }
+                }
+            }
+        }
+        for x in [-5.0, -5.1, -4.9] {
+            b.add_numeric(vs[0], reading, x).unwrap();
+        }
+        for x in [5.0, 5.1, 4.9] {
+            b.add_numeric(vs[3], reading, x).unwrap();
+        }
+        let graph = b.build().unwrap();
+        let cfg = GenClusConfig::new(2, vec![reading]).with_seed(7);
+        let fit = GenClus::new(cfg).unwrap().fit(&graph).unwrap();
+        Snapshot::from_bytes(&to_bytes(&graph, &fit.model)).unwrap()
+    }
+
+    fn ok(response: &str) -> Json {
+        let v = Json::parse(response).unwrap();
+        assert_eq!(
+            v.get("ok"),
+            Some(&Json::Bool(true)),
+            "expected success, got {response}"
+        );
+        v
+    }
+
+    #[test]
+    fn commit_then_refresh_makes_the_object_queryable() {
+        let mut e = RefreshableEngine::new(snapshot(), 1, RefreshPolicy::default());
+        let v = ok(&e.handle_line(
+            r#"{"op":"fold_in","links":[["nn","s3",1.0],["nn","s4",1.0]],"commit":"s6"}"#,
+        ));
+        assert_eq!(v.get("committed").unwrap().as_str(), Some("s6"));
+        assert_eq!(v.get("pending_objects").unwrap().as_usize(), Some(1));
+        assert_eq!(e.pending_links(), 2);
+        // Not yet part of the snapshot …
+        let miss = e.handle_line(r#"{"op":"membership","object":"s6"}"#);
+        assert!(miss.contains("\"ok\":false"), "{miss}");
+
+        let r = ok(&e.handle_line(r#"{"op":"refresh"}"#));
+        assert_eq!(r.get("objects_added").unwrap().as_usize(), Some(1));
+        assert_eq!(r.get("links_added").unwrap().as_usize(), Some(2));
+        assert_eq!(r.get("n_objects").unwrap().as_usize(), Some(7));
+        assert_eq!(e.refreshes(), 1);
+        assert_eq!(e.pending_objects(), 0);
+
+        // … but queryable afterwards, in the cluster it was linked into.
+        let m = ok(&e.handle_line(r#"{"op":"membership","object":"s6"}"#));
+        let m3 = ok(&e.handle_line(r#"{"op":"membership","object":"s3"}"#));
+        assert_eq!(m.get("cluster"), m3.get("cluster"));
+        // Old objects answer too, and top_k sees the new arrival.
+        let t = ok(
+            &e.handle_line(r#"{"op":"top_k","object":"s4","k":6,"sim":"cosine","type":"sensor"}"#)
+        );
+        let names: Vec<&str> = t
+            .get("results")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|e| e.as_arr().unwrap()[0].as_str().unwrap())
+            .collect();
+        assert!(names.contains(&"s6"), "top_k must rank the new object");
+    }
+
+    #[test]
+    fn policy_triggers_auto_refresh() {
+        let policy = RefreshPolicy {
+            max_pending_objects: 2,
+            ..RefreshPolicy::default()
+        };
+        let mut e = RefreshableEngine::new(snapshot(), 1, policy);
+        let v = ok(&e.handle_line(r#"{"op":"fold_in","links":[["nn","s0",1.0]],"commit":"n0"}"#));
+        assert!(v.get("refreshed").is_none());
+        let v = ok(&e.handle_line(r#"{"op":"fold_in","links":[["nn","s1",1.0]],"commit":"n1"}"#));
+        assert_eq!(v.get("refreshed"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("objects_added").unwrap().as_usize(), Some(2));
+        // The reported backlog reflects the post-refresh (drained) state.
+        assert_eq!(v.get("pending_objects").unwrap().as_usize(), Some(0));
+        assert_eq!(v.get("pending_links").unwrap().as_usize(), Some(0));
+        assert_eq!(e.refreshes(), 1);
+        assert_eq!(e.pending_objects(), 0);
+        ok(&e.handle_line(r#"{"op":"membership","object":"n0"}"#));
+        ok(&e.handle_line(r#"{"op":"membership","object":"n1"}"#));
+    }
+
+    #[test]
+    fn batches_interleave_reads_and_mutations_in_order() {
+        let mut e = RefreshableEngine::new(snapshot(), 2, RefreshPolicy::default());
+        let lines: Vec<String> = vec![
+            r#"{"id":0,"op":"stats"}"#.into(),
+            r#"{"id":1,"op":"fold_in","links":[["nn","s3",1.0]],"commit":"x"}"#.into(),
+            r#"{"id":2,"op":"membership","object":"x"}"#.into(), // still unknown
+            r#"{"id":3,"op":"refresh"}"#.into(),
+            r#"{"id":4,"op":"membership","object":"x"}"#.into(), // known now
+        ];
+        let responses = e.handle_batch(&lines);
+        assert_eq!(responses.len(), 5);
+        for (i, r) in responses.iter().enumerate() {
+            assert_eq!(
+                Json::parse(r).unwrap().get("id").unwrap().as_usize(),
+                Some(i)
+            );
+        }
+        assert!(responses[2].contains("\"ok\":false"), "{}", responses[2]);
+        assert!(responses[4].contains("\"ok\":true"), "{}", responses[4]);
+    }
+
+    #[test]
+    fn commit_errors_are_structured_and_stage_nothing() {
+        let mut e = RefreshableEngine::new(snapshot(), 1, RefreshPolicy::default());
+        for (line, needle) in [
+            (
+                r#"{"op":"fold_in","links":[["nn","s0",1.0]],"commit":"s0"}"#,
+                "already exists",
+            ),
+            (
+                r#"{"op":"fold_in","values":{"reading":[1.0]},"commit":"y"}"#,
+                "cannot infer",
+            ),
+            (
+                r#"{"op":"fold_in","commit":{"name":"y","type":"router"}}"#,
+                "unknown object type",
+            ),
+            (r#"{"op":"fold_in","commit":7}"#, "must be a name"),
+            (
+                r#"{"op":"fold_in","links":[["nn","ghost",1.0]],"commit":"y"}"#,
+                "ghost",
+            ),
+        ] {
+            let resp = e.handle_line(line);
+            let v = Json::parse(&resp).unwrap();
+            assert_eq!(v.get("ok"), Some(&Json::Bool(false)), "{line} → {resp}");
+            let err = v.get("error").unwrap().as_str().unwrap();
+            assert!(err.contains(needle), "{line} → {err:?} (wanted {needle:?})");
+        }
+        assert_eq!(e.pending_objects(), 0, "failed commits must stage nothing");
+        // Duplicate staging is rejected on the second commit.
+        ok(&e.handle_line(r#"{"op":"fold_in","links":[["nn","s0",1.0]],"commit":"dup"}"#));
+        let resp = e.handle_line(r#"{"op":"fold_in","links":[["nn","s0",1.0]],"commit":"dup"}"#);
+        assert!(resp.contains("already staged"), "{resp}");
+        assert_eq!(e.pending_objects(), 1);
+    }
+
+    #[test]
+    fn escaped_mutation_keys_are_not_missed_by_the_fast_path() {
+        // `\uXXXX` escapes can spell "commit"/"refresh" without the
+        // literal bytes appearing in the line; the substring fast path
+        // must not let such lines slip through to the read-only engine
+        // (which would silently drop the commit).
+        let mut e = RefreshableEngine::new(snapshot(), 1, RefreshPolicy::default());
+        let v =
+            ok(&e
+                .handle_line(r#"{"op":"fold_in","links":[["nn","s0",1.0]],"\u0063ommit":"esc0"}"#));
+        assert_eq!(v.get("committed").unwrap().as_str(), Some("esc0"));
+        assert_eq!(e.pending_objects(), 1);
+        let r = ok(&e.handle_line(r#"{"op":"refre\u0073h"}"#));
+        assert_eq!(r.get("objects_added").unwrap().as_usize(), Some(1));
+        ok(&e.handle_line(r#"{"op":"membership","object":"esc0"}"#));
+    }
+
+    #[test]
+    fn failed_auto_refresh_does_not_fail_the_commit() {
+        // An unwritable persist path makes the policy-triggered refresh
+        // fail; the commit that triggered it must still succeed (it is
+        // staged and cannot be retried), with the refresh error reported
+        // alongside, the old snapshot still serving, and the staged delta
+        // intact for a later refresh.
+        let policy = RefreshPolicy {
+            max_pending_objects: 1,
+            persist_path: Some(PathBuf::from("/nonexistent-genclus-dir/refreshed.gcsnap")),
+            ..RefreshPolicy::default()
+        };
+        let mut e = RefreshableEngine::new(snapshot(), 1, policy);
+        let v = ok(&e.handle_line(r#"{"op":"fold_in","links":[["nn","s3",1.0]],"commit":"q0"}"#));
+        assert_eq!(v.get("committed").unwrap().as_str(), Some("q0"));
+        assert_eq!(v.get("refreshed"), Some(&Json::Bool(false)));
+        assert!(v.get("refresh_error").is_some(), "{v:?}");
+        assert_eq!(e.refreshes(), 0);
+        assert_eq!(e.pending_objects(), 1, "the staged delta must survive");
+        // Still serving the old snapshot.
+        ok(&e.handle_line(r#"{"op":"membership","object":"s0"}"#));
+        // Fixing the policy lets an explicit refresh drain the backlog.
+        e.policy.persist_path = None;
+        let r = ok(&e.handle_line(r#"{"op":"refresh"}"#));
+        assert_eq!(r.get("objects_added").unwrap().as_usize(), Some(1));
+        ok(&e.handle_line(r#"{"op":"membership","object":"q0"}"#));
+    }
+
+    #[test]
+    fn refresh_persists_when_asked() {
+        let dir = std::env::temp_dir().join("genclus-serve-refresh-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("refreshed.gcsnap");
+        std::fs::remove_file(&path).ok();
+        let policy = RefreshPolicy {
+            persist_path: Some(path.clone()),
+            ..RefreshPolicy::default()
+        };
+        let mut e = RefreshableEngine::new(snapshot(), 1, policy);
+        ok(&e.handle_line(r#"{"op":"fold_in","links":[["nn","s3",1.0]],"commit":"p0"}"#));
+        let r = ok(&e.handle_line(r#"{"op":"refresh"}"#));
+        assert_eq!(r.get("persisted"), Some(&Json::Bool(true)));
+        // The persisted file is a loadable v1 snapshot of the grown net,
+        // and matches what the engine now serves byte for byte.
+        let reloaded = Snapshot::load(&path).unwrap();
+        assert_eq!(reloaded.graph().n_objects(), 7);
+        assert_eq!(reloaded.raw_bytes(), e.engine().snapshot().raw_bytes());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -126,7 +126,13 @@ pub fn to_bytes(graph: &HinGraph, model: &GenClusModel) -> Vec<u8> {
 /// renamed over the target, so readers never observe a half-written
 /// snapshot).
 pub fn save(path: &Path, graph: &HinGraph, model: &GenClusModel) -> Result<(), ServeError> {
-    let bytes = to_bytes(graph, model);
+    save_bytes(path, &to_bytes(graph, model))
+}
+
+/// Atomically writes pre-serialized snapshot bytes (the temp-file + rename
+/// dance of [`save`]) — used by the refresh path, which already has the
+/// bytes in hand from re-loading the swapped-in snapshot.
+pub fn save_bytes(path: &Path, bytes: &[u8]) -> Result<(), ServeError> {
     // Appended (not `with_extension`) so `model.gcsnap` and `model.bak` in
     // one directory do not collide on the same temp file.
     let mut tmp_name = path
@@ -140,7 +146,7 @@ pub fn save(path: &Path, graph: &HinGraph, model: &GenClusModel) -> Result<(), S
         .to_os_string();
     tmp_name.push(format!(".tmp-{}~", std::process::id()));
     let tmp = path.with_file_name(tmp_name);
-    std::fs::write(&tmp, &bytes)?;
+    std::fs::write(&tmp, bytes)?;
     std::fs::rename(&tmp, path)?;
     Ok(())
 }

@@ -1,0 +1,135 @@
+//! The full serving life cycle: fit → save → serve → grow → refresh.
+//!
+//! Fits GenClus on a weather sensor network, persists the snapshot, wraps
+//! it in a [`RefreshableEngine`] with an auto-refresh policy, and streams
+//! JSON requests at it the way `genclus_serve` would: new sensors arrive
+//! as `fold_in` requests carrying a `"commit"` field, accumulate in a
+//! `GraphDelta`, and once enough have arrived the engine re-fits itself —
+//! EM warm-started from the served `(Θ, β, γ)` — and atomically swaps the
+//! refreshed snapshot in. Afterwards the *committed* sensors answer
+//! `membership` and rank in `top_k` like any original object, and the
+//! refreshed snapshot has been persisted next to the original.
+//!
+//! ```text
+//! cargo run --release --example refresh_cycle [-- <seed>]
+//! ```
+
+use genclus::prelude::*;
+use genclus::serve::snapshot;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+
+    // 1. Fit and persist — same opening as the online_inference example.
+    let net = genclus::datagen::weather::generate(&WeatherConfig {
+        n_temp: 200,
+        n_precip: 100,
+        k_neighbors: 5,
+        n_obs: 10,
+        pattern: PatternSetting::Setting1,
+        seed,
+    });
+    let config = GenClusConfig::new(4, vec![net.temp_attr, net.precip_attr])
+        .with_seed(seed)
+        .with_outer_iters(4);
+    let fit = GenClus::new(config).unwrap().fit(&net.graph).unwrap();
+    let dir = std::env::temp_dir().join("genclus-refresh-cycle");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("weather.gcsnap");
+    snapshot::save(&path, &net.graph, &fit.model).unwrap();
+    println!(
+        "fitted {} sensors, snapshot at {}",
+        net.graph.n_objects(),
+        path.display()
+    );
+
+    // 2. Serve with an auto-refresh policy: re-fit after 3 committed
+    //    sensors, persisting each refreshed snapshot.
+    let refreshed_path = dir.join("weather-refreshed.gcsnap");
+    let policy = RefreshPolicy {
+        max_pending_objects: 3,
+        persist_path: Some(refreshed_path.clone()),
+        ..RefreshPolicy::default()
+    };
+    let mut engine = RefreshableEngine::new(Snapshot::load(&path).unwrap(), 2, policy);
+
+    // 3. Three sensors arrive over time. Each is folded in immediately
+    //    (the response carries its inferred row) and staged for the next
+    //    refresh; the third commit crosses the policy threshold.
+    let arrivals = [
+        r#"{"op":"fold_in","links":[["tt","T0",1.0],["tt","T1",1.0]],"values":{"temperature":[1.1,0.9]},"commit":"NT0"}"#,
+        r#"{"op":"fold_in","links":[["tt","T10",1.0],["tt","T11",1.0]],"commit":"NT1"}"#,
+        r#"{"op":"fold_in","links":[["pt","T3",1.0]],"values":{"precipitation":[2.1]},"commit":{"name":"NP0","type":"precip_sensor"}}"#,
+    ];
+    for line in arrivals {
+        let response = engine.handle_line(line);
+        let v = Json::parse(&response).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{response}");
+        let name = v.get("committed").unwrap().as_str().unwrap().to_string();
+        match v.get("refreshed") {
+            None => println!(
+                "committed {name}: cluster {}, {} pending",
+                v.get("cluster").unwrap().as_usize().unwrap(),
+                v.get("pending_objects").unwrap().as_usize().unwrap(),
+            ),
+            Some(_) => println!(
+                "committed {name} → policy fired: refreshed to {} objects in {} EM iterations \
+                 ({} outer), persisted: {}",
+                v.get("n_objects").unwrap().as_usize().unwrap(),
+                v.get("em_iterations").unwrap().as_usize().unwrap(),
+                v.get("outer_iterations").unwrap().as_usize().unwrap(),
+                v.get("persisted").unwrap() == &Json::Bool(true),
+            ),
+        }
+    }
+    assert_eq!(engine.refreshes(), 1, "the third commit must auto-refresh");
+    assert_eq!(engine.pending_objects(), 0);
+
+    // 4. The committed sensors are first-class objects now: membership
+    //    answers, and NT0 ranks among its linked neighbors in top_k.
+    let m = engine.handle_line(r#"{"op":"membership","object":"NT0"}"#);
+    let v = Json::parse(&m).unwrap();
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{m}");
+    println!(
+        "\nNT0 after refresh: cluster {} {:?}",
+        v.get("cluster").unwrap().as_usize().unwrap(),
+        v.get("theta")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|x| (x.as_f64().unwrap() * 1e3).round() / 1e3)
+            .collect::<Vec<_>>(),
+    );
+    let t = engine
+        .handle_line(r#"{"op":"top_k","object":"T0","k":5,"sim":"cosine","type":"temp_sensor"}"#);
+    let v = Json::parse(&t).unwrap();
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{t}");
+    println!("most similar sensors to T0 (refreshed model):");
+    for entry in v.get("results").unwrap().as_arr().unwrap() {
+        let pair = entry.as_arr().unwrap();
+        println!(
+            "  {:6}  score {:8.4}",
+            pair[0].as_str().unwrap(),
+            pair[1].as_f64().unwrap()
+        );
+    }
+
+    // 5. The persisted refreshed snapshot is independently loadable and
+    //    matches what the engine serves.
+    let reloaded = Snapshot::load(&refreshed_path).unwrap();
+    assert_eq!(reloaded.graph().n_objects(), net.graph.n_objects() + 3);
+    assert_eq!(
+        reloaded.raw_bytes(),
+        engine.engine().snapshot().raw_bytes(),
+        "persisted snapshot must equal the served one byte for byte"
+    );
+    println!(
+        "\nrefreshed snapshot persisted: {} ({} objects)",
+        refreshed_path.display(),
+        reloaded.graph().n_objects()
+    );
+}

@@ -192,6 +192,113 @@ fn baselines_run_on_the_same_networks_as_genclus() {
 }
 
 #[test]
+fn refresh_pipeline_beats_frozen_fold_in_under_drift() {
+    // The full serving life cycle at test scale: fit → save → append
+    // (commits) → refresh → query, on a weather network that *drifts*
+    // after the initial fit — new sensors' readings are shifted by +0.5
+    // relative to the ring patterns the model was fitted on, so the
+    // frozen-(β, γ) fold-in works from stale components while the
+    // warm-started refresh re-estimates them. The refreshed model must
+    // label the grown network at least as well as the frozen fold-ins.
+    let net = small_weather(23);
+    let fit = GenClus::new(weather_config(&net, 23))
+        .unwrap()
+        .fit(&net.graph)
+        .unwrap();
+    let n_old = net.graph.n_objects();
+    let n_temp = net.temp_sensors.len();
+
+    let bytes = genclus::serve::snapshot::to_bytes(&net.graph, &fit.model);
+    let mut engine = RefreshableEngine::new(
+        Snapshot::from_bytes(&bytes).unwrap(),
+        2,
+        RefreshPolicy::default(),
+    );
+
+    // 40 drifted arrivals: sensor i belongs to ring (i % 4), links to 3
+    // existing temperature sensors of that ring, and reads the ring's
+    // Setting-1 mean plus a +0.5 drift.
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let by_ring: Vec<Vec<usize>> = (0..4)
+        .map(|c| (0..n_temp).filter(|&i| net.labels[i] == c).collect())
+        .collect();
+    let n_new = 40usize;
+    let mut truth: Vec<usize> = net.labels.clone();
+    let mut frozen_labels: Vec<usize> = fit.model.hard_labels();
+    for i in 0..n_new {
+        let ring = i % 4;
+        let links: Vec<String> = (0..3)
+            .map(|_| {
+                let j = by_ring[ring][next() as usize % by_ring[ring].len()];
+                format!(r#"["tt","T{j}",1.0]"#)
+            })
+            .collect();
+        let values: Vec<String> = (0..5)
+            .map(|_| {
+                let jitter = (next() % 400) as f64 / 1000.0 - 0.2;
+                format!("{}", (ring + 1) as f64 + 0.5 + jitter)
+            })
+            .collect();
+        let line = format!(
+            r#"{{"op":"fold_in","links":[{}],"values":{{"temperature":[{}]}},"commit":"NT{i}"}}"#,
+            links.join(","),
+            values.join(","),
+        );
+        let v = Json::parse(&engine.handle_line(&line)).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "commit NT{i} failed");
+        frozen_labels.push(v.get("cluster").unwrap().as_usize().unwrap());
+        truth.push(ring);
+    }
+    let nmi_frozen = genclus::eval::nmi(&frozen_labels, &truth);
+
+    // Refresh: append all 40, warm-refit, swap.
+    let v = Json::parse(&engine.handle_line(r#"{"op":"refresh"}"#)).unwrap();
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(v.get("objects_added").unwrap().as_usize(), Some(n_new));
+    assert_eq!(v.get("n_objects").unwrap().as_usize(), Some(n_old + n_new));
+
+    // Query every object (old and new) from the refreshed engine.
+    let names: Vec<String> = (0..n_temp)
+        .map(|i| format!("T{i}"))
+        .chain((n_temp..n_old).map(|i| format!("P{}", i - n_temp)))
+        .chain((0..n_new).map(|i| format!("NT{i}")))
+        .collect();
+    let lines: Vec<String> = names
+        .iter()
+        .map(|n| format!(r#"{{"op":"membership","object":"{n}"}}"#))
+        .collect();
+    let refreshed_labels: Vec<usize> = engine
+        .handle_batch(&lines)
+        .iter()
+        .map(|resp| {
+            let v = Json::parse(resp).unwrap();
+            assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{resp}");
+            v.get("cluster").unwrap().as_usize().unwrap()
+        })
+        .collect();
+    let nmi_refreshed = genclus::eval::nmi(&refreshed_labels, &truth);
+    assert!(
+        nmi_refreshed >= nmi_frozen,
+        "refresh must not lose accuracy: refreshed {nmi_refreshed} vs frozen {nmi_frozen}"
+    );
+    // And a top_k over the refreshed model ranks new sensors among their
+    // ring mates.
+    let t =
+        Json::parse(&engine.handle_line(
+            r#"{"op":"top_k","object":"NT0","k":5,"sim":"cosine","type":"temp_sensor"}"#,
+        ))
+        .unwrap();
+    assert_eq!(t.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(t.get("results").unwrap().as_arr().unwrap().len(), 5);
+}
+
+#[test]
 fn facade_prelude_exposes_the_whole_pipeline() {
     // Build → fit → evaluate using only the facade prelude imports.
     let net = small_weather(17);
