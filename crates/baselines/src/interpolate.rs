@@ -43,7 +43,7 @@ pub fn interpolate_features(graph: &HinGraph, attrs: &[AttributeId]) -> Vec<Vec<
         for v in graph.objects() {
             let mut sum: f64 = values[v.index()].iter().sum();
             let mut cnt = values[v.index()].len();
-            for link in graph.out_links(v).iter().chain(graph.in_links(v)) {
+            for link in graph.out_links(v).chain(graph.in_links(v)) {
                 let nb = &values[link.endpoint.index()];
                 sum += nb.iter().sum::<f64>();
                 cnt += nb.len();

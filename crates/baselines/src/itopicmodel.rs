@@ -75,7 +75,7 @@ pub fn fit_itopicmodel(graph: &HinGraph, attr: AttributeId, config: &ITopicConfi
         let mut max_delta = 0.0f64;
         for v in graph.objects() {
             let row = &mut mass[v.index() * k..(v.index() + 1) * k];
-            for link in graph.out_links(v).iter().chain(graph.in_links(v)) {
+            for link in graph.out_links(v).chain(graph.in_links(v)) {
                 let nb = theta.row(link.endpoint.index());
                 for (o, &x) in row.iter_mut().zip(nb) {
                     *o += config.lambda * link.weight * x;

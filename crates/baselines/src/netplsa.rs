@@ -101,7 +101,7 @@ pub fn fit_netplsa(graph: &HinGraph, attr: AttributeId, config: &NetPlsaConfig) 
             for v in graph.objects() {
                 let mut acc = vec![0.0f64; k];
                 let mut total_w = 0.0;
-                for link in graph.out_links(v).iter().chain(graph.in_links(v)) {
+                for link in graph.out_links(v).chain(graph.in_links(v)) {
                     let nb = current.row(link.endpoint.index());
                     for (a, &x) in acc.iter_mut().zip(nb) {
                         *a += link.weight * x;

@@ -127,8 +127,14 @@ struct GrownFixture {
 }
 
 /// Fits the base network and stages ~10% growth the way the serving
-/// layer's refresh queue does: fold-in rows under the frozen model, the
-/// topology in a `GraphDelta`.
+/// layer's refresh queue does: fold-in rows under the frozen model (with
+/// staged rows addressable, so staged→staged links fold in), the topology
+/// in a `GraphDelta`. The workload deliberately covers every link class
+/// the overflow adjacency accepts: new→old (the classic fold-in links),
+/// **old→new** (each arrival is also linked *from* one of its existing
+/// targets — the old source's overflow segment grows), and
+/// **staged→staged** (arrivals after the first link to an earlier arrival
+/// of the same ring).
 fn build_fixture(cfg: &RefreshPerfConfig, net: &WeatherNetwork) -> GrownFixture {
     let base_cfg = GenClusConfig::new(K, vec![net.temp_attr, net.precip_attr])
         .with_seed(11)
@@ -161,7 +167,6 @@ fn build_fixture(cfg: &RefreshPerfConfig, net: &WeatherNetwork) -> GrownFixture 
         .collect();
 
     let mut delta = GraphDelta::new(&net.graph);
-    let mut requests: Vec<FoldInRequest> = Vec::new();
     let temp_type = net
         .graph
         .schema()
@@ -173,6 +178,13 @@ fn build_fixture(cfg: &RefreshPerfConfig, net: &WeatherNetwork) -> GrownFixture 
         .object_type_by_name("precip_sensor")
         .unwrap();
     let mut new_sensor = String::new();
+    // Fold-in rows under the frozen model — built incrementally so later
+    // arrivals can link to earlier staged ones (the engine reads the
+    // staged Θ row for such targets, exactly like the serving layer).
+    let mut staged_rows: Vec<Vec<f64>> = Vec::new();
+    let mut staged_types: Vec<genclus_hin::ObjectTypeId> = Vec::new();
+    // Earlier staged *temperature* arrivals per planted ring.
+    let mut staged_temp_by_ring: Vec<Vec<genclus_hin::ObjectId>> = vec![Vec::new(); K];
     for i in 0..n_new_temp + n_new_precip {
         let is_temp = i < n_new_temp;
         let ring = next() as usize % K;
@@ -200,6 +212,11 @@ fn build_fixture(cfg: &RefreshPerfConfig, net: &WeatherNetwork) -> GrownFixture 
             let target = net.temp_sensors[pool[next() as usize % pool.len()]];
             req.links.push((rel, target, 1.0));
         }
+        // Staged→staged: link to one earlier arrival of the same ring when
+        // it exists (tt / pt both target temperature sensors).
+        if let Some(&earlier) = staged_temp_by_ring[ring].last() {
+            req.links.push((rel, earlier, 1.0));
+        }
         // Match the population's observation count, read from an anchor of
         // the *same* type (each sensor type carries only its own attribute).
         let anchor = if is_temp {
@@ -213,12 +230,29 @@ fn build_fixture(cfg: &RefreshPerfConfig, net: &WeatherNetwork) -> GrownFixture 
             .collect();
         req.values.push((attr, values));
 
+        let folded = FoldInEngine::new(&fit.model, &net.graph)
+            .with_staged(&staged_rows, &staged_types)
+            .assign(&req)
+            .expect("fold-in succeeds");
+
         let v = delta.add_object(obj_type, name);
         for &(r, target, w) in &req.links {
             delta
                 .add_link(v, target, r, w)
                 .expect("staged links are valid");
         }
+        // Old→new: the first existing target also links *to* the arrival
+        // (tt for a temp arrival, tp for a precip one — the old source's
+        // segment overflows).
+        let back_rel = if is_temp {
+            net.relations.tt
+        } else {
+            net.relations.tp
+        };
+        let first_old_target = req.links[0].1;
+        delta
+            .add_link(first_old_target, v, back_rel, 1.0)
+            .expect("old-source links are valid");
         for (a, vals) in &req.values {
             for &x in vals {
                 delta
@@ -226,21 +260,25 @@ fn build_fixture(cfg: &RefreshPerfConfig, net: &WeatherNetwork) -> GrownFixture 
                     .expect("staged values are valid");
             }
         }
-        requests.push(req);
+        staged_rows.push(folded.theta);
+        staged_types.push(obj_type);
+        if is_temp {
+            staged_temp_by_ring[ring].push(v);
+        }
     }
 
-    // Fold-in rows under the frozen model — the warm Θ extension.
-    let foldin = FoldInEngine::new(&fit.model, &net.graph);
     let mut rows: Vec<Vec<f64>> = (0..fit.model.theta.n_objects())
         .map(|i| fit.model.theta.row(i).to_vec())
         .collect();
-    for req in &requests {
-        rows.push(foldin.assign(req).expect("fold-in succeeds").theta);
-    }
+    rows.extend(staged_rows);
 
     let mut graph = net.graph.clone();
     let n_links_appended = delta.n_new_links();
     graph.append(delta).expect("append succeeds");
+    assert!(
+        graph.has_overflow(),
+        "the grow workload must exercise old-source overflow links"
+    );
     let warm = GenClusModel {
         theta: MembershipMatrix::from_rows(&rows, K),
         gamma: fit.model.gamma.clone(),

@@ -59,6 +59,14 @@
 //!   previous step except through the documented reset (`prepare`): the
 //!   output rows are fully overwritten before accumulation, and every
 //!   scratch field is zeroed or rebuilt at step entry.
+//! * **Overflow transparency.** The link term iterates
+//!   [`HinGraph::out_relation_segments`], which on a graph grown by
+//!   old-source appends yields a relation's base chunk followed by its
+//!   overflow chunk — the same link order a compacted CSR presents — so a
+//!   step on an overflow-carrying graph is **bit-identical** to a step on
+//!   its [`HinGraph::compact`]ed clone (warm re-fits see the full grown
+//!   topology either way; asserted by
+//!   `overflow_graph_steps_bit_identically_to_compacted`).
 
 use crate::attr_model::{
     CategoricalComponents, ClusterComponents, ComponentAccumulator, GaussianComponents,
@@ -798,6 +806,68 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    /// A graph grown with old-source / staged→staged links (overflow
+    /// segments live, not compacted) must step bit-identically to its
+    /// compacted clone — the warm-refresh path fits exactly such graphs.
+    #[test]
+    fn overflow_graph_steps_bit_identically_to_compacted() {
+        use genclus_hin::{GraphDelta, ObjectId};
+        for seed in [3u64, 19] {
+            let n = 40;
+            let (g, attrs) = randomized_network(seed, n);
+            let schema = g.schema().clone();
+            let ta = schema.object_type_by_name("A").unwrap();
+            let tb = schema.object_type_by_name("B").unwrap();
+            let ab = schema.relation_by_name("ab").unwrap();
+            let aa = schema.relation_by_name("aa").unwrap();
+
+            let mut grown = g;
+            let mut d = GraphDelta::new(&grown);
+            let na = d.add_object(ta, "new-a");
+            let nb = d.add_object(tb, "new-b");
+            d.add_link(ObjectId(0), nb, ab, 1.3).unwrap(); // old → staged
+            d.add_link(ObjectId(1), ObjectId(n as u32), ab, 0.7)
+                .unwrap(); // old → old
+            d.add_link(ObjectId(2), ObjectId(3), aa, 2.1).unwrap(); // old → old
+            d.add_link(na, ObjectId(n as u32 + 1), ab, 0.9).unwrap(); // new → old
+            d.add_link(na, nb, ab, 1.1).unwrap(); // staged → staged
+            grown.append(d).unwrap();
+            assert!(grown.has_overflow());
+            let mut compacted = grown.clone();
+            compacted.compact();
+            assert!(!compacted.has_overflow());
+
+            let k = 3;
+            let (theta, comps) = randomized_state(&grown, &attrs, k, seed ^ 0xf00d);
+            let gamma = [1.1, 0.6, 1.7];
+            let mut live_eng = EmEngine::new(&grown, &attrs, k, 1, 1e-9, 1e-6);
+            let live = live_eng.step(&theta, &comps, &gamma);
+            let compact =
+                EmEngine::new(&compacted, &attrs, k, 1, 1e-9, 1e-6).step(&theta, &comps, &gamma);
+            assert_eq!(
+                live.theta.max_abs_diff(&compact.theta),
+                0.0,
+                "seed {seed}: overflow vs compacted Θ must be bit-identical"
+            );
+            assert_eq!(live.max_delta, compact.max_delta);
+            // The naive reference kernel walks the full out_links iterator
+            // (base + overflow) and must agree with the cached kernel on
+            // the overflow graph too.
+            let naive = ReferenceEmKernel::new(&grown, &attrs, k, 1, 1e-9, 1e-6)
+                .step(&theta, &comps, &gamma);
+            assert!(live.theta.max_abs_diff(&naive.theta) <= 1e-12);
+            // And the parallel path sees the same adjacency.
+            let par = EmEngine::new(&grown, &attrs, k, 3, 1e-9, 1e-6).step(&theta, &comps, &gamma);
+            assert!(live.theta.max_abs_diff(&par.theta) < 1e-12);
+            // Multi-iteration runs stay locked together.
+            let (t_live, _, i_live) = live_eng.run(theta.clone(), comps.clone(), &gamma, 5, 0.0);
+            let (t_comp, _, i_comp) = EmEngine::new(&compacted, &attrs, k, 1, 1e-9, 1e-6)
+                .run(theta, comps, &gamma, 5, 0.0);
+            assert_eq!(i_live, i_comp);
+            assert_eq!(t_live.max_abs_diff(&t_comp), 0.0);
         }
     }
 

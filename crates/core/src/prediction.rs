@@ -118,12 +118,18 @@ pub fn top_k(
     scored
 }
 
-/// Descending by score, ascending by id on ties (and on NaN, which compares
-/// equal) — the one ordering every ranking entry point shares.
+/// Descending by score with NaN ranked strictly last, ascending by id on
+/// ties (including among NaNs) — the one ordering every ranking entry
+/// point shares. This is a **total** order: treating NaN as "equal to
+/// everything" (the old behavior) breaks transitivity, and
+/// `sort_by`/`select_nth_unstable_by` may panic on comparators that do not
+/// implement a total order when scores mix NaN and finite values.
 fn cmp_scored(a: &(ObjectId, f64), b: &(ObjectId, f64)) -> std::cmp::Ordering {
-    b.1.partial_cmp(&a.1)
-        .unwrap_or(std::cmp::Ordering::Equal)
-        .then(a.0.cmp(&b.0))
+    match b.1.partial_cmp(&a.1) {
+        Some(o) => o.then(a.0.cmp(&b.0)),
+        // At least one NaN: non-NaN first, then ascending id.
+        None => a.1.is_nan().cmp(&b.1.is_nan()).then(a.0.cmp(&b.0)),
+    }
 }
 
 #[cfg(test)]
@@ -271,6 +277,92 @@ mod tests {
             let top1 = top_k(&theta, theta.row(0), &candidates, sim, 1);
             assert_eq!(top1[0].0, ObjectId(2));
         }
+    }
+
+    #[test]
+    fn nan_scores_rank_last_with_id_ties_in_every_entry_point() {
+        // `rank_row`/`top_k` accept *external* query rows (fold-in output,
+        // operator input), so NaN scores are reachable: a NaN query makes
+        // every candidate score NaN under Cosine / NegEuclidean. The
+        // documented ordering — descending score, NaN strictly last,
+        // ascending id on ties (including among the NaNs) — must hold
+        // without panicking in the sort or the selection (a comparator
+        // that maps NaN to "equal" is not a total order, which `sort_by` /
+        // `select_nth_unstable_by` are allowed to reject at runtime).
+        let theta = MembershipMatrix::from_rows(
+            &[
+                vec![0.9, 0.1],
+                vec![0.8, 0.2],
+                vec![0.5, 0.5],
+                vec![0.3, 0.7],
+                vec![0.2, 0.8],
+            ],
+            2,
+        );
+        let candidates = [ObjectId(4), ObjectId(3), ObjectId(2), ObjectId(1)];
+        let all_nan = [f64::NAN, f64::NAN];
+        for sim in [Similarity::Cosine, Similarity::NegEuclidean] {
+            let ranked = rank_row(&theta, &all_nan, &candidates, sim);
+            assert!(ranked.iter().all(|&(_, s)| s.is_nan()), "{}", sim.label());
+            let got: Vec<ObjectId> = ranked.iter().map(|&(c, _)| c).collect();
+            assert_eq!(
+                got,
+                vec![ObjectId(1), ObjectId(2), ObjectId(3), ObjectId(4)],
+                "{}: all-NaN ties order by ascending id",
+                sim.label()
+            );
+            for k in 0..=candidates.len() + 1 {
+                let top = top_k(&theta, &all_nan, &candidates, sim, k);
+                assert_eq!(top.len(), k.min(candidates.len()));
+                let prefix: Vec<ObjectId> = top.iter().map(|&(c, _)| c).collect();
+                assert_eq!(prefix, got[..prefix.len()], "top-{k} prefix");
+            }
+        }
+    }
+
+    #[test]
+    fn cmp_scored_is_a_total_order_over_mixed_nan_scores() {
+        use std::cmp::Ordering;
+        // The comparator itself (shared by every entry point) on a sample
+        // mixing finite values, infinities, and NaN: NaN strictly after
+        // every number, ids break ties everywhere — and the relation is a
+        // genuine total order (antisymmetric, transitive), which is what
+        // keeps `sort_by`'s runtime total-order check happy.
+        let sample = [
+            (ObjectId(3), f64::NAN),
+            (ObjectId(0), 1.0),
+            (ObjectId(1), f64::NAN),
+            (ObjectId(2), f64::NEG_INFINITY),
+            (ObjectId(4), 1.0),
+            (ObjectId(5), f64::INFINITY),
+        ];
+        // Pairwise antisymmetry.
+        for a in &sample {
+            for b in &sample {
+                assert_eq!(cmp_scored(a, b), cmp_scored(b, a).reverse(), "{a:?} {b:?}");
+            }
+        }
+        // Transitivity over every triple.
+        for a in &sample {
+            for b in &sample {
+                for c in &sample {
+                    if cmp_scored(a, b) != Ordering::Greater
+                        && cmp_scored(b, c) != Ordering::Greater
+                    {
+                        assert_ne!(
+                            cmp_scored(a, c),
+                            Ordering::Greater,
+                            "transitivity violated on {a:?} {b:?} {c:?}"
+                        );
+                    }
+                }
+            }
+        }
+        let mut sorted = sample;
+        sorted.sort_by(cmp_scored);
+        let ids: Vec<u32> = sorted.iter().map(|&(c, _)| c.0).collect();
+        // +inf, the finite tie by id, −inf, then the NaNs by id.
+        assert_eq!(ids, vec![5, 0, 4, 2, 1, 3]);
     }
 
     #[test]

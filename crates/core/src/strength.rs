@@ -57,12 +57,16 @@ impl PseudoLikelihood {
     /// ([`HinGraph::out_relation_segments`]) already group every object's
     /// links by relation, so the per-object statistics stream straight into
     /// `entries` — no per-relation scratch accumulators, no re-bucketing of
-    /// links on every outer iteration.
+    /// links on every outer iteration. A graph carrying overflow segments
+    /// yields up to two consecutive chunks per relation (base, then
+    /// overflow); they accumulate into **one** entry, link by link in the
+    /// same order a compacted CSR would present — the statistics are
+    /// bit-identical either way.
     fn build(graph: &HinGraph, theta: &MembershipMatrix, sigma: f64) -> Self {
         let n_relations = graph.schema().n_relations();
         let k = theta.n_clusters();
         let mut obj_ranges = Vec::with_capacity(graph.n_objects() + 1);
-        let mut entries = Vec::new();
+        let mut entries: Vec<Entry> = Vec::new();
         let mut s_values = Vec::new();
 
         // ln θ_i scratch, reused across objects.
@@ -70,34 +74,40 @@ impl PseudoLikelihood {
 
         obj_ranges.push(0);
         for v in graph.objects() {
-            if !graph.out_links(v).is_empty() {
+            if graph.has_out_links(v) {
                 for (l, &x) in ln_ti.iter_mut().zip(theta.row(v.index())) {
                     *l = x.ln();
                 }
             }
+            let obj_start = entries.len();
             for (rel, links) in graph.out_relation_segments(v) {
-                let s_start = s_values.len();
-                s_values.resize(s_start + k, 0.0);
-                let s = &mut s_values[s_start..s_start + k];
-                let mut w_sum = 0.0;
-                let mut feat = 0.0;
+                // An overflow chunk continues the relation's entry opened
+                // by its base chunk (chunks of one relation are adjacent).
+                let continues = entries.len() > obj_start
+                    && entries.last().expect("non-empty past obj_start").r == rel.index();
+                if !continues {
+                    let s_start = s_values.len();
+                    s_values.resize(s_start + k, 0.0);
+                    entries.push(Entry {
+                        r: rel.index(),
+                        w: 0.0,
+                        feat: 0.0,
+                        s_start,
+                    });
+                }
+                let e = entries.last_mut().expect("entry just ensured");
+                let s = &mut s_values[e.s_start..e.s_start + k];
                 for link in links {
                     let w = link.weight;
-                    w_sum += w;
+                    e.w += w;
                     let tj = theta.row(link.endpoint.index());
                     let mut dot = 0.0;
                     for (kk, &tjk) in tj.iter().enumerate() {
                         dot += tjk * ln_ti[kk];
                         s[kk] += w * tjk;
                     }
-                    feat += w * dot;
+                    e.feat += w * dot;
                 }
-                entries.push(Entry {
-                    r: rel.index(),
-                    w: w_sum,
-                    feat,
-                    s_start,
-                });
             }
             obj_ranges.push(entries.len());
         }
@@ -434,6 +444,58 @@ mod tests {
             tight.gamma,
             loose.gamma
         );
+    }
+
+    #[test]
+    fn overflow_graph_statistics_match_compacted() {
+        // The pseudo-likelihood must see old-source links sitting in
+        // overflow segments; merging a relation's base and overflow chunks
+        // into one entry link-by-link makes the statistics bit-identical
+        // to a compacted CSR's.
+        use genclus_hin::{GraphDelta, ObjectId};
+        let (g, theta) = two_relation_network(42);
+        let t = g.schema().object_type_by_name("node").unwrap();
+        let good = g.schema().relation_by_name("good").unwrap();
+        let bad = g.schema().relation_by_name("bad").unwrap();
+        let mut grown = g;
+        let mut d = GraphDelta::new(&grown);
+        let v = d.add_object(t, "extra");
+        d.add_link(ObjectId(0), v, good, 1.5).unwrap(); // old → new
+        d.add_link(ObjectId(0), ObjectId(5), bad, 2.0).unwrap(); // old → old
+        d.add_link(ObjectId(7), ObjectId(2), good, 0.5).unwrap(); // old → old
+        d.add_link(v, ObjectId(1), good, 1.0).unwrap(); // new → old
+        grown.append(d).unwrap();
+        assert!(grown.has_overflow());
+        let mut rows: Vec<Vec<f64>> = (0..theta.n_objects())
+            .map(|i| theta.row(i).to_vec())
+            .collect();
+        rows.push(vec![0.6, 0.4]);
+        let theta = MembershipMatrix::from_rows(&rows, 2);
+        let mut compacted = grown.clone();
+        compacted.compact();
+
+        let live = PseudoLikelihood::build(&grown, &theta, 0.3);
+        let compact = PseudoLikelihood::build(&compacted, &theta, 0.3);
+        let gamma = [0.9, 1.4];
+        assert_eq!(live.value(&gamma), compact.value(&gamma));
+        let (mut g_live, mut g_comp) = ([0.0, 0.0], [0.0, 0.0]);
+        live.gradient(&gamma, &mut g_live);
+        compact.gradient(&gamma, &mut g_comp);
+        assert_eq!(g_live, g_comp);
+        let mut h_live = Matrix::zeros(2, 2);
+        let mut h_comp = Matrix::zeros(2, 2);
+        live.hessian(&gamma, &mut h_live);
+        compact.hessian(&gamma, &mut h_comp);
+        for r1 in 0..2 {
+            for r2 in 0..2 {
+                assert_eq!(h_live[(r1, r2)], h_comp[(r1, r2)]);
+            }
+        }
+        // End to end: the learned strengths agree.
+        let learner = StrengthLearner::new(0.5, NewtonOptions::default());
+        let a = learner.learn(&grown, &theta, &[1.0, 1.0]);
+        let b = learner.learn(&compacted, &theta, &[1.0, 1.0]);
+        assert_eq!(a.gamma, b.gamma);
     }
 
     #[test]

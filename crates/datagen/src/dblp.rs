@@ -649,7 +649,6 @@ mod tests {
                 let reverse = ac
                     .graph
                     .out_links(link.endpoint)
-                    .iter()
                     .find(|l| l.relation == ac.rel_aa && l.endpoint == src)
                     .expect("reverse coauthor link missing");
                 assert_eq!(reverse.weight, link.weight);

@@ -325,7 +325,7 @@ mod tests {
         assert_eq!(net.precip_sensors.len(), 30);
         // Every sensor has k out-links per type → 2k out-links.
         for v in net.graph.objects() {
-            assert_eq!(net.graph.out_links(v).len(), 6, "sensor {v}");
+            assert_eq!(net.graph.out_links(v).count(), 6, "sensor {v}");
         }
         // Relation totals: #T·k for tt and tp; #P·k for pt and pp.
         assert_eq!(net.graph.relation_link_count(net.relations.tt), 180);

@@ -36,7 +36,7 @@ proptest! {
         });
         prop_assert_eq!(net.graph.n_objects(), n_temp + n_precip);
         for v in net.graph.objects() {
-            prop_assert_eq!(net.graph.out_links(v).len(), 2 * k_nn);
+            prop_assert_eq!(net.graph.out_links(v).count(), 2 * k_nn);
         }
         for (i, theta) in net.true_membership.iter().enumerate() {
             prop_assert!((theta.iter().sum::<f64>() - 1.0).abs() < 1e-9);

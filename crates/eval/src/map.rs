@@ -141,10 +141,7 @@ mod tests {
         let (g, _a, c_ids, ac) = toy_graph();
         // Oracle: score 1 exactly for the true link, else 0.
         let map = link_prediction_map(&g, ac, |q, c| {
-            let hit = g
-                .out_links(q)
-                .iter()
-                .any(|l| l.relation == ac && l.endpoint == c);
+            let hit = g.out_links(q).any(|l| l.relation == ac && l.endpoint == c);
             if hit {
                 1.0
             } else {
@@ -159,10 +156,7 @@ mod tests {
     fn harness_with_antioracle_is_worst_case() {
         let (g, _, _, ac) = toy_graph();
         let map = link_prediction_map(&g, ac, |q, c| {
-            let hit = g
-                .out_links(q)
-                .iter()
-                .any(|l| l.relation == ac && l.endpoint == c);
+            let hit = g.out_links(q).any(|l| l.relation == ac && l.endpoint == c);
             if hit {
                 -1.0
             } else {

@@ -337,6 +337,7 @@ impl HinBuilder {
             out_rel_weight,
             rel_counts,
             rel_weights,
+            overflow: Default::default(),
         })
     }
 }
@@ -484,7 +485,7 @@ mod tests {
         }
         let g = b.build().unwrap();
         assert_eq!(g.n_links(), 8);
-        assert_eq!(g.out_links(vs[0]).len(), 4);
+        assert_eq!(g.out_links(vs[0]).count(), 4);
         // Chain links are v1→v0, v2→v1, v3→v2, v4→v3, so in(v0) = {v1}.
         let sources: Vec<_> = g.in_links(vs[0]).iter().map(|l| l.endpoint).collect();
         assert_eq!(sources, vec![vs[1]]);
@@ -515,12 +516,11 @@ mod tests {
         b.add_link(vs[0], vs[3], r1, 3.0).unwrap();
         b.add_link(vs[0], vs[1], r0, 4.0).unwrap();
         let g = b.build().unwrap();
-        let rels: Vec<_> = g.out_links(vs[0]).iter().map(|l| l.relation).collect();
+        let rels: Vec<_> = g.out_links(vs[0]).map(|l| l.relation).collect();
         assert_eq!(rels, vec![r0, r0, r1, r1]);
         // Stable grouping: insertion order preserved within each relation.
         let w: Vec<_> = g
             .out_links_for_relation(vs[0], r1)
-            .iter()
             .map(|l| l.weight)
             .collect();
         assert_eq!(w, vec![1.0, 3.0]);

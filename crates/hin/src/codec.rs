@@ -260,7 +260,26 @@ fn read_offsets_validated(offsets: &[u64], n: usize, total: usize) -> Option<()>
 impl HinGraph {
     /// Serializes the complete network: schema, object table, both CSR
     /// adjacencies, attribute tables, and the per-relation indexes.
+    ///
+    /// Always emits the **canonical** (compacted) form: a graph carrying
+    /// out-link overflow segments serializes exactly the bytes its
+    /// [`HinGraph::compact`]ed self would — the overflow is folded into
+    /// temporary CSR arrays on the fly, without mutating `self` — so
+    /// save → load → save byte identity holds whether or not the caller
+    /// compacted first, and snapshot files never contain overflow.
     pub fn to_bytes(&self, out: &mut Vec<u8>) {
+        let compacted = self.has_overflow().then(|| self.compacted_out_arrays());
+        let (out_offsets, out_links, out_rel_offsets, rel_weights) = match &compacted {
+            Some((oo, ol, oro, rw)) => {
+                (oo.as_slice(), ol.as_slice(), oro.as_slice(), rw.as_slice())
+            }
+            None => (
+                self.out_offsets.as_slice(),
+                self.out_links.as_slice(),
+                self.out_rel_offsets.as_slice(),
+                self.rel_weights.as_slice(),
+            ),
+        };
         self.schema.to_bytes(out);
         put_u64(out, self.n_objects() as u64);
         let types: Vec<u16> = self.obj_types.iter().map(|t| t.0).collect();
@@ -268,18 +287,18 @@ impl HinGraph {
         for name in &self.obj_names {
             put_str(out, name);
         }
-        put_u32_slice(out, &self.out_offsets);
-        put_links(out, &self.out_links);
+        put_u32_slice(out, out_offsets);
+        put_links(out, out_links);
         put_u32_slice(out, &self.in_offsets);
         put_links(out, &self.in_links);
         put_u64(out, self.attrs.tables.len() as u64);
         for table in &self.attrs.tables {
             put_attr_table(out, table);
         }
-        put_u32_slice(out, &self.out_rel_offsets);
+        put_u32_slice(out, out_rel_offsets);
         put_f64_slice(out, &self.out_rel_weight);
         put_u32_slice(out, &self.rel_counts);
-        put_f64_slice(out, &self.rel_weights);
+        put_f64_slice(out, rel_weights);
     }
 
     /// Inverse of [`Self::to_bytes`]. Re-validates every structural
@@ -365,6 +384,7 @@ impl HinGraph {
             out_rel_weight,
             rel_counts,
             rel_weights,
+            overflow: Default::default(),
         })
     }
 }
@@ -423,7 +443,7 @@ mod tests {
         assert_eq!(back.object_by_name("alice"), g.object_by_name("alice"));
         let w = g.schema().relation_by_name("write").unwrap();
         for v in g.objects() {
-            assert_eq!(back.out_links(v), g.out_links(v));
+            assert!(back.out_links(v).eq(g.out_links(v)));
             assert_eq!(back.in_links(v), g.in_links(v));
             assert_eq!(back.out_weight(v, w), g.out_weight(v, w));
         }
@@ -458,7 +478,7 @@ mod tests {
         back.to_bytes(&mut again);
         assert_eq!(again, grown, "appended graph must stay byte-stable");
         assert_eq!(back.object_by_name("carol"), Some(carol));
-        assert_eq!(back.out_links(carol).len(), 1);
+        assert_eq!(back.out_links(carol).count(), 1);
     }
 
     #[test]

@@ -7,25 +7,32 @@
 //! observations, and [`HinGraph::append`] attaches them to the existing
 //! arrays:
 //!
-//! * the out-link CSR, the per-relation sub-segment index, and the cached
-//!   per-`(object, relation)` weights grow by **appending rows** — existing
-//!   objects' segments are untouched (`O(new objects · |R| + new links)`);
-//! * the in-link CSR is extended with one linear merge pass (a new link may
+//! * links originating at **new** objects grow the out-link CSR, the
+//!   per-relation sub-segment index, and the cached per-`(object,
+//!   relation)` weights by **appending rows** — existing objects' segments
+//!   are untouched (`O(new objects · |R| + new links)`);
+//! * links originating at **pre-existing** objects (old → old and
+//!   old → new alike) land in the source's per-relation **overflow
+//!   segments** (see `genclus_hin::graph`'s module docs): the base CSR
+//!   stays immutable, every adjacency accessor traverses base + overflow
+//!   in canonical order, and [`HinGraph::compact`] folds the overflow back
+//!   into a canonical CSR whose bytes match a from-scratch rebuild;
+//! * the in-link CSR is extended with one linear merge pass (a link may
 //!   target *any* object, so old in-segments can grow) — a straight copy
 //!   with no re-sort and no re-validation of existing links;
 //! * attribute tables and the name → id map grow by appending rows.
 //!
-//! The one structural restriction is that **delta links originate at new
-//! objects**: inserting into an existing object's out-segment would shift
-//! every later segment, i.e. a full rebuild. This matches the fold-in
-//! model (Eq. 10 drives a new object's membership through its *out*-links),
-//! and schemas that declare both link directions — as all the paper's
-//! evaluation networks do — lose no expressiveness: the inverse direction
-//! is a new-source link too.
+//! Observations remain restricted to **new** objects (retro-fitting
+//! attribute rows of served objects is a model question, not a topology
+//! one); link sources and targets may be any object that exists once the
+//! delta applies.
 //!
-//! Validation is all-or-nothing: [`HinGraph::append`] checks every pending
-//! operation against the schema *before* mutating, so a failed append
-//! leaves the graph exactly as it was.
+//! Validation is all-or-nothing: [`GraphDelta::add_link`] checks both
+//! endpoint types eagerly (the delta snapshots the base graph's object
+//! types), and [`HinGraph::append`] re-checks every pre-existing endpoint
+//! against the live graph *before* mutating — so a failed append leaves
+//! the graph exactly as it was, and a delta staged against a different
+//! same-shaped graph cannot smuggle a type-invalid link in.
 
 use crate::attributes::AttributeData;
 use crate::error::HinError;
@@ -43,9 +50,12 @@ use crate::schema::{AttributeKind, Schema};
 pub struct GraphDelta {
     schema: Schema,
     base_objects: usize,
+    /// Object types of the base graph, snapshotted at [`GraphDelta::new`]
+    /// so links from pre-existing sources validate eagerly.
+    base_types: Vec<ObjectTypeId>,
     new_types: Vec<ObjectTypeId>,
     new_names: Vec<String>,
-    /// `(source, link)` pairs in insertion order; sources are new objects.
+    /// `(source, link)` pairs in insertion order; sources may be old or new.
     links: Vec<(ObjectId, Link)>,
     /// `(object, attribute, term, count)`; objects are new.
     cat_obs: Vec<(ObjectId, AttributeId, u32, f64)>,
@@ -59,6 +69,7 @@ impl GraphDelta {
         Self {
             schema: graph.schema().clone(),
             base_objects: graph.n_objects(),
+            base_types: graph.obj_types.clone(),
             new_types: Vec::new(),
             new_names: Vec::new(),
             links: Vec::new(),
@@ -91,6 +102,12 @@ impl GraphDelta {
         self.new_names.iter().map(String::as_str)
     }
 
+    /// Types of the staged objects, in the same id order as
+    /// [`Self::new_object_names`].
+    pub fn new_object_types(&self) -> impl Iterator<Item = ObjectTypeId> + '_ {
+        self.new_types.iter().copied()
+    }
+
     /// Whether `v` is one of this delta's new objects.
     fn is_new(&self, v: ObjectId) -> bool {
         (self.base_objects..self.base_objects + self.new_types.len()).contains(&v.index())
@@ -107,6 +124,16 @@ impl GraphDelta {
     /// Whether `v` will exist once the delta is applied (old or new).
     fn exists(&self, v: ObjectId) -> bool {
         v.index() < self.base_objects + self.new_types.len()
+    }
+
+    /// Type of `v`, whether it pre-exists (from the base snapshot) or is
+    /// staged by this delta. `None` when `v` does not exist.
+    fn object_type_of(&self, v: ObjectId) -> Option<ObjectTypeId> {
+        if v.index() < self.base_objects {
+            Some(self.base_types[v.index()])
+        } else {
+            self.new_types.get(v.index() - self.base_objects).copied()
+        }
     }
 
     /// Adds a new object of type `t` and returns its id (continuing the
@@ -126,10 +153,13 @@ impl GraphDelta {
         id
     }
 
-    /// Stages a link `source → target`. `source` must be a new object of
-    /// this delta; `target` may be an existing object or another new one.
-    /// Endpoint types are validated against the relation definition (the
-    /// target's type is read from the base range or the staged range).
+    /// Stages a link `source → target`. Either endpoint may be a
+    /// pre-existing object or one staged by this delta — a new paper can
+    /// cite an old one, an old author can be linked to a new paper, and two
+    /// staged objects can link each other. Endpoint types are validated
+    /// eagerly against the relation definition (pre-existing types come
+    /// from the base snapshot taken at [`GraphDelta::new`]; `append`
+    /// re-checks them against the live graph before mutating).
     pub fn add_link(
         &mut self,
         source: ObjectId,
@@ -137,7 +167,9 @@ impl GraphDelta {
         r: RelationId,
         weight: f64,
     ) -> Result<(), HinError> {
-        self.check_new(source)?;
+        if !self.exists(source) {
+            return Err(HinError::UnknownObject(source));
+        }
         if !self.exists(target) {
             return Err(HinError::UnknownObject(target));
         }
@@ -147,28 +179,15 @@ impl GraphDelta {
         if !(weight > 0.0 && weight.is_finite()) {
             return Err(HinError::InvalidWeight { weight });
         }
-        // The source type is always known here (new object); the target
-        // type is known too when the target is new. An *existing* target's
-        // type lives in the graph, so that half of the endpoint check is
-        // re-done in `append` against the real graph.
         let def = self.schema.relation(r).clone();
-        let source_type = self.new_types[source.index() - self.base_objects];
-        if source_type != def.source {
+        let source_type = self.object_type_of(source).expect("source exists");
+        let target_type = self.object_type_of(target).expect("target exists");
+        if (source_type, target_type) != (def.source, def.target) {
             return Err(HinError::EndpointTypeMismatch {
                 relation: r,
                 expected: (def.source, def.target),
-                got: (source_type, def.target),
+                got: (source_type, target_type),
             });
-        }
-        if self.is_new(target) {
-            let target_type = self.new_types[target.index() - self.base_objects];
-            if target_type != def.target {
-                return Err(HinError::EndpointTypeMismatch {
-                    relation: r,
-                    expected: (def.source, def.target),
-                    got: (source_type, target_type),
-                });
-            }
         }
         self.links.push((
             source,
@@ -241,11 +260,15 @@ impl GraphDelta {
 impl HinGraph {
     /// Applies `delta`, growing the network in place.
     ///
-    /// Validates everything first (base size, schema identity, remaining
-    /// endpoint types), so on `Err` the graph is untouched. Work is
+    /// Validates everything first (base size, schema identity, endpoint
+    /// types of every pre-existing endpoint re-checked against the live
+    /// graph), so on `Err` the graph is untouched. Work is
     /// `O(new objects · |R| + new links + |V| + |E|)` — the `|V| + |E|`
     /// term is the single linear copy extending the in-link CSR; nothing
-    /// is re-sorted or re-validated for existing objects.
+    /// is re-sorted or re-validated for existing objects. Links from
+    /// pre-existing sources extend their per-relation overflow segments
+    /// (see [`crate::graph`]'s module docs); call [`HinGraph::compact`]
+    /// to fold them back into a canonical CSR.
     pub fn append(&mut self, delta: GraphDelta) -> Result<(), HinError> {
         if delta.base_objects != self.n_objects() {
             return Err(HinError::DeltaBaseMismatch {
@@ -267,18 +290,26 @@ impl HinGraph {
         let total = base + n_new;
         let n_rel = self.schema.n_relations();
 
-        // Deferred endpoint check: links whose target pre-exists.
-        for &(_, link) in &delta.links {
-            if link.endpoint.index() < base {
-                let def = self.schema.relation(link.relation);
-                let got = self.obj_types[link.endpoint.index()];
-                if got != def.target {
-                    return Err(HinError::EndpointTypeMismatch {
-                        relation: link.relation,
-                        expected: (def.source, def.target),
-                        got: (def.source, got),
-                    });
+        // Deferred endpoint re-check: every pre-existing endpoint is
+        // validated against the *live* graph (the delta validated eagerly
+        // against its own base-type snapshot; this guards the
+        // equal-size-equal-schema staleness corner where the two differ).
+        for &(src, link) in &delta.links {
+            let def = self.schema.relation(link.relation);
+            let type_of = |v: ObjectId| {
+                if v.index() < base {
+                    self.obj_types[v.index()]
+                } else {
+                    delta.new_types[v.index() - base]
                 }
+            };
+            let got = (type_of(src), type_of(link.endpoint));
+            if got != (def.source, def.target) {
+                return Err(HinError::EndpointTypeMismatch {
+                    relation: link.relation,
+                    expected: (def.source, def.target),
+                    got,
+                });
             }
         }
 
@@ -293,18 +324,34 @@ impl HinGraph {
         }
         self.obj_names.extend(delta.new_names);
 
-        // Out CSR + per-relation indexes: append one grouped segment per
-        // new object (sources are all ≥ base, so existing segments keep
-        // their positions).
-        // Kept in insertion order for the in-CSR scatter below: the
-        // builder's in-CSR is filled in link *insertion* order, and the
-        // append-equals-rebuild byte identity requires matching it (the
-        // grouped out-CSR walk would instead visit links source-ascending,
-        // relation-grouped).
+        // Old-source links extend overflow segments; caches update in
+        // place, one link at a time in insertion order so the per-(object,
+        // relation) weights accumulate exactly as a from-scratch rebuild
+        // would (the global `rel_weights` float may re-associate — the
+        // compaction pass re-derives it canonically).
         let links_in_order = delta.links;
+        for &(src, link) in &links_in_order {
+            if src.index() < base {
+                let r = link.relation.index();
+                self.out_rel_weight[src.index() * n_rel + r] += link.weight;
+                self.rel_counts[r] += 1;
+                self.rel_weights[r] += link.weight;
+                self.overflow.push(src.index(), n_rel, link);
+            }
+        }
+
+        // New-source links: append one grouped base-CSR segment per new
+        // object (existing segments keep their positions).
+        // `links_in_order` is kept in insertion order for the in-CSR
+        // scatter below: the builder's in-CSR is filled in link *insertion*
+        // order, and the append-equals-rebuild byte identity requires
+        // matching it (the grouped out-CSR walk would instead visit links
+        // source-ascending, relation-grouped).
         let mut per_source: Vec<Vec<Link>> = vec![Vec::new(); n_new];
         for &(src, link) in &links_in_order {
-            per_source[src.index() - base].push(link);
+            if src.index() >= base {
+                per_source[src.index() - base].push(link);
+            }
         }
         let stride = n_rel + 1;
         self.out_rel_offsets.reserve(n_new * stride);
@@ -340,7 +387,9 @@ impl HinGraph {
         for &(_, link) in &links_in_order {
             extra[link.endpoint.index()] += 1;
         }
-        let mut in_links = Vec::with_capacity(self.out_links.len());
+        // Full link count: base + new-source segments (`out_links`) plus
+        // the old-source links already routed to overflow above.
+        let mut in_links = Vec::with_capacity(self.n_links());
         let mut in_offsets = Vec::with_capacity(total + 1);
         in_offsets.push(0u32);
         // Per-target write positions for the appended entries.
@@ -509,7 +558,7 @@ mod tests {
         assert_eq!(g.n_objects(), 6);
         assert_eq!(g.n_links(), 7);
         assert_eq!(g.object_by_name("p2"), Some(p2));
-        assert_eq!(g.out_links(a2).len(), 2);
+        assert_eq!(g.out_links(a2).count(), 2);
         assert_eq!(g.out_weight(a2, w), 2.0);
         assert_eq!(g.in_links(p0).len(), 2, "old p0 gained an in-link");
         assert_eq!(g.attribute(text).term_counts(p2), &[(1, 1.0), (4, 3.0)]);
@@ -634,19 +683,30 @@ mod tests {
         let year = g.schema().attribute_by_name("year").unwrap();
         let mut d = GraphDelta::new(&g);
         let a2 = d.add_object(author, "a2");
-        // Links must originate at new objects.
+        // Links may originate at pre-existing objects now …
+        d.add_link(ObjectId(0), ObjectId(2), w, 1.0).unwrap();
+        // … but both endpoints must exist.
         assert!(matches!(
-            d.add_link(ObjectId(0), ObjectId(2), w, 1.0),
-            Err(HinError::NotADeltaObject(_))
+            d.add_link(ObjectId(99), ObjectId(2), w, 1.0),
+            Err(HinError::UnknownObject(_))
         ));
-        // Unknown target.
         assert!(matches!(
             d.add_link(a2, ObjectId(99), w, 1.0),
             Err(HinError::UnknownObject(_))
         ));
-        // Wrong source type for the relation.
+        // Wrong source type for the relation (new and old sources alike —
+        // old endpoint types are validated eagerly from the base snapshot).
         assert!(matches!(
             d.add_link(a2, ObjectId(0), wb, 1.0),
+            Err(HinError::EndpointTypeMismatch { .. })
+        ));
+        assert!(matches!(
+            d.add_link(ObjectId(2), ObjectId(0), w, 1.0),
+            Err(HinError::EndpointTypeMismatch { .. })
+        ));
+        // Wrong *target* type with an old target.
+        assert!(matches!(
+            d.add_link(a2, ObjectId(1), w, 1.0),
             Err(HinError::EndpointTypeMismatch { .. })
         ));
         // Bad weight.
@@ -692,25 +752,172 @@ mod tests {
 
     #[test]
     fn deferred_endpoint_check_leaves_graph_untouched_on_error() {
-        let mut g = base();
-        let author = g.schema().object_type_by_name("author").unwrap();
-        let w = g.schema().relation_by_name("write").unwrap();
-        let before = rebuilt_equivalent(&g);
-        let mut d = GraphDelta::new(&g);
-        let a2 = d.add_object(author, "a2");
-        // Target exists but is an author; `write` requires a paper target.
-        // The delta cannot see the existing object's type, so this is only
-        // caught at append time.
-        d.add_link(a2, ObjectId(0), w, 1.0).unwrap();
+        // The staleness corner the deferred re-check exists for: two graphs
+        // with the same schema and object count but *swapped type layout*.
+        // A delta staged against one validates eagerly from its own base
+        // snapshot, so only the append-time re-check against the live graph
+        // can catch the mismatch.
+        let mut s = Schema::new();
+        let a = s.add_object_type("author");
+        let p = s.add_object_type("paper");
+        let w = s.add_relation("write", a, p);
+        let mut b1 = HinBuilder::new(s.clone());
+        b1.add_object(a, "x0");
+        b1.add_object(p, "x1");
+        let g1 = b1.build().unwrap();
+        let mut b2 = HinBuilder::new(s);
+        b2.add_object(p, "y0"); // types swapped relative to g1
+        b2.add_object(a, "y1");
+        let mut g2 = b2.build().unwrap();
+
+        let mut d = GraphDelta::new(&g1);
+        d.add_link(ObjectId(0), ObjectId(1), w, 1.0).unwrap(); // valid on g1
+        let before = rebuilt_equivalent(&g2);
         assert!(matches!(
-            g.append(d),
+            g2.append(d),
             Err(HinError::EndpointTypeMismatch { .. })
         ));
         assert_eq!(
-            rebuilt_equivalent(&g),
+            rebuilt_equivalent(&g2),
             before,
             "failed append must not mutate"
         );
+    }
+
+    #[test]
+    fn old_source_links_land_in_overflow_and_serialize_canonically() {
+        let mut g = base();
+        let schema = g.schema().clone();
+        let author = schema.object_type_by_name("author").unwrap();
+        let paper = schema.object_type_by_name("paper").unwrap();
+        let w = schema.relation_by_name("write").unwrap();
+        let wb = schema.relation_by_name("written_by").unwrap();
+
+        // Every link class at once: old→old, old→new, new→old, and
+        // staged→staged, interleaved in one delta.
+        let mut d = GraphDelta::new(&g);
+        let a2 = d.add_object(author, "a2");
+        let p2 = d.add_object(paper, "p2");
+        d.add_link(ObjectId(0), ObjectId(3), w, 0.25).unwrap(); // old a0 → old p1
+        d.add_link(a2, ObjectId(2), w, 0.5).unwrap(); // new a2 → old p0
+        d.add_link(ObjectId(1), p2, w, 0.75).unwrap(); // old a1 → new p2
+        d.add_link(a2, p2, w, 1.25).unwrap(); // staged → staged
+        d.add_link(p2, ObjectId(0), wb, 1.5).unwrap(); // new p2 → old a0
+        g.append(d).unwrap();
+
+        // Overflow exists (two old sources) and every accessor sees it.
+        assert!(g.has_overflow());
+        assert_eq!(g.n_overflow_links(), 2);
+        assert_eq!(g.n_links(), 4 + 5);
+        let a0 = ObjectId(0);
+        assert_eq!(g.out_links(a0).count(), 2, "a0's base link + overflow");
+        assert_eq!(g.out_degree(a0), 2);
+        assert!(g.has_out_links(a0));
+        assert_eq!(g.out_weight(a0, w), 1.0 + 0.25);
+        assert_eq!(g.relation_link_count(w), 2 + 4);
+        assert!((g.relation_total_weight(w) - (3.0 + 0.25 + 0.5 + 0.75 + 1.25)).abs() < 1e-12);
+        // Canonical per-relation order: base sub-segment before overflow.
+        let weights: Vec<f64> = g.out_links_for_relation(a0, w).map(|l| l.weight).collect();
+        assert_eq!(weights, vec![1.0, 0.25]);
+        // The segment view yields the overflow as a second chunk of the
+        // same relation, and chunks still tile the full out-link list.
+        let segs: Vec<_> = g.out_relation_segments(a0).collect();
+        assert_eq!(segs.len(), 2);
+        assert_eq!((segs[0].0, segs[0].1.len()), (w, 1));
+        assert_eq!((segs[1].0, segs[1].1.len()), (w, 1));
+        for v in g.objects() {
+            let total: usize = g.out_relation_segments(v).map(|(_, s)| s.len()).sum();
+            assert_eq!(total, g.out_degree(v));
+        }
+        // In-CSR grew for the old targets.
+        assert_eq!(g.in_links(ObjectId(3)).len(), 2, "old p1 gained an in-link");
+
+        // Serialization is canonical with the overflow still live …
+        let bytes_live = rebuilt_equivalent(&g);
+        // … and identical to the same network built from scratch in one go.
+        let mut b = HinBuilder::new(schema);
+        let a0 = b.add_object(author, "a0");
+        let a1 = b.add_object(author, "a1");
+        let p0 = b.add_object(paper, "p0");
+        let p1 = b.add_object(paper, "p1");
+        b.add_link_pair(a0, p0, w, wb, 1.0).unwrap();
+        b.add_link_pair(a1, p1, w, wb, 2.0).unwrap();
+        let text = g.schema().attribute_by_name("text").unwrap();
+        b.add_terms(p0, text, &[1, 4]).unwrap();
+        let a2 = b.add_object(author, "a2");
+        let p2 = b.add_object(paper, "p2");
+        b.add_link(a0, p1, w, 0.25).unwrap();
+        b.add_link(a2, p0, w, 0.5).unwrap();
+        b.add_link(a1, p2, w, 0.75).unwrap();
+        b.add_link(a2, p2, w, 1.25).unwrap();
+        b.add_link(p2, a0, wb, 1.5).unwrap();
+        let fresh = b.build().unwrap();
+        assert_eq!(
+            bytes_live,
+            rebuilt_equivalent(&fresh),
+            "overflow graph must serialize byte-identically to a rebuild"
+        );
+
+        // Compaction folds the overflow in without changing the bytes, and
+        // is idempotent.
+        g.compact();
+        assert!(!g.has_overflow());
+        assert_eq!(g.n_links(), 9);
+        assert_eq!(rebuilt_equivalent(&g), bytes_live);
+        let weights: Vec<f64> = g
+            .out_links_for_relation(ObjectId(0), w)
+            .map(|l| l.weight)
+            .collect();
+        assert_eq!(weights, vec![1.0, 0.25], "compaction preserves link order");
+        g.compact();
+        assert_eq!(rebuilt_equivalent(&g), bytes_live);
+    }
+
+    #[test]
+    fn repeated_appends_turn_earlier_arrivals_into_old_sources() {
+        // An object appended in round 1 is a pre-existing source in round 2:
+        // its base-CSR tail segment gains an overflow segment, and the
+        // final bytes still match a single from-scratch build.
+        let mut g = base();
+        let schema = g.schema().clone();
+        let author = schema.object_type_by_name("author").unwrap();
+        let paper = schema.object_type_by_name("paper").unwrap();
+        let w = schema.relation_by_name("write").unwrap();
+
+        let mut d1 = GraphDelta::new(&g);
+        let a2 = d1.add_object(author, "a2");
+        d1.add_link(a2, ObjectId(2), w, 0.5).unwrap();
+        g.append(d1).unwrap();
+
+        let mut d2 = GraphDelta::new(&g);
+        let p2 = d2.add_object(paper, "p2");
+        d2.add_link(a2, p2, w, 0.75).unwrap(); // a2 is old now
+        d2.add_link(ObjectId(0), p2, w, 1.25).unwrap(); // so is a0
+        g.append(d2).unwrap();
+
+        assert_eq!(g.out_links(a2).count(), 2);
+        assert_eq!(g.out_weight(a2, w), 0.5 + 0.75);
+
+        let mut b = HinBuilder::new(schema);
+        let a0 = b.add_object(author, "a0");
+        let a1 = b.add_object(author, "a1");
+        let p0 = b.add_object(paper, "p0");
+        let p1 = b.add_object(paper, "p1");
+        let wb = g.schema().relation_by_name("written_by").unwrap();
+        b.add_link_pair(a0, p0, w, wb, 1.0).unwrap();
+        b.add_link_pair(a1, p1, w, wb, 2.0).unwrap();
+        let text = g.schema().attribute_by_name("text").unwrap();
+        b.add_terms(p0, text, &[1, 4]).unwrap();
+        let a2 = b.add_object(author, "a2");
+        b.add_link(a2, p0, w, 0.5).unwrap();
+        let p2 = b.add_object(paper, "p2");
+        b.add_link(a2, p2, w, 0.75).unwrap();
+        b.add_link(a0, p2, w, 1.25).unwrap();
+        let fresh = b.build().unwrap();
+        assert_eq!(rebuilt_equivalent(&g), rebuilt_equivalent(&fresh));
+
+        g.compact();
+        assert_eq!(rebuilt_equivalent(&g), rebuilt_equivalent(&fresh));
     }
 
     #[test]

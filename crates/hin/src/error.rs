@@ -59,10 +59,11 @@ pub enum HinError {
         /// Object count of the graph it was applied to.
         got: usize,
     },
-    /// A delta operation referenced an object that is not one of the
-    /// delta's *new* objects. Delta links must originate at new objects
-    /// (extending an existing object's CSR segment would require a full
-    /// rebuild) and delta observations must belong to new objects.
+    /// A delta observation referenced an object that is not one of the
+    /// delta's *new* objects. Links may originate at any existing object
+    /// (old sources extend overflow segments), but observations are
+    /// append-only rows of the new objects — retro-fitting attributes of
+    /// served objects is out of the delta's scope.
     NotADeltaObject(ObjectId),
 }
 
@@ -111,9 +112,8 @@ impl std::fmt::Display for HinError {
             ),
             Self::NotADeltaObject(v) => write!(
                 f,
-                "{v} is not a new object of this delta (delta links must \
-                 originate at new objects; delta observations must belong \
-                 to new objects)"
+                "{v} is not a new object of this delta (delta observations \
+                 must belong to new objects)"
             ),
         }
     }

@@ -1,4 +1,4 @@
-//! The immutable heterogeneous network.
+//! The heterogeneous network: an immutable base CSR plus overflow segments.
 //!
 //! [`HinGraph`] stores objects with their types and names, directed typed
 //! links in CSR form (both out-link and in-link adjacency are materialized at
@@ -19,11 +19,75 @@
 //!   ([`HinGraph::relation_link_count`] / [`HinGraph::relation_total_weight`]
 //!   are O(1));
 //! * a name → id map makes [`HinGraph::object_by_name`] O(1).
+//!
+//! # Segmented out-adjacency (base CSR + overflow)
+//!
+//! The out-adjacency is **segmented** so the graph can grow without
+//! rewriting existing segments: the canonical base CSR (`out_links` /
+//! `out_offsets` / `out_rel_offsets`) is immutable once built, and each
+//! `(source, relation)` pair may additionally own an **overflow segment**
+//! ([`OverflowAdjacency`]) holding links appended after the source's base
+//! segment was laid out — this is how [`crate::delta::GraphDelta`] attaches
+//! links that *originate at a pre-existing object* without shifting every
+//! later CSR segment. The canonical link order of a pair is its base
+//! sub-segment followed by its overflow segment, both in insertion order;
+//! every accessor below traverses base + overflow in exactly that order, so
+//! algorithms see the same link sequence a from-scratch rebuild would
+//! produce (the EM kernels and strength statistics are bit-identical either
+//! way). [`HinGraph::compact`] folds the overflow back into a fresh
+//! canonical CSR — `O(|V|·|R| + |E|)`, triggered by the serving layer at
+//! refresh/save time — and the byte codec serializes the compacted form
+//! whether or not `compact` ran, so snapshots never contain overflow.
 
 use crate::attributes::{AttributeData, AttributeStore};
 use crate::ids::{AttributeId, ObjectId, ObjectTypeId, RelationId};
 use crate::schema::Schema;
 use std::collections::HashMap;
+
+/// Per-source, per-relation overflow segments of the out-adjacency.
+///
+/// Sources are registered lazily (only objects that actually received
+/// overflow links pay anything); each registered source owns one `Vec<Link>`
+/// bucket per relation, in insertion order. See the module docs for how
+/// this composes with the base CSR.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct OverflowAdjacency {
+    /// Source object index → slot in `buckets`.
+    slots: HashMap<u32, u32>,
+    /// One `|R|`-entry bucket row per registered source.
+    buckets: Vec<Vec<Vec<Link>>>,
+    /// Total overflow links across all sources.
+    n_links: usize,
+}
+
+impl OverflowAdjacency {
+    /// Whether any overflow segment exists.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.n_links == 0
+    }
+
+    /// Total overflow links.
+    pub(crate) fn n_links(&self) -> usize {
+        self.n_links
+    }
+
+    /// The per-relation overflow buckets of source `v`, if it has any.
+    pub(crate) fn for_source(&self, v: usize) -> Option<&[Vec<Link>]> {
+        self.slots
+            .get(&(v as u32))
+            .map(|&s| self.buckets[s as usize].as_slice())
+    }
+
+    /// Appends one link to source `v`'s overflow segment for its relation.
+    pub(crate) fn push(&mut self, v: usize, n_rel: usize, link: Link) {
+        let slot = *self.slots.entry(v as u32).or_insert_with(|| {
+            self.buckets.push(vec![Vec::new(); n_rel]);
+            (self.buckets.len() - 1) as u32
+        });
+        self.buckets[slot as usize][link.relation.index()].push(link);
+        self.n_links += 1;
+    }
+}
 
 /// One directed link as seen from one side of the adjacency.
 ///
@@ -70,6 +134,10 @@ pub struct HinGraph {
     pub(crate) rel_counts: Vec<u32>,
     /// Cached `Σ w(e)` per relation.
     pub(crate) rel_weights: Vec<f64>,
+    /// Out-link overflow segments for sources whose base CSR segment was
+    /// already laid out when the link arrived (see the module docs). Empty
+    /// on freshly built or decoded graphs.
+    pub(crate) overflow: OverflowAdjacency,
 }
 
 impl HinGraph {
@@ -85,10 +153,23 @@ impl HinGraph {
         self.obj_types.len()
     }
 
-    /// Number of directed links `|E|`.
+    /// Number of directed links `|E|` (base CSR + overflow).
     #[inline]
     pub fn n_links(&self) -> usize {
-        self.out_links.len()
+        self.out_links.len() + self.overflow.n_links()
+    }
+
+    /// Whether any out-link lives in an overflow segment rather than the
+    /// base CSR (i.e. [`Self::compact`] would do work).
+    #[inline]
+    pub fn has_overflow(&self) -> bool {
+        !self.overflow.is_empty()
+    }
+
+    /// Number of out-links currently held in overflow segments.
+    #[inline]
+    pub fn n_overflow_links(&self) -> usize {
+        self.overflow.n_links()
     }
 
     /// Type of object `v`.
@@ -119,12 +200,50 @@ impl HinGraph {
     }
 
     /// Out-links of `v`: all `e = ⟨v, u⟩`, the links driving `θ_v`'s
-    /// neighbor term in the EM update (Eq. 10).
+    /// neighbor term in the EM update (Eq. 10). Traverses base + overflow
+    /// segments in canonical order (per relation ascending, base sub-segment
+    /// before the relation's overflow segment). On an overflow-free graph —
+    /// every freshly built or decoded one — this degrades to the plain
+    /// contiguous base-CSR slice, with no per-relation walk and no overflow
+    /// lookup (the whole-graph emptiness check is O(1)).
     #[inline]
-    pub fn out_links(&self, v: ObjectId) -> &[Link] {
-        let lo = self.out_offsets[v.index()] as usize;
-        let hi = self.out_offsets[v.index() + 1] as usize;
-        &self.out_links[lo..hi]
+    pub fn out_links(&self, v: ObjectId) -> impl Iterator<Item = &Link> {
+        let (fast, n_rel): (&[Link], usize) = if self.overflow.is_empty() {
+            let lo = self.out_offsets[v.index()] as usize;
+            let hi = self.out_offsets[v.index() + 1] as usize;
+            (&self.out_links[lo..hi], 0)
+        } else {
+            (&[], self.schema.n_relations())
+        };
+        let ovf = (n_rel > 0)
+            .then(|| self.overflow.for_source(v.index()))
+            .flatten();
+        let stride = self.schema.n_relations() + 1;
+        let row = v.index() * stride;
+        fast.iter().chain((0..n_rel).flat_map(move |r| {
+            let lo = self.out_rel_offsets[row + r] as usize;
+            let hi = self.out_rel_offsets[row + r + 1] as usize;
+            let extra: &[Link] = ovf.map_or(&[], |b| b[r].as_slice());
+            self.out_links[lo..hi].iter().chain(extra)
+        }))
+    }
+
+    /// Number of out-links of `v` (base + overflow).
+    #[inline]
+    pub fn out_degree(&self, v: ObjectId) -> usize {
+        let base = (self.out_offsets[v.index() + 1] - self.out_offsets[v.index()]) as usize;
+        base + self
+            .overflow_for(v.index())
+            .map_or(0, |b| b.iter().map(Vec::len).sum())
+    }
+
+    /// Whether `v` has at least one out-link (base or overflow).
+    #[inline]
+    pub fn has_out_links(&self, v: ObjectId) -> bool {
+        self.out_offsets[v.index() + 1] > self.out_offsets[v.index()]
+            || self
+                .overflow_for(v.index())
+                .is_some_and(|b| b.iter().any(|s| !s.is_empty()))
     }
 
     /// In-links of `v`: all `e = ⟨u, v⟩`, with `endpoint` = `u`.
@@ -150,11 +269,12 @@ impl HinGraph {
             .collect()
     }
 
-    /// Iterates over every directed link as `(source, link)`.
+    /// Iterates over every directed link as `(source, link)`, in canonical
+    /// (base-then-overflow) order per source.
     pub fn iter_links(&self) -> impl Iterator<Item = (ObjectId, &Link)> {
         (0..self.n_objects()).flat_map(move |i| {
             let v = ObjectId::from_index(i);
-            self.out_links(v).iter().map(move |l| (v, l))
+            self.out_links(v).map(move |l| (v, l))
         })
     }
 
@@ -171,20 +291,45 @@ impl HinGraph {
         self.rel_weights[r.index()]
     }
 
-    /// Out-links of `v` restricted to relation `r` (O(1) segment lookup).
+    /// Out-links of `v` restricted to relation `r` (O(1) segment lookup),
+    /// base sub-segment first, then the pair's overflow segment.
     #[inline]
-    pub fn out_links_for_relation(&self, v: ObjectId, r: RelationId) -> &[Link] {
+    pub fn out_links_for_relation(
+        &self,
+        v: ObjectId,
+        r: RelationId,
+    ) -> impl Iterator<Item = &Link> {
         let stride = self.schema.n_relations() + 1;
         let base = v.index() * stride + r.index();
         let lo = self.out_rel_offsets[base] as usize;
         let hi = self.out_rel_offsets[base + 1] as usize;
-        &self.out_links[lo..hi]
+        let extra: &[Link] = self
+            .overflow_for(v.index())
+            .map_or(&[], |b| b[r.index()].as_slice());
+        self.out_links[lo..hi].iter().chain(extra)
     }
 
-    /// The non-empty per-relation sub-segments of `v`'s out-links, ascending
-    /// by relation id. This is the grouped view the EM link term and the
-    /// strength-learning statistics iterate: one `(relation, links)` pair per
-    /// relation actually present at `v`, with no per-link branching.
+    /// `v`'s overflow buckets, guarded by the O(1) graph-wide emptiness
+    /// check so overflow-free graphs (every freshly built, decoded, or
+    /// compacted one) never pay a hash lookup on the hot accessors.
+    #[inline]
+    fn overflow_for(&self, v: usize) -> Option<&[Vec<Link>]> {
+        if self.overflow.is_empty() {
+            None
+        } else {
+            self.overflow.for_source(v)
+        }
+    }
+
+    /// The non-empty per-relation chunks of `v`'s out-links, ascending by
+    /// relation id. This is the grouped view the EM link term and the
+    /// strength-learning statistics iterate, with no per-link branching.
+    /// A relation with both a base sub-segment and an overflow segment
+    /// yields **two consecutive chunks** with the same `RelationId` (base
+    /// first) — consumers summing per link see exactly the canonical
+    /// (compacted) link order, so their arithmetic is unchanged by
+    /// compaction; consumers assuming one chunk per relation must merge
+    /// consecutive equal ids.
     #[inline]
     pub fn out_relation_segments(
         &self,
@@ -194,15 +339,76 @@ impl HinGraph {
         let stride = n_rel + 1;
         let base = v.index() * stride;
         let offsets = &self.out_rel_offsets[base..base + stride];
-        (0..n_rel).filter_map(move |r| {
+        let ovf = self.overflow_for(v.index());
+        (0..n_rel).flat_map(move |r| {
             let lo = offsets[r] as usize;
             let hi = offsets[r + 1] as usize;
-            if lo == hi {
-                None
-            } else {
-                Some((RelationId::from_index(r), &self.out_links[lo..hi]))
-            }
+            let extra: &[Link] = ovf.map_or(&[], |b| b[r].as_slice());
+            let rel = RelationId::from_index(r);
+            [(rel, &self.out_links[lo..hi]), (rel, extra)]
+                .into_iter()
+                .filter(|(_, s)| !s.is_empty())
         })
+    }
+
+    /// Folds the overflow segments back into a fresh canonical CSR
+    /// (`O(|V|·|R| + |E|)`); a no-op when there is no overflow. Afterwards
+    /// the graph is byte-identical to one rebuilt from scratch with the
+    /// same link insertion history, and the hot per-relation accessors run
+    /// branch-free again. The serving layer calls this at refresh/save
+    /// time; long-running processes appending old-source links should call
+    /// it whenever overflow grows past a few percent of the base CSR.
+    pub fn compact(&mut self) {
+        if self.overflow.is_empty() {
+            return;
+        }
+        let (out_offsets, out_links, out_rel_offsets, rel_weights) = self.compacted_out_arrays();
+        self.out_offsets = out_offsets;
+        self.out_links = out_links;
+        self.out_rel_offsets = out_rel_offsets;
+        self.rel_weights = rel_weights;
+        self.overflow = OverflowAdjacency::default();
+    }
+
+    /// The canonical (compaction-result) out-CSR arrays: offsets, links,
+    /// per-relation sub-segment offsets, and per-relation weight totals
+    /// re-accumulated in the builder's order (ascending object, then
+    /// relation) so the bytes match a from-scratch rebuild bit for bit.
+    /// Shared by [`Self::compact`] and the byte codec, which serializes the
+    /// compacted form without mutating `self`.
+    pub(crate) fn compacted_out_arrays(&self) -> (Vec<u32>, Vec<Link>, Vec<u32>, Vec<f64>) {
+        let n = self.n_objects();
+        let n_rel = self.schema.n_relations();
+        let stride = n_rel + 1;
+        let mut links = Vec::with_capacity(self.n_links());
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut rel_offsets = Vec::with_capacity(n * stride);
+        offsets.push(0u32);
+        for v in 0..n {
+            let ovf = self.overflow.for_source(v);
+            rel_offsets.push(links.len() as u32);
+            for r in 0..n_rel {
+                let lo = self.out_rel_offsets[v * stride + r] as usize;
+                let hi = self.out_rel_offsets[v * stride + r + 1] as usize;
+                links.extend_from_slice(&self.out_links[lo..hi]);
+                if let Some(b) = ovf {
+                    links.extend_from_slice(&b[r]);
+                }
+                rel_offsets.push(links.len() as u32);
+            }
+            offsets.push(links.len() as u32);
+        }
+        // Per-relation totals, re-accumulated in the builder's exact order
+        // (the live `rel_weights` cache is numerically equal but may differ
+        // in the last bits after old-source appends, because in-place `+=`
+        // re-associates the float sum).
+        let mut rel_weights = vec![0.0f64; n_rel];
+        for v in 0..n {
+            for (r, w) in rel_weights.iter_mut().enumerate() {
+                *w += self.out_rel_weight[v * n_rel + r];
+            }
+        }
+        (offsets, links, rel_offsets, rel_weights)
     }
 
     /// Observation table of attribute `a`.
@@ -227,7 +433,7 @@ impl HinGraph {
     /// Total weighted degree (in + out, all relations) of `v`; used by
     /// modularity-based baselines.
     pub fn total_degree(&self, v: ObjectId) -> f64 {
-        let out: f64 = self.out_links(v).iter().map(|l| l.weight).sum();
+        let out: f64 = self.out_links(v).map(|l| l.weight).sum();
         let inn: f64 = self.in_links(v).iter().map(|l| l.weight).sum();
         out + inn
     }
@@ -265,12 +471,13 @@ mod tests {
         let (g, [a0, a1, p0, p1]) = toy();
         assert_eq!(g.n_objects(), 4);
         assert_eq!(g.n_links(), 6);
-        assert_eq!(g.out_links(a0).len(), 2);
-        assert_eq!(g.out_links(a1).len(), 1);
+        assert_eq!(g.out_links(a0).count(), 2);
+        assert_eq!(g.out_degree(a0), 2);
+        assert_eq!(g.out_links(a1).count(), 1);
         assert_eq!(g.in_links(p1).len(), 2);
         assert_eq!(g.in_links(a0).len(), 2);
         // Out-link targets of a0 are the two papers.
-        let targets: Vec<_> = g.out_links(a0).iter().map(|l| l.endpoint).collect();
+        let targets: Vec<_> = g.out_links(a0).map(|l| l.endpoint).collect();
         assert!(targets.contains(&p0) && targets.contains(&p1));
         // In-links mirror out-links: p1's in-links come from a0 and a1.
         let sources: Vec<_> = g.in_links(p1).iter().map(|l| l.endpoint).collect();
@@ -323,19 +530,22 @@ mod tests {
         let write = g.schema().relation_by_name("write").unwrap();
         let written_by = g.schema().relation_by_name("written_by").unwrap();
         // a0 writes two papers; it has no written_by out-links.
-        assert_eq!(g.out_links_for_relation(a0, write).len(), 2);
-        assert!(g.out_links_for_relation(a0, written_by).is_empty());
+        assert_eq!(g.out_links_for_relation(a0, write).count(), 2);
+        assert_eq!(g.out_links_for_relation(a0, written_by).count(), 0);
         let segs: Vec<_> = g.out_relation_segments(a0).collect();
         assert_eq!(segs.len(), 1, "only non-empty segments are yielded");
         assert_eq!(segs[0].0, write);
         assert_eq!(segs[0].1.len(), 2);
         // p1 has two written_by out-links and nothing else.
         let segs: Vec<_> = g.out_relation_segments(p1).collect();
-        assert_eq!(segs, vec![(written_by, g.out_links(p1))]);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].0, written_by);
+        assert!(segs[0].1.iter().eq(g.out_links(p1)));
         // Segments always concatenate back to the full out segment.
         for v in g.objects() {
             let total: usize = g.out_relation_segments(v).map(|(_, s)| s.len()).sum();
-            assert_eq!(total, g.out_links(v).len());
+            assert_eq!(total, g.out_links(v).count());
+            assert_eq!(total, g.out_degree(v));
         }
     }
 
@@ -354,7 +564,6 @@ mod tests {
             for v in g.objects() {
                 let w: f64 = g
                     .out_links(v)
-                    .iter()
                     .filter(|l| l.relation == r)
                     .map(|l| l.weight)
                     .sum();

@@ -14,11 +14,15 @@
 //!   / attributes (hot paths index vectors, never hash);
 //! * [`schema`] — the type system: object types, relations with typed
 //!   endpoints, attribute declarations;
-//! * [`graph`] — the immutable [`graph::HinGraph`] with CSR out-link and
-//!   in-link adjacency;
+//! * [`graph`] — [`graph::HinGraph`] with CSR out-link and in-link
+//!   adjacency; the out side is **segmented** (an immutable base CSR plus
+//!   per-`(source, relation)` overflow segments fed by [`delta`], folded
+//!   back into a canonical CSR by [`graph::HinGraph::compact`] — see the
+//!   module docs for the layout and the compaction trigger);
 //! * [`builder`] — [`builder::HinBuilder`], the validated construction path;
 //! * [`delta`] — [`delta::GraphDelta`], incremental growth: append new
-//!   objects/links/observations to a built graph without a full rebuild;
+//!   objects, links (from new *or* pre-existing sources, to new or
+//!   pre-existing targets), and observations without a full rebuild;
 //! * [`codec`] — `to_bytes` / `from_bytes` for [`schema::Schema`] and
 //!   [`graph::HinGraph`], the hooks under the `genclus-serve` snapshot
 //!   format;
@@ -46,7 +50,7 @@
 //! let g = b.build().unwrap();
 //!
 //! assert_eq!(g.n_objects(), 2);
-//! assert_eq!(g.out_links(a0).len(), 1);
+//! assert_eq!(g.out_links(a0).count(), 1);
 //! ```
 
 pub mod attributes;

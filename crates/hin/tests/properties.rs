@@ -132,4 +132,155 @@ proptest! {
             }
         }
     }
+
+    /// The overflow-adjacency tentpole property: a delta interleaving
+    /// old-source, new-source, old→new, and staged→staged links appends
+    /// into base CSR + overflow segments; its serialization — and its
+    /// [`HinGraph::compact`]ed form — must be byte-identical to ONE
+    /// from-scratch build of the same insertion history, and the live
+    /// (non-compacted) adjacency must agree with the in-CSR on the link
+    /// multiset.
+    #[test]
+    fn append_then_compact_is_byte_identical_to_rebuild(
+        seed in any::<u64>(),
+        n_base in 2usize..10,
+        n_new in 1usize..5,
+        n_links in 0usize..50,
+    ) {
+        let mut rng = genclus_stats::seeded_rng(seed);
+        let mut s = Schema::new();
+        let ta = s.add_object_type("A");
+        let tb = s.add_object_type("B");
+        let ab = s.add_relation("ab", ta, tb);
+        let ba = s.add_relation("ba", tb, ta);
+        let aa = s.add_relation("aa", ta, ta);
+        let schema = s.clone();
+        // The relation joining a (source type, target type) pair, if any.
+        let rel_for = |src: ObjectTypeId, tgt: ObjectTypeId| -> Option<RelationId> {
+            if src == ta && tgt == tb { Some(ab) }
+            else if src == tb && tgt == ta { Some(ba) }
+            else if src == ta && tgt == ta { Some(aa) }
+            else { None }
+        };
+
+        // One shared insertion history: object list (type, appended phase)
+        // and link list (source, target, weight), split into a base prefix
+        // and a delta suffix.
+        let types: Vec<ObjectTypeId> = (0..n_base + n_new)
+            .map(|_| if rng.gen_bool(0.5) { ta } else { tb })
+            .collect();
+        let mut base_links: Vec<(usize, usize, RelationId, f64)> = Vec::new();
+        let mut delta_links: Vec<(usize, usize, RelationId, f64)> = Vec::new();
+        for i in 0..n_links {
+            // The delta phase may link *any* pair of objects — old→old,
+            // old→new, new→old, staged→staged; the base phase only links
+            // base objects.
+            let is_delta = i % 2 == 1;
+            let pool = if is_delta { n_base + n_new } else { n_base };
+            let src = rng.gen_range(0..pool);
+            let tgt = rng.gen_range(0..pool);
+            if let Some(r) = rel_for(types[src], types[tgt]) {
+                let w = rng.gen_range(0.1..4.0);
+                if is_delta {
+                    delta_links.push((src, tgt, r, w));
+                } else {
+                    base_links.push((src, tgt, r, w));
+                }
+            }
+        }
+
+        // Build the base, stage + append the delta.
+        let mut b = HinBuilder::new(schema.clone());
+        for (i, &t) in types[..n_base].iter().enumerate() {
+            b.add_object(t, format!("v{i}"));
+        }
+        for &(src, tgt, r, w) in &base_links {
+            b.add_link(ObjectId(src as u32), ObjectId(tgt as u32), r, w).unwrap();
+        }
+        let mut grown = b.build().unwrap();
+        let mut d = GraphDelta::new(&grown);
+        for (i, &t) in types[n_base..].iter().enumerate() {
+            d.add_object(t, format!("v{}", n_base + i));
+        }
+        for &(src, tgt, r, w) in &delta_links {
+            d.add_link(ObjectId(src as u32), ObjectId(tgt as u32), r, w).unwrap();
+        }
+        grown.append(d).unwrap();
+
+        // The same history in one sitting.
+        let mut b = HinBuilder::new(schema);
+        for (i, &t) in types.iter().enumerate() {
+            b.add_object(t, format!("v{i}"));
+        }
+        for &(src, tgt, r, w) in base_links.iter().chain(&delta_links) {
+            b.add_link(ObjectId(src as u32), ObjectId(tgt as u32), r, w).unwrap();
+        }
+        let fresh = b.build().unwrap();
+
+        let fresh_bytes = {
+            let mut out = Vec::new();
+            fresh.to_bytes(&mut out);
+            out
+        };
+        let live_bytes = {
+            let mut out = Vec::new();
+            grown.to_bytes(&mut out);
+            out
+        };
+        prop_assert_eq!(&live_bytes, &fresh_bytes,
+            "seed {}: overflow graph must serialize like the rebuild", seed);
+
+        // Live accessors (pre-compaction) agree with the in-CSR multiset
+        // and the cached aggregates.
+        prop_assert_eq!(grown.n_links(), base_links.len() + delta_links.len());
+        let mut out_view: Vec<(u32, u32, u16)> = grown
+            .iter_links()
+            .map(|(src, l)| (src.0, l.endpoint.0, l.relation.0))
+            .collect();
+        let mut in_view: Vec<(u32, u32, u16)> = grown
+            .objects()
+            .flat_map(|v| {
+                grown
+                    .in_links(v)
+                    .iter()
+                    .map(move |l| (l.endpoint.0, v.0, l.relation.0))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out_view.sort_unstable();
+        in_view.sort_unstable();
+        prop_assert_eq!(out_view, in_view);
+        for (r, _) in grown.schema().relations() {
+            let scan: f64 = grown
+                .iter_links()
+                .filter(|(_, l)| l.relation == r)
+                .map(|(_, l)| l.weight)
+                .sum();
+            prop_assert!((grown.relation_total_weight(r) - scan).abs() < 1e-9);
+            for v in grown.objects() {
+                let w: f64 = grown
+                    .out_links_for_relation(v, r)
+                    .map(|l| l.weight)
+                    .sum();
+                prop_assert!((grown.out_weight(v, r) - w).abs() < 1e-12);
+            }
+        }
+
+        // Compaction drains the overflow without changing the bytes, and
+        // per-object link order is exactly the live traversal order.
+        let live_order: Vec<Vec<(u32, u16)>> = grown
+            .objects()
+            .map(|v| grown.out_links(v).map(|l| (l.endpoint.0, l.relation.0)).collect())
+            .collect();
+        grown.compact();
+        prop_assert!(!grown.has_overflow());
+        let compacted_order: Vec<Vec<(u32, u16)>> = grown
+            .objects()
+            .map(|v| grown.out_links(v).map(|l| (l.endpoint.0, l.relation.0)).collect())
+            .collect();
+        prop_assert_eq!(live_order, compacted_order);
+        let mut again = Vec::new();
+        grown.to_bytes(&mut again);
+        prop_assert_eq!(&again, &fresh_bytes);
+    }
 }

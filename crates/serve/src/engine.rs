@@ -287,35 +287,65 @@ impl QueryCore {
         ])
     }
 
+    /// Decodes a `[[relation, endpoint-name, weight], …]` array, resolving
+    /// endpoint names through `resolve` (plain fold-in resolves against the
+    /// snapshot graph; the refresh layer widens resolution to snapshot ∪
+    /// staged names for commit links and `in_links`).
+    pub(crate) fn decode_link_triples(
+        &self,
+        links: &Json,
+        field: &str,
+        resolve: &dyn Fn(&str) -> Result<ObjectId, ServeError>,
+    ) -> Result<Vec<(genclus_hin::RelationId, ObjectId, f64)>, ServeError> {
+        let schema = self.graph().schema();
+        let links = links
+            .as_arr()
+            .ok_or_else(|| ServeError::BadRequest(format!("{field:?} must be an array")))?;
+        let mut out = Vec::with_capacity(links.len());
+        for entry in links {
+            let triple = entry.as_arr().filter(|a| a.len() == 3).ok_or_else(|| {
+                ServeError::BadRequest(format!(
+                    "each entry of {field:?} must be [relation, name, weight]"
+                ))
+            })?;
+            let rel_name = triple[0]
+                .as_str()
+                .ok_or_else(|| ServeError::BadRequest("link relation must be a string".into()))?;
+            let rel = schema
+                .relation_by_name(rel_name)
+                .ok_or_else(|| ServeError::BadRequest(format!("unknown relation {rel_name:?}")))?;
+            let endpoint_name = triple[1]
+                .as_str()
+                .ok_or_else(|| ServeError::BadRequest("link endpoint must be a string".into()))?;
+            let endpoint = resolve(endpoint_name)?;
+            let weight = triple[2]
+                .as_f64()
+                .ok_or_else(|| ServeError::BadRequest("link weight must be a number".into()))?;
+            out.push((rel, endpoint, weight));
+        }
+        Ok(out)
+    }
+
     /// Decodes the wire fold-in request: link relations/targets by name,
-    /// attributes by name.
+    /// attributes by name. Targets resolve against the snapshot graph.
     pub(crate) fn decode_fold_in(&self, req: &Json) -> Result<FoldInRequest, ServeError> {
+        self.decode_fold_in_with(req, &|name| {
+            Ok(self.graph().require_object_by_name(name)?)
+        })
+    }
+
+    /// [`Self::decode_fold_in`] with a caller-supplied link-target
+    /// resolver.
+    pub(crate) fn decode_fold_in_with(
+        &self,
+        req: &Json,
+        resolve: &dyn Fn(&str) -> Result<ObjectId, ServeError>,
+    ) -> Result<FoldInRequest, ServeError> {
         let g = self.graph();
         let schema = g.schema();
         let mut out = FoldInRequest::default();
         if let Some(links) = req.get("links") {
-            let links = links
-                .as_arr()
-                .ok_or_else(|| ServeError::BadRequest("\"links\" must be an array".into()))?;
-            for entry in links {
-                let triple = entry.as_arr().filter(|a| a.len() == 3).ok_or_else(|| {
-                    ServeError::BadRequest("each link must be [relation, target, weight]".into())
-                })?;
-                let rel_name = triple[0].as_str().ok_or_else(|| {
-                    ServeError::BadRequest("link relation must be a string".into())
-                })?;
-                let rel = schema.relation_by_name(rel_name).ok_or_else(|| {
-                    ServeError::BadRequest(format!("unknown relation {rel_name:?}"))
-                })?;
-                let target_name = triple[1]
-                    .as_str()
-                    .ok_or_else(|| ServeError::BadRequest("link target must be a string".into()))?;
-                let target = g.require_object_by_name(target_name)?;
-                let weight = triple[2]
-                    .as_f64()
-                    .ok_or_else(|| ServeError::BadRequest("link weight must be a number".into()))?;
-                out.links.push((rel, target, weight));
-            }
+            out.links = self.decode_link_triples(links, "links", resolve)?;
         }
         let attr_by_name = |name: &str| {
             schema

@@ -27,7 +27,7 @@
 use crate::error::ServeError;
 use genclus_core::em::{categorical_responsibility_mass, gaussian_responsibility_mass};
 use genclus_core::{ClusterComponents, GenClusModel};
-use genclus_hin::{AttributeId, AttributeKind, HinGraph, ObjectId, RelationId};
+use genclus_hin::{AttributeId, AttributeKind, HinGraph, ObjectId, ObjectTypeId, RelationId};
 use genclus_stats::simplex::normalize_floored;
 
 /// A new object's connectivity and (possibly empty) observations, as
@@ -35,7 +35,9 @@ use genclus_stats::simplex::normalize_floored;
 #[derive(Debug, Clone, Default)]
 pub struct FoldInRequest {
     /// Out-links `(relation, target, weight)`; targets are existing
-    /// objects.
+    /// objects of the graph, or — when the engine was given staged rows
+    /// via [`FoldInEngine::with_staged`] — objects staged beyond it
+    /// (ids `graph.n_objects()..`).
     pub links: Vec<(RelationId, ObjectId, f64)>,
     /// Categorical observations per attribute: `(attribute, term-count
     /// bag)`.
@@ -78,6 +80,11 @@ pub struct FoldInEngine<'a> {
     model: &'a GenClusModel,
     graph: &'a HinGraph,
     opts: FoldInOptions,
+    /// `Θ` rows of objects staged beyond the graph (refresh-window
+    /// commits): row `i` belongs to object `graph.n_objects() + i`.
+    staged_rows: &'a [Vec<f64>],
+    /// Types of the staged objects, parallel to `staged_rows`.
+    staged_types: &'a [ObjectTypeId],
 }
 
 impl<'a> FoldInEngine<'a> {
@@ -87,6 +94,8 @@ impl<'a> FoldInEngine<'a> {
             model,
             graph,
             opts: FoldInOptions::default(),
+            staged_rows: &[],
+            staged_types: &[],
         }
     }
 
@@ -94,6 +103,51 @@ impl<'a> FoldInEngine<'a> {
     pub fn with_options(mut self, opts: FoldInOptions) -> Self {
         self.opts = opts;
         self
+    }
+
+    /// Makes objects *staged* beyond the graph addressable as link
+    /// targets: `rows[i]` / `types[i]` describe object
+    /// `graph.n_objects() + i`. The refresh layer passes its pending
+    /// fold-in rows here so a commit can link to an earlier commit of the
+    /// same refresh window — the link term then reads the target's staged
+    /// `Θ` row (frozen as of *its* fold-in), exactly as it reads fitted
+    /// rows for snapshot objects.
+    ///
+    /// # Panics
+    /// Panics if `rows` and `types` have different lengths.
+    pub fn with_staged(mut self, rows: &'a [Vec<f64>], types: &'a [ObjectTypeId]) -> Self {
+        assert_eq!(
+            rows.len(),
+            types.len(),
+            "staged rows and types must be parallel"
+        );
+        self.staged_rows = rows;
+        self.staged_types = types;
+        self
+    }
+
+    /// Objects addressable as link targets: graph plus staged.
+    fn n_addressable(&self) -> usize {
+        self.graph.n_objects() + self.staged_rows.len()
+    }
+
+    /// Type of an addressable object (graph or staged range).
+    fn type_of(&self, v: ObjectId) -> ObjectTypeId {
+        if v.index() < self.graph.n_objects() {
+            self.graph.object_type(v)
+        } else {
+            self.staged_types[v.index() - self.graph.n_objects()]
+        }
+    }
+
+    /// Membership row of an addressable object: the fitted `Θ` row for
+    /// graph objects, the staged fold-in row for staged ones.
+    fn row_of(&self, v: ObjectId) -> &[f64] {
+        if v.index() < self.graph.n_objects() {
+            self.model.theta.row(v.index())
+        } else {
+            &self.staged_rows[v.index() - self.graph.n_objects()]
+        }
     }
 
     /// Number of clusters of the underlying model.
@@ -112,14 +166,14 @@ impl<'a> FoldInEngine<'a> {
             if r.index() >= schema.n_relations() {
                 return Err(genclus_hin::HinError::UnknownRelation(r).into());
             }
-            if target.index() >= self.graph.n_objects() {
+            if target.index() >= self.n_addressable() {
                 return Err(genclus_hin::HinError::UnknownObject(target).into());
             }
             if !(w > 0.0 && w.is_finite()) {
                 return Err(genclus_hin::HinError::InvalidWeight { weight: w }.into());
             }
             let def = schema.relation(r);
-            if self.graph.object_type(target) != def.target {
+            if self.type_of(target) != def.target {
                 return Err(ServeError::BadRequest(format!(
                     "link target {target} has the wrong type for relation {:?}",
                     def.name
@@ -212,13 +266,13 @@ impl<'a> FoldInEngine<'a> {
     /// The fixed-point iteration, assuming `req` already validated.
     fn assign_unchecked(&self, req: &FoldInRequest) -> FoldInResult {
         let k = self.model.n_clusters();
-        let theta = &self.model.theta;
         let smoothing = self.model.theta_smoothing;
 
         // Link term of Eq. 10 — constant under frozen neighbor rows, so
         // accumulated once, grouped by relation like the EM kernel (one γ
         // fetch per relation, and the same left-to-right addition order for
-        // links of one relation).
+        // links of one relation). A staged target contributes its staged
+        // fold-in row (see [`Self::with_staged`]).
         let mut base = vec![0.0f64; k];
         for &(r, target, w) in &req.links {
             let g = self.model.gamma[r.index()];
@@ -226,7 +280,7 @@ impl<'a> FoldInEngine<'a> {
                 continue;
             }
             let gw = g * w;
-            let tu = theta.row(target.index());
+            let tu = self.row_of(target);
             for (b, &t) in base.iter_mut().zip(tu) {
                 *b += gw * t;
             }

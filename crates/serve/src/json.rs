@@ -4,8 +4,12 @@
 //! arrays, strings with standard escapes (including `\uXXXX` and surrogate
 //! pairs), `f64` numbers, booleans, null. Parsing is recursive descent with
 //! a depth cap (untrusted input must not overflow the stack); duplicate
-//! object keys keep the first occurrence. The writer emits compact JSON
-//! with round-trippable `f64` formatting.
+//! object keys are a **parse error** — RFC 8259 leaves their semantics
+//! undefined, and in a serving protocol that ambiguity is exploitable:
+//! with first-occurrence-wins, `{"commit":…,"commit":…}` could be
+//! validated against one value while a byte-level fast path (like the
+//! mutation sniffer in `refresh.rs`) detects the other. The writer emits
+//! compact JSON with round-trippable `f64` formatting.
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,7 +45,8 @@ impl Json {
         Ok(v)
     }
 
-    /// Object field lookup (first occurrence).
+    /// Object field lookup (keys are unique — the parser rejects
+    /// duplicates).
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
@@ -232,9 +237,10 @@ impl Parser<'_> {
             self.skip_ws();
             self.expect(b':')?;
             let value = self.value(depth + 1)?;
-            if !fields.iter().any(|(k, _)| *k == key) {
-                fields.push((key, value));
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(format!("duplicate object key {key:?}"));
             }
+            fields.push((key, value));
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
@@ -474,9 +480,44 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_keys_keep_the_first() {
-        let v = Json::parse(r#"{"a": 1, "a": 2}"#).unwrap();
-        assert_eq!(v.get("a").unwrap().as_f64(), Some(1.0));
+    fn duplicate_keys_are_a_parse_error() {
+        // Regression for the commit-sniffing ambiguity: `get` used to keep
+        // the first occurrence while byte-level fast paths (refresh.rs's
+        // mutation check) scan the raw line, so `{"commit":…,"commit":…}`
+        // could be validated against one value and detected via another.
+        for bad in [
+            r#"{"a": 1, "a": 2}"#,
+            r#"{"op":"fold_in","commit":"x","commit":"y"}"#,
+            r#"{"a": {"b": 1, "b": 2}}"#,
+            r#"{"\u0061": 1, "a": 2}"#, // escaped spelling of the same key
+        ] {
+            let err = Json::parse(bad).unwrap_err();
+            assert!(err.contains("duplicate object key"), "{bad} → {err}");
+        }
+        // Same key at different nesting levels is fine.
+        assert!(Json::parse(r#"{"a": {"a": 1}, "b": 2}"#).is_ok());
+    }
+
+    #[test]
+    fn as_usize_edge_cases() {
+        // Documented behavior with no direct regression tests until now:
+        // negative zero is a valid 0, fractional and out-of-u32-range
+        // values are rejected, and the boundary itself is accepted.
+        assert_eq!(Json::parse("-0").unwrap().as_usize(), Some(0));
+        assert_eq!(Json::parse("-0.0").unwrap().as_usize(), Some(0));
+        assert_eq!(Json::Num(-0.0).as_usize(), Some(0));
+        assert_eq!(Json::Num(0.5).as_usize(), None);
+        assert_eq!(Json::Num(3.0000001).as_usize(), None);
+        assert_eq!(Json::Num(-1.0).as_usize(), None);
+        assert_eq!(
+            Json::Num(u32::MAX as f64).as_usize(),
+            Some(u32::MAX as usize)
+        );
+        assert_eq!(Json::Num(u32::MAX as f64 + 1.0).as_usize(), None);
+        assert_eq!(Json::Num(1e300).as_usize(), None);
+        assert_eq!(Json::Num(f64::NAN).as_usize(), None);
+        assert_eq!(Json::Num(f64::INFINITY).as_usize(), None);
+        assert_eq!(Json::Str("3".into()).as_usize(), None);
     }
 
     #[test]
@@ -588,7 +629,8 @@ mod tests {
 
             /// Valid documents round-trip exactly, and the renderer is a
             /// normalizer: render ∘ parse is idempotent even on messy
-            /// (whitespace-padded, duplicate-keyed) input.
+            /// (whitespace-padded) input — while a duplicated key anywhere
+            /// turns the document into a parse error.
             #[test]
             fn valid_docs_round_trip(seed in any::<u64>()) {
                 let mut rng = genclus_stats::seeded_rng(seed);
@@ -598,22 +640,32 @@ mod tests {
                 prop_assert_eq!(&parsed, &doc, "parse(render(x)) != x for {}", rendered);
                 prop_assert_eq!(parsed.render(), rendered.clone(), "render unstable");
 
-                // A messy equivalent document: padding plus a duplicated
-                // first key (parse keeps the first occurrence).
+                // A messy equivalent document: whitespace padding around
+                // every token; and a duplicated first key must be rejected.
                 let messy = match &doc {
                     Json::Obj(fields) if !fields.is_empty() => {
                         let mut m = String::from(" {\n");
-                        for (k, v) in fields {
+                        for (i, (k, v)) in fields.iter().enumerate() {
                             let mut kv = String::new();
                             write_str(&mut kv, k);
                             kv.push_str(" :\t");
                             v.render_into(&mut kv);
                             m.push_str(&kv);
-                            m.push_str(" ,\n");
+                            m.push_str(if i + 1 < fields.len() { " ,\n" } else { "\n" });
                         }
-                        // Duplicate of the first key with a different value.
-                        write_str(&mut m, &fields[0].0);
-                        m.push_str(": null }\r\n");
+                        m.push_str("} \r\n");
+
+                        // The same document with the first key repeated is
+                        // a duplicate-key error, not a silent drop.
+                        let mut dup = m.trim_end().trim_end_matches('}').to_string();
+                        dup.push(',');
+                        write_str(&mut dup, &fields[0].0);
+                        dup.push_str(": null }");
+                        let err = Json::parse(&dup).unwrap_err();
+                        prop_assert!(
+                            err.contains("duplicate object key"),
+                            "{} → {}", dup, err
+                        );
                         m
                     }
                     _ => format!("  {rendered}\t\n"),

@@ -26,14 +26,20 @@
 //! * [`refresh`] — the warm-start refresh loop
 //!   ([`refresh::RefreshableEngine`]): fold-in requests carrying a
 //!   `"commit"` field are staged into a
-//!   [`GraphDelta`](genclus_hin::delta::GraphDelta); after
-//!   `max_pending_objects` objects / `max_pending_links` links (or on an
-//!   explicit `{"op":"refresh"}`) the engine appends the delta, re-fits
-//!   with EM **warm-started** from the served `(Θ, β, γ)`
+//!   [`GraphDelta`](genclus_hin::delta::GraphDelta). Commit link names
+//!   resolve against the **snapshot ∪ staged** namespace (an arrival may
+//!   link to an earlier arrival of the same refresh window), and an
+//!   optional `"in_links"` field carries links *into* the arrival from
+//!   pre-existing or staged sources — appended as old-source overflow
+//!   links of the segmented adjacency. After `max_pending_objects`
+//!   objects / `max_pending_links` links (or on an explicit
+//!   `{"op":"refresh"}`) the engine appends the delta, re-fits with EM
+//!   **warm-started** from the served `(Θ, β, γ)`
 //!   ([`genclus_core::algorithm::GenClus::fit_warm`] — no `InitStrategy`,
-//!   no best-of-seeds warmup), atomically swaps the refreshed snapshot in,
-//!   and optionally persists it (same schema v1, new checksum). Policy
-//!   knobs live on [`refresh::RefreshPolicy`].
+//!   no best-of-seeds warmup), compacts the grown graph back to a
+//!   canonical CSR, atomically swaps the refreshed snapshot in, and
+//!   optionally persists it (same schema v1, new checksum). Policy knobs
+//!   live on [`refresh::RefreshPolicy`].
 //!
 //! # Quickstart
 //!

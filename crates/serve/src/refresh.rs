@@ -36,15 +36,29 @@
 //!   if the links disagree). The response carries the usual fold-in
 //!   fields plus `"committed"`, `"pending_objects"`, `"pending_links"`,
 //!   and — when the policy fired — the refresh outcome;
+//! * `"in_links":[[rel, source-name, w], …]` on a commit — links
+//!   **into** the committed object from pre-existing or staged sources
+//!   (the DBLP-style "an old author writes the new paper" direction).
+//!   They are staged alongside the commit and appended at refresh as
+//!   old-source overflow links (see `genclus_hin::graph`); they do not
+//!   influence the commit's own fold-in row (Eq. 10 drives a membership
+//!   through *out*-links) but do shape the warm re-fit;
 //! * `{"op":"refresh"}` — refresh now, regardless of thresholds. Responds
 //!   with `"objects_added"`, `"links_added"`, `"outer_iterations"`,
 //!   `"em_iterations"`, `"n_objects"`, `"n_links"`, `"persisted"`,
 //!   `"refreshes"`.
 //!
-//! Commit targets are resolved against the **snapshot** graph: a staged
-//! object cannot link to another staged object (commit order within one
-//! refresh window is not a topology); refresh first if a new arrival needs
-//! to reference an earlier one.
+//! Commit link names — `links` targets and `in_links` sources alike —
+//! resolve against the **snapshot ∪ staged** namespace: a commit may
+//! reference any served object *or* any object staged earlier in the same
+//! refresh window (fold-in for a staged target reads that target's staged
+//! `Θ` row). Plain (uncommitted) fold-ins still resolve against the
+//! snapshot only — staged objects are not served until the refresh lands.
+//! At refresh the pending delta is appended (old-source links extend the
+//! graph's overflow segments), the warm re-fit runs on the grown graph —
+//! the EM kernels traverse base + overflow bit-identically to a compacted
+//! CSR — and the graph is compacted back into a canonical CSR before the
+//! new snapshot is serialized.
 
 use crate::engine::{QueryCore, QueryEngine};
 use crate::error::ServeError;
@@ -135,10 +149,13 @@ pub struct RefreshOutcome {
 struct Pending {
     delta: GraphDelta,
     rows: Vec<Vec<f64>>,
-    /// Staged names, for O(1) duplicate-commit rejection (a linear scan of
-    /// the delta's names would make filling a large refresh window
-    /// quadratic).
-    names: std::collections::HashSet<String>,
+    /// Types of the staged objects, parallel to `rows` (fed to
+    /// [`FoldInEngine::with_staged`] so later commits can link to them).
+    types: Vec<ObjectTypeId>,
+    /// Staged name → index into `rows`/`types`, for O(1) duplicate-commit
+    /// rejection *and* staged-target resolution (a linear scan of the
+    /// delta's names would make filling a large refresh window quadratic).
+    names: std::collections::HashMap<String, u32>,
 }
 
 impl Pending {
@@ -146,7 +163,8 @@ impl Pending {
         Self {
             delta: GraphDelta::new(graph),
             rows: Vec::new(),
-            names: std::collections::HashSet::new(),
+            types: Vec::new(),
+            names: std::collections::HashMap::new(),
         }
     }
 }
@@ -208,11 +226,31 @@ impl RefreshableEngine {
     /// links/observations in the pending delta, and returns the inferred
     /// row. Does **not** auto-trigger a refresh — wire commits do that via
     /// the policy; library callers decide themselves.
+    ///
+    /// Link targets in `req` may name staged objects of the current
+    /// refresh window (ids `graph.n_objects()..`); see
+    /// [`Self::commit_with_links`] for links *into* the new object.
     pub fn commit(
         &mut self,
         name: &str,
         object_type: ObjectTypeId,
         req: &FoldInRequest,
+    ) -> Result<FoldInResult, ServeError> {
+        self.commit_with_links(name, object_type, req, &[])
+    }
+
+    /// [`Self::commit`] plus `in_links`: links `(relation, source, weight)`
+    /// **into** the new object from pre-existing or staged sources — the
+    /// old → new direction the overflow adjacency exists for. They are
+    /// staged with the commit (counted by [`Self::pending_links`]) and
+    /// appended at refresh; the fold-in row is unaffected (Eq. 10 reads
+    /// out-links only).
+    pub fn commit_with_links(
+        &mut self,
+        name: &str,
+        object_type: ObjectTypeId,
+        req: &FoldInRequest,
+        in_links: &[(genclus_hin::RelationId, genclus_hin::ObjectId, f64)],
     ) -> Result<FoldInResult, ServeError> {
         let graph = self.engine.graph();
         if graph.object_by_name(name).is_some() {
@@ -220,7 +258,7 @@ impl RefreshableEngine {
                 "object {name:?} already exists in the snapshot"
             )));
         }
-        if self.pending.names.contains(name) {
+        if self.pending.names.contains_key(name) {
             return Err(ServeError::BadRequest(format!(
                 "object {name:?} is already staged for the next refresh"
             )));
@@ -230,8 +268,16 @@ impl RefreshableEngine {
                 "unknown object type {object_type}"
             )));
         }
-        // Source-type check up front so staging below is all-or-nothing
+        // Endpoint-type checks up front so staging below is all-or-nothing
         // (`GraphDelta::add_link` would reject mid-way otherwise).
+        let n_known = graph.n_objects() + self.pending.rows.len();
+        let type_of = |v: genclus_hin::ObjectId| {
+            if v.index() < graph.n_objects() {
+                graph.object_type(v)
+            } else {
+                self.pending.types[v.index() - graph.n_objects()]
+            }
+        };
         for &(r, _, _) in &req.links {
             if r.index() >= graph.schema().n_relations() {
                 return Err(genclus_hin::HinError::UnknownRelation(r).into());
@@ -245,9 +291,37 @@ impl RefreshableEngine {
                 )));
             }
         }
-        // `assign` validates everything else (targets, weights, attribute
-        // kinds/vocab, finiteness, purpose membership) before we mutate.
-        let folded = FoldInEngine::new(self.engine.snapshot().model(), graph).assign(req)?;
+        for &(r, source, w) in in_links {
+            if r.index() >= graph.schema().n_relations() {
+                return Err(genclus_hin::HinError::UnknownRelation(r).into());
+            }
+            if source.index() >= n_known {
+                return Err(genclus_hin::HinError::UnknownObject(source).into());
+            }
+            if !(w > 0.0 && w.is_finite()) {
+                return Err(genclus_hin::HinError::InvalidWeight { weight: w }.into());
+            }
+            let def = graph.schema().relation(r);
+            if def.target != object_type {
+                return Err(ServeError::BadRequest(format!(
+                    "relation {:?} does not target type {:?}",
+                    def.name,
+                    graph.schema().object_type_name(object_type)
+                )));
+            }
+            if type_of(source) != def.source {
+                return Err(ServeError::BadRequest(format!(
+                    "in_link source {source} has the wrong type for relation {:?}",
+                    def.name
+                )));
+            }
+        }
+        // `assign` validates everything else (targets — snapshot or
+        // staged, weights, attribute kinds/vocab, finiteness, purpose
+        // membership) before we mutate.
+        let folded = FoldInEngine::new(self.engine.snapshot().model(), graph)
+            .with_staged(&self.pending.rows, &self.pending.types)
+            .assign(req)?;
 
         let v = self.pending.delta.add_object(object_type, name);
         for &(r, target, w) in &req.links {
@@ -255,6 +329,12 @@ impl RefreshableEngine {
                 .delta
                 .add_link(v, target, r, w)
                 .expect("links were validated before staging");
+        }
+        for &(r, source, w) in in_links {
+            self.pending
+                .delta
+                .add_link(source, v, r, w)
+                .expect("in_links were validated before staging");
         }
         for (a, bag) in &req.terms {
             for &(term, count) in bag {
@@ -272,9 +352,28 @@ impl RefreshableEngine {
                     .expect("values were validated before staging");
             }
         }
+        let staged_index = self.pending.rows.len() as u32;
         self.pending.rows.push(folded.theta.clone());
-        self.pending.names.insert(name.to_string());
+        self.pending.types.push(object_type);
+        self.pending.names.insert(name.to_string(), staged_index);
         Ok(folded)
+    }
+
+    /// Resolves a commit link name against the snapshot ∪ staged
+    /// namespace: served objects win (staged duplicates of served names are
+    /// rejected at commit time anyway), then objects staged in the current
+    /// refresh window, addressed past the snapshot's id range.
+    fn resolve_committed(&self, name: &str) -> Result<genclus_hin::ObjectId, ServeError> {
+        let graph = self.engine.graph();
+        if let Some(v) = graph.object_by_name(name) {
+            return Ok(v);
+        }
+        if let Some(&i) = self.pending.names.get(name) {
+            return Ok(genclus_hin::ObjectId::from_index(
+                graph.n_objects() + i as usize,
+            ));
+        }
+        Err(genclus_hin::HinError::UnknownName(name.to_string()).into())
     }
 
     /// Whether the policy's auto-trigger thresholds are met.
@@ -308,6 +407,9 @@ impl RefreshableEngine {
             )));
         }
 
+        // Old-source links land in the graph's overflow segments; the warm
+        // re-fit below runs on the segmented graph directly (the EM kernels
+        // traverse base + overflow bit-identically to a compacted CSR).
         let mut graph = snapshot.graph().clone();
         graph.append(self.pending.delta.clone())?;
 
@@ -342,6 +444,11 @@ impl RefreshableEngine {
             .fit_warm(&graph, &warm)
             .map_err(refit)?;
 
+        // Compaction trigger: fold the overflow back into a canonical CSR
+        // before the snapshot is cut (the codec would canonicalize on the
+        // fly anyway; compacting here also hands the swapped-in engine a
+        // branch-free base CSR).
+        graph.compact();
         let bytes = to_bytes(&graph, &fit.model);
         let persisted = if let Some(path) = &self.policy.persist_path {
             save_bytes(path, &bytes)?;
@@ -532,7 +639,19 @@ impl RefreshableEngine {
     }
 
     fn op_commit(&mut self, req: &Json) -> Result<Vec<(&'static str, Json)>, ServeError> {
-        let fold_req = self.engine.core().decode_fold_in(req)?;
+        // Commit link names resolve against snapshot ∪ staged — a commit
+        // may cite an object staged earlier in this refresh window.
+        let fold_req = self
+            .engine
+            .core()
+            .decode_fold_in_with(req, &|n| self.resolve_committed(n))?;
+        let in_links = match req.get("in_links") {
+            Some(j) => self
+                .engine
+                .core()
+                .decode_link_triples(j, "in_links", &|n| self.resolve_committed(n))?,
+            None => Vec::new(),
+        };
         let (name, object_type) = self.decode_commit(req, &fold_req)?;
         // Validate the optional ranking parameters *before* staging — a
         // commit is not repeatable, so nothing may fail after it.
@@ -548,7 +667,7 @@ impl RefreshableEngine {
         if k.is_some() {
             let _ = self.engine.core().candidates(req)?;
         }
-        let folded = self.commit(&name, object_type, &fold_req)?;
+        let folded = self.commit_with_links(&name, object_type, &fold_req, &in_links)?;
         let mut fields = vec![
             ("theta", Json::nums(&folded.theta)),
             ("cluster", Json::Num(argmax(&folded.theta) as f64)),
@@ -722,6 +841,98 @@ mod tests {
     }
 
     #[test]
+    fn staged_to_staged_commit_links_resolve_within_the_window() {
+        let mut e = RefreshableEngine::new(snapshot(), 1, RefreshPolicy::default());
+        ok(&e.handle_line(
+            r#"{"op":"fold_in","links":[["nn","s3",1.0],["nn","s4",1.0]],"commit":"s6"}"#,
+        ));
+        // s6 is staged, not served — but a later commit in the same window
+        // may link to it; its fold-in uses s6's staged Θ row.
+        let v = ok(&e.handle_line(r#"{"op":"fold_in","links":[["nn","s6",2.0]],"commit":"s7"}"#));
+        assert_eq!(v.get("committed").unwrap().as_str(), Some("s7"));
+        assert_eq!(e.pending_objects(), 2);
+        assert_eq!(e.pending_links(), 3);
+        // Plain (uncommitted) fold-ins still resolve against the snapshot
+        // only.
+        let miss = e.handle_line(r#"{"op":"fold_in","links":[["nn","s6",1.0]]}"#);
+        assert!(
+            miss.contains("\"ok\":false") && miss.contains("s6"),
+            "{miss}"
+        );
+
+        let r = ok(&e.handle_line(r#"{"op":"refresh"}"#));
+        assert_eq!(r.get("objects_added").unwrap().as_usize(), Some(2));
+        assert_eq!(r.get("links_added").unwrap().as_usize(), Some(3));
+        // Both arrivals land in s3's cluster — s7 purely through its
+        // staged→staged link.
+        let m3 = ok(&e.handle_line(r#"{"op":"membership","object":"s3"}"#));
+        for name in ["s6", "s7"] {
+            let m = ok(&e.handle_line(&format!(r#"{{"op":"membership","object":"{name}"}}"#)));
+            assert_eq!(m.get("cluster"), m3.get("cluster"), "{name}");
+        }
+    }
+
+    #[test]
+    fn in_links_stage_old_source_links_and_refresh_applies_them() {
+        let mut e = RefreshableEngine::new(snapshot(), 1, RefreshPolicy::default());
+        // s6 arrives with a link *from* old s3 and *from* old s4 — the
+        // old→new direction GraphDelta used to reject — plus one ordinary
+        // out-link.
+        let v = ok(&e.handle_line(
+            r#"{"op":"fold_in","links":[["nn","s3",1.0]],"in_links":[["nn","s3",1.0],["nn","s4",2.0]],"commit":"s6"}"#,
+        ));
+        assert_eq!(v.get("pending_links").unwrap().as_usize(), Some(3));
+        // A second commit can point an in_link at the *staged* s6 too.
+        ok(&e.handle_line(
+            r#"{"op":"fold_in","links":[["nn","s6",1.0]],"in_links":[["nn","s6",1.0]],"commit":"s7"}"#,
+        ));
+        assert_eq!(e.pending_links(), 5);
+        let r = ok(&e.handle_line(r#"{"op":"refresh"}"#));
+        assert_eq!(r.get("links_added").unwrap().as_usize(), Some(5));
+        assert_eq!(r.get("n_links").unwrap().as_usize(), Some(12 + 5));
+        // The refreshed (compacted) snapshot serves everyone.
+        let m3 = ok(&e.handle_line(r#"{"op":"membership","object":"s3"}"#));
+        let m6 = ok(&e.handle_line(r#"{"op":"membership","object":"s6"}"#));
+        assert_eq!(m6.get("cluster"), m3.get("cluster"));
+        // And the old source really carries the new out-links.
+        let g = e.engine().graph();
+        let s3 = g.object_by_name("s3").unwrap();
+        assert_eq!(g.out_links(s3).count(), 3, "s3 gained an old→new link");
+        assert!(!g.has_overflow(), "the served snapshot is compacted");
+    }
+
+    #[test]
+    fn in_link_errors_are_rejected_before_staging() {
+        let mut e = RefreshableEngine::new(snapshot(), 1, RefreshPolicy::default());
+        for (line, needle) in [
+            (
+                r#"{"op":"fold_in","links":[["nn","s3",1.0]],"in_links":[["nn","ghost",1.0]],"commit":"x"}"#,
+                "ghost",
+            ),
+            (
+                r#"{"op":"fold_in","links":[["nn","s3",1.0]],"in_links":[["xx","s3",1.0]],"commit":"x"}"#,
+                "unknown relation",
+            ),
+            (
+                r#"{"op":"fold_in","links":[["nn","s3",1.0]],"in_links":[["nn","s3",-1.0]],"commit":"x"}"#,
+                "positive",
+            ),
+            (
+                r#"{"op":"fold_in","links":[["nn","s3",1.0]],"in_links":"nope","commit":"x"}"#,
+                "must be an array",
+            ),
+        ] {
+            let resp = e.handle_line(line);
+            let v = Json::parse(&resp).unwrap();
+            assert_eq!(v.get("ok"), Some(&Json::Bool(false)), "{line} → {resp}");
+            let err = v.get("error").unwrap().as_str().unwrap();
+            assert!(err.contains(needle), "{line} → {err:?} (wanted {needle:?})");
+        }
+        assert_eq!(e.pending_objects(), 0, "failed commits must stage nothing");
+        assert_eq!(e.pending_links(), 0);
+    }
+
+    #[test]
     fn commit_errors_are_structured_and_stage_nothing() {
         let mut e = RefreshableEngine::new(snapshot(), 1, RefreshPolicy::default());
         for (line, needle) in [
@@ -755,6 +966,30 @@ mod tests {
         let resp = e.handle_line(r#"{"op":"fold_in","links":[["nn","s0",1.0]],"commit":"dup"}"#);
         assert!(resp.contains("already staged"), "{resp}");
         assert_eq!(e.pending_objects(), 1);
+    }
+
+    #[test]
+    fn duplicate_commit_keys_are_rejected_not_disambiguated() {
+        // Regression for the duplicate-key ambiguity: the backslash-aware
+        // substring fast path scans raw bytes while `Json::get` used to
+        // return the first occurrence, so `{"commit":…,"commit":…}` could
+        // be validated against one value and detected via the other. The
+        // parser now rejects duplicate keys outright, so the line comes
+        // back as a structured error and nothing is staged.
+        let mut e = RefreshableEngine::new(snapshot(), 1, RefreshPolicy::default());
+        let resp = e
+            .handle_line(r#"{"op":"fold_in","links":[["nn","s3",1.0]],"commit":"a","commit":"b"}"#);
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(false)), "{resp}");
+        assert!(
+            v.get("error")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("duplicate object key"),
+            "{resp}"
+        );
+        assert_eq!(e.pending_objects(), 0);
     }
 
     #[test]

@@ -181,6 +181,12 @@ impl Header {
         }
         let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("4 bytes"));
         let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().expect("8 bytes"));
+        // Header sizes are u64 on disk; on a 32-bit target an `as usize`
+        // cast would silently truncate (wrap) an attacker-controlled field
+        // past every later bound check. Reject anything unrepresentable.
+        let usize_at = |o: usize| {
+            usize::try_from(u64_at(o)).map_err(|_| ServeError::Malformed("header field overflow"))
+        };
         let version = u32_at(8);
         if version == 0 || version > SCHEMA_VERSION {
             return Err(ServeError::UnsupportedVersion {
@@ -196,11 +202,11 @@ impl Header {
         }
         let header = Self {
             version,
-            payload_len: u64_at(16) as usize,
+            payload_len: usize_at(16)?,
             checksum: u64_at(24),
-            theta_offset: u64_at(32) as usize,
-            theta_rows: u64_at(40) as usize,
-            theta_cols: u64_at(48) as usize,
+            theta_offset: usize_at(32)?,
+            theta_rows: usize_at(40)?,
+            theta_cols: usize_at(48)?,
         };
         // Every arithmetic step below is checked: the header fields are
         // attacker-controlled (not covered by the payload checksum), and a
@@ -336,6 +342,9 @@ impl Snapshot {
     /// row-major, `theta_rows × theta_cols`, no per-entry decode and no
     /// extra allocation. The buffer is 8-aligned by construction and the
     /// writer 8-aligns the Θ payload, so the reinterpretation is exact.
+    /// The geometry product was validated with checked arithmetic (and
+    /// `usize::try_from` on every header size) in [`Header::parse`], so
+    /// the multiplication below cannot overflow or escape the buffer.
     ///
     /// The format is little-endian; on a big-endian target this view is not
     /// available (use [`Snapshot::model`], whose decoded matrix is
@@ -488,6 +497,15 @@ mod tests {
         assert!(matches!(
             Snapshot::from_bytes(&bad),
             Err(ServeError::Truncated)
+        ));
+        // Θ geometry whose product overflows (checked multiply, not wrap):
+        // rows × cols × 8 ≫ usize::MAX while each factor alone fits.
+        let mut bad = bytes.clone();
+        bad[40..48].copy_from_slice(&(u64::MAX / 16).to_le_bytes());
+        bad[48..56].copy_from_slice(&(u64::MAX / 16).to_le_bytes());
+        assert!(matches!(
+            Snapshot::from_bytes(&bad),
+            Err(ServeError::Malformed(_))
         ));
     }
 

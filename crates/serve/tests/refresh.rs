@@ -184,30 +184,51 @@ proptest! {
             1,
             RefreshPolicy::default(),
         );
-        // Commit two new A objects linked into opposite planted clusters.
+        // Commit two new A objects linked into opposite planted clusters,
+        // the first also receiving an old→new link (an existing A points at
+        // it via `aa` — staged as an overflow link of the old source).
         for (name, anchor) in [("fresh0", "b0"), ("fresh1", "b1")] {
             let line = format!(
-                r#"{{"op":"fold_in","links":[["ab","{anchor}",1.0]],"commit":"{name}"}}"#
+                r#"{{"op":"fold_in","links":[["ab","{anchor}",1.0]],"in_links":[["aa","a0",1.0]],"commit":"{name}"}}"#
             );
             let resp = engine.handle_line(&line);
             prop_assert!(resp.contains("\"ok\":true"), "{}", resp);
         }
+        // A third commit links to a *staged* object of the same window
+        // (aa: fresh2 → fresh0) and receives a staged→staged in_link from
+        // fresh0's side too.
+        let resp = engine.handle_line(
+            r#"{"op":"fold_in","links":[["aa","fresh0",1.0],["ab","b0",1.0]],"in_links":[["aa","fresh0",1.0]],"commit":"fresh2"}"#,
+        );
+        prop_assert!(resp.contains("\"ok\":true"), "{}", resp);
+
         let resp = engine.handle_line(r#"{"op":"refresh"}"#);
         let v = Json::parse(&resp).unwrap();
         prop_assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{}", resp);
-        prop_assert_eq!(v.get("objects_added").unwrap().as_usize(), Some(2));
+        prop_assert_eq!(v.get("objects_added").unwrap().as_usize(), Some(3));
+        prop_assert_eq!(v.get("links_added").unwrap().as_usize(), Some(7));
 
         {
             let refreshed = engine.engine().snapshot();
-            prop_assert_eq!(refreshed.graph().n_objects(), graph.n_objects() + 2);
+            prop_assert_eq!(refreshed.graph().n_objects(), graph.n_objects() + 3);
             prop_assert_eq!(
                 refreshed.model().theta.n_objects(),
-                graph.n_objects() + 2,
+                graph.n_objects() + 3,
                 "the refreshed Θ must cover the appended objects"
             );
+            prop_assert_eq!(refreshed.graph().n_links(), graph.n_links() + 7);
+            prop_assert!(
+                !refreshed.graph().has_overflow(),
+                "served snapshots are compacted"
+            );
+            // The old source really grew.
+            let a0 = refreshed.graph().object_by_name("a0").unwrap();
+            let g_old = Snapshot::from_bytes(&bytes).unwrap();
+            let old_degree = g_old.graph().out_degree(a0);
+            prop_assert_eq!(refreshed.graph().out_degree(a0), old_degree + 2);
         }
         // Old and new objects both answer membership queries.
-        for name in ["a0", "b0", "fresh0", "fresh1"] {
+        for name in ["a0", "b0", "fresh0", "fresh1", "fresh2"] {
             let m = engine.handle_line(&format!(r#"{{"op":"membership","object":"{name}"}}"#));
             prop_assert!(m.contains("\"ok\":true"), "{name}: {}", m);
         }

@@ -55,7 +55,6 @@ fn main() {
     let true_venue = acp
         .graph
         .out_links(paper)
-        .iter()
         .find(|l| l.relation == acp.rel_pc)
         .map(|l| l.endpoint)
         .expect("every paper has a venue");

@@ -76,7 +76,6 @@ fn main() {
     let silent = FoldInRequest {
         links: graph
             .out_links(anchor)
-            .iter()
             .map(|l| (l.relation, l.endpoint, l.weight))
             .collect(),
         ..Default::default()
