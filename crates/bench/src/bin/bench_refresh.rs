@@ -14,6 +14,12 @@
 //! one: that gap is the entire value of the refresh subsystem. Both modes
 //! also require the refreshed snapshot to answer `membership` / `top_k`
 //! for original and appended sensors.
+//!
+//! Schema v2 adds the serving matrix: an open-loop query stream races the
+//! triggered re-fit through the wire engine, inline (loop-blocking) vs
+//! background (double-buffered), and the run exits non-zero in full mode
+//! when the inline p99 during the refresh is not at least **5×** the
+//! background p99 — the stall the background worker exists to remove.
 
 use genclus_bench::refresh_perf::{run_refresh_perf, RefreshPerfConfig};
 use std::path::PathBuf;
@@ -71,6 +77,19 @@ fn main() {
         eprintln!(
             "PERF REGRESSION: warm re-fit took {} EM iterations, cold took {} (gate: strictly fewer)",
             report.headline.warm_em_iterations, report.headline.cold_em_iterations
+        );
+        std::process::exit(1);
+    }
+
+    // Stall gate: background refresh must keep query p99 during a re-fit
+    // at least 5× below the inline (loop-blocking) path.
+    if report.mode == "full" && report.serving_headline.stall_reduction < 5.0 {
+        eprintln!(
+            "PERF REGRESSION: inline p99 {:.3} ms is only {:.2}x the background p99 {:.3} ms \
+             during a refresh (gate: >= 5x)",
+            report.serving_headline.inline_p99_ms,
+            report.serving_headline.stall_reduction,
+            report.serving_headline.background_p99_ms,
         );
         std::process::exit(1);
     }

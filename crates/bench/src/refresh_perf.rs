@@ -21,6 +21,24 @@
 //! warm fit into a [`QueryEngine`] and requires `membership` / `top_k`
 //! answers for both an original and an appended sensor.
 //!
+//! # Serving latency during a refresh (schema v2)
+//!
+//! Since schema v2 the run also measures what a refresh **does to query
+//! traffic**: the same staged growth is replayed through a
+//! [`RefreshableEngine`] twice — once with the inline re-fit (the
+//! original, serving-thread-blocking path) and once with
+//! [`RefreshPolicy::background`] (double-buffered engines) — while an
+//! **open-loop** query stream arrives every `query_interval_ms`
+//! (arrival times are fixed in advance, so queries that queue behind a
+//! blocked serving loop are charged their full waiting time — no
+//! coordinated omission). The re-fit is forced to a fixed depth
+//! (`em_tol = 0`) so both modes re-fit an identically sized window. Per
+//! mode it reports the refresh wall time and the p50/p99/max latency of
+//! the queries that arrived *during* the refresh window; the serving
+//! headline is `stall_reduction` — inline p99 over background p99 —
+//! and `bench_refresh` exits non-zero in full mode when it falls under
+//! 5× (on top of the warm < cold iteration gate).
+//!
 //! Schema of `BENCH_refresh.json` is documented in ROADMAP.md's
 //! Performance section and mirrored by [`RefreshPerfReport::to_json`].
 
@@ -28,11 +46,13 @@ use crate::perf::fmt_f64;
 use genclus_core::{GenClus, GenClusConfig, GenClusModel};
 use genclus_datagen::weather::{generate, PatternSetting, WeatherConfig, WeatherNetwork};
 use genclus_hin::{GraphDelta, HinGraph};
-use genclus_serve::{FoldInEngine, FoldInRequest, QueryEngine, Snapshot};
+use genclus_serve::{
+    FoldInEngine, FoldInRequest, QueryEngine, RefreshPolicy, RefreshableEngine, Snapshot,
+};
 use genclus_stats::MembershipMatrix;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Clusters of the benchmark fit.
 pub const K: usize = 4;
@@ -95,6 +115,34 @@ pub struct RefreshHeadline {
     pub speedup: f64,
 }
 
+/// Per-query latency of an open-loop stream racing one refresh.
+#[derive(Debug, Clone)]
+pub struct ServeDuringRefresh {
+    /// `inline` or `background`.
+    pub mode: &'static str,
+    /// Trigger → swap wall time of the re-fit.
+    pub refresh_wall_ms: f64,
+    /// Queries whose scheduled arrival fell inside the refresh window.
+    pub queries_during_refresh: usize,
+    /// Median latency of those queries (arrival → response).
+    pub p50_ms: f64,
+    /// 99th-percentile latency of those queries.
+    pub p99_ms: f64,
+    /// Worst latency of those queries.
+    pub max_ms: f64,
+}
+
+/// The inline-vs-background serving comparison the v2 gate reads.
+#[derive(Debug, Clone)]
+pub struct ServingHeadline {
+    /// p99 query latency during an inline (blocking) refresh.
+    pub inline_p99_ms: f64,
+    /// p99 query latency during a background refresh.
+    pub background_p99_ms: f64,
+    /// `inline / background` p99 ratio.
+    pub stall_reduction: f64,
+}
+
 /// Everything one `bench_refresh` run produced.
 #[derive(Debug, Clone)]
 pub struct RefreshPerfReport {
@@ -114,6 +162,23 @@ pub struct RefreshPerfReport {
     pub measurements: Vec<RefitMeasurement>,
     /// Warm-vs-cold comparison.
     pub headline: RefreshHeadline,
+    /// Open-loop arrival spacing of the serving measurement.
+    pub query_interval_ms: f64,
+    /// Serving-latency measurements, inline first.
+    pub serving: Vec<ServeDuringRefresh>,
+    /// Inline-vs-background p99 comparison.
+    pub serving_headline: ServingHeadline,
+}
+
+/// One staged arrival, replayable through
+/// [`RefreshableEngine::commit_with_links`] so the serving measurement
+/// grows the engine exactly like the warm/cold fixture grew the graph.
+struct Arrival {
+    name: String,
+    obj_type: genclus_hin::ObjectTypeId,
+    req: FoldInRequest,
+    /// The old→new back-link `(relation, old source, weight)`.
+    in_link: (genclus_hin::RelationId, genclus_hin::ObjectId, f64),
 }
 
 /// The grown network plus the warm seed covering it.
@@ -124,6 +189,10 @@ struct GrownFixture {
     n_links_appended: usize,
     /// Name of one appended temperature sensor (serving check).
     new_sensor: String,
+    /// The base fit, serialized — the serving measurement's snapshot.
+    snapshot_bytes: Vec<u8>,
+    /// The staged growth, replayable through the serving engine.
+    arrivals: Vec<Arrival>,
 }
 
 /// Fits the base network and stages ~10% growth the way the serving
@@ -178,6 +247,7 @@ fn build_fixture(cfg: &RefreshPerfConfig, net: &WeatherNetwork) -> GrownFixture 
         .object_type_by_name("precip_sensor")
         .unwrap();
     let mut new_sensor = String::new();
+    let mut arrivals: Vec<Arrival> = Vec::new();
     // Fold-in rows under the frozen model — built incrementally so later
     // arrivals can link to earlier staged ones (the engine reads the
     // staged Θ row for such targets, exactly like the serving layer).
@@ -235,7 +305,7 @@ fn build_fixture(cfg: &RefreshPerfConfig, net: &WeatherNetwork) -> GrownFixture 
             .assign(&req)
             .expect("fold-in succeeds");
 
-        let v = delta.add_object(obj_type, name);
+        let v = delta.add_object(obj_type, name.clone());
         for &(r, target, w) in &req.links {
             delta
                 .add_link(v, target, r, w)
@@ -260,6 +330,12 @@ fn build_fixture(cfg: &RefreshPerfConfig, net: &WeatherNetwork) -> GrownFixture 
                     .expect("staged values are valid");
             }
         }
+        arrivals.push(Arrival {
+            name,
+            obj_type,
+            req: req.clone(),
+            in_link: (back_rel, first_old_target, 1.0),
+        });
         staged_rows.push(folded.theta);
         staged_types.push(obj_type);
         if is_temp {
@@ -286,17 +362,132 @@ fn build_fixture(cfg: &RefreshPerfConfig, net: &WeatherNetwork) -> GrownFixture 
         attributes: fit.model.attributes.clone(),
         theta_smoothing: fit.model.theta_smoothing,
     };
+    let snapshot_bytes = genclus_serve::snapshot::to_bytes(&net.graph, &fit.model);
     GrownFixture {
         graph,
         warm,
         base_cfg,
         n_links_appended,
         new_sensor,
+        snapshot_bytes,
+        arrivals,
     }
 }
 
 fn total_em_iterations(fit: &genclus_core::GenClusFit) -> usize {
     fit.history.total_em_iterations()
+}
+
+/// `q`-th percentile of an unsorted latency list (nearest-rank).
+fn percentile_ms(latencies: &mut [f64], q: f64) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    latencies.sort_by(f64::total_cmp);
+    let rank = (q * (latencies.len() - 1) as f64).round() as usize;
+    latencies[rank]
+}
+
+/// Open-loop arrival spacing of the serving measurement (ms).
+const QUERY_INTERVAL_MS: f64 = 0.5;
+
+/// Replays the staged growth through a [`RefreshableEngine`] and measures
+/// query latency while the triggered re-fit runs — inline (the serving
+/// loop blocks for the whole re-fit, queued arrivals pay the wait) versus
+/// background (reads keep answering from the old engine until the swap).
+///
+/// Arrival times are scheduled in advance (`QUERY_INTERVAL_MS` apart) and
+/// latency is measured from the *scheduled* arrival, so a stalled loop is
+/// charged the full queueing delay of every query that arrived during the
+/// stall — the open-loop discipline that makes p99-under-refresh honest.
+/// The re-fit runs at a forced fixed depth (`em_tol = 0`), giving both
+/// modes an identical refresh workload.
+fn measure_serving(
+    cfg: &RefreshPerfConfig,
+    fixture: &GrownFixture,
+    background: bool,
+) -> ServeDuringRefresh {
+    let snap = Snapshot::from_bytes(&fixture.snapshot_bytes).expect("fixture snapshot loads");
+    let policy = RefreshPolicy {
+        outer_iters: if cfg.quick { 3 } else { 4 },
+        em_iters: if cfg.quick { 15 } else { 60 },
+        em_tol: 0.0,
+        gamma_tol: 0.0,
+        base_config: Some(fixture.base_cfg.clone()),
+        background,
+        ..RefreshPolicy::default()
+    };
+    let mut engine = RefreshableEngine::new(snap, cfg.threads, policy);
+    for a in &fixture.arrivals {
+        engine
+            .commit_with_links(&a.name, a.obj_type, &a.req, &[a.in_link])
+            .expect("arrival commits cleanly");
+    }
+
+    // A read mix over original sensors: mostly membership, some top-k.
+    let queries: Vec<String> = (0..64)
+        .map(|i| {
+            if i % 4 == 3 {
+                format!(r#"{{"op":"top_k","object":"T{i}","k":5,"type":"temp_sensor"}}"#)
+            } else {
+                format!(r#"{{"op":"membership","object":"T{i}"}}"#)
+            }
+        })
+        .collect();
+    let interval = Duration::from_micros((QUERY_INTERVAL_MS * 1000.0) as u64);
+    let tail = Duration::from_millis(30);
+
+    let start = Instant::now();
+    let resp = engine.handle_line(r#"{"op":"refresh"}"#);
+    assert!(
+        resp.contains("\"ok\":true"),
+        "refresh trigger failed: {resp}"
+    );
+    // Inline: the trigger blocked for the whole re-fit and the swap is
+    // already done. Background: the swap is observed by a later poll.
+    let trigger_done = start.elapsed();
+    let mut swap_at = (engine.refreshes() == 1).then_some(trigger_done);
+
+    let mut samples: Vec<(Duration, f64)> = Vec::new();
+    let hard_cap = Duration::from_secs(30);
+    for i in 0.. {
+        let arrival = interval * (i as u32);
+        let now = start.elapsed();
+        if arrival > now {
+            std::thread::sleep(arrival - now);
+        }
+        let resp = engine.handle_line(&queries[i % queries.len()]);
+        // Hard assert: the bench runs in release builds, and timing error
+        // responses would make the stall gate measure nothing real.
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        let done = start.elapsed();
+        samples.push((arrival, (done.saturating_sub(arrival)).as_secs_f64() * 1e3));
+        if swap_at.is_none() && engine.refreshes() >= 1 {
+            swap_at = Some(done);
+        }
+        if swap_at.is_some_and(|s| arrival > s + tail) || done > hard_cap {
+            break;
+        }
+    }
+    let window_end = swap_at.expect("the re-fit must land within the cap");
+    let mut during: Vec<f64> = samples
+        .iter()
+        .filter(|(arrival, _)| *arrival <= window_end)
+        .map(|&(_, ms)| ms)
+        .collect();
+    if during.is_empty() {
+        // Degenerate quick-mode case: the re-fit beat the first arrival.
+        during = samples.iter().take(1).map(|&(_, ms)| ms).collect();
+    }
+    let queries_during_refresh = during.len();
+    ServeDuringRefresh {
+        mode: if background { "background" } else { "inline" },
+        refresh_wall_ms: window_end.as_secs_f64() * 1e3,
+        queries_during_refresh,
+        p50_ms: percentile_ms(&mut during, 0.50),
+        p99_ms: percentile_ms(&mut during, 0.99),
+        max_ms: percentile_ms(&mut during, 1.0),
+    }
 }
 
 /// Runs the warm-vs-cold matrix and the serving check.
@@ -353,6 +544,18 @@ pub fn run_refresh_perf(cfg: &RefreshPerfConfig) -> RefreshPerfReport {
         }
     }
 
+    // Serving-latency matrix: the same growth replayed through the wire
+    // engine, re-fit inline (blocking the loop) vs in the background.
+    let serving = vec![
+        measure_serving(cfg, &fixture, false),
+        measure_serving(cfg, &fixture, true),
+    ];
+    let serving_headline = ServingHeadline {
+        inline_p99_ms: serving[0].p99_ms,
+        background_p99_ms: serving[1].p99_ms,
+        stall_reduction: serving[0].p99_ms / serving[1].p99_ms.max(1e-9),
+    };
+
     let measurements = vec![
         RefitMeasurement {
             strategy: "warm",
@@ -384,6 +587,9 @@ pub fn run_refresh_perf(cfg: &RefreshPerfConfig) -> RefreshPerfReport {
             cold_seconds,
             speedup: cold_seconds / warm_seconds.max(1e-12),
         },
+        query_interval_ms: QUERY_INTERVAL_MS,
+        serving,
+        serving_headline,
     }
 }
 
@@ -391,8 +597,8 @@ impl RefreshPerfReport {
     /// Serializes to the documented `BENCH_refresh.json` schema
     /// (hand-rolled — the workspace has no serde).
     pub fn to_json(&self) -> String {
-        let mut out = String::with_capacity(2048);
-        out.push_str("{\n  \"schema_version\": 1,\n  \"bench\": \"refresh\",\n");
+        let mut out = String::with_capacity(3072);
+        out.push_str("{\n  \"schema_version\": 2,\n  \"bench\": \"refresh\",\n");
         out.push_str(&format!("  \"mode\": \"{}\",\n  \"k\": {K},\n", self.mode));
         out.push_str(&format!(
             "  \"dataset\": {{\"family\": \"weather\", \"n_objects_base\": {}, \
@@ -424,13 +630,46 @@ impl RefreshPerfReport {
         out.push_str(&format!(
             "  ],\n  \"headline\": {{\"warm_em_iterations\": {}, \"cold_em_iterations\": {}, \
              \"iteration_ratio\": {}, \"warm_seconds\": {}, \"cold_seconds\": {}, \
-             \"speedup\": {}}}\n}}\n",
+             \"speedup\": {}}},\n",
             self.headline.warm_em_iterations,
             self.headline.cold_em_iterations,
             fmt_f64(self.headline.iteration_ratio),
             fmt_f64(self.headline.warm_seconds),
             fmt_f64(self.headline.cold_seconds),
             fmt_f64(self.headline.speedup),
+        ));
+        out.push_str("  \"serving\": {\n");
+        out.push_str(
+            "    \"unit\": \"per-query latency (ms), open-loop arrivals during one re-fit\",\n",
+        );
+        out.push_str(&format!(
+            "    \"query_interval_ms\": {},\n    \"results\": [\n",
+            fmt_f64(self.query_interval_ms)
+        ));
+        for (i, s) in self.serving.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"mode\": \"{}\", \"refresh_wall_ms\": {}, \
+                 \"queries_during_refresh\": {}, \"p50_ms\": {}, \"p99_ms\": {}, \
+                 \"max_ms\": {}}}",
+                s.mode,
+                fmt_f64(s.refresh_wall_ms),
+                s.queries_during_refresh,
+                fmt_f64(s.p50_ms),
+                fmt_f64(s.p99_ms),
+                fmt_f64(s.max_ms),
+            ));
+            out.push_str(if i + 1 < self.serving.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str(&format!(
+            "    ],\n    \"headline\": {{\"inline_p99_ms\": {}, \"background_p99_ms\": {}, \
+             \"stall_reduction\": {}}}\n  }}\n}}\n",
+            fmt_f64(self.serving_headline.inline_p99_ms),
+            fmt_f64(self.serving_headline.background_p99_ms),
+            fmt_f64(self.serving_headline.stall_reduction),
         ));
         out
     }
@@ -471,6 +710,23 @@ impl RefreshPerfReport {
             self.headline.iteration_ratio,
             self.headline.speedup,
         ));
+        out.push_str(&format!(
+            "serving during refresh (queries every {} ms):\n",
+            self.query_interval_ms
+        ));
+        for s in &self.serving {
+            out.push_str(&format!(
+                "  {:10} re-fit: {:8.1} ms wall, {:4} queries in-window, \
+                 p50 {:8.3} ms, p99 {:8.3} ms, max {:8.3} ms\n",
+                s.mode, s.refresh_wall_ms, s.queries_during_refresh, s.p50_ms, s.p99_ms, s.max_ms,
+            ));
+        }
+        out.push_str(&format!(
+            "serving headline: inline p99 {:.3} ms vs background p99 {:.3} ms → {:.1}x lower stall\n",
+            self.serving_headline.inline_p99_ms,
+            self.serving_headline.background_p99_ms,
+            self.serving_headline.stall_reduction,
+        ));
         out
     }
 }
@@ -502,10 +758,25 @@ mod tests {
             report.headline.cold_em_iterations
         );
 
+        // The serving matrix covered both modes, with sane latencies.
+        assert_eq!(report.serving.len(), 2);
+        assert_eq!(report.serving[0].mode, "inline");
+        assert_eq!(report.serving[1].mode, "background");
+        for s in &report.serving {
+            assert!(s.refresh_wall_ms > 0.0, "{s:?}");
+            assert!(s.queries_during_refresh >= 1, "{s:?}");
+            assert!(s.p50_ms <= s.p99_ms && s.p99_ms <= s.max_ms, "{s:?}");
+        }
+        assert!(report.serving_headline.stall_reduction > 0.0);
+
         let json = report.to_json();
+        assert!(json.contains("\"schema_version\": 2"));
         assert!(json.contains("\"bench\": \"refresh\""));
         assert!(json.contains("\"strategy\": \"warm\""));
         assert!(json.contains("\"strategy\": \"cold\""));
+        assert!(json.contains("\"mode\": \"inline\""));
+        assert!(json.contains("\"mode\": \"background\""));
+        assert!(json.contains("\"stall_reduction\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
 

@@ -8,23 +8,76 @@
 //! which is what makes lending non-`'static` closures to the long-lived
 //! workers sound.
 //!
+//! [`WorkerPool::submit`] is the non-barriering counterpart: it hands one
+//! `'static` job to a worker and returns a [`JobHandle`] the caller can
+//! poll ([`JobHandle::try_join`]) or block on ([`JobHandle::join`]) for the
+//! job's return value — the serving layer's background re-fit runs through
+//! it. Submitted jobs share the per-worker FIFO queues with broadcast
+//! jobs, so a long-running submission delays that worker's share of later
+//! broadcasts; callers that need isolation (like the background refresher)
+//! dedicate a pool to their submissions.
+//!
 //! [`DisjointRows`] is the companion write-side primitive: it lets the
 //! workers write concurrently into *disjoint* ranges of one flat `Θ` buffer
 //! without locking, with the disjointness obligation carried by the single
 //! `unsafe` call site in the engine.
 
+use std::cell::Cell;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::thread::JoinHandle;
 
+/// A queued unit of work. Completion signalling lives *inside* the box:
+/// broadcast jobs report to the pool's shared `done` channel, submitted
+/// jobs to their handle's private one — so the two kinds can interleave on
+/// the same workers without confusing each other's accounting.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// A fixed-size pool of named worker threads executing broadcast jobs.
 pub struct WorkerPool {
     job_txs: Vec<Sender<Job>>,
+    /// Kept alive so `done_rx.recv()` in `broadcast` can never observe a
+    /// spurious disconnect; cloned into each broadcast job.
+    done_tx: Sender<std::thread::Result<()>>,
     done_rx: Receiver<std::thread::Result<()>>,
     handles: Vec<JoinHandle<()>>,
+    /// Round-robin cursor for `submit` placement.
+    next_submit: Cell<usize>,
+}
+
+/// The result channel of one [`WorkerPool::submit`] call.
+///
+/// Holds the job's return value once the worker finishes it. A panicking
+/// job surfaces as `Err(payload)` (the pool worker survives); a job whose
+/// pool was torn down before the result was read reports a synthetic
+/// `Err` instead of blocking forever.
+pub struct JobHandle<T> {
+    rx: Receiver<std::thread::Result<T>>,
+}
+
+impl<T> JobHandle<T> {
+    fn disconnected() -> std::thread::Result<T> {
+        Err(Box::new(
+            "worker pool shut down before the job's result was read".to_string(),
+        ))
+    }
+
+    /// Non-blocking completion check: `None` while the job is still queued
+    /// or running, `Some(result)` once it finished. After a completion has
+    /// been returned once, further calls report the job as gone.
+    pub fn try_join(&self) -> Option<std::thread::Result<T>> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => Some(Self::disconnected()),
+        }
+    }
+
+    /// Blocks until the job finishes and returns its result.
+    pub fn join(self) -> std::thread::Result<T> {
+        self.rx.recv().unwrap_or_else(|_| Self::disconnected())
+    }
 }
 
 impl WorkerPool {
@@ -36,15 +89,14 @@ impl WorkerPool {
         let mut handles = Vec::with_capacity(n);
         for i in 0..n {
             let (tx, rx) = channel::<Job>();
-            let done = done_tx.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("genclus-em-{i}"))
                 .spawn(move || {
+                    // Each job signals its own completion (and catches its
+                    // own panics); the loop ends when the pool drops the
+                    // sender, after draining any still-queued jobs.
                     for job in rx {
-                        let result = catch_unwind(AssertUnwindSafe(job));
-                        if done.send(result).is_err() {
-                            break;
-                        }
+                        job();
                     }
                 })
                 .expect("failed to spawn EM worker thread");
@@ -53,8 +105,10 @@ impl WorkerPool {
         }
         Self {
             job_txs,
+            done_tx,
             done_rx,
             handles,
+            next_submit: Cell::new(0),
         }
     }
 
@@ -86,21 +140,30 @@ impl WorkerPool {
             // unwinds, so the transmuted borrow never outlives the real
             // one.
             let f_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f_ref) };
-            if tx.send(Box::new(move || f_static(i))).is_err() {
+            let done = self.done_tx.clone();
+            let job: Job = Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| f_static(i)));
+                let _ = done.send(result);
+            });
+            if tx.send(job).is_err() {
                 break;
             }
             dispatched += 1;
         }
         let mut panic = None;
         for _ in 0..dispatched {
-            match self.done_rx.recv() {
-                Ok(Ok(())) => {}
-                Ok(Err(payload)) => panic = Some(payload),
-                // A worker vanished mid-job: its thread died without
-                // unwinding, so the job's borrow of `f` can never be proven
-                // finished. Unwinding here would free state the lost job
-                // may still touch — nothing can be salvaged.
-                Err(_) => std::process::abort(),
+            // Cannot disconnect: the pool itself holds `done_tx`, and every
+            // dispatched job box sends exactly one message (its clone of
+            // the sender is dropped only after the send, or with the box
+            // when the worker drains a closed queue — which cannot happen
+            // while this `&self` borrow pins the pool alive).
+            match self
+                .done_rx
+                .recv()
+                .expect("pool holds a live completion sender")
+            {
+                Ok(()) => {}
+                Err(payload) => panic = Some(payload),
             }
         }
         if let Some(payload) = panic {
@@ -110,6 +173,39 @@ impl WorkerPool {
             dispatched, n,
             "EM worker thread disappeared before job dispatch"
         );
+    }
+
+    /// Queues `f` on one worker (round-robin) and returns a [`JobHandle`]
+    /// for its result — no barrier, the caller keeps running while the job
+    /// does. Panics inside `f` are caught and surface as the handle's
+    /// `Err`; the worker thread survives to take further jobs.
+    ///
+    /// The job shares its worker's FIFO queue with `broadcast` work: a
+    /// long-running submission delays that worker's share of later
+    /// broadcasts (and pool teardown waits for it). Dedicate a pool to
+    /// long submissions — the serving layer's background refresher owns a
+    /// one-worker pool for exactly this reason.
+    pub fn submit<T, F>(&self, f: F) -> JobHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (tx, rx) = channel::<std::thread::Result<T>>();
+        let mut job: Job = Box::new(move || {
+            let _ = tx.send(catch_unwind(AssertUnwindSafe(f)));
+        });
+        let k = self.job_txs.len();
+        let start = self.next_submit.get();
+        self.next_submit.set((start + 1) % k);
+        for offset in 0..k {
+            match self.job_txs[(start + offset) % k].send(job) {
+                Ok(()) => return JobHandle { rx },
+                // That worker is gone; the unrun box comes back in the
+                // error — try the next one.
+                Err(failed) => job = failed.0,
+            }
+        }
+        panic!("every worker thread disappeared before job dispatch");
     }
 }
 
@@ -217,6 +313,68 @@ mod tests {
         }
         let expected: Vec<f64> = (0..15).map(|x| x as f64).collect();
         assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn submit_returns_the_job_result() {
+        let pool = WorkerPool::new(2);
+        let handle = pool.submit(|| 6 * 7);
+        assert_eq!(handle.join().expect("job succeeds"), 42);
+    }
+
+    #[test]
+    fn try_join_polls_without_blocking() {
+        let pool = WorkerPool::new(1);
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        let handle = pool.submit(move || {
+            gate_rx.recv().expect("gate stays open");
+            "done"
+        });
+        // Still running (blocked on the gate): try_join must not block.
+        assert!(handle.try_join().is_none());
+        gate_tx.send(()).unwrap();
+        let result = loop {
+            if let Some(r) = handle.try_join() {
+                break r;
+            }
+            std::thread::yield_now();
+        };
+        assert_eq!(result.expect("job succeeds"), "done");
+    }
+
+    #[test]
+    fn submitted_panic_surfaces_in_the_handle_and_spares_the_pool() {
+        let pool = WorkerPool::new(1);
+        let handle = pool.submit(|| -> usize { panic!("refit exploded") });
+        let err = handle.join().expect_err("panic must surface");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-string payload>");
+        assert_eq!(msg, "refit exploded");
+        // The worker survives for both submit and broadcast work.
+        assert_eq!(pool.submit(|| 7).join().expect("pool alive"), 7);
+        let hits = AtomicUsize::new(0);
+        pool.broadcast(1, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn submissions_and_broadcasts_interleave_on_the_same_pool() {
+        let pool = WorkerPool::new(3);
+        let handles: Vec<_> = (0..6).map(|i| pool.submit(move || i * i)).collect();
+        let hits = AtomicUsize::new(0);
+        for _ in 0..20 {
+            pool.broadcast(3, &|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 60);
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.join().expect("job succeeds"), i * i);
+        }
     }
 
     #[test]

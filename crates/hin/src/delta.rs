@@ -78,6 +78,64 @@ impl GraphDelta {
         }
     }
 
+    /// Starts an empty delta whose base is `graph` **with `applied`
+    /// already counted** — the second staging window of a double-buffered
+    /// refresh: while `applied` is being appended + re-fitted elsewhere,
+    /// new arrivals keep staging here, their ids continuing past
+    /// `applied`'s so they stay valid once the grown graph lands. Links
+    /// staged here may therefore name base objects *and* `applied`'s
+    /// objects (types are validated against `applied`'s staged types).
+    ///
+    /// Errors with [`HinError::DeltaBaseMismatch`] when `applied` was not
+    /// staged against `graph` (wrong base size or schema).
+    pub fn new_after(graph: &HinGraph, applied: &GraphDelta) -> Result<Self, HinError> {
+        if applied.base_objects != graph.n_objects() || applied.schema != *graph.schema() {
+            return Err(HinError::DeltaBaseMismatch {
+                expected: applied.base_objects,
+                got: graph.n_objects(),
+            });
+        }
+        let mut base_types = graph.obj_types.clone();
+        base_types.extend_from_slice(&applied.new_types);
+        Ok(Self {
+            schema: applied.schema.clone(),
+            base_objects: base_types.len(),
+            base_types,
+            new_types: Vec::new(),
+            new_names: Vec::new(),
+            links: Vec::new(),
+            cat_obs: Vec::new(),
+            num_obs: Vec::new(),
+        })
+    }
+
+    /// Absorbs `next` — a window staged via [`Self::new_after`] on top of
+    /// this delta — turning the two windows back into one delta against
+    /// this delta's base. This is the failure path of a double-buffered
+    /// refresh: when the re-fit of the first window dies, the second
+    /// window's future base never materializes, and stacking restores a
+    /// single delta that can be staged or retried as a whole. Ids need no
+    /// rewriting: `next`'s objects were assigned ids continuing this
+    /// delta's, which is exactly where they land in the merged delta.
+    ///
+    /// Errors with [`HinError::DeltaBaseMismatch`] when `next` was not
+    /// staged directly on top of this delta.
+    pub fn stack(&mut self, next: GraphDelta) -> Result<(), HinError> {
+        let boundary = self.base_objects + self.new_types.len();
+        if next.base_objects != boundary || next.schema != self.schema {
+            return Err(HinError::DeltaBaseMismatch {
+                expected: boundary,
+                got: next.base_objects,
+            });
+        }
+        self.new_types.extend(next.new_types);
+        self.new_names.extend(next.new_names);
+        self.links.extend(next.links);
+        self.cat_obs.extend(next.cat_obs);
+        self.num_obs.extend(next.num_obs);
+        Ok(())
+    }
+
     /// Number of new objects staged so far.
     pub fn n_new_objects(&self) -> usize {
         self.new_types.len()
@@ -918,6 +976,109 @@ mod tests {
 
         g.compact();
         assert_eq!(rebuilt_equivalent(&g), rebuilt_equivalent(&fresh));
+    }
+
+    #[test]
+    fn stacked_windows_append_in_sequence_or_merged() {
+        // Double-buffered staging: window 2 is created via `new_after`
+        // while window 1 is "in flight". Applying w1 then w2 (the success
+        // path), or `stack`ing w2 back onto w1 and applying once (the
+        // failure path), must both equal a single-window staging.
+        let build = |two_appends: bool, merged: bool| -> Vec<u8> {
+            let mut g = base();
+            let author = g.schema().object_type_by_name("author").unwrap();
+            let paper = g.schema().object_type_by_name("paper").unwrap();
+            let w = g.schema().relation_by_name("write").unwrap();
+            let year = g.schema().attribute_by_name("year").unwrap();
+            let mut w1 = GraphDelta::new(&g);
+            let a2 = w1.add_object(author, "a2");
+            w1.add_link(a2, ObjectId(2), w, 0.5).unwrap();
+            let mut w2 = GraphDelta::new_after(&g, &w1).unwrap();
+            assert_eq!(w2.base_objects(), 5);
+            let p2 = w2.add_object(paper, "p2");
+            // Window-2 links may cite base objects AND window-1 objects.
+            w2.add_link(a2, p2, w, 0.75).unwrap();
+            w2.add_link(ObjectId(0), p2, w, 1.25).unwrap();
+            w2.add_numeric(p2, year, 2012.0).unwrap();
+            if two_appends {
+                g.append(w1).unwrap();
+                g.append(w2).unwrap();
+            } else if merged {
+                w1.stack(w2).unwrap();
+                assert_eq!(w1.n_new_objects(), 2);
+                assert_eq!(w1.n_new_links(), 3);
+                g.append(w1).unwrap();
+            } else {
+                // Single-window reference staging.
+                let mut d = GraphDelta::new(&g);
+                let a2 = d.add_object(author, "a2");
+                d.add_link(a2, ObjectId(2), w, 0.5).unwrap();
+                let p2 = d.add_object(paper, "p2");
+                d.add_link(a2, p2, w, 0.75).unwrap();
+                d.add_link(ObjectId(0), p2, w, 1.25).unwrap();
+                d.add_numeric(p2, year, 2012.0).unwrap();
+                g.append(d).unwrap();
+            }
+            g.compact();
+            rebuilt_equivalent(&g)
+        };
+        let reference = build(false, false);
+        assert_eq!(build(true, false), reference, "w1 then w2 appends");
+        assert_eq!(build(false, true), reference, "stacked merge append");
+    }
+
+    #[test]
+    fn stacked_window_validates_against_inflight_types() {
+        let g = base();
+        let author = g.schema().object_type_by_name("author").unwrap();
+        let w = g.schema().relation_by_name("write").unwrap();
+        let mut w1 = GraphDelta::new(&g);
+        let a2 = w1.add_object(author, "a2");
+        let mut w2 = GraphDelta::new_after(&g, &w1).unwrap();
+        // a2 is an *author* per window 1's staged types: it cannot be the
+        // target of `write` (author → paper).
+        let a3 = w2.add_object(author, "a3");
+        assert!(matches!(
+            w2.add_link(a3, a2, w, 1.0),
+            Err(HinError::EndpointTypeMismatch { .. })
+        ));
+        // But it is a valid source.
+        w2.add_link(a2, ObjectId(2), w, 1.0).unwrap();
+    }
+
+    #[test]
+    fn mismatched_windows_are_rejected() {
+        let mut g = base();
+        let author = g.schema().object_type_by_name("author").unwrap();
+        let mut w1 = GraphDelta::new(&g);
+        w1.add_object(author, "a2");
+        // `new_after` demands the in-flight window be staged against the
+        // live graph …
+        let mut grown = g.clone();
+        let mut d = GraphDelta::new(&grown);
+        d.add_object(author, "ax");
+        grown.append(d).unwrap();
+        assert!(matches!(
+            GraphDelta::new_after(&grown, &w1),
+            Err(HinError::DeltaBaseMismatch { .. })
+        ));
+        // … and `stack` demands the next window sit exactly on top.
+        let not_on_top = GraphDelta::new(&g);
+        assert!(matches!(
+            w1.stack(not_on_top),
+            Err(HinError::DeltaBaseMismatch { .. })
+        ));
+        let w2 = GraphDelta::new_after(&g, &w1).unwrap();
+        let mut w1_shrunk = GraphDelta::new(&g);
+        assert!(matches!(
+            w1_shrunk.stack(w2),
+            Err(HinError::DeltaBaseMismatch { .. })
+        ));
+        // A well-formed stack still works afterwards.
+        let w2 = GraphDelta::new_after(&g, &w1).unwrap();
+        w1.stack(w2).unwrap();
+        g.append(w1).unwrap();
+        assert_eq!(g.n_objects(), 5);
     }
 
     #[test]

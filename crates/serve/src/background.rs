@@ -1,0 +1,222 @@
+//! The off-thread half of a double-buffered refresh.
+//!
+//! [`crate::refresh::RefreshableEngine`] originally ran its warm re-fit
+//! inline on the serving thread, so every policy-triggered refresh froze
+//! query traffic for the full EM wall time. This module moves the heavy
+//! part — append the staged delta, run [`GenClus::fit_warm`], compact,
+//! serialize, optionally persist, then decode + index the refreshed
+//! snapshot into a ready [`QueryEngine`] — onto a dedicated one-worker
+//! [`WorkerPool`] via [`WorkerPool::submit`], and hands the finished
+//! engine back through a [`JobHandle`] the serving thread polls between
+//! requests. Reads keep answering from the old engine the whole time; the
+//! swap itself is a plain move on the serving thread (everything
+//! O(snapshot) — checksum, decode, candidate indexes, pool spawn — was
+//! paid on the worker).
+//!
+//! The split of responsibilities:
+//!
+//! * [`RefitInput`] owns everything the job needs (a compacted copy of the
+//!   served graph, the staged [`GraphDelta`], the warm-seed model, the
+//!   resolved config) so the job borrows nothing from the engine;
+//! * [`run_refit`] is the *pure* re-fit: both the inline path and the
+//!   background worker call it, which is what keeps the two modes
+//!   byte-identical in what they produce and how they fail;
+//! * [`RefitWorker`] wraps the pool + at-most-one in-flight handle, maps a
+//!   panicked job into a [`ServeError::Refresh`] (the worker thread
+//!   survives), and exposes poll/join so the engine decides *when* the
+//!   swap happens.
+//!
+//! Failure contract (same as the inline path): a job that errors returns
+//! the [`ServeError`]; the engine keeps serving the old snapshot and
+//! restores the staged window, so nothing committed is lost.
+
+use crate::engine::QueryEngine;
+use crate::error::ServeError;
+use crate::refresh::RefreshOutcome;
+use crate::snapshot::{save_bytes, to_bytes, Snapshot};
+use genclus_core::pool::{JobHandle, WorkerPool};
+use genclus_core::{GenClus, GenClusConfig, GenClusModel};
+use genclus_hin::{GraphDelta, HinGraph};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Everything one warm re-fit consumes, owned — the job runs on another
+/// thread and must not borrow the serving engine.
+pub(crate) struct RefitInput {
+    /// Compacted copy of the served snapshot's graph (snapshots are always
+    /// canonical, so no compaction is needed before the append).
+    pub graph: HinGraph,
+    /// The refresh window being applied.
+    pub delta: GraphDelta,
+    /// Warm seed over the grown network: served `Θ` rows extended with the
+    /// staged fold-in rows, plus the served `(β, γ)`.
+    pub warm: GenClusModel,
+    /// Fully resolved re-fit configuration (already aligned via
+    /// `with_warm_start`, iteration knobs applied).
+    pub cfg: GenClusConfig,
+    /// Persist the refreshed snapshot here before reporting success.
+    pub persist_path: Option<PathBuf>,
+    /// Worker threads of the replacement [`QueryEngine`].
+    pub threads: usize,
+}
+
+/// What a finished re-fit hands back to the serving thread.
+pub(crate) struct RefitOutput {
+    /// The replacement engine, fully built (snapshot decoded, candidate
+    /// indexes rebuilt, query pool spawned) on the re-fit thread — the
+    /// serving thread's swap is a plain move, not O(snapshot) work.
+    pub engine: QueryEngine,
+    /// The bookkeeping the wire protocol reports.
+    pub outcome: RefreshOutcome,
+}
+
+/// Appends `delta`, warm re-fits, compacts, serializes, (optionally)
+/// persists, and builds the replacement [`QueryEngine`] — the entire
+/// refresh except the swap itself. Pure with respect to the serving
+/// engine: both the inline refresh and the background worker run exactly
+/// this.
+pub(crate) fn run_refit(input: RefitInput) -> Result<RefitOutput, ServeError> {
+    let RefitInput {
+        mut graph,
+        delta,
+        warm,
+        cfg,
+        persist_path,
+        threads,
+    } = input;
+    let objects_added = delta.n_new_objects();
+    let links_added = delta.n_new_links();
+
+    // Old-source links land in the graph's overflow segments; the warm
+    // re-fit runs on the segmented graph directly (the EM kernels traverse
+    // base + overflow bit-identically to a compacted CSR).
+    graph.append(delta)?;
+    let refit = |e: genclus_core::GenClusError| ServeError::Refresh(e.to_string());
+    let fit = GenClus::new(cfg)
+        .map_err(refit)?
+        .fit_warm(&graph, &warm)
+        .map_err(refit)?;
+
+    // Compaction trigger: fold the overflow back into a canonical CSR
+    // before the snapshot is cut (the codec would canonicalize on the fly
+    // anyway; compacting here also hands the swapped-in engine a
+    // branch-free base CSR).
+    graph.compact();
+    let bytes = to_bytes(&graph, &fit.model);
+    let persisted = if let Some(path) = &persist_path {
+        save_bytes(path, &bytes)?;
+        true
+    } else {
+        false
+    };
+    // Revive and index the snapshot here, off the serving thread: the
+    // checksum pass, the graph/model decode, the candidate-index rebuild,
+    // and (threads > 1) the query-pool spawn are all O(snapshot) — paying
+    // them at swap time would reintroduce a serving stall proportional to
+    // the model size.
+    let snap = Snapshot::from_bytes(&bytes)?;
+    let outcome = RefreshOutcome {
+        objects_added,
+        links_added,
+        outer_iterations: fit.history.n_iterations(),
+        em_iterations: fit.history.total_em_iterations(),
+        n_objects: snap.graph().n_objects(),
+        n_links: snap.graph().n_links(),
+        persisted,
+    };
+    Ok(RefitOutput {
+        engine: QueryEngine::new(snap, threads),
+        outcome,
+    })
+}
+
+/// A dedicated one-worker pool running at most one re-fit at a time.
+///
+/// Owning its pool (rather than sharing the query engine's) is load-
+/// bearing: a re-fit takes the full warm-EM wall time, and parking it on a
+/// query worker would stall every batch dispatched to that worker — the
+/// exact latency bug this module removes.
+pub struct RefitWorker {
+    pool: WorkerPool,
+    handle: Option<JobHandle<Result<RefitOutput, ServeError>>>,
+    /// Test seam: runs at the start of the job, on the worker thread.
+    /// Lets deterministic tests hold a re-fit "in flight" on a gate.
+    hook: Option<Arc<dyn Fn() + Send + Sync>>,
+}
+
+impl Default for RefitWorker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RefitWorker {
+    /// Spawns the worker thread (idle until [`Self::start`]).
+    pub fn new() -> Self {
+        Self {
+            pool: WorkerPool::new(1),
+            handle: None,
+            hook: None,
+        }
+    }
+
+    /// Whether a re-fit is currently queued or running.
+    pub fn in_flight(&self) -> bool {
+        self.handle.is_some()
+    }
+
+    /// Hands `input` to the worker. The caller must have checked
+    /// [`Self::in_flight`] — two concurrent re-fits of one engine would
+    /// race on the same base snapshot.
+    pub(crate) fn start(&mut self, input: RefitInput) {
+        assert!(
+            self.handle.is_none(),
+            "a background re-fit is already in flight"
+        );
+        let hook = self.hook.clone();
+        self.handle = Some(self.pool.submit(move || {
+            if let Some(hook) = &hook {
+                hook();
+            }
+            run_refit(input)
+        }));
+    }
+
+    fn unpack(
+        result: std::thread::Result<Result<RefitOutput, ServeError>>,
+    ) -> Result<RefitOutput, ServeError> {
+        result.unwrap_or_else(|payload| {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "re-fit worker panicked".to_string());
+            Err(ServeError::Refresh(format!(
+                "background re-fit panicked: {msg}"
+            )))
+        })
+    }
+
+    /// Non-blocking: `Some(result)` once the in-flight re-fit finished
+    /// (clearing it), `None` while it is still running or none was
+    /// started.
+    pub(crate) fn poll(&mut self) -> Option<Result<RefitOutput, ServeError>> {
+        let done = self.handle.as_ref()?.try_join()?;
+        self.handle = None;
+        Some(Self::unpack(done))
+    }
+
+    /// Blocks until the in-flight re-fit finishes; `None` when none is in
+    /// flight.
+    pub(crate) fn join(&mut self) -> Option<Result<RefitOutput, ServeError>> {
+        let handle = self.handle.take()?;
+        Some(Self::unpack(handle.join()))
+    }
+
+    /// Test seam: `hook` runs at the start of every subsequent job, on the
+    /// worker thread. Not part of the public API contract.
+    #[doc(hidden)]
+    pub fn set_refit_hook(&mut self, hook: impl Fn() + Send + Sync + 'static) {
+        self.hook = Some(Arc::new(hook));
+    }
+}

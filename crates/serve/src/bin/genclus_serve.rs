@@ -4,6 +4,7 @@
 //! genclus_serve --snapshot <path> [--threads N] [--batch N]
 //!               [--refresh-after-objects N] [--refresh-after-links N]
 //!               [--refresh-save <path>] [--refresh-sigma F]
+//!               [--refresh-background]
 //! ```
 //!
 //! Reads one JSON request per stdin line and writes one JSON response per
@@ -17,10 +18,24 @@
 //! with a `"commit"` field stage new objects, `--refresh-after-objects` /
 //! `--refresh-after-links` auto-trigger a warm-start re-fit (0 = manual
 //! `{"op":"refresh"}` only), and `--refresh-save` persists each refreshed
-//! snapshot atomically. Snapshots do not record the original fit's
-//! hyperparameters, so re-fits run under paper defaults; `--refresh-sigma`
-//! overrides the `γ`-prior std (§3.4) for models fitted with a non-default
-//! one, and deployments with other non-default knobs should embed
+//! snapshot atomically.
+//!
+//! `--refresh-background` moves triggered re-fits off the serving loop
+//! onto a dedicated worker thread (double-buffered engines): queries keep
+//! answering from the old snapshot for the entire re-fit, the finished
+//! snapshot swaps in between requests, and commits arriving mid-re-fit
+//! stage into the next refresh window. `{"op":"refresh_status"}` reports
+//! in-flight state and the last outcome; with `"wait":true` it blocks
+//! until the in-flight re-fit lands — the quiesce point for scripts. At
+//! EOF the binary waits for any in-flight re-fit (so `--refresh-save`
+//! always persists the last refresh) before exiting. Without the flag
+//! re-fits run inline, stalling the loop for the warm-EM wall time — the
+//! single-threaded fallback.
+//!
+//! Snapshots do not record the original fit's hyperparameters, so re-fits
+//! run under paper defaults; `--refresh-sigma` overrides the `γ`-prior
+//! std (§3.4) for models fitted with a non-default one, and deployments
+//! with other non-default knobs should embed
 //! [`genclus_serve::refresh::RefreshPolicy::base_config`] via the library
 //! API instead of this binary.
 
@@ -31,7 +46,8 @@ use std::path::PathBuf;
 fn usage() -> ! {
     eprintln!(
         "usage: genclus_serve --snapshot <path> [--threads N] [--batch N] \
-         [--refresh-after-objects N] [--refresh-after-links N] [--refresh-save <path>] [--refresh-sigma F]"
+         [--refresh-after-objects N] [--refresh-after-links N] [--refresh-save <path>] \
+         [--refresh-sigma F] [--refresh-background]"
     );
     std::process::exit(2);
 }
@@ -76,6 +92,7 @@ fn main() {
             "--refresh-save" => {
                 policy.persist_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
             }
+            "--refresh-background" => policy.background = true,
             "--refresh-sigma" => {
                 let sigma: f64 = args
                     .next()
@@ -103,7 +120,7 @@ fn main() {
     };
     eprintln!(
         "genclus_serve: {} objects, {} links, k={}, snapshot v{} ({} threads, batch {}, \
-         refresh after {}/{} objects/links{})",
+         refresh after {}/{} objects/links, {} re-fit{})",
         snapshot.graph().n_objects(),
         snapshot.graph().n_links(),
         snapshot.model().n_clusters(),
@@ -112,6 +129,11 @@ fn main() {
         batch,
         policy.max_pending_objects,
         policy.max_pending_links,
+        if policy.background {
+            "background"
+        } else {
+            "inline"
+        },
         policy
             .persist_path
             .as_ref()
@@ -162,4 +184,17 @@ fn main() {
         }
     }
     flush(&mut pending, &mut out, &mut engine);
+    // Quiesce before exit: an in-flight background re-fit finishes (and
+    // persists, when --refresh-save is set) rather than being torn down
+    // mid-write with the process. A failure here has no later response
+    // line to surface in — the staged commits die with the process — so
+    // it must reach the operator via stderr and the exit status.
+    if engine.refresh_in_flight() {
+        eprintln!("genclus_serve: waiting for the in-flight background re-fit before exit");
+        engine.finish();
+        if let Some(Err(e)) = engine.last_refresh() {
+            eprintln!("genclus_serve: final background re-fit failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -284,6 +284,15 @@ impl QueryCore {
                 "snapshot_version",
                 Json::Num(self.snapshot.header().version as f64),
             ),
+            // The payload checksum identifies *which* snapshot answered —
+            // hex-rendered because a u64 does not survive an f64 JSON
+            // number. Clients use it to observe the atomic swap of a
+            // background refresh (consistent reads: old until swap, new
+            // after).
+            (
+                "checksum",
+                Json::str(format!("{:016x}", self.snapshot.header().checksum)),
+            ),
         ])
     }
 

@@ -62,6 +62,14 @@ impl Json {
         }
     }
 
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as a number.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
@@ -419,6 +427,15 @@ mod tests {
         let values = v.get("values").unwrap().as_obj().unwrap();
         assert_eq!(values[0].0, "reading");
         assert_eq!(values[0].1.as_arr().unwrap()[1].as_f64(), Some(-0.25));
+    }
+
+    #[test]
+    fn as_bool_accepts_only_booleans() {
+        let v = Json::parse(r#"{"wait": true, "n": 1, "s": "true"}"#).unwrap();
+        assert_eq!(v.get("wait").unwrap().as_bool(), Some(true));
+        assert_eq!(Json::Bool(false).as_bool(), Some(false));
+        assert_eq!(v.get("n").unwrap().as_bool(), None);
+        assert_eq!(v.get("s").unwrap().as_bool(), None);
     }
 
     #[test]

@@ -39,7 +39,16 @@
 //!   no best-of-seeds warmup), compacts the grown graph back to a
 //!   canonical CSR, atomically swaps the refreshed snapshot in, and
 //!   optionally persists it (same schema v1, new checksum). Policy knobs
-//!   live on [`refresh::RefreshPolicy`].
+//!   live on [`refresh::RefreshPolicy`];
+//! * [`background`] — the double-buffered refresh
+//!   ([`background::RefitWorker`], enabled by
+//!   [`refresh::RefreshPolicy::background`]): the warm re-fit runs on a
+//!   dedicated worker thread while reads keep answering from the old
+//!   engine; the serving thread swaps the finished snapshot in between
+//!   requests, commits arriving mid-re-fit stage into the *next* delta
+//!   window, and a failed re-fit restores the staged window intact. The
+//!   `refresh_status` op (optionally `"wait":true`) reports in-flight
+//!   state and the last outcome.
 //!
 //! # Quickstart
 //!
@@ -85,6 +94,7 @@
 //! );
 //! ```
 
+pub mod background;
 pub mod engine;
 pub mod error;
 pub mod foldin;
@@ -94,6 +104,7 @@ pub mod snapshot;
 
 /// Convenient glob-import surface.
 pub mod prelude {
+    pub use crate::background::RefitWorker;
     pub use crate::engine::{QueryCore, QueryEngine};
     pub use crate::error::ServeError;
     pub use crate::foldin::{FoldInEngine, FoldInOptions, FoldInRequest, FoldInResult};

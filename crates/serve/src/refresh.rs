@@ -43,10 +43,41 @@
 //!   old-source overflow links (see `genclus_hin::graph`); they do not
 //!   influence the commit's own fold-in row (Eq. 10 drives a membership
 //!   through *out*-links) but do shape the warm re-fit;
-//! * `{"op":"refresh"}` — refresh now, regardless of thresholds. Responds
-//!   with `"objects_added"`, `"links_added"`, `"outer_iterations"`,
-//!   `"em_iterations"`, `"n_objects"`, `"n_links"`, `"persisted"`,
-//!   `"refreshes"`.
+//! * `{"op":"refresh"}` — refresh now, regardless of thresholds. Inline
+//!   mode responds with `"objects_added"`, `"links_added"`,
+//!   `"outer_iterations"`, `"em_iterations"`, `"n_objects"`, `"n_links"`,
+//!   `"persisted"`, `"refreshes"`; background mode responds with
+//!   `"started"` / `"in_flight"` (the outcome arrives via
+//!   `refresh_status` once the re-fit lands);
+//! * `{"op":"refresh_status"}` — refresh observability in both modes:
+//!   `"mode"`, `"in_flight"`, `"refreshes"`, the pending and in-flight
+//!   object/link counts, and the last outcome (`"last_outcome"` object on
+//!   success, `"last_error"` string on failure). With `"wait":true` in
+//!   background mode it blocks until any in-flight re-fit lands and swaps
+//!   first — the quiesce point scripted clients use;
+//!
+//! # Background mode (double-buffered engines)
+//!
+//! With [`RefreshPolicy::background`] set, a triggered refresh does **not**
+//! run on the serving thread. The engine snapshots the staged window plus
+//! a compacted copy of the served graph into a [`RefitInput`], hands it to
+//! the dedicated [`RefitWorker`] thread, and keeps serving reads from the
+//! old engine for the entire warm-EM wall time. The serving thread polls
+//! the worker at the top of every `handle_line`/`handle_batch`; when the
+//! re-fit lands, the refreshed snapshot is swapped in atomically — every
+//! response is produced under exactly one snapshot, old until the swap,
+//! new after.
+//!
+//! Commits arriving while a re-fit is in flight neither error nor block:
+//! they stage into the **next** delta window, based on the *future* graph
+//! ([`GraphDelta::new_after`]), so their ids remain valid after the swap —
+//! and they may link to objects of the in-flight window by name, exactly
+//! as they could under inline refresh. A failed background re-fit leaves
+//! the old snapshot serving and re-merges the in-flight window with the
+//! next one ([`GraphDelta::stack`]), so the staged delta survives intact
+//! for a retry — the same contract as the inline path. Inline mode
+//! (`background: false`, the default) keeps the original fully
+//! single-threaded behavior for deployments that want no second thread.
 //!
 //! Commit link names — `links` targets and `in_links` sources alike —
 //! resolve against the **snapshot ∪ staged** namespace: a commit may
@@ -60,12 +91,13 @@
 //! CSR — and the graph is compacted back into a canonical CSR before the
 //! new snapshot is serialized.
 
+use crate::background::{run_refit, RefitInput, RefitOutput, RefitWorker};
 use crate::engine::{QueryCore, QueryEngine};
 use crate::error::ServeError;
 use crate::foldin::{FoldInEngine, FoldInRequest, FoldInResult};
 use crate::json::Json;
-use crate::snapshot::{save_bytes, to_bytes, Snapshot};
-use genclus_core::{GenClus, GenClusConfig, GenClusModel};
+use crate::snapshot::Snapshot;
+use genclus_core::{GenClusConfig, GenClusModel};
 use genclus_hin::{GraphDelta, ObjectTypeId};
 use genclus_stats::simplex::argmax;
 use genclus_stats::MembershipMatrix;
@@ -105,6 +137,11 @@ pub struct RefreshPolicy {
     /// rename, like [`crate::snapshot::save`]); `None` keeps refreshes
     /// in-memory only.
     pub persist_path: Option<PathBuf>,
+    /// Run triggered re-fits on the dedicated [`RefitWorker`] thread
+    /// instead of inline on the serving thread (see the module docs'
+    /// *Background mode* section). `false` — the default — keeps the
+    /// engine fully single-threaded.
+    pub background: bool,
 }
 
 impl Default for RefreshPolicy {
@@ -120,6 +157,7 @@ impl Default for RefreshPolicy {
             gamma_tol: 1e-4,
             base_config: None,
             persist_path: None,
+            background: false,
         }
     }
 }
@@ -167,6 +205,19 @@ impl Pending {
             names: std::collections::HashMap::new(),
         }
     }
+
+    /// The next staging window while `inflight` is being re-fitted
+    /// elsewhere: its delta is based on the *future* graph (`graph` +
+    /// `inflight`'s objects), so everything staged here stays valid
+    /// verbatim once the refreshed snapshot swaps in.
+    fn next_window(graph: &genclus_hin::HinGraph, inflight: &Pending) -> Result<Self, ServeError> {
+        Ok(Self {
+            delta: GraphDelta::new_after(graph, &inflight.delta)?,
+            rows: Vec::new(),
+            types: Vec::new(),
+            names: std::collections::HashMap::new(),
+        })
+    }
 }
 
 /// A [`QueryEngine`] that can grow: stages committed fold-ins and re-fits
@@ -179,8 +230,20 @@ impl Pending {
 pub struct RefreshableEngine {
     engine: QueryEngine,
     policy: RefreshPolicy,
+    /// The staging window commits land in. In background mode, while a
+    /// re-fit is in flight this is the *next* window, based on the future
+    /// graph (see [`Pending::next_window`]).
     pending: Pending,
     refreshes: usize,
+    /// `Some` iff the policy asked for background mode.
+    worker: Option<RefitWorker>,
+    /// The window handed to the worker, kept for name resolution (its
+    /// objects stay addressable by commits) and for re-merging on a failed
+    /// re-fit.
+    inflight: Option<Pending>,
+    /// Outcome of the most recent refresh attempt, inline or background —
+    /// what `refresh_status` reports.
+    last_refresh: Option<Result<RefreshOutcome, String>>,
 }
 
 impl RefreshableEngine {
@@ -188,11 +251,15 @@ impl RefreshableEngine {
     pub fn new(snapshot: Snapshot, threads: usize, policy: RefreshPolicy) -> Self {
         let engine = QueryEngine::new(snapshot, threads);
         let pending = Pending::new(engine.graph());
+        let worker = policy.background.then(RefitWorker::new);
         Self {
             engine,
             policy,
             pending,
             refreshes: 0,
+            worker,
+            inflight: None,
+            last_refresh: None,
         }
     }
 
@@ -206,7 +273,9 @@ impl RefreshableEngine {
         &self.policy
     }
 
-    /// Staged objects awaiting the next refresh.
+    /// Staged objects awaiting the next refresh (the current staging
+    /// window; objects of an in-flight re-fit are counted by
+    /// [`Self::in_flight_objects`] instead).
     pub fn pending_objects(&self) -> usize {
         self.pending.delta.n_new_objects()
     }
@@ -219,6 +288,41 @@ impl RefreshableEngine {
     /// Refreshes completed so far.
     pub fn refreshes(&self) -> usize {
         self.refreshes
+    }
+
+    /// Whether a background re-fit is currently running.
+    pub fn refresh_in_flight(&self) -> bool {
+        self.worker.as_ref().is_some_and(RefitWorker::in_flight)
+    }
+
+    /// Objects of the window currently being re-fitted (0 when none).
+    pub fn in_flight_objects(&self) -> usize {
+        self.inflight
+            .as_ref()
+            .map_or(0, |w| w.delta.n_new_objects())
+    }
+
+    /// Links of the window currently being re-fitted (0 when none).
+    pub fn in_flight_links(&self) -> usize {
+        self.inflight.as_ref().map_or(0, |w| w.delta.n_new_links())
+    }
+
+    /// The most recent refresh attempt's outcome (inline or background):
+    /// `Ok` with the bookkeeping, or `Err` with the failure message.
+    pub fn last_refresh(&self) -> Option<&Result<RefreshOutcome, String>> {
+        self.last_refresh.as_ref()
+    }
+
+    /// Test seam — see [`RefitWorker::set_refit_hook`].
+    ///
+    /// # Panics
+    /// Panics when the engine is not in background mode.
+    #[doc(hidden)]
+    pub fn set_background_refit_hook(&mut self, hook: impl Fn() + Send + Sync + 'static) {
+        self.worker
+            .as_mut()
+            .expect("refit hooks require background mode")
+            .set_refit_hook(hook);
     }
 
     /// Stages one new object (programmatic equivalent of a `commit`ed
@@ -252,6 +356,9 @@ impl RefreshableEngine {
         req: &FoldInRequest,
         in_links: &[(genclus_hin::RelationId, genclus_hin::ObjectId, f64)],
     ) -> Result<FoldInResult, ServeError> {
+        // The staged-id space is u32 (the names map and `ObjectId` alike);
+        // checked up front so staging below is all-or-nothing.
+        let staged_index = Self::staged_slot(self.pending.rows.len())?;
         let graph = self.engine.graph();
         if graph.object_by_name(name).is_some() {
             return Err(ServeError::BadRequest(format!(
@@ -263,19 +370,34 @@ impl RefreshableEngine {
                 "object {name:?} is already staged for the next refresh"
             )));
         }
+        if self
+            .inflight
+            .as_ref()
+            .is_some_and(|w| w.names.contains_key(name))
+        {
+            return Err(ServeError::BadRequest(format!(
+                "object {name:?} is already being refreshed into the next snapshot"
+            )));
+        }
         if object_type.index() >= graph.schema().n_object_types() {
             return Err(ServeError::BadRequest(format!(
                 "unknown object type {object_type}"
             )));
         }
         // Endpoint-type checks up front so staging below is all-or-nothing
-        // (`GraphDelta::add_link` would reject mid-way otherwise).
-        let n_known = graph.n_objects() + self.pending.rows.len();
+        // (`GraphDelta::add_link` would reject mid-way otherwise). The
+        // addressable id space is snapshot ∪ in-flight window ∪ current
+        // window, in that id order.
+        let inflight_len = self.inflight.as_ref().map_or(0, |w| w.rows.len());
+        let n_known = graph.n_objects() + inflight_len + self.pending.rows.len();
         let type_of = |v: genclus_hin::ObjectId| {
             if v.index() < graph.n_objects() {
                 graph.object_type(v)
+            } else if v.index() < graph.n_objects() + inflight_len {
+                self.inflight.as_ref().expect("inflight_len > 0").types
+                    [v.index() - graph.n_objects()]
             } else {
-                self.pending.types[v.index() - graph.n_objects()]
+                self.pending.types[v.index() - graph.n_objects() - inflight_len]
             }
         };
         for &(r, _, _) in &req.links {
@@ -318,9 +440,22 @@ impl RefreshableEngine {
         }
         // `assign` validates everything else (targets — snapshot or
         // staged, weights, attribute kinds/vocab, finiteness, purpose
-        // membership) before we mutate.
+        // membership) before we mutate. The staged view covers the
+        // in-flight window too: their rows continue the graph's id space
+        // first, then the current window's.
+        let combined: (Vec<Vec<f64>>, Vec<ObjectTypeId>);
+        let (staged_rows, staged_types): (&[Vec<f64>], &[ObjectTypeId]) = match &self.inflight {
+            Some(w) => {
+                combined = (
+                    [w.rows.as_slice(), self.pending.rows.as_slice()].concat(),
+                    [w.types.as_slice(), self.pending.types.as_slice()].concat(),
+                );
+                (&combined.0, &combined.1)
+            }
+            None => (&self.pending.rows, &self.pending.types),
+        };
         let folded = FoldInEngine::new(self.engine.snapshot().model(), graph)
-            .with_staged(&self.pending.rows, &self.pending.types)
+            .with_staged(staged_rows, staged_types)
             .assign(req)?;
 
         let v = self.pending.delta.add_object(object_type, name);
@@ -352,25 +487,51 @@ impl RefreshableEngine {
                     .expect("values were validated before staging");
             }
         }
-        let staged_index = self.pending.rows.len() as u32;
         self.pending.rows.push(folded.theta.clone());
         self.pending.types.push(object_type);
         self.pending.names.insert(name.to_string(), staged_index);
         Ok(folded)
     }
 
+    /// The staged-object slot for the next commit, as the `u32` the
+    /// staged-id space uses throughout (`ObjectId`, the names map). A
+    /// window can in principle outgrow it on a 64-bit host; the overflow
+    /// must surface as a structured request error, not an `as`-cast
+    /// truncation that silently aliases two staged objects.
+    fn staged_slot(n_staged: usize) -> Result<u32, ServeError> {
+        u32::try_from(n_staged).map_err(|_| {
+            ServeError::BadRequest(format!(
+                "refresh window already holds {n_staged} staged objects — the staged-id \
+                 space is u32; refresh before committing more"
+            ))
+        })
+    }
+
     /// Resolves a commit link name against the snapshot ∪ staged
     /// namespace: served objects win (staged duplicates of served names are
-    /// rejected at commit time anyway), then objects staged in the current
-    /// refresh window, addressed past the snapshot's id range.
+    /// rejected at commit time anyway), then objects of the in-flight
+    /// refresh window (background mode — they will own the ids directly
+    /// past the snapshot once the swap lands), then objects staged in the
+    /// current window, addressed past both.
     fn resolve_committed(&self, name: &str) -> Result<genclus_hin::ObjectId, ServeError> {
         let graph = self.engine.graph();
         if let Some(v) = graph.object_by_name(name) {
             return Ok(v);
         }
+        let inflight_len = match &self.inflight {
+            Some(w) => {
+                if let Some(&i) = w.names.get(name) {
+                    return Ok(genclus_hin::ObjectId::from_index(
+                        graph.n_objects() + i as usize,
+                    ));
+                }
+                w.rows.len()
+            }
+            None => 0,
+        };
         if let Some(&i) = self.pending.names.get(name) {
             return Ok(genclus_hin::ObjectId::from_index(
-                graph.n_objects() + i as usize,
+                graph.n_objects() + inflight_len + i as usize,
             ));
         }
         Err(genclus_hin::HinError::UnknownName(name.to_string()).into())
@@ -383,36 +544,28 @@ impl RefreshableEngine {
             || (p.max_pending_links > 0 && self.pending_links() >= p.max_pending_links)
     }
 
-    /// Applies the pending delta (possibly empty) and warm-refits.
-    ///
-    /// On success the refreshed snapshot replaces the engine's atomically
-    /// (and is persisted first if the policy asks for it); on error the
-    /// engine keeps serving the previous snapshot and the pending delta is
-    /// untouched.
-    pub fn refresh(&mut self) -> Result<RefreshOutcome, ServeError> {
-        let snapshot = self.engine.snapshot();
-        let model = snapshot.model();
-        let objects_added = self.pending.delta.n_new_objects();
-        let links_added = self.pending.delta.n_new_links();
-
-        // Staleness pre-check: the pending delta must have been staged
-        // against exactly this snapshot. `append` would catch the mismatch
-        // too, but only after the graph clone — and this invariant breaking
-        // means a bug in the swap logic, worth its own message.
-        if self.pending.delta.base_objects() != snapshot.graph().n_objects() {
+    /// Staleness pre-check: the pending delta must have been staged
+    /// against exactly this snapshot. `append` would catch the mismatch
+    /// too, but only after the graph clone — and this invariant breaking
+    /// means a bug in the swap logic, worth its own message.
+    fn check_window_freshness(&self) -> Result<(), ServeError> {
+        let n = self.engine.graph().n_objects();
+        if self.pending.delta.base_objects() != n {
             return Err(ServeError::Refresh(format!(
                 "pending delta was staged against a {}-object snapshot but the engine serves {}",
                 self.pending.delta.base_objects(),
-                snapshot.graph().n_objects()
+                n
             )));
         }
+        Ok(())
+    }
 
-        // Old-source links land in the graph's overflow segments; the warm
-        // re-fit below runs on the segmented graph directly (the EM kernels
-        // traverse base + overflow bit-identically to a compacted CSR).
-        let mut graph = snapshot.graph().clone();
-        graph.append(self.pending.delta.clone())?;
-
+    /// Packages the current window + served snapshot into the owned input
+    /// [`run_refit`] consumes — the warm seed (`Θ` extended with the
+    /// staged fold-in rows), the resolved config, and cloned graph/delta.
+    fn build_refit_input(&self) -> RefitInput {
+        let snapshot = self.engine.snapshot();
+        let model = snapshot.model();
         // Θ over the grown network: served rows for old objects, the
         // staged fold-in rows for new ones — the warm seed.
         let mut rows: Vec<Vec<f64>> = (0..model.theta.n_objects())
@@ -426,7 +579,6 @@ impl RefreshableEngine {
             attributes: model.attributes.clone(),
             theta_smoothing: model.theta_smoothing,
         };
-
         let mut cfg = self
             .policy
             .base_config
@@ -438,43 +590,152 @@ impl RefreshableEngine {
         cfg.em_tol = self.policy.em_tol;
         cfg.gamma_tol = self.policy.gamma_tol;
         cfg.threads = self.engine.threads();
-        let refit = |e: genclus_core::GenClusError| ServeError::Refresh(e.to_string());
-        let fit = GenClus::new(cfg)
-            .map_err(refit)?
-            .fit_warm(&graph, &warm)
-            .map_err(refit)?;
-
-        // Compaction trigger: fold the overflow back into a canonical CSR
-        // before the snapshot is cut (the codec would canonicalize on the
-        // fly anyway; compacting here also hands the swapped-in engine a
-        // branch-free base CSR).
-        graph.compact();
-        let bytes = to_bytes(&graph, &fit.model);
-        let persisted = if let Some(path) = &self.policy.persist_path {
-            save_bytes(path, &bytes)?;
-            true
-        } else {
-            false
-        };
-        let snap = Snapshot::from_bytes(&bytes)?;
-        let outcome = RefreshOutcome {
-            objects_added,
-            links_added,
-            outer_iterations: fit.history.n_iterations(),
-            em_iterations: fit.history.total_em_iterations(),
-            n_objects: snap.graph().n_objects(),
-            n_links: snap.graph().n_links(),
-            persisted,
-        };
-        // The swap: everything after this point sees the new model.
-        self.engine = QueryEngine::new(snap, self.engine.threads());
-        self.pending = Pending::new(self.engine.graph());
-        self.refreshes += 1;
-        Ok(outcome)
+        RefitInput {
+            graph: snapshot.graph().clone(),
+            delta: self.pending.delta.clone(),
+            warm,
+            cfg,
+            persist_path: self.policy.persist_path.clone(),
+            threads: self.engine.threads(),
+        }
     }
 
-    /// One request line → one response line, commit/refresh aware.
+    /// Applies the pending delta (possibly empty) and warm-refits,
+    /// **inline** — the caller blocks for the full re-fit. This is the
+    /// only refresh path of an inline-mode engine, and remains available
+    /// in background mode as an explicit blocking fallback (erroring when
+    /// a background re-fit is already in flight, since two re-fits of one
+    /// base snapshot cannot both land).
+    ///
+    /// On success the refreshed snapshot replaces the engine's atomically
+    /// (and is persisted first if the policy asks for it); on error the
+    /// engine keeps serving the previous snapshot and the pending delta is
+    /// untouched.
+    pub fn refresh(&mut self) -> Result<RefreshOutcome, ServeError> {
+        let result = self.refresh_inner();
+        self.last_refresh = Some(match &result {
+            Ok(outcome) => Ok(outcome.clone()),
+            Err(e) => Err(e.to_string()),
+        });
+        result
+    }
+
+    fn refresh_inner(&mut self) -> Result<RefreshOutcome, ServeError> {
+        if self.refresh_in_flight() {
+            return Err(ServeError::Refresh(
+                "a background re-fit is already in flight; wait for it via refresh_status".into(),
+            ));
+        }
+        self.check_window_freshness()?;
+        let output = run_refit(self.build_refit_input())?;
+        // The swap: everything after this point sees the new model.
+        self.engine = output.engine;
+        self.pending = Pending::new(self.engine.graph());
+        self.refreshes += 1;
+        Ok(output.outcome)
+    }
+
+    /// Hands the current window to the background worker and opens the
+    /// next one; reads keep answering from the old engine until the swap.
+    /// `Ok(false)` when a re-fit is already in flight (the window simply
+    /// keeps accumulating — the completion path re-checks the policy).
+    ///
+    /// # Errors
+    /// [`ServeError::Refresh`] when the engine is not in background mode
+    /// or the window fails the staleness check; nothing is staged or lost
+    /// in either case.
+    pub fn start_background_refresh(&mut self) -> Result<bool, ServeError> {
+        if self.worker.is_none() {
+            return Err(ServeError::Refresh(
+                "engine is not in background mode (RefreshPolicy::background)".into(),
+            ));
+        }
+        if self.refresh_in_flight() {
+            return Ok(false);
+        }
+        self.check_window_freshness()?;
+        let input = self.build_refit_input();
+        let next = Pending::next_window(self.engine.graph(), &self.pending)?;
+        let window = std::mem::replace(&mut self.pending, next);
+        self.inflight = Some(window);
+        self.worker.as_mut().expect("checked above").start(input);
+        Ok(true)
+    }
+
+    /// Non-blocking completion check; called at the top of every
+    /// `handle_line`/`handle_batch`, so the swap happens between requests,
+    /// never under one.
+    fn poll_background(&mut self) {
+        if let Some(result) = self.worker.as_mut().and_then(RefitWorker::poll) {
+            self.complete_background(result);
+        }
+    }
+
+    /// Blocks until any in-flight background re-fit lands (swapping it in,
+    /// or restoring the window on failure). A chained re-fit started by
+    /// the completion path is waited out too. No-op in inline mode.
+    pub fn finish(&mut self) {
+        while let Some(result) = self.worker.as_mut().and_then(RefitWorker::join) {
+            self.complete_background(result);
+        }
+    }
+
+    /// Lands one finished background re-fit: swap on success (re-checking
+    /// the policy against the next window), merge the windows back
+    /// together on failure.
+    fn complete_background(&mut self, result: Result<RefitOutput, ServeError>) {
+        let window = self
+            .inflight
+            .take()
+            .expect("a completed re-fit implies an in-flight window");
+        match result {
+            Ok(output) => {
+                self.engine = output.engine;
+                debug_assert_eq!(
+                    self.pending.delta.base_objects(),
+                    self.engine.graph().n_objects(),
+                    "the next window was staged against exactly this graph"
+                );
+                self.refreshes += 1;
+                self.last_refresh = Some(Ok(output.outcome));
+                // The next window may have crossed the thresholds while
+                // the re-fit ran; chain immediately rather than waiting
+                // for the next commit. A chained-*start* failure must not
+                // overwrite the landed refresh's outcome — the swap DID
+                // succeed, and `refresh_status` must say so; the un-started
+                // window stays pending, so the failure resurfaces on the
+                // next trigger or explicit refresh.
+                if self.due_for_refresh() {
+                    let _ = self.start_background_refresh();
+                }
+            }
+            Err(e) => {
+                // Old snapshot keeps serving. Re-merge the in-flight
+                // window with the next one so the staged delta survives
+                // intact for a retry (ids line up by construction — the
+                // next window was staged on the future base).
+                let next = std::mem::replace(&mut self.pending, window);
+                let offset = u32::try_from(self.pending.rows.len())
+                    .expect("window sizes passed staged_slot at commit time");
+                self.pending
+                    .delta
+                    .stack(next.delta)
+                    .expect("the next window was staged directly on top");
+                self.pending.rows.extend(next.rows);
+                self.pending.types.extend(next.types);
+                for (name, i) in next.names {
+                    self.pending.names.insert(name, offset + i);
+                }
+                self.last_refresh = Some(Err(e.to_string()));
+            }
+        }
+    }
+
+    /// One request line → one response line, commit/refresh aware. In
+    /// background mode a finished re-fit is swapped in first, so the
+    /// response is produced under exactly one snapshot.
     pub fn handle_line(&mut self, line: &str) -> String {
+        self.poll_background();
         match Self::parse_mutation(line) {
             Some(req) => self.respond_mutation(&req),
             None => self.engine.handle_line(line),
@@ -485,6 +746,7 @@ impl RefreshableEngine {
     /// inner engine's parallel batch path; mutations are applied at their
     /// position in the stream.
     pub fn handle_batch(&mut self, lines: &[String]) -> Vec<String> {
+        self.poll_background();
         let mut out = Vec::with_capacity(lines.len());
         let mut run_start = 0usize;
         for (i, line) in lines.iter().enumerate() {
@@ -520,7 +782,7 @@ impl RefreshableEngine {
         }
         let req = Json::parse(line).ok()?;
         match req.get("op").and_then(Json::as_str) {
-            Some("refresh") => Some(req),
+            Some("refresh") | Some("refresh_status") => Some(req),
             Some("fold_in") if req.get("commit").is_some() => Some(req),
             _ => None,
         }
@@ -530,6 +792,7 @@ impl RefreshableEngine {
     fn respond_mutation(&mut self, req: &Json) -> String {
         let result = match req.get("op").and_then(Json::as_str) {
             Some("refresh") => self.op_refresh(),
+            Some("refresh_status") => self.op_refresh_status(req),
             _ => self.op_commit(req),
         };
         let mut fields: Vec<(&str, Json)> = Vec::with_capacity(4);
@@ -549,24 +812,83 @@ impl RefreshableEngine {
         Json::obj(fields).render()
     }
 
+    fn outcome_pairs(outcome: &RefreshOutcome) -> Vec<(&'static str, Json)> {
+        vec![
+            ("objects_added", Json::Num(outcome.objects_added as f64)),
+            ("links_added", Json::Num(outcome.links_added as f64)),
+            (
+                "outer_iterations",
+                Json::Num(outcome.outer_iterations as f64),
+            ),
+            ("em_iterations", Json::Num(outcome.em_iterations as f64)),
+            ("n_objects", Json::Num(outcome.n_objects as f64)),
+            ("n_links", Json::Num(outcome.n_links as f64)),
+            ("persisted", Json::Bool(outcome.persisted)),
+        ]
+    }
+
     fn outcome_fields(&self, outcome: &RefreshOutcome, fields: &mut Vec<(&'static str, Json)>) {
-        fields.push(("objects_added", Json::Num(outcome.objects_added as f64)));
-        fields.push(("links_added", Json::Num(outcome.links_added as f64)));
-        fields.push((
-            "outer_iterations",
-            Json::Num(outcome.outer_iterations as f64),
-        ));
-        fields.push(("em_iterations", Json::Num(outcome.em_iterations as f64)));
-        fields.push(("n_objects", Json::Num(outcome.n_objects as f64)));
-        fields.push(("n_links", Json::Num(outcome.n_links as f64)));
-        fields.push(("persisted", Json::Bool(outcome.persisted)));
+        fields.extend(Self::outcome_pairs(outcome));
         fields.push(("refreshes", Json::Num(self.refreshes as f64)));
     }
 
     fn op_refresh(&mut self) -> Result<Vec<(&'static str, Json)>, ServeError> {
+        if self.worker.is_some() {
+            // Background mode: kick the re-fit off and return immediately
+            // — the outcome arrives via `refresh_status` once it lands.
+            // `started:false` means one was already in flight.
+            let started = self.start_background_refresh()?;
+            return Ok(vec![
+                ("refreshed", Json::Bool(false)),
+                ("started", Json::Bool(started)),
+                ("in_flight", Json::Bool(true)),
+                ("refreshes", Json::Num(self.refreshes as f64)),
+                ("pending_objects", Json::Num(self.pending_objects() as f64)),
+                ("pending_links", Json::Num(self.pending_links() as f64)),
+            ]);
+        }
         let outcome = self.refresh()?;
         let mut fields = vec![("refreshed", Json::Bool(true))];
         self.outcome_fields(&outcome, &mut fields);
+        Ok(fields)
+    }
+
+    fn op_refresh_status(&mut self, req: &Json) -> Result<Vec<(&'static str, Json)>, ServeError> {
+        let wait = match req.get("wait") {
+            None => false,
+            Some(j) => j
+                .as_bool()
+                .ok_or_else(|| ServeError::BadRequest("\"wait\" must be a boolean".into()))?,
+        };
+        if wait {
+            self.finish();
+        }
+        let mut fields = vec![
+            (
+                "mode",
+                Json::str(if self.worker.is_some() {
+                    "background"
+                } else {
+                    "inline"
+                }),
+            ),
+            ("in_flight", Json::Bool(self.refresh_in_flight())),
+            ("refreshes", Json::Num(self.refreshes as f64)),
+            ("pending_objects", Json::Num(self.pending_objects() as f64)),
+            ("pending_links", Json::Num(self.pending_links() as f64)),
+            (
+                "in_flight_objects",
+                Json::Num(self.in_flight_objects() as f64),
+            ),
+            ("in_flight_links", Json::Num(self.in_flight_links() as f64)),
+        ];
+        match &self.last_refresh {
+            Some(Ok(outcome)) => {
+                fields.push(("last_outcome", Json::obj(Self::outcome_pairs(outcome))))
+            }
+            Some(Err(e)) => fields.push(("last_error", Json::str(e.clone()))),
+            None => {}
+        }
         Ok(fields)
     }
 
@@ -684,21 +1006,47 @@ impl RefreshableEngine {
             fields.push(("results", core.ranked_json(&ranked)));
         }
         if self.due_for_refresh() {
-            // The commit itself already succeeded and is staged — a refresh
-            // failure (e.g. an unwritable persist path) must not turn this
-            // response into an error, or the client would retry a commit
-            // that cannot be repeated ("already staged"). Report it
-            // alongside the commit result; the engine keeps serving the
-            // previous snapshot and the staged delta stays intact for the
-            // next trigger or an explicit refresh.
-            match self.refresh() {
-                Ok(outcome) => {
-                    fields.push(("refreshed", Json::Bool(true)));
-                    self.outcome_fields(&outcome, &mut fields);
+            // Exactly-one-fire semantics: `due_for_refresh` is a single
+            // predicate over both thresholds, and acting on it drains the
+            // window (inline swap, or hand-off to the worker) — so a
+            // commit crossing the object AND link thresholds at once still
+            // triggers one refresh, never one per threshold.
+            if self.worker.is_some() {
+                if self.refresh_in_flight() {
+                    // The previous window is still re-fitting; this one
+                    // keeps accumulating and the completion path re-checks
+                    // the thresholds.
+                    fields.push(("refresh_in_flight", Json::Bool(true)));
+                } else {
+                    // Hand the window to the worker and keep serving. Like
+                    // the inline path below, a failure to *start* must not
+                    // fail the commit (it is staged and unrepeatable).
+                    match self.start_background_refresh() {
+                        Ok(_started) => fields.push(("refresh_started", Json::Bool(true))),
+                        Err(e) => {
+                            fields.push(("refresh_started", Json::Bool(false)));
+                            fields.push(("refresh_error", Json::str(e.to_string())));
+                        }
+                    }
                 }
-                Err(e) => {
-                    fields.push(("refreshed", Json::Bool(false)));
-                    fields.push(("refresh_error", Json::str(e.to_string())));
+            } else {
+                // The commit itself already succeeded and is staged — a
+                // refresh failure (e.g. an unwritable persist path) must
+                // not turn this response into an error, or the client
+                // would retry a commit that cannot be repeated ("already
+                // staged"). Report it alongside the commit result; the
+                // engine keeps serving the previous snapshot and the
+                // staged delta stays intact for the next trigger or an
+                // explicit refresh.
+                match self.refresh() {
+                    Ok(outcome) => {
+                        fields.push(("refreshed", Json::Bool(true)));
+                        self.outcome_fields(&outcome, &mut fields);
+                    }
+                    Err(e) => {
+                        fields.push(("refreshed", Json::Bool(false)));
+                        fields.push(("refresh_error", Json::str(e.to_string())));
+                    }
                 }
             }
         }
@@ -713,7 +1061,8 @@ impl RefreshableEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use genclus_core::GenClusConfig;
+    use crate::snapshot::to_bytes;
+    use genclus_core::{GenClus, GenClusConfig};
     use genclus_hin::{HinBuilder, Schema};
 
     /// The engine.rs fixture: two planted sensor clusters, readings on the
@@ -1057,5 +1406,318 @@ mod tests {
         assert_eq!(reloaded.graph().n_objects(), 7);
         assert_eq!(reloaded.raw_bytes(), e.engine().snapshot().raw_bytes());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn staged_slot_overflow_is_a_structured_bad_request() {
+        // The staged-id space is u32; a window that somehow outgrew it must
+        // surface a structured error, not an `as`-cast truncation that
+        // aliases two staged objects. (Pinned on the helper — 4 billion
+        // real commits would take a while.)
+        assert_eq!(RefreshableEngine::staged_slot(0).unwrap(), 0);
+        assert_eq!(
+            RefreshableEngine::staged_slot(u32::MAX as usize).unwrap(),
+            u32::MAX
+        );
+        let err = RefreshableEngine::staged_slot(u32::MAX as usize + 1).unwrap_err();
+        match &err {
+            ServeError::BadRequest(msg) => {
+                assert!(msg.contains("staged-id space is u32"), "{msg}");
+                assert!(msg.contains("4294967296"), "counts the window: {msg}");
+            }
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+        assert!(err.to_string().starts_with("bad request:"), "{err}");
+    }
+
+    #[test]
+    fn crossing_both_thresholds_fires_exactly_one_refresh() {
+        // Regression (wire path): one batch whose commits cross the object
+        // AND link thresholds — at the same commit, even — must trigger
+        // exactly one refresh, not one per threshold.
+        let policy = RefreshPolicy {
+            max_pending_objects: 2,
+            max_pending_links: 3,
+            ..RefreshPolicy::default()
+        };
+        let mut e = RefreshableEngine::new(snapshot(), 1, policy);
+        let lines: Vec<String> = vec![
+            r#"{"id":0,"op":"fold_in","links":[["nn","s0",1.0]],"commit":"d0"}"#.into(),
+            // Second commit crosses objects (2 ≥ 2) and links (3 ≥ 3) at once.
+            r#"{"id":1,"op":"fold_in","links":[["nn","s1",1.0],["nn","s2",1.0]],"commit":"d1"}"#
+                .into(),
+            r#"{"id":2,"op":"membership","object":"d1"}"#.into(),
+        ];
+        let responses = e.handle_batch(&lines);
+        let fired: usize = responses
+            .iter()
+            .filter(|r| r.contains("\"refreshed\":true"))
+            .count();
+        assert_eq!(fired, 1, "exactly one refresh: {responses:?}");
+        assert_eq!(e.refreshes(), 1);
+        assert_eq!(e.pending_objects(), 0);
+        assert!(responses[2].contains("\"ok\":true"), "{}", responses[2]);
+    }
+
+    #[test]
+    fn crossing_both_thresholds_starts_exactly_one_background_refit() {
+        let policy = RefreshPolicy {
+            max_pending_objects: 2,
+            max_pending_links: 3,
+            background: true,
+            ..RefreshPolicy::default()
+        };
+        let mut e = RefreshableEngine::new(snapshot(), 1, policy);
+        let lines: Vec<String> = vec![
+            r#"{"id":0,"op":"fold_in","links":[["nn","s0",1.0]],"commit":"d0"}"#.into(),
+            r#"{"id":1,"op":"fold_in","links":[["nn","s1",1.0],["nn","s2",1.0]],"commit":"d1"}"#
+                .into(),
+        ];
+        let responses = e.handle_batch(&lines);
+        let started: usize = responses
+            .iter()
+            .filter(|r| r.contains("\"refresh_started\":true"))
+            .count();
+        assert_eq!(started, 1, "exactly one start: {responses:?}");
+        e.finish();
+        assert_eq!(e.refreshes(), 1, "exactly one refresh landed");
+        assert_eq!(e.pending_objects(), 0);
+        ok(&e.handle_line(r#"{"op":"membership","object":"d0"}"#));
+        ok(&e.handle_line(r#"{"op":"membership","object":"d1"}"#));
+    }
+
+    #[test]
+    fn background_refresh_serves_old_snapshot_until_the_swap() {
+        let policy = RefreshPolicy {
+            max_pending_objects: 1,
+            background: true,
+            ..RefreshPolicy::default()
+        };
+        let mut e = RefreshableEngine::new(snapshot(), 1, policy);
+        // Gate the re-fit so "in flight" is a deterministic state, not a
+        // race against a fast fit.
+        let gate = std::sync::Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+        let in_job = gate.clone();
+        e.set_background_refit_hook(move || {
+            let (lock, cvar) = &*in_job;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cvar.wait(open).unwrap();
+            }
+        });
+        let old_checksum = ok(&e.handle_line(r#"{"op":"stats"}"#))
+            .get("checksum")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+
+        let v = ok(&e.handle_line(r#"{"op":"fold_in","links":[["nn","s3",1.0]],"commit":"b0"}"#));
+        assert_eq!(v.get("refresh_started"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("pending_objects").unwrap().as_usize(), Some(0));
+        assert!(e.refresh_in_flight());
+        assert_eq!(e.in_flight_objects(), 1);
+
+        // Reads during the (gated) re-fit all answer from the old snapshot.
+        for _ in 0..5 {
+            let s = ok(&e.handle_line(r#"{"op":"stats"}"#));
+            assert_eq!(s.get("checksum").unwrap().as_str(), Some(&*old_checksum));
+            assert_eq!(s.get("n_objects").unwrap().as_usize(), Some(6));
+        }
+        let status = ok(&e.handle_line(r#"{"op":"refresh_status"}"#));
+        assert_eq!(status.get("mode").unwrap().as_str(), Some("background"));
+        assert_eq!(status.get("in_flight"), Some(&Json::Bool(true)));
+        assert_eq!(status.get("in_flight_objects").unwrap().as_usize(), Some(1));
+        // The staged object is not served yet.
+        let miss = e.handle_line(r#"{"op":"membership","object":"b0"}"#);
+        assert!(miss.contains("\"ok\":false"), "{miss}");
+
+        // An explicit refresh op while one is in flight does not start a
+        // second, and an inline fallback refresh refuses outright.
+        let r = ok(&e.handle_line(r#"{"op":"refresh"}"#));
+        assert_eq!(r.get("started"), Some(&Json::Bool(false)));
+        assert_eq!(r.get("in_flight"), Some(&Json::Bool(true)));
+        let err = e.refresh().unwrap_err();
+        assert!(err.to_string().contains("in flight"), "{err}");
+
+        // Release the gate; wait lands and swaps the new snapshot in.
+        {
+            let (lock, cvar) = &*gate;
+            *lock.lock().unwrap() = true;
+            cvar.notify_all();
+        }
+        let status = ok(&e.handle_line(r#"{"op":"refresh_status","wait":true}"#));
+        assert_eq!(status.get("in_flight"), Some(&Json::Bool(false)));
+        let outcome = status.get("last_outcome").unwrap();
+        assert_eq!(outcome.get("objects_added").unwrap().as_usize(), Some(1));
+        assert_eq!(outcome.get("n_objects").unwrap().as_usize(), Some(7));
+        let s = ok(&e.handle_line(r#"{"op":"stats"}"#));
+        assert_ne!(s.get("checksum").unwrap().as_str(), Some(&*old_checksum));
+        assert_eq!(e.refreshes(), 1);
+        ok(&e.handle_line(r#"{"op":"membership","object":"b0"}"#));
+    }
+
+    #[test]
+    fn commits_mid_flight_stage_into_the_next_window_and_may_cite_inflight_objects() {
+        let policy = RefreshPolicy {
+            background: true,
+            ..RefreshPolicy::default()
+        };
+        let mut e = RefreshableEngine::new(snapshot(), 1, policy);
+        let gate = std::sync::Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+        let in_job = gate.clone();
+        e.set_background_refit_hook(move || {
+            let (lock, cvar) = &*in_job;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cvar.wait(open).unwrap();
+            }
+        });
+        ok(&e.handle_line(r#"{"op":"fold_in","links":[["nn","s3",1.0]],"commit":"w0"}"#));
+        let r = ok(&e.handle_line(r#"{"op":"refresh"}"#));
+        assert_eq!(r.get("started"), Some(&Json::Bool(true)));
+
+        // Mid-flight commit: stages into the NEXT window, may link to the
+        // in-flight w0 by name (its staged Θ row backs the fold-in), and
+        // duplicating an in-flight name is rejected.
+        let v = ok(&e.handle_line(
+            r#"{"op":"fold_in","links":[["nn","w0",1.0]],"in_links":[["nn","s4",1.0]],"commit":"w1"}"#,
+        ));
+        assert_eq!(v.get("committed").unwrap().as_str(), Some("w1"));
+        assert_eq!(e.pending_objects(), 1);
+        assert_eq!(e.pending_links(), 2);
+        assert_eq!(e.in_flight_objects(), 1);
+        let dup = e.handle_line(r#"{"op":"fold_in","links":[["nn","s3",1.0]],"commit":"w0"}"#);
+        assert!(dup.contains("already being refreshed"), "{dup}");
+
+        {
+            let (lock, cvar) = &*gate;
+            *lock.lock().unwrap() = true;
+            cvar.notify_all();
+        }
+        let status = ok(&e.handle_line(r#"{"op":"refresh_status","wait":true}"#));
+        assert_eq!(status.get("refreshes").unwrap().as_usize(), Some(1));
+        // w0 is served; w1 still pending, staged against the NEW snapshot.
+        ok(&e.handle_line(r#"{"op":"membership","object":"w0"}"#));
+        assert_eq!(e.pending_objects(), 1);
+        let r = ok(&e.handle_line(r#"{"op":"refresh"}"#));
+        assert_eq!(r.get("started"), Some(&Json::Bool(true)));
+        ok(&e.handle_line(r#"{"op":"refresh_status","wait":true}"#));
+        assert_eq!(e.refreshes(), 2);
+        let m1 = ok(&e.handle_line(r#"{"op":"membership","object":"w1"}"#));
+        let m3 = ok(&e.handle_line(r#"{"op":"membership","object":"s3"}"#));
+        assert_eq!(m1.get("cluster"), m3.get("cluster"));
+        // The old→new in_link landed: s4 gained an out-link to w1.
+        let g = e.engine().graph();
+        let s4 = g.object_by_name("s4").unwrap();
+        assert_eq!(g.out_links(s4).count(), 3);
+    }
+
+    #[test]
+    fn failed_background_refit_restores_both_windows_for_retry() {
+        let dir = std::env::temp_dir().join("genclus-serve-bg-fail-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let policy = RefreshPolicy {
+            max_pending_objects: 1,
+            // Unwritable persist target (parent of a file): the re-fit
+            // itself succeeds, persistence fails → the job errors.
+            persist_path: Some(PathBuf::from("/dev/null/refreshed.gcsnap")),
+            background: true,
+            ..RefreshPolicy::default()
+        };
+        let mut e = RefreshableEngine::new(snapshot(), 1, policy);
+        let gate = std::sync::Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+        let in_job = gate.clone();
+        e.set_background_refit_hook(move || {
+            let (lock, cvar) = &*in_job;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cvar.wait(open).unwrap();
+            }
+        });
+        let v = ok(&e.handle_line(r#"{"op":"fold_in","links":[["nn","s3",1.0]],"commit":"f0"}"#));
+        assert_eq!(v.get("refresh_started"), Some(&Json::Bool(true)));
+        // A second commit lands in the next window while f0 is in flight.
+        ok(&e.handle_line(r#"{"op":"fold_in","links":[["nn","f0",1.0]],"commit":"f1"}"#));
+        {
+            let (lock, cvar) = &*gate;
+            *lock.lock().unwrap() = true;
+            cvar.notify_all();
+        }
+        let status = ok(&e.handle_line(r#"{"op":"refresh_status","wait":true}"#));
+        assert_eq!(status.get("in_flight"), Some(&Json::Bool(false)));
+        let err = status.get("last_error").unwrap().as_str().unwrap();
+        assert!(err.contains("I/O") || err.contains("refresh"), "{err}");
+        // Nothing lost: old snapshot serves, both windows merged back.
+        assert_eq!(e.refreshes(), 0);
+        assert_eq!(e.pending_objects(), 2, "f0 and f1 both staged again");
+        assert_eq!(e.pending_links(), 2);
+        ok(&e.handle_line(r#"{"op":"membership","object":"s0"}"#));
+        // Fix the policy; the merged window refreshes in one go.
+        e.policy.persist_path = None;
+        let r = ok(&e.handle_line(r#"{"op":"refresh"}"#));
+        assert_eq!(r.get("started"), Some(&Json::Bool(true)));
+        let status = ok(&e.handle_line(r#"{"op":"refresh_status","wait":true}"#));
+        let outcome = status.get("last_outcome").unwrap();
+        assert_eq!(outcome.get("objects_added").unwrap().as_usize(), Some(2));
+        for name in ["f0", "f1"] {
+            ok(&e.handle_line(&format!(r#"{{"op":"membership","object":"{name}"}}"#)));
+        }
+    }
+
+    #[test]
+    fn chained_refresh_fires_when_the_next_window_crossed_thresholds_mid_flight() {
+        let policy = RefreshPolicy {
+            max_pending_objects: 1,
+            background: true,
+            ..RefreshPolicy::default()
+        };
+        let mut e = RefreshableEngine::new(snapshot(), 1, policy);
+        let gate = std::sync::Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+        let in_job = gate.clone();
+        e.set_background_refit_hook(move || {
+            let (lock, cvar) = &*in_job;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cvar.wait(open).unwrap();
+            }
+        });
+        let v = ok(&e.handle_line(r#"{"op":"fold_in","links":[["nn","s3",1.0]],"commit":"c0"}"#));
+        assert_eq!(v.get("refresh_started"), Some(&Json::Bool(true)));
+        // The next window crosses the threshold while c0 is in flight; the
+        // response flags the in-flight re-fit instead of starting another.
+        let v = ok(&e.handle_line(r#"{"op":"fold_in","links":[["nn","s4",1.0]],"commit":"c1"}"#));
+        assert_eq!(v.get("refresh_in_flight"), Some(&Json::Bool(true)));
+        assert!(v.get("refresh_started").is_none());
+        {
+            let (lock, cvar) = &*gate;
+            *lock.lock().unwrap() = true;
+            cvar.notify_all();
+        }
+        // finish() drains the chained re-fit too: both windows land.
+        e.finish();
+        assert_eq!(e.refreshes(), 2, "completion chains the due window");
+        assert_eq!(e.pending_objects(), 0);
+        ok(&e.handle_line(r#"{"op":"membership","object":"c0"}"#));
+        ok(&e.handle_line(r#"{"op":"membership","object":"c1"}"#));
+    }
+
+    #[test]
+    fn refresh_status_in_inline_mode_reports_last_outcome() {
+        let mut e = RefreshableEngine::new(snapshot(), 1, RefreshPolicy::default());
+        let s = ok(&e.handle_line(r#"{"op":"refresh_status"}"#));
+        assert_eq!(s.get("mode").unwrap().as_str(), Some("inline"));
+        assert_eq!(s.get("in_flight"), Some(&Json::Bool(false)));
+        assert!(s.get("last_outcome").is_none());
+        assert!(s.get("last_error").is_none());
+        ok(&e.handle_line(r#"{"op":"fold_in","links":[["nn","s3",1.0]],"commit":"i0"}"#));
+        ok(&e.handle_line(r#"{"op":"refresh"}"#));
+        let s = ok(&e.handle_line(r#"{"op":"refresh_status"}"#));
+        let outcome = s.get("last_outcome").unwrap();
+        assert_eq!(outcome.get("objects_added").unwrap().as_usize(), Some(1));
+        assert_eq!(s.get("refreshes").unwrap().as_usize(), Some(1));
+        // Bad `wait` values are structured errors in both modes.
+        let bad = e.handle_line(r#"{"op":"refresh_status","wait":1}"#);
+        assert!(bad.contains("must be a boolean"), "{bad}");
     }
 }

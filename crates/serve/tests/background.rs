@@ -1,0 +1,169 @@
+//! Wire-level properties of the background (double-buffered) refresh:
+//!
+//! * a query stream interleaved with an in-flight re-fit always answers
+//!   from a **consistent** snapshot — the checksum echoed by `stats` stays
+//!   the old one until the swap and the new one after, with no
+//!   interleaving and no third value ever observed;
+//! * the full scripted client flow works end-to-end: commit past the
+//!   policy threshold → `refresh_started`, poll `refresh_status`, quiesce
+//!   with `"wait":true`, and the post-swap snapshot serves the arrivals
+//!   in `membership`/`top_k`.
+
+use genclus_core::{GenClus, GenClusConfig};
+use genclus_hin::prelude::*;
+use genclus_serve::prelude::*;
+
+/// A planted two-ring sensor network, sized so a forced-deep re-fit takes
+/// measurable wall time (the ungated consistency test wants the refresh
+/// window to actually overlap queries).
+fn snapshot(n_per_ring: usize) -> Snapshot {
+    let mut s = Schema::new();
+    let sensor = s.add_object_type("sensor");
+    let nn = s.add_relation("nn", sensor, sensor);
+    let reading = s.add_numerical_attribute("reading");
+    let mut b = HinBuilder::new(s);
+    let vs: Vec<_> = (0..2 * n_per_ring)
+        .map(|i| b.add_object(sensor, format!("s{i}")))
+        .collect();
+    for ring in 0..2 {
+        let base = ring * n_per_ring;
+        for i in 0..n_per_ring {
+            let j = (i + 1) % n_per_ring;
+            b.add_link(vs[base + i], vs[base + j], nn, 1.0).unwrap();
+            b.add_link(vs[base + j], vs[base + i], nn, 1.0).unwrap();
+            let k = (i + 2) % n_per_ring;
+            b.add_link(vs[base + i], vs[base + k], nn, 0.5).unwrap();
+        }
+        let mu = if ring == 0 { -5.0 } else { 5.0 };
+        for i in 0..n_per_ring / 2 {
+            b.add_numeric(vs[base + i], reading, mu + 0.1 * i as f64)
+                .unwrap();
+        }
+    }
+    let graph = b.build().unwrap();
+    let cfg = GenClusConfig::new(2, vec![reading]).with_seed(7);
+    let fit = GenClus::new(cfg).unwrap().fit(&graph).unwrap();
+    Snapshot::from_bytes(&genclus_serve::snapshot::to_bytes(&graph, &fit.model)).unwrap()
+}
+
+fn ok(response: &str) -> Json {
+    let v = Json::parse(response).unwrap();
+    assert_eq!(
+        v.get("ok"),
+        Some(&Json::Bool(true)),
+        "expected success, got {response}"
+    );
+    v
+}
+
+fn checksum(engine: &mut RefreshableEngine) -> String {
+    ok(&engine.handle_line(r#"{"op":"stats"}"#))
+        .get("checksum")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string()
+}
+
+#[test]
+fn concurrent_reads_see_old_snapshot_until_swap_then_new() {
+    // Force a deep, fixed-length re-fit so the background window has real
+    // width; the serving thread races it with a read stream.
+    let policy = RefreshPolicy {
+        outer_iters: 3,
+        em_iters: 200,
+        em_tol: 0.0,
+        gamma_tol: 0.0,
+        background: true,
+        ..RefreshPolicy::default()
+    };
+    let mut e = RefreshableEngine::new(snapshot(40), 1, policy);
+    let old = checksum(&mut e);
+    for i in 0..4 {
+        ok(&e.handle_line(&format!(
+            r#"{{"op":"fold_in","links":[["nn","s0",1.0],["nn","s1",1.0]],"commit":"n{i}"}}"#
+        )));
+    }
+    let r = ok(&e.handle_line(r#"{"op":"refresh"}"#));
+    assert_eq!(r.get("started"), Some(&Json::Bool(true)));
+
+    // Interleave reads with the in-flight re-fit until the swap is
+    // observed (bounded; the re-fit is finite).
+    let mut observed: Vec<String> = Vec::new();
+    let mut membership_during_flight = 0usize;
+    for _ in 0..200_000 {
+        observed.push(checksum(&mut e));
+        if observed.last().unwrap() == &old {
+            // Old-snapshot reads really answer (not just stats).
+            if membership_during_flight < 3 {
+                ok(&e.handle_line(r#"{"op":"membership","object":"s0"}"#));
+                membership_during_flight += 1;
+            }
+        } else {
+            break;
+        }
+    }
+    let new = observed.last().unwrap().clone();
+    assert_ne!(new, old, "the swap must eventually be observed");
+    // Consistency: old* then new — monotone, exactly two values, one switch.
+    let switch = observed.iter().position(|c| *c != old).unwrap();
+    assert!(observed[..switch].iter().all(|c| *c == old));
+    assert!(observed[switch..].iter().all(|c| *c == new));
+    // Post-swap state serves everything.
+    assert_eq!(e.refreshes(), 1);
+    let s = ok(&e.handle_line(r#"{"op":"stats"}"#));
+    assert_eq!(s.get("n_objects").unwrap().as_usize(), Some(84));
+    for i in 0..4 {
+        ok(&e.handle_line(&format!(r#"{{"op":"membership","object":"n{i}"}}"#)));
+    }
+}
+
+#[test]
+fn scripted_flow_commit_poll_wait_query() {
+    let policy = RefreshPolicy {
+        max_pending_objects: 2,
+        background: true,
+        ..RefreshPolicy::default()
+    };
+    let mut e = RefreshableEngine::new(snapshot(8), 2, policy);
+    let lines: Vec<String> = vec![
+        r#"{"id":1,"op":"fold_in","links":[["nn","s0",1.0]],"commit":"BG0"}"#.into(),
+        r#"{"id":2,"op":"fold_in","links":[["nn","BG0",1.0]],"commit":"BG1"}"#.into(),
+        r#"{"id":3,"op":"refresh_status"}"#.into(),
+        r#"{"id":4,"op":"refresh_status","wait":true}"#.into(),
+        r#"{"id":5,"op":"membership","object":"BG0"}"#.into(),
+        // k = everyone: the assertion is presence of the sibling arrival,
+        // not tie-breaking among near-identical same-cluster rows.
+        r#"{"id":6,"op":"top_k","object":"BG1","k":17,"sim":"cosine","type":"sensor"}"#.into(),
+    ];
+    let responses = e.handle_batch(&lines);
+    assert_eq!(responses.len(), 6);
+    for (i, r) in responses.iter().enumerate() {
+        let v = ok(r);
+        assert_eq!(v.get("id").unwrap().as_usize(), Some(i + 1));
+    }
+    // The threshold-crossing commit reports the hand-off, not an outcome.
+    let commit2 = Json::parse(&responses[1]).unwrap();
+    assert_eq!(commit2.get("refresh_started"), Some(&Json::Bool(true)));
+    assert!(commit2.get("refreshed").is_none());
+    // The quiesce point reports the landed outcome.
+    let waited = Json::parse(&responses[3]).unwrap();
+    assert_eq!(waited.get("in_flight"), Some(&Json::Bool(false)));
+    let outcome = waited.get("last_outcome").unwrap();
+    assert_eq!(outcome.get("objects_added").unwrap().as_usize(), Some(2));
+    // Post-swap reads in the same batch see the new snapshot.
+    let ranked = Json::parse(&responses[5]).unwrap();
+    let names: Vec<String> = ranked
+        .get("results")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|e| e.as_arr().unwrap()[0].as_str().unwrap().to_string())
+        .collect();
+    assert!(
+        names.iter().any(|n| n == "BG0"),
+        "top_k ranks the sibling arrival: {names:?}"
+    );
+    assert_eq!(e.refreshes(), 1);
+}

@@ -10,6 +10,13 @@
 //! `membership` and rank in `top_k` like any original object, and the
 //! refreshed snapshot has been persisted next to the original.
 //!
+//! The second act repeats the cycle with `RefreshPolicy::background`: the
+//! threshold-crossing commit hands the re-fit to the dedicated worker
+//! thread and returns immediately, reads keep answering from the old
+//! snapshot (watch the `stats` checksum), and `{"op":"refresh_status",
+//! "wait":true}` is the quiesce point after which the arrivals are served
+//! from the swapped-in model.
+//!
 //! ```text
 //! cargo run --release --example refresh_cycle [-- <seed>]
 //! ```
@@ -132,4 +139,68 @@ fn main() {
         refreshed_path.display(),
         reloaded.graph().n_objects()
     );
+
+    // 6. The same cycle without the stall: a background policy re-fits on
+    //    the dedicated worker thread while reads keep flowing. Start from
+    //    the just-persisted snapshot.
+    let policy = RefreshPolicy {
+        max_pending_objects: 2,
+        background: true,
+        ..RefreshPolicy::default()
+    };
+    let mut engine = RefreshableEngine::new(Snapshot::load(&refreshed_path).unwrap(), 2, policy);
+    let checksum = |engine: &mut RefreshableEngine| -> String {
+        let v = Json::parse(&engine.handle_line(r#"{"op":"stats"}"#)).unwrap();
+        v.get("checksum").unwrap().as_str().unwrap().to_string()
+    };
+    let before = checksum(&mut engine);
+    engine.handle_line(r#"{"op":"fold_in","links":[["tt","T20",1.0]],"commit":"BT0"}"#);
+    let v = Json::parse(
+        &engine.handle_line(r#"{"op":"fold_in","links":[["tt","BT0",1.0]],"commit":"BT1"}"#),
+    )
+    .unwrap();
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(
+        v.get("refresh_started"),
+        Some(&Json::Bool(true)),
+        "the second commit crosses the threshold and hands off the re-fit"
+    );
+    // The serving loop is free immediately: reads answer from the OLD
+    // snapshot until the worker's snapshot swaps in.
+    let during = checksum(&mut engine);
+    let still_in_flight = engine.refresh_in_flight();
+    println!(
+        "\nbackground re-fit in flight: {still_in_flight} (reads answer from checksum {during})"
+    );
+    if still_in_flight {
+        // The swap only ever happens inside a handle call on this thread,
+        // so a read taken while the re-fit is still in flight is
+        // guaranteed to have come from the old snapshot.
+        assert_eq!(during, before, "pre-swap reads serve the old snapshot");
+    }
+
+    // Quiesce: wait for the swap, then the arrivals are first-class.
+    let status =
+        Json::parse(&engine.handle_line(r#"{"op":"refresh_status","wait":true}"#)).unwrap();
+    assert_eq!(status.get("in_flight"), Some(&Json::Bool(false)));
+    let outcome = status.get("last_outcome").unwrap();
+    println!(
+        "background refresh landed: {} objects added in {} EM iterations; checksum {} → {}",
+        outcome.get("objects_added").unwrap().as_usize().unwrap(),
+        outcome.get("em_iterations").unwrap().as_usize().unwrap(),
+        before,
+        checksum(&mut engine),
+    );
+    assert_eq!(engine.refreshes(), 1);
+    for name in ["BT0", "BT1"] {
+        let m = Json::parse(
+            &engine.handle_line(&format!(r#"{{"op":"membership","object":"{name}"}}"#)),
+        )
+        .unwrap();
+        assert_eq!(m.get("ok"), Some(&Json::Bool(true)), "{name} is served");
+        println!(
+            "  {name}: cluster {}",
+            m.get("cluster").unwrap().as_usize().unwrap()
+        );
+    }
 }
