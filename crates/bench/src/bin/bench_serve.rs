@@ -7,9 +7,12 @@
 //! Fits a weather network, snapshots it, loads the snapshot (exactly the
 //! serving path), and measures fold-in / top-k / mixed query batches at
 //! batch sizes 1, 16, and 256 in the same run — p50/p99 per-query latency
-//! and sustained queries/sec per cell. In full mode the run exits non-zero
-//! if batch-256 throughput falls below batch-1 on the mixed workload:
-//! batching must never cost throughput.
+//! and sustained queries/sec per cell — plus the `commit` / `commit_wal`
+//! pair: fold-in commits through the refresh engine without and with the
+//! commit write-ahead log, pricing the append + fsync every durable ack
+//! pays. In full mode the run exits non-zero if batch-256 throughput falls
+//! below batch-1 on the mixed workload: batching must never cost
+//! throughput.
 
 use genclus_bench::serve_perf::{run_serve_perf, ServePerfConfig};
 use std::path::PathBuf;

@@ -10,7 +10,12 @@
 //!   case);
 //! * `top_k` — §5.2.2 link-prediction ranking, k = 10 over one object
 //!   type;
-//! * `mixed` — alternating fold-in and top-k, the realistic stream.
+//! * `mixed` — alternating fold-in and top-k, the realistic stream;
+//! * `commit` / `commit_wal` — fold-in **commits** through the refresh
+//!   engine at batch size 1, without and with the commit WAL: the
+//!   `commit_wal` cell pays one append + fsync per ack (the *ack ⇒
+//!   replayable* durability point), so the pair prices the WAL's
+//!   per-commit overhead directly.
 //!
 //! Per `(workload, batch size)` cell it reports the p50/p99 **per-query**
 //! latency (batch wall-time divided by batch size) and the sustained
@@ -26,7 +31,7 @@
 use crate::perf::fmt_f64;
 use genclus_core::{GenClus, GenClusConfig};
 use genclus_datagen::weather::{generate, PatternSetting, WeatherConfig};
-use genclus_serve::{QueryEngine, Snapshot};
+use genclus_serve::{QueryEngine, RefreshPolicy, RefreshableEngine, Snapshot};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -132,10 +137,9 @@ pub struct ServePerfReport {
     pub headline: ServeHeadline,
 }
 
-/// Builds the serving fixture: fit a weather network, snapshot it, load
-/// the snapshot (exactly the serving path), return the engine plus
-/// pre-rendered request lines.
-fn build_engine(cfg: &ServePerfConfig) -> (QueryEngine, Vec<String>, Vec<String>, usize) {
+/// Fits the weather fixture and serializes its snapshot; returns the
+/// bytes plus the temp-sensor count request generators draw targets from.
+fn build_snapshot_bytes(cfg: &ServePerfConfig) -> (Vec<u8>, usize) {
     let (n_temp, n_precip, n_obs) = if cfg.quick {
         (120, 40, 5)
     } else {
@@ -156,19 +160,32 @@ fn build_engine(cfg: &ServePerfConfig) -> (QueryEngine, Vec<String>, Vec<String>
         .expect("valid config")
         .fit(&net.graph)
         .expect("fit succeeds");
-    let bytes = genclus_serve::snapshot::to_bytes(&net.graph, &fit.model);
-    let snapshot = Snapshot::from_bytes(&bytes).expect("snapshot round trip");
-    let engine = QueryEngine::new(snapshot, cfg.threads);
+    (
+        genclus_serve::snapshot::to_bytes(&net.graph, &fit.model),
+        n_temp,
+    )
+}
 
-    // Deterministic request streams (xorshift; no RNG dependency needed).
+/// Deterministic request stream seed (xorshift; no RNG dependency needed).
+fn xorshift() -> impl FnMut() -> u64 {
     let mut state = 0x9e3779b97f4a7c15u64;
-    let mut next = move || {
+    move || {
         state ^= state << 13;
         state ^= state >> 7;
         state ^= state << 17;
         state
-    };
-    let total = n_temp + n_precip;
+    }
+}
+
+/// Builds the serving fixture: fit a weather network, snapshot it, load
+/// the snapshot (exactly the serving path), return the engine plus
+/// pre-rendered request lines.
+fn build_engine(cfg: &ServePerfConfig) -> (QueryEngine, Vec<String>, Vec<String>) {
+    let (bytes, n_temp) = build_snapshot_bytes(cfg);
+    let snapshot = Snapshot::from_bytes(&bytes).expect("snapshot round trip");
+    let engine = QueryEngine::new(snapshot, cfg.threads);
+
+    let mut next = xorshift();
     let fold_in: Vec<String> = (0..cfg.queries_per_cell)
         .map(|i| {
             let a = next() as usize % n_temp;
@@ -197,7 +214,72 @@ fn build_engine(cfg: &ServePerfConfig) -> (QueryEngine, Vec<String>, Vec<String>
             )
         })
         .collect();
-    (engine, fold_in, top_k, total)
+    (engine, fold_in, top_k)
+}
+
+/// Measures commit-ack latency through the refresh engine at batch size 1,
+/// with or without the commit WAL. Thresholds stay at 0 (manual refresh
+/// only) so no re-fit lands mid-measurement — the cell prices the ack
+/// path alone, which for `commit_wal` includes one append + fsync per
+/// commit.
+fn measure_commit_cell(cfg: &ServePerfConfig, with_wal: bool) -> ServeMeasurement {
+    let (bytes, n_temp) = build_snapshot_bytes(cfg);
+    let snapshot = Snapshot::from_bytes(&bytes).expect("snapshot round trip");
+    let mut wal_dir = None;
+    let mut engine = if with_wal {
+        let dir =
+            std::env::temp_dir().join(format!("genclus-bench-commit-wal-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("bench WAL dir");
+        let (engine, _) = RefreshableEngine::with_wal(
+            snapshot,
+            cfg.threads,
+            RefreshPolicy::default(),
+            &dir.join("commits.gcwal"),
+        )
+        .expect("fresh bench WAL");
+        wal_dir = Some(dir);
+        engine
+    } else {
+        RefreshableEngine::new(snapshot, cfg.threads, RefreshPolicy::default())
+    };
+
+    let mut next = xorshift();
+    let mut line_for = |name: String| {
+        let a = next() as usize % n_temp;
+        let b = next() as usize % n_temp;
+        format!(
+            "{{\"op\":\"fold_in\",\"links\":[[\"tt\",\"T{a}\",1.0],[\"tt\",\"T{b}\",1.0]],\"commit\":\"{name}\"}}"
+        )
+    };
+    let lines: Vec<String> = (0..cfg.queries_per_cell)
+        .map(|i| line_for(format!("w{i}")))
+        .collect();
+    // One untimed warmup commit (commits are unique, so it gets its own name).
+    let warm = engine.handle_line(&line_for("warmup".into()));
+    assert!(warm.contains("\"ok\":true"), "warmup commit failed: {warm}");
+
+    let mut per_query = Vec::with_capacity(lines.len());
+    let start_all = Instant::now();
+    for line in &lines {
+        let start = Instant::now();
+        let resp = engine.handle_line(line);
+        per_query.push(start.elapsed().as_secs_f64());
+        assert!(resp.contains("\"ok\":true"), "bench commit failed: {resp}");
+    }
+    let total = start_all.elapsed().as_secs_f64();
+    let batches = per_query.len();
+    drop(engine);
+    if let Some(dir) = wal_dir {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    ServeMeasurement {
+        workload: if with_wal { "commit_wal" } else { "commit" },
+        batch_size: 1,
+        batches,
+        qps: lines.len() as f64 / total,
+        per_query_seconds: per_query,
+    }
 }
 
 fn measure_cell(
@@ -233,7 +315,7 @@ fn measure_cell(
 
 /// Runs the full measurement matrix.
 pub fn run_serve_perf(cfg: &ServePerfConfig) -> ServePerfReport {
-    let (engine, fold_in, top_k, _) = build_engine(cfg);
+    let (engine, fold_in, top_k) = build_engine(cfg);
     let mixed: Vec<String> = fold_in
         .iter()
         .zip(&top_k)
@@ -247,6 +329,9 @@ pub fn run_serve_perf(cfg: &ServePerfConfig) -> ServePerfReport {
         measurements.push(measure_cell(&engine, &top_k, "top_k", batch_size));
         measurements.push(measure_cell(&engine, &mixed, "mixed", batch_size));
     }
+    // Commit-ack latency, WAL off vs on — the durability surcharge.
+    measurements.push(measure_commit_cell(cfg, false));
+    measurements.push(measure_commit_cell(cfg, true));
     let qps_of = |batch: usize| {
         measurements
             .iter()
@@ -359,8 +444,8 @@ mod tests {
     #[test]
     fn quick_run_produces_consistent_report_and_json() {
         let report = run_serve_perf(&ServePerfConfig::quick());
-        // 3 workloads × 3 batch sizes.
-        assert_eq!(report.measurements.len(), 9);
+        // 3 workloads × 3 batch sizes + the commit / commit_wal pair.
+        assert_eq!(report.measurements.len(), 11);
         for m in &report.measurements {
             assert!(m.batches >= 1);
             assert!(m.qps > 0.0 && m.qps.is_finite());
@@ -373,6 +458,8 @@ mod tests {
         assert!(json.contains("\"workload\": \"fold_in\""));
         assert!(json.contains("\"workload\": \"top_k\""));
         assert!(json.contains("\"workload\": \"mixed\""));
+        assert!(json.contains("\"workload\": \"commit\""));
+        assert!(json.contains("\"workload\": \"commit_wal\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
 
@@ -390,7 +477,7 @@ mod tests {
             threads: 1,
             queries_per_cell: 8,
         };
-        let (engine, fold_in, top_k, _) = build_engine(&cfg);
+        let (engine, fold_in, top_k) = build_engine(&cfg);
         for line in fold_in.iter().chain(&top_k) {
             let resp = engine.handle_line(line);
             assert!(

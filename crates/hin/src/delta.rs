@@ -166,6 +166,31 @@ impl GraphDelta {
         self.new_types.iter().copied()
     }
 
+    /// The staged links as `(source, target, relation, weight)`, in
+    /// insertion order. Read-only inspection for the serving layer's
+    /// crash-recovery path: a replayed delta can be compared against the
+    /// uninterrupted original link-for-link, and a recovery log can report
+    /// exactly what was rebuilt.
+    pub fn staged_links(&self) -> impl Iterator<Item = (ObjectId, ObjectId, RelationId, f64)> + '_ {
+        self.links
+            .iter()
+            .map(|&(s, l)| (s, l.endpoint, l.relation, l.weight))
+    }
+
+    /// The staged categorical observations as `(object, attribute, term,
+    /// count)`, in insertion order. Companion of [`Self::staged_links`].
+    pub fn staged_term_counts(
+        &self,
+    ) -> impl Iterator<Item = (ObjectId, AttributeId, u32, f64)> + '_ {
+        self.cat_obs.iter().copied()
+    }
+
+    /// The staged numerical observations as `(object, attribute, value)`,
+    /// in insertion order. Companion of [`Self::staged_links`].
+    pub fn staged_numeric_obs(&self) -> impl Iterator<Item = (ObjectId, AttributeId, f64)> + '_ {
+        self.num_obs.iter().copied()
+    }
+
     /// Whether `v` is one of this delta's new objects.
     fn is_new(&self, v: ObjectId) -> bool {
         (self.base_objects..self.base_objects + self.new_types.len()).contains(&v.index())
@@ -1079,6 +1104,41 @@ mod tests {
         w1.stack(w2).unwrap();
         g.append(w1).unwrap();
         assert_eq!(g.n_objects(), 5);
+    }
+
+    #[test]
+    fn staged_inspection_iterators_report_insertion_order() {
+        let g = base();
+        let author = g.schema().object_type_by_name("author").unwrap();
+        let paper = g.schema().object_type_by_name("paper").unwrap();
+        let w = g.schema().relation_by_name("write").unwrap();
+        let text = g.schema().attribute_by_name("text").unwrap();
+        let year = g.schema().attribute_by_name("year").unwrap();
+        let mut d = GraphDelta::new(&g);
+        let a2 = d.add_object(author, "a2");
+        let p2 = d.add_object(paper, "p2");
+        d.add_link(
+            p2,
+            ObjectId(0),
+            g.schema().relation_by_name("written_by").unwrap(),
+            3.0,
+        )
+        .unwrap();
+        d.add_link(a2, ObjectId(2), w, 0.5).unwrap();
+        d.add_term_count(p2, text, 4, 2.0).unwrap();
+        d.add_numeric(p2, year, 2012.0).unwrap();
+        let links: Vec<_> = d.staged_links().collect();
+        assert_eq!(links.len(), 2, "insertion order, sources old and new");
+        assert_eq!(links[0].0, p2);
+        assert_eq!((links[1].0, links[1].1, links[1].3), (a2, ObjectId(2), 0.5));
+        assert_eq!(
+            d.staged_term_counts().collect::<Vec<_>>(),
+            vec![(p2, text, 4, 2.0)]
+        );
+        assert_eq!(
+            d.staged_numeric_obs().collect::<Vec<_>>(),
+            vec![(p2, year, 2012.0)]
+        );
     }
 
     #[test]

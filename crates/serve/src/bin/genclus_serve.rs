@@ -4,7 +4,7 @@
 //! genclus_serve --snapshot <path> [--threads N] [--batch N]
 //!               [--refresh-after-objects N] [--refresh-after-links N]
 //!               [--refresh-save <path>] [--refresh-sigma F]
-//!               [--refresh-background]
+//!               [--refresh-background] [--wal <path>]
 //! ```
 //!
 //! Reads one JSON request per stdin line and writes one JSON response per
@@ -32,6 +32,24 @@
 //! re-fits run inline, stalling the loop for the warm-EM wall time — the
 //! single-threaded fallback.
 //!
+//! `--wal <path>` opens a commit write-ahead log ([`genclus_serve::wal`]):
+//! every accepted commit is appended and **fsynced before its ack is
+//! written**, so the durability contract is *ack ⇒ replayable* — kill the
+//! process at any point and a restart with the same `--wal` and snapshot
+//! replays the log, rebuilding every acknowledged commit (links,
+//! `in_links`, observations, and the fold-in `Θ` row bit-identically). A
+//! refresh that persists via `--refresh-save` truncates the log
+//! atomically down to the still-staged window; pair the two flags and the
+//! log stays short. A torn final record (crash mid-append) is truncated
+//! and reported at startup, never fatal; a log that belongs to a
+//! different snapshot is a startup error. A client that never saw an ack
+//! for a commit must treat it as unknown and retry — an "already staged"
+//! rejection then means the commit survived after all.
+//!
+//! If stdout closes under the binary (`head`, a dying consumer — a broken
+//! pipe), it quiesces exactly like EOF — any in-flight re-fit lands, so
+//! `--refresh-save` and the WAL truncation still happen — and exits 0.
+//!
 //! Snapshots do not record the original fit's hyperparameters, so re-fits
 //! run under paper defaults; `--refresh-sigma` overrides the `γ`-prior
 //! std (§3.4) for models fitted with a non-default one, and deployments
@@ -47,13 +65,65 @@ fn usage() -> ! {
     eprintln!(
         "usage: genclus_serve --snapshot <path> [--threads N] [--batch N] \
          [--refresh-after-objects N] [--refresh-after-links N] [--refresh-save <path>] \
-         [--refresh-sigma F] [--refresh-background]"
+         [--refresh-sigma F] [--refresh-background] [--wal <path>]"
     );
     std::process::exit(2);
 }
 
+/// Drains in-flight work before exit: an in-flight background re-fit
+/// finishes (and persists + truncates the WAL, when configured) rather
+/// than being torn down mid-write with the process. Returns the exit
+/// code: non-zero when the final re-fit failed, since there is no later
+/// response line to surface it in.
+fn quiesce(engine: &mut RefreshableEngine) -> i32 {
+    let mut code = 0;
+    if engine.refresh_in_flight() {
+        eprintln!("genclus_serve: waiting for the in-flight background re-fit before exit");
+        engine.finish();
+        if let Some(Err(e)) = engine.last_refresh() {
+            eprintln!("genclus_serve: final background re-fit failed: {e}");
+            code = 1;
+        }
+    }
+    if let Some(e) = engine.wal_error() {
+        eprintln!("genclus_serve: note: the last commit-log truncation failed: {e}");
+    }
+    code
+}
+
+/// A stdout write failed. Quiesce first — acked commits are already
+/// durable in the WAL, but the re-fit/persist/truncate path must still
+/// land — then exit: cleanly for a broken pipe (the consumer went away;
+/// that is an EOF, not a crash), code 1 for anything else.
+fn exit_on_write_failure(e: &std::io::Error, engine: &mut RefreshableEngine) -> ! {
+    let code = quiesce(engine);
+    if e.kind() == std::io::ErrorKind::BrokenPipe {
+        eprintln!("genclus_serve: stdout closed; exiting");
+        std::process::exit(code);
+    }
+    eprintln!("genclus_serve: stdout write failed: {e}");
+    std::process::exit(1);
+}
+
+fn flush_batch(
+    pending: &mut Vec<String>,
+    out: &mut std::io::BufWriter<std::io::StdoutLock<'_>>,
+    engine: &mut RefreshableEngine,
+) -> std::io::Result<()> {
+    if pending.is_empty() {
+        return Ok(());
+    }
+    for response in engine.handle_batch(pending) {
+        writeln!(out, "{response}")?;
+    }
+    out.flush()?;
+    pending.clear();
+    Ok(())
+}
+
 fn main() {
     let mut snapshot_path: Option<PathBuf> = None;
+    let mut wal_path: Option<PathBuf> = None;
     let mut threads = 1usize;
     let mut batch = 64usize;
     let mut policy = RefreshPolicy::default();
@@ -63,6 +133,7 @@ fn main() {
             "--snapshot" => {
                 snapshot_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
             }
+            "--wal" => wal_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
             "--threads" => {
                 threads = args
                     .next()
@@ -148,24 +219,36 @@ fn main() {
              was fitted with non-default values"
         );
     }
-    let mut engine = RefreshableEngine::new(snapshot, threads, policy);
+    let mut engine = match &wal_path {
+        Some(wal) => match RefreshableEngine::with_wal(snapshot, threads, policy, wal) {
+            Ok((engine, report)) => {
+                eprintln!(
+                    "genclus_serve: commit WAL {}: replayed {} commit(s), skipped {} \
+                     already-persisted, truncated {} torn tail byte(s){}",
+                    wal.display(),
+                    report.replayed,
+                    report.skipped,
+                    report.torn_bytes,
+                    if report.rewritten {
+                        "; log rebased onto the loaded snapshot"
+                    } else {
+                        ""
+                    },
+                );
+                engine
+            }
+            Err(e) => {
+                eprintln!("failed to recover commit WAL {}: {e}", wal.display());
+                std::process::exit(1);
+            }
+        },
+        None => RefreshableEngine::new(snapshot, threads, policy),
+    };
 
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
     let mut pending: Vec<String> = Vec::with_capacity(batch);
-    let flush = |pending: &mut Vec<String>,
-                 out: &mut std::io::BufWriter<_>,
-                 engine: &mut RefreshableEngine| {
-        if pending.is_empty() {
-            return;
-        }
-        for response in engine.handle_batch(pending) {
-            writeln!(out, "{response}").expect("stdout write failed");
-        }
-        out.flush().expect("stdout flush failed");
-        pending.clear();
-    };
     for line in stdin.lock().lines() {
         let line = match line {
             Ok(l) => l,
@@ -175,26 +258,20 @@ fn main() {
             }
         };
         if line.trim().is_empty() {
-            flush(&mut pending, &mut out, &mut engine);
+            if let Err(e) = flush_batch(&mut pending, &mut out, &mut engine) {
+                exit_on_write_failure(&e, &mut engine);
+            }
             continue;
         }
         pending.push(line);
         if pending.len() >= batch {
-            flush(&mut pending, &mut out, &mut engine);
+            if let Err(e) = flush_batch(&mut pending, &mut out, &mut engine) {
+                exit_on_write_failure(&e, &mut engine);
+            }
         }
     }
-    flush(&mut pending, &mut out, &mut engine);
-    // Quiesce before exit: an in-flight background re-fit finishes (and
-    // persists, when --refresh-save is set) rather than being torn down
-    // mid-write with the process. A failure here has no later response
-    // line to surface in — the staged commits die with the process — so
-    // it must reach the operator via stderr and the exit status.
-    if engine.refresh_in_flight() {
-        eprintln!("genclus_serve: waiting for the in-flight background re-fit before exit");
-        engine.finish();
-        if let Some(Err(e)) = engine.last_refresh() {
-            eprintln!("genclus_serve: final background re-fit failed: {e}");
-            std::process::exit(1);
-        }
+    if let Err(e) = flush_batch(&mut pending, &mut out, &mut engine) {
+        exit_on_write_failure(&e, &mut engine);
     }
+    std::process::exit(quiesce(&mut engine));
 }

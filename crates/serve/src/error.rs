@@ -40,6 +40,11 @@ pub enum ServeError {
     /// the underlying algorithm error; the serving engine keeps answering
     /// from the previous snapshot when this happens.
     Refresh(String),
+    /// The commit write-ahead log is unusable, does not belong to the
+    /// snapshot it was paired with, or an append/truncation failed. A WAL
+    /// error on the commit path fails the commit *before* anything is
+    /// staged — an acknowledged commit is always on disk.
+    Wal(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -63,6 +68,7 @@ impl std::fmt::Display for ServeError {
             Self::Hin(e) => write!(f, "{e}"),
             Self::BadRequest(msg) => write!(f, "bad request: {msg}"),
             Self::Refresh(msg) => write!(f, "snapshot refresh failed: {msg}"),
+            Self::Wal(msg) => write!(f, "commit WAL error: {msg}"),
         }
     }
 }

@@ -48,7 +48,15 @@
 //!   requests, commits arriving mid-re-fit stage into the *next* delta
 //!   window, and a failed re-fit restores the staged window intact. The
 //!   `refresh_status` op (optionally `"wait":true`) reports in-flight
-//!   state and the last outcome.
+//!   state and the last outcome;
+//! * [`wal`] — the commit write-ahead log
+//!   ([`refresh::RefreshableEngine::with_wal`], `--wal` on the binary):
+//!   every accepted commit is appended + fsynced **before** the ack, a
+//!   persisted refresh truncates the log atomically down to the
+//!   still-staged window, and startup replays log-after-snapshot to
+//!   rebuild the staged delta and fold-in `Θ` rows bit-identically — no
+//!   acknowledged commit is ever lost. Torn tails are truncated and
+//!   reported, never fatal.
 //!
 //! # Quickstart
 //!
@@ -101,6 +109,7 @@ pub mod foldin;
 pub mod json;
 pub mod refresh;
 pub mod snapshot;
+pub mod wal;
 
 /// Convenient glob-import surface.
 pub mod prelude {
@@ -111,6 +120,7 @@ pub mod prelude {
     pub use crate::json::Json;
     pub use crate::refresh::{RefreshOutcome, RefreshPolicy, RefreshableEngine};
     pub use crate::snapshot::{Snapshot, SCHEMA_VERSION};
+    pub use crate::wal::{CommitRecord, Wal, WalRecoveryReport};
 }
 
 pub use prelude::*;

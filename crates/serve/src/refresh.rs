@@ -90,6 +90,24 @@
 //! the EM kernels traverse base + overflow bit-identically to a compacted
 //! CSR — and the graph is compacted back into a canonical CSR before the
 //! new snapshot is serialized.
+//!
+//! # Durability (commit WAL)
+//!
+//! An engine opened via [`RefreshableEngine::with_wal`] pairs the staging
+//! windows with an on-disk commit log ([`crate::wal`]): every accepted
+//! commit is appended and **fsynced before the ack** — a commit whose log
+//! append fails is rejected with nothing staged — and a refresh that
+//! *persists* its snapshot atomically truncates the log down to the
+//! still-staged next window, rebased onto the new snapshot. Startup
+//! replays log-after-snapshot, rebuilding the staged delta and each
+//! commit's fold-in `Θ` row **bit-identically** (the row is adopted from
+//! the log verbatim, never re-derived). A refresh without
+//! [`RefreshPolicy::persist_path`] never truncates: the log keeps
+//! covering every commit since the snapshot on disk, which is the one
+//! recovery will reload. A failed truncation is *not* fatal — the log
+//! merely stays longer than needed (recovery skips already-persisted
+//! records) — and is surfaced via `refresh_status` as `"wal_error"`
+//! alongside the `"wal_records"` count.
 
 use crate::background::{run_refit, RefitInput, RefitOutput, RefitWorker};
 use crate::engine::{QueryCore, QueryEngine};
@@ -97,11 +115,12 @@ use crate::error::ServeError;
 use crate::foldin::{FoldInEngine, FoldInRequest, FoldInResult};
 use crate::json::Json;
 use crate::snapshot::Snapshot;
+use crate::wal::{CommitRecord, Wal, WalRecoveryReport};
 use genclus_core::{GenClusConfig, GenClusModel};
 use genclus_hin::{GraphDelta, ObjectTypeId};
 use genclus_stats::simplex::argmax;
 use genclus_stats::MembershipMatrix;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// When and how the engine re-fits from its snapshot.
 #[derive(Debug, Clone)]
@@ -194,6 +213,11 @@ struct Pending {
     /// rejection *and* staged-target resolution (a linear scan of the
     /// delta's names would make filling a large refresh window quadratic).
     names: std::collections::HashMap<String, u32>,
+    /// The WAL payload of each staged commit, parallel to `rows` (empty
+    /// when the engine runs without a WAL). This is the window's log
+    /// *segment*: when a refresh persists, [`Wal::truncate`] keeps exactly
+    /// the still-staged windows' payloads verbatim.
+    records: Vec<Vec<u8>>,
 }
 
 impl Pending {
@@ -203,6 +227,7 @@ impl Pending {
             rows: Vec::new(),
             types: Vec::new(),
             names: std::collections::HashMap::new(),
+            records: Vec::new(),
         }
     }
 
@@ -216,6 +241,7 @@ impl Pending {
             rows: Vec::new(),
             types: Vec::new(),
             names: std::collections::HashMap::new(),
+            records: Vec::new(),
         })
     }
 }
@@ -244,6 +270,13 @@ pub struct RefreshableEngine {
     /// Outcome of the most recent refresh attempt, inline or background —
     /// what `refresh_status` reports.
     last_refresh: Option<Result<RefreshOutcome, String>>,
+    /// The commit log ([`Self::with_wal`]); `None` runs without
+    /// durability, exactly as before.
+    wal: Option<Wal>,
+    /// The most recent WAL truncation failure (non-fatal — see the module
+    /// docs' *Durability* section); cleared by the next successful
+    /// truncation.
+    wal_error: Option<String>,
 }
 
 impl RefreshableEngine {
@@ -260,7 +293,143 @@ impl RefreshableEngine {
             worker,
             inflight: None,
             last_refresh: None,
+            wal: None,
+            wal_error: None,
         }
+    }
+
+    /// [`Self::new`] plus a commit write-ahead log at `wal_path`: opens
+    /// (or creates) the log, recovers it against `snapshot` — replaying
+    /// logged commits into the staging window bit-identically, skipping
+    /// records the snapshot already absorbed, truncating a torn tail —
+    /// and from then on appends + fsyncs every accepted commit before the
+    /// ack. Returns the engine and a [`WalRecoveryReport`] describing
+    /// what recovery found.
+    ///
+    /// # Errors
+    /// [`ServeError::Wal`] when the log does not belong to `snapshot`
+    /// (wrong checksum or lineage, or the log is *ahead* of the snapshot)
+    /// or a replayed record fails validation — corruption past the
+    /// checksums, which a well-formed writer cannot produce.
+    pub fn with_wal(
+        snapshot: Snapshot,
+        threads: usize,
+        policy: RefreshPolicy,
+        wal_path: &Path,
+    ) -> Result<(Self, WalRecoveryReport), ServeError> {
+        let mut engine = Self::new(snapshot, threads, policy);
+        let base_checksum = engine.engine.snapshot().header().checksum;
+        let (wal, replay) = Wal::open_or_create(wal_path, base_checksum, engine.engine.graph())?;
+        let replayed = replay.records.len();
+        for (record, payload) in replay.records.into_iter().zip(replay.payloads) {
+            engine.replay_record(&record, payload)?;
+        }
+        engine.wal = Some(wal);
+        // Canonicalize the log when recovery found it out of step with the
+        // snapshot: records already absorbed (crash between a persisted
+        // refresh and its truncation), or a header bound to an ancestor
+        // snapshot. Rewriting now means the next recovery is exact.
+        let n = engine.engine.graph().n_objects();
+        let wal_ref = engine.wal.as_ref().expect("just set");
+        let rewritten = replay.skipped > 0
+            || wal_ref.base_objects() != n
+            || wal_ref.base_checksum() != base_checksum;
+        if rewritten {
+            let records = std::mem::take(&mut engine.pending.records);
+            let result =
+                engine
+                    .wal
+                    .as_mut()
+                    .expect("just set")
+                    .truncate(base_checksum, n, &records);
+            engine.pending.records = records;
+            result?;
+        }
+        Ok((
+            engine,
+            WalRecoveryReport {
+                replayed,
+                skipped: replay.skipped,
+                torn_bytes: replay.torn_bytes,
+                rewritten,
+            },
+        ))
+    }
+
+    /// Rebuilds one logged commit's staged state: validates it against
+    /// the current window (sequential absolute id, fresh name, known
+    /// type, a sane `Θ` row), stages its delta mutations, and adopts its
+    /// `Θ` row verbatim — fold-in is **not** re-run, which is what makes
+    /// recovery bit-identical to the uninterrupted run.
+    fn replay_record(&mut self, record: &CommitRecord, payload: Vec<u8>) -> Result<(), ServeError> {
+        let bad = |what: String| {
+            ServeError::Wal(format!(
+                "cannot replay the logged commit {:?}: {what}",
+                record.name
+            ))
+        };
+        let staged_index = Self::staged_slot(self.pending.rows.len())?;
+        let graph = self.engine.graph();
+        let expected = graph.n_objects() + self.pending.rows.len();
+        if record.object.index() != expected {
+            return Err(bad(format!(
+                "it carries object id {} where {expected} was expected",
+                record.object.index()
+            )));
+        }
+        if graph.object_by_name(&record.name).is_some()
+            || self.pending.names.contains_key(&record.name)
+        {
+            return Err(bad("an object of that name already exists".into()));
+        }
+        if record.object_type.index() >= graph.schema().n_object_types() {
+            return Err(bad(format!("unknown object type {}", record.object_type)));
+        }
+        let k = self.engine.snapshot().model().n_clusters();
+        if record.theta.len() != k || record.theta.iter().any(|x| !x.is_finite()) {
+            return Err(bad(format!(
+                "its Θ row has {} entries (need {k}, all finite)",
+                record.theta.len()
+            )));
+        }
+        let v = self
+            .pending
+            .delta
+            .add_object(record.object_type, &record.name);
+        debug_assert_eq!(v, record.object, "sequential-id check above");
+        for &(r, target, w) in &record.links {
+            self.pending
+                .delta
+                .add_link(v, target, r, w)
+                .map_err(|e| bad(e.to_string()))?;
+        }
+        for &(r, source, w) in &record.in_links {
+            self.pending
+                .delta
+                .add_link(source, v, r, w)
+                .map_err(|e| bad(e.to_string()))?;
+        }
+        for (a, bag) in &record.terms {
+            for &(term, count) in bag {
+                self.pending
+                    .delta
+                    .add_term_count(v, *a, term, count)
+                    .map_err(|e| bad(e.to_string()))?;
+            }
+        }
+        for (a, values) in &record.values {
+            for &x in values {
+                self.pending
+                    .delta
+                    .add_numeric(v, *a, x)
+                    .map_err(|e| bad(e.to_string()))?;
+            }
+        }
+        self.pending.rows.push(record.theta.clone());
+        self.pending.types.push(record.object_type);
+        self.pending.names.insert(record.name.clone(), staged_index);
+        self.pending.records.push(payload);
+        Ok(())
     }
 
     /// The current (most recently swapped-in) read engine.
@@ -311,6 +480,80 @@ impl RefreshableEngine {
     /// `Ok` with the bookkeeping, or `Err` with the failure message.
     pub fn last_refresh(&self) -> Option<&Result<RefreshOutcome, String>> {
         self.last_refresh.as_ref()
+    }
+
+    /// Records currently in the commit log; `None` when the engine runs
+    /// without a WAL.
+    pub fn wal_records(&self) -> Option<usize> {
+        self.wal.as_ref().map(Wal::n_records)
+    }
+
+    /// The most recent (non-fatal) WAL truncation failure, if any.
+    pub fn wal_error(&self) -> Option<&str> {
+        self.wal_error.as_deref()
+    }
+
+    /// Test seam — see [`Wal::set_kill_hook`].
+    ///
+    /// # Panics
+    /// Panics when the engine has no WAL.
+    #[doc(hidden)]
+    pub fn set_wal_kill_hook(
+        &mut self,
+        hook: impl Fn(&'static str) -> bool + Send + Sync + 'static,
+    ) {
+        self.wal
+            .as_mut()
+            .expect("kill hooks require a WAL")
+            .set_kill_hook(hook);
+    }
+
+    /// A byte-exact serialization of the staged state: every window's
+    /// objects (names, types), links, observations, and fold-in `Θ` rows
+    /// as IEEE-754 bit patterns, in id order — the in-flight window (if
+    /// any) first, then the current one. Two engines staging the same
+    /// commits produce identical bytes; this is what the crash-recovery
+    /// property tests compare (recovered == uninterrupted, bit for bit).
+    /// Note recovery rebuilds a *single* window, so compare after
+    /// [`Self::finish`] has drained any in-flight re-fit.
+    pub fn staged_state_bytes(&self) -> Vec<u8> {
+        use genclus_stats::bytesio::{put_f64, put_f64_slice, put_str, put_u64};
+        fn window(out: &mut Vec<u8>, w: &Pending) {
+            put_u64(out, w.delta.n_new_objects() as u64);
+            for name in w.delta.new_object_names() {
+                put_str(out, name);
+            }
+            for t in w.delta.new_object_types() {
+                put_u64(out, t.index() as u64);
+            }
+            put_u64(out, w.delta.n_new_links() as u64);
+            for (s, t, r, weight) in w.delta.staged_links() {
+                put_u64(out, s.index() as u64);
+                put_u64(out, t.index() as u64);
+                put_u64(out, r.index() as u64);
+                put_f64(out, weight);
+            }
+            for (v, a, term, count) in w.delta.staged_term_counts() {
+                put_u64(out, v.index() as u64);
+                put_u64(out, a.index() as u64);
+                put_u64(out, u64::from(term));
+                put_f64(out, count);
+            }
+            for (v, a, x) in w.delta.staged_numeric_obs() {
+                put_u64(out, v.index() as u64);
+                put_u64(out, a.index() as u64);
+                put_f64(out, x);
+            }
+            for row in &w.rows {
+                put_f64_slice(out, row);
+            }
+        }
+        let mut out = Vec::new();
+        if let Some(w) = &self.inflight {
+            window(&mut out, w);
+        }
+        window(&mut out, &self.pending);
+        out
     }
 
     /// Test seam — see [`RefitWorker::set_refit_hook`].
@@ -458,6 +701,30 @@ impl RefreshableEngine {
             .with_staged(staged_rows, staged_types)
             .assign(req)?;
 
+        // Durability point: the commit reaches the log — and the disk —
+        // before anything is staged, so an append failure rejects the
+        // commit with the engine untouched, and a crash after this line
+        // replays it. `n_known` is the absolute id the object will own
+        // once every window ahead of it lands.
+        let wal_payload = match &mut self.wal {
+            Some(wal) => {
+                let record = CommitRecord {
+                    object: genclus_hin::ObjectId::from_index(n_known),
+                    object_type,
+                    name: name.to_string(),
+                    links: req.links.clone(),
+                    in_links: in_links.to_vec(),
+                    terms: req.terms.clone(),
+                    values: req.values.clone(),
+                    theta: folded.theta.clone(),
+                };
+                let payload = record.to_bytes();
+                wal.append(&payload)?;
+                Some(payload)
+            }
+            None => None,
+        };
+
         let v = self.pending.delta.add_object(object_type, name);
         for &(r, target, w) in &req.links {
             self.pending
@@ -490,6 +757,9 @@ impl RefreshableEngine {
         self.pending.rows.push(folded.theta.clone());
         self.pending.types.push(object_type);
         self.pending.names.insert(name.to_string(), staged_index);
+        if let Some(payload) = wal_payload {
+            self.pending.records.push(payload);
+        }
         Ok(folded)
     }
 
@@ -632,7 +902,29 @@ impl RefreshableEngine {
         self.engine = output.engine;
         self.pending = Pending::new(self.engine.graph());
         self.refreshes += 1;
+        self.truncate_wal_after_refresh(output.outcome.persisted);
         Ok(output.outcome)
+    }
+
+    /// Truncates the commit log down to the still-staged window after a
+    /// refresh — but only when the refreshed snapshot was *persisted*:
+    /// until it reaches disk, the log is the only durable record of the
+    /// commits it absorbed, and recovery reloads the old on-disk snapshot
+    /// plus the full log. A truncation failure is non-fatal (the log
+    /// merely stays longer than needed; recovery skips absorbed records)
+    /// and is surfaced through [`Self::wal_error`] / `refresh_status`.
+    fn truncate_wal_after_refresh(&mut self, persisted: bool) {
+        if !persisted || self.wal.is_none() {
+            return;
+        }
+        let base_checksum = self.engine.snapshot().header().checksum;
+        let n = self.engine.graph().n_objects();
+        let result = self.wal.as_mut().expect("checked above").truncate(
+            base_checksum,
+            n,
+            &self.pending.records,
+        );
+        self.wal_error = result.err().map(|e| e.to_string());
     }
 
     /// Hands the current window to the background worker and opens the
@@ -697,6 +989,10 @@ impl RefreshableEngine {
                     "the next window was staged against exactly this graph"
                 );
                 self.refreshes += 1;
+                // The in-flight window's log segment is spent (its commits
+                // are in the new snapshot); the next window's records are
+                // what the rebased log keeps.
+                self.truncate_wal_after_refresh(output.outcome.persisted);
                 self.last_refresh = Some(Ok(output.outcome));
                 // The next window may have crossed the thresholds while
                 // the re-fit ran; chain immediately rather than waiting
@@ -726,6 +1022,10 @@ impl RefreshableEngine {
                 for (name, i) in next.names {
                     self.pending.names.insert(name, offset + i);
                 }
+                // Log segments merge exactly like the windows: the
+                // in-flight window's records come first (lower absolute
+                // ids), matching the order they already hold on disk.
+                self.pending.records.extend(next.records);
                 self.last_refresh = Some(Err(e.to_string()));
             }
         }
@@ -882,6 +1182,12 @@ impl RefreshableEngine {
             ),
             ("in_flight_links", Json::Num(self.in_flight_links() as f64)),
         ];
+        if let Some(n) = self.wal_records() {
+            fields.push(("wal_records", Json::Num(n as f64)));
+        }
+        if let Some(e) = self.wal_error() {
+            fields.push(("wal_error", Json::str(e.to_string())));
+        }
         match &self.last_refresh {
             Some(Ok(outcome)) => {
                 fields.push(("last_outcome", Json::obj(Self::outcome_pairs(outcome))))

@@ -129,10 +129,32 @@ pub fn save(path: &Path, graph: &HinGraph, model: &GenClusModel) -> Result<(), S
     save_bytes(path, &to_bytes(graph, model))
 }
 
-/// Atomically writes pre-serialized snapshot bytes (the temp-file + rename
-/// dance of [`save`]) — used by the refresh path, which already has the
-/// bytes in hand from re-loading the swapped-in snapshot.
+/// Atomically and **durably** writes pre-serialized snapshot bytes (the
+/// temp-file + rename dance of [`save`]) — used by the refresh path, which
+/// already has the bytes in hand from re-loading the swapped-in snapshot.
+///
+/// Durability discipline: the temp file is `sync_all`ed *before* the
+/// rename and the parent directory is fsynced *after* it. Rename-without-
+/// fsync only guarantees readers never see a half-written file through the
+/// filesystem cache; on power loss the journal may replay the rename
+/// before the data blocks land, leaving a renamed-but-empty snapshot. The
+/// directory fsync makes the rename itself survive the same way.
 pub fn save_bytes(path: &Path, bytes: &[u8]) -> Result<(), ServeError> {
+    atomic_write_durable(path, bytes, &mut |_| Ok(()))
+}
+
+/// The shared atomic + durable write: temp file in the same directory →
+/// `write_all` → `sync_all` → `rename` → parent-directory fsync. `stage`
+/// is called after each durability checkpoint (`"tmp-synced"`,
+/// `"renamed"`, `"dir-synced"`) and may return an error to abort between
+/// steps — the injectable seam the save-path sync test and the WAL's
+/// fault-injection harness both use; production callers pass a no-op.
+pub(crate) fn atomic_write_durable(
+    path: &Path,
+    bytes: &[u8],
+    stage: &mut dyn FnMut(&'static str) -> std::io::Result<()>,
+) -> Result<(), ServeError> {
+    use std::io::Write as _;
     // Appended (not `with_extension`) so `model.gcsnap` and `model.bak` in
     // one directory do not collide on the same temp file.
     let mut tmp_name = path
@@ -146,8 +168,33 @@ pub fn save_bytes(path: &Path, bytes: &[u8]) -> Result<(), ServeError> {
         .to_os_string();
     tmp_name.push(format!(".tmp-{}~", std::process::id()));
     let tmp = path.with_file_name(tmp_name);
-    std::fs::write(&tmp, bytes)?;
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    stage("tmp-synced")?;
     std::fs::rename(&tmp, path)?;
+    stage("renamed")?;
+    sync_parent_dir(path)?;
+    stage("dir-synced")?;
+    Ok(())
+}
+
+/// Fsyncs the directory holding `path`, making a just-completed rename
+/// durable. A no-op on targets where directories cannot be opened.
+fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        std::fs::File::open(parent)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = path;
+    }
     Ok(())
 }
 
@@ -434,6 +481,54 @@ mod tests {
         let snap = Snapshot::load(&path).unwrap();
         assert_eq!(snap.model().theta, model.theta);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_path_syncs_before_and_after_the_rename() {
+        // The injectable stage seam records the durability checkpoints in
+        // order: the temp file must be fully synced *before* the rename
+        // and the directory entry *after* it — a crash at any point leaves
+        // either the old snapshot or the complete new one, never a
+        // renamed-but-empty file.
+        let dir = std::env::temp_dir().join("genclus-serve-durable-save-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.gcsnap");
+        std::fs::write(&path, b"previous contents").unwrap();
+
+        let mut stages = Vec::new();
+        atomic_write_durable(&path, b"new contents", &mut |s| {
+            stages.push(s);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(stages, ["tmp-synced", "renamed", "dir-synced"]);
+        assert_eq!(std::fs::read(&path).unwrap(), b"new contents");
+        // No temp file is left behind.
+        let strays: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .contains(".tmp-")
+            })
+            .collect();
+        assert!(strays.is_empty(), "stray temp files: {strays:?}");
+
+        // A crash between the temp-file sync and the rename (the stage
+        // callback erroring there simulates it) leaves the target file
+        // untouched.
+        let err = atomic_write_durable(&path, b"never lands", &mut |s| {
+            if s == "tmp-synced" {
+                Err(std::io::Error::other("simulated crash"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(err.is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), b"new contents");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,695 @@
+//! Append-only commit write-ahead log: no acknowledged commit is lost.
+//!
+//! The refresh layer (PRs 4–5) acknowledges commits that exist only in an
+//! in-memory [`GraphDelta`](genclus_hin::GraphDelta) until the next
+//! refresh lands — a crash in between silently loses exactly the
+//! incremental arrivals the model is meant to absorb. This module closes
+//! that gap with the classic snapshot-plus-log discipline:
+//!
+//! * every accepted commit is encoded as a [`CommitRecord`] and appended +
+//!   **fsynced before the ack is written** — the durability contract is
+//!   *ack ⇒ replayable*: once a client has seen `"ok":true` for a commit,
+//!   a restart with the same `--wal`/snapshot pair rebuilds that commit's
+//!   staged object, links, `in_links`, observations, **and its fold-in
+//!   `Θ` row bit-identically** (the row is logged as IEEE-754 bit
+//!   patterns and adopted verbatim at replay, never re-derived);
+//! * a refresh that **persists** its snapshot truncates the log
+//!   atomically (write new log, fsync, rename, fsync the directory —
+//!   [`Wal::truncate`]). The double-buffered staging windows map to log
+//!   segments: a landed background re-fit drops only the in-flight
+//!   window's records and rewrites the next window's verbatim, rebased
+//!   onto the new snapshot. A refresh that does *not* persist truncates
+//!   nothing — the log keeps covering every commit since the on-disk
+//!   snapshot;
+//! * recovery ([`Wal::open_or_create`]) is adversarial: a torn tail — a
+//!   partial final record, a bad checksum, an undecodable payload — is
+//!   physically truncated to the longest valid prefix and *reported*, not
+//!   fatal (an fsynced-then-acked record can never be in the torn region).
+//!   A log paired with the wrong snapshot, or ahead of it, is a hard
+//!   error. A log *behind* the snapshot (crash between the snapshot
+//!   persist and the log truncation) is healed by skipping records whose
+//!   objects the snapshot already contains, after verifying each
+//!   skipped record's name/id/type against the graph.
+//!
+//! # File format
+//!
+//! Same byte discipline as the snapshot codec ([`genclus_stats::bytesio`]:
+//! everything little-endian, composite items padded to 8 bytes):
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"GCWAL\0\0\0"
+//! 8       4     WAL schema version (u32 LE), currently 1
+//! 12      4     reserved (0)
+//! 16      8     payload checksum of the base snapshot (u64 LE)
+//! 24      8     object count of the base snapshot (u64 LE)
+//! 32      8     reserved (0)
+//! 40      …     records
+//! ```
+//!
+//! Each record is framed as
+//!
+//! ```text
+//! [u64 payload length] [u64 FNV-1a 64 of payload] [payload] [pad to 8]
+//! ```
+//!
+//! and the payload is a [`CommitRecord`]: absolute object id, object
+//! type, name, out-links, in-links, categorical/numerical observations,
+//! and the folded `Θ` row. Ids are **absolute** (they continue the base
+//! snapshot's id space in append order), which is what lets a recovery
+//! whose snapshot is *ahead* of the log identify already-applied records,
+//! and lets [`Wal::truncate`] rewrite surviving records verbatim.
+//!
+//! # Fault injection
+//!
+//! [`Wal::set_kill_hook`] (`#[doc(hidden)]`, the same test-seam idiom as
+//! `RefitWorker::set_refit_hook`) lets a property test simulate a crash at
+//! every durability-relevant point ([`KILL_SITES`]); the harness then
+//! recovers from the on-disk state and asserts it equals the
+//! uninterrupted run byte-identically.
+
+use crate::error::ServeError;
+use crate::snapshot::atomic_write_durable;
+use genclus_hin::{AttributeId, HinGraph, ObjectId, ObjectTypeId, RelationId};
+use genclus_stats::bytesio::{fnv1a64, pad8, put_f64, put_f64_slice, put_str, put_u64, ByteReader};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// First 8 bytes of every commit log.
+pub const WAL_MAGIC: [u8; 8] = *b"GCWAL\0\0\0";
+/// Current (highest readable) WAL schema version.
+pub const WAL_VERSION: u32 = 1;
+/// Bytes before the first record.
+pub const WAL_HEADER_LEN: usize = 40;
+/// Bytes of the per-record frame (length + checksum) before the payload.
+pub const FRAME_LEN: usize = 16;
+
+/// Every fault-injection site [`Wal::set_kill_hook`] consults, in the
+/// order they can fire along the commit/truncate paths.
+pub const KILL_SITES: [&str; 7] = [
+    "append:before-write",
+    "append:torn-write",
+    "append:before-sync",
+    "append:acked-never-sent",
+    "truncate:start",
+    "truncate:tmp-synced",
+    "truncate:renamed",
+];
+
+/// One logged commit — everything needed to rebuild its staged state
+/// without re-running fold-in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommitRecord {
+    /// Absolute id of the committed object: the base snapshot's object
+    /// count plus this record's position in the log (append order).
+    pub object: ObjectId,
+    /// Object type of the commit.
+    pub object_type: ObjectTypeId,
+    /// Unique name of the commit.
+    pub name: String,
+    /// Out-links `(relation, target, weight)`; targets may be served or
+    /// earlier-staged objects (absolute ids).
+    pub links: Vec<(RelationId, ObjectId, f64)>,
+    /// Links *into* the commit `(relation, source, weight)`.
+    pub in_links: Vec<(RelationId, ObjectId, f64)>,
+    /// Categorical observations `(attribute, [(term, count)])`.
+    pub terms: Vec<(AttributeId, Vec<(u32, f64)>)>,
+    /// Numerical observations `(attribute, [value])`.
+    pub values: Vec<(AttributeId, Vec<f64>)>,
+    /// The fold-in `Θ` row the ack reported, as exact bit patterns.
+    pub theta: Vec<f64>,
+}
+
+impl CommitRecord {
+    /// Serializes the record payload (unframed).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            64 + self.name.len()
+                + 24 * (self.links.len() + self.in_links.len())
+                + 8 * self.theta.len(),
+        );
+        put_u64(&mut out, self.object.index() as u64);
+        put_u64(&mut out, self.object_type.index() as u64);
+        put_str(&mut out, &self.name);
+        put_u64(&mut out, self.links.len() as u64);
+        for &(r, v, w) in &self.links {
+            put_u64(&mut out, r.index() as u64);
+            put_u64(&mut out, v.index() as u64);
+            put_f64(&mut out, w);
+        }
+        put_u64(&mut out, self.in_links.len() as u64);
+        for &(r, v, w) in &self.in_links {
+            put_u64(&mut out, r.index() as u64);
+            put_u64(&mut out, v.index() as u64);
+            put_f64(&mut out, w);
+        }
+        put_u64(&mut out, self.terms.len() as u64);
+        for (a, bag) in &self.terms {
+            put_u64(&mut out, a.index() as u64);
+            put_u64(&mut out, bag.len() as u64);
+            for &(term, count) in bag {
+                put_u64(&mut out, u64::from(term));
+                put_f64(&mut out, count);
+            }
+        }
+        put_u64(&mut out, self.values.len() as u64);
+        for (a, vals) in &self.values {
+            put_u64(&mut out, a.index() as u64);
+            put_f64_slice(&mut out, vals);
+        }
+        put_f64_slice(&mut out, &self.theta);
+        out
+    }
+
+    /// Decodes a record payload; `None` on any structural violation
+    /// (non-panicking — log bytes are operator-supplied input). Trailing
+    /// bytes after the record are a violation too.
+    pub fn from_bytes(payload: &[u8]) -> Option<Self> {
+        let mut r = ByteReader::new(payload);
+        let object = id32(r.u64()?)?;
+        let object_type = id16_type(r.u64()?)?;
+        let name = r.str()?;
+        let mut links = Vec::new();
+        for _ in 0..r.count(24)? {
+            links.push((id16_rel(r.u64()?)?, id32(r.u64()?)?, r.f64()?));
+        }
+        let mut in_links = Vec::new();
+        for _ in 0..r.count(24)? {
+            in_links.push((id16_rel(r.u64()?)?, id32(r.u64()?)?, r.f64()?));
+        }
+        let mut terms = Vec::new();
+        for _ in 0..r.count(16)? {
+            let a = id16_attr(r.u64()?)?;
+            let mut bag = Vec::new();
+            for _ in 0..r.count(16)? {
+                bag.push((u32::try_from(r.u64()?).ok()?, r.f64()?));
+            }
+            terms.push((a, bag));
+        }
+        let mut values = Vec::new();
+        for _ in 0..r.count(16)? {
+            values.push((id16_attr(r.u64()?)?, r.f64_slice()?));
+        }
+        let theta = r.f64_slice()?;
+        (r.remaining() == 0).then_some(Self {
+            object,
+            object_type,
+            name,
+            links,
+            in_links,
+            terms,
+            values,
+            theta,
+        })
+    }
+}
+
+// Checked id decoders: `from_index` asserts on overflow, and a corrupt log
+// must surface as `None`, never as a panic.
+fn id32(raw: u64) -> Option<ObjectId> {
+    u32::try_from(raw)
+        .ok()
+        .map(|i| ObjectId::from_index(i as usize))
+}
+fn id16_type(raw: u64) -> Option<ObjectTypeId> {
+    u16::try_from(raw)
+        .ok()
+        .map(|i| ObjectTypeId::from_index(i as usize))
+}
+fn id16_rel(raw: u64) -> Option<RelationId> {
+    u16::try_from(raw)
+        .ok()
+        .map(|i| RelationId::from_index(i as usize))
+}
+fn id16_attr(raw: u64) -> Option<AttributeId> {
+    u16::try_from(raw)
+        .ok()
+        .map(|i| AttributeId::from_index(i as usize))
+}
+
+/// What [`Wal::open_or_create`] recovered from an existing log.
+#[derive(Debug, Default)]
+pub struct WalReplay {
+    /// Records to replay into the staging window, in append order. Their
+    /// ids are sequential starting at the paired graph's object count.
+    pub records: Vec<CommitRecord>,
+    /// The raw payload bytes of `records`, parallel to it — kept so a
+    /// later [`Wal::truncate`] can rewrite surviving records verbatim.
+    pub payloads: Vec<Vec<u8>>,
+    /// Valid records dropped because the snapshot already contains their
+    /// objects (a refresh persisted before the log was truncated).
+    pub skipped: usize,
+    /// Bytes of a torn tail that were physically truncated off the file
+    /// (0 when the log ended cleanly).
+    pub torn_bytes: usize,
+}
+
+/// Summary of a [`crate::refresh::RefreshableEngine::with_wal`] recovery —
+/// what the binary logs at startup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalRecoveryReport {
+    /// Commits replayed into the staging window.
+    pub replayed: usize,
+    /// Valid records skipped because the snapshot already held them.
+    pub skipped: usize,
+    /// Torn-tail bytes truncated off the log.
+    pub torn_bytes: usize,
+    /// Whether the log was rewritten (rebased) during recovery.
+    pub rewritten: bool,
+}
+
+/// The open commit log: an append handle plus the base-snapshot binding
+/// from its header.
+pub struct Wal {
+    path: PathBuf,
+    file: std::fs::File,
+    base_checksum: u64,
+    base_objects: usize,
+    n_records: usize,
+    /// Current valid file length — the append offset, tracked so a failed
+    /// in-place append can be chopped back off with `set_len`.
+    len: u64,
+    /// `Some` once a write failure left the on-disk state untrusted; every
+    /// later append fails fast (recovery at restart is the safe
+    /// continuation).
+    poisoned: Option<String>,
+    kill: Option<Arc<dyn Fn(&'static str) -> bool + Send + Sync>>,
+}
+
+impl Wal {
+    /// Creates a fresh (empty) log bound to a base snapshot, durably —
+    /// header written via temp-file + fsync + rename, so a crash right
+    /// after creation leaves a recoverable empty log.
+    pub fn create(
+        path: &Path,
+        base_checksum: u64,
+        base_objects: usize,
+    ) -> Result<Self, ServeError> {
+        let header = Self::header_bytes(base_checksum, base_objects);
+        atomic_write_durable(path, &header, &mut |_| Ok(()))?;
+        let file = std::fs::OpenOptions::new().append(true).open(path)?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            file,
+            base_checksum,
+            base_objects,
+            n_records: 0,
+            len: header.len() as u64,
+            poisoned: None,
+            kill: None,
+        })
+    }
+
+    fn header_bytes(base_checksum: u64, base_objects: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(WAL_HEADER_LEN);
+        out.extend_from_slice(&WAL_MAGIC);
+        out.extend_from_slice(&WAL_VERSION.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes());
+        put_u64(&mut out, base_checksum);
+        put_u64(&mut out, base_objects as u64);
+        put_u64(&mut out, 0);
+        debug_assert_eq!(out.len(), WAL_HEADER_LEN);
+        out
+    }
+
+    /// Opens an existing log for replay against the snapshot `graph` was
+    /// decoded from (whose payload checksum is `base_checksum`), or
+    /// creates a fresh one. See the module docs for the recovery rules:
+    /// torn tails are truncated and reported, already-applied records are
+    /// verified and skipped, and genuine mismatches (wrong file, wrong
+    /// snapshot, log ahead of snapshot) are hard [`ServeError::Wal`]
+    /// errors.
+    pub fn open_or_create(
+        path: &Path,
+        base_checksum: u64,
+        graph: &HinGraph,
+    ) -> Result<(Self, WalReplay), ServeError> {
+        let n = graph.n_objects();
+        if !path.exists() {
+            return Ok((Self::create(path, base_checksum, n)?, WalReplay::default()));
+        }
+        let bytes = std::fs::read(path)?;
+        if bytes.len() < WAL_HEADER_LEN {
+            // A crash during creation can leave a partial header; nothing
+            // was ever acked against it, so recover as an empty log.
+            let torn = bytes.len();
+            let wal = Self::create(path, base_checksum, n)?;
+            return Ok((
+                wal,
+                WalReplay {
+                    torn_bytes: torn,
+                    ..WalReplay::default()
+                },
+            ));
+        }
+        if bytes[..8] != WAL_MAGIC {
+            return Err(ServeError::Wal(format!(
+                "{} is not a genclus commit WAL (bad magic)",
+                path.display()
+            )));
+        }
+        let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("4 bytes"));
+        let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().expect("8 bytes"));
+        let version = u32_at(8);
+        if version == 0 || version > WAL_VERSION {
+            return Err(ServeError::Wal(format!(
+                "WAL schema version {version} is not supported (this build reads ≤ {WAL_VERSION})"
+            )));
+        }
+        if u32_at(12) != 0 || u64_at(32) != 0 {
+            return Err(ServeError::Wal(
+                "reserved WAL header fields are nonzero".into(),
+            ));
+        }
+        let log_checksum = u64_at(16);
+        let log_base = usize::try_from(u64_at(24))
+            .map_err(|_| ServeError::Wal("WAL header base-object count overflows".into()))?;
+        if log_base > n {
+            return Err(ServeError::Wal(format!(
+                "the log was written against a {log_base}-object snapshot but the loaded \
+                 snapshot holds {n} — wrong or stale snapshot for this WAL"
+            )));
+        }
+        if log_base == n && log_checksum != base_checksum {
+            return Err(ServeError::Wal(format!(
+                "the log binds to snapshot checksum {log_checksum:#018x} but the loaded \
+                 snapshot's is {base_checksum:#018x} — this WAL belongs to a different snapshot"
+            )));
+        }
+
+        let mut records = Vec::new();
+        let mut payloads = Vec::new();
+        let mut skipped = 0usize;
+        let mut next_id = log_base;
+        let mut pos = WAL_HEADER_LEN;
+        let torn_at = loop {
+            let rem = bytes.len() - pos;
+            if rem == 0 {
+                break None;
+            }
+            if rem < FRAME_LEN {
+                break Some(pos);
+            }
+            let Ok(len) = usize::try_from(u64_at(pos)) else {
+                break Some(pos);
+            };
+            let checksum = u64_at(pos + 8);
+            let Some(padded) = len.checked_next_multiple_of(8) else {
+                break Some(pos);
+            };
+            if padded > rem - FRAME_LEN {
+                break Some(pos);
+            }
+            let payload = &bytes[pos + FRAME_LEN..pos + FRAME_LEN + len];
+            if fnv1a64(payload) != checksum {
+                break Some(pos);
+            }
+            let Some(record) = CommitRecord::from_bytes(payload) else {
+                break Some(pos);
+            };
+            // Checksum-valid records must obey the log's own invariants;
+            // a violation here is a wrong pairing, not a torn tail.
+            if record.object.index() != next_id {
+                return Err(ServeError::Wal(format!(
+                    "record {} carries object id {} where {} was expected — the log does \
+                     not continue its base snapshot's id space",
+                    records.len() + skipped,
+                    record.object.index(),
+                    next_id
+                )));
+            }
+            if record.object.index() < n {
+                // Already folded into the snapshot by a refresh that
+                // persisted before the log could be truncated. Verify the
+                // claim before dropping the record.
+                if graph.object_by_name(&record.name) != Some(record.object)
+                    || graph.object_type(record.object) != record.object_type
+                {
+                    return Err(ServeError::Wal(format!(
+                        "record for {:?} (id {}) does not match the snapshot's object — \
+                         this WAL belongs to a different snapshot lineage",
+                        record.name,
+                        record.object.index()
+                    )));
+                }
+                skipped += 1;
+            } else {
+                payloads.push(payload.to_vec());
+                records.push(record);
+            }
+            next_id += 1;
+            pos += FRAME_LEN + padded;
+        };
+
+        // Physically truncate a torn tail so later appends extend the
+        // valid prefix, not the garbage.
+        let (valid_len, torn_bytes) = match torn_at {
+            Some(p) => (p, bytes.len() - p),
+            None => (bytes.len(), 0),
+        };
+        if torn_bytes > 0 {
+            let f = std::fs::OpenOptions::new().write(true).open(path)?;
+            f.set_len(valid_len as u64)?;
+            f.sync_all()?;
+        }
+        let file = std::fs::OpenOptions::new().append(true).open(path)?;
+        let wal = Self {
+            path: path.to_path_buf(),
+            file,
+            base_checksum: log_checksum,
+            base_objects: log_base,
+            n_records: skipped + records.len(),
+            len: valid_len as u64,
+            poisoned: None,
+            kill: None,
+        };
+        Ok((
+            wal,
+            WalReplay {
+                records,
+                payloads,
+                skipped,
+                torn_bytes,
+            },
+        ))
+    }
+
+    /// Appends one framed record and fsyncs before returning — the
+    /// durability point of a commit. On a write/sync failure the torn
+    /// bytes are chopped back off (`set_len`); if even that fails, the
+    /// log is poisoned and every later append fails fast, because
+    /// appending after an in-place torn record would corrupt the log
+    /// *mid-file* — recovery would then truncate acked records after it.
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), ServeError> {
+        if let Some(why) = &self.poisoned {
+            return Err(ServeError::Wal(format!(
+                "the commit log is disabled after an earlier write failure ({why}); \
+                 restart to recover"
+            )));
+        }
+        let mut frame = Vec::with_capacity(FRAME_LEN + payload.len() + 7);
+        put_u64(&mut frame, payload.len() as u64);
+        put_u64(&mut frame, fnv1a64(payload));
+        frame.extend_from_slice(payload);
+        pad8(&mut frame);
+        if self.kill("append:before-write") {
+            return Err(Self::killed("append:before-write"));
+        }
+        if self.kill("append:torn-write") {
+            // Simulated crash halfway through the frame: a prefix reaches
+            // the disk and the process dies (no repair runs).
+            let _ = self.file.write_all(&frame[..frame.len() / 2]);
+            let _ = self.file.sync_data();
+            return Err(Self::killed("append:torn-write"));
+        }
+        if let Err(e) = self.write_frame(&frame) {
+            let msg = e.to_string();
+            if self
+                .file
+                .set_len(self.len)
+                .and_then(|()| self.file.sync_data())
+                .is_err()
+            {
+                self.poisoned = Some(msg.clone());
+            }
+            return Err(ServeError::Wal(format!("commit log append failed: {msg}")));
+        }
+        self.len += frame.len() as u64;
+        self.n_records += 1;
+        if self.kill("append:acked-never-sent") {
+            // The record is durable but the ack never leaves the process —
+            // the client-retry side of the durability contract.
+            return Err(Self::killed("append:acked-never-sent"));
+        }
+        Ok(())
+    }
+
+    fn write_frame(&mut self, frame: &[u8]) -> std::io::Result<()> {
+        self.file.write_all(frame)?;
+        if self.kill("append:before-sync") {
+            // Simulated crash after the write, before the sync: the
+            // caller's repair path treats the unsynced bytes as lost.
+            return Err(std::io::Error::other("killed at append:before-sync"));
+        }
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Atomically replaces the log with one holding only `keep` (raw
+    /// record payloads, typically the still-staged window), rebased onto
+    /// the snapshot identified by `base_checksum`/`base_objects`: write
+    /// new log, fsync, rename, fsync the directory. Called after a
+    /// refresh *persisted* its snapshot. Any failure poisons the handle —
+    /// past the rename this handle may point at a replaced inode, and
+    /// recovery at the next startup is the safe continuation.
+    pub fn truncate(
+        &mut self,
+        base_checksum: u64,
+        base_objects: usize,
+        keep: &[Vec<u8>],
+    ) -> Result<(), ServeError> {
+        if let Some(why) = &self.poisoned {
+            return Err(ServeError::Wal(format!(
+                "the commit log is disabled after an earlier write failure ({why}); \
+                 restart to recover"
+            )));
+        }
+        if self.kill("truncate:start") {
+            return Err(Self::killed("truncate:start"));
+        }
+        let mut bytes = Self::header_bytes(base_checksum, base_objects);
+        for payload in keep {
+            put_u64(&mut bytes, payload.len() as u64);
+            put_u64(&mut bytes, fnv1a64(payload));
+            bytes.extend_from_slice(payload);
+            pad8(&mut bytes);
+        }
+        let kill = self.kill.clone();
+        let result = atomic_write_durable(&self.path, &bytes, &mut |site| {
+            let wal_site: &'static str = match site {
+                "tmp-synced" => "truncate:tmp-synced",
+                "renamed" => "truncate:renamed",
+                _ => return Ok(()),
+            };
+            if kill.as_ref().is_some_and(|h| h(wal_site)) {
+                return Err(std::io::Error::other(format!(
+                    "killed at {wal_site} (fault injection)"
+                )));
+            }
+            Ok(())
+        });
+        if let Err(e) = result {
+            let msg = e.to_string();
+            self.poisoned = Some(msg.clone());
+            return Err(ServeError::Wal(format!(
+                "commit log truncation failed: {msg}"
+            )));
+        }
+        self.file = std::fs::OpenOptions::new().append(true).open(&self.path)?;
+        self.base_checksum = base_checksum;
+        self.base_objects = base_objects;
+        self.n_records = keep.len();
+        self.len = bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Records currently in the log (including any the snapshot already
+    /// absorbed but the log still carries).
+    pub fn n_records(&self) -> usize {
+        self.n_records
+    }
+
+    /// Object count of the base snapshot this log's header binds to.
+    pub fn base_objects(&self) -> usize {
+        self.base_objects
+    }
+
+    /// Payload checksum of the base snapshot this log's header binds to.
+    pub fn base_checksum(&self) -> u64 {
+        self.base_checksum
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Test seam: `hook(site)` is consulted at every durability-relevant
+    /// point ([`KILL_SITES`]); returning `true` makes the operation fail
+    /// as if the process had died there (partial writes included). Not
+    /// part of the public API contract.
+    #[doc(hidden)]
+    pub fn set_kill_hook(&mut self, hook: impl Fn(&'static str) -> bool + Send + Sync + 'static) {
+        self.kill = Some(Arc::new(hook));
+    }
+
+    fn kill(&self, site: &'static str) -> bool {
+        self.kill.as_ref().is_some_and(|h| h(site))
+    }
+
+    fn killed(site: &str) -> ServeError {
+        ServeError::Wal(format!("killed at {site} (fault injection)"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> CommitRecord {
+        CommitRecord {
+            object: ObjectId::from_index(7),
+            object_type: ObjectTypeId::from_index(1),
+            name: "new-sensor".into(),
+            links: vec![
+                (RelationId::from_index(0), ObjectId::from_index(3), 1.5),
+                (RelationId::from_index(2), ObjectId::from_index(6), 0.25),
+            ],
+            in_links: vec![(RelationId::from_index(1), ObjectId::from_index(0), 2.0)],
+            terms: vec![(AttributeId::from_index(0), vec![(4, 2.0), (9, 1.0)])],
+            values: vec![(AttributeId::from_index(1), vec![-0.0, 3.25])],
+            theta: vec![0.125, 0.875, -0.0],
+        }
+    }
+
+    #[test]
+    fn record_round_trips_bit_exactly() {
+        let rec = record();
+        let bytes = rec.to_bytes();
+        assert_eq!(bytes.len() % 8, 0, "payloads stay 8-aligned");
+        let back = CommitRecord::from_bytes(&bytes).unwrap();
+        assert_eq!(back, rec);
+        // -0.0 survives as a bit pattern, not a value.
+        assert_eq!(back.theta[2].to_bits(), (-0.0f64).to_bits());
+        assert_eq!(back.values[0].1[0].to_bits(), (-0.0f64).to_bits());
+        // Re-serialization is byte-identical.
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn record_decode_rejects_garbage_without_panicking() {
+        let bytes = record().to_bytes();
+        // Every strict prefix fails to decode (or decodes to None).
+        for cut in 0..bytes.len() {
+            assert!(
+                CommitRecord::from_bytes(&bytes[..cut]).is_none(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+        // Trailing bytes are rejected too.
+        let mut long = bytes.clone();
+        long.extend_from_slice(&[0u8; 8]);
+        assert!(CommitRecord::from_bytes(&long).is_none());
+        // Absurd counts are rejected cheaply by the count() guard.
+        let mut bad = bytes.clone();
+        let name_end = 16 + 8 + 16; // object + type + len-prefixed "new-sensor" padded
+        bad[name_end..name_end + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(CommitRecord::from_bytes(&bad).is_none());
+    }
+
+    #[test]
+    fn header_is_fixed_size() {
+        assert_eq!(Wal::header_bytes(0xdead_beef, 42).len(), WAL_HEADER_LEN);
+    }
+}

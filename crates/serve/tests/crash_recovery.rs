@@ -1,0 +1,204 @@
+//! End-to-end crash recovery through the `genclus_serve` binary.
+//!
+//! The library-level property tests (`tests/wal.rs`) simulate crashes with
+//! the fault-injection hook; these tests kill the real process with
+//! SIGKILL mid-stream and restart it with the same `--snapshot`/`--wal`
+//! pair, asserting that every commit whose ack was read back survived —
+//! the operational shape of the *ack ⇒ replayable* contract. A separate
+//! test closes the binary's stdout (a dying consumer) and asserts the
+//! broken pipe quiesces like EOF: clean exit, durable state intact.
+
+use genclus_core::{GenClus, GenClusConfig};
+use genclus_hin::{HinBuilder, Schema};
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+fn snapshot_bytes() -> Vec<u8> {
+    let mut s = Schema::new();
+    let sensor = s.add_object_type("sensor");
+    let nn = s.add_relation("nn", sensor, sensor);
+    let reading = s.add_numerical_attribute("reading");
+    let mut b = HinBuilder::new(s);
+    let vs: Vec<_> = (0..6)
+        .map(|i| b.add_object(sensor, format!("s{i}")))
+        .collect();
+    for group in [[0usize, 1, 2], [3, 4, 5]] {
+        for &i in &group {
+            for &j in &group {
+                if i != j {
+                    b.add_link(vs[i], vs[j], nn, 1.0).unwrap();
+                }
+            }
+        }
+    }
+    b.add_numeric(vs[0], reading, -5.0).unwrap();
+    b.add_numeric(vs[3], reading, 5.0).unwrap();
+    let graph = b.build().unwrap();
+    let cfg = GenClusConfig::new(2, vec![reading]).with_seed(7);
+    let fit = GenClus::new(cfg).unwrap().fit(&graph).unwrap();
+    genclus_serve::snapshot::to_bytes(&graph, &fit.model)
+}
+
+struct Server {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl Server {
+    /// Spawns the binary against `dir`'s snapshot + WAL, batch size 1 so
+    /// every request line is answered (and its commit fsynced) before the
+    /// next is sent — each read-back ack is a real durability point.
+    fn spawn(dir: &std::path::Path, extra: &[&str]) -> Self {
+        let snap = dir.join("model.gcsnap");
+        let mut child = Command::new(env!("CARGO_BIN_EXE_genclus_serve"))
+            .arg("--snapshot")
+            .arg(&snap)
+            .arg("--wal")
+            .arg(dir.join("commits.gcwal"))
+            .arg("--refresh-save")
+            .arg(&snap)
+            .args(["--batch", "1"])
+            .args(extra)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn genclus_serve");
+        let stdin = child.stdin.take().unwrap();
+        let stdout = BufReader::new(child.stdout.take().unwrap());
+        Self {
+            child,
+            stdin,
+            stdout,
+        }
+    }
+
+    /// Sends one request and reads its ack back.
+    fn roundtrip(&mut self, line: &str) -> String {
+        writeln!(self.stdin, "{line}").expect("request write");
+        self.stdin.flush().expect("request flush");
+        let mut resp = String::new();
+        self.stdout.read_line(&mut resp).expect("response read");
+        assert!(!resp.is_empty(), "server died before answering {line}");
+        resp
+    }
+
+    fn commit(&mut self, name: &str) {
+        let resp = self.roundtrip(&format!(
+            r#"{{"op":"fold_in","links":[["nn","s3",1.0]],"commit":"{name}"}}"#
+        ));
+        assert!(resp.contains(r#""ok":true"#), "commit {name}: {resp}");
+    }
+}
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("genclus-crash-e2e-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("model.gcsnap"), snapshot_bytes()).unwrap();
+    dir
+}
+
+#[test]
+fn sigkill_mid_stream_loses_no_acked_commit() {
+    let dir = test_dir("sigkill");
+    // Refresh every 2 commits, so the kill lands past at least one
+    // persisted-refresh + log-truncation cycle.
+    let mut s = Server::spawn(&dir, &["--refresh-after-objects", "2"]);
+    for name in ["c0", "c1", "c2", "c3", "c4"] {
+        s.commit(name);
+    }
+    // Every ack above was read back; SIGKILL gives the process no chance
+    // to flush or clean up anything it hadn't already made durable.
+    s.child.kill().expect("SIGKILL");
+    s.child.wait().unwrap();
+
+    let mut s = Server::spawn(&dir, &["--refresh-after-objects", "2"]);
+    // Refreshes fired after c1 and c3 (and were persisted + truncated),
+    // leaving c4 staged; recovery must reproduce exactly that split.
+    let status = s.roundtrip(r#"{"op":"refresh_status"}"#);
+    assert!(status.contains(r#""pending_objects":1"#), "{status}");
+    assert!(status.contains(r#""wal_records":1"#), "{status}");
+    // Served commits answer membership; the staged one is known to the
+    // commit namespace (a duplicate is rejected as already staged).
+    for name in ["c0", "c1", "c2", "c3"] {
+        let resp = s.roundtrip(&format!(r#"{{"op":"membership","object":"{name}"}}"#));
+        assert!(resp.contains(r#""ok":true"#), "{name}: {resp}");
+    }
+    let dup = s.roundtrip(r#"{"op":"fold_in","links":[["nn","s3",1.0]],"commit":"c4"}"#);
+    assert!(dup.contains("already staged"), "{dup}");
+    // The recovered server keeps serving: one more commit crosses the
+    // threshold and refreshes c4 + c5 into the snapshot.
+    s.commit("c5");
+    let resp = s.roundtrip(r#"{"op":"membership","object":"c4"}"#);
+    assert!(resp.contains(r#""ok":true"#), "{resp}");
+    drop(s.stdin);
+    assert!(s.child.wait().unwrap().success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sigkill_without_any_refresh_replays_the_whole_log() {
+    let dir = test_dir("sigkill-noref");
+    let mut s = Server::spawn(&dir, &[]);
+    for name in ["c0", "c1", "c2"] {
+        s.commit(name);
+    }
+    s.child.kill().expect("SIGKILL");
+    s.child.wait().unwrap();
+
+    let mut s = Server::spawn(&dir, &[]);
+    let status = s.roundtrip(r#"{"op":"refresh_status"}"#);
+    assert!(status.contains(r#""pending_objects":3"#), "{status}");
+    assert!(status.contains(r#""wal_records":3"#), "{status}");
+    // A manual refresh folds the recovered window in and truncates.
+    let resp = s.roundtrip(r#"{"op":"refresh"}"#);
+    assert!(resp.contains(r#""ok":true"#), "{resp}");
+    for name in ["c0", "c1", "c2"] {
+        let resp = s.roundtrip(&format!(r#"{{"op":"membership","object":"{name}"}}"#));
+        assert!(resp.contains(r#""ok":true"#), "{name}: {resp}");
+    }
+    let status = s.roundtrip(r#"{"op":"refresh_status"}"#);
+    assert!(status.contains(r#""wal_records":0"#), "{status}");
+    drop(s.stdin);
+    assert!(s.child.wait().unwrap().success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn broken_pipe_quiesces_and_exits_cleanly() {
+    let dir = test_dir("brokenpipe");
+    let mut s = Server::spawn(&dir, &[]);
+    s.commit("c0");
+    // The consumer dies: close the read end of the binary's stdout.
+    drop(s.stdout);
+    // The next flushed response hits EPIPE inside the binary; it must
+    // quiesce and exit 0, not crash. Keep feeding lines until the process
+    // notices (our own writes may also fail with EPIPE once it exits —
+    // that is expected, not an error).
+    for _ in 0..100 {
+        if writeln!(s.stdin, r#"{{"op":"refresh_status"}}"#)
+            .and_then(|()| s.stdin.flush())
+            .is_err()
+        {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    drop(s.stdin);
+    let status = s.child.wait().unwrap();
+    assert!(status.success(), "broken pipe must exit cleanly: {status}");
+
+    // The acked commit survived the early exit.
+    let mut s = Server::spawn(&dir, &[]);
+    let status = s.roundtrip(r#"{"op":"refresh_status"}"#);
+    assert!(status.contains(r#""pending_objects":1"#), "{status}");
+    drop(s.stdin);
+    s.child.wait().unwrap();
+
+    std::fs::remove_dir_all(&dir).ok();
+}

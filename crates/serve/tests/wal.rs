@@ -1,0 +1,597 @@
+//! Crash-recovery property tests for the commit WAL.
+//!
+//! The contract under test: **ack ⇒ replayable**. For every fault-injection
+//! site the log exposes ([`genclus_serve::wal::KILL_SITES`]), and every
+//! occurrence of that site along a scripted serving session, killing the
+//! process there and recovering from disk — snapshot + WAL — then
+//! re-driving the not-yet-acknowledged part of the script must end in a
+//! state **byte-identical** to the uninterrupted run: the served snapshot's
+//! raw bytes plus the staged window (names, types, links, observations, and
+//! fold-in `Θ` rows as bit patterns). A torn final record is truncated and
+//! reported, never fatal; a log paired with the wrong snapshot is fatal.
+
+use genclus_core::{GenClus, GenClusConfig};
+use genclus_hin::{HinBuilder, Schema};
+use genclus_serve::wal::{Wal, FRAME_LEN, KILL_SITES, WAL_HEADER_LEN};
+use genclus_serve::{
+    Json, RefreshPolicy, RefreshableEngine, ServeError, Snapshot, WalRecoveryReport,
+};
+use genclus_stats::bytesio::fnv1a64;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// The refresh.rs fixture: two planted sensor clusters, readings on the
+/// anchors only. Deterministic (seeded, single-threaded EM).
+fn snapshot_bytes() -> Vec<u8> {
+    let mut s = Schema::new();
+    let sensor = s.add_object_type("sensor");
+    let nn = s.add_relation("nn", sensor, sensor);
+    let reading = s.add_numerical_attribute("reading");
+    let mut b = HinBuilder::new(s);
+    let vs: Vec<_> = (0..6)
+        .map(|i| b.add_object(sensor, format!("s{i}")))
+        .collect();
+    for group in [[0usize, 1, 2], [3, 4, 5]] {
+        for &i in &group {
+            for &j in &group {
+                if i != j {
+                    b.add_link(vs[i], vs[j], nn, 1.0).unwrap();
+                }
+            }
+        }
+    }
+    for x in [-5.0, -5.1, -4.9] {
+        b.add_numeric(vs[0], reading, x).unwrap();
+    }
+    for x in [5.0, 5.1, 4.9] {
+        b.add_numeric(vs[3], reading, x).unwrap();
+    }
+    let graph = b.build().unwrap();
+    let cfg = GenClusConfig::new(2, vec![reading]).with_seed(7);
+    let fit = GenClus::new(cfg).unwrap().fit(&graph).unwrap();
+    genclus_serve::snapshot::to_bytes(&graph, &fit.model)
+}
+
+/// One isolated serving deployment: its own directory holding the snapshot
+/// file (the boot snapshot and `persist_path` point at the same file, as a
+/// self-refreshing deployment would) and the commit log.
+struct Deployment {
+    dir: PathBuf,
+    snap: PathBuf,
+    wal: PathBuf,
+}
+
+impl Deployment {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("genclus-wal-test-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("model.gcsnap");
+        std::fs::write(&snap, snapshot_bytes()).unwrap();
+        Self {
+            wal: dir.join("commits.gcwal"),
+            dir,
+            snap,
+        }
+    }
+
+    fn policy(&self) -> RefreshPolicy {
+        RefreshPolicy {
+            persist_path: Some(self.snap.clone()),
+            ..RefreshPolicy::default()
+        }
+    }
+
+    /// Opens (or recovers) the engine exactly as the binary would.
+    fn open(&self) -> Result<(RefreshableEngine, WalRecoveryReport), ServeError> {
+        RefreshableEngine::with_wal(
+            Snapshot::load(&self.snap).unwrap(),
+            1,
+            self.policy(),
+            &self.wal,
+        )
+    }
+}
+
+impl Drop for Deployment {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.dir).ok();
+    }
+}
+
+/// The scripted session: commits covering links to served objects,
+/// staged→staged links, `in_links` from served and staged sources, numeric
+/// observations (including a `-0.0` whose bit pattern must survive),
+/// interleaved with persisted refreshes, ending with a non-empty window.
+const SCRIPT: &[&str] = &[
+    r#"{"op":"fold_in","links":[["nn","s3",1.0],["nn","s4",1.0]],"values":{"reading":[1.5]},"commit":"n0"}"#,
+    r#"{"op":"fold_in","links":[["nn","n0",1.0]],"in_links":[["nn","s1",0.5]],"commit":"n1"}"#,
+    r#"{"op":"fold_in","links":[["nn","s0",2.0]],"in_links":[["nn","n0",1.0]],"commit":"n2"}"#,
+    r#"{"op":"refresh"}"#,
+    r#"{"op":"fold_in","links":[["nn","n0",1.0]],"commit":"n3"}"#,
+    r#"{"op":"fold_in","links":[["nn","n3",1.0]],"values":{"reading":[-0.0]},"commit":"n4"}"#,
+    r#"{"op":"refresh"}"#,
+    r#"{"op":"fold_in","links":[["nn","s2",1.0]],"in_links":[["nn","n4",2.0]],"commit":"n5"}"#,
+    r#"{"op":"fold_in","links":[["nn","n5",1.0]],"commit":"n6"}"#,
+];
+
+/// Served snapshot bytes + staged-window bytes: the full observable state.
+fn fingerprint(e: &RefreshableEngine) -> Vec<u8> {
+    let mut fp = e.engine().snapshot().raw_bytes().to_vec();
+    fp.extend(e.staged_state_bytes());
+    fp
+}
+
+/// `unwrap_err` without requiring `Debug` on the success side.
+fn expect_err<T>(result: Result<T, ServeError>) -> ServeError {
+    match result {
+        Ok(_) => panic!("expected a hard recovery error"),
+        Err(e) => e,
+    }
+}
+
+fn run_step(e: &mut RefreshableEngine, line: &str) -> Result<(), String> {
+    let resp = e.handle_line(line);
+    let v = Json::parse(&resp).unwrap();
+    if v.get("ok") != Some(&Json::Bool(true)) {
+        return Err(v.get("error").unwrap().as_str().unwrap().to_string());
+    }
+    // A refresh's truncation failure is non-fatal and reported out of band;
+    // the kill harness must see it as this step's death.
+    if let Some(err) = e.wal_error() {
+        return Err(err.to_string());
+    }
+    Ok(())
+}
+
+fn reference_fingerprint() -> Vec<u8> {
+    let d = Deployment::new("reference");
+    let (mut e, report) = d.open().unwrap();
+    assert_eq!(
+        report,
+        WalRecoveryReport {
+            replayed: 0,
+            skipped: 0,
+            torn_bytes: 0,
+            rewritten: false,
+        }
+    );
+    for line in SCRIPT {
+        run_step(&mut e, line).unwrap();
+    }
+    assert_eq!(e.pending_objects(), 2, "script ends with a staged window");
+    assert_eq!(e.wal_records(), Some(2), "persisted refreshes truncate");
+    fingerprint(&e)
+}
+
+/// Runs the script with a kill wired to the `occurrence`-th hit of `site`.
+/// Returns `None` when the site never fired that often (the enumeration
+/// for this site is exhausted); otherwise kills the engine at that point,
+/// recovers from disk, re-drives the unacknowledged part of the script,
+/// and returns the final fingerprint.
+fn run_killed(site: &'static str, occurrence: usize, tag: &str) -> Option<Vec<u8>> {
+    let d = Deployment::new(tag);
+    let (mut e, _) = d.open().unwrap();
+    let counter = Arc::new(AtomicUsize::new(0));
+    let hits = counter.clone();
+    e.set_wal_kill_hook(move |s| {
+        s == site && hits.fetch_add(1, Ordering::SeqCst) + 1 == occurrence
+    });
+
+    let mut died_at: Option<(usize, bool)> = None;
+    for (i, line) in SCRIPT.iter().enumerate() {
+        match run_step(&mut e, line) {
+            Ok(()) => {}
+            Err(msg) => {
+                assert!(
+                    msg.contains("killed at"),
+                    "step {i} failed for a non-injected reason: {msg}"
+                );
+                died_at = Some((i, line.contains(r#""op":"refresh""#)));
+                break;
+            }
+        }
+    }
+    let (step, was_refresh) = died_at?;
+    drop(e); // the crash
+
+    let (mut e, _report) = d
+        .open()
+        .unwrap_or_else(|err| panic!("recovery after kill at {site}#{occurrence}: {err}"));
+    // Client-retry semantics: a refresh step dies *after* the swap and
+    // persist landed (truncation runs last), so the retry resumes at the
+    // next step; a commit step retries the commit itself — and a commit
+    // that was durable but never acked ("append:acked-never-sent")
+    // surfaces as "already staged", which tells the client it survived.
+    if !was_refresh {
+        match run_step(&mut e, SCRIPT[step]) {
+            Ok(()) => {}
+            Err(msg) => assert!(
+                msg.contains("already staged") || msg.contains("already exists"),
+                "retry of step {step} after kill at {site}#{occurrence}: {msg}"
+            ),
+        }
+    }
+    for line in &SCRIPT[step + 1..] {
+        run_step(&mut e, line)
+            .unwrap_or_else(|msg| panic!("post-recovery step failed ({site}#{occurrence}): {msg}"));
+    }
+    Some(fingerprint(&e))
+}
+
+#[test]
+fn crash_at_every_kill_point_recovers_byte_identically() {
+    let reference = reference_fingerprint();
+    let mut scenarios = 0usize;
+    for site in KILL_SITES {
+        let mut occurrence = 1usize;
+        loop {
+            let tag = format!("{}-{occurrence}", site.replace(':', "-"));
+            match run_killed(site, occurrence, &tag) {
+                Some(fp) => {
+                    assert_eq!(
+                        fp, reference,
+                        "kill at {site} (occurrence {occurrence}) diverged after recovery"
+                    );
+                    scenarios += 1;
+                    occurrence += 1;
+                }
+                None => break,
+            }
+        }
+        assert!(
+            occurrence > 1,
+            "kill site {site} never fired — the matrix has a dead cell"
+        );
+    }
+    // 4 append sites × 7 commits + 3 truncate sites × 2 refreshes.
+    assert_eq!(scenarios, 4 * 7 + 3 * 2, "the full matrix ran");
+}
+
+// ---------------------------------------------------------------------------
+// Torn-tail recovery: every byte offset of the final record
+// ---------------------------------------------------------------------------
+
+/// Walks the frame structure of a WAL file, returning each record's byte
+/// range `[start, end)`.
+fn frame_ranges(bytes: &[u8]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut pos = WAL_HEADER_LEN;
+    while pos < bytes.len() {
+        let len = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()) as usize;
+        let end = pos + FRAME_LEN + len.next_multiple_of(8);
+        out.push((pos, end));
+        pos = end;
+    }
+    out
+}
+
+/// Rewrites the 2-byte name inside the first record's payload and fixes up
+/// the frame checksum, keeping the frame structurally valid.
+fn forge_first_record_name(log: &mut [u8], from: &[u8; 2], to: &[u8; 2]) {
+    let (start, _) = frame_ranges(log)[0];
+    let len = u64::from_le_bytes(log[start..start + 8].try_into().unwrap()) as usize;
+    let payload = start + FRAME_LEN..start + FRAME_LEN + len;
+    let at = log[payload.clone()]
+        .windows(2)
+        .position(|w| w == from)
+        .expect("name bytes present")
+        + payload.start;
+    log[at..at + 2].copy_from_slice(to);
+    let checksum = fnv1a64(&log[payload.clone()]);
+    log[start + 8..start + 16].copy_from_slice(&checksum.to_le_bytes());
+}
+
+#[test]
+fn torn_final_record_is_truncated_at_every_byte_offset_never_fatal() {
+    let d = Deployment::new("torn");
+    let (mut e, _) = d.open().unwrap();
+    for line in &SCRIPT[..3] {
+        run_step(&mut e, line).unwrap();
+    }
+    drop(e);
+    let full = std::fs::read(&d.wal).unwrap();
+    let frames = frame_ranges(&full);
+    assert_eq!(frames.len(), 3);
+    let (last_start, last_end) = *frames.last().unwrap();
+    assert_eq!(last_end, full.len());
+
+    let snap = Snapshot::load(&d.snap).unwrap();
+    for cut in last_start..last_end {
+        let torn_path = d.dir.join("torn.gcwal");
+        std::fs::write(&torn_path, &full[..cut]).unwrap();
+        let (wal, replay) = Wal::open_or_create(&torn_path, snap.header().checksum, snap.graph())
+            .unwrap_or_else(|err| panic!("cut at byte {cut} was fatal: {err}"));
+        assert_eq!(
+            replay.records.len(),
+            2,
+            "cut at {cut}: the longest valid prefix is recovered, not discarded"
+        );
+        assert_eq!(replay.records[0].name, "n0");
+        assert_eq!(replay.records[1].name, "n1");
+        assert_eq!(replay.torn_bytes, cut - last_start, "cut at {cut}");
+        assert_eq!(wal.n_records(), 2);
+        // The torn tail is physically gone: the file ends at the valid
+        // prefix, so later appends extend good bytes.
+        assert_eq!(
+            std::fs::metadata(&torn_path).unwrap().len(),
+            last_start as u64,
+            "cut at {cut}"
+        );
+    }
+    // The untouched file replays all three records cleanly.
+    let (_, replay) = Wal::open_or_create(&d.wal, snap.header().checksum, snap.graph()).unwrap();
+    assert_eq!(replay.records.len(), 3);
+    assert_eq!((replay.skipped, replay.torn_bytes), (0, 0));
+}
+
+#[test]
+fn mid_log_corruption_truncates_from_the_corrupt_record() {
+    let d = Deployment::new("midcorrupt");
+    let (mut e, _) = d.open().unwrap();
+    for line in &SCRIPT[..3] {
+        run_step(&mut e, line).unwrap();
+    }
+    drop(e);
+    let mut bytes = std::fs::read(&d.wal).unwrap();
+    let (second_start, _) = frame_ranges(&bytes)[1];
+    // Flip one payload byte of the middle record: its checksum fails, and
+    // everything from it on is untrusted (the fsync discipline only
+    // guarantees prefix integrity).
+    bytes[second_start + FRAME_LEN] ^= 0xff;
+    std::fs::write(&d.wal, &bytes).unwrap();
+    let snap = Snapshot::load(&d.snap).unwrap();
+    let (_, replay) = Wal::open_or_create(&d.wal, snap.header().checksum, snap.graph()).unwrap();
+    assert_eq!(replay.records.len(), 1);
+    assert_eq!(replay.records[0].name, "n0");
+    assert_eq!(replay.torn_bytes, bytes.len() - second_start);
+}
+
+#[test]
+fn partial_header_recovers_as_a_fresh_log() {
+    let d = Deployment::new("partialheader");
+    std::fs::write(&d.wal, [0u8; 17]).unwrap();
+    let snap = Snapshot::load(&d.snap).unwrap();
+    let (wal, replay) = Wal::open_or_create(&d.wal, snap.header().checksum, snap.graph()).unwrap();
+    assert_eq!(replay.torn_bytes, 17);
+    assert_eq!(wal.n_records(), 0);
+    assert_eq!(
+        std::fs::metadata(&d.wal).unwrap().len(),
+        WAL_HEADER_LEN as u64
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Hard errors: a wrong pairing is fatal, not silently "recovered"
+// ---------------------------------------------------------------------------
+
+#[test]
+fn wrong_snapshot_and_log_ahead_are_hard_errors() {
+    let d = Deployment::new("wrongsnap");
+    let (mut e, _) = d.open().unwrap();
+    run_step(&mut e, SCRIPT[0]).unwrap();
+    drop(e);
+    let snap = Snapshot::load(&d.snap).unwrap();
+
+    // Same object count, different checksum: a different snapshot.
+    let err = expect_err(Wal::open_or_create(
+        &d.wal,
+        snap.header().checksum ^ 1,
+        snap.graph(),
+    ));
+    assert!(err.to_string().contains("different snapshot"), "{err}");
+
+    // A log whose base is *ahead* of the snapshot (stale snapshot file).
+    let ahead = d.dir.join("ahead.gcwal");
+    drop(Wal::create(&ahead, snap.header().checksum, 99).unwrap());
+    let err = expect_err(Wal::open_or_create(
+        &ahead,
+        snap.header().checksum,
+        snap.graph(),
+    ));
+    assert!(err.to_string().contains("wrong or stale"), "{err}");
+
+    // Not a WAL at all (long enough to rule out a torn header).
+    let junk = d.dir.join("junk.gcwal");
+    std::fs::write(&junk, [b'x'; 64]).unwrap();
+    let err = expect_err(Wal::open_or_create(
+        &junk,
+        snap.header().checksum,
+        snap.graph(),
+    ));
+    assert!(err.to_string().contains("bad magic"), "{err}");
+}
+
+#[test]
+fn recovery_skips_records_the_snapshot_already_absorbed() {
+    // The crash window between a persisted refresh and its log truncation:
+    // simulated by copying the log aside before a refresh and restoring it
+    // afterwards — the snapshot then holds commits the log still carries.
+    let d = Deployment::new("skipabsorbed");
+    let (mut e, _) = d.open().unwrap();
+    for line in &SCRIPT[..3] {
+        run_step(&mut e, line).unwrap();
+    }
+    drop(e);
+    let stale_log = std::fs::read(&d.wal).unwrap();
+
+    let (mut e, report) = d.open().unwrap();
+    assert_eq!(report.replayed, 3, "a clean log replays everything");
+    run_step(&mut e, SCRIPT[3]).unwrap(); // refresh: persists + truncates
+    assert_eq!(e.wal_records(), Some(0));
+    drop(e);
+    std::fs::write(&d.wal, &stale_log).unwrap(); // un-truncate: the "crash"
+
+    let (e, report) = d.open().unwrap();
+    assert_eq!(report.replayed, 0, "all three commits are already served");
+    assert_eq!(report.skipped, 3);
+    assert!(report.rewritten, "the log is rebased during recovery");
+    assert_eq!(e.wal_records(), Some(0));
+    assert_eq!(e.pending_objects(), 0);
+    for name in ["n0", "n1", "n2"] {
+        assert!(e.engine().graph().object_by_name(name).is_some(), "{name}");
+    }
+    drop(e);
+
+    // A log from a different lineage whose ids overlap served objects must
+    // NOT be skipped silently: the same bytes with one record's name
+    // forged fail the name/id verification and die loudly.
+    let mut forged = stale_log.clone();
+    forge_first_record_name(&mut forged, b"n0", b"x0");
+    std::fs::write(&d.wal, &forged).unwrap();
+    let err = expect_err(d.open());
+    assert!(err.to_string().contains("lineage"), "{err}");
+}
+
+// ---------------------------------------------------------------------------
+// Background mode: segments truncate at the swap, merge on failure
+// ---------------------------------------------------------------------------
+
+/// A gate the background re-fit blocks on, so the test controls when the
+/// swap happens (same idiom as the refresh.rs background tests).
+fn gated(e: &mut RefreshableEngine) -> Arc<(std::sync::Mutex<bool>, std::sync::Condvar)> {
+    let gate = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+    let in_job = gate.clone();
+    e.set_background_refit_hook(move || {
+        let (lock, cvar) = &*in_job;
+        let mut open = lock.lock().unwrap();
+        while !*open {
+            open = cvar.wait(open).unwrap();
+        }
+    });
+    gate
+}
+
+fn open_gate(gate: &(std::sync::Mutex<bool>, std::sync::Condvar)) {
+    let (lock, cvar) = gate;
+    *lock.lock().unwrap() = true;
+    cvar.notify_all();
+}
+
+#[test]
+fn background_swap_truncates_only_the_landed_windows_segment() {
+    let d = Deployment::new("bgswap");
+    let policy = RefreshPolicy {
+        background: true,
+        ..d.policy()
+    };
+    let (mut e, _) =
+        RefreshableEngine::with_wal(Snapshot::load(&d.snap).unwrap(), 1, policy.clone(), &d.wal)
+            .unwrap();
+    let gate = gated(&mut e);
+    run_step(&mut e, SCRIPT[0]).unwrap(); // n0
+    let resp = e.handle_line(r#"{"op":"refresh"}"#);
+    assert!(resp.contains(r#""started":true"#), "{resp}");
+    // A commit arriving mid-re-fit opens the second log segment.
+    run_step(
+        &mut e,
+        r#"{"op":"fold_in","links":[["nn","n0",1.0]],"commit":"mid"}"#,
+    )
+    .unwrap();
+    assert_eq!(e.wal_records(), Some(2));
+    open_gate(&gate);
+    e.finish();
+    assert_eq!(e.wal_error(), None);
+    // The landed window's segment is gone; the next window's survives.
+    assert_eq!(e.wal_records(), Some(1));
+    assert_eq!(e.pending_objects(), 1);
+    drop(e);
+
+    // Recovery agrees: n0 is served, mid is staged.
+    let (e, report) =
+        RefreshableEngine::with_wal(Snapshot::load(&d.snap).unwrap(), 1, policy, &d.wal).unwrap();
+    assert_eq!((report.replayed, report.skipped), (1, 0));
+    assert!(e.engine().graph().object_by_name("n0").is_some());
+    assert_eq!(e.pending_objects(), 1);
+}
+
+#[test]
+fn failed_background_refit_keeps_both_segments_and_recovery_replays_all() {
+    let d = Deployment::new("bgfail");
+    let policy = RefreshPolicy {
+        background: true,
+        // Unwritable persist target (parent of a file): the re-fit itself
+        // succeeds, persistence fails → the job errors, nothing truncates.
+        persist_path: Some(PathBuf::from("/dev/null/refreshed.gcsnap")),
+        ..RefreshPolicy::default()
+    };
+    let (mut e, _) =
+        RefreshableEngine::with_wal(Snapshot::load(&d.snap).unwrap(), 1, policy, &d.wal).unwrap();
+    let gate = gated(&mut e);
+    run_step(&mut e, SCRIPT[0]).unwrap();
+    let resp = e.handle_line(r#"{"op":"refresh"}"#);
+    assert!(resp.contains(r#""started":true"#), "{resp}");
+    run_step(
+        &mut e,
+        r#"{"op":"fold_in","links":[["nn","n0",1.0]],"commit":"mid"}"#,
+    )
+    .unwrap();
+    open_gate(&gate);
+    e.finish();
+    assert!(matches!(e.last_refresh(), Some(Err(_))));
+    // Both windows merged back, both records still logged.
+    assert_eq!(e.pending_objects(), 2);
+    assert_eq!(e.wal_records(), Some(2));
+    let merged = e.staged_state_bytes();
+    drop(e);
+
+    // Recovery from the (never-refreshed) boot snapshot replays both
+    // commits into one window, byte-identical to the merged state.
+    let (e, report) = d.open().unwrap();
+    assert_eq!(report.replayed, 2);
+    assert_eq!(e.staged_state_bytes(), merged);
+}
+
+// ---------------------------------------------------------------------------
+// Durability ordering
+// ---------------------------------------------------------------------------
+
+#[test]
+fn failed_append_rejects_the_commit_with_nothing_staged() {
+    let d = Deployment::new("appendfail");
+    let (mut e, _) = d.open().unwrap();
+    e.set_wal_kill_hook(|site| site == "append:before-write");
+    let resp = e.handle_line(SCRIPT[0]);
+    assert!(resp.contains(r#""ok":false"#), "{resp}");
+    assert!(resp.contains("killed at"), "{resp}");
+    assert_eq!(e.pending_objects(), 0, "nothing staged without a log entry");
+    assert_eq!(e.pending_links(), 0);
+    assert_eq!(e.wal_records(), Some(0));
+}
+
+#[test]
+fn without_persist_path_the_log_is_never_truncated_and_covers_everything() {
+    let d = Deployment::new("nopersist");
+    let policy = RefreshPolicy::default(); // no persist_path
+    let (mut e, _) =
+        RefreshableEngine::with_wal(Snapshot::load(&d.snap).unwrap(), 1, policy.clone(), &d.wal)
+            .unwrap();
+    for line in &SCRIPT[..4] {
+        run_step(&mut e, line).unwrap(); // 3 commits + an in-memory refresh
+    }
+    assert_eq!(e.refreshes(), 1);
+    assert_eq!(
+        e.wal_records(),
+        Some(3),
+        "an unpersisted refresh must not drop the only durable record of its commits"
+    );
+    // Commits after the in-memory refresh keep extending the same log.
+    run_step(&mut e, SCRIPT[4]).unwrap();
+    assert_eq!(e.wal_records(), Some(4));
+    drop(e);
+
+    // Recovery reloads the *boot* snapshot (nothing was ever persisted)
+    // and replays all four commits into one window.
+    let (mut e, report) =
+        RefreshableEngine::with_wal(Snapshot::load(&d.snap).unwrap(), 1, policy, &d.wal).unwrap();
+    assert_eq!(report.replayed, 4);
+    assert_eq!(e.pending_objects(), 4);
+    for name in ["n0", "n1", "n2", "n3"] {
+        let resp = e.handle_line(&format!(
+            r#"{{"op":"fold_in","links":[["nn","s3",1.0]],"commit":"{name}"}}"#
+        ));
+        assert!(resp.contains("already staged"), "{name}: {resp}");
+    }
+}
