@@ -10,9 +10,12 @@
 //! and sustained queries/sec per cell — plus the `commit` / `commit_wal`
 //! pair: fold-in commits through the refresh engine without and with the
 //! commit write-ahead log, pricing the append + fsync every durable ack
-//! pays. In full mode the run exits non-zero if batch-256 throughput falls
-//! below batch-1 on the mixed workload: batching must never cost
-//! throughput.
+//! pays, and the `mixed_metrics_off` / `mixed_metrics_on` pair pricing
+//! the always-on metrics registry. In full mode the run exits non-zero
+//! if batch-256 throughput falls below batch-1 on the mixed workload
+//! (batching must never cost throughput) or if metrics-on mixed
+//! throughput falls under 97% of metrics-off (`{"op":"metrics"}` must
+//! stay near-free for everyone who never asks for it).
 
 use genclus_bench::serve_perf::{run_serve_perf, ServePerfConfig};
 use std::path::PathBuf;
@@ -69,6 +72,16 @@ fn main() {
         eprintln!(
             "PERF REGRESSION: batch-256 serves only {:.2}x the batch-1 throughput (gate: 1.0x)",
             report.headline.speedup
+        );
+        std::process::exit(1);
+    }
+
+    // Observability gate: recording per-request metrics must cost at most
+    // 3% of mixed throughput.
+    if report.mode == "full" && report.metrics_overhead.ratio < 0.97 {
+        eprintln!(
+            "PERF REGRESSION: metrics-on mixed throughput is only {:.3}x metrics-off (gate: 0.97x)",
+            report.metrics_overhead.ratio
         );
         std::process::exit(1);
     }

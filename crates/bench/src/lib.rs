@@ -19,6 +19,7 @@ pub mod ablations;
 pub mod dblp_experiments;
 pub mod methods;
 pub mod perf;
+pub mod quantiles;
 pub mod refresh_perf;
 pub mod report;
 pub mod serve_perf;

@@ -43,6 +43,7 @@
 //! Performance section and mirrored by [`RefreshPerfReport::to_json`].
 
 use crate::perf::fmt_f64;
+use crate::quantiles::{latency_histogram, quantile_seconds};
 use genclus_core::{GenClus, GenClusConfig, GenClusModel};
 use genclus_datagen::weather::{generate, PatternSetting, WeatherConfig, WeatherNetwork};
 use genclus_hin::{GraphDelta, HinGraph};
@@ -378,14 +379,12 @@ fn total_em_iterations(fit: &genclus_core::GenClusFit) -> usize {
     fit.history.total_em_iterations()
 }
 
-/// `q`-th percentile of an unsorted latency list (nearest-rank).
-fn percentile_ms(latencies: &mut [f64], q: f64) -> f64 {
-    if latencies.is_empty() {
-        return 0.0;
-    }
-    latencies.sort_by(f64::total_cmp);
-    let rank = (q * (latencies.len() - 1) as f64).round() as usize;
-    latencies[rank]
+/// `q`-th nearest-rank percentile of a latency list (ms), through the
+/// shared obs histogram ([`crate::quantiles`]) — the same structure the
+/// serving layer's `{"op":"metrics"}` op reports from.
+fn percentile_ms(latencies: &[f64], q: f64) -> f64 {
+    let seconds: Vec<f64> = latencies.iter().map(|ms| ms * 1e-3).collect();
+    quantile_seconds(&latency_histogram(&seconds), q) * 1e3
 }
 
 /// Open-loop arrival spacing of the serving measurement (ms).
@@ -484,9 +483,9 @@ fn measure_serving(
         mode: if background { "background" } else { "inline" },
         refresh_wall_ms: window_end.as_secs_f64() * 1e3,
         queries_during_refresh,
-        p50_ms: percentile_ms(&mut during, 0.50),
-        p99_ms: percentile_ms(&mut during, 0.99),
-        max_ms: percentile_ms(&mut during, 1.0),
+        p50_ms: percentile_ms(&during, 0.50),
+        p99_ms: percentile_ms(&during, 0.99),
+        max_ms: percentile_ms(&during, 1.0),
     }
 }
 

@@ -15,25 +15,32 @@
 //!   engine at batch size 1, without and with the commit WAL: the
 //!   `commit_wal` cell pays one append + fsync per ack (the *ack ⇒
 //!   replayable* durability point), so the pair prices the WAL's
-//!   per-commit overhead directly.
+//!   per-commit overhead directly;
+//! * `mixed_metrics_off` / `mixed_metrics_on` — the mixed workload at
+//!   batch 16 on engines wired to a disabled vs an enabled
+//!   [`ServeMetrics`] registry, pricing the always-on observability
+//!   layer (per-request clock reads + lock-free histogram records).
 //!
 //! Per `(workload, batch size)` cell it reports the p50/p99 **per-query**
-//! latency (batch wall-time divided by batch size) and the sustained
-//! queries/sec over the whole cell. The headline compares batch-1 against
-//! batch-256 throughput on the mixed workload, measured in the same run;
-//! `bench_serve` exits non-zero in full mode if batching does not help at
-//! all (ratio < 1.0) — amortizing dispatch over a batch must never *lose*
-//! throughput.
+//! latency (batch wall-time divided by batch size, quantiles through the
+//! shared obs histogram) and the sustained queries/sec over the whole
+//! cell. The headline compares batch-1 against batch-256 throughput on
+//! the mixed workload, measured in the same run; `bench_serve` exits
+//! non-zero in full mode if batching does not help at all (ratio < 1.0)
+//! — amortizing dispatch over a batch must never *lose* throughput — or
+//! if metrics-on throughput falls under 97% of metrics-off.
 //!
 //! Schema of `BENCH_serve.json` is documented in ROADMAP.md's Performance
 //! section and mirrored by [`ServePerfReport::to_json`].
 
 use crate::perf::fmt_f64;
+use crate::quantiles::{latency_histogram, quantile_seconds};
 use genclus_core::{GenClus, GenClusConfig};
 use genclus_datagen::weather::{generate, PatternSetting, WeatherConfig};
-use genclus_serve::{QueryEngine, RefreshPolicy, RefreshableEngine, Snapshot};
+use genclus_serve::{QueryEngine, RefreshPolicy, RefreshableEngine, ServeMetrics, Snapshot};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Clusters of the benchmark fit.
@@ -89,11 +96,11 @@ pub struct ServeMeasurement {
 }
 
 impl ServeMeasurement {
+    /// Nearest-rank quantile of the per-query latencies, through the
+    /// shared obs histogram ([`crate::quantiles`]) — the same structure
+    /// the serving layer's `{"op":"metrics"}` op reports from.
     fn percentile(&self, q: f64) -> f64 {
-        let mut s = self.per_query_seconds.clone();
-        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let idx = ((q * s.len() as f64) as usize).min(s.len() - 1);
-        s[idx]
+        quantile_seconds(&latency_histogram(&self.per_query_seconds), q)
     }
 
     /// Median per-query latency (seconds).
@@ -105,6 +112,22 @@ impl ServeMeasurement {
     pub fn p99_seconds(&self) -> f64 {
         self.percentile(0.99)
     }
+}
+
+/// The metrics-overhead headline the observability gate reads: the
+/// mixed workload at one batch size, measured on two engines decoded
+/// from the same snapshot bytes — registry disabled vs enabled (the
+/// serving default).
+#[derive(Debug, Clone)]
+pub struct MetricsOverhead {
+    /// Batch size both cells ran at.
+    pub batch_size: usize,
+    /// Queries/sec with the registry disabled.
+    pub off_qps: f64,
+    /// Queries/sec with the registry enabled.
+    pub on_qps: f64,
+    /// `on / off` throughput ratio (1.0 = metrics are free).
+    pub ratio: f64,
 }
 
 /// The batching headline the acceptance gate reads.
@@ -135,6 +158,8 @@ pub struct ServePerfReport {
     pub measurements: Vec<ServeMeasurement>,
     /// Batch-1 vs batch-256 comparison on the mixed workload.
     pub headline: ServeHeadline,
+    /// Metrics-on vs metrics-off comparison on the mixed workload.
+    pub metrics_overhead: MetricsOverhead,
 }
 
 /// Fits the weather fixture and serializes its snapshot; returns the
@@ -282,6 +307,55 @@ fn measure_commit_cell(cfg: &ServePerfConfig, with_wal: bool) -> ServeMeasuremen
     }
 }
 
+/// Prices the always-on metrics registry: the mixed workload at batch
+/// 16 on two engines decoded from the same snapshot bytes — metrics
+/// disabled (no clock reads, no histogram writes) versus enabled (the
+/// serving default: one `Instant` pair plus one lock-free histogram
+/// record per request). `{"op":"metrics"}` is only cheap to promise if
+/// this ratio stays ≈ 1; full mode gates it at ≥ 0.97. The pair is
+/// measured in alternating passes and each side keeps its best pass, so
+/// a noisy-neighbor stall hitting one pass cannot fake (or hide) an
+/// overhead that isn't in the code.
+fn measure_metrics_cells(
+    cfg: &ServePerfConfig,
+    mixed: &[String],
+) -> (ServeMeasurement, ServeMeasurement, MetricsOverhead) {
+    const BATCH: usize = 16;
+    let (bytes, _) = build_snapshot_bytes(cfg);
+    let engine_of = |enabled: bool| {
+        let snap = Snapshot::from_bytes(&bytes).expect("snapshot round trip");
+        let metrics = if enabled {
+            ServeMetrics::new()
+        } else {
+            ServeMetrics::disabled()
+        };
+        QueryEngine::with_metrics(snap, cfg.threads, Arc::new(metrics))
+    };
+    let engine_off = engine_of(false);
+    let engine_on = engine_of(true);
+    let passes = if cfg.quick { 1 } else { 3 };
+    let best = |a: ServeMeasurement, b: ServeMeasurement| if b.qps > a.qps { b } else { a };
+    let mut off = measure_cell(&engine_off, mixed, "mixed_metrics_off", BATCH);
+    let mut on = measure_cell(&engine_on, mixed, "mixed_metrics_on", BATCH);
+    for _ in 1..passes {
+        off = best(
+            off,
+            measure_cell(&engine_off, mixed, "mixed_metrics_off", BATCH),
+        );
+        on = best(
+            on,
+            measure_cell(&engine_on, mixed, "mixed_metrics_on", BATCH),
+        );
+    }
+    let overhead = MetricsOverhead {
+        batch_size: BATCH,
+        off_qps: off.qps,
+        on_qps: on.qps,
+        ratio: on.qps / off.qps,
+    };
+    (off, on, overhead)
+}
+
 fn measure_cell(
     engine: &QueryEngine,
     lines: &[String],
@@ -332,6 +406,10 @@ pub fn run_serve_perf(cfg: &ServePerfConfig) -> ServePerfReport {
     // Commit-ack latency, WAL off vs on — the durability surcharge.
     measurements.push(measure_commit_cell(cfg, false));
     measurements.push(measure_commit_cell(cfg, true));
+    // Observability surcharge: the same mixed stream, registry off vs on.
+    let (metrics_off, metrics_on, metrics_overhead) = measure_metrics_cells(cfg, &mixed);
+    measurements.push(metrics_off);
+    measurements.push(metrics_on);
     let qps_of = |batch: usize| {
         measurements
             .iter()
@@ -352,6 +430,7 @@ pub fn run_serve_perf(cfg: &ServePerfConfig) -> ServePerfReport {
             batch256_qps: b256,
             speedup: b256 / b1,
         },
+        metrics_overhead,
     }
 }
 
@@ -360,7 +439,7 @@ impl ServePerfReport {
     /// — the workspace has no serde).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(4096);
-        out.push_str("{\n  \"schema_version\": 1,\n  \"bench\": \"serve_queries\",\n");
+        out.push_str("{\n  \"schema_version\": 2,\n  \"bench\": \"serve_queries\",\n");
         out.push_str(&format!("  \"mode\": \"{}\",\n  \"k\": {K},\n", self.mode));
         out.push_str(&format!(
             "  \"dataset\": {{\"family\": \"weather\", \"n_objects\": {}, \"n_links\": {}, \
@@ -388,11 +467,19 @@ impl ServePerfReport {
         }
         out.push_str(&format!(
             "  ],\n  \"headline\": {{\"workload\": \"{}\", \"batch1_qps\": {}, \
-             \"batch256_qps\": {}, \"speedup\": {}}}\n}}\n",
+             \"batch256_qps\": {}, \"speedup\": {}}},\n",
             self.headline.workload,
             fmt_f64(self.headline.batch1_qps),
             fmt_f64(self.headline.batch256_qps),
             fmt_f64(self.headline.speedup),
+        ));
+        out.push_str(&format!(
+            "  \"metrics_overhead\": {{\"workload\": \"mixed\", \"batch_size\": {}, \
+             \"off_qps\": {}, \"on_qps\": {}, \"ratio\": {}}}\n}}\n",
+            self.metrics_overhead.batch_size,
+            fmt_f64(self.metrics_overhead.off_qps),
+            fmt_f64(self.metrics_overhead.on_qps),
+            fmt_f64(self.metrics_overhead.ratio),
         ));
         out
     }
@@ -433,6 +520,13 @@ impl ServePerfReport {
             "headline [mixed]: batch-1 {:.0} q/s vs batch-256 {:.0} q/s → {:.2}x\n",
             self.headline.batch1_qps, self.headline.batch256_qps, self.headline.speedup,
         ));
+        out.push_str(&format!(
+            "metrics overhead [mixed, batch-{}]: off {:.0} q/s vs on {:.0} q/s → {:.3}x\n",
+            self.metrics_overhead.batch_size,
+            self.metrics_overhead.off_qps,
+            self.metrics_overhead.on_qps,
+            self.metrics_overhead.ratio,
+        ));
         out
     }
 }
@@ -444,22 +538,29 @@ mod tests {
     #[test]
     fn quick_run_produces_consistent_report_and_json() {
         let report = run_serve_perf(&ServePerfConfig::quick());
-        // 3 workloads × 3 batch sizes + the commit / commit_wal pair.
-        assert_eq!(report.measurements.len(), 11);
+        // 3 workloads × 3 batch sizes + the commit / commit_wal pair +
+        // the metrics off / on pair.
+        assert_eq!(report.measurements.len(), 13);
         for m in &report.measurements {
             assert!(m.batches >= 1);
             assert!(m.qps > 0.0 && m.qps.is_finite());
             assert!(m.p50_seconds() >= 0.0 && m.p99_seconds() >= m.p50_seconds());
         }
         assert!(report.headline.speedup.is_finite());
+        assert!(report.metrics_overhead.ratio.is_finite() && report.metrics_overhead.ratio > 0.0);
+        assert!(report.metrics_overhead.off_qps > 0.0 && report.metrics_overhead.on_qps > 0.0);
 
         let json = report.to_json();
+        assert!(json.contains("\"schema_version\": 2"));
         assert!(json.contains("\"bench\": \"serve_queries\""));
         assert!(json.contains("\"workload\": \"fold_in\""));
         assert!(json.contains("\"workload\": \"top_k\""));
         assert!(json.contains("\"workload\": \"mixed\""));
         assert!(json.contains("\"workload\": \"commit\""));
         assert!(json.contains("\"workload\": \"commit_wal\""));
+        assert!(json.contains("\"workload\": \"mixed_metrics_off\""));
+        assert!(json.contains("\"workload\": \"mixed_metrics_on\""));
+        assert!(json.contains("\"metrics_overhead\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
 

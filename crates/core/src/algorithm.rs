@@ -231,7 +231,11 @@ impl GenClus {
         let learner = StrengthLearner::new(cfg.sigma, cfg.newton.clone());
 
         let mut history = RunHistory::default();
+        // Θ-movement tracking exists only to feed the trace hook; skip the
+        // clone entirely when nobody is listening.
+        let tracing = cfg.trace.is_set();
         for iteration in 1..=cfg.outer_iters {
+            let prev_theta = tracing.then(|| theta.clone());
             // Step 1: cluster optimization at fixed γ.
             let em_start = Instant::now();
             let (new_theta, new_components, em_iterations) =
@@ -271,6 +275,23 @@ impl GenClus {
                 em_seconds,
                 strength_seconds,
             });
+            if tracing {
+                let theta_movement = prev_theta.map_or(0.0, |p| theta.max_abs_diff(&p));
+                cfg.trace.event(
+                    "em_outer_iteration",
+                    &[
+                        ("iteration", iteration as f64),
+                        ("em_iterations", em_iterations as f64),
+                        ("em_seconds", em_seconds),
+                        ("strength_seconds", strength_seconds),
+                        ("objective_g1", g1_value),
+                        ("objective_g2", outcome.objective),
+                        ("theta_movement", theta_movement),
+                        ("gamma_delta", gamma_delta),
+                        ("queue_depth", engine.queue_depth() as f64),
+                    ],
+                );
+            }
             observer(IterationView {
                 iteration,
                 theta: &theta,
@@ -430,6 +451,45 @@ mod tests {
         let b = fit(9);
         assert_eq!(a.model.gamma, b.model.gamma);
         assert!(a.model.theta.max_abs_diff(&b.model.theta) < 1e-15);
+    }
+
+    #[test]
+    fn trace_sink_sees_one_event_per_outer_iteration() {
+        let g = planted(5, 8);
+        let sink = std::sync::Arc::new(genclus_obs::MemorySink::new());
+        let cfg = GenClusConfig::new(2, vec![AttributeId(0)])
+            .with_seed(5)
+            .with_outer_iters(4)
+            .with_trace(sink.clone());
+        let out = GenClus::new(cfg).unwrap().fit(&g).unwrap();
+        let events = sink.events();
+        assert_eq!(events.len(), out.history.n_iterations());
+        for (event, record) in events.iter().zip(&out.history.records) {
+            assert_eq!(event.name, "em_outer_iteration");
+            assert_eq!(event.field("iteration"), Some(record.iteration as f64));
+            assert_eq!(
+                event.field("em_iterations"),
+                Some(record.em_iterations as f64)
+            );
+            assert_eq!(event.field("objective_g1"), Some(record.g1));
+            assert!(event.field("em_seconds").unwrap() >= 0.0);
+            assert!(event.field("queue_depth").is_some());
+        }
+        // The first iteration moves Θ away from the random init.
+        assert!(events[0].field("theta_movement").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn trace_sink_does_not_change_the_fit() {
+        let g = planted(9, 8);
+        let cfg = GenClusConfig::new(2, vec![AttributeId(0)])
+            .with_seed(9)
+            .with_outer_iters(4);
+        let plain = GenClus::new(cfg.clone()).unwrap().fit(&g).unwrap();
+        let traced_cfg = cfg.with_trace(std::sync::Arc::new(genclus_obs::MemorySink::new()));
+        let traced = GenClus::new(traced_cfg).unwrap().fit(&g).unwrap();
+        assert_eq!(plain.model.gamma, traced.model.gamma);
+        assert!(plain.model.theta.max_abs_diff(&traced.model.theta) == 0.0);
     }
 
     #[test]

@@ -2,7 +2,9 @@
 
 use crate::error::GenClusError;
 use genclus_hin::AttributeId;
+use genclus_obs::{TraceHandle, TraceSink};
 use genclus_stats::NewtonOptions;
+use std::sync::Arc;
 
 /// How the membership matrix `Θ` is initialized before the first EM pass.
 ///
@@ -76,6 +78,12 @@ pub struct GenClusConfig {
     /// ≈ 0.04–0.1, not 1e-12) without washing out objects with few
     /// observations. Set to `0.0` for the raw un-smoothed update.
     pub theta_smoothing: f64,
+    /// Optional trace hook: when set, the fit loop emits one
+    /// `em_outer_iteration` event per outer iteration (wall time,
+    /// objective, Θ movement, worker-pool queue depth). When unset the
+    /// loop skips all trace-only work, so leaving this `none` costs
+    /// nothing. Compares by sink identity (see [`TraceHandle`]).
+    pub trace: TraceHandle,
 }
 
 impl GenClusConfig {
@@ -98,6 +106,7 @@ impl GenClusConfig {
             beta_floor: 1e-9,
             variance_floor: 1e-6,
             theta_smoothing: 0.05,
+            trace: TraceHandle::none(),
         }
     }
 
@@ -122,6 +131,12 @@ impl GenClusConfig {
     /// Sets the init strategy (builder style).
     pub fn with_init(mut self, init: InitStrategy) -> Self {
         self.init = init;
+        self
+    }
+
+    /// Installs a trace sink for per-iteration fit events (builder style).
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = TraceHandle::new(sink);
         self
     }
 

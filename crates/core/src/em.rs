@@ -276,6 +276,12 @@ impl<'g> EmEngine<'g> {
         self.k
     }
 
+    /// Instantaneous worker-pool queue depth (always 0 when serial). An
+    /// observability gauge for trace events, not a scheduling signal.
+    pub fn queue_depth(&self) -> u64 {
+        self.pool.as_ref().map_or(0, |p| p.queue_depth())
+    }
+
     /// One full E+M iteration from `(theta, components)` under fixed `gamma`.
     pub fn step(
         &mut self,

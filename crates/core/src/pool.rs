@@ -25,7 +25,9 @@
 use std::cell::Cell;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// A queued unit of work. Completion signalling lives *inside* the box:
@@ -44,6 +46,9 @@ pub struct WorkerPool {
     handles: Vec<JoinHandle<()>>,
     /// Round-robin cursor for `submit` placement.
     next_submit: Cell<usize>,
+    /// Jobs dispatched but not yet finished, across broadcast and submit;
+    /// shared with the job boxes so completion decrements from any worker.
+    inflight: Arc<AtomicU64>,
 }
 
 /// The result channel of one [`WorkerPool::submit`] call.
@@ -109,12 +114,20 @@ impl WorkerPool {
             done_rx,
             handles,
             next_submit: Cell::new(0),
+            inflight: Arc::new(AtomicU64::new(0)),
         }
     }
 
     /// Number of workers.
     pub fn n_workers(&self) -> usize {
         self.job_txs.len()
+    }
+
+    /// Jobs currently dispatched but not yet finished (queued + running),
+    /// across `broadcast` and `submit`. An instantaneous observability
+    /// gauge — by the time the caller reads it the value may have moved.
+    pub fn queue_depth(&self) -> u64 {
+        self.inflight.load(Ordering::Relaxed)
     }
 
     /// Runs `f(0), …, f(n_jobs − 1)`, one call per worker, and blocks until
@@ -141,11 +154,17 @@ impl WorkerPool {
             // one.
             let f_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f_ref) };
             let done = self.done_tx.clone();
+            let inflight = Arc::clone(&self.inflight);
             let job: Job = Box::new(move || {
                 let result = catch_unwind(AssertUnwindSafe(|| f_static(i)));
+                inflight.fetch_sub(1, Ordering::Relaxed);
                 let _ = done.send(result);
             });
+            self.inflight.fetch_add(1, Ordering::Relaxed);
             if tx.send(job).is_err() {
+                // The box never ran (it came back in the error and is
+                // dropped here), so it owes no decrement.
+                self.inflight.fetch_sub(1, Ordering::Relaxed);
                 break;
             }
             dispatched += 1;
@@ -191,12 +210,16 @@ impl WorkerPool {
         F: FnOnce() -> T + Send + 'static,
     {
         let (tx, rx) = channel::<std::thread::Result<T>>();
+        let inflight = Arc::clone(&self.inflight);
         let mut job: Job = Box::new(move || {
-            let _ = tx.send(catch_unwind(AssertUnwindSafe(f)));
+            let result = catch_unwind(AssertUnwindSafe(f));
+            inflight.fetch_sub(1, Ordering::Relaxed);
+            let _ = tx.send(result);
         });
         let k = self.job_txs.len();
         let start = self.next_submit.get();
         self.next_submit.set((start + 1) % k);
+        self.inflight.fetch_add(1, Ordering::Relaxed);
         for offset in 0..k {
             match self.job_txs[(start + offset) % k].send(job) {
                 Ok(()) => return JobHandle { rx },
@@ -205,6 +228,7 @@ impl WorkerPool {
                 Err(failed) => job = failed.0,
             }
         }
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
         panic!("every worker thread disappeared before job dispatch");
     }
 }
@@ -320,6 +344,26 @@ mod tests {
         let pool = WorkerPool::new(2);
         let handle = pool.submit(|| 6 * 7);
         assert_eq!(handle.join().expect("job succeeds"), 42);
+    }
+
+    #[test]
+    fn queue_depth_tracks_inflight_jobs() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.queue_depth(), 0);
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
+        let blocker = pool.submit(move || {
+            let _ = started_tx.send(());
+            let _ = release_rx.recv();
+        });
+        started_rx.recv().unwrap();
+        let queued = pool.submit(|| ());
+        // One job running, one queued behind it on the same worker.
+        assert_eq!(pool.queue_depth(), 2);
+        release_tx.send(()).unwrap();
+        blocker.join().unwrap();
+        queued.join().unwrap();
+        assert_eq!(pool.queue_depth(), 0);
     }
 
     #[test]

@@ -1,0 +1,28 @@
+//! # genclus-obs — hand-rolled in-process observability
+//!
+//! The serving stack (PRs 4–6: snapshots, fold-in, background refreshes,
+//! commit WAL) needs live visibility — query latency, fsync cost, refresh
+//! stalls, EM convergence — without pulling in a metrics registry the
+//! offline build environment can't fetch. This crate is the self-contained
+//! substrate:
+//!
+//! - [`Counter`] / [`Gauge`] / [`FloatGauge`] — relaxed-atomic scalars.
+//! - [`Histogram`] — log-bucketed latency histogram (p50/p90/p99/max,
+//!   bounded relative error, mergeable across threads, lock-free record).
+//! - [`TraceSink`] / [`TraceHandle`] — the span/event hook the algorithm
+//!   layers emit through without knowing who is listening.
+//! - [`log`] — leveled stderr diagnostics behind one `--quiet`-able gate.
+//!
+//! Aggregation policy (which ops get histograms, what the JSON looks like)
+//! lives with the consumers — `genclus-serve` for the `metrics` op and
+//! `genclus-bench` for perf reports. This crate only provides mechanisms,
+//! and depends on nothing.
+
+pub mod counter;
+pub mod hist;
+pub mod log;
+pub mod trace;
+
+pub use counter::{Counter, FloatGauge, Gauge};
+pub use hist::{Histogram, HistogramSnapshot};
+pub use trace::{MemorySink, TraceEvent, TraceHandle, TraceSink};

@@ -1,0 +1,112 @@
+//! Leveled stderr logging for operator-facing diagnostics.
+//!
+//! One process-global level and tag, so a binary's scattered `eprintln!`
+//! diagnostics (startup geometry, WAL recovery summaries, background-refit
+//! warnings) become uniformly prefixed and suppressible with a `--quiet`
+//! flag. This is intentionally not a `log`-crate facade: the container is
+//! offline, the call sites number in the dozens, and everything goes to
+//! stderr so the JSON-lines protocol on stdout stays clean.
+//!
+//! Rendered formats, matching the binary's historical style:
+//!
+//! ```text
+//! <tag>: <message>            (info)
+//! <tag>: warning: <message>
+//! <tag>: error: <message>
+//! <tag>: debug: <message>
+//! ```
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Severity, ordered so that lower values are more severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+static TAG: OnceLock<String> = OnceLock::new();
+
+/// Set the process tag and threshold. The tag sticks on first call
+/// (later calls keep the original tag but still apply the level).
+pub fn init(tag: &str, level: Level) {
+    let _ = TAG.set(tag.to_string());
+    set_level(level);
+}
+
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Whether a message at `l` would currently be emitted.
+pub fn enabled(l: Level) -> bool {
+    (l as u8) <= LEVEL.load(Ordering::Relaxed)
+}
+
+fn tag() -> &'static str {
+    TAG.get().map(String::as_str).unwrap_or("genclus")
+}
+
+fn emit(l: Level, msg: &str) {
+    if !enabled(l) {
+        return;
+    }
+    match l {
+        Level::Error => eprintln!("{}: error: {msg}", tag()),
+        Level::Warn => eprintln!("{}: warning: {msg}", tag()),
+        Level::Info => eprintln!("{}: {msg}", tag()),
+        Level::Debug => eprintln!("{}: debug: {msg}", tag()),
+    }
+}
+
+pub fn error(msg: impl AsRef<str>) {
+    emit(Level::Error, msg.as_ref());
+}
+
+pub fn warn(msg: impl AsRef<str>) {
+    emit(Level::Warn, msg.as_ref());
+}
+
+pub fn info(msg: impl AsRef<str>) {
+    emit(Level::Info, msg.as_ref());
+}
+
+pub fn debug(msg: impl AsRef<str>) {
+    emit(Level::Debug, msg.as_ref());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_gate_correctly() {
+        // Process-global state: exercise the full lattice in one test to
+        // avoid cross-test interference.
+        set_level(Level::Error);
+        assert!(enabled(Level::Error));
+        assert!(!enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        set_level(Level::Warn);
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        set_level(Level::Debug);
+        assert!(enabled(Level::Debug));
+        assert_eq!(level(), Level::Debug);
+        set_level(Level::Info);
+        assert_eq!(level(), Level::Info);
+    }
+}

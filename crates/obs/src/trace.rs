@@ -1,0 +1,152 @@
+//! A minimal span/event trace hook.
+//!
+//! The algorithm layers (EM, refresh) don't know where their telemetry
+//! should go — a serving process aggregates it into metrics, a bench run
+//! might buffer it, a test inspects it. [`TraceSink`] is the one-method
+//! boundary: a named event with numeric fields, cheap enough to call once
+//! per EM outer iteration or refresh phase. Completed spans are events
+//! whose fields carry the duration — there is deliberately no open-span
+//! state to manage across threads.
+//!
+//! [`TraceHandle`] is the optional, cloneable carrier embedded in
+//! configuration structs. It preserves the derives those structs already
+//! have: `Clone` shares the sink, `Debug` shows only presence, and
+//! `PartialEq` compares identity (two configs are equal when they point at
+//! the same sink, or both have none).
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Receiver for trace events. Implementations must be cheap and
+/// non-blocking; they are called from fitting and serving loops.
+pub trait TraceSink: Send + Sync {
+    /// A point event: a static name plus numeric fields. Span-shaped
+    /// events carry their duration as a field (e.g. `("seconds", 0.012)`).
+    fn event(&self, name: &'static str, fields: &[(&'static str, f64)]);
+}
+
+/// An optional shared [`TraceSink`], embeddable in `PartialEq` configs.
+#[derive(Clone, Default)]
+pub struct TraceHandle(Option<Arc<dyn TraceSink>>);
+
+impl TraceHandle {
+    /// No sink installed; every [`event`](Self::event) is a no-op.
+    pub fn none() -> Self {
+        TraceHandle(None)
+    }
+
+    pub fn new(sink: Arc<dyn TraceSink>) -> Self {
+        TraceHandle(Some(sink))
+    }
+
+    /// Whether a sink is installed. Callers use this to skip work that
+    /// only exists to feed tracing (e.g. cloning Θ to measure movement).
+    #[inline]
+    pub fn is_set(&self) -> bool {
+        self.0.is_some()
+    }
+
+    #[inline]
+    pub fn event(&self, name: &'static str, fields: &[(&'static str, f64)]) {
+        if let Some(sink) = &self.0 {
+            sink.event(name, fields);
+        }
+    }
+}
+
+impl fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "TraceHandle(set)"
+        } else {
+            "TraceHandle(none)"
+        })
+    }
+}
+
+impl PartialEq for TraceHandle {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.0, &other.0) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+/// One recorded event, as captured by [`MemorySink`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    pub name: &'static str,
+    pub fields: Vec<(&'static str, f64)>,
+}
+
+impl TraceEvent {
+    /// Value of a field by name, if present.
+    pub fn field(&self, name: &str) -> Option<f64> {
+        self.fields
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// A sink that buffers events in memory — for tests and offline analysis.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().unwrap().clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn event(&self, name: &'static str, fields: &[(&'static str, f64)]) {
+        self.events.lock().unwrap().push(TraceEvent {
+            name,
+            fields: fields.to_vec(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_semantics() {
+        let sink = Arc::new(MemorySink::new());
+        let set = TraceHandle::new(sink.clone());
+        let none = TraceHandle::none();
+        assert!(set.is_set() && !none.is_set());
+        assert_eq!(none, TraceHandle::default());
+        assert_eq!(set, set.clone());
+        assert_ne!(set, none);
+        assert_ne!(set, TraceHandle::new(Arc::new(MemorySink::new())));
+        assert_eq!(format!("{none:?}"), "TraceHandle(none)");
+        assert_eq!(format!("{set:?}"), "TraceHandle(set)");
+
+        none.event("dropped", &[]);
+        set.event("kept", &[("x", 1.0)]);
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "kept");
+        assert_eq!(events[0].field("x"), Some(1.0));
+        assert_eq!(events[0].field("missing"), None);
+    }
+}

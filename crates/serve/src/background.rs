@@ -32,6 +32,7 @@
 
 use crate::engine::QueryEngine;
 use crate::error::ServeError;
+use crate::metrics::ServeMetrics;
 use crate::refresh::RefreshOutcome;
 use crate::snapshot::{save_bytes, to_bytes, Snapshot};
 use genclus_core::pool::{JobHandle, WorkerPool};
@@ -39,6 +40,7 @@ use genclus_core::{GenClus, GenClusConfig, GenClusModel};
 use genclus_hin::{GraphDelta, HinGraph};
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Everything one warm re-fit consumes, owned — the job runs on another
 /// thread and must not borrow the serving engine.
@@ -58,6 +60,10 @@ pub(crate) struct RefitInput {
     pub persist_path: Option<PathBuf>,
     /// Worker threads of the replacement [`QueryEngine`].
     pub threads: usize,
+    /// The process-lifetime registry: the replacement engine is wired to
+    /// it (counters stay cumulative across the swap), and the warm EM
+    /// streams its per-iteration trace events into it mid-re-fit.
+    pub metrics: Arc<ServeMetrics>,
 }
 
 /// What a finished re-fit hands back to the serving thread.
@@ -68,6 +74,8 @@ pub(crate) struct RefitOutput {
     pub engine: QueryEngine,
     /// The bookkeeping the wire protocol reports.
     pub outcome: RefreshOutcome,
+    /// Wall time of the re-fit itself (append → fit → snapshot → engine).
+    pub seconds: f64,
 }
 
 /// Appends `delta`, warm re-fits, compacts, serializes, (optionally)
@@ -83,7 +91,17 @@ pub(crate) fn run_refit(input: RefitInput) -> Result<RefitOutput, ServeError> {
         cfg,
         persist_path,
         threads,
+        metrics,
     } = input;
+    let started = Instant::now();
+    // The warm EM reports its convergence live: one `em_outer_iteration`
+    // trace event per outer iteration lands in the shared registry, so a
+    // concurrent `{"op":"metrics"}` watches the re-fit progress.
+    let cfg = if metrics.is_enabled() {
+        cfg.with_trace(metrics.clone())
+    } else {
+        cfg
+    };
     let objects_added = delta.n_new_objects();
     let links_added = delta.n_new_links();
 
@@ -125,8 +143,9 @@ pub(crate) fn run_refit(input: RefitInput) -> Result<RefitOutput, ServeError> {
         persisted,
     };
     Ok(RefitOutput {
-        engine: QueryEngine::new(snap, threads),
+        engine: QueryEngine::with_metrics(snap, threads, metrics),
         outcome,
+        seconds: started.elapsed().as_secs_f64(),
     })
 }
 

@@ -5,6 +5,8 @@
 //!               [--refresh-after-objects N] [--refresh-after-links N]
 //!               [--refresh-save <path>] [--refresh-sigma F]
 //!               [--refresh-background] [--wal <path>]
+//!               [--metrics-dump <path>] [--metrics-interval SECS]
+//!               [--metrics-format json|prom] [--quiet]
 //! ```
 //!
 //! Reads one JSON request per stdin line and writes one JSON response per
@@ -46,6 +48,26 @@
 //! for a commit must treat it as unknown and retry — an "already staged"
 //! rejection then means the commit survived after all.
 //!
+//! # Observability
+//!
+//! The engine keeps an always-on [`genclus_serve::metrics`] registry:
+//! per-op latency histograms, WAL append/fsync timings, replay counters,
+//! refresh lifecycle spans, and live warm-EM convergence. Three ways out:
+//!
+//! * `{"op":"metrics"}` — the cumulative registry as one JSON response
+//!   (documented, byte-stable key order; see the [`genclus_serve::metrics`]
+//!   module docs for the schema);
+//! * `--metrics-dump <path>` — a background thread snapshots the registry
+//!   to `path` every `--metrics-interval` seconds (default 10; atomic
+//!   temp-file + rename), plus one final snapshot at exit — point a
+//!   collector at the file;
+//! * `--metrics-format prom` — the dump file renders as Prometheus text
+//!   exposition instead of JSON. The wire `metrics` op is always JSON.
+//!
+//! Diagnostics go to stderr through one leveled logger; `--quiet` keeps
+//! only errors (startup banner, recovery summaries, and truncation
+//! warnings are suppressed). Responses on stdout are never filtered.
+//!
 //! If stdout closes under the binary (`head`, a dying consumer — a broken
 //! pipe), it quiesces exactly like EOF — any in-flight re-fit lands, so
 //! `--refresh-save` and the WAL truncation still happen — and exits 0.
@@ -57,17 +79,51 @@
 //! [`genclus_serve::refresh::RefreshPolicy::base_config`] via the library
 //! API instead of this binary.
 
-use genclus_serve::{RefreshPolicy, RefreshableEngine, Snapshot};
+use genclus_obs::log;
+use genclus_serve::{RefreshPolicy, RefreshableEngine, ServeMetrics, Snapshot};
 use std::io::{BufRead, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
         "usage: genclus_serve --snapshot <path> [--threads N] [--batch N] \
          [--refresh-after-objects N] [--refresh-after-links N] [--refresh-save <path>] \
-         [--refresh-sigma F] [--refresh-background] [--wal <path>]"
+         [--refresh-sigma F] [--refresh-background] [--wal <path>] \
+         [--metrics-dump <path>] [--metrics-interval SECS] [--metrics-format json|prom] \
+         [--quiet]"
     );
     std::process::exit(2);
+}
+
+/// How `--metrics-dump` renders the registry.
+#[derive(Clone, Copy, PartialEq)]
+enum MetricsFormat {
+    Json,
+    Prom,
+}
+
+/// One atomic snapshot of the registry to `path` (temp-file + rename, so
+/// a collector never reads a half-written file). `tmp_tag` keeps the
+/// periodic thread's temp file distinct from the final-dump one — the two
+/// can race at exit, and renames of *complete* files are safe in either
+/// order while a shared temp path would not be.
+fn dump_metrics(metrics: &ServeMetrics, path: &Path, format: MetricsFormat, tmp_tag: &str) {
+    let body = match format {
+        MetricsFormat::Json => {
+            let mut s = metrics.to_json().render();
+            s.push('\n');
+            s
+        }
+        MetricsFormat::Prom => metrics.render_prom(),
+    };
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(tmp_tag);
+    let tmp = PathBuf::from(tmp);
+    let result = std::fs::write(&tmp, body).and_then(|()| std::fs::rename(&tmp, path));
+    if let Err(e) = result {
+        log::warn(format!("metrics dump to {} failed: {e}", path.display()));
+    }
 }
 
 /// Drains in-flight work before exit: an in-flight background re-fit
@@ -78,15 +134,15 @@ fn usage() -> ! {
 fn quiesce(engine: &mut RefreshableEngine) -> i32 {
     let mut code = 0;
     if engine.refresh_in_flight() {
-        eprintln!("genclus_serve: waiting for the in-flight background re-fit before exit");
+        log::info("waiting for the in-flight background re-fit before exit");
         engine.finish();
         if let Some(Err(e)) = engine.last_refresh() {
-            eprintln!("genclus_serve: final background re-fit failed: {e}");
+            log::error(format!("final background re-fit failed: {e}"));
             code = 1;
         }
     }
     if let Some(e) = engine.wal_error() {
-        eprintln!("genclus_serve: note: the last commit-log truncation failed: {e}");
+        log::warn(format!("the last commit-log truncation failed: {e}"));
     }
     code
 }
@@ -95,13 +151,20 @@ fn quiesce(engine: &mut RefreshableEngine) -> i32 {
 /// durable in the WAL, but the re-fit/persist/truncate path must still
 /// land — then exit: cleanly for a broken pipe (the consumer went away;
 /// that is an EOF, not a crash), code 1 for anything else.
-fn exit_on_write_failure(e: &std::io::Error, engine: &mut RefreshableEngine) -> ! {
+fn exit_on_write_failure(
+    e: &std::io::Error,
+    engine: &mut RefreshableEngine,
+    dump: &Option<(PathBuf, MetricsFormat)>,
+) -> ! {
     let code = quiesce(engine);
+    if let Some((path, format)) = dump {
+        dump_metrics(engine.engine().metrics(), path, *format, ".tmp-final");
+    }
     if e.kind() == std::io::ErrorKind::BrokenPipe {
-        eprintln!("genclus_serve: stdout closed; exiting");
+        log::info("stdout closed; exiting");
         std::process::exit(code);
     }
-    eprintln!("genclus_serve: stdout write failed: {e}");
+    log::error(format!("stdout write failed: {e}"));
     std::process::exit(1);
 }
 
@@ -127,6 +190,10 @@ fn main() {
     let mut threads = 1usize;
     let mut batch = 64usize;
     let mut policy = RefreshPolicy::default();
+    let mut metrics_dump: Option<PathBuf> = None;
+    let mut metrics_interval_secs = 10u64;
+    let mut metrics_format = MetricsFormat::Json;
+    let mut quiet = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -177,20 +244,44 @@ fn main() {
                 cfg.sigma = sigma;
                 policy.base_config = Some(cfg);
             }
+            "--metrics-dump" => {
+                metrics_dump = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
+            }
+            "--metrics-interval" => {
+                metrics_interval_secs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&s| s >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--metrics-format" => match args.next().as_deref() {
+                Some("json") => metrics_format = MetricsFormat::Json,
+                Some("prom") => metrics_format = MetricsFormat::Prom,
+                _ => usage(),
+            },
+            "--quiet" => quiet = true,
             _ => usage(),
         }
     }
     let Some(path) = snapshot_path else { usage() };
+    log::init(
+        "genclus_serve",
+        if quiet {
+            log::Level::Error
+        } else {
+            log::Level::Info
+        },
+    );
 
     let snapshot = match Snapshot::load(&path) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("failed to load snapshot {}: {e}", path.display());
+            log::error(format!("failed to load snapshot {}: {e}", path.display()));
             std::process::exit(1);
         }
     };
-    eprintln!(
-        "genclus_serve: {} objects, {} links, k={}, snapshot v{} ({} threads, batch {}, \
+    log::info(format!(
+        "{} objects, {} links, k={}, snapshot v{} ({} threads, batch {}, \
          refresh after {}/{} objects/links, {} re-fit{})",
         snapshot.graph().n_objects(),
         snapshot.graph().n_links(),
@@ -210,20 +301,20 @@ fn main() {
             .as_ref()
             .map(|p| format!(", persisting to {}", p.display()))
             .unwrap_or_default(),
-    );
+    ));
     if policy.base_config.is_none() {
-        eprintln!(
-            "genclus_serve: note: refreshes re-fit under paper-default hyperparameters \
+        log::info(
+            "note: refreshes re-fit under paper-default hyperparameters \
              (snapshots do not record the original fit's σ/floors/Newton options); \
              pass --refresh-sigma or embed RefreshPolicy.base_config if the model \
-             was fitted with non-default values"
+             was fitted with non-default values",
         );
     }
     let mut engine = match &wal_path {
         Some(wal) => match RefreshableEngine::with_wal(snapshot, threads, policy, wal) {
             Ok((engine, report)) => {
-                eprintln!(
-                    "genclus_serve: commit WAL {}: replayed {} commit(s), skipped {} \
+                log::info(format!(
+                    "commit WAL {}: replayed {} commit(s), skipped {} \
                      already-persisted, truncated {} torn tail byte(s){}",
                     wal.display(),
                     report.replayed,
@@ -234,16 +325,35 @@ fn main() {
                     } else {
                         ""
                     },
-                );
+                ));
                 engine
             }
             Err(e) => {
-                eprintln!("failed to recover commit WAL {}: {e}", wal.display());
+                log::error(format!(
+                    "failed to recover commit WAL {}: {e}",
+                    wal.display()
+                ));
                 std::process::exit(1);
             }
         },
         None => RefreshableEngine::new(snapshot, threads, policy),
     };
+
+    // Periodic metrics snapshots: a detached thread sharing the registry
+    // Arc (which outlives every snapshot swap). No shutdown signal needed
+    // — the final dump below covers everything after the last tick, and
+    // the thread dies with the process.
+    let dump = metrics_dump.map(|p| (p, metrics_format));
+    if let Some((path, format)) = &dump {
+        let metrics: Arc<ServeMetrics> = engine.engine().metrics().clone();
+        let path = path.clone();
+        let format = *format;
+        let interval = std::time::Duration::from_secs(metrics_interval_secs);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(interval);
+            dump_metrics(&metrics, &path, format, ".tmp");
+        });
+    }
 
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
@@ -253,25 +363,29 @@ fn main() {
         let line = match line {
             Ok(l) => l,
             Err(e) => {
-                eprintln!("stdin read failed: {e}");
+                log::error(format!("stdin read failed: {e}"));
                 break;
             }
         };
         if line.trim().is_empty() {
             if let Err(e) = flush_batch(&mut pending, &mut out, &mut engine) {
-                exit_on_write_failure(&e, &mut engine);
+                exit_on_write_failure(&e, &mut engine, &dump);
             }
             continue;
         }
         pending.push(line);
         if pending.len() >= batch {
             if let Err(e) = flush_batch(&mut pending, &mut out, &mut engine) {
-                exit_on_write_failure(&e, &mut engine);
+                exit_on_write_failure(&e, &mut engine, &dump);
             }
         }
     }
     if let Err(e) = flush_batch(&mut pending, &mut out, &mut engine) {
-        exit_on_write_failure(&e, &mut engine);
+        exit_on_write_failure(&e, &mut engine, &dump);
     }
-    std::process::exit(quiesce(&mut engine));
+    let code = quiesce(&mut engine);
+    if let Some((path, format)) = &dump {
+        dump_metrics(engine.engine().metrics(), path, *format, ".tmp-final");
+    }
+    std::process::exit(code);
 }

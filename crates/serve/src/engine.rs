@@ -28,12 +28,13 @@
 use crate::error::ServeError;
 use crate::foldin::{FoldInEngine, FoldInRequest};
 use crate::json::Json;
+use crate::metrics::{op_label, ServeMetrics};
 use crate::snapshot::Snapshot;
 use genclus_core::pool::WorkerPool;
 use genclus_core::{top_k, Similarity};
 use genclus_hin::{HinGraph, ObjectId};
 use genclus_stats::simplex::argmax;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// A loaded snapshot plus everything needed to answer queries.
 ///
@@ -53,12 +54,22 @@ pub struct QueryCore {
     /// Candidate lists: one per object type, plus all objects.
     by_type: Vec<Vec<ObjectId>>,
     all: Vec<ObjectId>,
+    /// Shared observability registry — `Arc`'d so a refreshed engine keeps
+    /// accumulating into the same process-lifetime counters.
+    metrics: Arc<ServeMetrics>,
 }
 
 impl QueryEngine {
     /// Builds an engine over `snapshot` with `threads` workers (1 =
-    /// serial).
+    /// serial) and a fresh metrics registry.
     pub fn new(snapshot: Snapshot, threads: usize) -> Self {
+        Self::with_metrics(snapshot, threads, Arc::new(ServeMetrics::new()))
+    }
+
+    /// [`Self::new`] wired to an existing registry — how a refresh keeps
+    /// counters cumulative across snapshot swaps, and how `bench_serve`
+    /// A/Bs a [`ServeMetrics::disabled`] registry.
+    pub fn with_metrics(snapshot: Snapshot, threads: usize, metrics: Arc<ServeMetrics>) -> Self {
         let threads = threads.max(1);
         let graph = snapshot.graph();
         let by_type = (0..graph.schema().n_object_types())
@@ -70,6 +81,7 @@ impl QueryEngine {
                 snapshot,
                 by_type,
                 all,
+                metrics,
             },
             pool: (threads > 1).then(|| WorkerPool::new(threads)),
             threads,
@@ -79,6 +91,11 @@ impl QueryEngine {
     /// The underlying snapshot.
     pub fn snapshot(&self) -> &Snapshot {
         &self.core.snapshot
+    }
+
+    /// The shared observability registry.
+    pub fn metrics(&self) -> &Arc<ServeMetrics> {
+        &self.core.metrics
     }
 
     /// The shareable request handler (no pool) — the refresh layer uses it
@@ -140,16 +157,20 @@ impl QueryCore {
 
     /// One request line → one response line.
     pub fn handle_line(&self, line: &str) -> String {
-        let (id, result) = match Json::parse(line) {
+        let started = self.metrics.timer();
+        let (id, op, result) = match Json::parse(line) {
             Ok(req) => {
                 let id = req.get("id").cloned();
-                (id, self.dispatch(&req))
+                let op = op_label(req.get("op").and_then(Json::as_str));
+                (id, op, self.dispatch(&req))
             }
             Err(e) => (
                 None,
+                op_label(None),
                 Err(ServeError::BadRequest(format!("invalid JSON: {e}"))),
             ),
         };
+        let ok = result.is_ok();
         let mut fields: Vec<(&str, Json)> = Vec::with_capacity(4);
         if let Some(id) = id {
             fields.push(("id", id));
@@ -164,7 +185,11 @@ impl QueryCore {
                 fields.push(("error", Json::str(e.to_string())));
             }
         }
-        Json::obj(fields).render()
+        let rendered = Json::obj(fields).render();
+        // Recorded after rendering so the histogram covers the full
+        // request cost the client observes, serialization included.
+        self.metrics.record_op(op, started, ok);
+        rendered
     }
 
     fn dispatch(&self, req: &Json) -> Result<Vec<(&'static str, Json)>, ServeError> {
@@ -173,6 +198,7 @@ impl QueryCore {
             Some("top_k") => self.op_top_k(req),
             Some("fold_in") => self.op_fold_in(req),
             Some("stats") => self.op_stats(),
+            Some("metrics") => Ok(self.metrics.to_fields()),
             Some(other) => Err(ServeError::BadRequest(format!("unknown op {other:?}"))),
             None => Err(ServeError::BadRequest(
                 "request must carry a string \"op\" field".into(),
@@ -266,7 +292,7 @@ impl QueryCore {
         ])
     }
 
-    fn op_stats(&self) -> Result<Vec<(&'static str, Json)>, ServeError> {
+    pub(crate) fn op_stats(&self) -> Result<Vec<(&'static str, Json)>, ServeError> {
         let g = self.graph();
         let model = self.snapshot.model();
         let gamma = Json::Obj(

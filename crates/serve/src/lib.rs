@@ -56,7 +56,13 @@
 //!   still-staged window, and startup replays log-after-snapshot to
 //!   rebuild the staged delta and fold-in `Θ` rows bit-identically — no
 //!   acknowledged commit is ever lost. Torn tails are truncated and
-//!   reported, never fatal.
+//!   reported, never fatal;
+//! * [`metrics`] — the always-on observability registry
+//!   ([`metrics::ServeMetrics`]): per-op latency histograms, WAL
+//!   append/fsync timings and replay counters, refresh lifecycle spans,
+//!   and live EM convergence (the registry is a
+//!   [`TraceSink`](genclus_obs::TraceSink) for warm re-fits), served as
+//!   `{"op":"metrics"}` in a byte-stable JSON schema or Prometheus text.
 //!
 //! # Quickstart
 //!
@@ -107,6 +113,7 @@ pub mod engine;
 pub mod error;
 pub mod foldin;
 pub mod json;
+pub mod metrics;
 pub mod refresh;
 pub mod snapshot;
 pub mod wal;
@@ -118,6 +125,7 @@ pub mod prelude {
     pub use crate::error::ServeError;
     pub use crate::foldin::{FoldInEngine, FoldInOptions, FoldInRequest, FoldInResult};
     pub use crate::json::Json;
+    pub use crate::metrics::{RefreshSpan, ServeMetrics};
     pub use crate::refresh::{RefreshOutcome, RefreshPolicy, RefreshableEngine};
     pub use crate::snapshot::{Snapshot, SCHEMA_VERSION};
     pub use crate::wal::{CommitRecord, Wal, WalRecoveryReport};

@@ -114,6 +114,7 @@ use crate::engine::{QueryCore, QueryEngine};
 use crate::error::ServeError;
 use crate::foldin::{FoldInEngine, FoldInRequest, FoldInResult};
 use crate::json::Json;
+use crate::metrics::RefreshSpan;
 use crate::snapshot::Snapshot;
 use crate::wal::{CommitRecord, Wal, WalRecoveryReport};
 use genclus_core::{GenClusConfig, GenClusModel};
@@ -121,6 +122,7 @@ use genclus_hin::{GraphDelta, ObjectTypeId};
 use genclus_stats::simplex::argmax;
 use genclus_stats::MembershipMatrix;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// When and how the engine re-fits from its snapshot.
 #[derive(Debug, Clone)]
@@ -277,6 +279,13 @@ pub struct RefreshableEngine {
     /// docs' *Durability* section); cleared by the next successful
     /// truncation.
     wal_error: Option<String>,
+    /// What fired the refresh about to run, for the metrics span —
+    /// `"objects"`/`"links"` when a policy threshold did, unset (→
+    /// `"manual"`) for explicit `refresh` requests and library calls.
+    next_trigger: Option<&'static str>,
+    /// Metrics span state of the in-flight background re-fit: when the
+    /// window was handed to the worker, and what triggered it.
+    inflight_started: Option<(Instant, &'static str)>,
 }
 
 impl RefreshableEngine {
@@ -295,6 +304,8 @@ impl RefreshableEngine {
             last_refresh: None,
             wal: None,
             wal_error: None,
+            next_trigger: None,
+            inflight_started: None,
         }
     }
 
@@ -344,6 +355,21 @@ impl RefreshableEngine {
                     .truncate(base_checksum, n, &records);
             engine.pending.records = records;
             result?;
+        }
+        // Surface what recovery found through the metrics registry too —
+        // after a crash restart, `{"op":"metrics"}` reports the replay.
+        {
+            let m = engine.engine.metrics();
+            m.record_wal_recovery(
+                replayed as u64,
+                replay.skipped as u64,
+                replay.torn_bytes as u64,
+            );
+            m.set_wal_records(engine.wal.as_ref().map_or(0, Wal::n_records) as u64);
+            m.set_pending(
+                engine.pending_objects() as u64,
+                engine.pending_links() as u64,
+            );
         }
         Ok((
             engine,
@@ -719,7 +745,11 @@ impl RefreshableEngine {
                     theta: folded.theta.clone(),
                 };
                 let payload = record.to_bytes();
+                let append_started = self.engine.metrics().timer();
                 wal.append(&payload)?;
+                if let Some(t) = append_started {
+                    self.engine.metrics().record_wal_append(t.elapsed());
+                }
                 Some(payload)
             }
             None => None,
@@ -759,6 +789,11 @@ impl RefreshableEngine {
         self.pending.names.insert(name.to_string(), staged_index);
         if let Some(payload) = wal_payload {
             self.pending.records.push(payload);
+        }
+        let metrics = self.engine.metrics();
+        metrics.set_pending(self.pending_objects() as u64, self.pending_links() as u64);
+        if let Some(n) = self.wal_records() {
+            metrics.set_wal_records(n as u64);
         }
         Ok(folded)
     }
@@ -808,6 +843,19 @@ impl RefreshableEngine {
     }
 
     /// Whether the policy's auto-trigger thresholds are met.
+    /// Which policy threshold the current window has crossed, for the
+    /// metrics span's `trigger` field. Only meaningful when
+    /// [`Self::due_for_refresh`] just returned true; the object threshold
+    /// wins when both crossed at once.
+    fn trigger_label(&self) -> &'static str {
+        let p = &self.policy;
+        if p.max_pending_objects > 0 && self.pending_objects() >= p.max_pending_objects {
+            "objects"
+        } else {
+            "links"
+        }
+    }
+
     pub fn due_for_refresh(&self) -> bool {
         let p = &self.policy;
         (p.max_pending_objects > 0 && self.pending_objects() >= p.max_pending_objects)
@@ -867,6 +915,7 @@ impl RefreshableEngine {
             cfg,
             persist_path: self.policy.persist_path.clone(),
             threads: self.engine.threads(),
+            metrics: self.engine.metrics().clone(),
         }
     }
 
@@ -891,6 +940,48 @@ impl RefreshableEngine {
     }
 
     fn refresh_inner(&mut self) -> Result<RefreshOutcome, ServeError> {
+        let trigger = self.next_trigger.take().unwrap_or("manual");
+        let staged_objects = self.pending_objects() as u64;
+        let staged_links = self.pending_links() as u64;
+        let started = Instant::now();
+        let result = self.refit_and_swap();
+        let metrics = self.engine.metrics().clone();
+        let span = match &result {
+            Ok((outcome, refit_seconds)) => RefreshSpan {
+                mode: "inline",
+                trigger,
+                staged_objects,
+                staged_links,
+                outer_iterations: outcome.outer_iterations as u64,
+                em_iterations: outcome.em_iterations as u64,
+                refit_seconds: *refit_seconds,
+                wall_seconds: started.elapsed().as_secs_f64(),
+                persisted: outcome.persisted,
+                ok: true,
+                error: None,
+            },
+            Err(e) => RefreshSpan {
+                mode: "inline",
+                trigger,
+                staged_objects,
+                staged_links,
+                outer_iterations: 0,
+                em_iterations: 0,
+                refit_seconds: 0.0,
+                wall_seconds: started.elapsed().as_secs_f64(),
+                persisted: false,
+                ok: false,
+                error: Some(e.to_string()),
+            },
+        };
+        metrics.record_refresh_span(span);
+        metrics.set_pending(self.pending_objects() as u64, self.pending_links() as u64);
+        result.map(|(outcome, _)| outcome)
+    }
+
+    /// The inline refresh minus the span bookkeeping: re-fit, swap, rebase
+    /// the log. Returns the outcome plus the re-fit's own wall time.
+    fn refit_and_swap(&mut self) -> Result<(RefreshOutcome, f64), ServeError> {
         if self.refresh_in_flight() {
             return Err(ServeError::Refresh(
                 "a background re-fit is already in flight; wait for it via refresh_status".into(),
@@ -898,12 +989,13 @@ impl RefreshableEngine {
         }
         self.check_window_freshness()?;
         let output = run_refit(self.build_refit_input())?;
+        let refit_seconds = output.seconds;
         // The swap: everything after this point sees the new model.
         self.engine = output.engine;
         self.pending = Pending::new(self.engine.graph());
         self.refreshes += 1;
         self.truncate_wal_after_refresh(output.outcome.persisted);
-        Ok(output.outcome)
+        Ok((output.outcome, refit_seconds))
     }
 
     /// Truncates the commit log down to the still-staged window after a
@@ -925,6 +1017,9 @@ impl RefreshableEngine {
             &self.pending.records,
         );
         self.wal_error = result.err().map(|e| e.to_string());
+        let metrics = self.engine.metrics();
+        metrics.record_wal_truncation(self.wal_error.clone());
+        metrics.set_wal_records(self.wal.as_ref().map_or(0, Wal::n_records) as u64);
     }
 
     /// Hands the current window to the background worker and opens the
@@ -950,7 +1045,14 @@ impl RefreshableEngine {
         let next = Pending::next_window(self.engine.graph(), &self.pending)?;
         let window = std::mem::replace(&mut self.pending, next);
         self.inflight = Some(window);
+        // Clock before the handoff: the span's wall time must cover the
+        // worker's own refit timer, which starts ticking on submit.
+        let trigger = self.next_trigger.take().unwrap_or("manual");
+        self.inflight_started = Some((Instant::now(), trigger));
         self.worker.as_mut().expect("checked above").start(input);
+        let metrics = self.engine.metrics();
+        metrics.set_refresh_in_flight(true);
+        metrics.set_pending(self.pending_objects() as u64, self.pending_links() as u64);
         Ok(true)
     }
 
@@ -980,9 +1082,19 @@ impl RefreshableEngine {
             .inflight
             .take()
             .expect("a completed re-fit implies an in-flight window");
+        let (started_at, trigger) = self
+            .inflight_started
+            .take()
+            .unwrap_or((Instant::now(), "manual"));
+        let staged_objects = window.delta.n_new_objects() as u64;
+        let staged_links = window.delta.n_new_links() as u64;
         match result {
-            Ok(output) => {
-                self.engine = output.engine;
+            Ok(RefitOutput {
+                engine,
+                outcome,
+                seconds,
+            }) => {
+                self.engine = engine;
                 debug_assert_eq!(
                     self.pending.delta.base_objects(),
                     self.engine.graph().n_objects(),
@@ -992,8 +1104,26 @@ impl RefreshableEngine {
                 // The in-flight window's log segment is spent (its commits
                 // are in the new snapshot); the next window's records are
                 // what the rebased log keeps.
-                self.truncate_wal_after_refresh(output.outcome.persisted);
-                self.last_refresh = Some(Ok(output.outcome));
+                self.truncate_wal_after_refresh(outcome.persisted);
+                let metrics = self.engine.metrics().clone();
+                metrics.record_refresh_span(RefreshSpan {
+                    mode: "background",
+                    trigger,
+                    staged_objects,
+                    staged_links,
+                    outer_iterations: outcome.outer_iterations as u64,
+                    em_iterations: outcome.em_iterations as u64,
+                    refit_seconds: seconds,
+                    // Trigger → swap, as the client experiences it: the
+                    // hand-off, the re-fit, and the poll delay.
+                    wall_seconds: started_at.elapsed().as_secs_f64(),
+                    persisted: outcome.persisted,
+                    ok: true,
+                    error: None,
+                });
+                metrics.set_refresh_in_flight(false);
+                metrics.set_pending(self.pending_objects() as u64, self.pending_links() as u64);
+                self.last_refresh = Some(Ok(outcome));
                 // The next window may have crossed the thresholds while
                 // the re-fit ran; chain immediately rather than waiting
                 // for the next commit. A chained-*start* failure must not
@@ -1002,6 +1132,7 @@ impl RefreshableEngine {
                 // window stays pending, so the failure resurfaces on the
                 // next trigger or explicit refresh.
                 if self.due_for_refresh() {
+                    self.next_trigger = Some(self.trigger_label());
                     let _ = self.start_background_refresh();
                 }
             }
@@ -1026,6 +1157,22 @@ impl RefreshableEngine {
                 // in-flight window's records come first (lower absolute
                 // ids), matching the order they already hold on disk.
                 self.pending.records.extend(next.records);
+                let metrics = self.engine.metrics().clone();
+                metrics.record_refresh_span(RefreshSpan {
+                    mode: "background",
+                    trigger,
+                    staged_objects,
+                    staged_links,
+                    outer_iterations: 0,
+                    em_iterations: 0,
+                    refit_seconds: 0.0,
+                    wall_seconds: started_at.elapsed().as_secs_f64(),
+                    persisted: false,
+                    ok: false,
+                    error: Some(e.to_string()),
+                });
+                metrics.set_refresh_in_flight(false);
+                metrics.set_pending(self.pending_objects() as u64, self.pending_links() as u64);
                 self.last_refresh = Some(Err(e.to_string()));
             }
         }
@@ -1077,12 +1224,18 @@ impl RefreshableEngine {
         // through to the precise check below. A backslash disables the
         // fast path entirely: `\uXXXX` escapes can spell "commit" or
         // "refresh" without the literal bytes appearing in the line.
-        if !(line.contains('\\') || line.contains("refresh") || line.contains("commit")) {
+        // `stats` is intercepted (read-only) so this layer can extend the
+        // inner engine's response with the WAL fields only it knows.
+        if !(line.contains('\\')
+            || line.contains("refresh")
+            || line.contains("commit")
+            || line.contains("stats"))
+        {
             return None;
         }
         let req = Json::parse(line).ok()?;
         match req.get("op").and_then(Json::as_str) {
-            Some("refresh") | Some("refresh_status") => Some(req),
+            Some("refresh") | Some("refresh_status") | Some("stats") => Some(req),
             Some("fold_in") if req.get("commit").is_some() => Some(req),
             _ => None,
         }
@@ -1090,11 +1243,24 @@ impl RefreshableEngine {
 
     /// Wraps a mutation result in the engine's response envelope.
     fn respond_mutation(&mut self, req: &Json) -> String {
-        let result = match req.get("op").and_then(Json::as_str) {
-            Some("refresh") => self.op_refresh(),
-            Some("refresh_status") => self.op_refresh_status(req),
+        // Cloned up front: `op_refresh` may swap `self.engine`, but the
+        // replacement is wired to the same registry, so timing against the
+        // pre-swap Arc records into the same histograms.
+        let metrics = self.engine.metrics().clone();
+        let started = metrics.timer();
+        let op = match req.get("op").and_then(Json::as_str) {
+            Some("refresh") => "refresh",
+            Some("refresh_status") => "refresh_status",
+            Some("stats") => "stats",
+            _ => "commit",
+        };
+        let result = match op {
+            "refresh" => self.op_refresh(),
+            "refresh_status" => self.op_refresh_status(req),
+            "stats" => self.op_stats(),
             _ => self.op_commit(req),
         };
+        let ok = result.is_ok();
         let mut fields: Vec<(&str, Json)> = Vec::with_capacity(4);
         if let Some(id) = req.get("id") {
             fields.push(("id", id.clone()));
@@ -1109,7 +1275,24 @@ impl RefreshableEngine {
                 fields.push(("error", Json::str(e.to_string())));
             }
         }
-        Json::obj(fields).render()
+        let rendered = Json::obj(fields).render();
+        metrics.record_op(op, started, ok);
+        rendered
+    }
+
+    /// The inner engine's `stats` body extended with the WAL state only
+    /// this layer knows — `wal_records` / `wal_error` used to be visible
+    /// through `refresh_status` alone, which made the one-stop `stats`
+    /// view silently incomplete on durable deployments.
+    fn op_stats(&self) -> Result<Vec<(&'static str, Json)>, ServeError> {
+        let mut fields = self.engine.core().op_stats()?;
+        if let Some(n) = self.wal_records() {
+            fields.push(("wal_records", Json::Num(n as f64)));
+        }
+        if let Some(e) = self.wal_error() {
+            fields.push(("wal_error", Json::str(e.to_string())));
+        }
+        Ok(fields)
     }
 
     fn outcome_pairs(outcome: &RefreshOutcome) -> Vec<(&'static str, Json)> {
@@ -1317,6 +1500,7 @@ impl RefreshableEngine {
             // window (inline swap, or hand-off to the worker) — so a
             // commit crossing the object AND link thresholds at once still
             // triggers one refresh, never one per threshold.
+            self.next_trigger = Some(self.trigger_label());
             if self.worker.is_some() {
                 if self.refresh_in_flight() {
                     // The previous window is still re-fitting; this one

@@ -1,0 +1,315 @@
+//! Wire-level contract of the `{"op":"metrics"}` op:
+//!
+//! * request/op counters are **monotone** across a scripted session and
+//!   attribute every request to the right op (including errors);
+//! * latency quantiles are ordered (`p50 ≤ p90 ≤ p99 ≤ max`);
+//! * a background refresh surfaces a complete `refresh.last` span (mode,
+//!   trigger, staged window, iteration counts, wall time) and live EM
+//!   trace totals once the swap lands;
+//! * the JSON **key order is byte-stable**: two independent sessions
+//!   running the same script render the same key sequence, so dashboards
+//!   and CI greps can rely on it;
+//! * the commit WAL's append counts and recovery stats show up both in
+//!   `metrics` and — `wal_records`/`wal_error` — folded into `stats`.
+
+use genclus_core::{GenClus, GenClusConfig};
+use genclus_hin::prelude::*;
+use genclus_serve::prelude::*;
+
+/// A small planted two-ring sensor network, fitted and snapshotted — the
+/// same fixture idiom as the background-refresh tests.
+fn snapshot(n_per_ring: usize) -> Snapshot {
+    let mut s = Schema::new();
+    let sensor = s.add_object_type("sensor");
+    let nn = s.add_relation("nn", sensor, sensor);
+    let reading = s.add_numerical_attribute("reading");
+    let mut b = HinBuilder::new(s);
+    let vs: Vec<_> = (0..2 * n_per_ring)
+        .map(|i| b.add_object(sensor, format!("s{i}")))
+        .collect();
+    for ring in 0..2 {
+        let base = ring * n_per_ring;
+        for i in 0..n_per_ring {
+            let j = (i + 1) % n_per_ring;
+            b.add_link(vs[base + i], vs[base + j], nn, 1.0).unwrap();
+            b.add_link(vs[base + j], vs[base + i], nn, 1.0).unwrap();
+        }
+        let mu = if ring == 0 { -5.0 } else { 5.0 };
+        for i in 0..n_per_ring / 2 {
+            b.add_numeric(vs[base + i], reading, mu + 0.1 * i as f64)
+                .unwrap();
+        }
+    }
+    let graph = b.build().unwrap();
+    let cfg = GenClusConfig::new(2, vec![reading]).with_seed(7);
+    let fit = GenClus::new(cfg).unwrap().fit(&graph).unwrap();
+    Snapshot::from_bytes(&genclus_serve::snapshot::to_bytes(&graph, &fit.model)).unwrap()
+}
+
+fn ok(response: &str) -> Json {
+    let v = Json::parse(response).unwrap();
+    assert_eq!(
+        v.get("ok"),
+        Some(&Json::Bool(true)),
+        "expected success, got {response}"
+    );
+    v
+}
+
+fn metrics(engine: &mut RefreshableEngine) -> Json {
+    ok(&engine.handle_line(r#"{"op":"metrics"}"#))
+}
+
+/// Walks `path` through nested objects.
+fn field<'a>(v: &'a Json, path: &[&str]) -> &'a Json {
+    let mut cur = v;
+    for key in path {
+        cur = cur
+            .get(key)
+            .unwrap_or_else(|| panic!("missing key {key} in {path:?}"));
+    }
+    cur
+}
+
+fn num(v: &Json, path: &[&str]) -> f64 {
+    field(v, path)
+        .as_f64()
+        .unwrap_or_else(|| panic!("{path:?} is not a number"))
+}
+
+#[test]
+fn counters_are_monotone_and_every_op_is_attributed() {
+    let mut e = RefreshableEngine::new(snapshot(12), 1, RefreshPolicy::default());
+
+    let mut last_total = -1.0;
+    for i in 0..3 {
+        ok(&e.handle_line(&format!(r#"{{"op":"membership","object":"s{i}"}}"#)));
+        let m = metrics(&mut e);
+        let total = num(&m, &["requests", "total"]);
+        assert!(
+            total > last_total,
+            "requests.total must be monotone: {total} after {last_total}"
+        );
+        last_total = total;
+    }
+    ok(&e.handle_line(r#"{"op":"stats"}"#));
+    ok(&e.handle_line(r#"{"op":"top_k","object":"s0","k":3,"type":"sensor"}"#));
+    // One failing request: unknown op, attributed to `other` + errors.
+    let bad = e.handle_line(r#"{"op":"frobnicate"}"#);
+    assert!(bad.contains("\"ok\":false"), "{bad}");
+
+    let m = metrics(&mut e);
+    assert_eq!(num(&m, &["ops", "membership", "count"]), 3.0);
+    assert_eq!(num(&m, &["ops", "stats", "count"]), 1.0);
+    assert_eq!(num(&m, &["ops", "top_k", "count"]), 1.0);
+    assert_eq!(num(&m, &["ops", "other", "count"]), 1.0);
+    assert_eq!(num(&m, &["requests", "errors"]), 1.0);
+    // The metrics op counts itself (after rendering, so each response
+    // reflects only the requests before it): 3 in-loop + 1 final so far.
+    assert_eq!(num(&m, &["ops", "metrics", "count"]), 3.0);
+    // total = 3 membership + 1 stats + 1 top_k + 1 error + 3 metrics.
+    assert_eq!(num(&m, &["requests", "total"]), 9.0);
+
+    // Quantiles of every exercised op are ordered and finite.
+    for op in ["membership", "stats", "top_k", "metrics"] {
+        let p50 = num(&m, &["ops", op, "p50_us"]);
+        let p90 = num(&m, &["ops", op, "p90_us"]);
+        let p99 = num(&m, &["ops", op, "p99_us"]);
+        let max = num(&m, &["ops", op, "max_us"]);
+        assert!(
+            0.0 <= p50 && p50 <= p90 && p90 <= p99 && p99 <= max,
+            "{op}: p50 {p50} p90 {p90} p99 {p99} max {max}"
+        );
+        assert!(max > 0.0, "{op}: a served request takes nonzero time");
+    }
+    // Untouched subsystems report zeros, not garbage.
+    assert_eq!(num(&m, &["wal", "appends"]), 0.0);
+    assert_eq!(num(&m, &["refresh", "completed"]), 0.0);
+    assert_eq!(field(&m, &["refresh", "last"]), &Json::Null);
+}
+
+#[test]
+fn background_refresh_surfaces_a_complete_span_and_em_trace() {
+    let policy = RefreshPolicy {
+        max_pending_objects: 2,
+        outer_iters: 2,
+        em_iters: 10,
+        em_tol: 0.0,
+        gamma_tol: 0.0,
+        background: true,
+        ..RefreshPolicy::default()
+    };
+    let mut e = RefreshableEngine::new(snapshot(12), 1, policy);
+    for i in 0..2 {
+        ok(&e.handle_line(&format!(
+            r#"{{"op":"fold_in","links":[["nn","s0",1.0],["nn","s1",1.0]],"commit":"n{i}"}}"#
+        )));
+    }
+    // The second commit crossed the object threshold; quiesce on the
+    // in-flight background re-fit through the wire.
+    ok(&e.handle_line(r#"{"op":"refresh_status","wait":true}"#));
+    assert_eq!(e.refreshes(), 1);
+
+    let m = metrics(&mut e);
+    assert_eq!(num(&m, &["refresh", "completed"]), 1.0);
+    assert_eq!(num(&m, &["refresh", "failed"]), 0.0);
+    assert_eq!(field(&m, &["refresh", "in_flight"]), &Json::Bool(false));
+    assert_eq!(num(&m, &["refresh", "pending_objects"]), 0.0);
+    assert_eq!(num(&m, &["refresh", "pending_links"]), 0.0);
+    assert!(num(&m, &["refresh", "wall_max_ms"]) > 0.0);
+
+    let last = field(&m, &["refresh", "last"]);
+    assert_eq!(last.get("mode"), Some(&Json::str("background")));
+    assert_eq!(last.get("trigger"), Some(&Json::str("objects")));
+    assert_eq!(num(last, &["staged_objects"]), 2.0);
+    assert!(num(last, &["staged_links"]) >= 2.0);
+    assert!(num(last, &["outer_iterations"]) >= 1.0);
+    assert!(num(last, &["em_iterations"]) >= 1.0);
+    assert!(num(last, &["refit_ms"]) > 0.0);
+    assert!(num(last, &["wall_ms"]) >= num(last, &["refit_ms"]));
+    assert_eq!(last.get("persisted"), Some(&Json::Bool(false)));
+    assert_eq!(last.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(last.get("error"), Some(&Json::Null));
+
+    // The warm EM streamed per-iteration trace events into the registry.
+    assert!(num(&m, &["em", "outer_iterations"]) >= 1.0);
+    assert!(num(&m, &["em", "inner_iterations"]) >= 1.0);
+    assert!(num(&m, &["em", "outer_max_ms"]) > 0.0);
+    assert!(num(&m, &["em", "last_objective"]).is_finite());
+
+    // The swapped-in engine keeps recording into the same registry.
+    ok(&e.handle_line(r#"{"op":"membership","object":"n0"}"#));
+    let m2 = metrics(&mut e);
+    assert!(num(&m2, &["requests", "total"]) > num(&m, &["requests", "total"]));
+}
+
+/// Collects every object key in rendering order, depth-first, so two
+/// responses can be compared structurally.
+fn key_paths(v: &Json, prefix: &str, out: &mut Vec<String>) {
+    if let Some(obj) = v.as_obj() {
+        for (k, val) in obj {
+            let p = format!("{prefix}/{k}");
+            out.push(p.clone());
+            key_paths(val, &p, out);
+        }
+    } else if let Some(arr) = v.as_arr() {
+        for (i, val) in arr.iter().enumerate() {
+            key_paths(val, &format!("{prefix}/{i}"), out);
+        }
+    }
+}
+
+#[test]
+fn metrics_json_key_order_is_byte_stable_across_sessions() {
+    let session = || {
+        let policy = RefreshPolicy {
+            outer_iters: 2,
+            em_iters: 5,
+            em_tol: 0.0,
+            gamma_tol: 0.0,
+            ..RefreshPolicy::default()
+        };
+        let mut e = RefreshableEngine::new(snapshot(12), 1, policy);
+        ok(&e.handle_line(r#"{"op":"membership","object":"s0"}"#));
+        ok(&e.handle_line(
+            r#"{"op":"fold_in","links":[["nn","s0",1.0],["nn","s1",1.0]],"commit":"n0"}"#,
+        ));
+        ok(&e.handle_line(r#"{"op":"refresh"}"#));
+        metrics(&mut e)
+    };
+    let (a, b) = (session(), session());
+    let (mut ka, mut kb) = (Vec::new(), Vec::new());
+    key_paths(&a, "", &mut ka);
+    key_paths(&b, "", &mut kb);
+    assert_eq!(ka, kb, "metrics key order must not vary between sessions");
+
+    // The documented top-level schema, in order, after the envelope.
+    let top: Vec<&str> = a
+        .as_obj()
+        .unwrap()
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect();
+    let body = [
+        "schema_version",
+        "uptime_ms",
+        "requests",
+        "ops",
+        "wal",
+        "refresh",
+        "em",
+    ];
+    let start = top
+        .iter()
+        .position(|&k| k == "schema_version")
+        .expect("metrics body present");
+    assert_eq!(&top[start..start + body.len()], &body);
+    // A refresh ran, so the span's key order is pinned too.
+    let span: Vec<&str> = field(&a, &["refresh", "last"])
+        .as_obj()
+        .expect("span rendered")
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect();
+    assert_eq!(
+        span,
+        [
+            "mode",
+            "trigger",
+            "staged_objects",
+            "staged_links",
+            "outer_iterations",
+            "em_iterations",
+            "refit_ms",
+            "wall_ms",
+            "persisted",
+            "ok",
+            "error"
+        ]
+    );
+}
+
+#[test]
+fn wal_appends_and_recovery_surface_in_metrics_and_stats() {
+    let dir = std::env::temp_dir().join(format!("genclus-metrics-wal-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let wal_path = dir.join("commits.gcwal");
+
+    let mut e = {
+        let (e, _) =
+            RefreshableEngine::with_wal(snapshot(12), 1, RefreshPolicy::default(), &wal_path)
+                .unwrap();
+        e
+    };
+    for i in 0..2 {
+        ok(&e.handle_line(&format!(
+            r#"{{"op":"fold_in","links":[["nn","s0",1.0],["nn","s1",1.0]],"commit":"w{i}"}}"#
+        )));
+    }
+    let m = metrics(&mut e);
+    assert_eq!(num(&m, &["wal", "records"]), 2.0);
+    assert_eq!(num(&m, &["wal", "appends"]), 2.0);
+    let p50 = num(&m, &["wal", "append_p50_us"]);
+    let max = num(&m, &["wal", "append_max_us"]);
+    assert!(p50 > 0.0 && p50 <= max, "append p50 {p50} max {max}");
+    assert_eq!(num(&m, &["wal", "replayed"]), 0.0);
+    assert_eq!(field(&m, &["wal", "error"]), &Json::Null);
+
+    // Satellite contract: the WAL state is folded into `stats` too.
+    let s = ok(&e.handle_line(r#"{"op":"stats"}"#));
+    assert_eq!(num(&s, &["wal_records"]), 2.0);
+    assert_eq!(s.get("wal_error"), None, "healthy WAL reports no error");
+
+    // A restart replays the log and reports it through metrics.
+    drop(e);
+    let (mut e2, _) =
+        RefreshableEngine::with_wal(snapshot(12), 1, RefreshPolicy::default(), &wal_path).unwrap();
+    let m2 = metrics(&mut e2);
+    assert_eq!(num(&m2, &["wal", "replayed"]), 2.0);
+    assert_eq!(num(&m2, &["wal", "skipped"]), 0.0);
+    assert_eq!(num(&m2, &["wal", "records"]), 2.0);
+    assert_eq!(num(&m2, &["refresh", "pending_objects"]), 2.0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
