@@ -10,12 +10,18 @@
 //! and sustained queries/sec per cell — plus the `commit` / `commit_wal`
 //! pair: fold-in commits through the refresh engine without and with the
 //! commit write-ahead log, pricing the append + fsync every durable ack
-//! pays, and the `mixed_metrics_off` / `mixed_metrics_on` pair pricing
-//! the always-on metrics registry. In full mode the run exits non-zero
-//! if batch-256 throughput falls below batch-1 on the mixed workload
-//! (batching must never cost throughput) or if metrics-on mixed
+//! pays, the `mixed_metrics_off` / `mixed_metrics_on` pair pricing
+//! the always-on metrics registry, and the `multi_client` open-loop pair:
+//! the TCP front-end serving the same offered read load through 1 vs 64
+//! concurrent connections. In full mode the run exits non-zero if
+//! batch-256 throughput falls below batch-1 on the mixed workload
+//! (batching must never cost throughput), if metrics-on mixed
 //! throughput falls under 97% of metrics-off (`{"op":"metrics"}` must
-//! stay near-free for everyone who never asks for it).
+//! stay near-free for everyone who never asks for it), or if the N=64
+//! open-loop p99 exceeds 16x the N=1 p99 (with an absolute allowance of
+//! 2 ms per client for scheduler multiplexing on machines with fewer
+//! cores than clients) — fanning the same load across connections must
+//! cost thread wakeups, not collapse.
 
 use genclus_bench::serve_perf::{run_serve_perf, ServePerfConfig};
 use std::path::PathBuf;
@@ -82,6 +88,30 @@ fn main() {
         eprintln!(
             "PERF REGRESSION: metrics-on mixed throughput is only {:.3}x metrics-off (gate: 0.97x)",
             report.metrics_overhead.ratio
+        );
+        std::process::exit(1);
+    }
+
+    // Concurrency gate: at the same offered load, 64 connections may pay
+    // scheduler wakeups over 1 connection, but nothing pathological. On a
+    // machine with fewer cores than clients each client thread can wait
+    // ~(clients / cores) timeslices just to be scheduled, so the absolute
+    // allowance scales with the client count (2 ms per client); a real
+    // serialization collapse on the serving path (the snapshot pin, the
+    // accept loop, a stray lock) queues without bound at fixed offered
+    // load and blows far past it.
+    let mc = &report.multi_client;
+    let p99_1 = mc.cells[0].p99_seconds();
+    let p99_64 = mc.cells[1].p99_seconds();
+    let allowance = 0.002 * mc.cells[1].clients as f64;
+    if report.mode == "full" && p99_64 > (16.0 * p99_1).max(allowance) {
+        eprintln!(
+            "PERF REGRESSION: open-loop p99 at N=64 is {:.3} ms vs {:.3} ms at N=1 \
+             ({:.1}x; gate: 16x or {:.0} ms)",
+            p99_64 * 1e3,
+            p99_1 * 1e3,
+            mc.p99_ratio,
+            allowance * 1e3,
         );
         std::process::exit(1);
     }

@@ -1,7 +1,8 @@
 //! JSON-lines serving binary.
 //!
 //! ```text
-//! genclus_serve --snapshot <path> [--threads N] [--batch N]
+//! genclus_serve --snapshot <path> [--listen <addr>] [--threads N] [--batch N]
+//!               [--max-request-bytes N] [--max-connections N]
 //!               [--refresh-after-objects N] [--refresh-after-links N]
 //!               [--refresh-save <path>] [--refresh-sigma F]
 //!               [--refresh-background] [--wal <path>]
@@ -21,6 +22,35 @@
 //! `--refresh-after-links` auto-trigger a warm-start re-fit (0 = manual
 //! `{"op":"refresh"}` only), and `--refresh-save` persists each refreshed
 //! snapshot atomically.
+//!
+//! # TCP serving: `--listen <addr>`
+//!
+//! `--listen 127.0.0.1:7878` (or `:0` for an ephemeral port — the bound
+//! address is logged as `listening on <addr>`) serves the same JSON-lines
+//! protocol over TCP to many concurrent clients
+//! ([`genclus_serve::net`]): thread-per-connection, reads answered
+//! lock-free from an atomically swappable snapshot handle each connection
+//! pins per request, and all mutations (commits with their WAL
+//! append+fsync, refreshes) serialized through one mutation lane so
+//! *ack ⇒ replayable* holds under concurrency. Per-connection error
+//! behavior differs from stdio by design:
+//!
+//! * a write failure (EPIPE — the client vanished) closes **that**
+//!   connection and the process keeps serving the rest; only a stdio
+//!   stdout failure quiesces the whole process, because there the lone
+//!   client is gone;
+//! * a request line over `--max-request-bytes` (default 1 MiB, both
+//!   paths) is answered with a structured `BadRequest` and then the TCP
+//!   connection is closed; the stdio loop answers the error and
+//!   continues. Either way the over-long line is discarded in bounded
+//!   chunks — it is never buffered whole;
+//! * beyond `--max-connections` (default 1024) concurrent connections,
+//!   new arrivals get one structured error line and are closed.
+//!
+//! In `--listen` mode stdin only controls the server's lifetime: hold it
+//! open (e.g. a fifo) to keep serving, close it to stop accepting, drain
+//! connections, quiesce (in-flight re-fit, `--refresh-save`, WAL
+//! truncation, final metrics dump), and exit 0.
 //!
 //! `--refresh-background` moves triggered re-fits off the serving loop
 //! onto a dedicated worker thread (double-buffered engines): queries keep
@@ -80,14 +110,19 @@
 //! API instead of this binary.
 
 use genclus_obs::log;
-use genclus_serve::{RefreshPolicy, RefreshableEngine, ServeMetrics, Snapshot};
-use std::io::{BufRead, Write};
+use genclus_serve::lines::DEFAULT_MAX_REQUEST_BYTES;
+use genclus_serve::net::{invalid_utf8_response, over_limit_response, NetConfig, NetServer};
+use genclus_serve::{
+    CappedLineReader, LineEvent, RefreshPolicy, RefreshableEngine, ServeMetrics, Snapshot,
+};
+use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: genclus_serve --snapshot <path> [--threads N] [--batch N] \
+        "usage: genclus_serve --snapshot <path> [--listen <addr>] [--threads N] [--batch N] \
+         [--max-request-bytes N] [--max-connections N] \
          [--refresh-after-objects N] [--refresh-after-links N] [--refresh-save <path>] \
          [--refresh-sigma F] [--refresh-background] [--wal <path>] \
          [--metrics-dump <path>] [--metrics-interval SECS] [--metrics-format json|prom] \
@@ -187,8 +222,11 @@ fn flush_batch(
 fn main() {
     let mut snapshot_path: Option<PathBuf> = None;
     let mut wal_path: Option<PathBuf> = None;
+    let mut listen: Option<String> = None;
     let mut threads = 1usize;
     let mut batch = 64usize;
+    let mut max_request_bytes = DEFAULT_MAX_REQUEST_BYTES;
+    let mut max_connections = 1024usize;
     let mut policy = RefreshPolicy::default();
     let mut metrics_dump: Option<PathBuf> = None;
     let mut metrics_interval_secs = 10u64;
@@ -201,6 +239,21 @@ fn main() {
                 snapshot_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
             }
             "--wal" => wal_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--listen" => listen = Some(args.next().unwrap_or_else(|| usage())),
+            "--max-request-bytes" => {
+                max_request_bytes = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&b| b >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--max-connections" => {
+                max_connections = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&c| c >= 1)
+                    .unwrap_or_else(|| usage())
+            }
             "--threads" => {
                 threads = args
                     .next()
@@ -247,13 +300,21 @@ fn main() {
             "--metrics-dump" => {
                 metrics_dump = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
             }
-            "--metrics-interval" => {
-                metrics_interval_secs = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .filter(|&s| s >= 1)
-                    .unwrap_or_else(|| usage())
-            }
+            "--metrics-interval" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(secs) if secs >= 1 => metrics_interval_secs = secs,
+                // A bare `usage()` here buried the real problem: 0 is not
+                // a "dump on every iteration" request, it is a busy-spin
+                // that rewrites the dump file continuously. Say so.
+                Some(0) => {
+                    eprintln!(
+                        "genclus_serve: error: --metrics-interval must be at least 1 second \
+                         (an interval of 0 would busy-spin the dump thread, rewriting the \
+                         dump file continuously)"
+                    );
+                    std::process::exit(2);
+                }
+                _ => usage(),
+            },
             "--metrics-format" => match args.next().as_deref() {
                 Some("json") => metrics_format = MetricsFormat::Json,
                 Some("prom") => metrics_format = MetricsFormat::Prom,
@@ -355,29 +416,91 @@ fn main() {
         });
     }
 
+    // ---- TCP mode: stdin only controls the server's lifetime. ----
+    if let Some(addr) = listen {
+        let cfg = NetConfig {
+            batch,
+            max_request_bytes,
+            max_connections,
+            ..NetConfig::default()
+        };
+        let server = match NetServer::bind(addr.as_str(), engine, cfg) {
+            Ok(s) => s,
+            Err(e) => {
+                log::error(format!("failed to bind {addr}: {e}"));
+                std::process::exit(1);
+            }
+        };
+        // Block until stdin closes (hold it open — a fifo, a pipe — to
+        // keep serving; close it for a graceful stop). Bytes written to
+        // stdin in this mode are ignored.
+        let mut sink = [0u8; 4096];
+        let mut stdin = std::io::stdin().lock();
+        loop {
+            match stdin.read(&mut sink) {
+                Ok(0) => break,
+                Ok(_) => continue,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    log::error(format!("stdin read failed: {e}"));
+                    break;
+                }
+            }
+        }
+        log::info("stdin closed; draining connections");
+        let mut engine = server.shutdown();
+        let code = quiesce(&mut engine);
+        if let Some((path, format)) = &dump {
+            dump_metrics(engine.engine().metrics(), path, *format, ".tmp-final");
+        }
+        std::process::exit(code);
+    }
+
+    // ---- stdio mode: the original single-stream loop, now reading
+    // through the byte-capped line reader. ----
+    let metrics: Arc<ServeMetrics> = engine.engine().metrics().clone();
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
     let mut pending: Vec<String> = Vec::with_capacity(batch);
-    for line in stdin.lock().lines() {
-        let line = match line {
-            Ok(l) => l,
-            Err(e) => {
+    let mut reader = CappedLineReader::new(stdin.lock(), max_request_bytes);
+    loop {
+        // Out-of-band events (over-limit, bad UTF-8) flush the pending
+        // batch before answering, so responses keep request order.
+        let out_of_band = match reader.next_event() {
+            LineEvent::Line(line) => {
+                if line.trim().is_empty() {
+                    if let Err(e) = flush_batch(&mut pending, &mut out, &mut engine) {
+                        exit_on_write_failure(&e, &mut engine, &dump);
+                    }
+                    continue;
+                }
+                pending.push(line);
+                if pending.len() >= batch {
+                    if let Err(e) = flush_batch(&mut pending, &mut out, &mut engine) {
+                        exit_on_write_failure(&e, &mut engine, &dump);
+                    }
+                }
+                continue;
+            }
+            LineEvent::OverLimit { discarded } => {
+                metrics.record_over_limit();
+                over_limit_response(&metrics, discarded, max_request_bytes)
+            }
+            LineEvent::NotUtf8 => invalid_utf8_response(&metrics),
+            // Stdin has no read timeout, so Idle cannot occur.
+            LineEvent::Idle => continue,
+            LineEvent::Eof => break,
+            LineEvent::Err(e) => {
                 log::error(format!("stdin read failed: {e}"));
                 break;
             }
         };
-        if line.trim().is_empty() {
-            if let Err(e) = flush_batch(&mut pending, &mut out, &mut engine) {
-                exit_on_write_failure(&e, &mut engine, &dump);
-            }
-            continue;
-        }
-        pending.push(line);
-        if pending.len() >= batch {
-            if let Err(e) = flush_batch(&mut pending, &mut out, &mut engine) {
-                exit_on_write_failure(&e, &mut engine, &dump);
-            }
+        let write = flush_batch(&mut pending, &mut out, &mut engine)
+            .and_then(|()| writeln!(out, "{out_of_band}"))
+            .and_then(|()| out.flush());
+        if let Err(e) = write {
+            exit_on_write_failure(&e, &mut engine, &dump);
         }
     }
     if let Err(e) = flush_batch(&mut pending, &mut out, &mut engine) {

@@ -43,7 +43,11 @@ use std::sync::{Arc, Mutex};
 /// worker pool — the pool's channels are deliberately not `Sync`, so it
 /// cannot live inside the part the workers capture.
 pub struct QueryEngine {
-    core: QueryCore,
+    /// `Arc`'d so the TCP front-end ([`crate::net`]) can hand every
+    /// connection a pinnable reference to the *current* core while a
+    /// refresh builds the next one — the PR 5 swap discipline generalized
+    /// from "one serving thread" to "N connections, lock-free reads".
+    core: Arc<QueryCore>,
     pool: Option<WorkerPool>,
     threads: usize,
 }
@@ -77,12 +81,12 @@ impl QueryEngine {
             .collect();
         let all = graph.objects().collect();
         Self {
-            core: QueryCore {
+            core: Arc::new(QueryCore {
                 snapshot,
                 by_type,
                 all,
                 metrics,
-            },
+            }),
             pool: (threads > 1).then(|| WorkerPool::new(threads)),
             threads,
         }
@@ -102,6 +106,14 @@ impl QueryEngine {
     /// to decode wire requests without re-implementing the protocol.
     pub(crate) fn core(&self) -> &QueryCore {
         &self.core
+    }
+
+    /// A shared handle to the current core. Cloning the `Arc` is how the
+    /// TCP front-end publishes a snapshot to all connections: readers pin
+    /// the handle per request and keep answering from it even while the
+    /// mutation lane swaps in a refreshed engine.
+    pub fn core_shared(&self) -> Arc<QueryCore> {
+        Arc::clone(&self.core)
     }
 
     /// Worker threads this engine was built with.

@@ -62,7 +62,16 @@
 //!   append/fsync timings and replay counters, refresh lifecycle spans,
 //!   and live EM convergence (the registry is a
 //!   [`TraceSink`](genclus_obs::TraceSink) for warm re-fits), served as
-//!   `{"op":"metrics"}` in a byte-stable JSON schema or Prometheus text.
+//!   `{"op":"metrics"}` in a byte-stable JSON schema or Prometheus text;
+//! * [`net`] — the multi-client TCP front-end ([`net::NetServer`],
+//!   `--listen` on the binary): thread-per-connection JSON-lines serving
+//!   where reads share the snapshot lock-free (an atomically swappable
+//!   `Arc` of the read core, pinned per request per connection) and all
+//!   mutations serialize through one lane, so the WAL's
+//!   *ack ⇒ replayable* contract holds under concurrency. Request lines
+//!   on every path — stdio and TCP — are read through the byte-capped
+//!   [`lines::CappedLineReader`], so untrusted input cannot buffer
+//!   unbounded memory.
 //!
 //! # Quickstart
 //!
@@ -113,7 +122,9 @@ pub mod engine;
 pub mod error;
 pub mod foldin;
 pub mod json;
+pub mod lines;
 pub mod metrics;
+pub mod net;
 pub mod refresh;
 pub mod snapshot;
 pub mod wal;
@@ -125,7 +136,9 @@ pub mod prelude {
     pub use crate::error::ServeError;
     pub use crate::foldin::{FoldInEngine, FoldInOptions, FoldInRequest, FoldInResult};
     pub use crate::json::Json;
+    pub use crate::lines::{CappedLineReader, LineEvent};
     pub use crate::metrics::{RefreshSpan, ServeMetrics};
+    pub use crate::net::{NetConfig, NetServer};
     pub use crate::refresh::{RefreshOutcome, RefreshPolicy, RefreshableEngine};
     pub use crate::snapshot::{Snapshot, SCHEMA_VERSION};
     pub use crate::wal::{CommitRecord, Wal, WalRecoveryReport};

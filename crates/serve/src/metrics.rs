@@ -20,7 +20,10 @@
 //!   [`TraceSink`](genclus_obs::TraceSink), so a re-fit configured with
 //!   `cfg.with_trace(metrics)` streams its per-outer-iteration events
 //!   (iteration wall time, objective, Θ movement) in live, observable
-//!   mid-refresh through the `metrics` op.
+//!   mid-refresh through the `metrics` op;
+//! * TCP front-end connection counters ([`crate::net`]) —
+//!   accepted/closed/active connections, admission-cap rejections,
+//!   over-limit request lines, and contained per-connection write errors.
 //!
 //! The recording path is a couple of relaxed atomic adds plus one
 //! `Instant::now()` pair per request — cheap enough to leave on
@@ -28,13 +31,15 @@
 //! a [`ServeMetrics::disabled`] registry skips even the clock reads, and
 //! exists for that A/B and for embedders who want zero overhead).
 //!
-//! # JSON schema (schema_version 1)
+//! # JSON schema (schema_version 2)
 //!
 //! [`ServeMetrics::to_fields`] renders one object with a byte-stable key
-//! order (see `tests/metrics.rs`):
+//! order (see `tests/metrics.rs`). Version 2 appended the `net` block
+//! (TCP front-end connection counters); everything before it is
+//! byte-identical to version 1:
 //!
 //! ```json
-//! {"schema_version":1,"uptime_ms":…,
+//! {"schema_version":2,"uptime_ms":…,
 //!  "requests":{"total":…,"errors":…},
 //!  "ops":{"membership":{"count":…,"p50_us":…,"p90_us":…,"p99_us":…,"max_us":…},…},
 //!  "wal":{"records":…,"appends":…,"append_p50_us":…,"append_p90_us":…,
@@ -46,7 +51,9 @@
 //!                     "outer_iterations":…,"em_iterations":…,"refit_ms":…,
 //!                     "wall_ms":…,"persisted":…,"ok":…,"error":null}},
 //!  "em":{"outer_iterations":…,"inner_iterations":…,"outer_p50_ms":…,
-//!        "outer_max_ms":…,"last_objective":…}}
+//!        "outer_max_ms":…,"last_objective":…},
+//!  "net":{"accepted":…,"closed":…,"active":…,"rejected":…,
+//!         "over_limit":…,"write_errors":…}}
 //! ```
 //!
 //! Latencies are microseconds for request-scale work and milliseconds for
@@ -134,6 +141,11 @@ pub struct ServeMetrics {
     em_inner_iterations: Counter,
     em_outer: Histogram,
     em_last_objective: FloatGauge,
+    net_accepted: Counter,
+    net_closed: Counter,
+    net_rejected: Counter,
+    net_over_limit: Counter,
+    net_write_errors: Counter,
 }
 
 impl Default for ServeMetrics {
@@ -179,6 +191,11 @@ impl ServeMetrics {
             em_inner_iterations: Counter::new(),
             em_outer: Histogram::new(),
             em_last_objective: FloatGauge::new(),
+            net_accepted: Counter::new(),
+            net_closed: Counter::new(),
+            net_rejected: Counter::new(),
+            net_over_limit: Counter::new(),
+            net_write_errors: Counter::new(),
         }
     }
 
@@ -263,6 +280,43 @@ impl ServeMetrics {
     /// The last completed refresh attempt, if any.
     pub fn last_refresh_span(&self) -> Option<RefreshSpan> {
         self.last_refresh.lock().expect("last_refresh lock").clone()
+    }
+
+    /// Records an accepted TCP connection. Connection events are cold
+    /// (once per connection, not per request), so like
+    /// [`Self::record_wal_recovery`] they record even on a disabled
+    /// registry.
+    pub fn record_conn_accepted(&self) {
+        self.net_accepted.inc();
+    }
+
+    /// Records a connection reaching end-of-life (client EOF, contained
+    /// write error, over-limit close, or server shutdown).
+    pub fn record_conn_closed(&self) {
+        self.net_closed.inc();
+    }
+
+    /// Records a connection turned away at the admission cap.
+    pub fn record_conn_rejected(&self) {
+        self.net_rejected.inc();
+    }
+
+    /// Records one over-limit request line (stdio or TCP).
+    pub fn record_over_limit(&self) {
+        self.net_over_limit.inc();
+    }
+
+    /// Records a per-connection write failure that was contained (the
+    /// connection closed; the process kept serving).
+    pub fn record_net_write_error(&self) {
+        self.net_write_errors.inc();
+    }
+
+    /// Connections currently open (accepted − closed).
+    pub fn active_connections(&self) -> u64 {
+        self.net_accepted
+            .get()
+            .saturating_sub(self.net_closed.get())
     }
 
     fn round3(x: f64) -> f64 {
@@ -384,8 +438,16 @@ impl ServeMetrics {
             ("outer_max_ms", Self::ms(em_outer.max())),
             ("last_objective", Json::Num(self.em_last_objective.get())),
         ]);
+        let net = Json::obj(vec![
+            ("accepted", Self::count(&self.net_accepted)),
+            ("closed", Self::count(&self.net_closed)),
+            ("active", Json::Num(self.active_connections() as f64)),
+            ("rejected", Self::count(&self.net_rejected)),
+            ("over_limit", Self::count(&self.net_over_limit)),
+            ("write_errors", Self::count(&self.net_write_errors)),
+        ]);
         vec![
-            ("schema_version", Json::Num(1.0)),
+            ("schema_version", Json::Num(2.0)),
             ("uptime_ms", Json::Num(uptime_ms)),
             (
                 "requests",
@@ -398,6 +460,7 @@ impl ServeMetrics {
             ("wal", wal),
             ("refresh", refresh),
             ("em", em),
+            ("net", net),
         ]
     }
 
@@ -541,6 +604,36 @@ impl ServeMetrics {
             "genclus_em_last_objective",
             "gauge",
             self.em_last_objective.get(),
+        );
+        scalar(
+            &mut out,
+            "genclus_net_connections_accepted_total",
+            "counter",
+            self.net_accepted.get() as f64,
+        );
+        scalar(
+            &mut out,
+            "genclus_net_connections_active",
+            "gauge",
+            self.active_connections() as f64,
+        );
+        scalar(
+            &mut out,
+            "genclus_net_connections_rejected_total",
+            "counter",
+            self.net_rejected.get() as f64,
+        );
+        scalar(
+            &mut out,
+            "genclus_net_over_limit_total",
+            "counter",
+            self.net_over_limit.get() as f64,
+        );
+        scalar(
+            &mut out,
+            "genclus_net_write_errors_total",
+            "counter",
+            self.net_write_errors.get() as f64,
         );
         out
     }

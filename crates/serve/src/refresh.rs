@@ -1065,6 +1065,16 @@ impl RefreshableEngine {
         }
     }
 
+    /// Public non-blocking completion check: lands a finished background
+    /// re-fit (snapshot swap) if one is ready, otherwise returns
+    /// immediately. The stdio loop gets this for free at the top of every
+    /// `handle_line`/`handle_batch`; the TCP front-end calls it from idle
+    /// connection ticks so a finished re-fit is published promptly even
+    /// when no mutations arrive.
+    pub fn poll_refresh(&mut self) {
+        self.poll_background();
+    }
+
     /// Blocks until any in-flight background re-fit lands (swapping it in,
     /// or restoring the window on failure). A chained re-fit started by
     /// the completion path is waited out too. No-op in inline mode.
@@ -1214,8 +1224,10 @@ impl RefreshableEngine {
     /// `Some(parsed)` when `line` is a mutating request this layer must
     /// serialize (`refresh`, or `fold_in` with a `commit` field). Parse
     /// failures return `None` — the inner engine produces the error
-    /// response.
-    fn parse_mutation(line: &str) -> Option<Json> {
+    /// response. `pub(crate)` because the TCP front-end ([`crate::net`])
+    /// uses the same classifier to route lines between the shared-read
+    /// path and the exclusive mutation lane.
+    pub(crate) fn parse_mutation(line: &str) -> Option<Json> {
         // Fast reject before paying for a parse: a mutation line must
         // contain the literal key/op text somewhere (the inner engine
         // re-parses whatever this layer delegates, so a full parse here

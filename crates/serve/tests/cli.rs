@@ -1,0 +1,111 @@
+//! Argument-parsing and stdio-loop regressions for the `genclus_serve`
+//! binary:
+//!
+//! * `--metrics-interval 0` used to fall through to the generic usage
+//!   dump; an interval of 0 would busy-spin the dump thread. It must be
+//!   rejected at parse time with a *specific* error, before any snapshot
+//!   is touched;
+//! * a request line over `--max-request-bytes` on the **stdio** path is
+//!   answered with a structured `BadRequest` and the loop keeps serving —
+//!   unlike TCP, where the offending connection closes, stdin has exactly
+//!   one (trusted-ish) peer and killing the stream would kill the
+//!   process.
+
+use genclus_core::{GenClus, GenClusConfig};
+use genclus_hin::{HinBuilder, Schema};
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
+
+fn snapshot_bytes() -> Vec<u8> {
+    let mut s = Schema::new();
+    let sensor = s.add_object_type("sensor");
+    let nn = s.add_relation("nn", sensor, sensor);
+    let reading = s.add_numerical_attribute("reading");
+    let mut b = HinBuilder::new(s);
+    let vs: Vec<_> = (0..6)
+        .map(|i| b.add_object(sensor, format!("s{i}")))
+        .collect();
+    for group in [[0usize, 1, 2], [3, 4, 5]] {
+        for &i in &group {
+            for &j in &group {
+                if i != j {
+                    b.add_link(vs[i], vs[j], nn, 1.0).unwrap();
+                }
+            }
+        }
+    }
+    b.add_numeric(vs[0], reading, -5.0).unwrap();
+    b.add_numeric(vs[3], reading, 5.0).unwrap();
+    let graph = b.build().unwrap();
+    let cfg = GenClusConfig::new(2, vec![reading]).with_seed(7);
+    let fit = GenClus::new(cfg).unwrap().fit(&graph).unwrap();
+    genclus_serve::snapshot::to_bytes(&graph, &fit.model)
+}
+
+#[test]
+fn metrics_interval_zero_is_a_specific_usage_error() {
+    // Parse-time rejection: the snapshot path is bogus on purpose — the
+    // error must fire before anything is loaded.
+    let out = Command::new(env!("CARGO_BIN_EXE_genclus_serve"))
+        .args(["--snapshot", "/nonexistent.gcsnap"])
+        .args(["--metrics-dump", "/tmp/unused.json"])
+        .args(["--metrics-interval", "0"])
+        .output()
+        .expect("run genclus_serve");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--metrics-interval must be at least 1"),
+        "want a specific error, got: {stderr}"
+    );
+    assert!(stderr.contains("busy-spin"), "explain *why*: {stderr}");
+    // ... and not the generic usage dump that used to swallow this.
+    assert!(!stderr.contains("usage: genclus_serve"), "{stderr}");
+}
+
+#[test]
+fn stdio_over_limit_line_answers_bad_request_and_keeps_serving() {
+    let dir = std::env::temp_dir().join(format!("genclus-cli-overlimit-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("model.gcsnap");
+    std::fs::write(&snap, snapshot_bytes()).unwrap();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_genclus_serve"))
+        .arg("--snapshot")
+        .arg(&snap)
+        .args(["--batch", "1", "--max-request-bytes", "128"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn genclus_serve");
+    let mut stdin = child.stdin.take().unwrap();
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut roundtrip = |stdin: &mut std::process::ChildStdin, line: &str| {
+        writeln!(stdin, "{line}").unwrap();
+        stdin.flush().unwrap();
+        let mut resp = String::new();
+        stdout.read_line(&mut resp).expect("response read");
+        assert!(!resp.is_empty(), "server died answering {line}");
+        resp
+    };
+
+    let resp = roundtrip(&mut stdin, r#"{"op":"stats"}"#);
+    assert!(resp.contains(r#""ok":true"#), "{resp}");
+
+    // A 4 KiB line against the 128-byte cap: one structured error,
+    // in order, and the loop keeps going.
+    let long = format!(r#"{{"op":"membership","object":"{}"}}"#, "x".repeat(4096));
+    let resp = roundtrip(&mut stdin, &long);
+    assert!(resp.contains(r#""ok":false"#), "{resp}");
+    assert!(resp.contains("exceeds"), "{resp}");
+    assert!(resp.contains("max-request-bytes"), "{resp}");
+
+    let resp = roundtrip(&mut stdin, r#"{"op":"membership","object":"s0"}"#);
+    assert!(resp.contains(r#""ok":true"#), "{resp}");
+
+    drop(stdin);
+    assert!(child.wait().unwrap().success());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -122,10 +122,14 @@ fn counters_are_monotone_and_every_op_is_attributed() {
         );
         assert!(max > 0.0, "{op}: a served request takes nonzero time");
     }
-    // Untouched subsystems report zeros, not garbage.
+    // Untouched subsystems report zeros, not garbage — including the
+    // net block on a stdio-only session.
     assert_eq!(num(&m, &["wal", "appends"]), 0.0);
     assert_eq!(num(&m, &["refresh", "completed"]), 0.0);
     assert_eq!(field(&m, &["refresh", "last"]), &Json::Null);
+    for key in ["accepted", "active", "rejected", "over_limit"] {
+        assert_eq!(num(&m, &["net", key]), 0.0);
+    }
 }
 
 #[test]
@@ -238,12 +242,33 @@ fn metrics_json_key_order_is_byte_stable_across_sessions() {
         "wal",
         "refresh",
         "em",
+        "net",
     ];
     let start = top
         .iter()
         .position(|&k| k == "schema_version")
         .expect("metrics body present");
     assert_eq!(&top[start..start + body.len()], &body);
+    // Version 2 appended `net`; everything before it is byte-identical
+    // to version 1, so v1 consumers keep parsing.
+    assert_eq!(num(&a, &["schema_version"]), 2.0);
+    let net: Vec<&str> = field(&a, &["net"])
+        .as_obj()
+        .expect("net block rendered")
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect();
+    assert_eq!(
+        net,
+        [
+            "accepted",
+            "closed",
+            "active",
+            "rejected",
+            "over_limit",
+            "write_errors"
+        ]
+    );
     // A refresh ran, so the span's key order is pinned too.
     let span: Vec<&str> = field(&a, &["refresh", "last"])
         .as_obj()
