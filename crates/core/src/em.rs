@@ -89,6 +89,10 @@ use genclus_stats::MembershipMatrix;
 ///
 /// `tv` is the object's current membership row, `terms` its `(term, count)`
 /// bag, and `resp` a `K`-length scratch row.
+// The shared responsibility kernels run once per (object, observation) on
+// every EM sweep and every online fold-in — allocation-free by contract,
+// enforced by the hot-path-alloc lint.
+// lint: region(hot-path)
 #[inline]
 pub fn categorical_responsibility_mass(
     tv: &[f64],
@@ -162,6 +166,7 @@ pub fn gaussian_responsibility_mass(
         }
     }
 }
+// lint: end-region
 
 /// Result of one EM iteration.
 #[derive(Debug, Clone)]
@@ -449,6 +454,7 @@ impl<'g> EmEngine<'g> {
 /// `out_rows` (a flat slice starting at object `start`) and accumulating
 /// sufficient statistics into `scratch`. Leaves the local max-abs delta in
 /// `scratch.max_delta`.
+// lint: region(hot-path)
 #[allow(clippy::too_many_arguments)]
 fn process_range(
     graph: &HinGraph,
@@ -535,6 +541,7 @@ fn process_range(
     }
     *max_delta = local_delta;
 }
+// lint: end-region
 
 #[cfg(test)]
 mod tests {

@@ -258,6 +258,9 @@ pub struct DisjointRows<'a> {
 // SAFETY: access is restricted to disjoint ranges by the `slice_mut`
 // contract, so concurrent use from multiple threads cannot alias.
 unsafe impl Sync for DisjointRows<'_> {}
+// SAFETY: the wrapper owns no thread-affine state — it is a raw pointer
+// plus a length borrowed from the caller's slice, and the disjointness
+// contract above covers writes from whichever thread holds a range.
 unsafe impl Send for DisjointRows<'_> {}
 
 impl<'a> DisjointRows<'a> {

@@ -1,0 +1,635 @@
+//! A small Rust *surface* lexer: enough syntax awareness to separate code
+//! from comments and literal contents, without parsing (no `syn`, no
+//! dependency — the same vendored-stand-in constraint as the rest of the
+//! workspace).
+//!
+//! The lexer's contract is layout preservation: every input line maps to
+//! one [`LexLine`] whose `code` buffer has **the same byte length as the
+//! source line**, with comment bytes and string/char-literal *contents*
+//! replaced by spaces (the delimiting quotes stay). A rule that finds a
+//! pattern at byte offset `o` of `code` can therefore report column
+//! `o + 1` and it is the real source column — no source map needed.
+//!
+//! What it understands:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`), including block comments spanning lines;
+//! * string literals with escapes (`"a\"b"`), byte strings (`b"…"`), raw
+//!   strings with any hash depth (`r"…"`, `r##"…"##`, `br#"…"#`);
+//! * char literals (`'a'`, `'\''`, `'\u{1F600}'`, `b'x'`) vs lifetimes
+//!   (`'a`, `'static`) — a quote followed by an identifier with no closing
+//!   quote is a lifetime, not an unterminated literal;
+//! * `#[cfg(test)]` scope tracking by brace depth: every line inside an
+//!   item gated by `#[cfg(test)]` (the attribute line through the item's
+//!   closing brace) is flagged `in_test`, so rules can exempt test code.
+//!   An attribute that gates a braceless item (`#[cfg(test)] use x;`) is
+//!   cancelled by the `;`.
+//!
+//! The lexer never fails: arbitrary byte soup (invalid UTF-8, unterminated
+//! literals, stray quotes) produces *some* lex, degrading gracefully — the
+//! fuzz suite asserts it never panics. Unterminated states simply run to
+//! end of file.
+
+/// One lexed source line.
+#[derive(Debug, Clone)]
+pub struct LexLine {
+    /// The line with comments and literal contents blanked to spaces;
+    /// same byte length as the source line, so offsets are real columns.
+    pub code: String,
+    /// Concatenated comment text visible on this line (comment markers
+    /// `//` / `/*` / `*/` stripped), separated by single spaces.
+    pub comment: String,
+    /// `(column, content)` of every string literal **starting** on this
+    /// line (1-based column of the opening quote; content is the raw
+    /// uninterpreted bytes between the delimiters, lossily decoded).
+    /// Char literals and byte strings are excluded — rule 5 pins JSON
+    /// keys, which are plain `"…"` literals.
+    pub strings: Vec<(usize, String)>,
+    /// Whether any part of this line lies inside `#[cfg(test)]`-gated code.
+    pub in_test: bool,
+}
+
+/// A whole lexed file.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    pub lines: Vec<LexLine>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nested depth.
+    BlockComment(u32),
+    /// Escaped (non-raw) string; `raw_hashes: None`.
+    Str,
+    /// Raw string terminated by `"` + this many `#`s.
+    RawStr(u32),
+}
+
+/// Accumulates one output line while scanning.
+struct LineBuf {
+    code: Vec<u8>,
+    comment: Vec<u8>,
+    strings: Vec<(usize, String)>,
+    touched_test: bool,
+    /// Whether the literal currently being blanked feeds `strings` (plain
+    /// `"…"` / `r"…"` literals do; byte strings do not).
+    collecting: bool,
+}
+
+impl LineBuf {
+    fn new() -> Self {
+        Self {
+            code: Vec::new(),
+            comment: Vec::new(),
+            strings: Vec::new(),
+            touched_test: false,
+            collecting: false,
+        }
+    }
+
+    fn finish(&mut self) -> LexLine {
+        let line = LexLine {
+            code: String::from_utf8_lossy(&self.code).into_owned(),
+            comment: String::from_utf8_lossy(&self.comment).into_owned(),
+            strings: std::mem::take(&mut self.strings),
+            in_test: self.touched_test,
+        };
+        self.code.clear();
+        self.comment.clear();
+        line
+    }
+
+    fn push_comment_byte(&mut self, b: u8) {
+        self.comment.push(b);
+        self.code.push(b' ');
+    }
+
+    fn comment_break(&mut self) {
+        if !self.comment.is_empty() && *self.comment.last().unwrap_or(&b' ') != b' ' {
+            self.comment.push(b' ');
+        }
+    }
+}
+
+/// Tracks `#[cfg(test)]` item scopes by brace depth.
+struct TestTracker {
+    depth: i64,
+    /// Depth at which a pending `#[cfg(test)]` attribute was seen.
+    pending_at: Option<i64>,
+    /// Depth *outside* the test item's braces; the region is live while
+    /// `depth > region_at`.
+    region_at: Option<i64>,
+}
+
+impl TestTracker {
+    fn new() -> Self {
+        Self {
+            depth: 0,
+            pending_at: None,
+            region_at: None,
+        }
+    }
+
+    fn active(&self) -> bool {
+        self.region_at.is_some() || self.pending_at.is_some()
+    }
+
+    fn saw_attr(&mut self) {
+        if self.region_at.is_none() && self.pending_at.is_none() {
+            self.pending_at = Some(self.depth);
+        }
+    }
+
+    fn open_brace(&mut self) {
+        if let Some(at) = self.pending_at.take() {
+            if self.region_at.is_none() {
+                self.region_at = Some(at.min(self.depth));
+            }
+        }
+        self.depth += 1;
+    }
+
+    fn close_brace(&mut self) -> bool {
+        self.depth -= 1;
+        if let Some(at) = self.region_at {
+            if self.depth <= at {
+                self.region_at = None;
+                return true; // region ended on this byte
+            }
+        }
+        false
+    }
+
+    /// Returns true when the `;` closed a `#[cfg(test)]`-gated braceless
+    /// item (`#[cfg(test)] use …;`) — that line is still test code.
+    fn semicolon(&mut self) -> bool {
+        if let Some(at) = self.pending_at {
+            if self.depth == at {
+                self.pending_at = None;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Lexes `src` into per-line code/comment/string views. Never panics on
+/// any input.
+pub fn lex(src: &[u8]) -> LexedFile {
+    let mut out = LexedFile::default();
+    let mut buf = LineBuf::new();
+    let mut state = State::Code;
+    let mut test = TestTracker::new();
+    let mut i = 0usize;
+    let n = src.len();
+
+    while i < n {
+        let b = src[i];
+        if b == b'\n' {
+            // A line comment ends at the newline; everything else carries
+            // over (block comments, raw strings — and unterminated normal
+            // strings degrade by continuing, which keeps the lexer total).
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            buf.touched_test |= test.active();
+            out.lines.push(buf.finish());
+            buf.touched_test = false;
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                // Comment openers.
+                if b == b'/' && i + 1 < n && src[i + 1] == b'/' {
+                    state = State::LineComment;
+                    buf.comment_break();
+                    buf.code.push(b' ');
+                    buf.code.push(b' ');
+                    i += 2;
+                    // Skip doc-comment markers (`///`, `//!`) so comment
+                    // text starts at the content.
+                    if i < n && (src[i] == b'/' || src[i] == b'!') {
+                        buf.code.push(b' ');
+                        i += 1;
+                    }
+                    continue;
+                }
+                if b == b'/' && i + 1 < n && src[i + 1] == b'*' {
+                    state = State::BlockComment(1);
+                    buf.comment_break();
+                    buf.code.push(b' ');
+                    buf.code.push(b' ');
+                    i += 2;
+                    // Skip the doc marker of `/** … */` / `/*! … */`.
+                    if i < n && (src[i] == b'*' || src[i] == b'!') && !src[i..].starts_with(b"*/") {
+                        buf.code.push(b' ');
+                        i += 1;
+                    }
+                    continue;
+                }
+                // `#[cfg(test)]` detection (exact form; rustfmt normalizes).
+                if b == b'#' && src[i..].starts_with(b"#[cfg(test)]") {
+                    test.saw_attr();
+                    buf.touched_test = true;
+                    for _ in 0.."#[cfg(test)]".len() {
+                        buf.code.push(src[i]);
+                        i += 1;
+                    }
+                    continue;
+                }
+                // Raw / byte string prefixes. Only when the prefix is not
+                // the tail of an identifier (`for r in…`, `let br = …`).
+                let prev_ident = i > 0 && is_ident_byte(src[i - 1]);
+                if !prev_ident && (b == b'r' || b == b'b') {
+                    if let Some((quote_off, hashes, is_plain_str)) = raw_prefix(&src[i..], b) {
+                        // Emit the prefix bytes as code, then enter the
+                        // string state at the quote.
+                        for _ in 0..=quote_off {
+                            buf.code.push(src[i]);
+                            i += 1;
+                        }
+                        let col = buf.code.len(); // column of byte after quote
+                        if hashes == u32::MAX {
+                            state = State::Str;
+                        } else {
+                            state = State::RawStr(hashes);
+                        }
+                        buf.collecting = is_plain_str;
+                        if is_plain_str {
+                            buf.strings.push((col, String::new()));
+                        }
+                        continue;
+                    }
+                }
+                if b == b'"' {
+                    buf.code.push(b'"');
+                    buf.strings.push((buf.code.len(), String::new()));
+                    buf.collecting = true;
+                    state = State::Str;
+                    i += 1;
+                    continue;
+                }
+                if b == b'\'' {
+                    // Char literal vs lifetime.
+                    if let Some(end) = char_literal_end(src, i) {
+                        buf.code.push(b'\'');
+                        for _ in i + 1..end {
+                            buf.code.push(b' ');
+                        }
+                        buf.code.push(b'\'');
+                        i = end + 1;
+                        continue;
+                    }
+                    buf.code.push(b'\'');
+                    i += 1;
+                    continue;
+                }
+                match b {
+                    b'{' => test.open_brace(),
+                    b'}' if test.close_brace() => buf.touched_test = true,
+                    b';' if test.semicolon() => buf.touched_test = true,
+                    _ => {}
+                }
+                buf.code.push(b);
+                i += 1;
+            }
+            State::LineComment => {
+                buf.push_comment_byte(b);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if b == b'*' && i + 1 < n && src[i + 1] == b'/' {
+                    buf.code.push(b' ');
+                    buf.code.push(b' ');
+                    buf.comment_break();
+                    if depth == 1 {
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                    i += 2;
+                } else if b == b'/' && i + 1 < n && src[i + 1] == b'*' {
+                    buf.code.push(b' ');
+                    buf.code.push(b' ');
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    buf.push_comment_byte(b);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                // `\` + newline is a line continuation: let the top-of-loop
+                // newline handling break the line so line numbers stay true.
+                if b == b'\\' && i + 1 < n && src[i + 1] != b'\n' {
+                    push_string_bytes(&mut buf, &src[i..i + 2]);
+                    i += 2;
+                } else if b == b'"' {
+                    buf.code.push(b'"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    push_string_bytes(&mut buf, &src[i..i + 1]);
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if b == b'"' && closes_raw(&src[i + 1..], hashes) {
+                    buf.code.push(b'"');
+                    for _ in 0..hashes {
+                        buf.code.push(b'#');
+                    }
+                    i += 1 + hashes as usize;
+                    state = State::Code;
+                } else {
+                    push_string_bytes(&mut buf, &src[i..i + 1]);
+                    i += 1;
+                }
+            }
+        }
+    }
+    // Final (unterminated) line.
+    if !buf.code.is_empty() || !buf.comment.is_empty() || !buf.strings.is_empty() || n == 0 {
+        buf.touched_test |= test.active();
+        out.lines.push(buf.finish());
+    }
+    out
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// If `src` (starting at an `r` or `b`) opens a raw/byte string, returns
+/// `(offset of the opening quote, hash count, is_plain_str)` where a hash
+/// count of `u32::MAX` means "escaped string body" (`b"…"`).
+/// `is_plain_str` is true only for `r"…"` forms (no `b`), whose contents
+/// rule 5 may pin.
+fn raw_prefix(src: &[u8], first: u8) -> Option<(usize, u32, bool)> {
+    let mut j = 1usize;
+    let mut raw = first == b'r';
+    let byte = first == b'b';
+    if byte && src.len() > 1 && src[1] == b'r' {
+        raw = true;
+        j = 2;
+    }
+    if byte && !raw {
+        // b"…" (escaped body) or b'…' (handled by the char path: return
+        // None so the caller emits `b` as code and the `'` branch runs).
+        return match src.get(1) {
+            Some(b'"') => Some((1, u32::MAX, false)),
+            _ => None,
+        };
+    }
+    if !raw {
+        return None;
+    }
+    let mut hashes = 0u32;
+    while src.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if src.get(j) == Some(&b'"') {
+        Some((j, hashes, !byte))
+    } else {
+        None
+    }
+}
+
+/// Whether the bytes after a `"` inside a raw string close it (`hashes`
+/// further `#`s follow).
+fn closes_raw(rest: &[u8], hashes: u32) -> bool {
+    let h = hashes as usize;
+    rest.len() >= h && rest[..h].iter().all(|&b| b == b'#')
+}
+
+/// If a `'` at `start` opens a char literal, returns the index of its
+/// closing quote; `None` means it is a lifetime / label. A raw newline
+/// can never appear inside a char literal, so the scan refuses to cross
+/// one — that keeps the caller's line accounting exact.
+fn char_literal_end(src: &[u8], start: usize) -> Option<usize> {
+    let mut j = start + 1;
+    match src.get(j)? {
+        b'\\' => {
+            j += 1;
+            match src.get(j)? {
+                b'u' => {
+                    // '\u{…}'
+                    j += 1;
+                    if src.get(j) != Some(&b'{') {
+                        return None;
+                    }
+                    loop {
+                        let b = *src.get(j)?;
+                        if b == b'\n' {
+                            return None;
+                        }
+                        j += 1;
+                        if b == b'}' {
+                            break;
+                        }
+                    }
+                }
+                b'\n' => return None,
+                _ => j += 1,
+            }
+            (src.get(j) == Some(&b'\'')).then_some(j)
+        }
+        b'\'' => None, // '' is not a char literal
+        b'\n' => None, // a literal can't hold a raw newline
+        _ => {
+            // One (possibly multi-byte) character, then a closing quote.
+            // A lifetime ('a, 'static) has an identifier here and *no*
+            // closing quote right after its first char — except the
+            // single-letter case ('a'), which the quote check resolves.
+            let first = *src.get(j)?;
+            let len = utf8_len(first);
+            j += len;
+            (src.get(j) == Some(&b'\'')).then_some(j)
+        }
+    }
+}
+
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn push_string_bytes(buf: &mut LineBuf, bytes: &[u8]) {
+    for &b in bytes {
+        buf.code.push(b' ');
+        if buf.collecting {
+            if let Some((_, s)) = buf.strings.last_mut() {
+                // Raw storage; escapes stay escaped. Lossy at line level is
+                // fine: rule 5 compares plain ASCII keys.
+                s.push(b as char);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex_str(s: &str) -> LexedFile {
+        lex(s.as_bytes())
+    }
+
+    #[test]
+    fn comments_are_stripped_and_collected() {
+        let f = lex_str("let x = 1; // trailing note\n/* block */ let y = 2;\n");
+        assert_eq!(f.lines[0].code.trim_end(), "let x = 1;");
+        assert!(f.lines[0].comment.contains("trailing note"));
+        assert!(f.lines[1].code.contains("let y = 2;"));
+        assert!(f.lines[1].comment.contains("block"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = lex_str("a /* one /* two */ still */ b\n");
+        let code = &f.lines[0].code;
+        assert!(code.contains('a') && code.contains('b'));
+        assert!(!code.contains("one") && !code.contains("still"));
+        assert!(f.lines[0].comment.contains("two"));
+    }
+
+    #[test]
+    fn stray_quote_before_newline_does_not_eat_the_line_break() {
+        // `'` + newline + `'` is NOT a char literal (a literal can't hold
+        // a raw newline); the scan must stop at the line boundary so each
+        // output line keeps its source byte length.
+        let f = lex(b"'\n'");
+        assert_eq!(f.lines.len(), 2);
+        assert_eq!(f.lines[0].code, "'");
+        assert_eq!(f.lines[1].code, "'");
+    }
+
+    #[test]
+    fn multi_line_block_comment_blanks_every_line() {
+        let f = lex_str("x/*\n .unwrap()\n*/y\n");
+        assert!(!f.lines[1].code.contains(".unwrap()"));
+        assert!(f.lines[1].comment.contains(".unwrap()"));
+        assert!(f.lines[2].code.contains('y'));
+    }
+
+    #[test]
+    fn string_contents_are_blanked_but_quotes_stay() {
+        let f = lex_str(r#"call(".unwrap()", "b // no comment");"#);
+        let code = &f.lines[0].code;
+        assert!(!code.contains(".unwrap()"));
+        assert!(!code.contains("no comment"));
+        assert!(f.lines[0].comment.is_empty());
+        assert_eq!(code.len(), r#"call(".unwrap()", "b // no comment");"#.len());
+        assert_eq!(f.lines[0].strings.len(), 2);
+        assert_eq!(f.lines[0].strings[0].1, ".unwrap()");
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let f = lex_str(r#"let s = "a\"b// still string"; let t = 1;"#);
+        assert!(f.lines[0].code.contains("let t = 1;"));
+        assert!(f.lines[0].comment.is_empty());
+        assert_eq!(f.lines[0].strings[0].1, r#"a\"b// still string"#);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let f = lex_str(r###"let s = r#"quote " and // slash"# ; done();"###);
+        assert!(f.lines[0].code.contains("done();"));
+        assert!(f.lines[0].comment.is_empty());
+        assert_eq!(f.lines[0].strings[0].1, r#"quote " and // slash"#);
+        // Hash-less raw string.
+        let f = lex_str(r#"let s = r"\no escape"; after();"#);
+        assert!(f.lines[0].code.contains("after();"));
+        assert_eq!(f.lines[0].strings[0].1, r"\no escape");
+    }
+
+    #[test]
+    fn byte_strings_and_raw_byte_strings() {
+        let f = lex_str(r##"w(b"GENCLUS\0"); v(br#"x"#); tail();"##);
+        assert!(f.lines[0].code.contains("tail();"));
+        // Byte strings are not collected as plain strings.
+        assert!(f.lines[0].strings.is_empty());
+        // …and their contents must not leak into an earlier plain string.
+        let f = lex_str(r#"a("key"); w(b"JUNK");"#);
+        assert_eq!(f.lines[0].strings.len(), 1);
+        assert_eq!(f.lines[0].strings[0].1, "key");
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let f = lex_str("fn f<'a>(x: &'a str) { let c = '\"'; let d = '\\''; }\n");
+        let code = &f.lines[0].code;
+        // The quote chars inside char literals must not open strings.
+        assert!(code.contains("let d ="));
+        assert!(f.lines[0].strings.is_empty());
+        // Unicode char literal.
+        let f = lex_str("let c = '\u{1F600}'; let x = \"k\";\n");
+        assert_eq!(f.lines[0].strings.len(), 1);
+        // b'x' byte char.
+        let f = lex_str("self.expect(b'{')?; q(\"k\")\n");
+        assert_eq!(f.lines[0].strings.len(), 1);
+        assert_eq!(f.lines[0].strings[0].1, "k");
+        assert!(f.lines[0].code.contains("self.expect(b' ')?"));
+    }
+
+    #[test]
+    fn cfg_test_scopes_by_brace_depth() {
+        let src = "\
+fn live() { x(); }
+#[cfg(test)]
+mod tests {
+    fn t() { y(); }
+}
+fn live2() { z(); }
+";
+        let f = lex_str(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test); // the attribute line
+        assert!(f.lines[2].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test); // closing brace
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_is_cancelled_by_semicolon() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() { x(); }\n";
+        let f = lex_str(src);
+        assert!(f.lines[0].in_test);
+        assert!(f.lines[1].in_test);
+        assert!(!f.lines[2].in_test, "the `;` must cancel the pending gate");
+    }
+
+    #[test]
+    fn cfg_test_string_in_code_does_not_gate() {
+        let f = lex_str("let s = \"#[cfg(test)]\";\nfn live() { x(); }\n");
+        assert!(!f.lines[1].in_test);
+    }
+
+    #[test]
+    fn columns_survive_blanking() {
+        let src = r#"ab("s") ; x.unwrap()"#;
+        let f = lex_str(src);
+        let col = f.lines[0].code.find(".unwrap()").unwrap();
+        assert_eq!(&src[col..col + 9], ".unwrap()");
+    }
+
+    #[test]
+    fn empty_and_unterminated_inputs() {
+        assert_eq!(lex(b"").lines.len(), 1);
+        lex(b"\"unterminated");
+        lex(b"/* unterminated");
+        lex(br##"r#"unterminated"##);
+        lex(b"'");
+        lex(&[0xff, 0xfe, b'"', 0x80, b'\n', b'x']);
+    }
+}

@@ -1,0 +1,84 @@
+//! # genclus-lint — repo-invariant static analysis for the GenClus workspace
+//!
+//! A zero-dependency, hand-rolled static analyzer (no `syn`, no network —
+//! the same vendored-stand-in constraint as the rest of the workspace).
+//! It exists because the repo's correctness now rests on invariants the
+//! compiler and clippy cannot see: allocation-free EM kernel regions,
+//! `SAFETY:`-justified `unsafe`, fsync-before-ack durability confined to
+//! blessed helpers, panic-free serve paths, and a byte-stable metrics key
+//! order. This crate turns those prose invariants into machine-checked
+//! ones, run in CI as a hard gate:
+//!
+//! ```text
+//! cargo run --release -p genclus-lint -- --workspace
+//! ```
+//!
+//! ## Architecture
+//!
+//! * [`lexer`] — a Rust *surface* lexer. It separates code from comments
+//!   and blanks string/char-literal contents while preserving layout, so
+//!   rules match on code only and report real source columns. It tracks
+//!   nested block comments, raw strings of any hash depth, char literals
+//!   vs lifetimes, and `#[cfg(test)]` scopes by brace depth. It never
+//!   panics on any input (fuzzed).
+//! * [`rules`] — the rule engine: five rules plus the directive layer
+//!   (waivers and regions). Diagnostics carry 1-based `line:col`.
+//! * [`driver`] — workspace walking (skips `target/`, `vendor/`,
+//!   `fixtures/`, dot-dirs), the embedded metrics-key manifest, and the
+//!   `path:line:col: [rule] message` report format.
+//!
+//! ## Rules
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `unsafe-needs-safety` | every `unsafe` is preceded by a `// SAFETY:` comment (or rustdoc `# Safety` section) in the contiguous comment/attribute block above, or carries one on the same line |
+//! | `hot-path-alloc` | no `Vec::new` / `vec![` / `Box::new` / `format!` / `.collect()` / `.to_vec()` / `String::from` inside a `hot-path` region (the EM kernel and fold-in assignment loops) |
+//! | `durable-io-containment` | raw `fs::write` / `File::create` / `fs::rename` / `OpenOptions` only in the blessed `crates/serve/src/snapshot.rs` / `wal.rs`; everyone else routes through their fsync'd helpers |
+//! | `no-panic-in-serve` | no `.unwrap()` / `.expect(` / `panic!` / `unreachable!` in non-test code under `crates/serve/src/` |
+//! | `metrics-key-order` | the string-literal keys inside `metrics-schema` regions of `metrics.rs`, in render order, must equal the pinned manifest `src/metrics_keys.txt` |
+//!
+//! All rules skip `#[cfg(test)]` code; `unsafe-needs-safety` and
+//! `durable-io-containment` also skip integration-test directories
+//! (`…/tests/`).
+//!
+//! ## Directive syntax
+//!
+//! A directive is a comment whose trimmed text starts with `lint:` —
+//! anywhere else the word appears (like this paragraph) is inert.
+//!
+//! * **Waiver** — `lint: allow(<rule>) -- <reason>`. Suppresses that rule
+//!   on the directive's own line (trailing comment) or on the next code
+//!   line (whole-line comment). The `-- <reason>` is mandatory, and a
+//!   waiver that suppresses nothing is itself an error, so waivers cannot
+//!   outlive the code they excuse.
+//! * **Region** — `lint: region(<name>)` … `lint: end-region`. Names a
+//!   span for region-scoped rules (`hot-path`, `metrics-schema`). Regions
+//!   nest; unclosed regions and stray `end-region`s are errors.
+//!
+//! ## Adding a rule
+//!
+//! 1. Add the name to [`rules::RULE_NAMES`] (waiver validation) and a
+//!    `fn rule_…(ctx, &mut out)` beside the existing five; wire it into
+//!    [`rules::check_file`].
+//! 2. Match against `LexLine::code` (already comment/literal-free) and
+//!    report `(line, col)` from the match offset — columns are real
+//!    because the lexer preserves layout.
+//! 3. Add a seeded-violation fixture under `tests/fixtures/` asserting
+//!    the exact `file:line` diagnostic, and a waiver-behavior case.
+//! 4. Burn down or waive every finding the new rule produces on the
+//!    workspace — CI runs the lint as a hard gate.
+//!
+//! ## Bumping the metrics manifest
+//!
+//! `metrics-key-order` failing after an intentional schema change is the
+//! gate working. Edit `crates/lint/src/metrics_keys.txt` to the new
+//! sequence (the diagnostic names the exact position), keep
+//! `crates/serve/src/metrics.rs` documentation in sync, and bump
+//! `schema_version` in `to_fields` if the change is wire-visible.
+
+pub mod driver;
+pub mod lexer;
+pub mod rules;
+
+pub use driver::{collect_rs_files, find_workspace_root, metrics_manifest, run, run_workspace};
+pub use rules::{check_file, Diagnostic, RULE_NAMES};

@@ -1,0 +1,66 @@
+//! CLI for the workspace lint. Exit codes: 0 clean, 1 findings, 2 usage
+//! or I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: genclus-lint --workspace        lint the enclosing Cargo workspace\n\
+                genclus-lint <path>...          lint specific files or directories"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+
+    let result = if args.len() == 1 && args[0] == "--workspace" {
+        genclus_lint::run_workspace(Path::new("."))
+    } else if args.iter().any(|a| a.starts_with("--")) {
+        return usage();
+    } else {
+        // Explicit files/dirs: lint them relative to the current directory.
+        let mut files: Vec<PathBuf> = Vec::new();
+        for arg in &args {
+            let p = PathBuf::from(arg);
+            if p.is_dir() {
+                match genclus_lint::collect_rs_files(&p) {
+                    Ok(mut fs) => files.append(&mut fs),
+                    Err(e) => {
+                        eprintln!("genclus-lint: {}: {e}", p.display());
+                        return ExitCode::from(2);
+                    }
+                }
+            } else {
+                files.push(p);
+            }
+        }
+        genclus_lint::run(Path::new(""), &files).map(|f| (files.len(), f))
+    };
+
+    match result {
+        Ok((checked, findings)) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            if findings.is_empty() {
+                eprintln!("genclus-lint: {checked} files clean");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "genclus-lint: {} finding(s) across {checked} files",
+                    findings.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("genclus-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,696 @@
+//! The rule engine: five repo-specific rules plus the directive layer
+//! (waivers and regions) they share.
+//!
+//! Everything here works on the [`crate::lexer`] output, so patterns never
+//! match inside comments or string literals, columns are real source
+//! columns, and `#[cfg(test)]` code is exempt where a rule says so.
+//!
+//! ## Directives
+//!
+//! A directive is a comment whose trimmed text starts with `lint:`.
+//! Three forms exist:
+//!
+//! * `lint: allow(<rule>) -- <reason>` — waive the named rule on the next
+//!   code line (or on the same line, for a trailing comment). The reason
+//!   is mandatory; an unused waiver is itself an error.
+//! * `lint: region(<name>)` — open a named region (e.g. `hot-path`,
+//!   `metrics-schema`). Regions may nest; each must be closed.
+//! * `lint: end-region` — close the innermost open region.
+//!
+//! Malformed directives (missing reason, unknown rule, stray
+//! `end-region`, unclosed region) are diagnostics in their own right, so
+//! the waiver layer cannot silently rot.
+
+use crate::lexer::{lex, LexLine, LexedFile};
+
+/// Names of all rules, in reporting order. Waivers must name one of these.
+pub const RULE_NAMES: &[&str] = &[
+    "unsafe-needs-safety",
+    "hot-path-alloc",
+    "durable-io-containment",
+    "no-panic-in-serve",
+    "metrics-key-order",
+];
+
+/// One finding. `line` and `col` are 1-based source coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub line: usize,
+    pub col: usize,
+    /// Rule name, or `"lint-directive"` for directive-layer errors.
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl Diagnostic {
+    fn new(line: usize, col: usize, rule: &'static str, message: String) -> Self {
+        Self {
+            line,
+            col,
+            rule,
+            message,
+        }
+    }
+}
+
+/// A parsed `lint:` directive.
+enum Directive {
+    Allow { rule: String, reason_ok: bool },
+    Region(String),
+    EndRegion,
+}
+
+/// A waiver waiting to be matched against a finding.
+struct Waiver {
+    /// Line the directive appeared on (for the unused-waiver error).
+    at_line: usize,
+    /// Line whose findings it suppresses.
+    target_line: usize,
+    rule: &'static str,
+    used: bool,
+}
+
+/// Per-line directive state computed in one pass.
+struct Directives {
+    waivers: Vec<Waiver>,
+    /// `regions[i]` = names of regions active on line `i` (0-based),
+    /// exclusive of the marker lines themselves.
+    regions: Vec<Vec<String>>,
+    errors: Vec<Diagnostic>,
+}
+
+/// Parses the text after a leading `lint:`. Returns `Err(message)` for a
+/// recognizably malformed directive.
+fn parse_directive(rest: &str) -> Result<Directive, String> {
+    let rest = rest.trim();
+    if rest == "end-region" {
+        return Ok(Directive::EndRegion);
+    }
+    for (kw, is_allow) in [("allow(", true), ("region(", false)] {
+        if let Some(body) = rest.strip_prefix(kw) {
+            let Some(close) = body.find(')') else {
+                return Err(format!("missing `)` in `lint: {kw}…`"));
+            };
+            let name = body[..close].trim().to_string();
+            let tail = body[close + 1..].trim();
+            if !is_allow {
+                if name.is_empty() {
+                    return Err("empty region name".to_string());
+                }
+                if !tail.is_empty() {
+                    return Err(format!("unexpected text after `region({name})`"));
+                }
+                return Ok(Directive::Region(name));
+            }
+            let reason_ok = match tail.strip_prefix("--") {
+                Some(reason) => !reason.trim().is_empty(),
+                None => false,
+            };
+            return Ok(Directive::Allow {
+                rule: name,
+                reason_ok,
+            });
+        }
+    }
+    Err(format!(
+        "unknown lint directive `{}` (expected allow(…) -- reason, region(…), or end-region)",
+        rest.split_whitespace().next().unwrap_or("")
+    ))
+}
+
+fn canonical_rule(name: &str) -> Option<&'static str> {
+    RULE_NAMES.iter().find(|r| **r == name).copied()
+}
+
+fn has_code(line: &LexLine) -> bool {
+    !line.code.trim().is_empty()
+}
+
+/// Scans every comment for directives, building the waiver table and the
+/// per-line active-region map.
+fn collect_directives(file: &LexedFile) -> Directives {
+    let n = file.lines.len();
+    let mut d = Directives {
+        waivers: Vec::new(),
+        regions: vec![Vec::new(); n],
+        errors: Vec::new(),
+    };
+    // (name, opened_at_line) — innermost last.
+    let mut open: Vec<(String, usize)> = Vec::new();
+
+    for (idx, line) in file.lines.iter().enumerate() {
+        let trimmed = line.comment.trim();
+        let lineno = idx + 1;
+        if let Some(rest) = trimmed.strip_prefix("lint:") {
+            match parse_directive(rest) {
+                Ok(Directive::Allow { rule, reason_ok }) => match canonical_rule(&rule) {
+                    Some(rule_name) => {
+                        if !reason_ok {
+                            d.errors.push(Diagnostic::new(
+                                lineno,
+                                1,
+                                "lint-directive",
+                                format!(
+                                    "waiver for `{rule_name}` needs a reason: \
+                                     `lint: allow({rule_name}) -- <why>`"
+                                ),
+                            ));
+                        } else {
+                            let target = if has_code(line) {
+                                idx
+                            } else {
+                                // First following line with code; falls back
+                                // to the directive line (will read unused).
+                                (idx + 1..n)
+                                    .find(|&j| has_code(&file.lines[j]))
+                                    .unwrap_or(idx)
+                            };
+                            d.waivers.push(Waiver {
+                                at_line: lineno,
+                                target_line: target + 1,
+                                rule: rule_name,
+                                used: false,
+                            });
+                        }
+                    }
+                    None => d.errors.push(Diagnostic::new(
+                        lineno,
+                        1,
+                        "lint-directive",
+                        format!("waiver names unknown rule `{rule}`"),
+                    )),
+                },
+                Ok(Directive::Region(name)) => open.push((name, lineno)),
+                Ok(Directive::EndRegion) => {
+                    if open.pop().is_none() {
+                        d.errors.push(Diagnostic::new(
+                            lineno,
+                            1,
+                            "lint-directive",
+                            "`lint: end-region` with no open region".to_string(),
+                        ));
+                    }
+                }
+                Err(msg) => {
+                    d.errors
+                        .push(Diagnostic::new(lineno, 1, "lint-directive", msg));
+                }
+            }
+            // Region membership is exclusive of marker lines; nothing more
+            // to do for this line.
+            continue;
+        }
+        for (name, _) in &open {
+            d.regions[idx].push(name.clone());
+        }
+    }
+    for (name, at) in open {
+        d.errors.push(Diagnostic::new(
+            at,
+            1,
+            "lint-directive",
+            format!("region `{name}` is never closed (`lint: end-region`)"),
+        ));
+    }
+    d
+}
+
+/// Whether the byte before `pos` allows a word-start match (not part of a
+/// longer identifier, e.g. `SmallVec::new` must not match `Vec::new`).
+fn word_start(code: &str, pos: usize) -> bool {
+    pos == 0
+        || !code.as_bytes()[pos - 1].is_ascii_alphanumeric() && code.as_bytes()[pos - 1] != b'_'
+}
+
+fn word_end(code: &str, end: usize) -> bool {
+    end >= code.len()
+        || !code.as_bytes()[end].is_ascii_alphanumeric() && code.as_bytes()[end] != b'_'
+}
+
+/// All occurrences of `needle` in `code`, as 0-based offsets. Needles
+/// starting with an identifier byte must also start a word (so
+/// `SmallVec::new` never matches `Vec::new`); needles like `.unwrap()`
+/// supply their own boundary.
+fn find_all(code: &str, needle: &str) -> Vec<usize> {
+    let check_start = needle
+        .as_bytes()
+        .first()
+        .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_');
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(p) = code[from..].find(needle) {
+        let pos = from + p;
+        if !check_start || word_start(code, pos) {
+            out.push(pos);
+        }
+        from = pos + 1;
+    }
+    out
+}
+
+/// The per-file context a rule sees.
+pub struct FileContext<'a> {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: &'a str,
+    pub file: &'a LexedFile,
+    regions: &'a [Vec<String>],
+}
+
+impl FileContext<'_> {
+    fn in_region(&self, idx: usize, name: &str) -> bool {
+        self.regions
+            .get(idx)
+            .is_some_and(|r| r.iter().any(|n| n == name))
+    }
+
+    fn in_tests_dir(&self) -> bool {
+        self.rel_path.contains("/tests/") || self.rel_path.ends_with("/build.rs")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: unsafe-needs-safety
+// ---------------------------------------------------------------------------
+
+/// Accepts a `SAFETY:` discussion in a comment: the conventional
+/// `// SAFETY: …` marker or a rustdoc `# Safety` section.
+fn is_safety_comment(comment: &str) -> bool {
+    comment.contains("SAFETY:") || comment.contains("# Safety")
+}
+
+/// Is line `idx` part of a contiguous comment/attribute run (no code other
+/// than attributes)?
+fn is_comment_or_attr(line: &LexLine) -> bool {
+    let code = line.code.trim();
+    if code.is_empty() {
+        !line.comment.trim().is_empty()
+    } else {
+        code.starts_with("#[") || code.starts_with("#!")
+    }
+}
+
+fn rule_unsafe_needs_safety(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.in_tests_dir() {
+        return;
+    }
+    for (idx, line) in ctx.file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for pos in find_all(&line.code, "unsafe") {
+            if !word_end(&line.code, pos + "unsafe".len()) {
+                continue;
+            }
+            if is_safety_comment(&line.comment) {
+                continue;
+            }
+            // Walk the contiguous comment/attribute block directly above.
+            let mut justified = false;
+            let mut k = idx;
+            while k > 0 {
+                k -= 1;
+                let above = &ctx.file.lines[k];
+                if !is_comment_or_attr(above) {
+                    break;
+                }
+                if is_safety_comment(&above.comment) {
+                    justified = true;
+                    break;
+                }
+            }
+            if !justified {
+                out.push(Diagnostic::new(
+                    idx + 1,
+                    pos + 1,
+                    "unsafe-needs-safety",
+                    "`unsafe` without a `// SAFETY:` comment in the block above".to_string(),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: hot-path-alloc
+// ---------------------------------------------------------------------------
+
+const ALLOC_NEEDLES: &[&str] = &[
+    "Vec::new",
+    "vec![",
+    "Box::new",
+    "format!",
+    ".collect()",
+    ".to_vec()",
+    "String::from",
+];
+
+fn rule_hot_path_alloc(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    for (idx, line) in ctx.file.lines.iter().enumerate() {
+        if line.in_test || !ctx.in_region(idx, "hot-path") {
+            continue;
+        }
+        for needle in ALLOC_NEEDLES {
+            for pos in find_all(&line.code, needle) {
+                out.push(Diagnostic::new(
+                    idx + 1,
+                    pos + 1,
+                    "hot-path-alloc",
+                    format!("`{needle}` allocates inside a `hot-path` region"),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: durable-io-containment
+// ---------------------------------------------------------------------------
+
+const IO_NEEDLES: &[&str] = &["fs::write", "File::create", "fs::rename", "OpenOptions"];
+
+/// Files allowed to touch the filesystem mutation APIs directly: the two
+/// stage-disciplined durability modules.
+const BLESSED_IO: &[&str] = &["crates/serve/src/snapshot.rs", "crates/serve/src/wal.rs"];
+
+fn rule_durable_io(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.in_tests_dir() || BLESSED_IO.contains(&ctx.rel_path) {
+        return;
+    }
+    for (idx, line) in ctx.file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for needle in IO_NEEDLES {
+            for pos in find_all(&line.code, needle) {
+                out.push(Diagnostic::new(
+                    idx + 1,
+                    pos + 1,
+                    "durable-io-containment",
+                    format!(
+                        "raw `{needle}` outside the blessed durability modules \
+                         (route through snapshot.rs/wal.rs helpers)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: no-panic-in-serve
+// ---------------------------------------------------------------------------
+
+const PANIC_NEEDLES: &[&str] = &[".unwrap()", ".expect(", "panic!", "unreachable!"];
+
+fn rule_no_panic_in_serve(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    if !ctx.rel_path.starts_with("crates/serve/src/") {
+        return;
+    }
+    for (idx, line) in ctx.file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for needle in PANIC_NEEDLES {
+            for pos in find_all(&line.code, needle) {
+                out.push(Diagnostic::new(
+                    idx + 1,
+                    pos + 1,
+                    "no-panic-in-serve",
+                    format!(
+                        "`{needle}` on a serve path (return a ServeError or waive with reason)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5: metrics-key-order
+// ---------------------------------------------------------------------------
+
+/// The file whose `metrics-schema` regions are pinned by the manifest.
+const METRICS_FILE: &str = "crates/serve/src/metrics.rs";
+
+fn rule_metrics_key_order(ctx: &FileContext<'_>, manifest: &[String], out: &mut Vec<Diagnostic>) {
+    if ctx.rel_path != METRICS_FILE {
+        return;
+    }
+    // Extract (line, col, key) for every string literal inside a
+    // `metrics-schema` region, in source order.
+    let mut keys: Vec<(usize, usize, String)> = Vec::new();
+    let mut last_region_line = 0usize;
+    for (idx, line) in ctx.file.lines.iter().enumerate() {
+        if line.in_test || !ctx.in_region(idx, "metrics-schema") {
+            continue;
+        }
+        last_region_line = idx + 1;
+        for (col, s) in &line.strings {
+            keys.push((idx + 1, *col, s.clone()));
+        }
+    }
+    if keys.is_empty() && manifest.is_empty() {
+        return;
+    }
+    for (i, want) in manifest.iter().enumerate() {
+        match keys.get(i) {
+            Some((_, _, got)) if got == want => {}
+            Some((line, col, got)) => {
+                out.push(Diagnostic::new(
+                    *line,
+                    *col,
+                    "metrics-key-order",
+                    format!(
+                        "metrics key #{n} is \"{got}\" but the manifest pins \"{want}\" \
+                         (deliberate schema change? bump crates/lint/src/metrics_keys.txt)",
+                        n = i + 1
+                    ),
+                ));
+                return;
+            }
+            None => {
+                out.push(Diagnostic::new(
+                    last_region_line.max(1),
+                    1,
+                    "metrics-key-order",
+                    format!(
+                        "metrics schema is missing key #{n} \"{want}\" pinned by the manifest",
+                        n = i + 1
+                    ),
+                ));
+                return;
+            }
+        }
+    }
+    if keys.len() > manifest.len() {
+        let (line, col, got) = &keys[manifest.len()];
+        out.push(Diagnostic::new(
+            *line,
+            *col,
+            "metrics-key-order",
+            format!(
+                "metrics schema has unpinned extra key \"{got}\" \
+                 (add it to crates/lint/src/metrics_keys.txt at position {n})",
+                n = manifest.len() + 1
+            ),
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+/// Runs every rule over one file and applies waivers. `manifest` is the
+/// pinned metrics key order (only consulted for `metrics.rs`).
+pub fn check_file(rel_path: &str, src: &[u8], manifest: &[String]) -> Vec<Diagnostic> {
+    let file = lex(src);
+    let d = collect_directives(&file);
+    let ctx = FileContext {
+        rel_path,
+        file: &file,
+        regions: &d.regions,
+    };
+
+    let mut findings = Vec::new();
+    rule_unsafe_needs_safety(&ctx, &mut findings);
+    rule_hot_path_alloc(&ctx, &mut findings);
+    rule_durable_io(&ctx, &mut findings);
+    rule_no_panic_in_serve(&ctx, &mut findings);
+    rule_metrics_key_order(&ctx, manifest, &mut findings);
+
+    // Apply waivers: a finding on a waiver's target line for its rule is
+    // suppressed and marks the waiver used.
+    let mut waivers = d.waivers;
+    let mut out: Vec<Diagnostic> = d.errors;
+    for f in findings {
+        let waived = waivers
+            .iter_mut()
+            .find(|w| w.rule == f.rule && w.target_line == f.line);
+        match waived {
+            Some(w) => w.used = true,
+            None => out.push(f),
+        }
+    }
+    for w in &waivers {
+        if !w.used {
+            out.push(Diagnostic::new(
+                w.at_line,
+                1,
+                "lint-directive",
+                format!(
+                    "unused waiver for `{}` (nothing fires on line {}; delete it)",
+                    w.rule, w.target_line
+                ),
+            ));
+        }
+    }
+    out.sort_by_key(|dg| (dg.line, dg.col));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(path: &str, src: &str) -> Vec<Diagnostic> {
+        check_file(path, src.as_bytes(), &[])
+    }
+
+    #[test]
+    fn unsafe_without_safety_fires_and_comment_suppresses() {
+        let bad = "fn f() { unsafe { g() } }\n";
+        let d = check("crates/core/src/x.rs", bad);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "unsafe-needs-safety");
+        assert_eq!(d[0].line, 1);
+        assert_eq!(d[0].col, 10);
+
+        let good = "// SAFETY: g is infallible here.\nfn f() { unsafe { g() } }\n";
+        assert!(check("crates/core/src/x.rs", good).is_empty());
+
+        // Attribute between the comment and the item is skipped.
+        let attr = "// SAFETY: fine.\n#[inline]\nunsafe fn g() {}\n";
+        assert!(check("crates/core/src/x.rs", attr).is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_cfg_test_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { unsafe { g() } }\n}\n";
+        assert!(check("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_only_inside_region() {
+        let src = "\
+fn cold() { let v = Vec::new(); }
+// lint: region(hot-path)
+fn hot() { let v = Vec::new(); }
+// lint: end-region
+fn cold2() { let v = vec![1]; }
+";
+        let d = check("crates/core/src/em.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].line, d[0].rule), (3, "hot-path-alloc"));
+    }
+
+    #[test]
+    fn durable_io_blessed_files_are_exempt() {
+        let src = "fn f() { std::fs::write(p, b)?; }\n";
+        assert!(check("crates/serve/src/snapshot.rs", src).is_empty());
+        let d = check("crates/serve/src/bin/genclus_serve.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "durable-io-containment");
+    }
+
+    #[test]
+    fn no_panic_scoped_to_serve_sources() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(check("crates/serve/src/net.rs", src).len(), 1);
+        assert!(check("crates/core/src/em.rs", src).is_empty());
+        // Lookalikes must not fire.
+        let ok = "fn f() { x.unwrap_or_else(|p| p.into_inner()); }\n";
+        assert!(check("crates/serve/src/net.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn waiver_suppresses_and_must_be_used_with_reason() {
+        let src = "\
+// lint: allow(no-panic-in-serve) -- startup path, config error is fatal by design
+fn f() { x.unwrap(); }
+";
+        assert!(check("crates/serve/src/net.rs", src).is_empty());
+
+        let unused = "// lint: allow(no-panic-in-serve) -- nothing here\nfn f() {}\n";
+        let d = check("crates/serve/src/net.rs", unused);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("unused waiver"));
+
+        let no_reason = "// lint: allow(no-panic-in-serve)\nfn f() { x.unwrap(); }\n";
+        let d = check("crates/serve/src/net.rs", no_reason);
+        assert!(d.iter().any(|g| g.message.contains("needs a reason")));
+    }
+
+    #[test]
+    fn trailing_waiver_applies_to_its_own_line() {
+        let src =
+            "fn f() { x.unwrap(); } // lint: allow(no-panic-in-serve) -- bootstrap, pre-serve\n";
+        assert!(check("crates/serve/src/net.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unknown_rule_and_stray_end_region_are_errors() {
+        let d = check("a.rs", "// lint: allow(no-such-rule) -- why\n");
+        assert!(d[0].message.contains("unknown rule"));
+        let d = check("a.rs", "// lint: end-region\n");
+        assert!(d[0].message.contains("no open region"));
+        let d = check("a.rs", "// lint: region(hot-path)\nfn f() {}\n");
+        assert!(d[0].message.contains("never closed"));
+    }
+
+    #[test]
+    fn metrics_key_order_diffs_against_manifest() {
+        let manifest: Vec<String> = ["alpha", "beta"].iter().map(|s| s.to_string()).collect();
+        let ok = "\
+// lint: region(metrics-schema)
+push(\"alpha\");
+push(\"beta\");
+// lint: end-region
+";
+        assert!(check_file("crates/serve/src/metrics.rs", ok.as_bytes(), &manifest).is_empty());
+
+        let swapped = "\
+// lint: region(metrics-schema)
+push(\"beta\");
+push(\"alpha\");
+// lint: end-region
+";
+        let d = check_file("crates/serve/src/metrics.rs", swapped.as_bytes(), &manifest);
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].line, d[0].rule), (2, "metrics-key-order"));
+
+        let extra = "\
+// lint: region(metrics-schema)
+push(\"alpha\");
+push(\"beta\");
+push(\"gamma\");
+// lint: end-region
+";
+        let d = check_file("crates/serve/src/metrics.rs", extra.as_bytes(), &manifest);
+        assert!(d[0].message.contains("unpinned extra key"));
+
+        let missing = "\
+// lint: region(metrics-schema)
+push(\"alpha\");
+// lint: end-region
+";
+        let d = check_file("crates/serve/src/metrics.rs", missing.as_bytes(), &manifest);
+        assert!(d[0].message.contains("missing key"));
+    }
+
+    #[test]
+    fn needles_in_strings_and_comments_do_not_fire() {
+        let src = "fn f() { log(\".unwrap() is banned\"); } // mentions panic! too\n";
+        assert!(check("crates/serve/src/net.rs", src).is_empty());
+    }
+}

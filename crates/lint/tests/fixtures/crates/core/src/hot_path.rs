@@ -1,0 +1,6 @@
+// lint: region(hot-path)
+pub fn kernel(xs: &mut [u64]) -> u64 {
+    let extra = vec![0u64; 4];
+    xs.iter().chain(extra.iter()).sum()
+}
+// lint: end-region

@@ -1,0 +1,3 @@
+pub fn touch(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,5 @@
+use std::path::Path;
+
+pub fn dump(path: &Path, body: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, body)
+}

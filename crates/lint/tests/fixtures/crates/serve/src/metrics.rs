@@ -1,0 +1,9 @@
+pub fn keys(push: impl FnMut(&str)) {
+    render(push)
+}
+
+fn render(mut push: impl FnMut(&str)) {
+    // lint: region(metrics-schema)
+    push("bogus");
+    // lint: end-region
+}

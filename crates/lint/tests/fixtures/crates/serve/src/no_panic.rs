@@ -1,0 +1,3 @@
+pub fn f(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

@@ -1,0 +1,4 @@
+// lint: allow(no-panic-in-serve) -- fixture: nothing fires below
+pub fn f(x: u32) -> u32 {
+    x
+}

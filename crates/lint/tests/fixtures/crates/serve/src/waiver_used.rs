@@ -1,0 +1,4 @@
+pub fn f(x: Option<u32>) -> u32 {
+    // lint: allow(no-panic-in-serve) -- fixture: demonstrates a used waiver
+    x.unwrap()
+}

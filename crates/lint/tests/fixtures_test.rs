@@ -1,0 +1,138 @@
+//! The seeded-violation corpus: every rule has a fixture that plants
+//! exactly one violation, and the driver must report it at the exact
+//! file:line — plus one fixture per waiver behavior (used,
+//! unused-is-error, missing-reason-is-error). The workspace walk skips
+//! `fixtures/` directories, so these files only ever fail the lint here.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+}
+
+/// `(path, line, rule)` of every finding under the fixtures tree.
+fn all_findings() -> Vec<(String, usize, String)> {
+    let root = fixtures_root();
+    let files = genclus_lint::collect_rs_files(&root).expect("walk fixtures");
+    assert_eq!(files.len(), 8, "fixture corpus drifted: {files:?}");
+    genclus_lint::run(&root, &files)
+        .expect("lint fixtures")
+        .into_iter()
+        .map(|f| (f.path.clone(), f.diag.line, f.diag.rule.to_string()))
+        .collect()
+}
+
+#[track_caller]
+fn assert_finding(findings: &[(String, usize, String)], path: &str, line: usize, rule: &str) {
+    assert!(
+        findings
+            .iter()
+            .any(|(p, l, r)| p == path && *l == line && r == rule),
+        "expected {path}:{line} [{rule}] in {findings:#?}"
+    );
+}
+
+#[test]
+fn each_rule_reports_its_seeded_violation_at_the_exact_line() {
+    let findings = all_findings();
+    assert_finding(
+        &findings,
+        "crates/core/src/unsafe_fix.rs",
+        2,
+        "unsafe-needs-safety",
+    );
+    assert_finding(
+        &findings,
+        "crates/core/src/hot_path.rs",
+        3,
+        "hot-path-alloc",
+    );
+    assert_finding(
+        &findings,
+        "crates/serve/src/bin/dump.rs",
+        4,
+        "durable-io-containment",
+    );
+    assert_finding(
+        &findings,
+        "crates/serve/src/no_panic.rs",
+        2,
+        "no-panic-in-serve",
+    );
+    assert_finding(
+        &findings,
+        "crates/serve/src/metrics.rs",
+        7,
+        "metrics-key-order",
+    );
+}
+
+#[test]
+fn waiver_behaviors() {
+    let findings = all_findings();
+    // Used waiver: the file contributes nothing at all.
+    assert!(
+        !findings
+            .iter()
+            .any(|(p, _, _)| p.ends_with("waiver_used.rs")),
+        "a used waiver must suppress its finding: {findings:#?}"
+    );
+    // Unused waiver: an error at the waiver's own line.
+    assert_finding(
+        &findings,
+        "crates/serve/src/waiver_unused.rs",
+        1,
+        "lint-directive",
+    );
+    // Missing reason: the directive errors AND the finding still fires.
+    assert_finding(
+        &findings,
+        "crates/serve/src/waiver_noreason.rs",
+        2,
+        "lint-directive",
+    );
+    assert_finding(
+        &findings,
+        "crates/serve/src/waiver_noreason.rs",
+        3,
+        "no-panic-in-serve",
+    );
+}
+
+// The binary tests run from the fixtures root with relative arguments:
+// path-scoped rules key on workspace-relative paths, and the fixtures'
+// absolute paths would both contain `/tests/` (disabling the rules that
+// skip test trees) and not start with `crates/serve/src/`.
+
+#[test]
+fn binary_exits_nonzero_with_file_line_diagnostics() {
+    let out = Command::new(env!("CARGO_BIN_EXE_genclus-lint"))
+        .current_dir(fixtures_root())
+        .arg("crates")
+        .output()
+        .expect("run genclus-lint");
+    assert_eq!(out.status.code(), Some(1), "stderr: {:?}", out.stderr);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "crates/core/src/unsafe_fix.rs:2:5: [unsafe-needs-safety]",
+        "crates/core/src/hot_path.rs:3:17: [hot-path-alloc]",
+        "crates/serve/src/bin/dump.rs:4:10: [durable-io-containment]",
+        "crates/serve/src/no_panic.rs:2:6: [no-panic-in-serve]",
+        "crates/serve/src/metrics.rs:7:10: [metrics-key-order]",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn binary_exits_zero_on_clean_input() {
+    let out = Command::new(env!("CARGO_BIN_EXE_genclus-lint"))
+        .current_dir(fixtures_root())
+        .arg("crates/serve/src/waiver_used.rs")
+        .output()
+        .expect("run genclus-lint");
+    assert_eq!(out.status.code(), Some(0), "stdout: {:?}", out.stdout);
+}

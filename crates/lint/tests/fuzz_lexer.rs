@@ -1,0 +1,109 @@
+//! Fuzz coverage for the surface lexer (vendored proptest): totality on
+//! arbitrary byte soup, layout preservation, and tokenization of the
+//! tricky literal forms (raw strings, nested comments, escapes).
+
+use genclus_lint::lexer::lex;
+use proptest::prelude::*;
+
+/// Bytes biased toward Rust's lexical vocabulary so random streams reach
+/// deep into the comment/string/char state machine instead of staying in
+/// plain code.
+const ALPHABET: &[u8] = br##"/*"'\rb#!{};na
+"##;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup (including invalid UTF-8): the lexer must
+    /// produce *some* lex, never panic, and keep its line accounting —
+    /// one output line per newline plus the final fragment.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let lexed = lex(&bytes);
+        let newlines = bytes.iter().filter(|&&b| b == b'\n').count();
+        prop_assert!(lexed.lines.len() >= newlines);
+        prop_assert!(lexed.lines.len() <= newlines + 1);
+    }
+
+    /// Lexical soup: same totality property, far deeper coverage of the
+    /// comment-nesting and literal state machines.
+    #[test]
+    fn lexical_soup_never_panics(
+        picks in proptest::collection::vec(0usize..ALPHABET.len(), 0..512),
+    ) {
+        let bytes: Vec<u8> = picks.iter().map(|&i| ALPHABET[i]).collect();
+        let _ = lex(&bytes);
+    }
+
+    /// Layout preservation: for ASCII inputs every output line's `code`
+    /// buffer has exactly the byte length of its source line, so match
+    /// offsets are real columns.
+    #[test]
+    fn code_lines_preserve_byte_length(
+        picks in proptest::collection::vec(0usize..ALPHABET.len(), 0..512),
+    ) {
+        let bytes: Vec<u8> = picks.iter().map(|&i| ALPHABET[i]).collect();
+        let lexed = lex(&bytes);
+        let src_lines: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
+        for (src, out) in src_lines.iter().zip(&lexed.lines) {
+            prop_assert_eq!(src.len(), out.code.len());
+        }
+    }
+
+    /// A string literal with random escaped content never leaks its body
+    /// into `code`, and the collected content is the raw escaped text.
+    #[test]
+    fn escaped_strings_tokenize(
+        body in proptest::collection::vec(0usize..4, 0..32),
+    ) {
+        // Build a valid escaped string body out of \" \\ a and spaces.
+        let content: String = body
+            .iter()
+            .map(|&i| ["\\\"", "\\\\", "a", " "][i])
+            .collect();
+        let src = format!("let s = \"{content}\"; after();");
+        let lexed = lex(src.as_bytes());
+        let line = &lexed.lines[0];
+        prop_assert!(line.code.contains("after();"));
+        prop_assert_eq!(line.strings.len(), 1);
+        let (off, collected) = &line.strings[0];
+        prop_assert_eq!(collected, &content);
+        // The code buffer blanks exactly the literal's body to spaces.
+        let span = &line.code[*off..*off + content.len()];
+        prop_assert!(span.bytes().all(|b| b == b' '));
+    }
+
+    /// Block comments of arbitrary nesting depth swallow everything up to
+    /// the matching closer; code resumes after it.
+    #[test]
+    fn nested_comments_tokenize(depth in 1usize..12) {
+        let open = "/*".repeat(depth);
+        let close = "*/".repeat(depth);
+        let src = format!("before(); {open} hidden.unwrap() {close} after();");
+        let lexed = lex(src.as_bytes());
+        let line = &lexed.lines[0];
+        prop_assert!(line.code.contains("before();"));
+        prop_assert!(line.code.contains("after();"));
+        prop_assert!(!line.code.contains("hidden"));
+        prop_assert!(line.comment.contains("hidden.unwrap()"));
+    }
+
+    /// Raw strings with arbitrary hash depth terminate exactly at the
+    /// matching closer, even when the body holds quotes, slashes, and
+    /// shorter hash runs.
+    #[test]
+    fn raw_strings_tokenize(hashes in 1usize..6) {
+        let h = "#".repeat(hashes);
+        let shorter = "#".repeat(hashes - 1);
+        let body = format!("quote \" comment // half-close \"{shorter}");
+        let src = format!("let s = r{h}\"{body}\"{h}; after();");
+        let lexed = lex(src.as_bytes());
+        let line = &lexed.lines[0];
+        prop_assert!(line.code.contains("after();"));
+        prop_assert!(line.comment.is_empty());
+        prop_assert_eq!(line.strings.len(), 1);
+        prop_assert_eq!(&line.strings[0].1, &body);
+    }
+}

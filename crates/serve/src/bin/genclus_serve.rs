@@ -112,6 +112,7 @@
 use genclus_obs::log;
 use genclus_serve::lines::DEFAULT_MAX_REQUEST_BYTES;
 use genclus_serve::net::{invalid_utf8_response, over_limit_response, NetConfig, NetServer};
+use genclus_serve::snapshot;
 use genclus_serve::{
     CappedLineReader, LineEvent, RefreshPolicy, RefreshableEngine, ServeMetrics, Snapshot,
 };
@@ -138,11 +139,13 @@ enum MetricsFormat {
     Prom,
 }
 
-/// One atomic snapshot of the registry to `path` (temp-file + rename, so
-/// a collector never reads a half-written file). `tmp_tag` keeps the
-/// periodic thread's temp file distinct from the final-dump one — the two
-/// can race at exit, and renames of *complete* files are safe in either
-/// order while a shared temp path would not be.
+/// One atomic **and durable** snapshot of the registry to `path`, via the
+/// shared fsync'd save helper (temp file synced before the rename, parent
+/// directory after it) — `--metrics-dump` survives crash like every other
+/// persisted artifact. `tmp_tag` keeps the periodic thread's temp file
+/// distinct from the final-dump one — the two can race at exit, and
+/// renames of *complete* files are safe in either order while a shared
+/// temp path would not be.
 fn dump_metrics(metrics: &ServeMetrics, path: &Path, format: MetricsFormat, tmp_tag: &str) {
     let body = match format {
         MetricsFormat::Json => {
@@ -152,11 +155,7 @@ fn dump_metrics(metrics: &ServeMetrics, path: &Path, format: MetricsFormat, tmp_
         }
         MetricsFormat::Prom => metrics.render_prom(),
     };
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(tmp_tag);
-    let tmp = PathBuf::from(tmp);
-    let result = std::fs::write(&tmp, body).and_then(|()| std::fs::rename(&tmp, path));
-    if let Err(e) = result {
+    if let Err(e) = snapshot::save_bytes_tagged(path, body.as_bytes(), tmp_tag) {
         log::warn(format!("metrics dump to {} failed: {e}", path.display()));
     }
 }

@@ -140,7 +140,11 @@ impl QueryEngine {
         if workers <= 1 || n <= 1 {
             return lines.iter().map(|l| self.core.handle_line(l)).collect();
         }
-        let pool = self.pool.as_ref().expect("threads > 1 implies a pool");
+        // `threads > 1` implies a pool was built; if that invariant ever
+        // breaks, degrade to sequential handling rather than panic mid-batch.
+        let Some(pool) = self.pool.as_ref() else {
+            return lines.iter().map(|l| self.core.handle_line(l)).collect();
+        };
         let chunk = n.div_ceil(workers);
         let core = &self.core;
         let slots: Vec<Mutex<Vec<String>>> = (0..workers).map(|_| Mutex::new(Vec::new())).collect();
@@ -152,11 +156,14 @@ impl QueryEngine {
             let lo = (i * chunk).min(n);
             let hi = ((i + 1) * chunk).min(n);
             let out: Vec<String> = lines[lo..hi].iter().map(|l| core.handle_line(l)).collect();
-            *slots[i].lock().expect("slot lock cannot be poisoned") = out;
+            // Poison recovery: each slot is written exactly once by one
+            // worker; a poisoned lock still holds a valid (empty or full)
+            // response vector.
+            *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = out;
         });
         slots
             .into_iter()
-            .flat_map(|s| s.into_inner().expect("slot lock cannot be poisoned"))
+            .flat_map(|s| s.into_inner().unwrap_or_else(|p| p.into_inner()))
             .collect()
     }
 }

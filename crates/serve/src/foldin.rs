@@ -324,6 +324,10 @@ impl<'a> FoldInEngine<'a> {
         };
         let mut iterations = 0;
         let mut converged = false;
+        // The fixed-point loop reuses the scratch rows allocated above;
+        // per-iteration work must stay allocation-free like the EM kernels
+        // it shares (hot-path-alloc enforces it).
+        // lint: region(hot-path)
         for _ in 0..max_iters {
             out.copy_from_slice(&base);
             for &(comp, terms, values) in &per_attr {
@@ -368,6 +372,7 @@ impl<'a> FoldInEngine<'a> {
                 break;
             }
         }
+        // lint: end-region
         FoldInResult {
             theta: tv,
             iterations,

@@ -70,6 +70,7 @@ use std::time::{Duration, Instant};
 
 /// Per-op histogram labels, in render order. `other` absorbs unknown ops
 /// and invalid JSON — errors are observable, not just successes.
+// lint: region(metrics-schema)
 const OPS: [&str; 9] = [
     "membership",
     "top_k",
@@ -81,6 +82,7 @@ const OPS: [&str; 9] = [
     "refresh_status",
     "other",
 ];
+// lint: end-region
 
 /// Maps a wire op name onto its histogram label — unknown ops, missing
 /// `op` fields, and invalid JSON all land in `"other"`.
@@ -247,7 +249,10 @@ impl ServeMetrics {
         if error.is_none() {
             self.wal_truncations.inc();
         }
-        *self.wal_error.lock().expect("wal_error lock") = error;
+        // Poison recovery: the Mutex guards a plain Option, which is a
+        // valid value even if another thread panicked mid-update, so a
+        // poisoned lock must not cascade panics into the serve path.
+        *self.wal_error.lock().unwrap_or_else(|p| p.into_inner()) = error;
     }
 
     pub fn set_wal_records(&self, n: u64) {
@@ -274,12 +279,15 @@ impl ServeMetrics {
         }
         self.refresh_wall
             .record_duration(Duration::from_secs_f64(span.wall_seconds.max(0.0)));
-        *self.last_refresh.lock().expect("last_refresh lock") = Some(span);
+        *self.last_refresh.lock().unwrap_or_else(|p| p.into_inner()) = Some(span);
     }
 
     /// The last completed refresh attempt, if any.
     pub fn last_refresh_span(&self) -> Option<RefreshSpan> {
-        self.last_refresh.lock().expect("last_refresh lock").clone()
+        self.last_refresh
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
     }
 
     /// Records an accepted TCP connection. Connection events are cold
@@ -335,6 +343,11 @@ impl ServeMetrics {
         Json::Num(c.get() as f64)
     }
 
+    // The string literals between these markers ARE the wire schema: the
+    // metrics-key-order lint extracts them in source order and diffs the
+    // sequence against crates/lint/src/metrics_keys.txt. Keep non-key
+    // literals out of the regions.
+    // lint: region(metrics-schema)
     fn hist_fields_us(h: &HistogramSnapshot) -> Vec<(&'static str, Json)> {
         vec![
             ("count", Json::Num(h.count() as f64)),
@@ -403,7 +416,7 @@ impl ServeMetrics {
             ("truncations", Self::count(&self.wal_truncations)),
             (
                 "error",
-                match &*self.wal_error.lock().expect("wal_error lock") {
+                match &*self.wal_error.lock().unwrap_or_else(|p| p.into_inner()) {
                     Some(e) => Json::str(e.clone()),
                     None => Json::Null,
                 },
@@ -463,6 +476,7 @@ impl ServeMetrics {
             ("net", net),
         ]
     }
+    // lint: end-region
 
     /// The metrics body as one compact JSON object (the dump format).
     pub fn to_json(&self) -> Json {

@@ -127,7 +127,11 @@ impl Published {
     /// bump the generation under the slot lock, so generation order is
     /// publication order.
     fn publish(&self, core: &Arc<QueryCore>) {
-        let mut slot = self.slot.lock().expect("publish slot lock");
+        // Poison recovery (here and in the two pin paths below): the slot
+        // only ever holds a complete Arc, so a poisoned lock still yields
+        // a servable core — a panicked publisher must not take down every
+        // connection that later pins.
+        let mut slot = self.slot.lock().unwrap_or_else(|p| p.into_inner());
         if !Arc::ptr_eq(&slot, core) {
             *slot = Arc::clone(core);
             self.gen.fetch_add(1, Ordering::Release);
@@ -145,7 +149,7 @@ struct PinnedCore {
 
 impl PinnedCore {
     fn new(published: &Published) -> Self {
-        let slot = published.slot.lock().expect("publish slot lock");
+        let slot = published.slot.lock().unwrap_or_else(|p| p.into_inner());
         Self {
             core: Arc::clone(&slot),
             seen: published.gen.load(Ordering::Acquire),
@@ -155,7 +159,7 @@ impl PinnedCore {
     /// Re-pins to the latest published core iff the generation moved.
     fn refresh(&mut self, published: &Published) {
         if published.gen.load(Ordering::Acquire) != self.seen {
-            let slot = published.slot.lock().expect("publish slot lock");
+            let slot = published.slot.lock().unwrap_or_else(|p| p.into_inner());
             self.core = Arc::clone(&slot);
             // Re-read under the lock: publishers bump while holding it,
             // so this pairs the generation with exactly this core.
@@ -272,6 +276,7 @@ impl NetServer {
             }
         }
         let shared = Arc::try_unwrap(self.shared)
+            // lint: allow(no-panic-in-serve) -- shutdown-only invariant: every server thread was just joined, so a surviving Arc handle is a programming error and there is no engine to hand back
             .unwrap_or_else(|_| panic!("all server threads joined, no handles remain"));
         shared
             .lane

@@ -341,18 +341,19 @@ impl RefreshableEngine {
         // refresh and its truncation), or a header bound to an ancestor
         // snapshot. Rewriting now means the next recovery is exact.
         let n = engine.engine.graph().n_objects();
+        // lint: allow(no-panic-in-serve) -- startup recovery, two lines after `engine.wal = Some(wal)`; no request is in flight yet
         let wal_ref = engine.wal.as_ref().expect("just set");
         let rewritten = replay.skipped > 0
             || wal_ref.base_objects() != n
             || wal_ref.base_checksum() != base_checksum;
         if rewritten {
             let records = std::mem::take(&mut engine.pending.records);
-            let result =
-                engine
-                    .wal
-                    .as_mut()
-                    .expect("just set")
-                    .truncate(base_checksum, n, &records);
+            let result = engine
+                .wal
+                .as_mut()
+                // lint: allow(no-panic-in-serve) -- same startup-recovery invariant as above: the WAL was assigned in this function
+                .expect("just set")
+                .truncate(base_checksum, n, &records);
             engine.pending.records = records;
             result?;
         }
@@ -530,6 +531,7 @@ impl RefreshableEngine {
     ) {
         self.wal
             .as_mut()
+            // lint: allow(no-panic-in-serve) -- #[doc(hidden)] fault-injection seam; the documented contract is "panics when the engine has no WAL"
             .expect("kill hooks require a WAL")
             .set_kill_hook(hook);
     }
@@ -590,6 +592,7 @@ impl RefreshableEngine {
     pub fn set_background_refit_hook(&mut self, hook: impl Fn() + Send + Sync + 'static) {
         self.worker
             .as_mut()
+            // lint: allow(no-panic-in-serve) -- #[doc(hidden)] test seam; the documented contract is "panics when the engine is not in background mode"
             .expect("refit hooks require background mode")
             .set_refit_hook(hook);
     }
@@ -663,6 +666,7 @@ impl RefreshableEngine {
             if v.index() < graph.n_objects() {
                 graph.object_type(v)
             } else if v.index() < graph.n_objects() + inflight_len {
+                // lint: allow(no-panic-in-serve) -- this branch is reachable only when inflight_len > 0, i.e. the window exists
                 self.inflight.as_ref().expect("inflight_len > 0").types
                     [v.index() - graph.n_objects()]
             } else {
@@ -755,17 +759,25 @@ impl RefreshableEngine {
             None => None,
         };
 
+        // The four `.expect`s below are deliberate: they run *after* the
+        // WAL append (the durability point). `assign` validated every
+        // link/term/value before the record hit disk, so a failure here is
+        // a staging/validation desync — returning an error would leave a
+        // logged commit that was never staged, and stopping loudly beats
+        // replaying that divergence forever.
         let v = self.pending.delta.add_object(object_type, name);
         for &(r, target, w) in &req.links {
             self.pending
                 .delta
                 .add_link(v, target, r, w)
+                // lint: allow(no-panic-in-serve) -- post-durability-point invariant: assign validated this link before the WAL append; erroring out now would desync log and window
                 .expect("links were validated before staging");
         }
         for &(r, source, w) in in_links {
             self.pending
                 .delta
                 .add_link(source, v, r, w)
+                // lint: allow(no-panic-in-serve) -- post-durability-point invariant, as above
                 .expect("in_links were validated before staging");
         }
         for (a, bag) in &req.terms {
@@ -773,6 +785,7 @@ impl RefreshableEngine {
                 self.pending
                     .delta
                     .add_term_count(v, *a, term, count)
+                    // lint: allow(no-panic-in-serve) -- post-durability-point invariant, as above
                     .expect("terms were validated before staging");
             }
         }
@@ -781,6 +794,7 @@ impl RefreshableEngine {
                 self.pending
                     .delta
                     .add_numeric(v, *a, x)
+                    // lint: allow(no-panic-in-serve) -- post-durability-point invariant, as above
                     .expect("values were validated before staging");
             }
         }
@@ -1006,16 +1020,15 @@ impl RefreshableEngine {
     /// merely stays longer than needed; recovery skips absorbed records)
     /// and is surfaced through [`Self::wal_error`] / `refresh_status`.
     fn truncate_wal_after_refresh(&mut self, persisted: bool) {
-        if !persisted || self.wal.is_none() {
+        if !persisted {
             return;
         }
         let base_checksum = self.engine.snapshot().header().checksum;
         let n = self.engine.graph().n_objects();
-        let result = self.wal.as_mut().expect("checked above").truncate(
-            base_checksum,
-            n,
-            &self.pending.records,
-        );
+        let Some(wal) = self.wal.as_mut() else {
+            return;
+        };
+        let result = wal.truncate(base_checksum, n, &self.pending.records);
         self.wal_error = result.err().map(|e| e.to_string());
         let metrics = self.engine.metrics();
         metrics.record_wal_truncation(self.wal_error.clone());
@@ -1049,6 +1062,7 @@ impl RefreshableEngine {
         // worker's own refit timer, which starts ticking on submit.
         let trigger = self.next_trigger.take().unwrap_or("manual");
         self.inflight_started = Some((Instant::now(), trigger));
+        // lint: allow(no-panic-in-serve) -- guarded by the is_none() early return at function entry; the borrow of self between there and here prevents holding the worker reference
         self.worker.as_mut().expect("checked above").start(input);
         let metrics = self.engine.metrics();
         metrics.set_refresh_in_flight(true);
@@ -1091,6 +1105,7 @@ impl RefreshableEngine {
         let window = self
             .inflight
             .take()
+            // lint: allow(no-panic-in-serve) -- completion callback invariant: the worker only reports results for the window start_background_refresh put in flight
             .expect("a completed re-fit implies an in-flight window");
         let (started_at, trigger) = self
             .inflight_started
@@ -1153,10 +1168,12 @@ impl RefreshableEngine {
                 // next window was staged on the future base).
                 let next = std::mem::replace(&mut self.pending, window);
                 let offset = u32::try_from(self.pending.rows.len())
+                    // lint: allow(no-panic-in-serve) -- every staged id passed the u32 staged_slot bound at commit time, so the window length fits
                     .expect("window sizes passed staged_slot at commit time");
                 self.pending
                     .delta
                     .stack(next.delta)
+                    // lint: allow(no-panic-in-serve) -- failure-retry merge of two windows this engine itself staged back-to-back; a mismatch is unrecoverable state desync
                     .expect("the next window was staged directly on top");
                 self.pending.rows.extend(next.rows);
                 self.pending.types.extend(next.types);
@@ -1399,7 +1416,9 @@ impl RefreshableEngine {
         req: &Json,
         fold_req: &FoldInRequest,
     ) -> Result<(String, ObjectTypeId), ServeError> {
-        let commit = req.get("commit").expect("caller checked presence");
+        let commit = req
+            .get("commit")
+            .ok_or(ServeError::Malformed("commit field missing"))?;
         let (name, type_name) = match commit {
             Json::Str(name) => (name.clone(), None),
             Json::Obj(_) => {

@@ -143,6 +143,18 @@ pub fn save_bytes(path: &Path, bytes: &[u8]) -> Result<(), ServeError> {
     atomic_write_durable(path, bytes, &mut |_| Ok(()))
 }
 
+/// [`save_bytes`] with a caller-chosen temp-name tag. The tag keeps
+/// *same-process* concurrent writers to one target distinct (the pid in
+/// the temp name already separates processes): the serve binary's
+/// periodic metrics dumper and its final-dump-at-exit can overlap, and
+/// renames of complete files are safe in either order while a shared temp
+/// path would not be. This is the only sanctioned way to persist
+/// non-snapshot artifacts — routing through it keeps every persisted file
+/// on the same fsync-before-rename discipline (`durable-io-containment`).
+pub fn save_bytes_tagged(path: &Path, bytes: &[u8], tag: &str) -> Result<(), ServeError> {
+    atomic_write_durable_tagged(path, bytes, tag, &mut |_| Ok(()))
+}
+
 /// The shared atomic + durable write: temp file in the same directory →
 /// `write_all` → `sync_all` → `rename` → parent-directory fsync. `stage`
 /// is called after each durability checkpoint (`"tmp-synced"`,
@@ -152,6 +164,15 @@ pub fn save_bytes(path: &Path, bytes: &[u8]) -> Result<(), ServeError> {
 pub(crate) fn atomic_write_durable(
     path: &Path,
     bytes: &[u8],
+    stage: &mut dyn FnMut(&'static str) -> std::io::Result<()>,
+) -> Result<(), ServeError> {
+    atomic_write_durable_tagged(path, bytes, ".tmp", stage)
+}
+
+fn atomic_write_durable_tagged(
+    path: &Path,
+    bytes: &[u8],
+    tag: &str,
     stage: &mut dyn FnMut(&'static str) -> std::io::Result<()>,
 ) -> Result<(), ServeError> {
     use std::io::Write as _;
@@ -166,7 +187,7 @@ pub(crate) fn atomic_write_durable(
             ))
         })?
         .to_os_string();
-    tmp_name.push(format!(".tmp-{}~", std::process::id()));
+    tmp_name.push(format!("{tag}-{}~", std::process::id()));
     let tmp = path.with_file_name(tmp_name);
     let mut f = std::fs::File::create(&tmp)?;
     f.write_all(bytes)?;
@@ -226,7 +247,9 @@ impl Header {
         if bytes[..8] != MAGIC {
             return Err(ServeError::BadMagic);
         }
+        // lint: allow(no-panic-in-serve) -- infallible by construction: a 4-byte range always converts to [u8; 4]
         let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("4 bytes"));
+        // lint: allow(no-panic-in-serve) -- infallible by construction: an 8-byte range always converts to [u8; 8]
         let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().expect("8 bytes"));
         // Header sizes are u64 on disk; on a 32-bit target an `as usize`
         // cast would silently truncate (wrap) an attacker-controlled field
@@ -528,6 +551,47 @@ mod tests {
         });
         assert!(err.is_err());
         assert_eq!(std::fs::read(&path).unwrap(), b"new contents");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tagged_save_is_durable_and_separates_same_process_writers() {
+        // Regression for the `--metrics-dump` durability hole: the dump
+        // used to go through raw `fs::write` + `rename` with no fsync. It
+        // now routes through this helper, so it must follow the same
+        // sync'd-before-rename discipline as snapshots, and two tags must
+        // use distinct temp paths (the periodic dumper and the final dump
+        // at exit share one pid and can overlap).
+        let dir = std::env::temp_dir().join("genclus-serve-tagged-save-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.json");
+
+        let mut stages = Vec::new();
+        let mut tmp_seen = String::new();
+        atomic_write_durable_tagged(&path, b"{\"a\":1}\n", ".tmp-final", &mut |s| {
+            stages.push(s);
+            if s == "tmp-synced" {
+                // The temp file (still on disk at this stage) carries the tag.
+                for e in std::fs::read_dir(&dir)? {
+                    let name = e?.file_name().to_string_lossy().into_owned();
+                    if name.contains("-final-") {
+                        tmp_seen = name;
+                    }
+                }
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(stages, ["tmp-synced", "renamed", "dir-synced"]);
+        assert!(
+            tmp_seen.contains(".tmp-final-"),
+            "temp name should embed the tag, saw {tmp_seen:?}"
+        );
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"a\":1}\n");
+
+        // The public entry point lands content the same way.
+        save_bytes_tagged(&path, b"{\"a\":2}\n", ".tmp").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"a\":2}\n");
         std::fs::remove_dir_all(&dir).ok();
     }
 

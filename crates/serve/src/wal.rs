@@ -349,7 +349,9 @@ impl Wal {
                 path.display()
             )));
         }
+        // lint: allow(no-panic-in-serve) -- infallible by construction: a 4-byte range always converts to [u8; 4]
         let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("4 bytes"));
+        // lint: allow(no-panic-in-serve) -- infallible by construction: an 8-byte range always converts to [u8; 8]
         let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().expect("8 bytes"));
         let version = u32_at(8);
         if version == 0 || version > WAL_VERSION {

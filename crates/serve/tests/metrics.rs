@@ -8,7 +8,8 @@
 //!   trace totals once the swap lands;
 //! * the JSON **key order is byte-stable**: two independent sessions
 //!   running the same script render the same key sequence, so dashboards
-//!   and CI greps can rely on it;
+//!   can rely on it (the *exact* order is pinned against a manifest by
+//!   `genclus-lint`'s `metrics-key-order` rule);
 //! * the commit WAL's append counts and recovery stats show up both in
 //!   `metrics` and — `wal_records`/`wal_error` — folded into `stats`.
 
@@ -227,71 +228,17 @@ fn metrics_json_key_order_is_byte_stable_across_sessions() {
     key_paths(&b, "", &mut kb);
     assert_eq!(ka, kb, "metrics key order must not vary between sessions");
 
-    // The documented top-level schema, in order, after the envelope.
-    let top: Vec<&str> = a
-        .as_obj()
-        .unwrap()
-        .iter()
-        .map(|(k, _)| k.as_str())
-        .collect();
-    let body = [
-        "schema_version",
-        "uptime_ms",
-        "requests",
-        "ops",
-        "wal",
-        "refresh",
-        "em",
-        "net",
-    ];
-    let start = top
-        .iter()
-        .position(|&k| k == "schema_version")
-        .expect("metrics body present");
-    assert_eq!(&top[start..start + body.len()], &body);
     // Version 2 appended `net`; everything before it is byte-identical
-    // to version 1, so v1 consumers keep parsing.
+    // to version 1, so v1 consumers keep parsing. The exact key sequence
+    // itself is no longer duplicated here: `genclus-lint`'s
+    // `metrics-key-order` rule diffs the literals in `metrics.rs`'s
+    // `region(metrics-schema)` spans against the pinned manifest
+    // (`crates/lint/src/metrics_keys.txt`), so schema drift fails the
+    // lint gate with a deliberate manifest bump as the only way through.
     assert_eq!(num(&a, &["schema_version"]), 2.0);
-    let net: Vec<&str> = field(&a, &["net"])
-        .as_obj()
-        .expect("net block rendered")
-        .iter()
-        .map(|(k, _)| k.as_str())
-        .collect();
-    assert_eq!(
-        net,
-        [
-            "accepted",
-            "closed",
-            "active",
-            "rejected",
-            "over_limit",
-            "write_errors"
-        ]
-    );
-    // A refresh ran, so the span's key order is pinned too.
-    let span: Vec<&str> = field(&a, &["refresh", "last"])
-        .as_obj()
-        .expect("span rendered")
-        .iter()
-        .map(|(k, _)| k.as_str())
-        .collect();
-    assert_eq!(
-        span,
-        [
-            "mode",
-            "trigger",
-            "staged_objects",
-            "staged_links",
-            "outer_iterations",
-            "em_iterations",
-            "refit_ms",
-            "wall_ms",
-            "persisted",
-            "ok",
-            "error"
-        ]
-    );
+    // A refresh ran, so the span rendered (its key order is in the
+    // manifest too).
+    assert!(field(&a, &["refresh", "last"]).as_obj().is_some());
 }
 
 #[test]
