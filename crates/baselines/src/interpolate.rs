@@ -26,25 +26,23 @@ pub fn interpolate_features(graph: &HinGraph, attrs: &[AttributeId]) -> Vec<Vec<
     let mut features = vec![vec![0.0f64; attrs.len()]; n];
     for (dim, &attr) in attrs.iter().enumerate() {
         let table = graph.attribute(attr);
-        let values = match table {
-            AttributeData::Numerical { values } => values,
-            AttributeData::Categorical { .. } => {
-                panic!("interpolate_features requires numerical attributes")
-            }
-        };
-        // Global mean as the last-resort fallback.
-        let (mut g_sum, mut g_cnt) = (0.0f64, 0usize);
-        for v in values {
-            g_sum += v.iter().sum::<f64>();
-            g_cnt += v.len();
+        if let AttributeData::Categorical { .. } = table {
+            panic!("interpolate_features requires numerical attributes");
         }
-        let global_mean = if g_cnt > 0 { g_sum / g_cnt as f64 } else { 0.0 };
+        // Global mean as the last-resort fallback.
+        let flat = table.all_values();
+        let global_mean = if flat.is_empty() {
+            0.0
+        } else {
+            flat.iter().sum::<f64>() / flat.len() as f64
+        };
 
         for v in graph.objects() {
-            let mut sum: f64 = values[v.index()].iter().sum();
-            let mut cnt = values[v.index()].len();
+            let own = table.values(v);
+            let mut sum: f64 = own.iter().sum();
+            let mut cnt = own.len();
             for link in graph.out_links(v).chain(graph.in_links(v)) {
-                let nb = &values[link.endpoint.index()];
+                let nb = table.values(link.endpoint);
                 sum += nb.iter().sum::<f64>();
                 cnt += nb.len();
             }

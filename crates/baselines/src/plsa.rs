@@ -70,12 +70,8 @@ pub(crate) fn init_beta<R: Rng>(
 ) -> (Vec<f64>, usize) {
     let m = table.vocab_size();
     let mut global = vec![0.0f64; m];
-    if let AttributeData::Categorical { counts, .. } = table {
-        for row in counts {
-            for &(t, c) in row {
-                global[t as usize] += c;
-            }
-        }
+    for &(t, c) in table.all_term_counts() {
+        global[t as usize] += c;
     }
     if global.iter().sum::<f64>() <= 0.0 {
         global.iter_mut().for_each(|g| *g = 1.0);

@@ -82,9 +82,9 @@ fn with_noise_relation(
     }
     for (attr_idx, table) in [net.temp_attr, net.precip_attr].iter().enumerate() {
         let data = net.graph.attribute(*table);
-        if let AttributeData::Numerical { values } = data {
+        if let AttributeData::Numerical { .. } = data {
             for v in net.graph.objects() {
-                for &x in &values[v.index()] {
+                for &x in data.values(v) {
                     b.add_numeric(v, [net.temp_attr, net.precip_attr][attr_idx], x)
                         .expect("replayed observations are valid");
                 }

@@ -1,27 +1,42 @@
 //! Reproducible EM perf harness: writes `BENCH_em.json`.
 //!
 //! ```text
-//! bench_em [--quick] [--out <path>]
+//! bench_em [--quick] [--sweep-only] [--out <path>]
 //! ```
 //!
 //! Measures the median wall-time of one EM iteration on the weather scaling
 //! configurations (1250 / 1500 / 2000 objects, 20 observations per sensor)
 //! and the DBLP ACP network, for 1/2/4 threads, with both the optimized
-//! kernel and the naive reference kernel in the same run. The headline
-//! `speedup` field is the naive/optimized ratio on the 2000-object weather
-//! configuration. Exits non-zero if that ratio regresses below 1.5× so the
-//! harness doubles as a perf gate.
+//! kernel and the naive reference kernel in the same run — then runs the
+//! **size sweep**: the optimized kernel on the scaled presets (10k → 1M
+//! objects; `--quick` caps at 100k), recording milliseconds per iteration
+//! *and* peak RSS per cell.
+//!
+//! Gates (full mode only; always reported):
+//!
+//! * the headline naive/optimized ratio on the 2000-object weather
+//!   configuration must stay ≥ 1.5×;
+//! * every sweep cell must stay under the per-object time and memory
+//!   ceilings (`SWEEP_US_PER_OBJECT_GATE`, `SWEEP_RSS_BYTES_PER_OBJECT_GATE`)
+//!   — a regression in either speed or footprint fails the run.
+//!
+//! `--sweep-only` skips the kernel matrix (no `BENCH_em.json` rewrite) and
+//! runs just the sweep and its gates — the CI smoke step uses it with
+//! `--quick`.
 
-use genclus_bench::perf::{run_em_perf, EmPerfConfig};
+use genclus_bench::perf::{run_em_perf, run_size_sweep, sweep_violations, EmPerfConfig};
+use genclus_datagen::scaled::SCALED_REGISTRY;
 use std::path::PathBuf;
 
 fn main() {
     let mut cfg = EmPerfConfig::full();
     let mut out = PathBuf::from("BENCH_em.json");
+    let mut sweep_only = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => cfg = EmPerfConfig::quick(),
+            "--sweep-only" => sweep_only = true,
             "--out" => {
                 out = PathBuf::from(args.next().unwrap_or_else(|| {
                     eprintln!("--out needs a path");
@@ -29,10 +44,36 @@ fn main() {
                 }));
             }
             other => {
-                eprintln!("unknown argument `{other}`\nusage: bench_em [--quick] [--out <path>]");
+                eprintln!(
+                    "unknown argument `{other}`\n\
+                     usage: bench_em [--quick] [--sweep-only] [--out <path>]"
+                );
                 std::process::exit(2);
             }
         }
+    }
+
+    if sweep_only {
+        let cap = cfg.sweep_max_objects.unwrap_or(usize::MAX);
+        let specs: Vec<_> = SCALED_REGISTRY
+            .iter()
+            .copied()
+            .filter(|s| s.n_objects <= cap)
+            .collect();
+        let threads = *cfg.threads.iter().max().expect("non-empty threads");
+        let cells = run_size_sweep(&specs, threads, if cfg.quick { 2 } else { 5 });
+        for c in &cells {
+            let rss = match c.peak_rss_bytes {
+                Some(b) => format!("{:.1} MB peak RSS", b as f64 / (1024.0 * 1024.0)),
+                None => "n/a peak RSS".to_string(),
+            };
+            println!(
+                "sweep {:14} {:>9} objects: build {:.2} s  {:.3} ms/iter  {}",
+                c.dataset, c.n_objects, c.build_seconds, c.ms_per_iter, rss
+            );
+        }
+        fail_on_sweep_violations(!cfg.quick, &cells);
+        return;
     }
 
     let report = run_em_perf(&cfg);
@@ -45,13 +86,25 @@ fn main() {
         }
     }
 
-    // Perf gate: only meaningful at full scale on an unloaded machine, but
+    // Perf gates: only meaningful at full scale on an unloaded machine, but
     // always reported.
     if report.mode == "full" && report.headline.speedup < 1.5 {
         eprintln!(
             "PERF REGRESSION: optimized kernel only {:.2}x over naive (gate: 1.5x)",
             report.headline.speedup
         );
+        std::process::exit(1);
+    }
+    fail_on_sweep_violations(report.mode == "full", &report.size_sweep);
+}
+
+/// Prints every sweep-gate violation; exits non-zero when gating.
+fn fail_on_sweep_violations(gate: bool, cells: &[genclus_bench::perf::SizeSweepCell]) {
+    let violations = sweep_violations(cells);
+    for v in &violations {
+        eprintln!("SWEEP REGRESSION: {v}");
+    }
+    if gate && !violations.is_empty() {
         std::process::exit(1);
     }
 }

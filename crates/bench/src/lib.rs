@@ -22,6 +22,7 @@ pub mod perf;
 pub mod quantiles;
 pub mod refresh_perf;
 pub mod report;
+pub mod rss;
 pub mod serve_perf;
 pub mod timing;
 pub mod weather_experiments;

@@ -16,10 +16,12 @@
 //! `BENCH_em.json`; the schema is documented in ROADMAP.md's Performance
 //! section and mirrored by [`EmPerfReport::to_json`].
 
+use crate::rss;
 use genclus_core::attr_model::ClusterComponents;
 use genclus_core::em::EmEngine;
 use genclus_core::em_reference::ReferenceEmKernel;
 use genclus_datagen::dblp::{self, DblpConfig};
+use genclus_datagen::scaled::{ScaledSpec, SCALED_REGISTRY};
 use genclus_datagen::weather::{generate, PatternSetting, WeatherConfig};
 use genclus_hin::{AttributeId, HinGraph};
 use genclus_stats::MembershipMatrix;
@@ -39,24 +41,31 @@ pub struct EmPerfConfig {
     pub threads: Vec<usize>,
     /// Timed iterations per (config, threads, kernel) cell.
     pub samples: usize,
+    /// Largest [`SCALED_REGISTRY`] preset the size sweep runs (`None`
+    /// skips the sweep entirely).
+    pub sweep_max_objects: Option<usize>,
 }
 
 impl EmPerfConfig {
-    /// Full-scale measurement (the committed `BENCH_em.json`).
+    /// Full-scale measurement (the committed `BENCH_em.json`): the whole
+    /// sweep registry, up to and including the million-object preset.
     pub fn full() -> Self {
         Self {
             quick: false,
             threads: vec![1, 2, 4],
             samples: 15,
+            sweep_max_objects: Some(usize::MAX),
         }
     }
 
-    /// Smoke-test scale.
+    /// Smoke-test scale; the sweep is capped at the 100k presets so a
+    /// quick run still exercises the scale path without the 1M build.
     pub fn quick() -> Self {
         Self {
             quick: true,
             threads: vec![1, 2],
             samples: 3,
+            sweep_max_objects: Some(100_000),
         }
     }
 }
@@ -109,6 +118,115 @@ pub struct Headline {
     pub speedup: f64,
 }
 
+/// One size-sweep cell: the optimized kernel on a [`SCALED_REGISTRY`]
+/// preset, recording both time *and* memory.
+#[derive(Debug, Clone)]
+pub struct SizeSweepCell {
+    /// Preset name (`weather-100k`, …).
+    pub dataset: &'static str,
+    /// Objects in the network.
+    pub n_objects: usize,
+    /// Directed links in the network.
+    pub n_links: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Wall seconds to build the network (not part of the gate; context).
+    pub build_seconds: f64,
+    /// Median milliseconds per EM iteration.
+    pub ms_per_iter: f64,
+    /// Peak RSS (`VmHWM`) after the cell, bytes; `None` off Linux.
+    pub peak_rss_bytes: Option<u64>,
+    /// Whether the peak counter was reset before the cell (per-cell peak)
+    /// or left monotone (upper bound; cells run smallest-first).
+    pub rss_reset: bool,
+}
+
+/// Time gate: median EM microseconds per object, per iteration. The EM
+/// step is linear in objects + links + observations, so per-object cost is
+/// size-independent; an accidental `O(n²)` path or per-object allocation
+/// storm blows straight through this generous ceiling.
+pub const SWEEP_US_PER_OBJECT_GATE: f64 = 5.0;
+
+/// Memory gate: peak RSS bytes per object. The interned-arena layout costs
+/// ~0.5 KB/object all-in on the sweep shapes (CSR links both directions,
+/// per-relation indexes, `Θ`, kernel scratch); reverting to per-object
+/// heap structures (`String` names, nested `Vec` rows) or leaking a copy
+/// of the network trips this. Applied only at ≥ 100k objects, where the
+/// process baseline no longer distorts the per-object figure.
+pub const SWEEP_RSS_BYTES_PER_OBJECT_GATE: f64 = 1024.0;
+
+/// Objects below which the RSS gate is not applied.
+pub const SWEEP_RSS_GATE_MIN_OBJECTS: usize = 100_000;
+
+/// Runs the optimized kernel over `specs` (smallest-first), one cell per
+/// preset, resetting the peak-RSS counter between cells when the kernel
+/// allows it.
+pub fn run_size_sweep(specs: &[ScaledSpec], threads: usize, samples: usize) -> Vec<SizeSweepCell> {
+    let mut cells = Vec::new();
+    for spec in specs {
+        let rss_reset = rss::reset_peak_rss();
+        let build_start = Instant::now();
+        let net = spec.build();
+        let build_seconds = build_start.elapsed().as_secs_f64();
+        let mut rng = genclus_stats::seeded_rng(3);
+        let theta = MembershipMatrix::random(net.graph.n_objects(), K, &mut rng);
+        let comps: Vec<ClusterComponents> = net
+            .attrs
+            .iter()
+            .map(|&a| ClusterComponents::init(K, net.graph.attribute(a), &mut rng, 1e-9, 1e-6))
+            .collect();
+        let gamma = vec![1.0; net.graph.schema().n_relations()];
+        let mut engine = EmEngine::new(&net.graph, &net.attrs, K, threads, 1e-9, 1e-6);
+        let mut s = time_steps(
+            || {
+                std::hint::black_box(engine.step(&theta, &comps, &gamma));
+            },
+            1,
+            samples,
+        );
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        cells.push(SizeSweepCell {
+            dataset: spec.name,
+            n_objects: net.graph.n_objects(),
+            n_links: net.graph.n_links(),
+            threads,
+            build_seconds,
+            ms_per_iter: s[s.len() / 2] * 1e3,
+            peak_rss_bytes: rss::peak_rss_bytes(),
+            rss_reset,
+        });
+    }
+    cells
+}
+
+/// Evaluates the sweep gates; one message per violated (cell, gate) pair.
+pub fn sweep_violations(cells: &[SizeSweepCell]) -> Vec<String> {
+    let mut v = Vec::new();
+    for c in cells {
+        let us_per_obj = c.ms_per_iter * 1e3 / c.n_objects as f64;
+        if us_per_obj > SWEEP_US_PER_OBJECT_GATE {
+            v.push(format!(
+                "{}: {us_per_obj:.2} µs/object per EM iteration (gate: \
+                 {SWEEP_US_PER_OBJECT_GATE} µs)",
+                c.dataset
+            ));
+        }
+        if c.n_objects >= SWEEP_RSS_GATE_MIN_OBJECTS {
+            if let Some(rss) = c.peak_rss_bytes {
+                let per_obj = rss as f64 / c.n_objects as f64;
+                if per_obj > SWEEP_RSS_BYTES_PER_OBJECT_GATE {
+                    v.push(format!(
+                        "{}: peak RSS {per_obj:.0} bytes/object (gate: \
+                         {SWEEP_RSS_BYTES_PER_OBJECT_GATE} bytes)",
+                        c.dataset
+                    ));
+                }
+            }
+        }
+    }
+    v
+}
+
 /// Everything one `bench_em` run produced.
 #[derive(Debug, Clone)]
 pub struct EmPerfReport {
@@ -119,6 +237,8 @@ pub struct EmPerfReport {
     /// Headline naive-vs-optimized comparison (largest weather config,
     /// highest thread count).
     pub headline: Headline,
+    /// Size-sweep cells (empty when the sweep was skipped).
+    pub size_sweep: Vec<SizeSweepCell>,
 }
 
 /// A prepared EM problem: network + fixed starting state.
@@ -267,10 +387,24 @@ pub fn run_em_perf(cfg: &EmPerfConfig) -> EmPerfReport {
         }
     }
 
+    let size_sweep = match cfg.sweep_max_objects {
+        None => Vec::new(),
+        Some(cap) => {
+            let specs: Vec<ScaledSpec> = SCALED_REGISTRY
+                .iter()
+                .copied()
+                .filter(|s| s.n_objects <= cap)
+                .collect();
+            let threads = *cfg.threads.iter().max().expect("non-empty threads");
+            run_size_sweep(&specs, threads, if cfg.quick { 2 } else { 5 })
+        }
+    };
+
     EmPerfReport {
         mode: if cfg.quick { "quick" } else { "full" },
         measurements,
         headline: headline.expect("one problem carries the headline flag"),
+        size_sweep,
     }
 }
 
@@ -303,7 +437,7 @@ impl EmPerfReport {
     /// the workspace has no serde).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(4096);
-        out.push_str("{\n  \"schema_version\": 1,\n  \"bench\": \"em_step\",\n");
+        out.push_str("{\n  \"schema_version\": 2,\n  \"bench\": \"em_step\",\n");
         out.push_str(&format!("  \"mode\": \"{}\",\n  \"k\": {K},\n", self.mode));
         out.push_str("  \"unit\": \"milliseconds per EM iteration\",\n");
         out.push_str("  \"results\": [\n");
@@ -324,6 +458,31 @@ impl EmPerfReport {
                 fmt_f64(m.mean_seconds() * 1e3),
             ));
             out.push_str(if i + 1 < self.measurements.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"size_sweep\": [\n");
+        for (i, c) in self.size_sweep.iter().enumerate() {
+            out.push_str("    {\"dataset\": ");
+            push_json_str(&mut out, c.dataset);
+            let rss_mb = match c.peak_rss_bytes {
+                Some(b) => fmt_f64(b as f64 / (1024.0 * 1024.0)),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                ", \"n_objects\": {}, \"n_links\": {}, \"threads\": {}, \
+                 \"build_seconds\": {}, \"ms_per_iter\": {}, \"peak_rss_mb\": {rss_mb}, \
+                 \"rss_reset\": {}}}",
+                c.n_objects,
+                c.n_links,
+                c.threads,
+                fmt_f64(c.build_seconds),
+                fmt_f64(c.ms_per_iter),
+                c.rss_reset,
+            ));
+            out.push_str(if i + 1 < self.size_sweep.len() {
                 ",\n"
             } else {
                 "\n"
@@ -370,6 +529,24 @@ impl EmPerfReport {
                 m.mean_seconds() * 1e3,
             ));
         }
+        for c in &self.size_sweep {
+            let rss = match c.peak_rss_bytes {
+                Some(b) => format!("{:8.1} MB peak RSS", b as f64 / (1024.0 * 1024.0)),
+                None => "     n/a peak RSS".to_string(),
+            };
+            out.push_str(&format!(
+                "  sweep {:14} {:>9} objects {:>9} links threads={}: build {:6.2} s  \
+                 {:9.3} ms/iter  {}{}\n",
+                c.dataset,
+                c.n_objects,
+                c.n_links,
+                c.threads,
+                c.build_seconds,
+                c.ms_per_iter,
+                rss,
+                if c.rss_reset { "" } else { " (monotone)" },
+            ));
+        }
         out.push_str(&format!(
             "headline [{} @ {} threads]: optimized {:.3} ms vs naive {:.3} ms → {:.2}x\n",
             self.headline.config,
@@ -388,7 +565,14 @@ mod tests {
 
     #[test]
     fn quick_run_produces_consistent_report_and_json() {
-        let report = run_em_perf(&EmPerfConfig::quick());
+        // Sweep disabled here: the 100k presets belong to the release-mode
+        // smoke run, not a debug unit test. The sweep path has its own test
+        // below on a shrunken spec.
+        let cfg = EmPerfConfig {
+            sweep_max_objects: None,
+            ..EmPerfConfig::quick()
+        };
+        let report = run_em_perf(&cfg);
         // 3 problems × 2 thread counts × 2 kernels.
         assert_eq!(report.measurements.len(), 12);
         for m in &report.measurements {
@@ -416,5 +600,62 @@ mod tests {
         let dir = std::env::temp_dir().join("genclus-bench-em");
         let path = report.save(&dir.join("BENCH_em.json")).expect("save");
         assert!(path.exists());
+        // The sweep was disabled, but the v2 schema still carries the key.
+        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"size_sweep\""));
+    }
+
+    #[test]
+    fn size_sweep_measures_time_and_memory_per_cell() {
+        // Shrunken presets: the sweep machinery end to end (build → EM →
+        // gates → JSON) without release-scale networks.
+        let specs: Vec<ScaledSpec> = SCALED_REGISTRY
+            .iter()
+            .take(2)
+            .map(|s| s.with_objects(1_500))
+            .collect();
+        let cells = run_size_sweep(&specs, 1, 2);
+        assert_eq!(cells.len(), 2);
+        for (c, s) in cells.iter().zip(&specs) {
+            assert_eq!(c.dataset, s.name);
+            assert_eq!(c.n_objects, 1_500);
+            assert_eq!(c.n_links, s.expected_links());
+            assert!(c.ms_per_iter > 0.0 && c.ms_per_iter.is_finite());
+            assert!(c.build_seconds >= 0.0);
+            if cfg!(target_os = "linux") {
+                let rss = c.peak_rss_bytes.expect("VmHWM available on Linux");
+                assert!(rss > 1024 * 1024, "implausible peak: {rss}");
+            }
+        }
+        // Gates: these tiny cells are below the RSS floor and far under
+        // the µs/object ceiling in any build profile... except the time
+        // gate, which debug builds can trip legitimately — so check the
+        // violation *format* instead on a synthetic regression.
+        let bad = SizeSweepCell {
+            dataset: "weather-100k",
+            n_objects: 200_000,
+            n_links: 400_000,
+            threads: 1,
+            build_seconds: 1.0,
+            ms_per_iter: 200_000.0 * SWEEP_US_PER_OBJECT_GATE / 1e3 * 2.0,
+            peak_rss_bytes: Some((200_000.0 * SWEEP_RSS_BYTES_PER_OBJECT_GATE * 2.0) as u64),
+            rss_reset: true,
+        };
+        let v = sweep_violations(&[bad]);
+        assert_eq!(v.len(), 2, "both gates must fire: {v:?}");
+        assert!(v[0].contains("µs/object"), "{v:?}");
+        assert!(v[1].contains("bytes/object"), "{v:?}");
+        // And a healthy large cell passes both.
+        let good = SizeSweepCell {
+            dataset: "weather-1m",
+            n_objects: 1_000_000,
+            n_links: 2_000_000,
+            threads: 1,
+            build_seconds: 5.0,
+            ms_per_iter: 400.0,
+            peak_rss_bytes: Some(500 * 1_000_000),
+            rss_reset: true,
+        };
+        assert!(sweep_violations(&[good]).is_empty());
     }
 }

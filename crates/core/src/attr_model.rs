@@ -49,12 +49,8 @@ impl CategoricalComponents {
     ) -> Self {
         let m = table.vocab_size();
         let mut global = vec![0.0f64; m];
-        if let AttributeData::Categorical { counts, .. } = table {
-            for row in counts {
-                for &(t, c) in row {
-                    global[t as usize] += c;
-                }
-            }
+        for &(t, c) in table.all_term_counts() {
+            global[t as usize] += c;
         }
         let total: f64 = global.iter().sum();
         if total <= 0.0 {
@@ -190,12 +186,7 @@ impl GaussianComponents {
         rng: &mut R,
         variance_floor: f64,
     ) -> Self {
-        let mut all = Vec::new();
-        if let AttributeData::Numerical { values } = table {
-            for v in values {
-                all.extend_from_slice(v);
-            }
-        }
+        let mut all = table.all_values().to_vec();
         let (g_mean, g_std) = if all.is_empty() {
             (0.0, 1.0)
         } else {
@@ -589,20 +580,18 @@ mod tests {
     use genclus_stats::seeded_rng;
 
     fn text_table() -> AttributeData {
-        AttributeData::Categorical {
-            vocab_size: 4,
-            counts: vec![
+        AttributeData::categorical_from_rows(
+            4,
+            &[
                 vec![(0, 5.0), (1, 1.0)],
                 vec![(2, 3.0)],
                 vec![(3, 2.0), (0, 1.0)],
             ],
-        }
+        )
     }
 
     fn num_table() -> AttributeData {
-        AttributeData::Numerical {
-            values: vec![vec![1.0, 1.2], vec![], vec![5.0]],
-        }
+        AttributeData::numerical_from_rows(&[vec![1.0, 1.2], vec![], vec![5.0]])
     }
 
     #[test]

@@ -17,15 +17,26 @@
 //!   papers, binary links, text on papers only). Used by Figs. 5–6 and 9–10
 //!   and Tables 1–3.
 //!
+//! A third generator serves scale rather than fidelity:
+//!
+//! * [`scaled`] — a registry of named presets (`weather-10k` … `weather-1m`,
+//!   `dblp-100k`) with strictly `O(n · fanout)` builders, used by the
+//!   `genclus-bench` size sweep to measure EM cost and peak RSS from 10k to
+//!   a million objects.
+//!
 //! All generation is deterministic given the config seed.
 
 pub mod dblp;
+pub mod scaled;
 pub mod vocab;
 pub mod weather;
 
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::dblp::{AcNetwork, AcpNetwork, DblpConfig, DblpCorpus, FOUR_AREAS};
+    pub use crate::scaled::{
+        scaled_by_name, ScaledNetwork, ScaledShape, ScaledSpec, SCALED_K, SCALED_REGISTRY,
+    };
     pub use crate::weather::{PatternSetting, WeatherConfig, WeatherNetwork, WeatherRelations};
 }
 

@@ -1,0 +1,285 @@
+//! Scaled network family for the size sweep: 10k → 1M objects.
+//!
+//! The paper-shaped generators ([`crate::weather`], [`crate::dblp`]) model
+//! the evaluation faithfully — soft ring memberships, Dirichlet topic
+//! mixtures — which makes them quadratic-ish in places and impractical
+//! beyond a few thousand objects. This module trades fidelity for scale: a
+//! registry of named presets whose builders are strictly `O(n · fanout)`,
+//! fully deterministic (a splitmix64 counter stream, no `rand`), and still
+//! EM-runnable (every object typed and named, both link directions present,
+//! attributes observed with planted cluster structure so the kernels do
+//! real work).
+//!
+//! Two schema shapes mirror the paper's data sets:
+//!
+//! * **weather** — `temp_sensor`/`precip_sensor` types, reciprocal
+//!   `tp`/`pt` relations, one numerical observation per sensor drawn from
+//!   its planted cluster's mean;
+//! * **dblp** — `author`/`venue` types, reciprocal `writes_in`/`hosts`
+//!   relations, categorical title terms on authors from a planted
+//!   area-specific vocabulary band.
+//!
+//! The registry maps preset names (`weather-10k`, …, `weather-1m`,
+//! `dblp-100k`) to specs, the same lookup-by-name idiom the multi-dataset
+//! training harnesses use; `genclus-bench`'s size sweep iterates it.
+
+use genclus_hin::prelude::*;
+
+/// Planted clusters in every scaled network.
+pub const SCALED_K: usize = 4;
+
+/// Schema shape of a scaled preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaledShape {
+    /// Sensor network: two object types, numerical attributes.
+    Weather,
+    /// Bibliographic network: authors + venues, categorical text.
+    Dblp,
+}
+
+/// One size-sweep preset: a shape plus its scale knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaledSpec {
+    /// Registry name, e.g. `weather-100k`.
+    pub name: &'static str,
+    /// Schema shape.
+    pub shape: ScaledShape,
+    /// Total objects across both types.
+    pub n_objects: usize,
+    /// Out-links per source object (each paired with its reciprocal).
+    pub fanout: usize,
+    /// Stream seed; every derived draw mixes it in.
+    pub seed: u64,
+}
+
+/// The named presets the size sweep iterates, smallest first.
+pub const SCALED_REGISTRY: &[ScaledSpec] = &[
+    ScaledSpec {
+        name: "weather-10k",
+        shape: ScaledShape::Weather,
+        n_objects: 10_000,
+        fanout: 3,
+        seed: 11,
+    },
+    ScaledSpec {
+        name: "weather-100k",
+        shape: ScaledShape::Weather,
+        n_objects: 100_000,
+        fanout: 3,
+        seed: 12,
+    },
+    ScaledSpec {
+        name: "dblp-100k",
+        shape: ScaledShape::Dblp,
+        n_objects: 100_000,
+        fanout: 3,
+        seed: 13,
+    },
+    ScaledSpec {
+        name: "weather-1m",
+        shape: ScaledShape::Weather,
+        n_objects: 1_000_000,
+        fanout: 2,
+        seed: 14,
+    },
+];
+
+/// Looks a preset up by its registry name.
+pub fn scaled_by_name(name: &str) -> Option<&'static ScaledSpec> {
+    SCALED_REGISTRY.iter().find(|s| s.name == name)
+}
+
+/// A built scaled network plus the attribute ids the EM kernels cluster on.
+pub struct ScaledNetwork {
+    /// The network.
+    pub graph: HinGraph,
+    /// Attributes to cluster on (all attributes of the shape).
+    pub attrs: Vec<AttributeId>,
+}
+
+/// splitmix64: one multiply-xor-shift chain per draw; statistically fine
+/// for planting structure and, unlike an RNG object, trivially seekable —
+/// draw `i` never depends on draw `i - 1`, so generation order is free.
+fn mix(seed: u64, a: u64, b: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(a.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(b.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform-ish f64 in `[0, 1)` from a mixed draw.
+fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl ScaledSpec {
+    /// A spec with a different object count (for custom sweep points);
+    /// keeps the preset's shape, fanout, and seed.
+    pub fn with_objects(mut self, n: usize) -> Self {
+        self.n_objects = n;
+        self
+    }
+
+    /// Builds the network: `O(n · fanout)` work, deterministic in `seed`.
+    pub fn build(&self) -> ScaledNetwork {
+        match self.shape {
+            ScaledShape::Weather => self.build_weather(),
+            ScaledShape::Dblp => self.build_dblp(),
+        }
+    }
+
+    fn build_weather(&self) -> ScaledNetwork {
+        let mut s = Schema::new();
+        let temp = s.add_object_type("temp_sensor");
+        let precip = s.add_object_type("precip_sensor");
+        let tp = s.add_relation("tp", temp, precip);
+        let pt = s.add_relation("pt", precip, temp);
+        let a_temp = s.add_numerical_attribute("temperature");
+        let a_precip = s.add_numerical_attribute("precipitation");
+
+        let n_temp = self.n_objects * 2 / 3;
+        let n_precip = self.n_objects - n_temp;
+        let mut b = HinBuilder::new(s);
+        // Objects first (ids are dense: temp sensors then precip sensors),
+        // each planted in cluster `mix(i) % K` with a cluster-offset mean.
+        let mut temp_ids = Vec::with_capacity(n_temp);
+        for i in 0..n_temp {
+            temp_ids.push(b.add_object(temp, format!("t-{i}")));
+        }
+        let mut precip_ids = Vec::with_capacity(n_precip);
+        for i in 0..n_precip {
+            precip_ids.push(b.add_object(precip, format!("p-{i}")));
+        }
+        for (i, &v) in temp_ids.iter().enumerate() {
+            let c = (mix(self.seed, 1, i as u64) % SCALED_K as u64) as f64;
+            let x = c * 5.0 + unit(mix(self.seed, 2, i as u64));
+            b.add_numeric(v, a_temp, x).expect("valid observation");
+        }
+        for (i, &v) in precip_ids.iter().enumerate() {
+            let c = (mix(self.seed, 3, i as u64) % SCALED_K as u64) as f64;
+            let x = c * 5.0 + unit(mix(self.seed, 4, i as u64));
+            b.add_numeric(v, a_precip, x).expect("valid observation");
+        }
+        // `fanout` reciprocal pairs per temp sensor, targets drawn from the
+        // seekable stream — no rejection loop, so exactly n_temp · fanout
+        // pairs (parallel links are legal and counted).
+        for (i, &v) in temp_ids.iter().enumerate() {
+            for j in 0..self.fanout {
+                let t = mix(self.seed, 5 + j as u64, i as u64) as usize % n_precip;
+                b.add_link_pair(v, precip_ids[t], tp, pt, 1.0)
+                    .expect("valid link");
+            }
+        }
+        ScaledNetwork {
+            graph: b.build().expect("scaled weather network builds"),
+            attrs: vec![a_temp, a_precip],
+        }
+    }
+
+    fn build_dblp(&self) -> ScaledNetwork {
+        const VOCAB: usize = 200;
+        let mut s = Schema::new();
+        let author = s.add_object_type("author");
+        let venue = s.add_object_type("venue");
+        let writes_in = s.add_relation("writes_in", author, venue);
+        let hosts = s.add_relation("hosts", venue, author);
+        let text = s.add_categorical_attribute("text", VOCAB);
+
+        let n_author = self.n_objects * 3 / 4;
+        let n_venue = self.n_objects - n_author;
+        let mut b = HinBuilder::new(s);
+        let mut author_ids = Vec::with_capacity(n_author);
+        for i in 0..n_author {
+            author_ids.push(b.add_object(author, format!("a-{i}")));
+        }
+        let mut venue_ids = Vec::with_capacity(n_venue);
+        for i in 0..n_venue {
+            venue_ids.push(b.add_object(venue, format!("v-{i}")));
+        }
+        // Two title terms per author from the planted area's vocabulary
+        // band (`VOCAB / K` terms per area).
+        let band = VOCAB / SCALED_K;
+        for (i, &v) in author_ids.iter().enumerate() {
+            let c = mix(self.seed, 1, i as u64) as usize % SCALED_K;
+            let t0 = (c * band + mix(self.seed, 2, i as u64) as usize % band) as u32;
+            let t1 = (c * band + mix(self.seed, 3, i as u64) as usize % band) as u32;
+            b.add_terms(v, text, &[t0, t1]).expect("terms in vocab");
+        }
+        for (i, &v) in author_ids.iter().enumerate() {
+            for j in 0..self.fanout {
+                let t = mix(self.seed, 4 + j as u64, i as u64) as usize % n_venue;
+                b.add_link_pair(v, venue_ids[t], writes_in, hosts, 1.0)
+                    .expect("valid link");
+            }
+        }
+        ScaledNetwork {
+            graph: b.build().expect("scaled dblp network builds"),
+            attrs: vec![text],
+        }
+    }
+
+    /// Directed links the built network will carry (each pair counts twice).
+    pub fn expected_links(&self) -> usize {
+        let sources = match self.shape {
+            ScaledShape::Weather => self.n_objects * 2 / 3,
+            ScaledShape::Dblp => self.n_objects * 3 / 4,
+        };
+        sources * self.fanout * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_lookup_and_ordering() {
+        assert_eq!(scaled_by_name("weather-100k").unwrap().n_objects, 100_000);
+        assert!(scaled_by_name("weather-10t").is_none());
+        // Smallest-first ordering is what lets the sweep's peak-RSS
+        // fallback (monotone VmHWM) still attribute peaks per cell.
+        let sizes: Vec<usize> = SCALED_REGISTRY.iter().map(|s| s.n_objects).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sizes, sorted, "registry must be ordered smallest-first");
+    }
+
+    #[test]
+    fn weather_preset_builds_with_exact_counts() {
+        let spec = scaled_by_name("weather-10k").unwrap().with_objects(3_000);
+        let net = spec.build();
+        assert_eq!(net.graph.n_objects(), 3_000);
+        assert_eq!(
+            net.graph.n_links(),
+            spec.with_objects(3_000).expected_links()
+        );
+        assert_eq!(net.attrs.len(), 2);
+        // Every temp sensor observes temperature; name lookup resolves.
+        let v = net.graph.object_by_name("t-0").unwrap();
+        assert_eq!(net.graph.attribute(net.attrs[0]).values(v).len(), 1);
+    }
+
+    #[test]
+    fn dblp_preset_builds_with_text_in_vocab() {
+        let spec = scaled_by_name("dblp-100k").unwrap().with_objects(2_000);
+        let net = spec.build();
+        assert_eq!(net.graph.n_objects(), 2_000);
+        assert_eq!(net.graph.n_links(), spec.expected_links());
+        let v = net.graph.object_by_name("a-7").unwrap();
+        let terms = net.graph.attribute(net.attrs[0]).term_counts(v);
+        assert!(!terms.is_empty());
+        assert!(terms.iter().all(|&(t, c)| (t as usize) < 200 && c > 0.0));
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let spec = scaled_by_name("weather-10k").unwrap().with_objects(1_200);
+        let (a, b) = (spec.build(), spec.build());
+        let (mut ba, mut bb) = (Vec::new(), Vec::new());
+        a.graph.to_bytes(&mut ba);
+        b.graph.to_bytes(&mut bb);
+        assert_eq!(ba, bb, "same spec must build byte-identical networks");
+    }
+}

@@ -10,64 +10,119 @@
 //! `V_X` — the set of objects carrying at least one observation of `X` — is
 //! exactly the set of objects the attribute part of the EM update touches;
 //! [`AttributeData::objects_with_observations`] materializes it.
+//!
+//! # Layout
+//!
+//! Observation rows are stored **flattened** in CSR form: one contiguous
+//! entry array plus a `u32` offset table with `n + 1` entries (row `v` is
+//! `entries[offsets[v]..offsets[v+1]]`). The former `Vec<Vec<..>>` layout
+//! cost one heap allocation per observed object — at million-object scale
+//! that dominated both build time and resident memory, and made snapshot
+//! decode allocate per object. The flattened form decodes with a fixed
+//! number of allocations regardless of object count.
 
 use crate::ids::ObjectId;
 
-/// Observations of a single attribute across all objects.
+/// Observations of a single attribute across all objects, flattened CSR.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AttributeData {
     /// Sparse term counts per object: `(term index, count)` pairs sorted by
-    /// term index. Counts are `f64` so generators may use fractional weights.
+    /// term index within each row. Counts are `f64` so generators may use
+    /// fractional weights.
     Categorical {
         /// Vocabulary size (term indices are `0..vocab_size`).
         vocab_size: usize,
-        /// `counts[v]` = term-count pairs of object `v`.
-        counts: Vec<Vec<(u32, f64)>>,
+        /// Row boundaries: object `v`'s pairs are
+        /// `entries[offsets[v] as usize..offsets[v+1] as usize]`.
+        offsets: Vec<u32>,
+        /// All term-count pairs, concatenated in object order.
+        entries: Vec<(u32, f64)>,
     },
     /// Raw numerical observation lists per object.
     Numerical {
-        /// `values[v]` = observation list of object `v`.
-        values: Vec<Vec<f64>>,
+        /// Row boundaries: object `v`'s values are
+        /// `values[offsets[v] as usize..offsets[v+1] as usize]`.
+        offsets: Vec<u32>,
+        /// All observations, concatenated in object order.
+        values: Vec<f64>,
     },
 }
 
+/// Flattens nested rows into `(offsets, entries)`.
+fn flatten<T: Copy>(rows: &[Vec<T>]) -> (Vec<u32>, Vec<T>) {
+    let total: usize = rows.iter().map(Vec::len).sum();
+    let mut offsets = Vec::with_capacity(rows.len() + 1);
+    let mut entries = Vec::with_capacity(total);
+    offsets.push(0u32);
+    for row in rows {
+        entries.extend_from_slice(row);
+        offsets.push(entries.len() as u32);
+    }
+    (offsets, entries)
+}
+
 impl AttributeData {
+    /// A categorical table from per-object rows (test/generator surface;
+    /// the hot construction paths build the CSR arrays directly).
+    pub fn categorical_from_rows(vocab_size: usize, rows: &[Vec<(u32, f64)>]) -> Self {
+        let (offsets, entries) = flatten(rows);
+        Self::Categorical {
+            vocab_size,
+            offsets,
+            entries,
+        }
+    }
+
+    /// A numerical table from per-object rows.
+    pub fn numerical_from_rows(rows: &[Vec<f64>]) -> Self {
+        let (offsets, values) = flatten(rows);
+        Self::Numerical { offsets, values }
+    }
+
+    /// Number of objects this table has rows for.
+    pub fn n_objects(&self) -> usize {
+        match self {
+            Self::Categorical { offsets, .. } | Self::Numerical { offsets, .. } => {
+                offsets.len() - 1
+            }
+        }
+    }
+
     /// Number of objects with at least one observation (`|V_X|`).
     pub fn n_observed_objects(&self) -> usize {
-        match self {
-            Self::Categorical { counts, .. } => counts.iter().filter(|c| !c.is_empty()).count(),
-            Self::Numerical { values } => values.iter().filter(|v| !v.is_empty()).count(),
-        }
+        let offsets = match self {
+            Self::Categorical { offsets, .. } | Self::Numerical { offsets, .. } => offsets,
+        };
+        offsets.windows(2).filter(|w| w[0] < w[1]).count()
     }
 
     /// Total number of observations across all objects
     /// (categorical counts sum; numerical list lengths).
     pub fn n_observations(&self) -> f64 {
         match self {
-            Self::Categorical { counts, .. } => {
-                counts.iter().flat_map(|c| c.iter().map(|&(_, n)| n)).sum()
-            }
-            Self::Numerical { values } => values.iter().map(|v| v.len() as f64).sum(),
+            Self::Categorical { entries, .. } => entries.iter().map(|&(_, n)| n).sum(),
+            Self::Numerical { values, .. } => values.len() as f64,
         }
     }
 
     /// Whether object `v` has any observation of this attribute.
     pub fn has_observations(&self, v: ObjectId) -> bool {
-        match self {
-            Self::Categorical { counts, .. } => !counts[v.index()].is_empty(),
-            Self::Numerical { values } => !values[v.index()].is_empty(),
-        }
+        let offsets = match self {
+            Self::Categorical { offsets, .. } | Self::Numerical { offsets, .. } => offsets,
+        };
+        offsets[v.index()] < offsets[v.index() + 1]
     }
 
     /// Ids of all objects with at least one observation, ascending.
     pub fn objects_with_observations(&self) -> Vec<ObjectId> {
-        let has: Box<dyn Iterator<Item = bool> + '_> = match self {
-            Self::Categorical { counts, .. } => Box::new(counts.iter().map(|c| !c.is_empty())),
-            Self::Numerical { values } => Box::new(values.iter().map(|v| !v.is_empty())),
+        let offsets = match self {
+            Self::Categorical { offsets, .. } | Self::Numerical { offsets, .. } => offsets,
         };
-        has.enumerate()
-            .filter(|&(_i, h)| h)
-            .map(|(i, _h)| ObjectId::from_index(i))
+        offsets
+            .windows(2)
+            .enumerate()
+            .filter(|&(_i, w)| w[0] < w[1])
+            .map(|(i, _w)| ObjectId::from_index(i))
             .collect()
     }
 
@@ -77,8 +132,22 @@ impl AttributeData {
     /// Panics if the attribute is numerical.
     pub fn term_counts(&self, v: ObjectId) -> &[(u32, f64)] {
         match self {
-            Self::Categorical { counts, .. } => &counts[v.index()],
+            Self::Categorical {
+                offsets, entries, ..
+            } => &entries[offsets[v.index()] as usize..offsets[v.index() + 1] as usize],
             Self::Numerical { .. } => panic!("term_counts on a numerical attribute"),
+        }
+    }
+
+    /// Every term-count pair of every object, concatenated in object order
+    /// — the global-histogram scan of the attribute model initializers.
+    ///
+    /// # Panics
+    /// Panics if the attribute is numerical.
+    pub fn all_term_counts(&self) -> &[(u32, f64)] {
+        match self {
+            Self::Categorical { entries, .. } => entries,
+            Self::Numerical { .. } => panic!("all_term_counts on a numerical attribute"),
         }
     }
 
@@ -88,8 +157,22 @@ impl AttributeData {
     /// Panics if the attribute is categorical.
     pub fn values(&self, v: ObjectId) -> &[f64] {
         match self {
-            Self::Numerical { values } => &values[v.index()],
+            Self::Numerical { offsets, values } => {
+                &values[offsets[v.index()] as usize..offsets[v.index() + 1] as usize]
+            }
             Self::Categorical { .. } => panic!("values on a categorical attribute"),
+        }
+    }
+
+    /// Every numerical observation of every object, concatenated in object
+    /// order.
+    ///
+    /// # Panics
+    /// Panics if the attribute is categorical.
+    pub fn all_values(&self) -> &[f64] {
+        match self {
+            Self::Numerical { values, .. } => values,
+            Self::Categorical { .. } => panic!("all_values on a categorical attribute"),
         }
     }
 
@@ -101,6 +184,34 @@ impl AttributeData {
         match self {
             Self::Categorical { vocab_size, .. } => *vocab_size,
             Self::Numerical { .. } => panic!("vocab_size on a numerical attribute"),
+        }
+    }
+
+    /// Appends one object's row at the tail (the delta append path; new
+    /// objects always receive the highest ids, so rows arrive in order).
+    ///
+    /// # Panics
+    /// Panics on a kind mismatch — the delta validated kinds upfront.
+    pub(crate) fn push_categorical_row(&mut self, row: &[(u32, f64)]) {
+        match self {
+            Self::Categorical {
+                offsets, entries, ..
+            } => {
+                entries.extend_from_slice(row);
+                offsets.push(entries.len() as u32);
+            }
+            Self::Numerical { .. } => panic!("categorical row on a numerical attribute"),
+        }
+    }
+
+    /// Numerical counterpart of [`Self::push_categorical_row`].
+    pub(crate) fn push_numerical_row(&mut self, row: &[f64]) {
+        match self {
+            Self::Numerical { offsets, values } => {
+                values.extend_from_slice(row);
+                offsets.push(values.len() as u32);
+            }
+            Self::Categorical { .. } => panic!("numerical row on a categorical attribute"),
         }
     }
 }
@@ -124,19 +235,20 @@ mod tests {
     use super::*;
 
     fn categorical_fixture() -> AttributeData {
-        AttributeData::Categorical {
-            vocab_size: 5,
-            counts: vec![
+        AttributeData::categorical_from_rows(
+            5,
+            &[
                 vec![(0, 2.0), (3, 1.0)], // object 0
                 vec![],                   // object 1: incomplete!
                 vec![(4, 7.0)],           // object 2
             ],
-        }
+        )
     }
 
     #[test]
     fn observed_object_accounting() {
         let a = categorical_fixture();
+        assert_eq!(a.n_objects(), 3);
         assert_eq!(a.n_observed_objects(), 2);
         assert_eq!(a.n_observations(), 10.0);
         assert!(a.has_observations(ObjectId(0)));
@@ -145,22 +257,38 @@ mod tests {
             a.objects_with_observations(),
             vec![ObjectId(0), ObjectId(2)]
         );
+        assert_eq!(a.term_counts(ObjectId(0)), &[(0, 2.0), (3, 1.0)]);
+        assert_eq!(a.term_counts(ObjectId(1)), &[]);
+        assert_eq!(a.all_term_counts(), &[(0, 2.0), (3, 1.0), (4, 7.0)]);
     }
 
     #[test]
     fn numerical_accounting() {
-        let a = AttributeData::Numerical {
-            values: vec![vec![1.0, 2.0], vec![], vec![3.5]],
-        };
+        let a = AttributeData::numerical_from_rows(&[vec![1.0, 2.0], vec![], vec![3.5]]);
         assert_eq!(a.n_observed_objects(), 2);
         assert_eq!(a.n_observations(), 3.0);
         assert_eq!(a.values(ObjectId(2)), &[3.5]);
+        assert_eq!(a.all_values(), &[1.0, 2.0, 3.5]);
+    }
+
+    #[test]
+    fn row_push_extends_the_tail() {
+        let mut a = categorical_fixture();
+        a.push_categorical_row(&[(1, 4.0)]);
+        a.push_categorical_row(&[]);
+        assert_eq!(a.n_objects(), 5);
+        assert_eq!(a.term_counts(ObjectId(3)), &[(1, 4.0)]);
+        assert!(!a.has_observations(ObjectId(4)));
+
+        let mut n = AttributeData::numerical_from_rows(&[vec![1.0]]);
+        n.push_numerical_row(&[2.0, 3.0]);
+        assert_eq!(n.values(ObjectId(1)), &[2.0, 3.0]);
     }
 
     #[test]
     #[should_panic(expected = "numerical attribute")]
     fn kind_confusion_panics() {
-        let a = AttributeData::Numerical { values: vec![] };
+        let a = AttributeData::numerical_from_rows(&[]);
         let _ = a.term_counts(ObjectId(0));
     }
 

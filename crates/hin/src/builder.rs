@@ -5,12 +5,12 @@
 //! and every attribute observation against the declared kind and vocabulary,
 //! so algorithm crates can index freely without re-validating.
 
+use crate::arena::{NameArena, NameIndex};
 use crate::attributes::{AttributeData, AttributeStore};
-use crate::error::HinError;
+use crate::error::{check_capacity, HinError};
 use crate::graph::{HinGraph, Link};
 use crate::ids::{AttributeId, ObjectId, ObjectTypeId, RelationId};
 use crate::schema::{AttributeKind, Schema};
-use std::collections::HashMap;
 
 /// Pending observation storage while building.
 enum AttrBuilder {
@@ -28,10 +28,16 @@ enum AttrBuilder {
 pub struct HinBuilder {
     schema: Schema,
     obj_types: Vec<ObjectTypeId>,
-    obj_names: Vec<String>,
+    /// Names are interned at `add_object` time — the builder never holds a
+    /// per-object `String`.
+    obj_names: NameArena,
     /// (source, link) pairs in insertion order.
     links: Vec<(ObjectId, Link)>,
     attrs: Vec<AttrBuilder>,
+    /// First capacity overflow observed while adding (e.g. the name arena
+    /// outgrowing `u32` addressing); surfaced as the `build()` error so the
+    /// infallible `add_object` signature can stay.
+    capacity_error: Option<HinError>,
 }
 
 impl HinBuilder {
@@ -52,9 +58,10 @@ impl HinBuilder {
         Self {
             schema,
             obj_types: Vec::new(),
-            obj_names: Vec::new(),
+            obj_names: NameArena::new(),
             links: Vec::new(),
             attrs,
+            capacity_error: None,
         }
     }
 
@@ -68,18 +75,24 @@ impl HinBuilder {
         self.obj_types.len()
     }
 
-    /// Adds an object of type `t` and returns its id.
+    /// Adds an object of type `t` and returns its id. The name is interned
+    /// into the builder's arena — no per-object `String` is allocated. A
+    /// capacity overflow (id space or arena bytes outgrowing `u32`) is
+    /// recorded and reported by [`Self::build`] as
+    /// [`HinError::CapacityExceeded`].
     ///
     /// # Panics
     /// Panics if `t` is not a declared object type.
-    pub fn add_object(&mut self, t: ObjectTypeId, name: impl Into<String>) -> ObjectId {
+    pub fn add_object(&mut self, t: ObjectTypeId, name: impl AsRef<str>) -> ObjectId {
         assert!(
             t.index() < self.schema.n_object_types(),
             "undeclared object type {t}"
         );
         let id = ObjectId::from_index(self.obj_types.len());
         self.obj_types.push(t);
-        self.obj_names.push(name.into());
+        if let Err(e) = self.obj_names.push(name.as_ref()) {
+            self.capacity_error.get_or_insert(e);
+        }
         id
     }
 
@@ -218,8 +231,15 @@ impl HinBuilder {
     /// degrees, global counts/weights — all O(|V|·|R| + |E|)), builds the
     /// name → id map, and densifies the attribute tables.
     pub fn build(self) -> Result<HinGraph, HinError> {
+        if let Some(e) = self.capacity_error {
+            return Err(e);
+        }
         let n = self.obj_types.len();
         let n_rel = self.schema.n_relations();
+        // Ids and CSR offsets are u32 on the wire and in memory; reject a
+        // graph the layout cannot address instead of wrapping silently.
+        check_capacity("objects", n)?;
+        check_capacity("links", self.links.len())?;
 
         let (out_offsets, mut out_links) =
             build_csr(n, self.links.iter().map(|&(src, link)| (src, link)));
@@ -282,10 +302,7 @@ impl HinBuilder {
             }
         }
 
-        let mut name_index = HashMap::with_capacity(n);
-        for (i, name) in self.obj_names.iter().enumerate() {
-            name_index.entry(name.clone()).or_insert(i as u32);
-        }
+        let name_index = NameIndex::build(&self.obj_names);
 
         let mut tables = Vec::with_capacity(self.attrs.len());
         for ab in self.attrs {
@@ -294,31 +311,49 @@ impl HinBuilder {
                     vocab_size,
                     entries,
                 } => {
-                    let mut counts: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
-                    for (v, term, c) in entries {
-                        counts[v.index()].push((term, c));
-                    }
-                    // Merge duplicate terms so downstream code sees each term
-                    // at most once per object.
-                    for row in &mut counts {
-                        row.sort_unstable_by_key(|&(t, _)| t);
-                        row.dedup_by(|later, earlier| {
-                            if later.0 == earlier.0 {
-                                earlier.1 += later.1;
-                                true
-                            } else {
-                                false
+                    check_capacity("attribute observations", entries.len())?;
+                    // Counting-sort the (object, term, count) triples into
+                    // per-object CSR rows, then sort each row by term and
+                    // merge duplicates in place (compacting towards the
+                    // front) so downstream code sees each term at most once
+                    // per object — all without a per-object allocation.
+                    let (offsets, mut flat) = scatter_by_object(
+                        n,
+                        entries.len(),
+                        entries.iter().map(|&(v, t, c)| (v, (t, c))),
+                    );
+                    let mut write = 0usize;
+                    let mut merged_offsets = Vec::with_capacity(n + 1);
+                    merged_offsets.push(0u32);
+                    for v in 0..n {
+                        let lo = offsets[v] as usize;
+                        let hi = offsets[v + 1] as usize;
+                        flat[lo..hi].sort_unstable_by_key(|&(t, _)| t);
+                        let mut i = lo;
+                        while i < hi {
+                            let (t, mut c) = flat[i];
+                            i += 1;
+                            while i < hi && flat[i].0 == t {
+                                c += flat[i].1;
+                                i += 1;
                             }
-                        });
+                            flat[write] = (t, c);
+                            write += 1;
+                        }
+                        merged_offsets.push(write as u32);
                     }
-                    tables.push(AttributeData::Categorical { vocab_size, counts });
+                    flat.truncate(write);
+                    tables.push(AttributeData::Categorical {
+                        vocab_size,
+                        offsets: merged_offsets,
+                        entries: flat,
+                    });
                 }
                 AttrBuilder::Numerical { entries } => {
-                    let mut values: Vec<Vec<f64>> = vec![Vec::new(); n];
-                    for (v, x) in entries {
-                        values[v.index()].push(x);
-                    }
-                    tables.push(AttributeData::Numerical { values });
+                    check_capacity("attribute observations", entries.len())?;
+                    let (offsets, values) =
+                        scatter_by_object(n, entries.len(), entries.iter().copied());
+                    tables.push(AttributeData::Numerical { offsets, values });
                 }
             }
         }
@@ -370,6 +405,31 @@ fn build_csr(
         cursor[src.index()] += 1;
     }
     (offsets, links)
+}
+
+/// Stable counting-sort scatter of `(object, payload)` pairs into flat CSR
+/// rows — insertion order preserved within each object, no per-object
+/// allocation.
+fn scatter_by_object<T: Copy + Default>(
+    n: usize,
+    total: usize,
+    pairs: impl Iterator<Item = (ObjectId, T)> + Clone,
+) -> (Vec<u32>, Vec<T>) {
+    let mut offsets = vec![0u32; n + 1];
+    for (v, _) in pairs.clone() {
+        offsets[v.index() + 1] += 1;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut flat = vec![T::default(); total];
+    let mut cursor = offsets.clone();
+    for (v, x) in pairs {
+        let slot = &mut cursor[v.index()];
+        flat[*slot as usize] = x;
+        *slot += 1;
+    }
+    (offsets, flat)
 }
 
 #[cfg(test)]

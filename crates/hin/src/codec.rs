@@ -8,24 +8,31 @@
 //! * the CSR arrays and the per-relation indexes are serialized **as built**
 //!   — loading is a straight decode with structural validation, no re-sort
 //!   and no re-derivation of the caches;
-//! * the `name → id` map is *not* serialized: `HashMap` iteration order is
-//!   nondeterministic, which would break the save → load → save
-//!   byte-identity guarantee, and the map is cheaply re-derived from
-//!   `obj_names`;
+//! * the `name → id` map is *not* serialized: it is cheaply re-derived from
+//!   the name arena, and serializing a hash table would couple the byte
+//!   format to its layout;
+//! * object names travel as the **arena itself** — one `u32` offset table
+//!   plus one byte blob — so decoding a million names is two array reads,
+//!   not a million `String` allocations. The pre-arena layout (one
+//!   length-prefixed string per object) is still readable through
+//!   [`HinGraph::from_bytes_v1`], the compat shim behind snapshot schema
+//!   version 1;
 //! * decoding never panics on malformed input — every structural invariant
 //!   the builder established (offset monotonicity, id ranges, positive
-//!   weights, term-vocabulary bounds) is re-checked and a violation returns
-//!   `None`. Snapshot files are operator-supplied input; the algorithm
-//!   crates index without bounds checks on the strength of these invariants.
+//!   weights, term-vocabulary bounds, per-span UTF-8) is re-checked and a
+//!   violation returns `None`. Snapshot files are operator-supplied input;
+//!   the algorithm crates index without bounds checks on the strength of
+//!   these invariants.
 
+use crate::arena::{NameArena, NameIndex};
 use crate::attributes::{AttributeData, AttributeStore};
 use crate::graph::{HinGraph, Link};
 use crate::ids::{ObjectId, ObjectTypeId, RelationId};
 use crate::schema::{AttributeKind, Schema};
 use genclus_stats::bytesio::{
-    put_f64_slice, put_str, put_u16_slice, put_u32_slice, put_u64, put_u64_slice, ByteReader,
+    put_bytes, put_f64_slice, put_str, put_u16_slice, put_u32_slice, put_u64, put_u64_slice,
+    ByteReader,
 };
-use std::collections::HashMap;
 
 const KIND_CATEGORICAL: u64 = 0;
 const KIND_NUMERICAL: u64 = 1;
@@ -123,7 +130,9 @@ fn put_links(out: &mut Vec<u8>, links: &[Link]) {
 }
 
 /// Reads a link array; validates endpoint/relation ranges and weight
-/// positivity.
+/// positivity. Allocates the output exactly once (collecting through
+/// `Option` would grow by doubling, making the allocation count depend on
+/// the link count).
 fn read_links(r: &mut ByteReader<'_>, n_objects: usize, n_rel: usize) -> Option<Vec<Link>> {
     let endpoints = r.u32_slice()?;
     let relations = r.u16_slice()?;
@@ -131,19 +140,18 @@ fn read_links(r: &mut ByteReader<'_>, n_objects: usize, n_rel: usize) -> Option<
     if endpoints.len() != relations.len() || endpoints.len() != weights.len() {
         return None;
     }
-    endpoints
-        .into_iter()
-        .zip(relations)
-        .zip(weights)
-        .map(|((e, rel), w)| {
-            ((e as usize) < n_objects && (rel as usize) < n_rel && w > 0.0 && w.is_finite())
-                .then_some(Link {
-                    endpoint: ObjectId(e),
-                    relation: RelationId(rel),
-                    weight: w,
-                })
-        })
-        .collect()
+    let mut links = Vec::with_capacity(endpoints.len());
+    for ((e, rel), w) in endpoints.into_iter().zip(relations).zip(weights) {
+        if !((e as usize) < n_objects && (rel as usize) < n_rel && w > 0.0 && w.is_finite()) {
+            return None;
+        }
+        links.push(Link {
+            endpoint: ObjectId(e),
+            relation: RelationId(rel),
+            weight: w,
+        });
+    }
+    Some(links)
 }
 
 /// `offsets` must be a monotone CSR offset array of `n + 1` entries ending
@@ -157,35 +165,28 @@ fn offsets_valid(offsets: &[u32], n: usize, total: usize) -> bool {
 
 fn put_attr_table(out: &mut Vec<u8>, table: &AttributeData) {
     match table {
-        AttributeData::Categorical { vocab_size, counts } => {
+        AttributeData::Categorical {
+            vocab_size,
+            offsets,
+            entries,
+        } => {
             put_u64(out, KIND_CATEGORICAL);
             put_u64(out, *vocab_size as u64);
-            let mut offsets = Vec::with_capacity(counts.len() + 1);
-            let mut terms = Vec::new();
-            let mut values = Vec::new();
-            offsets.push(0u64);
-            for row in counts {
-                for &(t, c) in row {
-                    terms.push(t);
-                    values.push(c);
-                }
-                offsets.push(terms.len() as u64);
-            }
-            put_u64_slice(out, &offsets);
+            // The wire format predates the CSR flattening (u64 offsets,
+            // split term/value arrays) and is deliberately unchanged — the
+            // schema bump is about the name block, not the attributes.
+            let wide: Vec<u64> = offsets.iter().map(|&o| o as u64).collect();
+            let terms: Vec<u32> = entries.iter().map(|&(t, _)| t).collect();
+            let values: Vec<f64> = entries.iter().map(|&(_, c)| c).collect();
+            put_u64_slice(out, &wide);
             put_u32_slice(out, &terms);
             put_f64_slice(out, &values);
         }
-        AttributeData::Numerical { values } => {
+        AttributeData::Numerical { offsets, values } => {
             put_u64(out, KIND_NUMERICAL);
-            let mut offsets = Vec::with_capacity(values.len() + 1);
-            let mut flat = Vec::new();
-            offsets.push(0u64);
-            for row in values {
-                flat.extend_from_slice(row);
-                offsets.push(flat.len() as u64);
-            }
-            put_u64_slice(out, &offsets);
-            put_f64_slice(out, &flat);
+            let wide: Vec<u64> = offsets.iter().map(|&o| o as u64).collect();
+            put_u64_slice(out, &wide);
+            put_f64_slice(out, values);
         }
     }
 }
@@ -201,49 +202,46 @@ fn read_attr_table(
             if vocab != *vocab_size {
                 return None;
             }
-            let offsets = r.u64_slice()?;
+            let wide = r.u64_slice()?;
             let terms = r.u32_slice()?;
             let values = r.f64_slice()?;
             if terms.len() != values.len() {
                 return None;
             }
-            read_offsets_validated(&offsets, n_objects, terms.len())?;
-            let mut counts = Vec::with_capacity(n_objects);
-            for w in offsets.windows(2) {
-                let (lo, hi) = (w[0] as usize, w[1] as usize);
-                let row: Vec<(u32, f64)> = terms[lo..hi]
-                    .iter()
-                    .copied()
-                    .zip(values[lo..hi].iter().copied())
-                    .collect();
-                // Builder invariant: terms strictly ascending per object,
-                // counts positive and finite.
-                let sorted = row.windows(2).all(|p| p[0].0 < p[1].0);
-                let in_range = row
-                    .iter()
-                    .all(|&(t, c)| (t as usize) < vocab && c > 0.0 && c.is_finite());
-                if !sorted || !in_range {
+            read_offsets_validated(&wide, n_objects, terms.len())?;
+            // Builder invariants: terms strictly ascending per object,
+            // counts positive and finite.
+            for w in wide.windows(2) {
+                let row = &terms[w[0] as usize..w[1] as usize];
+                if !row.windows(2).all(|p| p[0] < p[1]) {
                     return None;
                 }
-                counts.push(row);
             }
+            if terms.iter().any(|&t| (t as usize) >= vocab)
+                || values.iter().any(|&c| !(c > 0.0 && c.is_finite()))
+            {
+                return None;
+            }
+            let offsets = narrow_offsets(&wide)?;
+            let entries: Vec<(u32, f64)> = terms.into_iter().zip(values).collect();
             Some(AttributeData::Categorical {
                 vocab_size: vocab,
-                counts,
+                offsets,
+                entries,
             })
         }
         (KIND_NUMERICAL, AttributeKind::Numerical) => {
-            let offsets = r.u64_slice()?;
+            let wide = r.u64_slice()?;
             let flat = r.f64_slice()?;
-            read_offsets_validated(&offsets, n_objects, flat.len())?;
+            read_offsets_validated(&wide, n_objects, flat.len())?;
             if flat.iter().any(|x| !x.is_finite()) {
                 return None;
             }
-            let values = offsets
-                .windows(2)
-                .map(|w| flat[w[0] as usize..w[1] as usize].to_vec())
-                .collect();
-            Some(AttributeData::Numerical { values })
+            let offsets = narrow_offsets(&wide)?;
+            Some(AttributeData::Numerical {
+                offsets,
+                values: flat,
+            })
         }
         _ => None,
     }
@@ -257,6 +255,17 @@ fn read_offsets_validated(offsets: &[u64], n: usize, total: usize) -> Option<()>
         .then_some(())
 }
 
+/// Narrows wire `u64` offsets to the in-memory `u32` form; `None` if any
+/// offset exceeds `u32` (the capacity the construction paths enforce).
+/// Single exact allocation — see [`read_links`].
+fn narrow_offsets(wide: &[u64]) -> Option<Vec<u32>> {
+    let mut out = Vec::with_capacity(wide.len());
+    for &o in wide {
+        out.push(u32::try_from(o).ok()?);
+    }
+    Some(out)
+}
+
 impl HinGraph {
     /// Serializes the complete network: schema, object table, both CSR
     /// adjacencies, attribute tables, and the per-relation indexes.
@@ -268,6 +277,19 @@ impl HinGraph {
     /// save → load → save byte identity holds whether or not the caller
     /// compacted first, and snapshot files never contain overflow.
     pub fn to_bytes(&self, out: &mut Vec<u8>) {
+        self.to_bytes_impl(out, false);
+    }
+
+    /// Serializes in the **pre-arena** (snapshot schema v1) layout: one
+    /// length-prefixed string per object instead of the arena block.
+    /// Exists so the compat tests can fabricate v1 payloads; production
+    /// writers always emit the current layout.
+    #[doc(hidden)]
+    pub fn to_bytes_v1(&self, out: &mut Vec<u8>) {
+        self.to_bytes_impl(out, true);
+    }
+
+    fn to_bytes_impl(&self, out: &mut Vec<u8>, v1_names: bool) {
         let compacted = self.has_overflow().then(|| self.compacted_out_arrays());
         let (out_offsets, out_links, out_rel_offsets, rel_weights) = match &compacted {
             Some((oo, ol, oro, rw)) => {
@@ -284,8 +306,13 @@ impl HinGraph {
         put_u64(out, self.n_objects() as u64);
         let types: Vec<u16> = self.obj_types.iter().map(|t| t.0).collect();
         put_u16_slice(out, &types);
-        for name in &self.obj_names {
-            put_str(out, name);
+        if v1_names {
+            for i in 0..self.obj_names.len() {
+                put_str(out, self.obj_names.get(i));
+            }
+        } else {
+            put_u32_slice(out, self.obj_names.raw_offsets());
+            put_bytes(out, self.obj_names.raw_bytes());
         }
         put_u32_slice(out, out_offsets);
         put_links(out, out_links);
@@ -305,6 +332,18 @@ impl HinGraph {
     /// invariant and re-derives the name → id map; returns `None` on any
     /// inconsistency.
     pub fn from_bytes(r: &mut ByteReader<'_>) -> Option<Self> {
+        Self::from_bytes_impl(r, false)
+    }
+
+    /// Decodes the **pre-arena** (snapshot schema v1) layout — the compat
+    /// shim the serve crate dispatches to when a v1 header is seen. The
+    /// per-object strings are interned straight into a [`NameArena`];
+    /// no `String` is ever materialized.
+    pub fn from_bytes_v1(r: &mut ByteReader<'_>) -> Option<Self> {
+        Self::from_bytes_impl(r, true)
+    }
+
+    fn from_bytes_impl(r: &mut ByteReader<'_>, v1_names: bool) -> Option<Self> {
         let schema = Schema::from_bytes(r)?;
         let n_rel = schema.n_relations();
         let n: usize = r.u64()?.try_into().ok()?;
@@ -317,10 +356,26 @@ impl HinGraph {
             return None;
         }
         let obj_types: Vec<ObjectTypeId> = types.into_iter().map(ObjectTypeId).collect();
-        let mut obj_names = Vec::with_capacity(n);
-        for _ in 0..n {
-            obj_names.push(r.str()?);
-        }
+        let obj_names = if v1_names {
+            let mut arena = NameArena::with_capacity(n, 0);
+            for _ in 0..n {
+                let len = r.count(1)?;
+                let name = std::str::from_utf8(r.bytes(len)?).ok()?;
+                r.align8()?;
+                arena.push(name).ok()?;
+            }
+            arena
+        } else {
+            // lint: region(scale-hot)
+            let offsets = r.u32_slice()?;
+            let blob = r.byte_blob()?;
+            if offsets.len() != n + 1 {
+                return None;
+            }
+            let arena = NameArena::from_raw_parts(blob.to_vec(), offsets)?;
+            // lint: end-region
+            arena
+        };
         let out_offsets = r.u32_slice()?;
         let out_links = read_links(r, n, n_rel)?;
         if !offsets_valid(&out_offsets, n, out_links.len()) {
@@ -366,10 +421,7 @@ impl HinGraph {
                 return None;
             }
         }
-        let mut name_index = HashMap::with_capacity(n);
-        for (i, name) in obj_names.iter().enumerate() {
-            name_index.entry(name.clone()).or_insert(i as u32);
-        }
+        let name_index = NameIndex::build(&obj_names);
         Some(HinGraph {
             schema,
             obj_types,
@@ -493,6 +545,58 @@ mod tests {
                 "truncation at {cut} must be rejected"
             );
         }
+    }
+
+    #[test]
+    fn v1_name_layout_round_trips_through_the_shim() {
+        let g = toy();
+        let mut v1 = Vec::new();
+        g.to_bytes_v1(&mut v1);
+        let back = HinGraph::from_bytes_v1(&mut ByteReader::new(&v1)).unwrap();
+        // The shim interns names into the arena; everything else matches.
+        assert_eq!(back.object_by_name("alice"), g.object_by_name("alice"));
+        assert_eq!(back.object_name(ObjectId(3)), g.object_name(ObjectId(3)));
+        assert_eq!(back.n_links(), g.n_links());
+        // v1 save → load → v1 save stays byte-identical too: the legacy
+        // layout is frozen, not merely readable.
+        let mut again = Vec::new();
+        back.to_bytes_v1(&mut again);
+        assert_eq!(again, v1, "v1 layout must stay byte-stable");
+        // And re-saving in the current layout equals a direct current save.
+        let (mut cur_direct, mut cur_via_v1) = (Vec::new(), Vec::new());
+        g.to_bytes(&mut cur_direct);
+        back.to_bytes(&mut cur_via_v1);
+        assert_eq!(cur_via_v1, cur_direct, "v1 → v2 migration is lossless");
+    }
+
+    #[test]
+    fn v1_and_v2_layouts_differ() {
+        // A v2 payload must not accidentally parse as v1 (or vice versa) —
+        // the serve header, not sniffing, selects the decoder.
+        let g = toy();
+        let (mut v1, mut v2) = (Vec::new(), Vec::new());
+        g.to_bytes_v1(&mut v1);
+        g.to_bytes(&mut v2);
+        assert_ne!(v1, v2);
+        assert!(HinGraph::from_bytes(&mut ByteReader::new(&v1)).is_none());
+    }
+
+    #[test]
+    fn corrupt_arena_blocks_are_rejected() {
+        let g = toy();
+        let mut bytes = Vec::new();
+        g.to_bytes(&mut bytes);
+        // The name block sits right after the (8-padded) type slice; find it
+        // by locating the arena byte blob and corrupting a name byte to a
+        // UTF-8 continuation byte — decode must refuse, not panic.
+        let needle = b"alice";
+        let at = bytes
+            .windows(needle.len())
+            .position(|w| w == needle)
+            .unwrap();
+        let mut bad = bytes.clone();
+        bad[at] = 0xBF;
+        assert!(HinGraph::from_bytes(&mut ByteReader::new(&bad)).is_none());
     }
 
     #[test]

@@ -34,8 +34,9 @@
 //! the graph exactly as it was, and a delta staged against a different
 //! same-shaped graph cannot smuggle a type-invalid link in.
 
+use crate::arena::NameArena;
 use crate::attributes::AttributeData;
-use crate::error::HinError;
+use crate::error::{check_capacity, HinError};
 use crate::graph::{HinGraph, Link};
 use crate::ids::{AttributeId, ObjectId, ObjectTypeId, RelationId};
 use crate::schema::{AttributeKind, Schema};
@@ -54,13 +55,18 @@ pub struct GraphDelta {
     /// so links from pre-existing sources validate eagerly.
     base_types: Vec<ObjectTypeId>,
     new_types: Vec<ObjectTypeId>,
-    new_names: Vec<String>,
+    /// Names of the staged objects, interned into the delta's own arena —
+    /// merged into the graph arena in one bulk copy at append time.
+    new_names: NameArena,
     /// `(source, link)` pairs in insertion order; sources may be old or new.
     links: Vec<(ObjectId, Link)>,
     /// `(object, attribute, term, count)`; objects are new.
     cat_obs: Vec<(ObjectId, AttributeId, u32, f64)>,
     /// `(object, attribute, value)`; objects are new.
     num_obs: Vec<(ObjectId, AttributeId, f64)>,
+    /// First capacity overflow observed while staging; surfaced by
+    /// `append` so `add_object` can stay infallible.
+    capacity_error: Option<HinError>,
 }
 
 impl GraphDelta {
@@ -71,10 +77,11 @@ impl GraphDelta {
             base_objects: graph.n_objects(),
             base_types: graph.obj_types.clone(),
             new_types: Vec::new(),
-            new_names: Vec::new(),
+            new_names: NameArena::new(),
             links: Vec::new(),
             cat_obs: Vec::new(),
             num_obs: Vec::new(),
+            capacity_error: None,
         }
     }
 
@@ -102,10 +109,11 @@ impl GraphDelta {
             base_objects: base_types.len(),
             base_types,
             new_types: Vec::new(),
-            new_names: Vec::new(),
+            new_names: NameArena::new(),
             links: Vec::new(),
             cat_obs: Vec::new(),
             num_obs: Vec::new(),
+            capacity_error: None,
         })
     }
 
@@ -129,10 +137,13 @@ impl GraphDelta {
             });
         }
         self.new_types.extend(next.new_types);
-        self.new_names.extend(next.new_names);
+        self.new_names.extend_from(&next.new_names)?;
         self.links.extend(next.links);
         self.cat_obs.extend(next.cat_obs);
         self.num_obs.extend(next.num_obs);
+        if self.capacity_error.is_none() {
+            self.capacity_error = next.capacity_error;
+        }
         Ok(())
     }
 
@@ -157,7 +168,8 @@ impl GraphDelta {
     /// Names of the staged objects, in id order (the first entry is object
     /// `base_objects()`, the second `base_objects() + 1`, …).
     pub fn new_object_names(&self) -> impl Iterator<Item = &str> {
-        self.new_names.iter().map(String::as_str)
+        let arena = &self.new_names;
+        (0..arena.len()).map(move |i| arena.get(i))
     }
 
     /// Types of the staged objects, in the same id order as
@@ -220,19 +232,23 @@ impl GraphDelta {
     }
 
     /// Adds a new object of type `t` and returns its id (continuing the
-    /// base graph's id space).
+    /// base graph's id space). The name is interned into the delta's arena;
+    /// a capacity overflow is recorded and surfaced by
+    /// [`HinGraph::append`] as [`HinError::CapacityExceeded`].
     ///
     /// # Panics
     /// Panics if `t` is not a declared object type (same contract as
     /// [`crate::builder::HinBuilder::add_object`]).
-    pub fn add_object(&mut self, t: ObjectTypeId, name: impl Into<String>) -> ObjectId {
+    pub fn add_object(&mut self, t: ObjectTypeId, name: impl AsRef<str>) -> ObjectId {
         assert!(
             t.index() < self.schema.n_object_types(),
             "undeclared object type {t}"
         );
         let id = ObjectId::from_index(self.base_objects + self.new_types.len());
         self.new_types.push(t);
-        self.new_names.push(name.into());
+        if let Err(e) = self.new_names.push(name.as_ref()) {
+            self.capacity_error.get_or_insert(e);
+        }
         id
     }
 
@@ -368,10 +384,22 @@ impl HinGraph {
                 got: self.n_objects(),
             });
         }
+        if let Some(e) = delta.capacity_error {
+            return Err(e);
+        }
         let base = delta.base_objects;
         let n_new = delta.new_types.len();
         let total = base + n_new;
         let n_rel = self.schema.n_relations();
+
+        // Capacity pre-checks: ids, CSR offsets, and arena offsets are u32;
+        // reject a graph the layout cannot address before mutating anything.
+        let total_ids = check_capacity("objects", total)?;
+        check_capacity("links", self.n_links() + delta.links.len())?;
+        check_capacity(
+            "name-arena bytes",
+            self.obj_names.n_bytes() + delta.new_names.n_bytes(),
+        )?;
 
         // Deferred endpoint re-check: every pre-existing endpoint is
         // validated against the *live* graph (the delta validated eagerly
@@ -398,14 +426,19 @@ impl HinGraph {
 
         // ---- mutation starts; everything below is infallible ----
 
-        // Object table and name map.
+        // Object table, name arena, and name index: the delta arena merges
+        // into the graph arena as one bulk byte copy, and the open-addressing
+        // index absorbs the new ids without touching name bytes.
+        // lint: region(scale-hot)
         self.obj_types.extend_from_slice(&delta.new_types);
-        for (i, name) in delta.new_names.iter().enumerate() {
-            self.name_index
-                .entry(name.clone())
-                .or_insert((base + i) as u32);
+        self.obj_names
+            .extend_from(&delta.new_names)
+            .expect("capacity pre-checked");
+        self.name_index.grow_for(&self.obj_names, total);
+        for id in base as u32..total_ids {
+            self.name_index.insert_first_wins(&self.obj_names, id);
         }
-        self.obj_names.extend(delta.new_names);
+        // lint: end-region
 
         // Old-source links extend overflow segments; caches update in
         // place, one link at a time in insertion order so the per-(object,
@@ -513,42 +546,45 @@ impl HinGraph {
         self.in_links = in_links;
         self.in_offsets = in_offsets;
 
-        // Attribute tables: empty rows for the new objects, then the staged
-        // observations (categorical rows re-sorted/merged like the builder).
-        for table in &mut self.attrs.tables {
+        // Attribute tables: observations are restricted to *new* objects,
+        // so each CSR table grows by exactly `n_new` tail rows. Stage the
+        // rows delta-side (small, delta-sized scratch), sort/merge
+        // categorical rows like the builder, then extend the flat arrays.
+        for (ai, table) in self.attrs.tables.iter_mut().enumerate() {
             match table {
-                AttributeData::Categorical { counts, .. } => {
-                    counts.resize(total, Vec::new());
-                }
-                AttributeData::Numerical { values } => values.resize(total, Vec::new()),
-            }
-        }
-        let mut touched: Vec<(usize, usize)> = Vec::new();
-        for (v, a, term, count) in delta.cat_obs {
-            if let AttributeData::Categorical { counts, .. } = &mut self.attrs.tables[a.index()] {
-                counts[v.index()].push((term, count));
-                touched.push((a.index(), v.index()));
-            }
-        }
-        touched.sort_unstable();
-        touched.dedup();
-        for (a, v) in touched {
-            if let AttributeData::Categorical { counts, .. } = &mut self.attrs.tables[a] {
-                let row = &mut counts[v];
-                row.sort_by_key(|&(t, _)| t);
-                row.dedup_by(|later, earlier| {
-                    if later.0 == earlier.0 {
-                        earlier.1 += later.1;
-                        true
-                    } else {
-                        false
+                AttributeData::Categorical { .. } => {
+                    let mut rows: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n_new];
+                    for &(v, a, term, count) in &delta.cat_obs {
+                        if a.index() == ai {
+                            rows[v.index() - base].push((term, count));
+                        }
                     }
-                });
-            }
-        }
-        for (v, a, value) in delta.num_obs {
-            if let AttributeData::Numerical { values } = &mut self.attrs.tables[a.index()] {
-                values[v.index()].push(value);
+                    for row in &mut rows {
+                        row.sort_by_key(|&(t, _)| t);
+                        row.dedup_by(|later, earlier| {
+                            if later.0 == earlier.0 {
+                                earlier.1 += later.1;
+                                true
+                            } else {
+                                false
+                            }
+                        });
+                    }
+                    for row in &rows {
+                        table.push_categorical_row(row);
+                    }
+                }
+                AttributeData::Numerical { .. } => {
+                    let mut rows: Vec<Vec<f64>> = vec![Vec::new(); n_new];
+                    for &(v, a, value) in &delta.num_obs {
+                        if a.index() == ai {
+                            rows[v.index() - base].push(value);
+                        }
+                    }
+                    for row in &rows {
+                        table.push_numerical_row(row);
+                    }
+                }
             }
         }
         Ok(())

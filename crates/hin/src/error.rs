@@ -65,6 +65,23 @@ pub enum HinError {
     /// append-only rows of the new objects — retro-fitting attributes of
     /// served objects is out of the delta's scope.
     NotADeltaObject(ObjectId),
+    /// A graph or delta would exceed the `u32` id/offset space (object
+    /// count, link count, or name-arena byte length). The former `as u32`
+    /// casts wrapped silently here; now construction fails loudly instead.
+    CapacityExceeded {
+        /// Which counter overflowed (e.g. `"objects"`, `"links"`).
+        what: &'static str,
+        /// The value that did not fit in `u32`.
+        requested: usize,
+    },
+}
+
+/// Narrows `requested` to `u32`, reporting a structured
+/// [`HinError::CapacityExceeded`] instead of wrapping. Every id/offset
+/// construction site in the builder, delta, and arena routes through here.
+#[inline]
+pub(crate) fn check_capacity(what: &'static str, requested: usize) -> Result<u32, HinError> {
+    u32::try_from(requested).map_err(|_| HinError::CapacityExceeded { what, requested })
 }
 
 impl std::fmt::Display for HinError {
@@ -115,6 +132,12 @@ impl std::fmt::Display for HinError {
                 "{v} is not a new object of this delta (delta observations \
                  must belong to new objects)"
             ),
+            Self::CapacityExceeded { what, requested } => write!(
+                f,
+                "{what} count {requested} exceeds the u32 id space \
+                 (max {})",
+                u32::MAX
+            ),
         }
     }
 }
@@ -142,6 +165,26 @@ mod tests {
             vocab_size: 10,
         };
         assert!(e.to_string().contains("term 99"));
+    }
+
+    #[test]
+    fn capacity_check_pins_the_u32_boundary() {
+        // The id space is exactly u32: the last representable count passes,
+        // one past it surfaces the structured error (not a silent wrap).
+        assert_eq!(check_capacity("objects", 0), Ok(0));
+        assert_eq!(check_capacity("objects", u32::MAX as usize), Ok(u32::MAX));
+        let e = check_capacity("objects", u32::MAX as usize + 1).unwrap_err();
+        assert_eq!(
+            e,
+            HinError::CapacityExceeded {
+                what: "objects",
+                requested: u32::MAX as usize + 1,
+            }
+        );
+        let msg = e.to_string();
+        assert!(msg.contains("objects"));
+        assert!(msg.contains("4294967296"), "requested count: {msg}");
+        assert!(msg.contains("4294967295"), "u32::MAX ceiling: {msg}");
     }
 
     #[test]

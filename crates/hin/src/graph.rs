@@ -39,6 +39,7 @@
 //! refresh/save time — and the byte codec serializes the compacted form
 //! whether or not `compact` ran, so snapshots never contain overflow.
 
+use crate::arena::{NameArena, NameIndex};
 use crate::attributes::{AttributeData, AttributeStore};
 use crate::ids::{AttributeId, ObjectId, ObjectTypeId, RelationId};
 use crate::schema::Schema;
@@ -47,17 +48,51 @@ use std::collections::HashMap;
 /// Per-source, per-relation overflow segments of the out-adjacency.
 ///
 /// Sources are registered lazily (only objects that actually received
-/// overflow links pay anything); each registered source owns one `Vec<Link>`
-/// bucket per relation, in insertion order. See the module docs for how
-/// this composes with the base CSR.
+/// overflow links pay anything); each registered source owns **one**
+/// `Vec<Link>` holding all of its overflow links segmented by relation
+/// (relation-ascending, insertion order within a relation), plus a row of
+/// per-relation counts that locates the sub-segments. The former layout —
+/// one `Vec<Link>` per `(source, relation)` — allocated `|R|` vectors per
+/// touched source even for relations that never overflow; this one
+/// allocates exactly one. See the module docs for how the segments compose
+/// with the base CSR.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct OverflowAdjacency {
-    /// Source object index → slot in `buckets`.
+    /// Source object index → row index into `rows` / `counts`.
     slots: HashMap<u32, u32>,
-    /// One `|R|`-entry bucket row per registered source.
-    buckets: Vec<Vec<Vec<Link>>>,
+    /// One segmented link vector per registered source.
+    rows: Vec<Vec<Link>>,
+    /// Per-`(source, relation)` sub-segment lengths, stride `|R|`.
+    counts: Vec<u32>,
+    /// Relation count (the `counts` stride).
+    n_rel: usize,
     /// Total overflow links across all sources.
     n_links: usize,
+}
+
+/// Borrowed view of one source's overflow links, segmented by relation.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct OverflowSegments<'a> {
+    /// All overflow links of the source, relation-ascending.
+    links: &'a [Link],
+    /// Per-relation sub-segment lengths (`|R|` entries).
+    counts: &'a [u32],
+}
+
+impl<'a> OverflowSegments<'a> {
+    /// Total overflow links of the source.
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The sub-segment of relation `r` (prefix-sum lookup; `|R|` is small).
+    #[inline]
+    pub(crate) fn relation(&self, r: usize) -> &'a [Link] {
+        let lo: u32 = self.counts[..r].iter().sum();
+        let hi = lo + self.counts[r];
+        &self.links[lo as usize..hi as usize]
+    }
 }
 
 impl OverflowAdjacency {
@@ -71,20 +106,33 @@ impl OverflowAdjacency {
         self.n_links
     }
 
-    /// The per-relation overflow buckets of source `v`, if it has any.
-    pub(crate) fn for_source(&self, v: usize) -> Option<&[Vec<Link>]> {
-        self.slots
-            .get(&(v as u32))
-            .map(|&s| self.buckets[s as usize].as_slice())
+    /// The segmented overflow view of source `v`, if it has any links.
+    pub(crate) fn for_source(&self, v: usize) -> Option<OverflowSegments<'_>> {
+        self.slots.get(&(v as u32)).map(|&s| {
+            let s = s as usize;
+            OverflowSegments {
+                links: &self.rows[s],
+                counts: &self.counts[s * self.n_rel..(s + 1) * self.n_rel],
+            }
+        })
     }
 
-    /// Appends one link to source `v`'s overflow segment for its relation.
+    /// Appends one link to source `v`'s overflow sub-segment for its
+    /// relation (inserted at the sub-segment's end to keep the row in
+    /// canonical relation-ascending order).
     pub(crate) fn push(&mut self, v: usize, n_rel: usize, link: Link) {
+        debug_assert!(self.rows.is_empty() || self.n_rel == n_rel);
+        self.n_rel = n_rel;
         let slot = *self.slots.entry(v as u32).or_insert_with(|| {
-            self.buckets.push(vec![Vec::new(); n_rel]);
-            (self.buckets.len() - 1) as u32
-        });
-        self.buckets[slot as usize][link.relation.index()].push(link);
+            self.rows.push(Vec::new());
+            self.counts.resize(self.counts.len() + n_rel, 0);
+            (self.rows.len() - 1) as u32
+        }) as usize;
+        let r = link.relation.index();
+        let counts = &self.counts[slot * n_rel..(slot + 1) * n_rel];
+        let pos: u32 = counts[..=r].iter().sum();
+        self.rows[slot].insert(pos as usize, link);
+        self.counts[slot * n_rel + r] += 1;
         self.n_links += 1;
     }
 }
@@ -112,15 +160,18 @@ pub struct Link {
 pub struct HinGraph {
     pub(crate) schema: Schema,
     pub(crate) obj_types: Vec<ObjectTypeId>,
-    pub(crate) obj_names: Vec<String>,
+    /// Interned object names: one contiguous byte arena, `u32`-addressed
+    /// (see [`crate::arena`] for the invariants).
+    pub(crate) obj_names: NameArena,
     pub(crate) out_offsets: Vec<u32>,
     pub(crate) out_links: Vec<Link>,
     pub(crate) in_offsets: Vec<u32>,
     pub(crate) in_links: Vec<Link>,
     pub(crate) attrs: AttributeStore,
     /// First-registration name → object index (ties resolved towards the
-    /// earliest object, matching a forward linear scan).
-    pub(crate) name_index: HashMap<String, u32>,
+    /// earliest object, matching a forward linear scan). Keys live in
+    /// `obj_names`; the index stores only ids.
+    pub(crate) name_index: NameIndex,
     /// Per-relation sub-segment boundaries of each object's out-link
     /// segment: row `v` (stride `|R|+1`) holds absolute indexes into
     /// `out_links`, so relation `r`'s links of `v` are
@@ -181,13 +232,19 @@ impl HinGraph {
     /// Name of object `v` (may be empty).
     #[inline]
     pub fn object_name(&self, v: ObjectId) -> &str {
-        &self.obj_names[v.index()]
+        self.obj_names.get(v.index())
+    }
+
+    /// The interned name arena (all names, one buffer).
+    #[inline]
+    pub fn name_arena(&self) -> &NameArena {
+        &self.obj_names
     }
 
     /// Finds an object by name (O(1) hash lookup; with duplicate names the
     /// earliest-added object wins, as a forward scan would).
     pub fn object_by_name(&self, name: &str) -> Option<ObjectId> {
-        self.name_index.get(name).map(|&i| ObjectId(i))
+        self.name_index.get(&self.obj_names, name).map(ObjectId)
     }
 
     /// [`Self::object_by_name`] for untrusted input: a missing name becomes
@@ -223,7 +280,7 @@ impl HinGraph {
         fast.iter().chain((0..n_rel).flat_map(move |r| {
             let lo = self.out_rel_offsets[row + r] as usize;
             let hi = self.out_rel_offsets[row + r + 1] as usize;
-            let extra: &[Link] = ovf.map_or(&[], |b| b[r].as_slice());
+            let extra: &[Link] = ovf.map_or(&[], |b| b.relation(r));
             self.out_links[lo..hi].iter().chain(extra)
         }))
     }
@@ -232,18 +289,14 @@ impl HinGraph {
     #[inline]
     pub fn out_degree(&self, v: ObjectId) -> usize {
         let base = (self.out_offsets[v.index() + 1] - self.out_offsets[v.index()]) as usize;
-        base + self
-            .overflow_for(v.index())
-            .map_or(0, |b| b.iter().map(Vec::len).sum())
+        base + self.overflow_for(v.index()).map_or(0, |b| b.len())
     }
 
     /// Whether `v` has at least one out-link (base or overflow).
     #[inline]
     pub fn has_out_links(&self, v: ObjectId) -> bool {
         self.out_offsets[v.index() + 1] > self.out_offsets[v.index()]
-            || self
-                .overflow_for(v.index())
-                .is_some_and(|b| b.iter().any(|s| !s.is_empty()))
+            || self.overflow_for(v.index()).is_some_and(|b| b.len() > 0)
     }
 
     /// In-links of `v`: all `e = ⟨u, v⟩`, with `endpoint` = `u`.
@@ -305,15 +358,15 @@ impl HinGraph {
         let hi = self.out_rel_offsets[base + 1] as usize;
         let extra: &[Link] = self
             .overflow_for(v.index())
-            .map_or(&[], |b| b[r.index()].as_slice());
+            .map_or(&[], |b| b.relation(r.index()));
         self.out_links[lo..hi].iter().chain(extra)
     }
 
-    /// `v`'s overflow buckets, guarded by the O(1) graph-wide emptiness
+    /// `v`'s overflow segments, guarded by the O(1) graph-wide emptiness
     /// check so overflow-free graphs (every freshly built, decoded, or
     /// compacted one) never pay a hash lookup on the hot accessors.
     #[inline]
-    fn overflow_for(&self, v: usize) -> Option<&[Vec<Link>]> {
+    fn overflow_for(&self, v: usize) -> Option<OverflowSegments<'_>> {
         if self.overflow.is_empty() {
             None
         } else {
@@ -343,7 +396,7 @@ impl HinGraph {
         (0..n_rel).flat_map(move |r| {
             let lo = offsets[r] as usize;
             let hi = offsets[r + 1] as usize;
-            let extra: &[Link] = ovf.map_or(&[], |b| b[r].as_slice());
+            let extra: &[Link] = ovf.map_or(&[], |b| b.relation(r));
             let rel = RelationId::from_index(r);
             [(rel, &self.out_links[lo..hi]), (rel, extra)]
                 .into_iter()
@@ -392,7 +445,7 @@ impl HinGraph {
                 let hi = self.out_rel_offsets[v * stride + r + 1] as usize;
                 links.extend_from_slice(&self.out_links[lo..hi]);
                 if let Some(b) = ovf {
-                    links.extend_from_slice(&b[r]);
+                    links.extend_from_slice(b.relation(r));
                 }
                 rel_offsets.push(links.len() as u32);
             }

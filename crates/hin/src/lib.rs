@@ -12,6 +12,16 @@
 //!
 //! * [`ids`] — dense integer newtypes for objects / object types / relations
 //!   / attributes (hot paths index vectors, never hash);
+//! * [`arena`] — [`arena::NameArena`] + [`arena::NameIndex`], the interned
+//!   object-name storage: all names of a graph live in **one** contiguous
+//!   byte buffer addressed by a `u32` offset table, and the name → id index
+//!   stores only object ids (the arena is the key storage). Invariants:
+//!   offsets are monotone with `offsets[0] == 0` and
+//!   `offsets[n] == bytes.len()`; every span is valid UTF-8 (re-validated
+//!   per span on decode); counts and byte lengths fit `u32` (enforced via
+//!   [`error::HinError::CapacityExceeded`]); duplicate names resolve to the
+//!   **first** registration. [`delta::GraphDelta`] interns new names into
+//!   its own delta arena, bulk-merged into the graph arena at append time;
 //! * [`schema`] — the type system: object types, relations with typed
 //!   endpoints, attribute declarations;
 //! * [`graph`] — [`graph::HinGraph`] with CSR out-link and in-link
@@ -53,6 +63,7 @@
 //! assert_eq!(g.out_links(a0).count(), 1);
 //! ```
 
+pub mod arena;
 pub mod attributes;
 pub mod builder;
 pub mod codec;
@@ -65,6 +76,7 @@ pub mod stats;
 
 /// Convenient glob-import surface for downstream crates.
 pub mod prelude {
+    pub use crate::arena::{NameArena, NameIndex};
     pub use crate::attributes::{AttributeData, AttributeStore};
     pub use crate::builder::HinBuilder;
     pub use crate::delta::GraphDelta;

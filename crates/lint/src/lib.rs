@@ -5,9 +5,10 @@
 //! It exists because the repo's correctness now rests on invariants the
 //! compiler and clippy cannot see: allocation-free EM kernel regions,
 //! `SAFETY:`-justified `unsafe`, fsync-before-ack durability confined to
-//! blessed helpers, panic-free serve paths, and a byte-stable metrics key
-//! order. This crate turns those prose invariants into machine-checked
-//! ones, run in CI as a hard gate:
+//! blessed helpers, panic-free serve paths, a byte-stable metrics key
+//! order, and bulk-only allocation in the million-object scale spans. This
+//! crate turns those prose invariants into machine-checked ones, run in CI
+//! as a hard gate:
 //!
 //! ```text
 //! cargo run --release -p genclus-lint -- --workspace
@@ -21,7 +22,7 @@
 //!   nested block comments, raw strings of any hash depth, char literals
 //!   vs lifetimes, and `#[cfg(test)]` scopes by brace depth. It never
 //!   panics on any input (fuzzed).
-//! * [`rules`] — the rule engine: five rules plus the directive layer
+//! * [`rules`] — the rule engine: six rules plus the directive layer
 //!   (waivers and regions). Diagnostics carry 1-based `line:col`.
 //! * [`driver`] — workspace walking (skips `target/`, `vendor/`,
 //!   `fixtures/`, dot-dirs), the embedded metrics-key manifest, and the
@@ -36,6 +37,7 @@
 //! | `durable-io-containment` | raw `fs::write` / `File::create` / `fs::rename` / `OpenOptions` only in the blessed `crates/serve/src/snapshot.rs` / `wal.rs`; everyone else routes through their fsync'd helpers |
 //! | `no-panic-in-serve` | no `.unwrap()` / `.expect(` / `panic!` / `unreachable!` in non-test code under `crates/serve/src/` |
 //! | `metrics-key-order` | the string-literal keys inside `metrics-schema` regions of `metrics.rs`, in render order, must equal the pinned manifest `src/metrics_keys.txt` |
+//! | `no-per-object-alloc` | no `String::from` / `.to_string()` / `.to_owned()` / `format!` / `Vec::new` / `vec![` / `.entry(` / `.collect(` inside a `scale-hot` region (delta append and snapshot decode) — bulk whole-buffer `.to_vec()` stays legal |
 //!
 //! All rules skip `#[cfg(test)]` code; `unsafe-needs-safety` and
 //! `durable-io-containment` also skip integration-test directories
@@ -52,13 +54,14 @@
 //!   waiver that suppresses nothing is itself an error, so waivers cannot
 //!   outlive the code they excuse.
 //! * **Region** — `lint: region(<name>)` … `lint: end-region`. Names a
-//!   span for region-scoped rules (`hot-path`, `metrics-schema`). Regions
-//!   nest; unclosed regions and stray `end-region`s are errors.
+//!   span for region-scoped rules (`hot-path`, `metrics-schema`,
+//!   `scale-hot`). Regions nest; unclosed regions and stray `end-region`s
+//!   are errors.
 //!
 //! ## Adding a rule
 //!
 //! 1. Add the name to [`rules::RULE_NAMES`] (waiver validation) and a
-//!    `fn rule_…(ctx, &mut out)` beside the existing five; wire it into
+//!    `fn rule_…(ctx, &mut out)` beside the existing six; wire it into
 //!    [`rules::check_file`].
 //! 2. Match against `LexLine::code` (already comment/literal-free) and
 //!    report `(line, col)` from the match offset — columns are real

@@ -1,4 +1,4 @@
-//! The rule engine: five repo-specific rules plus the directive layer
+//! The rule engine: six repo-specific rules plus the directive layer
 //! (waivers and regions) they share.
 //!
 //! Everything here works on the [`crate::lexer`] output, so patterns never
@@ -30,6 +30,7 @@ pub const RULE_NAMES: &[&str] = &[
     "durable-io-containment",
     "no-panic-in-serve",
     "metrics-key-order",
+    "no-per-object-alloc",
 ];
 
 /// One finding. `line` and `col` are 1-based source coordinates.
@@ -498,6 +499,48 @@ fn rule_metrics_key_order(ctx: &FileContext<'_>, manifest: &[String], out: &mut 
 }
 
 // ---------------------------------------------------------------------------
+// Rule 6: no-per-object-alloc
+// ---------------------------------------------------------------------------
+
+/// Patterns whose cost scales with object count when they appear inside a
+/// per-object loop. Deliberately *not* listed: `.to_vec()` — a scale-hot
+/// span may copy one whole buffer in bulk (one allocation total), which is
+/// exactly the pattern this rule exists to steer code toward.
+const PER_OBJECT_ALLOC_NEEDLES: &[&str] = &[
+    "String::from",
+    ".to_string()",
+    ".to_owned()",
+    "format!",
+    "Vec::new",
+    "vec![",
+    ".entry(",
+    ".collect(",
+];
+
+fn rule_no_per_object_alloc(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    for (idx, line) in ctx.file.lines.iter().enumerate() {
+        if line.in_test || !ctx.in_region(idx, "scale-hot") {
+            continue;
+        }
+        for needle in PER_OBJECT_ALLOC_NEEDLES {
+            for pos in find_all(&line.code, needle) {
+                out.push(Diagnostic::new(
+                    idx + 1,
+                    pos + 1,
+                    "no-per-object-alloc",
+                    format!(
+                        "`{needle}` inside a `scale-hot` region — these spans run \
+                         per object at the million-object scale; allocate in bulk \
+                         outside the span (a single whole-buffer `.to_vec()` is \
+                         allowed) or waive with a reason"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------------
 
@@ -518,6 +561,7 @@ pub fn check_file(rel_path: &str, src: &[u8], manifest: &[String]) -> Vec<Diagno
     rule_durable_io(&ctx, &mut findings);
     rule_no_panic_in_serve(&ctx, &mut findings);
     rule_metrics_key_order(&ctx, manifest, &mut findings);
+    rule_no_per_object_alloc(&ctx, &mut findings);
 
     // Apply waivers: a finding on a waiver's target line for its rule is
     // suppressed and marks the waiver used.
@@ -686,6 +730,60 @@ push(\"alpha\");
 ";
         let d = check_file("crates/serve/src/metrics.rs", missing.as_bytes(), &manifest);
         assert!(d[0].message.contains("missing key"));
+    }
+
+    #[test]
+    fn per_object_alloc_fires_only_inside_scale_hot() {
+        let src = "\
+fn cold() { let s = name.to_string(); }
+// lint: region(scale-hot)
+fn hot() { let s = name.to_string(); }
+// lint: end-region
+fn cold2() { map.entry(k).or_default(); }
+";
+        let d = check("crates/hin/src/delta.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].line, d[0].rule), (3, "no-per-object-alloc"));
+        assert_eq!(d[0].col, 24);
+    }
+
+    #[test]
+    fn per_object_alloc_catches_each_needle_kind() {
+        for bad in [
+            "let s = String::from(name);",
+            "let s = name.to_owned();",
+            "let s = format!(\"o{i}\");",
+            "let v = Vec::new();",
+            "let v = vec![0u32; 1];",
+            "slots.entry(h).or_insert(id);",
+            "let v: Vec<u32> = it.collect();",
+        ] {
+            let src = format!("// lint: region(scale-hot)\n{bad}\n// lint: end-region\n");
+            let d = check("crates/hin/src/codec.rs", &src);
+            assert_eq!(d.len(), 1, "expected one finding for `{bad}`: {d:#?}");
+            assert_eq!(d[0].rule, "no-per-object-alloc");
+        }
+    }
+
+    #[test]
+    fn bulk_to_vec_is_allowed_in_scale_hot() {
+        let src = "\
+// lint: region(scale-hot)
+let arena = NameArena::from_raw_parts(blob.to_vec(), offsets)?;
+// lint: end-region
+";
+        assert!(check("crates/hin/src/codec.rs", src).is_empty());
+    }
+
+    #[test]
+    fn per_object_alloc_waiver_works() {
+        let src = "\
+// lint: region(scale-hot)
+// lint: allow(no-per-object-alloc) -- one-time header, not per object
+let tag = format!(\"v{version}\");
+// lint: end-region
+";
+        assert!(check("crates/hin/src/codec.rs", src).is_empty());
     }
 
     #[test]

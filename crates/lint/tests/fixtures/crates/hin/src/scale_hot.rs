@@ -1,0 +1,11 @@
+//! Seeded violation: a per-object `String` allocation inside a
+//! `scale-hot` span (the million-object appends must intern into the
+//! arena, not materialize owned names one by one).
+
+// lint: region(scale-hot)
+fn append_names(names: &[&str], arena: &mut Vec<String>) {
+    for name in names {
+        arena.push(name.to_string());
+    }
+}
+// lint: end-region

@@ -17,7 +17,7 @@ fn fixtures_root() -> PathBuf {
 fn all_findings() -> Vec<(String, usize, String)> {
     let root = fixtures_root();
     let files = genclus_lint::collect_rs_files(&root).expect("walk fixtures");
-    assert_eq!(files.len(), 8, "fixture corpus drifted: {files:?}");
+    assert_eq!(files.len(), 9, "fixture corpus drifted: {files:?}");
     genclus_lint::run(&root, &files)
         .expect("lint fixtures")
         .into_iter()
@@ -67,6 +67,12 @@ fn each_rule_reports_its_seeded_violation_at_the_exact_line() {
         "crates/serve/src/metrics.rs",
         7,
         "metrics-key-order",
+    );
+    assert_finding(
+        &findings,
+        "crates/hin/src/scale_hot.rs",
+        8,
+        "no-per-object-alloc",
     );
 }
 
@@ -122,6 +128,7 @@ fn binary_exits_nonzero_with_file_line_diagnostics() {
         "crates/serve/src/bin/dump.rs:4:10: [durable-io-containment]",
         "crates/serve/src/no_panic.rs:2:6: [no-panic-in-serve]",
         "crates/serve/src/metrics.rs:7:10: [metrics-key-order]",
+        "crates/hin/src/scale_hot.rs:8:24: [no-per-object-alloc]",
     ] {
         assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
     }

@@ -7,7 +7,7 @@
 //! ```text
 //! offset  size  field
 //! 0       8     magic  b"GENCLUS\0"
-//! 8       4     schema version (u32 LE), currently 1
+//! 8       4     schema version (u32 LE), currently 2
 //! 12      4     reserved (0)
 //! 16      8     payload length in bytes (u64 LE)
 //! 24      8     FNV-1a 64 checksum of the payload (u64 LE)
@@ -29,7 +29,13 @@
 //! Compatibility policy: the version is bumped whenever the payload layout
 //! changes; readers reject newer versions loudly
 //! ([`ServeError::UnsupportedVersion`]) instead of misreading them, and CI
-//! keeps a committed fixture snapshot to prove older files keep loading.
+//! keeps a committed fixture snapshot per historical version to prove older
+//! files keep loading. Version history:
+//!
+//! * **1** — per-object length-prefixed name strings. Still readable: the
+//!   header dispatches the graph decode to [`HinGraph::from_bytes_v1`].
+//! * **2** — names travel as the interned arena (one `u32` offset table +
+//!   one byte blob); writers always emit this layout.
 
 use crate::error::ServeError;
 use genclus_core::GenClusModel;
@@ -41,7 +47,7 @@ use std::path::Path;
 /// First 8 bytes of every snapshot.
 pub const MAGIC: [u8; 8] = *b"GENCLUS\0";
 /// Current (highest readable) snapshot schema version.
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
 /// Bytes before the payload.
 pub const HEADER_LEN: usize = 64;
 
@@ -333,7 +339,13 @@ impl Snapshot {
         let header = Header::parse(bytes)?;
         header.verify_checksum(bytes)?;
         let mut r = ByteReader::new(&bytes[HEADER_LEN..]);
-        let graph = HinGraph::from_bytes(&mut r).ok_or(ServeError::Malformed("network"))?;
+        // Version dispatch: the header selects the graph decoder. The model
+        // section is layout-stable across both versions.
+        let graph = match header.version {
+            1 => HinGraph::from_bytes_v1(&mut r),
+            _ => HinGraph::from_bytes(&mut r),
+        }
+        .ok_or(ServeError::Malformed("network"))?;
         r.align8().ok_or(ServeError::Malformed("padding"))?;
         let model = GenClusModel::from_bytes(&mut r).ok_or(ServeError::Malformed("model"))?;
         // Cross-checks between header, graph, and model. The kind/shape

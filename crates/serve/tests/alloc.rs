@@ -1,0 +1,154 @@
+//! Scale guard: snapshot load must not allocate per object.
+//!
+//! The acceptance bar for the interned-name refactor is that loading a
+//! million-object snapshot performs **no per-object heap allocation**: the
+//! name arena decodes as two bulk array reads, `Θ` is served zero-copy out
+//! of the load buffer, and every decoded array is allocated exactly once at
+//! its final size. A counting [`GlobalAlloc`] proves it structurally: the
+//! *number* of allocations during [`Snapshot::from_bytes`] must be
+//! identical for a small and a 64×-larger snapshot — any per-object
+//! `String`, per-row `Vec`, or doubling-growth decode loop would break the
+//! equality immediately (and by far more than the slack we allow).
+//!
+//! Kept as its own integration-test binary with a single `#[test]` so no
+//! concurrent test thread pollutes the counter.
+
+use genclus_core::attr_model::{CategoricalComponents, ClusterComponents, GaussianComponents};
+use genclus_core::GenClusModel;
+use genclus_hin::prelude::*;
+use genclus_serve::prelude::*;
+use genclus_stats::MembershipMatrix;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: delegates every operation to `System`; the counter has no effect
+// on the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A growth realloc is exactly the per-object pattern this test
+        // exists to catch — count it like a fresh allocation.
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn counted<R>(f: impl FnOnce() -> R) -> (R, usize) {
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    let r = f();
+    COUNTING.store(false, Ordering::SeqCst);
+    (r, ALLOCS.load(Ordering::SeqCst))
+}
+
+/// A sensor chain of `n` objects with both attribute kinds observed and a
+/// fitted 2-cluster model — every array in the snapshot scales with `n`.
+fn snapshot_bytes(n: usize) -> Vec<u8> {
+    let mut s = Schema::new();
+    let t = s.add_object_type("sensor");
+    let nn = s.add_relation("nn", t, t);
+    let tags = s.add_categorical_attribute("tags", 8);
+    let reading = s.add_numerical_attribute("reading");
+    let mut b = HinBuilder::new(s);
+    let ids: Vec<_> = (0..n)
+        .map(|i| b.add_object(t, format!("sensor-{i}")))
+        .collect();
+    for w in ids.windows(2) {
+        b.add_link(w[0], w[1], nn, 1.0).unwrap();
+    }
+    for (i, &v) in ids.iter().enumerate() {
+        b.add_terms(v, tags, &[(i % 8) as u32]).unwrap();
+        b.add_numeric(v, reading, i as f64 / n as f64).unwrap();
+    }
+    let graph = b.build().unwrap();
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let p = (i % 10) as f64 / 10.0;
+            vec![p, 1.0 - p]
+        })
+        .collect();
+    let model = GenClusModel {
+        theta: MembershipMatrix::from_rows(&rows, 2),
+        gamma: vec![1.0],
+        components: vec![
+            ClusterComponents::Categorical(CategoricalComponents::from_rows(
+                &[vec![0.5; 8], vec![0.5; 8]],
+                1e-9,
+            )),
+            ClusterComponents::Gaussian(GaussianComponents::from_params(
+                vec![0.25, 0.75],
+                vec![0.1, 0.1],
+                1e-6,
+            )),
+        ],
+        attributes: vec![tags, reading],
+        theta_smoothing: 0.05,
+    };
+    genclus_serve::snapshot::to_bytes(&graph, &model)
+}
+
+#[test]
+fn snapshot_load_allocation_count_is_object_count_invariant() {
+    let small_bytes = snapshot_bytes(64);
+    let large_bytes = snapshot_bytes(64 * 64);
+
+    // Warm-up decode outside the counted window (lazy runtime init, &c.).
+    drop(Snapshot::from_bytes(&small_bytes).unwrap());
+
+    let (small, small_allocs) = counted(|| Snapshot::from_bytes(&small_bytes).unwrap());
+    let (large, large_allocs) = counted(|| Snapshot::from_bytes(&large_bytes).unwrap());
+    assert_eq!(
+        small_allocs, large_allocs,
+        "snapshot load allocated differently for 64 vs 4096 objects — some \
+         decode path allocates per object (or grows by doubling)"
+    );
+
+    // Θ is served straight out of the retained load buffer: the view's
+    // pointer range lies inside `raw_bytes`, no copy in between.
+    let buf = large.raw_bytes().as_ptr() as usize;
+    let theta = large.theta_view();
+    assert_eq!(theta.len(), 64 * 64 * 2);
+    let t0 = theta.as_ptr() as usize;
+    assert!(
+        t0 >= buf && t0 + std::mem::size_of_val(theta) <= buf + large.raw_bytes().len(),
+        "theta_view must alias the load buffer"
+    );
+
+    // Name lookups resolve through the arena without allocating at all.
+    let g = large.graph();
+    let ((), lookup_allocs) = counted(|| {
+        for v in g.objects() {
+            std::hint::black_box(g.object_name(v));
+        }
+    });
+    assert_eq!(lookup_allocs, 0, "object_name must be arena-backed");
+
+    drop(small);
+}

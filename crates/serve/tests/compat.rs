@@ -1,0 +1,144 @@
+//! Snapshot schema-version compatibility matrix.
+//!
+//! The committed-fixture tests (`tests/fixture.rs`) prove real historical
+//! files keep loading; this suite fabricates snapshots of every version on
+//! the fly and pins the *policy*:
+//!
+//! * a v1 payload (per-object name strings) loads through the
+//!   [`genclus_hin::HinGraph::from_bytes_v1`] shim and decodes to the same
+//!   logical network as its v2 re-encoding;
+//! * a header claiming a version newer than [`SCHEMA_VERSION`] is rejected
+//!   loudly with [`ServeError::UnsupportedVersion`], never misread;
+//! * save → load → save is byte-identical in the current layout, and a
+//!   loaded v1 snapshot re-saves as a byte-exact current-layout snapshot
+//!   (lossless migration);
+//! * version/layout mismatches (v2 header over v1 bytes and vice versa)
+//!   fail loudly instead of decoding garbage.
+
+use genclus_core::attr_model::{ClusterComponents, GaussianComponents};
+use genclus_core::GenClusModel;
+use genclus_hin::prelude::*;
+use genclus_serve::prelude::*;
+use genclus_serve::snapshot::{to_bytes, HEADER_LEN, MAGIC};
+use genclus_stats::bytesio::{fnv1a64, pad8};
+use genclus_stats::MembershipMatrix;
+
+fn parts() -> (HinGraph, GenClusModel) {
+    let mut s = Schema::new();
+    let t = s.add_object_type("sensor");
+    let nn = s.add_relation("nn", t, t);
+    let reading = s.add_numerical_attribute("reading");
+    let mut b = HinBuilder::new(s);
+    let v0 = b.add_object(t, "alpha");
+    let v1 = b.add_object(t, "beta");
+    let v2 = b.add_object(t, "gamma-sensor");
+    b.add_link(v0, v1, nn, 1.0).unwrap();
+    b.add_link(v1, v2, nn, 2.0).unwrap();
+    b.add_numeric(v0, reading, -1.0).unwrap();
+    b.add_numeric(v2, reading, 1.0).unwrap();
+    let graph = b.build().unwrap();
+    let model = GenClusModel {
+        theta: MembershipMatrix::from_rows(&[vec![0.9, 0.1], vec![0.5, 0.5], vec![0.2, 0.8]], 2),
+        gamma: vec![1.25],
+        components: vec![ClusterComponents::Gaussian(
+            GaussianComponents::from_params(vec![-1.0, 1.0], vec![0.5, 0.5], 1e-6),
+        )],
+        attributes: vec![reading],
+        theta_smoothing: 0.05,
+    };
+    (graph, model)
+}
+
+/// Fabricates a version-1 snapshot: the v1 graph layout under a v1 header.
+/// Mirrors `snapshot::to_bytes` exactly except for the two v1 choices.
+fn v1_snapshot_bytes(graph: &HinGraph, model: &GenClusModel) -> Vec<u8> {
+    let mut payload = Vec::new();
+    graph.to_bytes_v1(&mut payload);
+    pad8(&mut payload);
+    let model_start = payload.len();
+    let theta_rel = model.to_bytes(&mut payload);
+    let theta_offset = HEADER_LEN + model_start + theta_rel;
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&1u32.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    out.extend_from_slice(&(theta_offset as u64).to_le_bytes());
+    out.extend_from_slice(&(model.theta.n_objects() as u64).to_le_bytes());
+    out.extend_from_slice(&(model.theta.n_clusters() as u64).to_le_bytes());
+    out.extend_from_slice(&0u64.to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+#[test]
+fn v1_loads_and_migrates_losslessly() {
+    let (graph, model) = parts();
+    let v1 = v1_snapshot_bytes(&graph, &model);
+    let snap = Snapshot::from_bytes(&v1).expect("v1 loads through the shim");
+    assert_eq!(snap.header().version, 1);
+    assert_eq!(
+        snap.graph().object_by_name("gamma-sensor"),
+        graph.object_by_name("gamma-sensor")
+    );
+    assert_eq!(snap.theta_view(), model.theta.as_slice());
+    // Re-saving the loaded v1 snapshot produces exactly the bytes a direct
+    // current-layout save would: migration loses nothing and is stable.
+    let migrated = to_bytes(snap.graph(), snap.model());
+    assert_eq!(migrated, to_bytes(&graph, &model));
+    assert_ne!(migrated, v1, "migration must land in the new layout");
+}
+
+#[test]
+fn current_layout_round_trips_byte_identically() {
+    let (graph, model) = parts();
+    let bytes = to_bytes(&graph, &model);
+    let snap = Snapshot::from_bytes(&bytes).unwrap();
+    assert_eq!(snap.header().version, SCHEMA_VERSION);
+    assert_eq!(to_bytes(snap.graph(), snap.model()), bytes);
+    // And the raw buffer the snapshot retained is the input verbatim.
+    assert_eq!(snap.raw_bytes(), &bytes[..]);
+}
+
+#[test]
+fn newer_versions_are_rejected_loudly() {
+    let (graph, model) = parts();
+    let mut bytes = to_bytes(&graph, &model);
+    for future in [SCHEMA_VERSION + 1, SCHEMA_VERSION + 100, u32::MAX] {
+        bytes[8..12].copy_from_slice(&future.to_le_bytes());
+        match Snapshot::from_bytes(&bytes) {
+            Err(ServeError::UnsupportedVersion { found, supported }) => {
+                assert_eq!(found, future);
+                assert_eq!(supported, SCHEMA_VERSION);
+            }
+            Err(e) => panic!("version {future} must be UnsupportedVersion, got {e:?}"),
+            Ok(_) => panic!("version {future} must be rejected, but it loaded"),
+        }
+    }
+    // Version 0 never existed.
+    bytes[8..12].copy_from_slice(&0u32.to_le_bytes());
+    assert!(matches!(
+        Snapshot::from_bytes(&bytes),
+        Err(ServeError::UnsupportedVersion { found: 0, .. })
+    ));
+}
+
+#[test]
+fn header_version_and_payload_layout_must_agree() {
+    let (graph, model) = parts();
+    // v2 header over v1 payload bytes: the arena decode must refuse.
+    let mut mislabeled = v1_snapshot_bytes(&graph, &model);
+    mislabeled[8..12].copy_from_slice(&SCHEMA_VERSION.to_le_bytes());
+    assert!(
+        Snapshot::from_bytes(&mislabeled).is_err(),
+        "v1 payload under a v{SCHEMA_VERSION} header must not decode"
+    );
+    // v1 header over v2 payload bytes: the per-name decode must refuse.
+    let mut mislabeled = to_bytes(&graph, &model);
+    mislabeled[8..12].copy_from_slice(&1u32.to_le_bytes());
+    assert!(
+        Snapshot::from_bytes(&mislabeled).is_err(),
+        "v{SCHEMA_VERSION} payload under a v1 header must not decode"
+    );
+}

@@ -1,17 +1,19 @@
 //! Snapshot format-compatibility guard.
 //!
-//! `tests/fixtures/snapshot_v1.gcsnap` is a committed snapshot written by
-//! the version-1 writer. Two invariants, both enforced in CI:
+//! `tests/fixtures/snapshot_v<N>.gcsnap` is a committed snapshot written by
+//! the version-`N` writer, one fixture per historical schema version. Two
+//! invariants, both enforced in CI:
 //!
-//! * **old snapshots keep loading** — if this test starts failing, a
-//!   format change broke compatibility without a version bump and a
-//!   migration path;
-//! * **the v1 layout is frozen** — while `SCHEMA_VERSION == 1`, the
-//!   current writer must reproduce the fixture byte for byte; any layout
-//!   change must bump the version (and add a new fixture) instead of
-//!   silently redefining v1.
+//! * **old snapshots keep loading** — if a historical fixture stops
+//!   loading, a format change broke compatibility without a version bump
+//!   and a migration path;
+//! * **the current layout is frozen** — the current writer must reproduce
+//!   the current version's fixture byte for byte; any layout change must
+//!   bump the version (and add a new fixture) instead of silently
+//!   redefining a released version.
 //!
-//! Regenerate (only together with a version bump) via:
+//! When bumping `SCHEMA_VERSION`, keep the old fixtures committed and add
+//! the new one via:
 //! `cargo test -p genclus-serve --test fixture regenerate_fixture -- --ignored`
 
 use genclus_core::attr_model::{CategoricalComponents, ClusterComponents, GaussianComponents};
@@ -22,10 +24,10 @@ use genclus_serve::snapshot::SCHEMA_VERSION;
 use genclus_stats::MembershipMatrix;
 use std::path::PathBuf;
 
-fn fixture_path() -> PathBuf {
+fn fixture_path(version: u32) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")
-        .join("snapshot_v1.gcsnap")
+        .join(format!("snapshot_v{version}.gcsnap"))
 }
 
 /// A fully deterministic (no RNG, hand-set parameters) network + model.
@@ -81,12 +83,15 @@ fn fixture_parts() -> (HinGraph, GenClusModel) {
     (graph, model)
 }
 
-#[test]
-fn committed_v1_fixture_still_loads() {
-    let bytes = std::fs::read(fixture_path())
+/// Shared load-and-serve assertions: every committed fixture, whatever its
+/// version, must decode to the same logical network + model and be
+/// immediately servable.
+fn assert_fixture_serves(version: u32) {
+    let bytes = std::fs::read(fixture_path(version))
         .expect("fixture snapshot missing — run the regenerate_fixture test");
-    let snap = Snapshot::from_bytes(&bytes).expect("v1 fixture must keep loading");
-    assert_eq!(snap.header().version, 1);
+    let snap = Snapshot::from_bytes(&bytes)
+        .unwrap_or_else(|e| panic!("v{version} fixture must keep loading: {e}"));
+    assert_eq!(snap.header().version, version);
     assert_eq!(snap.graph().n_objects(), 5);
     assert_eq!(snap.graph().n_links(), 6);
     assert_eq!(snap.model().n_clusters(), 2);
@@ -104,31 +109,35 @@ fn committed_v1_fixture_still_loads() {
 }
 
 #[test]
-fn v1_layout_is_frozen_while_version_is_1() {
-    if SCHEMA_VERSION != 1 {
-        // A newer layout exists; the loading test above still guards v1.
-        return;
-    }
+fn committed_v1_fixture_still_loads() {
+    assert_fixture_serves(1);
+}
+
+#[test]
+fn committed_current_fixture_loads() {
+    assert_fixture_serves(SCHEMA_VERSION);
+}
+
+#[test]
+fn current_layout_is_frozen() {
     let (graph, model) = fixture_parts();
     let current = genclus_serve::snapshot::to_bytes(&graph, &model);
-    let committed = std::fs::read(fixture_path())
+    let committed = std::fs::read(fixture_path(SCHEMA_VERSION))
         .expect("fixture snapshot missing — run the regenerate_fixture test");
     assert_eq!(
         current, committed,
-        "the v1 snapshot layout changed — bump SCHEMA_VERSION and add a new \
-         fixture instead of redefining v1"
+        "the v{SCHEMA_VERSION} snapshot layout changed — bump SCHEMA_VERSION \
+         and add a new fixture instead of redefining a released version"
     );
 }
 
-/// Writes the fixture. Run only when introducing a new schema version.
+/// Writes the current version's fixture. Run only when introducing a new
+/// schema version; never overwrite an old version's fixture.
 #[test]
 #[ignore]
 fn regenerate_fixture() {
     let (graph, model) = fixture_parts();
-    std::fs::create_dir_all(fixture_path().parent().unwrap()).unwrap();
-    std::fs::write(
-        fixture_path(),
-        genclus_serve::snapshot::to_bytes(&graph, &model),
-    )
-    .unwrap();
+    let path = fixture_path(SCHEMA_VERSION);
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(path, genclus_serve::snapshot::to_bytes(&graph, &model)).unwrap();
 }

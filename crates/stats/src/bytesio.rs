@@ -64,6 +64,15 @@ pub fn put_u32_slice(out: &mut Vec<u8>, xs: &[u32]) {
     pad8(out);
 }
 
+/// Appends a length-prefixed raw byte blob, padded to 8 bytes. The reader
+/// side ([`ByteReader::byte_blob`]) hands the blob back **borrowed**, so
+/// bulk payloads (e.g. a name arena) round-trip without a per-element walk.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u64(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+    pad8(out);
+}
+
 /// Appends a length-prefixed `u64` array.
 pub fn put_u64_slice(out: &mut Vec<u8>, xs: &[u64]) {
     put_u64(out, xs.len() as u64);
@@ -181,15 +190,42 @@ impl<'a> ByteReader<'a> {
     }
 
     /// Reads a `u64` array (as written by [`put_u64_slice`]).
+    ///
+    /// Bounds-checks the whole array up front and allocates the output
+    /// exactly once — the element count must never influence the number of
+    /// heap allocations (the serve crate's zero-copy load test counts them).
     pub fn u64_slice(&mut self) -> Option<Vec<u64>> {
         let n = self.count(8)?;
-        (0..n).map(|_| self.u64()).collect()
+        let raw = self.bytes(n * 8)?;
+        let mut out = Vec::with_capacity(n);
+        out.extend(
+            raw.chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("chunks_exact(8)"))),
+        );
+        Some(out)
     }
 
-    /// Reads an `f64` array (as written by [`put_f64_slice`]).
+    /// Reads an `f64` array (as written by [`put_f64_slice`]); same
+    /// single-allocation contract as [`Self::u64_slice`].
     pub fn f64_slice(&mut self) -> Option<Vec<f64>> {
         let n = self.count(8)?;
-        (0..n).map(|_| self.f64()).collect()
+        let raw = self.bytes(n * 8)?;
+        let mut out = Vec::with_capacity(n);
+        out.extend(
+            raw.chunks_exact(8).map(|c| {
+                f64::from_bits(u64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
+            }),
+        );
+        Some(out)
+    }
+
+    /// Reads a length-prefixed byte blob (as written by [`put_bytes`]),
+    /// **borrowed** from the underlying buffer — no copy, no allocation.
+    pub fn byte_blob(&mut self) -> Option<&'a [u8]> {
+        let n = self.count(1)?;
+        let b = self.bytes(n)?;
+        self.align8()?;
+        Some(b)
     }
 }
 
@@ -252,6 +288,25 @@ mod tests {
             "bit-exact, not value-exact"
         );
         assert_eq!(f[2], f64::INFINITY);
+    }
+
+    #[test]
+    fn byte_blob_round_trips_borrowed_and_aligned() {
+        let mut out = Vec::new();
+        put_bytes(&mut out, b"hello");
+        assert_eq!(out.len() % 8, 0);
+        put_u64(&mut out, 7);
+        let mut r = ByteReader::new(&out);
+        assert_eq!(r.byte_blob(), Some(&b"hello"[..]));
+        assert_eq!(r.u64(), Some(7));
+        // Empty blob is fine; truncated blob is rejected.
+        let mut out = Vec::new();
+        put_bytes(&mut out, b"");
+        let mut r = ByteReader::new(&out);
+        assert_eq!(r.byte_blob(), Some(&b""[..]));
+        let mut out = Vec::new();
+        put_u64(&mut out, 99); // claims 99 bytes, provides none
+        assert_eq!(ByteReader::new(&out).byte_blob(), None);
     }
 
     #[test]
